@@ -1,0 +1,279 @@
+//! The Carvalho–Roucairol optimization of Ricart–Agrawala (1983).
+//!
+//! Observation: once site `i` has received `j`'s permission, it may enter
+//! the CS repeatedly **without asking `j` again** until `j` itself
+//! requests. Each site keeps the set of sites whose standing permission it
+//! holds; a request round only contacts the sites *not* in that set. Under
+//! locality (a site re-entering repeatedly) the message cost per CS drops
+//! toward zero; under uniform load it approaches Ricart–Agrawala's
+//! `2(N−1)`. The price is the same information-structure bookkeeping idea
+//! Singhal's dynamic algorithm later generalized.
+//!
+//! Safety argument: for any pair `{i, j}`, exactly one of them holds the
+//! pair's standing permission when both are idle (initially the
+//! smaller-id site). To enter, a site needs the standing permission of
+//! every other site; when it grants (on request, by priority), it gives
+//! the permission away and must re-ask later.
+
+use qmx_core::{Effects, LamportClock, MsgKind, MsgMeta, Protocol, SiteId, Timestamp};
+use std::collections::BTreeSet;
+
+/// Wire messages (same as Ricart–Agrawala).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrMsg {
+    /// CS request.
+    Request {
+        /// Timestamp of the request.
+        ts: Timestamp,
+    },
+    /// Permission grant (standing: valid until the granter re-requests).
+    Reply,
+}
+
+impl MsgMeta for CrMsg {
+    fn kind(&self) -> MsgKind {
+        match self {
+            CrMsg::Request { .. } => MsgKind::Request,
+            CrMsg::Reply => MsgKind::Reply,
+        }
+    }
+}
+
+/// One site of the Carvalho–Roucairol algorithm over `n` sites.
+///
+/// ```
+/// use qmx_baselines::CarvalhoRoucairol;
+/// use qmx_core::{Effects, Protocol, SiteId};
+/// // Site 0 starts holding everyone's standing permission: free entry.
+/// let mut s = CarvalhoRoucairol::new(SiteId(0), 5);
+/// let mut fx = Effects::new();
+/// s.request_cs(&mut fx);
+/// assert!(s.in_cs());
+/// assert!(fx.sends().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CarvalhoRoucairol {
+    site: SiteId,
+    n: u32,
+    clock: LamportClock,
+    /// Sites whose standing permission we hold.
+    granted_by: BTreeSet<SiteId>,
+    my_req: Option<Timestamp>,
+    deferred: BTreeSet<SiteId>,
+    in_cs: bool,
+}
+
+impl CarvalhoRoucairol {
+    /// Creates site `site` of an `n`-site system. Initially the pair
+    /// permission of `{i, j}` rests with the smaller id, so site `i`
+    /// starts holding the permissions of all larger-id sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is outside `0..n`.
+    pub fn new(site: SiteId, n: u32) -> Self {
+        assert!(site.0 < n, "site outside universe");
+        CarvalhoRoucairol {
+            site,
+            n,
+            clock: LamportClock::new(),
+            granted_by: (site.0 + 1..n).map(SiteId).collect(),
+            my_req: None,
+            deferred: BTreeSet::new(),
+            in_cs: false,
+        }
+    }
+
+    /// How many standing permissions this site currently holds.
+    pub fn standing_permissions(&self) -> usize {
+        self.granted_by.len()
+    }
+
+    fn maybe_enter(&mut self, fx: &mut Effects<CrMsg>) {
+        if !self.in_cs
+            && self.my_req.is_some()
+            && self.granted_by.len() as u32 == self.n - 1
+        {
+            self.in_cs = true;
+            fx.enter_cs();
+        }
+    }
+}
+
+impl Protocol for CarvalhoRoucairol {
+    type Msg = CrMsg;
+
+    fn site(&self) -> SiteId {
+        self.site
+    }
+
+    fn request_cs(&mut self, fx: &mut Effects<CrMsg>) {
+        assert!(self.my_req.is_none(), "one outstanding request per site");
+        let ts = Timestamp {
+            seq: self.clock.tick(),
+            site: self.site,
+        };
+        self.my_req = Some(ts);
+        // Only ask the sites whose standing permission we lack.
+        for j in (0..self.n)
+            .map(SiteId)
+            .filter(|s| *s != self.site && !self.granted_by.contains(s))
+        {
+            fx.send(j, CrMsg::Request { ts });
+        }
+        self.maybe_enter(fx);
+    }
+
+    fn release_cs(&mut self, fx: &mut Effects<CrMsg>) {
+        assert!(self.in_cs, "not in CS");
+        self.in_cs = false;
+        self.my_req = None;
+        // Grant the deferred requesters: each takes its pair permission
+        // with it.
+        for j in std::mem::take(&mut self.deferred) {
+            self.granted_by.remove(&j);
+            fx.send(j, CrMsg::Reply);
+        }
+    }
+
+    fn handle(&mut self, from: SiteId, msg: CrMsg, fx: &mut Effects<CrMsg>) {
+        match msg {
+            CrMsg::Request { ts } => {
+                self.clock.observe_ts(ts);
+                if self.in_cs {
+                    self.deferred.insert(from);
+                } else if let Some(my) = self.my_req {
+                    if my.beats(&ts) {
+                        self.deferred.insert(from);
+                    } else {
+                        // The incoming request wins: hand the pair
+                        // permission over, and because we are still
+                        // waiting, re-ask immediately (the CR "lost
+                        // permission" rule).
+                        self.granted_by.remove(&from);
+                        fx.send(from, CrMsg::Reply);
+                        fx.send(from, CrMsg::Request { ts: my });
+                    }
+                } else {
+                    self.granted_by.remove(&from);
+                    fx.send(from, CrMsg::Reply);
+                }
+            }
+            CrMsg::Reply => {
+                self.granted_by.insert(from);
+                self.maybe_enter(fx);
+            }
+        }
+    }
+
+    fn in_cs(&self) -> bool {
+        self.in_cs
+    }
+
+    fn wants_cs(&self) -> bool {
+        self.my_req.is_some() && !self.in_cs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Harness;
+
+    fn harness(n: u32) -> Harness<CarvalhoRoucairol> {
+        Harness::new(
+            (0..n)
+                .map(|i| CarvalhoRoucairol::new(SiteId(i), n))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn initial_permissions_form_a_staircase() {
+        let h = harness(4);
+        assert_eq!(h.sites[0].standing_permissions(), 3);
+        assert_eq!(h.sites[3].standing_permissions(), 0);
+    }
+
+    #[test]
+    fn site_zero_enters_for_free() {
+        let mut h = harness(4);
+        h.request(0);
+        assert!(h.sites[0].in_cs());
+        assert_eq!(h.settle(), 0);
+        h.release(0);
+        assert_eq!(h.settle(), 0);
+    }
+
+    #[test]
+    fn reentry_after_acquiring_costs_nothing() {
+        let mut h = harness(3);
+        h.request(2); // must ask 0 and 1
+        let first = h.settle();
+        assert!(h.sites[2].in_cs());
+        assert_eq!(first, 4); // 2 requests + 2 replies
+        h.release(2);
+        h.settle();
+        // Nobody asked in between: site 2 still holds both permissions.
+        h.request(2);
+        assert!(h.sites[2].in_cs());
+        assert_eq!(h.settle(), 0, "standing permissions make re-entry free");
+        h.release(2);
+        h.settle();
+    }
+
+    #[test]
+    fn permissions_migrate_with_grants() {
+        let mut h = harness(2);
+        h.request(1);
+        h.settle();
+        assert!(h.sites[1].in_cs());
+        assert_eq!(h.sites[0].standing_permissions(), 0);
+        assert_eq!(h.sites[1].standing_permissions(), 1);
+        h.release(1);
+        h.settle();
+        // Now 0 must ask 1.
+        h.request(0);
+        h.settle();
+        assert!(h.sites[0].in_cs());
+        h.release(0);
+        h.settle();
+    }
+
+    #[test]
+    fn contention_is_safe_and_live() {
+        let mut h = harness(5);
+        for i in [3, 1, 4, 0, 2] {
+            h.request(i);
+        }
+        h.drain_all(5);
+    }
+
+    #[test]
+    fn repeated_rounds_stay_correct() {
+        let mut h = harness(4);
+        for _ in 0..3 {
+            for i in 0..4 {
+                h.request(i);
+            }
+            h.drain_all(4);
+        }
+    }
+
+    #[test]
+    fn waiting_loser_re_asks_immediately() {
+        // Site 1 waits with a later timestamp; site 0's earlier request
+        // arrives: 1 must reply AND re-request in the same step.
+        let mut h = harness(2);
+        h.request(1); // ts (1, S1), sent to 0
+        h.request(0); // ts (1, S0) — beats (1, S1)
+        h.settle();
+        assert!(h.sites[0].in_cs());
+        assert!(h.sites[1].wants_cs());
+        h.release(0);
+        h.settle();
+        assert!(h.sites[1].in_cs(), "the re-ask must not be lost");
+        h.release(1);
+        h.settle();
+    }
+}

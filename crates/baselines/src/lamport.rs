@@ -1,0 +1,245 @@
+//! Lamport's mutual exclusion algorithm (1978).
+//!
+//! Every site keeps a priority queue of all outstanding requests. To enter,
+//! a site broadcasts `request(ts)` to the other `N−1` sites and waits until
+//! (a) its request heads its local queue and (b) it has received a message
+//! timestamped later than its request from every other site (here: an
+//! explicit `reply`). On exit it broadcasts `release`.
+//!
+//! Message complexity `3(N−1)`, synchronization delay `T` (the release goes
+//! straight to the next site) — the first row of the paper's Table 1.
+
+use qmx_core::{
+    Effects, LamportClock, MsgKind, MsgMeta, Protocol, ReqQueue, SeqNum, SiteId, Timestamp,
+};
+use std::collections::BTreeSet;
+
+/// Wire messages of Lamport's algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LamportMsg {
+    /// Broadcast CS request.
+    Request {
+        /// Timestamp of the request.
+        ts: Timestamp,
+    },
+    /// Acknowledgement carrying the sender's clock.
+    Reply {
+        /// Sender clock at reply time (must exceed the request's).
+        clk: SeqNum,
+    },
+    /// Broadcast CS exit.
+    Release {
+        /// The completed request.
+        ts: Timestamp,
+    },
+}
+
+impl MsgMeta for LamportMsg {
+    fn kind(&self) -> MsgKind {
+        match self {
+            LamportMsg::Request { .. } => MsgKind::Request,
+            LamportMsg::Reply { .. } => MsgKind::Reply,
+            LamportMsg::Release { .. } => MsgKind::Release,
+        }
+    }
+}
+
+/// One site of Lamport's algorithm over `n` sites.
+///
+/// ```
+/// use qmx_baselines::Lamport;
+/// use qmx_core::{Effects, Protocol, SiteId};
+/// let mut s = Lamport::new(SiteId(0), 3);
+/// let mut fx = Effects::new();
+/// s.request_cs(&mut fx);
+/// assert_eq!(fx.sends().len(), 2); // request broadcast to the other two
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lamport {
+    site: SiteId,
+    n: u32,
+    clock: LamportClock,
+    queue: ReqQueue,
+    my_req: Option<Timestamp>,
+    acked: BTreeSet<SiteId>,
+    in_cs: bool,
+}
+
+impl Lamport {
+    /// Creates site `site` of an `n`-site system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is outside `0..n`.
+    pub fn new(site: SiteId, n: u32) -> Self {
+        assert!(site.0 < n, "site outside universe");
+        Lamport {
+            site,
+            n,
+            clock: LamportClock::new(),
+            queue: ReqQueue::new(),
+            my_req: None,
+            acked: BTreeSet::new(),
+            in_cs: false,
+        }
+    }
+
+    fn others(&self) -> impl Iterator<Item = SiteId> + '_ {
+        (0..self.n).map(SiteId).filter(move |s| *s != self.site)
+    }
+
+    fn maybe_enter(&mut self, fx: &mut Effects<LamportMsg>) {
+        if self.in_cs {
+            return;
+        }
+        let Some(my) = self.my_req else { return };
+        let at_head = self.queue.head() == Some(my);
+        let all_acked = self.acked.len() as u32 == self.n - 1;
+        if at_head && all_acked {
+            self.in_cs = true;
+            fx.enter_cs();
+        }
+    }
+}
+
+impl Protocol for Lamport {
+    type Msg = LamportMsg;
+
+    fn site(&self) -> SiteId {
+        self.site
+    }
+
+    fn request_cs(&mut self, fx: &mut Effects<LamportMsg>) {
+        assert!(self.my_req.is_none(), "one outstanding request per site");
+        let ts = Timestamp {
+            seq: self.clock.tick(),
+            site: self.site,
+        };
+        self.my_req = Some(ts);
+        self.acked.clear();
+        self.queue.insert(ts);
+        for j in self.others().collect::<Vec<_>>() {
+            fx.send(j, LamportMsg::Request { ts });
+        }
+        self.maybe_enter(fx); // single-site system enters immediately
+    }
+
+    fn release_cs(&mut self, fx: &mut Effects<LamportMsg>) {
+        assert!(self.in_cs, "not in CS");
+        let ts = self.my_req.take().expect("in CS implies request");
+        self.in_cs = false;
+        self.queue.remove(&ts);
+        self.acked.clear();
+        for j in self.others().collect::<Vec<_>>() {
+            fx.send(j, LamportMsg::Release { ts });
+        }
+    }
+
+    fn handle(&mut self, from: SiteId, msg: LamportMsg, fx: &mut Effects<LamportMsg>) {
+        match msg {
+            LamportMsg::Request { ts } => {
+                self.clock.observe_ts(ts);
+                self.queue.insert(ts);
+                fx.send(
+                    from,
+                    LamportMsg::Reply {
+                        clk: self.clock.tick(),
+                    },
+                );
+            }
+            LamportMsg::Reply { clk } => {
+                self.clock.observe(clk);
+                self.acked.insert(from);
+            }
+            LamportMsg::Release { ts } => {
+                self.clock.observe_ts(ts);
+                self.queue.remove(&ts);
+            }
+        }
+        self.maybe_enter(fx);
+    }
+
+    fn in_cs(&self) -> bool {
+        self.in_cs
+    }
+
+    fn wants_cs(&self) -> bool {
+        self.my_req.is_some() && !self.in_cs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Harness;
+
+    fn harness(n: u32) -> Harness<Lamport> {
+        Harness::new((0..n).map(|i| Lamport::new(SiteId(i), n)).collect())
+    }
+
+    #[test]
+    fn single_request_costs_3_n_minus_1() {
+        let mut h = harness(5);
+        h.request(0);
+        let pre = h.settle();
+        assert!(h.sites[0].in_cs());
+        assert_eq!(pre, 8); // 4 requests + 4 replies
+        h.release(0);
+        let post = h.settle();
+        assert_eq!(post, 4); // 4 releases
+        assert_eq!(pre + post, 3 * 4);
+    }
+
+    #[test]
+    fn contention_is_safe_and_fifo_by_timestamp() {
+        let mut h = harness(4);
+        for i in 0..4 {
+            h.request(i);
+        }
+        h.drain_all(4);
+    }
+
+    #[test]
+    fn lower_timestamp_enters_first() {
+        let mut h = harness(3);
+        h.request(0);
+        h.settle();
+        assert!(h.sites[0].in_cs());
+        h.request(1);
+        h.request(2);
+        h.settle();
+        h.release(0);
+        h.settle();
+        // Site 1 requested before 2's message reached anyone, but both have
+        // distinct timestamps; ordering is by (seq, site).
+        assert_eq!(h.who_is_in_cs(), Some(1));
+    }
+
+    #[test]
+    fn single_site_system_enters_immediately() {
+        let mut h = harness(1);
+        h.request(0);
+        assert!(h.sites[0].in_cs());
+        assert_eq!(h.settle(), 0);
+        h.release(0);
+        assert_eq!(h.settle(), 0);
+    }
+
+    #[test]
+    fn wants_cs_reflects_wait_state() {
+        let mut h = harness(2);
+        h.request(0);
+        assert!(h.sites[0].wants_cs());
+        h.settle();
+        assert!(!h.sites[0].wants_cs());
+        assert!(h.sites[0].in_cs());
+    }
+
+    #[test]
+    #[should_panic(expected = "one outstanding request")]
+    fn double_request_panics() {
+        let mut h = harness(2);
+        h.request(0);
+        h.request(0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Raymond's tree-based token algorithm (1989).
+//!
+//! Sites form a static (logical) tree; each site tracks `holder`, the
+//! neighbor in whose direction the token lies. Requests travel hop by hop
+//! toward the token and the token travels back along the reversed path,
+//! flipping `holder` pointers as it goes. Average `O(log N)` messages per
+//! CS — the lowest in the paper's Table 1 — but the token's serial walk
+//! makes the synchronization delay `O(T·log N)`, and a lost token halts
+//! the system (the drawbacks §1 cites for token algorithms).
+//!
+//! This implementation uses the heap-shaped tree over `0..N` (children of
+//! `i` are `2i+1`, `2i+2`) with the token initially at the root, site 0.
+
+use qmx_core::{Effects, MsgKind, MsgMeta, Protocol, SiteId};
+use std::collections::VecDeque;
+
+/// Wire messages of Raymond's algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaymondMsg {
+    /// Ask the neighbor toward the token for the privilege.
+    Request,
+    /// The privilege token, handed to a neighbor.
+    Privilege,
+}
+
+impl MsgMeta for RaymondMsg {
+    fn kind(&self) -> MsgKind {
+        match self {
+            RaymondMsg::Request => MsgKind::Request,
+            RaymondMsg::Privilege => MsgKind::Token,
+        }
+    }
+}
+
+/// One site of Raymond's tree algorithm.
+///
+/// ```
+/// use qmx_baselines::Raymond;
+/// use qmx_core::{Effects, Protocol, SiteId};
+/// let mut leaf = Raymond::new(SiteId(5), 7); // parent is site 2
+/// let mut fx = Effects::new();
+/// leaf.request_cs(&mut fx);
+/// // The request travels one hop toward the token holder (the root).
+/// assert_eq!(fx.sends().len(), 1);
+/// assert_eq!(fx.sends()[0].0, SiteId(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Raymond {
+    site: SiteId,
+    n: u32,
+    /// Neighbor in the token's direction; `site` itself iff it holds the
+    /// token.
+    holder: SiteId,
+    /// FIFO of neighbors (or self) whose requests await the token.
+    request_q: VecDeque<SiteId>,
+    /// Whether we already asked `holder` on behalf of the queue.
+    asked: bool,
+    in_cs: bool,
+    wants: bool,
+}
+
+impl Raymond {
+    /// Creates site `site` of an `n`-site system (token at site 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is outside `0..n`.
+    pub fn new(site: SiteId, n: u32) -> Self {
+        assert!(site.0 < n, "site outside universe");
+        let holder = if site.0 == 0 {
+            site
+        } else {
+            SiteId((site.0 - 1) / 2) // parent in the heap tree
+        };
+        Raymond {
+            site,
+            n,
+            holder,
+            request_q: VecDeque::new(),
+            asked: false,
+            in_cs: false,
+            wants: false,
+        }
+    }
+
+    /// Whether this site currently holds the token.
+    pub fn has_token(&self) -> bool {
+        self.holder == self.site
+    }
+
+    /// The tree depth of this site (root = 0); the worst-case hop count for
+    /// its requests is twice the tree height.
+    pub fn depth(&self) -> u32 {
+        (self.site.0 + 1).ilog2()
+    }
+
+    fn assign_privilege(&mut self, fx: &mut Effects<RaymondMsg>) {
+        if self.holder != self.site || self.in_cs {
+            return;
+        }
+        let Some(next) = self.request_q.pop_front() else {
+            return;
+        };
+        if next == self.site {
+            self.wants = false;
+            self.in_cs = true;
+            fx.enter_cs();
+        } else {
+            self.holder = next;
+            self.asked = false;
+            fx.send(next, RaymondMsg::Privilege);
+            self.make_request(fx);
+        }
+    }
+
+    fn make_request(&mut self, fx: &mut Effects<RaymondMsg>) {
+        if self.holder != self.site && !self.request_q.is_empty() && !self.asked {
+            self.asked = true;
+            fx.send(self.holder, RaymondMsg::Request);
+        }
+    }
+
+    fn n_sites(&self) -> u32 {
+        self.n
+    }
+}
+
+impl Protocol for Raymond {
+    type Msg = RaymondMsg;
+
+    fn site(&self) -> SiteId {
+        self.site
+    }
+
+    fn request_cs(&mut self, fx: &mut Effects<RaymondMsg>) {
+        assert!(!self.wants && !self.in_cs, "one outstanding request");
+        self.wants = true;
+        self.request_q.push_back(self.site);
+        self.assign_privilege(fx);
+        self.make_request(fx);
+        let _ = self.n_sites();
+    }
+
+    fn release_cs(&mut self, fx: &mut Effects<RaymondMsg>) {
+        assert!(self.in_cs, "not in CS");
+        self.in_cs = false;
+        self.assign_privilege(fx);
+        self.make_request(fx);
+    }
+
+    fn handle(&mut self, from: SiteId, msg: RaymondMsg, fx: &mut Effects<RaymondMsg>) {
+        match msg {
+            RaymondMsg::Request => {
+                self.request_q.push_back(from);
+                self.assign_privilege(fx);
+                self.make_request(fx);
+            }
+            RaymondMsg::Privilege => {
+                debug_assert_eq!(self.holder, from, "token from unexpected direction");
+                self.holder = self.site;
+                self.asked = false;
+                self.assign_privilege(fx);
+                self.make_request(fx);
+            }
+        }
+    }
+
+    fn in_cs(&self) -> bool {
+        self.in_cs
+    }
+
+    fn wants_cs(&self) -> bool {
+        self.wants && !self.in_cs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Harness;
+
+    fn harness(n: u32) -> Harness<Raymond> {
+        Harness::new((0..n).map(|i| Raymond::new(SiteId(i), n)).collect())
+    }
+
+    #[test]
+    fn root_enters_for_free() {
+        let mut h = harness(7);
+        h.request(0);
+        assert!(h.sites[0].in_cs());
+        assert_eq!(h.settle(), 0);
+        h.release(0);
+        assert_eq!(h.settle(), 0);
+        assert!(h.sites[0].has_token());
+    }
+
+    #[test]
+    fn leaf_request_walks_the_tree() {
+        let mut h = harness(7);
+        h.request(6); // leaf at depth 2: requests 6->2->0, token 0->2->6
+        let msgs = h.settle();
+        assert!(h.sites[6].in_cs());
+        assert_eq!(msgs, 4);
+        assert!(h.sites[6].has_token());
+        // Holder pointers now lead toward site 6.
+        assert_eq!(h.sites[0].holder, SiteId(2));
+        assert_eq!(h.sites[2].holder, SiteId(6));
+    }
+
+    #[test]
+    fn contention_is_safe_and_live() {
+        let mut h = harness(7);
+        for i in [5, 1, 6, 0, 3, 2, 4] {
+            h.request(i);
+        }
+        h.drain_all(7);
+    }
+
+    #[test]
+    fn token_moves_between_siblings_through_parent() {
+        let mut h = harness(3);
+        h.request(1);
+        h.settle();
+        assert!(h.sites[1].in_cs());
+        h.release(1);
+        h.settle();
+        h.request(2);
+        let msgs = h.settle();
+        // 2 -> 0 request, then token travels 1 -> 0 -> 2.
+        assert!(h.sites[2].in_cs());
+        assert!(msgs >= 3);
+        h.release(2);
+        h.settle();
+    }
+
+    #[test]
+    fn depth_is_heap_depth() {
+        let h = harness(7);
+        assert_eq!(h.sites[0].depth(), 0);
+        assert_eq!(h.sites[2].depth(), 1);
+        assert_eq!(h.sites[6].depth(), 2);
+    }
+
+    #[test]
+    fn repeated_rounds_keep_working() {
+        let mut h = harness(7);
+        for round in 0..3 {
+            for i in 0..7 {
+                h.request(i);
+            }
+            h.drain_all(7);
+            assert_eq!(h.in_cs_count(), 0, "round {round}");
+        }
+    }
+}

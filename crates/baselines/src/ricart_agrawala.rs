@@ -1,0 +1,207 @@
+//! The Ricart–Agrawala algorithm (1981).
+//!
+//! An optimization of Lamport's algorithm that merges `release` into
+//! deferred `reply` messages: a site receiving a request while it is in the
+//! CS — or while it is requesting with higher priority — defers its reply
+//! until it exits. `2(N−1)` messages per CS, synchronization delay `T`.
+
+use qmx_core::{Effects, LamportClock, MsgKind, MsgMeta, Protocol, SiteId, Timestamp};
+use std::collections::BTreeSet;
+
+/// Wire messages of Ricart–Agrawala.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaMsg {
+    /// Broadcast CS request.
+    Request {
+        /// Timestamp of the request.
+        ts: Timestamp,
+    },
+    /// Permission (possibly deferred until the sender's CS exit).
+    Reply,
+}
+
+impl MsgMeta for RaMsg {
+    fn kind(&self) -> MsgKind {
+        match self {
+            RaMsg::Request { .. } => MsgKind::Request,
+            RaMsg::Reply => MsgKind::Reply,
+        }
+    }
+}
+
+/// One site of the Ricart–Agrawala algorithm over `n` sites.
+///
+/// ```
+/// use qmx_baselines::RicartAgrawala;
+/// use qmx_core::{Effects, Protocol, SiteId};
+/// let mut s = RicartAgrawala::new(SiteId(0), 1);
+/// let mut fx = Effects::new();
+/// s.request_cs(&mut fx); // single-site system: immediate entry
+/// assert!(s.in_cs());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RicartAgrawala {
+    site: SiteId,
+    n: u32,
+    clock: LamportClock,
+    my_req: Option<Timestamp>,
+    replies: BTreeSet<SiteId>,
+    deferred: BTreeSet<SiteId>,
+    in_cs: bool,
+}
+
+impl RicartAgrawala {
+    /// Creates site `site` of an `n`-site system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is outside `0..n`.
+    pub fn new(site: SiteId, n: u32) -> Self {
+        assert!(site.0 < n, "site outside universe");
+        RicartAgrawala {
+            site,
+            n,
+            clock: LamportClock::new(),
+            my_req: None,
+            replies: BTreeSet::new(),
+            deferred: BTreeSet::new(),
+            in_cs: false,
+        }
+    }
+
+    fn maybe_enter(&mut self, fx: &mut Effects<RaMsg>) {
+        if !self.in_cs && self.my_req.is_some() && self.replies.len() as u32 == self.n - 1 {
+            self.in_cs = true;
+            fx.enter_cs();
+        }
+    }
+}
+
+impl Protocol for RicartAgrawala {
+    type Msg = RaMsg;
+
+    fn site(&self) -> SiteId {
+        self.site
+    }
+
+    fn request_cs(&mut self, fx: &mut Effects<RaMsg>) {
+        assert!(self.my_req.is_none(), "one outstanding request per site");
+        let ts = Timestamp {
+            seq: self.clock.tick(),
+            site: self.site,
+        };
+        self.my_req = Some(ts);
+        self.replies.clear();
+        for j in (0..self.n).map(SiteId).filter(|s| *s != self.site) {
+            fx.send(j, RaMsg::Request { ts });
+        }
+        self.maybe_enter(fx);
+    }
+
+    fn release_cs(&mut self, fx: &mut Effects<RaMsg>) {
+        assert!(self.in_cs, "not in CS");
+        self.in_cs = false;
+        self.my_req = None;
+        self.replies.clear();
+        for j in std::mem::take(&mut self.deferred) {
+            fx.send(j, RaMsg::Reply);
+        }
+    }
+
+    fn handle(&mut self, from: SiteId, msg: RaMsg, fx: &mut Effects<RaMsg>) {
+        match msg {
+            RaMsg::Request { ts } => {
+                self.clock.observe_ts(ts);
+                // Defer iff we are in the CS, or we are requesting with
+                // higher priority than the incoming request.
+                let defer = self.in_cs || self.my_req.is_some_and(|my| my.beats(&ts));
+                if defer {
+                    self.deferred.insert(from);
+                } else {
+                    fx.send(from, RaMsg::Reply);
+                }
+            }
+            RaMsg::Reply => {
+                self.replies.insert(from);
+                self.maybe_enter(fx);
+            }
+        }
+    }
+
+    fn in_cs(&self) -> bool {
+        self.in_cs
+    }
+
+    fn wants_cs(&self) -> bool {
+        self.my_req.is_some() && !self.in_cs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Harness;
+
+    fn harness(n: u32) -> Harness<RicartAgrawala> {
+        Harness::new((0..n).map(|i| RicartAgrawala::new(SiteId(i), n)).collect())
+    }
+
+    #[test]
+    fn uncontended_entry_costs_2_n_minus_1() {
+        let mut h = harness(6);
+        h.request(3);
+        let pre = h.settle();
+        assert!(h.sites[3].in_cs());
+        assert_eq!(pre, 10); // 5 requests + 5 replies
+        h.release(3);
+        let post = h.settle();
+        assert_eq!(post, 0, "no release messages when nothing is deferred");
+        assert_eq!(pre + post, 2 * 5);
+    }
+
+    #[test]
+    fn deferred_reply_doubles_as_release() {
+        let mut h = harness(2);
+        h.request(0);
+        h.settle();
+        h.request(1);
+        h.settle();
+        assert!(h.sites[0].in_cs());
+        assert!(h.sites[1].wants_cs());
+        h.release(0);
+        let msgs = h.settle();
+        // Exactly one deferred reply flows 0 -> 1 and admits site 1.
+        assert_eq!(msgs, 1);
+        assert!(h.sites[1].in_cs());
+    }
+
+    #[test]
+    fn contention_is_safe_and_live() {
+        let mut h = harness(5);
+        for i in 0..5 {
+            h.request(i);
+        }
+        h.drain_all(5);
+    }
+
+    #[test]
+    fn priority_breaks_simultaneous_requests() {
+        // Both request before any message is delivered: equal sequence
+        // numbers, so the smaller site id wins.
+        let mut h = harness(2);
+        h.request(0);
+        h.request(1);
+        h.settle();
+        assert_eq!(h.who_is_in_cs(), Some(0));
+        h.release(0);
+        h.settle();
+        assert_eq!(h.who_is_in_cs(), Some(1));
+    }
+
+    #[test]
+    fn single_site_enters_immediately() {
+        let mut h = harness(1);
+        h.request(0);
+        assert!(h.sites[0].in_cs());
+    }
+}

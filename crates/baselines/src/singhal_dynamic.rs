@@ -1,0 +1,282 @@
+//! Singhal's dynamic information-structure algorithm (1992) — reference
+//! \[16\] of the paper.
+//!
+//! Each site `i` maintains a *request set* `R_i`: the sites whose
+//! permission it must collect. Initially the sets form a staircase —
+//! `R_i = {0, …, i−1}` — so that for every pair of sites at least one asks
+//! the other. The sets adapt: whenever a site grants its permission to `j`,
+//! it adds `j` to its own request set (it must ask `j` before entering
+//! again, because `j` may now be ahead of it). A site that grants a
+//! *higher-priority* request while itself waiting also forwards its own
+//! pending request to the grantee, so the pairwise-coverage invariant is
+//! maintained.
+//!
+//! At light load site `i` exchanges `2·|R_i|` messages (average `N−1`
+//! across sites, the figure the paper quotes); under sustained load the
+//! sets converge toward full and the behaviour approaches Ricart–Agrawala's
+//! `2(N−1)`. Synchronization delay is `T` (a deferred grant flows directly
+//! to the next site).
+//!
+//! **Reproduction note**: the original algorithm also *shrinks* request
+//! sets on CS exit to keep them near the staircase; the shrink rule is an
+//! optimization that does not affect safety, delay, or the light/heavy-load
+//! complexity envelope the paper's Table 1 reports, and is omitted here.
+//! Sets only grow (toward `N−1`). The invariant that makes the algorithm
+//! safe — *for every pair of sites, at least one has the other in its
+//! request set, and a site that has granted `j` re-asks `j` before its own
+//! next entry* — is enforced exactly.
+
+use qmx_core::{Effects, LamportClock, MsgKind, MsgMeta, Protocol, SiteId, Timestamp};
+use std::collections::BTreeSet;
+
+/// Wire messages of Singhal's dynamic algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SdMsg {
+    /// CS request.
+    Request {
+        /// Timestamp of the request.
+        ts: Timestamp,
+    },
+    /// Permission grant (possibly deferred until CS exit).
+    Reply,
+}
+
+impl MsgMeta for SdMsg {
+    fn kind(&self) -> MsgKind {
+        match self {
+            SdMsg::Request { .. } => MsgKind::Request,
+            SdMsg::Reply => MsgKind::Reply,
+        }
+    }
+}
+
+/// One site of Singhal's dynamic information-structure algorithm.
+///
+/// ```
+/// use qmx_baselines::SinghalDynamic;
+/// use qmx_core::{Effects, Protocol, SiteId};
+/// // The staircase: site 3 initially asks sites 0, 1, 2.
+/// let mut s = SinghalDynamic::new(SiteId(3), 5);
+/// assert_eq!(s.request_set_len(), 3);
+/// let mut fx = Effects::new();
+/// s.request_cs(&mut fx);
+/// assert_eq!(fx.sends().len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SinghalDynamic {
+    site: SiteId,
+    n: u32,
+    clock: LamportClock,
+    /// The dynamic request set `R_i` (never contains `site`).
+    request_set: BTreeSet<SiteId>,
+    my_req: Option<Timestamp>,
+    /// Sites we are awaiting a reply from for the current request.
+    awaiting: BTreeSet<SiteId>,
+    deferred: BTreeSet<SiteId>,
+    in_cs: bool,
+}
+
+impl SinghalDynamic {
+    /// Creates site `site` of an `n`-site system with the staircase
+    /// initial request set `{0, …, site−1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is outside `0..n`.
+    pub fn new(site: SiteId, n: u32) -> Self {
+        assert!(site.0 < n, "site outside universe");
+        SinghalDynamic {
+            site,
+            n,
+            clock: LamportClock::new(),
+            request_set: (0..site.0).map(SiteId).collect(),
+            my_req: None,
+            awaiting: BTreeSet::new(),
+            deferred: BTreeSet::new(),
+            in_cs: false,
+        }
+    }
+
+    /// Current size of the dynamic request set.
+    pub fn request_set_len(&self) -> usize {
+        self.request_set.len()
+    }
+
+    fn maybe_enter(&mut self, fx: &mut Effects<SdMsg>) {
+        if !self.in_cs && self.my_req.is_some() && self.awaiting.is_empty() {
+            self.in_cs = true;
+            fx.enter_cs();
+        }
+    }
+}
+
+impl Protocol for SinghalDynamic {
+    type Msg = SdMsg;
+
+    fn site(&self) -> SiteId {
+        self.site
+    }
+
+    fn request_cs(&mut self, fx: &mut Effects<SdMsg>) {
+        assert!(self.my_req.is_none(), "one outstanding request per site");
+        let ts = Timestamp {
+            seq: self.clock.tick(),
+            site: self.site,
+        };
+        self.my_req = Some(ts);
+        self.awaiting = self.request_set.clone();
+        for j in self.request_set.iter().copied().collect::<Vec<_>>() {
+            fx.send(j, SdMsg::Request { ts });
+        }
+        self.maybe_enter(fx); // site 0's initial set is empty
+        let _ = self.n;
+    }
+
+    fn release_cs(&mut self, fx: &mut Effects<SdMsg>) {
+        assert!(self.in_cs, "not in CS");
+        self.in_cs = false;
+        self.my_req = None;
+        for j in std::mem::take(&mut self.deferred) {
+            // Granting j: j may enter before our next request, so we must
+            // ask j next time (information-structure update).
+            self.request_set.insert(j);
+            fx.send(j, SdMsg::Reply);
+        }
+    }
+
+    fn handle(&mut self, from: SiteId, msg: SdMsg, fx: &mut Effects<SdMsg>) {
+        match msg {
+            SdMsg::Request { ts } => {
+                self.clock.observe_ts(ts);
+                if self.in_cs {
+                    self.deferred.insert(from);
+                } else if let Some(my) = self.my_req {
+                    if my.beats(&ts) {
+                        // We have priority: defer the grant to our exit.
+                        self.deferred.insert(from);
+                    } else {
+                        // The incoming request wins. Grant it, remember to
+                        // ask `from` next time, and — crucially — make sure
+                        // `from` knows about OUR pending request so it
+                        // grants us on exit.
+                        let first_contact = self.request_set.insert(from);
+                        fx.send(from, SdMsg::Reply);
+                        if first_contact || !self.awaiting.contains(&from) {
+                            self.awaiting.insert(from);
+                            fx.send(from, SdMsg::Request { ts: my });
+                        }
+                    }
+                } else {
+                    // Idle: grant, and ask `from` next time.
+                    self.request_set.insert(from);
+                    fx.send(from, SdMsg::Reply);
+                }
+            }
+            SdMsg::Reply => {
+                self.awaiting.remove(&from);
+                self.maybe_enter(fx);
+            }
+        }
+    }
+
+    fn in_cs(&self) -> bool {
+        self.in_cs
+    }
+
+    fn wants_cs(&self) -> bool {
+        self.my_req.is_some() && !self.in_cs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Harness;
+
+    fn harness(n: u32) -> Harness<SinghalDynamic> {
+        Harness::new((0..n).map(|i| SinghalDynamic::new(SiteId(i), n)).collect())
+    }
+
+    #[test]
+    fn staircase_initial_sets() {
+        let h = harness(4);
+        assert_eq!(h.sites[0].request_set_len(), 0);
+        assert_eq!(h.sites[3].request_set_len(), 3);
+    }
+
+    #[test]
+    fn site_zero_enters_for_free_initially() {
+        let mut h = harness(4);
+        h.request(0);
+        assert!(h.sites[0].in_cs());
+        assert_eq!(h.settle(), 0);
+    }
+
+    #[test]
+    fn light_load_costs_2_times_set_size() {
+        let mut h = harness(5);
+        h.request(3);
+        let msgs = h.settle();
+        assert!(h.sites[3].in_cs());
+        assert_eq!(msgs, 6); // |R_3| = 3 requests + 3 replies
+        h.release(3);
+        assert_eq!(h.settle(), 0);
+    }
+
+    #[test]
+    fn granting_adds_to_request_set() {
+        let mut h = harness(3);
+        h.request(2); // asks 0 and 1
+        h.settle();
+        // 0 and 1 granted site 2, so both now must ask 2 next time.
+        assert!(h.sites[0].request_set_len() >= 1);
+        assert!(h.sites[1].request_set_len() >= 2);
+        h.release(2);
+        h.settle();
+        // Now site 0 requests: it must ask site 2 (and get permission).
+        h.request(0);
+        h.settle();
+        assert!(h.sites[0].in_cs());
+    }
+
+    #[test]
+    fn pairwise_safety_after_adaptation() {
+        // The scenario that breaks naive implementations: 0 grants 2 while
+        // idle, then 0 requests — without the set update, 0 and 2 could
+        // both enter.
+        let mut h = harness(3);
+        h.request(2);
+        h.settle();
+        assert!(h.sites[2].in_cs());
+        h.request(0);
+        h.settle();
+        assert!(!h.sites[0].in_cs(), "site 0 must wait for site 2");
+        h.release(2);
+        h.settle();
+        assert!(h.sites[0].in_cs());
+    }
+
+    #[test]
+    fn contention_is_safe_and_live() {
+        let mut h = harness(5);
+        for i in [4, 2, 0, 3, 1] {
+            h.request(i);
+        }
+        h.drain_all(5);
+    }
+
+    #[test]
+    fn repeated_rounds_converge_but_stay_correct() {
+        let mut h = harness(4);
+        for _ in 0..4 {
+            for i in 0..4 {
+                h.request(i);
+            }
+            h.drain_all(4);
+        }
+        // Sets have grown toward full but never past N-1.
+        for s in &h.sites {
+            assert!(s.request_set_len() <= 3);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! The Suzuki–Kasami broadcast token algorithm (1985).
+//!
+//! A single privilege token circulates; the site holding it enters the CS
+//! locally. A site without the token broadcasts `request(n)` (its request
+//! number) to all others; the token carries, per site, the request number
+//! `LN[j]` of the last served request plus a FIFO queue of waiting sites.
+//! On exit, the holder updates `LN`, appends every site whose latest
+//! request is unserved, and ships the token to the queue head.
+//!
+//! `0` messages per CS when the holder re-enters, `N` otherwise
+//! (`N−1` requests + 1 token); synchronization delay `T`.
+
+use qmx_core::{Effects, MsgKind, MsgMeta, Protocol, SiteId};
+use std::collections::VecDeque;
+
+/// The privilege token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// `LN[j]`: request number of site `j`'s most recently served request.
+    pub ln: Vec<u64>,
+    /// Sites waiting for the token, FIFO.
+    pub queue: VecDeque<SiteId>,
+}
+
+/// Wire messages of Suzuki–Kasami.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SkMsg {
+    /// Broadcast token request with the sender's request number.
+    Request {
+        /// The sender's current request number.
+        n: u64,
+    },
+    /// The privilege token.
+    Privilege(Token),
+}
+
+impl MsgMeta for SkMsg {
+    fn kind(&self) -> MsgKind {
+        match self {
+            SkMsg::Request { .. } => MsgKind::Request,
+            SkMsg::Privilege(_) => MsgKind::Token,
+        }
+    }
+}
+
+/// One site of the Suzuki–Kasami algorithm. Site 0 initially holds the
+/// token.
+///
+/// ```
+/// use qmx_baselines::SuzukiKasami;
+/// use qmx_core::{Effects, Protocol, SiteId};
+/// let mut s0 = SuzukiKasami::new(SiteId(0), 4);
+/// assert!(s0.has_token());
+/// let mut fx = Effects::new();
+/// s0.request_cs(&mut fx); // token holder: zero-message entry
+/// assert!(s0.in_cs());
+/// assert!(fx.sends().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SuzukiKasami {
+    site: SiteId,
+    n: u32,
+    rn: Vec<u64>,
+    token: Option<Token>,
+    requesting: bool,
+    in_cs: bool,
+}
+
+impl SuzukiKasami {
+    /// Creates site `site` of an `n`-site system (token starts at site 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is outside `0..n`.
+    pub fn new(site: SiteId, n: u32) -> Self {
+        assert!(site.0 < n, "site outside universe");
+        SuzukiKasami {
+            site,
+            n,
+            rn: vec![0; n as usize],
+            token: (site.0 == 0).then(|| Token {
+                ln: vec![0; n as usize],
+                queue: VecDeque::new(),
+            }),
+            requesting: false,
+            in_cs: false,
+        }
+    }
+
+    /// Whether this site currently holds the token.
+    pub fn has_token(&self) -> bool {
+        self.token.is_some()
+    }
+
+    fn pass_token(&mut self, fx: &mut Effects<SkMsg>) {
+        let Some(token) = self.token.as_mut() else {
+            return;
+        };
+        // Append every site whose latest known request is unserved.
+        for j in 0..self.n as usize {
+            let sj = SiteId(j as u32);
+            if sj != self.site
+                && self.rn[j] == token.ln[j] + 1
+                && !token.queue.contains(&sj)
+            {
+                token.queue.push_back(sj);
+            }
+        }
+        if let Some(next) = token.queue.pop_front() {
+            let token = self.token.take().expect("checked above");
+            fx.send(next, SkMsg::Privilege(token));
+        }
+    }
+}
+
+impl Protocol for SuzukiKasami {
+    type Msg = SkMsg;
+
+    fn site(&self) -> SiteId {
+        self.site
+    }
+
+    fn request_cs(&mut self, fx: &mut Effects<SkMsg>) {
+        assert!(!self.requesting && !self.in_cs, "one outstanding request");
+        self.requesting = true;
+        if self.token.is_some() {
+            // Idle token held locally: zero-message entry.
+            self.in_cs = true;
+            fx.enter_cs();
+            return;
+        }
+        let i = self.site.index();
+        self.rn[i] += 1;
+        let n = self.rn[i];
+        for j in (0..self.n).map(SiteId).filter(|s| *s != self.site) {
+            fx.send(j, SkMsg::Request { n });
+        }
+    }
+
+    fn release_cs(&mut self, fx: &mut Effects<SkMsg>) {
+        assert!(self.in_cs, "not in CS");
+        self.in_cs = false;
+        self.requesting = false;
+        let i = self.site.index();
+        let token = self.token.as_mut().expect("in CS implies token");
+        token.ln[i] = self.rn[i];
+        self.pass_token(fx);
+    }
+
+    fn handle(&mut self, from: SiteId, msg: SkMsg, fx: &mut Effects<SkMsg>) {
+        match msg {
+            SkMsg::Request { n } => {
+                let j = from.index();
+                self.rn[j] = self.rn[j].max(n);
+                // Idle token holder ships the token immediately.
+                if !self.in_cs && !self.requesting {
+                    if let Some(token) = self.token.as_ref() {
+                        if self.rn[j] == token.ln[j] + 1 {
+                            self.pass_token(fx);
+                        }
+                    }
+                }
+            }
+            SkMsg::Privilege(token) => {
+                debug_assert!(self.token.is_none(), "duplicate token");
+                self.token = Some(token);
+                if self.requesting {
+                    self.in_cs = true;
+                    fx.enter_cs();
+                }
+            }
+        }
+    }
+
+    fn in_cs(&self) -> bool {
+        self.in_cs
+    }
+
+    fn wants_cs(&self) -> bool {
+        self.requesting && !self.in_cs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Harness;
+
+    fn harness(n: u32) -> Harness<SuzukiKasami> {
+        Harness::new((0..n).map(|i| SuzukiKasami::new(SiteId(i), n)).collect())
+    }
+
+    #[test]
+    fn holder_enters_with_zero_messages() {
+        let mut h = harness(4);
+        h.request(0);
+        assert!(h.sites[0].in_cs());
+        assert_eq!(h.settle(), 0);
+        h.release(0);
+        assert_eq!(h.settle(), 0, "token stays put with no waiters");
+        assert!(h.sites[0].has_token());
+    }
+
+    #[test]
+    fn non_holder_entry_costs_n_messages() {
+        let mut h = harness(5);
+        h.request(3);
+        let msgs = h.settle();
+        assert!(h.sites[3].in_cs());
+        assert_eq!(msgs, 5); // 4 requests + 1 token
+        assert!(h.sites[3].has_token());
+        assert!(!h.sites[0].has_token());
+    }
+
+    #[test]
+    fn token_queue_serves_waiters_in_fifo_order() {
+        let mut h = harness(3);
+        h.request(0); // holder enters immediately
+        h.settle();
+        h.request(1);
+        h.settle();
+        h.request(2);
+        h.settle();
+        assert!(h.sites[0].in_cs());
+        h.release(0);
+        h.settle();
+        assert_eq!(h.who_is_in_cs(), Some(1));
+        h.release(1);
+        h.settle();
+        assert_eq!(h.who_is_in_cs(), Some(2));
+        h.release(2);
+        h.settle();
+        assert_eq!(h.in_cs_count(), 0);
+    }
+
+    #[test]
+    fn contention_is_safe_and_live() {
+        let mut h = harness(6);
+        for i in (0..6).rev() {
+            h.request(i);
+        }
+        h.drain_all(6);
+    }
+
+    #[test]
+    fn duplicate_requests_do_not_duplicate_queue_entries() {
+        let mut h = harness(3);
+        h.request(0);
+        h.settle();
+        h.request(1);
+        h.settle();
+        // Site 1's request is recorded once in the token queue.
+        h.release(0);
+        h.settle();
+        assert_eq!(h.who_is_in_cs(), Some(1));
+        h.release(1);
+        h.settle();
+        // No phantom re-grant to site 1.
+        assert_eq!(h.in_cs_count(), 0);
+        assert!(h.sites[1].has_token());
+    }
+
+    #[test]
+    fn exactly_one_token_exists() {
+        let h = harness(5);
+        assert_eq!(h.sites.iter().filter(|s| s.has_token()).count(), 1);
+    }
+}

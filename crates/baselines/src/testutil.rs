@@ -1,0 +1,88 @@
+//! Synchronous in-crate test harness: drives a set of protocol instances by
+//! delivering messages FIFO until quiescence. Only compiled for tests.
+
+use qmx_core::{Effects, Protocol, SiteId};
+use std::collections::VecDeque;
+
+/// A tiny synchronous network of protocol instances.
+pub(crate) struct Harness<P: Protocol> {
+    pub sites: Vec<P>,
+    inflight: VecDeque<(SiteId, SiteId, P::Msg)>,
+}
+
+impl<P: Protocol> Harness<P> {
+    pub fn new(sites: Vec<P>) -> Self {
+        let mut h = Harness {
+            sites,
+            inflight: VecDeque::new(),
+        };
+        for i in 0..h.sites.len() {
+            let mut fx = Effects::new();
+            h.sites[i].on_start(&mut fx);
+            h.collect(SiteId(i as u32), &mut fx);
+        }
+        h
+    }
+
+    fn collect(&mut self, from: SiteId, fx: &mut Effects<P::Msg>) {
+        for (to, msg) in fx.take_sends() {
+            self.inflight.push_back((from, to, msg));
+        }
+    }
+
+    pub fn request(&mut self, s: u32) {
+        let mut fx = Effects::new();
+        self.sites[s as usize].request_cs(&mut fx);
+        self.collect(SiteId(s), &mut fx);
+    }
+
+    pub fn release(&mut self, s: u32) {
+        let mut fx = Effects::new();
+        self.sites[s as usize].release_cs(&mut fx);
+        self.collect(SiteId(s), &mut fx);
+    }
+
+    /// Delivers all in-flight messages (FIFO) until quiescence, asserting
+    /// the mutual exclusion invariant after every delivery. Returns the
+    /// number of messages delivered.
+    pub fn settle(&mut self) -> usize {
+        let mut count = 0;
+        while let Some((from, to, msg)) = self.inflight.pop_front() {
+            count += 1;
+            let mut fx = Effects::new();
+            self.sites[to.index()].handle(from, msg, &mut fx);
+            self.collect(to, &mut fx);
+            assert!(
+                self.in_cs_count() <= 1,
+                "mutual exclusion violated after delivery #{count}"
+            );
+        }
+        count
+    }
+
+    pub fn in_cs_count(&self) -> usize {
+        self.sites.iter().filter(|s| s.in_cs()).count()
+    }
+
+    pub fn who_is_in_cs(&self) -> Option<u32> {
+        self.sites
+            .iter()
+            .position(|s| s.in_cs())
+            .map(|i| i as u32)
+    }
+
+    /// Runs a full round-robin: everyone requests, then the CS is drained
+    /// one holder at a time. Asserts all `n` executions complete.
+    pub fn drain_all(&mut self, n: usize) {
+        self.settle();
+        let mut done = 0;
+        while let Some(cur) = self.who_is_in_cs() {
+            self.release(cur);
+            self.settle();
+            done += 1;
+            assert!(done <= n, "more CS executions than requests");
+        }
+        assert_eq!(done, n, "not all requests completed");
+        assert!(self.sites.iter().all(|s| !s.wants_cs()));
+    }
+}

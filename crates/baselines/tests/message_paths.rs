@@ -1,0 +1,238 @@
+//! Message-level path tests for the baselines: drive single wire messages
+//! and assert the exact responses, pinning down behaviours the
+//! harness-level tests only exercise in aggregate.
+
+use qmx_baselines::lamport::LamportMsg;
+use qmx_baselines::maekawa::{MaekawaBody, MaekawaMsg};
+use qmx_baselines::raymond::RaymondMsg;
+use qmx_baselines::ricart_agrawala::RaMsg;
+use qmx_baselines::suzuki_kasami::SkMsg;
+use qmx_baselines::{Lamport, Maekawa, Raymond, RicartAgrawala, SuzukiKasami};
+use qmx_core::{Effects, Protocol, SeqNum, SiteId, Timestamp};
+
+fn fx<M>() -> Effects<M> {
+    Effects::new()
+}
+
+#[test]
+fn lamport_reply_carries_a_later_clock() {
+    let mut s = Lamport::new(SiteId(1), 3);
+    let mut f = fx();
+    s.handle(
+        SiteId(0),
+        LamportMsg::Request {
+            ts: Timestamp::new(41, SiteId(0)),
+        },
+        &mut f,
+    );
+    let sends = f.take_sends();
+    assert_eq!(sends.len(), 1);
+    assert_eq!(sends[0].0, SiteId(0));
+    match sends[0].1 {
+        LamportMsg::Reply { clk } => assert!(clk > SeqNum(41), "reply clock must exceed request"),
+        ref other => panic!("expected reply, got {other:?}"),
+    }
+}
+
+#[test]
+fn lamport_release_unblocks_queued_successor() {
+    // S1 queued behind S0's earlier request: S0's release lets S1 in
+    // without any further messages (delay T).
+    let mut s1 = Lamport::new(SiteId(1), 2);
+    let mut f = fx();
+    // S0's request arrives first (earlier timestamp)...
+    s1.handle(
+        SiteId(0),
+        LamportMsg::Request {
+            ts: Timestamp::new(1, SiteId(0)),
+        },
+        &mut f,
+    );
+    // ...then S1 requests (later timestamp) and receives S0's ack.
+    s1.request_cs(&mut f);
+    s1.handle(SiteId(0), LamportMsg::Reply { clk: SeqNum(50) }, &mut f);
+    assert!(!s1.in_cs(), "S0's earlier request heads the queue");
+    let mut f2 = fx();
+    s1.handle(
+        SiteId(0),
+        LamportMsg::Release {
+            ts: Timestamp::new(1, SiteId(0)),
+        },
+        &mut f2,
+    );
+    assert!(f2.entered_cs(), "release alone admits the successor");
+}
+
+#[test]
+fn ricart_agrawala_defers_only_when_losing() {
+    let mut s = RicartAgrawala::new(SiteId(0), 2);
+    let mut f = fx();
+    s.request_cs(&mut f); // ts (1, S0)
+    f.take_sends();
+    // Lower-priority request (same seq, higher site id): deferred.
+    let mut f = fx();
+    s.handle(
+        SiteId(1),
+        RaMsg::Request {
+            ts: Timestamp::new(1, SiteId(1)),
+        },
+        &mut f,
+    );
+    assert!(f.take_sends().is_empty(), "losing request is deferred");
+    // Higher-priority request (earlier seq... impossible now for S1 whose
+    // clock saw ours, but test the rule): immediate reply.
+    let mut s2 = RicartAgrawala::new(SiteId(5), 9);
+    let mut f = fx();
+    s2.request_cs(&mut f);
+    f.take_sends();
+    let mut f = fx();
+    s2.handle(
+        SiteId(1),
+        RaMsg::Request {
+            ts: Timestamp::new(1, SiteId(1)),
+        },
+        &mut f,
+    );
+    let sends = f.take_sends();
+    assert_eq!(sends.len(), 1);
+    assert!(matches!(sends[0].1, RaMsg::Reply));
+}
+
+#[test]
+fn suzuki_kasami_stale_request_does_not_move_the_token() {
+    let mut s0 = SuzukiKasami::new(SiteId(0), 3);
+    // S1 requests with n = 1; token ships.
+    let mut f = fx();
+    s0.handle(SiteId(1), SkMsg::Request { n: 1 }, &mut f);
+    let sends = f.take_sends();
+    assert_eq!(sends.len(), 1);
+    assert!(matches!(sends[0].1, SkMsg::Privilege(_)));
+    assert!(!s0.has_token());
+    // The same request redelivered conceptually (duplicate): without the
+    // token nothing happens.
+    let mut f = fx();
+    s0.handle(SiteId(1), SkMsg::Request { n: 1 }, &mut f);
+    assert!(f.take_sends().is_empty());
+}
+
+#[test]
+fn suzuki_kasami_token_reception_without_request_parks_it() {
+    let mut s2 = SuzukiKasami::new(SiteId(2), 3);
+    let mut f = fx();
+    s2.handle(
+        SiteId(0),
+        SkMsg::Privilege(qmx_baselines::suzuki_kasami::Token {
+            ln: vec![0, 0, 0],
+            queue: std::collections::VecDeque::new(),
+        }),
+        &mut f,
+    );
+    assert!(s2.has_token());
+    assert!(!s2.in_cs(), "idle token does not imply CS entry");
+    assert!(f.take_sends().is_empty());
+}
+
+#[test]
+fn raymond_forwards_requests_toward_the_token_once() {
+    // Site 1 (parent = 0) receives requests from both children: only ONE
+    // request flows upward.
+    let mut s1 = Raymond::new(SiteId(1), 7);
+    let mut f = fx();
+    s1.handle(SiteId(3), RaymondMsg::Request, &mut f);
+    let sends = f.take_sends();
+    assert_eq!(sends, vec![(SiteId(0), RaymondMsg::Request)]);
+    let mut f = fx();
+    s1.handle(SiteId(4), RaymondMsg::Request, &mut f);
+    assert!(
+        f.take_sends().is_empty(),
+        "second child request piggybacks on the outstanding ask"
+    );
+}
+
+#[test]
+fn raymond_privilege_is_relayed_to_the_queue_head() {
+    let mut s1 = Raymond::new(SiteId(1), 7);
+    let mut f = fx();
+    s1.handle(SiteId(3), RaymondMsg::Request, &mut f);
+    f.take_sends();
+    let mut f = fx();
+    s1.handle(SiteId(0), RaymondMsg::Privilege, &mut f);
+    let sends = f.take_sends();
+    // Token relayed to child 3; s1 keeps nothing.
+    assert_eq!(sends[0], (SiteId(3), RaymondMsg::Privilege));
+    assert!(!s1.has_token());
+}
+
+#[test]
+fn maekawa_release_grants_next_in_priority_order() {
+    let mut arb = Maekawa::new(SiteId(9), vec![SiteId(9)]);
+    let r1 = Timestamp::new(1, SiteId(1));
+    let r3 = Timestamp::new(3, SiteId(3));
+    let r2 = Timestamp::new(2, SiteId(2));
+    for r in [r1, r3, r2] {
+        let mut f = fx();
+        arb.handle(
+            r.site,
+            MaekawaMsg {
+                clk: r.seq,
+                body: MaekawaBody::Request { ts: r },
+            },
+            &mut f,
+        );
+    }
+    assert_eq!(arb.lock_holder(), Some(r1));
+    let mut f = fx();
+    arb.handle(
+        SiteId(1),
+        MaekawaMsg {
+            clk: SeqNum(9),
+            body: MaekawaBody::Release { req: r1 },
+        },
+        &mut f,
+    );
+    // Priority order: r2 before r3 even though r3 arrived first.
+    assert_eq!(arb.lock_holder(), Some(r2));
+    let sends = f.take_sends();
+    assert_eq!(sends.len(), 1);
+    assert_eq!(sends[0].0, SiteId(2));
+}
+
+#[test]
+fn maekawa_inquire_to_hopeful_site_is_parked_until_fail() {
+    let mut s = Maekawa::new(SiteId(1), vec![SiteId(8), SiteId(9)]);
+    let mut f = fx();
+    s.request_cs(&mut f);
+    f.take_sends();
+    let my = Timestamp::new(1, SiteId(1));
+    // S9 grants, then inquires; S1 is hopeful (no fail yet): no yield.
+    for body in [
+        MaekawaBody::Reply { req: my },
+        MaekawaBody::Inquire { holder_req: my },
+    ] {
+        let mut f = fx();
+        s.handle(
+            SiteId(9),
+            MaekawaMsg {
+                clk: SeqNum(5),
+                body,
+            },
+            &mut f,
+        );
+        assert!(f.take_sends().is_empty());
+    }
+    // The fail from S8 flips it: the parked inquire is answered with a
+    // yield to S9.
+    let mut f = fx();
+    s.handle(
+        SiteId(8),
+        MaekawaMsg {
+            clk: SeqNum(6),
+            body: MaekawaBody::Fail { req: my },
+        },
+        &mut f,
+    );
+    let sends = f.take_sends();
+    assert_eq!(sends.len(), 1);
+    assert_eq!(sends[0].0, SiteId(9));
+    assert!(matches!(sends[0].1.body, MaekawaBody::Yield { req } if req == my));
+}

@@ -1,0 +1,117 @@
+//! Micro-benchmarks of the protocol state machines themselves: how fast is
+//! one uncontended CS round (request → replies → enter → release), and how
+//! fast does an arbiter chew through queued requests?
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qmx_baselines::Maekawa;
+use qmx_core::{Config, DelayOptimal, Effects, Protocol, SiteId};
+use qmx_quorum::grid::grid_system;
+use std::collections::VecDeque;
+
+/// Drives a set of protocol instances synchronously until quiescence.
+fn settle<P: Protocol>(sites: &mut [P], inflight: &mut VecDeque<(SiteId, SiteId, P::Msg)>) {
+    while let Some((from, to, msg)) = inflight.pop_front() {
+        let mut fx = Effects::new();
+        sites[to.index()].handle(from, msg, &mut fx);
+        for (t, m) in fx.take_sends() {
+            inflight.push_back((to, t, m));
+        }
+    }
+}
+
+fn full_round<P: Protocol>(sites: &mut [P], requester: usize) {
+    let mut inflight = VecDeque::new();
+    let mut fx = Effects::new();
+    sites[requester].request_cs(&mut fx);
+    for (t, m) in fx.take_sends() {
+        inflight.push_back((SiteId(requester as u32), t, m));
+    }
+    settle(sites, &mut inflight);
+    assert!(sites[requester].in_cs());
+    sites[requester].release_cs(&mut fx);
+    for (t, m) in fx.take_sends() {
+        inflight.push_back((SiteId(requester as u32), t, m));
+    }
+    settle(sites, &mut inflight);
+}
+
+fn delay_optimal_sites(n: usize) -> Vec<DelayOptimal> {
+    let sys = grid_system(n);
+    (0..n)
+        .map(|i| {
+            DelayOptimal::new(
+                SiteId(i as u32),
+                sys.quorum_of(SiteId(i as u32)).to_vec(),
+                Config::default(),
+            )
+        })
+        .collect()
+}
+
+fn maekawa_sites(n: usize) -> Vec<Maekawa> {
+    let sys = grid_system(n);
+    (0..n)
+        .map(|i| Maekawa::new(SiteId(i as u32), sys.quorum_of(SiteId(i as u32)).to_vec()))
+        .collect()
+}
+
+fn bench_uncontended_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uncontended_cs_round");
+    for n in [9usize, 25, 100] {
+        g.bench_function(format!("delay_optimal_n{n}"), |b| {
+            b.iter_batched_ref(
+                || delay_optimal_sites(n),
+                |sites| full_round(sites, 0),
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("maekawa_n{n}"), |b| {
+            b.iter_batched_ref(
+                || maekawa_sites(n),
+                |sites| full_round(sites, 0),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_contended_burst(c: &mut Criterion) {
+    // All sites request simultaneously, then the CS drains in turn — the
+    // arbiter hot path with transfers, inquires, fails and yields.
+    let mut g = c.benchmark_group("contended_burst");
+    for n in [9usize, 25] {
+        g.bench_function(format!("delay_optimal_n{n}"), |b| {
+            b.iter_batched_ref(
+                || delay_optimal_sites(n),
+                |sites| {
+                    let mut inflight = VecDeque::new();
+                    for (i, site) in sites.iter_mut().enumerate() {
+                        let mut fx = Effects::new();
+                        site.request_cs(&mut fx);
+                        for (t, m) in fx.take_sends() {
+                            inflight.push_back((SiteId(i as u32), t, m));
+                        }
+                    }
+                    settle(sites, &mut inflight);
+                    let mut served = 0;
+                    while let Some(cur) = sites.iter().position(|s| s.in_cs()) {
+                        let mut fx = Effects::new();
+                        sites[cur].release_cs(&mut fx);
+                        for (t, m) in fx.take_sends() {
+                            inflight.push_back((SiteId(cur as u32), t, m));
+                        }
+                        settle(sites, &mut inflight);
+                        served += 1;
+                    }
+                    assert_eq!(served, n);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_uncontended_round, bench_contended_burst);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! E9: ablation — disable reply forwarding, watch the delay revert to 2T.
+fn main() {
+    println!("{}", qmx_bench::experiments::ablation(25));
+}

@@ -1,0 +1,4 @@
+//! E7: availability vs per-site reliability for every construction.
+fn main() {
+    println!("{}", qmx_bench::experiments::availability_curves());
+}

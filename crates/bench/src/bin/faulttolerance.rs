@@ -1,0 +1,4 @@
+//! E8: liveness under a mid-run site crash (§6 failure handling).
+fn main() {
+    println!("{}", qmx_bench::experiments::fault_tolerance(7, 1));
+}

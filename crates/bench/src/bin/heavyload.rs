@@ -1,0 +1,4 @@
+//! E3: heavy-load behaviour (§5.2): 5(K-1)..6(K-1) messages, delay T.
+fn main() {
+    println!("{}", qmx_bench::experiments::heavy_load_detail(&[9, 25, 49]));
+}

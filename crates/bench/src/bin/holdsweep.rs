@@ -1,0 +1,4 @@
+//! E10: sync delay vs CS execution time (overlap effect).
+fn main() {
+    println!("{}", qmx_bench::experiments::sync_delay_vs_hold(25));
+}

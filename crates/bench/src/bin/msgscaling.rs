@@ -1,0 +1,4 @@
+//! E11: message complexity vs N per quorum construction.
+fn main() {
+    println!("{}", qmx_bench::experiments::message_scaling());
+}

@@ -1,0 +1,4 @@
+//! E6: quorum size K vs N for every construction.
+fn main() {
+    println!("{}", qmx_bench::experiments::quorum_sizes());
+}

@@ -1,0 +1,4 @@
+//! E4: synchronization delay vs load — proposed (T) vs Maekawa (2T).
+fn main() {
+    println!("{}", qmx_bench::experiments::sync_delay_sweep(25));
+}

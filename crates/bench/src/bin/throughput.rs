@@ -1,0 +1,4 @@
+//! E5: throughput and waiting time vs load.
+fn main() {
+    println!("{}", qmx_bench::experiments::throughput_sweep(25));
+}

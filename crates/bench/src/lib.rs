@@ -1,0 +1,8 @@
+//! # qmx-bench
+//!
+//! Experiment harness for reproducing the paper's tables and figures.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,531 @@
+//! # qmx-check
+//!
+//! A bounded exhaustive model checker for `qmx` mutual exclusion
+//! protocols.
+//!
+//! Randomized simulation samples one delivery order per seed; the checker
+//! instead explores **every** reachable interleaving of the system model
+//! of §2 of the paper — asynchronous message passing with per-link FIFO
+//! channels — for a bounded workload (each site enters the CS a bounded
+//! number of times, with instantaneous-but-interleavable CS occupancy).
+//!
+//! At every state the checker verifies:
+//!
+//! * **Safety** — at most one site is in its critical section
+//!   ([`Violation::MutualExclusion`]);
+//! * **No wedging** — a state with no enabled action must be fully served:
+//!   no site still wants the CS and no work remains
+//!   ([`Violation::Deadlock`]);
+//! * **Boundedness** — the state space stays under a configured cap
+//!   (a proxy for unbounded message storms, [`Violation::StateLimit`]).
+//!
+//! On failure it returns the exact action trace (request / deliver / exit
+//! sequence) reproducing the bug — invaluable for protocols like this one
+//! whose interesting bugs hide in cross-channel races that per-link FIFO
+//! cannot order. Checking is exhaustive for the configured scope, so a
+//! clean pass is a proof of Theorems 1 and 2 *within that scope*.
+//!
+//! ```
+//! use qmx_check::{check, Workload};
+//! use qmx_core::{Config, DelayOptimal, SiteId};
+//!
+//! // Two sites, shared quorum {0, 1}, one CS entry each: every
+//! // interleaving is safe and deadlock-free.
+//! let quorum = vec![SiteId(0), SiteId(1)];
+//! let sites: Vec<DelayOptimal> = (0..2)
+//!     .map(|i| DelayOptimal::new(SiteId(i), quorum.clone(), Config::default()))
+//!     .collect();
+//! let stats = check(sites, &Workload::uniform(2, 1), 100_000).expect("verified");
+//! assert!(stats.states > 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use qmx_core::{Effects, Protocol, SiteId};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::fmt;
+
+/// One transition of the explored system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// The application at `site` issues its next CS request.
+    Request(SiteId),
+    /// The head message of the `from → to` channel is delivered.
+    Deliver {
+        /// Sending site.
+        from: SiteId,
+        /// Receiving site.
+        to: SiteId,
+    },
+    /// The site currently in the CS leaves it.
+    Exit(SiteId),
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Request(s) => write!(f, "request@{s}"),
+            Action::Deliver { from, to } => write!(f, "deliver {from}->{to}"),
+            Action::Exit(s) => write!(f, "exit@{s}"),
+        }
+    }
+}
+
+/// A property violation, with the action trace that reaches it from the
+/// initial state.
+#[derive(Debug, Clone)]
+pub enum Violation {
+    /// Two sites were simultaneously in the CS.
+    MutualExclusion {
+        /// Actions from the initial state to the violation.
+        trace: Vec<Action>,
+        /// The two overlapping sites.
+        sites: (SiteId, SiteId),
+    },
+    /// A state with no enabled action still has unserved demand.
+    Deadlock {
+        /// Actions from the initial state to the deadlock.
+        trace: Vec<Action>,
+        /// Sites that still want the CS.
+        stuck: Vec<SiteId>,
+    },
+    /// Exploration exceeded the state cap.
+    StateLimit {
+        /// The cap that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MutualExclusion { trace, sites } => {
+                writeln!(
+                    f,
+                    "mutual exclusion violated: {} and {} overlap after:",
+                    sites.0, sites.1
+                )?;
+                for a in trace {
+                    writeln!(f, "  {a}")?;
+                }
+                Ok(())
+            }
+            Violation::Deadlock { trace, stuck } => {
+                writeln!(f, "deadlock: {stuck:?} still waiting after:")?;
+                for a in trace {
+                    writeln!(f, "  {a}")?;
+                }
+                Ok(())
+            }
+            Violation::StateLimit { limit } => {
+                write!(f, "state space exceeded the cap of {limit} states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// How many CS entries each site performs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    rounds: Vec<u32>,
+}
+
+impl Workload {
+    /// Every one of `n` sites enters `rounds` times.
+    pub fn uniform(n: usize, rounds: u32) -> Self {
+        Workload {
+            rounds: vec![rounds; n],
+        }
+    }
+
+    /// Per-site round counts.
+    pub fn per_site(rounds: Vec<u32>) -> Self {
+        Workload { rounds }
+    }
+}
+
+/// Exploration statistics from a successful check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions taken (including ones into already-visited states).
+    pub transitions: usize,
+    /// Terminal (fully served, quiescent) states found.
+    pub terminals: usize,
+    /// Length of the longest explored action sequence.
+    pub max_depth: usize,
+}
+
+struct State<P: Protocol> {
+    sites: Vec<P>,
+    channels: BTreeMap<(SiteId, SiteId), VecDeque<P::Msg>>,
+    remaining: Vec<u32>,
+}
+
+impl<P: Protocol + Clone> Clone for State<P> {
+    fn clone(&self) -> Self {
+        State {
+            sites: self.sites.clone(),
+            channels: self.channels.clone(),
+            remaining: self.remaining.clone(),
+        }
+    }
+}
+
+impl<P: Protocol + fmt::Debug> State<P>
+where
+    P::Msg: fmt::Debug,
+{
+    fn fingerprint(&self) -> String {
+        // Debug output of every behaviour-relevant component. Channels with
+        // no queued messages are dropped so "sent and delivered" equals
+        // "never sent".
+        let mut s = String::new();
+        for site in &self.sites {
+            s.push_str(&format!("{site:?};"));
+        }
+        for ((f, t), q) in &self.channels {
+            if !q.is_empty() {
+                s.push_str(&format!("{f}->{t}:{q:?};"));
+            }
+        }
+        s.push_str(&format!("{:?}", self.remaining));
+        s
+    }
+}
+
+impl<P: Protocol> State<P> {
+    fn in_cs_sites(&self) -> Vec<SiteId> {
+        self.sites
+            .iter()
+            .filter(|s| s.in_cs())
+            .map(|s| s.site())
+            .collect()
+    }
+
+    fn enabled(&self) -> Vec<Action> {
+        let mut acts = Vec::new();
+        for (i, s) in self.sites.iter().enumerate() {
+            if s.in_cs() {
+                acts.push(Action::Exit(SiteId(i as u32)));
+            } else if self.remaining[i] > 0 && !s.wants_cs() {
+                acts.push(Action::Request(SiteId(i as u32)));
+            }
+        }
+        for ((from, to), q) in &self.channels {
+            if !q.is_empty() {
+                acts.push(Action::Deliver {
+                    from: *from,
+                    to: *to,
+                });
+            }
+        }
+        acts
+    }
+
+    /// Applies `action`, pushing any sends onto the channels. Returns the
+    /// sites that (newly) entered the CS.
+    fn apply(&mut self, action: Action) {
+        let mut fx = Effects::new();
+        let actor = match action {
+            Action::Request(s) => {
+                self.remaining[s.index()] -= 1;
+                self.sites[s.index()].request_cs(&mut fx);
+                s
+            }
+            Action::Exit(s) => {
+                self.sites[s.index()].release_cs(&mut fx);
+                s
+            }
+            Action::Deliver { from, to } => {
+                let msg = self
+                    .channels
+                    .get_mut(&(from, to))
+                    .and_then(VecDeque::pop_front)
+                    .expect("enabled deliver has a queued message");
+                self.sites[to.index()].handle(from, msg, &mut fx);
+                to
+            }
+        };
+        let (sends, _entered) = fx.drain();
+        for (to, msg) in sends {
+            self.channels.entry((actor, to)).or_default().push_back(msg);
+        }
+    }
+}
+
+/// Exhaustively explores every interleaving of `sites` running `workload`.
+///
+/// Returns exploration statistics, or the first [`Violation`] found with a
+/// reproducing trace.
+///
+/// # Errors
+///
+/// [`Violation::MutualExclusion`] / [`Violation::Deadlock`] on a property
+/// violation; [`Violation::StateLimit`] if more than `max_states` distinct
+/// states are reachable.
+///
+/// # Panics
+///
+/// Panics if `workload` does not cover exactly `sites.len()` sites.
+pub fn check<P>(sites: Vec<P>, workload: &Workload, max_states: usize) -> Result<CheckStats, Violation>
+where
+    P: Protocol + Clone + fmt::Debug,
+    P::Msg: Clone + fmt::Debug,
+{
+    assert_eq!(
+        sites.len(),
+        workload.rounds.len(),
+        "workload must cover every site"
+    );
+    let mut init = State {
+        sites,
+        channels: BTreeMap::new(),
+        remaining: workload.rounds.clone(),
+    };
+    // on_start (token placement etc.) happens before exploration.
+    for i in 0..init.sites.len() {
+        let mut fx = Effects::new();
+        init.sites[i].on_start(&mut fx);
+        let me = SiteId(i as u32);
+        for (to, msg) in fx.take_sends() {
+            init.channels.entry((me, to)).or_default().push_back(msg);
+        }
+    }
+
+    let mut visited: HashSet<String> = HashSet::new();
+    visited.insert(init.fingerprint());
+    // DFS with explicit stack; each frame owns a state and its unexplored
+    // actions. The current path of actions doubles as the counterexample
+    // trace.
+    struct Frame<P: Protocol> {
+        state: State<P>,
+        todo: Vec<Action>,
+    }
+    let init_todo = init.enabled();
+    let mut stack: Vec<Frame<P>> = vec![Frame {
+        state: init,
+        todo: init_todo,
+    }];
+    let mut path: Vec<Action> = Vec::new();
+    let mut stats = CheckStats {
+        states: 1,
+        transitions: 0,
+        terminals: 0,
+        max_depth: 0,
+    };
+
+    while let Some(frame) = stack.last_mut() {
+        let Some(action) = frame.todo.pop() else {
+            stack.pop();
+            path.pop();
+            continue;
+        };
+        let mut next = frame.state.clone();
+        next.apply(action);
+        path.push(action);
+        stats.transitions += 1;
+        stats.max_depth = stats.max_depth.max(path.len());
+
+        // Safety.
+        let occupants = next.in_cs_sites();
+        if occupants.len() > 1 {
+            return Err(Violation::MutualExclusion {
+                trace: path.clone(),
+                sites: (occupants[0], occupants[1]),
+            });
+        }
+
+        let fp = next.fingerprint();
+        if !visited.insert(fp) {
+            path.pop();
+            continue; // already explored
+        }
+        stats.states += 1;
+        if stats.states > max_states {
+            return Err(Violation::StateLimit { limit: max_states });
+        }
+
+        let todo = next.enabled();
+        if todo.is_empty() {
+            // Terminal: must be fully served.
+            let stuck: Vec<SiteId> = next
+                .sites
+                .iter()
+                .filter(|s| s.wants_cs() || s.in_cs())
+                .map(|s| s.site())
+                .collect();
+            let undone = next.remaining.iter().any(|&r| r > 0);
+            if !stuck.is_empty() || undone {
+                return Err(Violation::Deadlock {
+                    trace: path.clone(),
+                    stuck,
+                });
+            }
+            stats.terminals += 1;
+            path.pop();
+            continue;
+        }
+        stack.push(Frame { state: next, todo });
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmx_core::{Config, DelayOptimal};
+
+    fn duo() -> Vec<DelayOptimal> {
+        let quorum = vec![SiteId(0), SiteId(1)];
+        (0..2)
+            .map(|i| DelayOptimal::new(SiteId(i), quorum.clone(), Config::default()))
+            .collect()
+    }
+
+    #[test]
+    fn two_sites_one_round_each_verifies() {
+        let stats = check(duo(), &Workload::uniform(2, 1), 1_000_000).expect("verified");
+        assert!(stats.states > 20);
+        assert!(stats.terminals >= 1);
+        assert!(stats.max_depth >= 8);
+    }
+
+    #[test]
+    fn two_sites_two_rounds_each_verifies() {
+        let stats = check(duo(), &Workload::uniform(2, 2), 5_000_000).expect("verified");
+        assert!(stats.states > 100);
+    }
+
+    #[test]
+    fn asymmetric_workload() {
+        let stats =
+            check(duo(), &Workload::per_site(vec![3, 1]), 5_000_000).expect("verified");
+        assert!(stats.terminals >= 1);
+    }
+
+    #[test]
+    fn state_limit_is_reported() {
+        let err = check(duo(), &Workload::uniform(2, 2), 10).unwrap_err();
+        assert!(matches!(err, Violation::StateLimit { limit: 10 }));
+        assert!(err.to_string().contains("cap of 10"));
+    }
+
+    /// A deliberately broken "protocol" that enters the CS immediately on
+    /// request without any coordination: the checker must produce a
+    /// mutual-exclusion counterexample.
+    #[derive(Debug, Clone)]
+    struct Broken {
+        site: SiteId,
+        in_cs: bool,
+    }
+
+    #[derive(Debug, Clone)]
+    enum NoMsg {}
+    impl qmx_core::MsgMeta for NoMsg {
+        fn kind(&self) -> qmx_core::MsgKind {
+            qmx_core::MsgKind::Info
+        }
+    }
+
+    impl Protocol for Broken {
+        type Msg = NoMsg;
+        fn site(&self) -> SiteId {
+            self.site
+        }
+        fn request_cs(&mut self, fx: &mut Effects<NoMsg>) {
+            self.in_cs = true;
+            fx.enter_cs();
+        }
+        fn release_cs(&mut self, _fx: &mut Effects<NoMsg>) {
+            self.in_cs = false;
+        }
+        fn handle(&mut self, _from: SiteId, msg: NoMsg, _fx: &mut Effects<NoMsg>) {
+            match msg {}
+        }
+        fn in_cs(&self) -> bool {
+            self.in_cs
+        }
+        fn wants_cs(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn broken_protocol_yields_counterexample() {
+        let sites = vec![
+            Broken {
+                site: SiteId(0),
+                in_cs: false,
+            },
+            Broken {
+                site: SiteId(1),
+                in_cs: false,
+            },
+        ];
+        let err = check(sites, &Workload::uniform(2, 1), 10_000).unwrap_err();
+        match err {
+            Violation::MutualExclusion { trace, .. } => {
+                assert_eq!(trace.len(), 2, "two requests suffice");
+                assert!(trace.iter().all(|a| matches!(a, Action::Request(_))));
+            }
+            other => panic!("expected mutual exclusion violation, got {other}"),
+        }
+    }
+
+    /// A "protocol" that never grants: the checker must report deadlock.
+    #[derive(Debug, Clone)]
+    struct Stuck {
+        site: SiteId,
+        wants: bool,
+    }
+
+    impl Protocol for Stuck {
+        type Msg = NoMsg;
+        fn site(&self) -> SiteId {
+            self.site
+        }
+        fn request_cs(&mut self, _fx: &mut Effects<NoMsg>) {
+            self.wants = true;
+        }
+        fn release_cs(&mut self, _fx: &mut Effects<NoMsg>) {}
+        fn handle(&mut self, _from: SiteId, msg: NoMsg, _fx: &mut Effects<NoMsg>) {
+            match msg {}
+        }
+        fn in_cs(&self) -> bool {
+            false
+        }
+        fn wants_cs(&self) -> bool {
+            self.wants
+        }
+    }
+
+    #[test]
+    fn stuck_protocol_yields_deadlock() {
+        let sites = vec![Stuck {
+            site: SiteId(0),
+            wants: false,
+        }];
+        let err = check(sites, &Workload::uniform(1, 1), 10_000).unwrap_err();
+        assert!(matches!(err, Violation::Deadlock { .. }));
+        assert!(err.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn action_display() {
+        assert_eq!(Action::Request(SiteId(1)).to_string(), "request@S1");
+        assert_eq!(
+            Action::Deliver {
+                from: SiteId(0),
+                to: SiteId(2)
+            }
+            .to_string(),
+            "deliver S0->S2"
+        );
+        assert_eq!(Action::Exit(SiteId(0)).to_string(), "exit@S0");
+    }
+}

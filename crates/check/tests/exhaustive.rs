@@ -1,0 +1,193 @@
+//! Exhaustive verification of every algorithm at small scope: all
+//! FIFO-respecting interleavings of requests, deliveries and exits are
+//! explored; mutual exclusion and deadlock freedom hold in each.
+//!
+//! Within these scopes this is a *proof* of Theorems 1 and 2 of the paper
+//! (and of the baselines' classic results), not a sampling argument.
+
+use qmx_baselines::{
+    CarvalhoRoucairol, Lamport, Maekawa, Raymond, RicartAgrawala, SinghalDynamic, SuzukiKasami,
+};
+use qmx_check::{check, CheckStats, Workload};
+use qmx_core::{Config, DelayOptimal, SiteId};
+
+fn full_quorum(n: u32) -> Vec<Vec<SiteId>> {
+    (0..n).map(|_| (0..n).map(SiteId).collect()).collect()
+}
+
+fn delay_optimal(quorums: Vec<Vec<SiteId>>, forwarding: bool) -> Vec<DelayOptimal> {
+    quorums
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| {
+            DelayOptimal::new(
+                SiteId(i as u32),
+                q,
+                Config {
+                    forwarding_enabled: forwarding,
+                },
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn delay_optimal_three_sites_full_quorum_exhaustive() {
+    let stats = check(
+        delay_optimal(full_quorum(3), true),
+        &Workload::uniform(3, 1),
+        2_000_000,
+    )
+    .expect("all interleavings safe and live");
+    // ~94k states; meaningful exploration happened.
+    assert!(stats.states > 50_000, "states = {}", stats.states);
+    assert!(stats.terminals >= 1);
+}
+
+#[test]
+fn delay_optimal_paper_coterie_exhaustive() {
+    // The coterie from §2 of the paper: C = {{a,b},{b,c}} with b = S1 the
+    // common arbiter. Asymmetric quorums exercise the proxy-forwarding
+    // paths differently from the symmetric full-quorum case.
+    let quorums = vec![
+        vec![SiteId(0), SiteId(1)],
+        vec![SiteId(1), SiteId(2)],
+        vec![SiteId(1), SiteId(2)],
+    ];
+    let stats = check(
+        delay_optimal(quorums.clone(), true),
+        &Workload::uniform(3, 2),
+        5_000_000,
+    )
+    .expect("paper coterie verified");
+    assert!(stats.states > 1_000);
+
+    // Same coterie with forwarding disabled (the ablation) must also hold.
+    let stats = check(
+        delay_optimal(quorums, false),
+        &Workload::uniform(3, 2),
+        5_000_000,
+    )
+    .expect("ablation verified");
+    assert!(stats.states > 500);
+}
+
+#[test]
+fn delay_optimal_two_sites_three_rounds_exhaustive() {
+    let stats = check(
+        delay_optimal(full_quorum(2), true),
+        &Workload::uniform(2, 3),
+        1_000_000,
+    )
+    .expect("repeated rounds verified");
+    assert!(stats.states > 1_000);
+}
+
+#[test]
+fn delay_optimal_disjoint_arbiter_exhaustive() {
+    // A dedicated arbiter (site 2) that never requests: quorums {0,2} and
+    // {1,2} — the smallest scope where ALL grants to one requester flow
+    // through an arbiter that is not in the other's quorum.
+    let quorums = vec![
+        vec![SiteId(0), SiteId(2)],
+        vec![SiteId(1), SiteId(2)],
+        vec![SiteId(2)],
+    ];
+    let stats = check(
+        delay_optimal(quorums, true),
+        &Workload::per_site(vec![2, 2, 0]),
+        5_000_000,
+    )
+    .expect("dedicated arbiter verified");
+    assert!(stats.states > 500);
+}
+
+fn assert_verified(stats: CheckStats, label: &str) {
+    assert!(stats.states > 50, "{label}: states = {}", stats.states);
+    assert!(stats.terminals >= 1, "{label}: no terminal state");
+}
+
+#[test]
+fn maekawa_exhaustive() {
+    let sites: Vec<Maekawa> = (0..3)
+        .map(|i| Maekawa::new(SiteId(i), (0..3).map(SiteId).collect()))
+        .collect();
+    let stats = check(sites, &Workload::uniform(3, 1), 2_000_000).expect("maekawa verified");
+    assert_verified(stats, "maekawa");
+}
+
+#[test]
+fn lamport_exhaustive() {
+    let sites: Vec<Lamport> = (0..3).map(|i| Lamport::new(SiteId(i), 3)).collect();
+    let stats = check(sites, &Workload::uniform(3, 1), 2_000_000).expect("lamport verified");
+    assert_verified(stats, "lamport");
+}
+
+#[test]
+fn ricart_agrawala_exhaustive() {
+    let sites: Vec<RicartAgrawala> = (0..3)
+        .map(|i| RicartAgrawala::new(SiteId(i), 3))
+        .collect();
+    let stats = check(sites, &Workload::uniform(3, 1), 2_000_000).expect("ra verified");
+    assert_verified(stats, "ricart-agrawala");
+}
+
+#[test]
+fn suzuki_kasami_exhaustive() {
+    let sites: Vec<SuzukiKasami> = (0..3).map(|i| SuzukiKasami::new(SiteId(i), 3)).collect();
+    let stats = check(sites, &Workload::uniform(3, 2), 2_000_000).expect("sk verified");
+    assert_verified(stats, "suzuki-kasami");
+}
+
+#[test]
+fn raymond_exhaustive() {
+    let sites: Vec<Raymond> = (0..3).map(|i| Raymond::new(SiteId(i), 3)).collect();
+    let stats = check(sites, &Workload::uniform(3, 2), 2_000_000).expect("raymond verified");
+    assert_verified(stats, "raymond");
+}
+
+#[test]
+fn carvalho_roucairol_exhaustive() {
+    let sites: Vec<CarvalhoRoucairol> = (0..3)
+        .map(|i| CarvalhoRoucairol::new(SiteId(i), 3))
+        .collect();
+    let stats = check(sites, &Workload::uniform(3, 2), 2_000_000).expect("cr verified");
+    assert_verified(stats, "carvalho-roucairol");
+}
+
+#[test]
+fn singhal_dynamic_exhaustive() {
+    let sites: Vec<SinghalDynamic> = (0..3)
+        .map(|i| SinghalDynamic::new(SiteId(i), 3))
+        .collect();
+    let stats = check(sites, &Workload::uniform(3, 2), 2_000_000).expect("singhal verified");
+    assert_verified(stats, "singhal-dynamic");
+}
+
+#[test]
+fn delay_optimal_grid_quorums_four_sites_exhaustive() {
+    // 2x2 grid: site i's quorum is its row ∪ column (K = 3), the smallest
+    // scope with *asymmetric overlapping* quorums where a site arbitrates
+    // for some-but-not-all others. One round each.
+    let quorums: Vec<Vec<SiteId>> = (0..4)
+        .map(|s| {
+            let (r, c) = (s / 2, s % 2);
+            let mut q = vec![
+                SiteId((r * 2) as u32),
+                SiteId((r * 2 + 1) as u32),
+                SiteId(c as u32),
+                SiteId((2 + c) as u32),
+            ];
+            q.sort_unstable();
+            q.dedup();
+            q
+        })
+        .collect();
+    let stats = check(
+        delay_optimal(quorums, true),
+        &Workload::per_site(vec![1, 1, 1, 0]),
+        20_000_000,
+    )
+    .expect("grid quorums verified");
+    assert!(stats.states > 10_000, "states = {}", stats.states);
+}

@@ -1,0 +1,398 @@
+//! Hand-rolled argument parsing (no external dependency): `--key value`
+//! flags after a subcommand.
+
+use qmx_sim::DelayModel;
+use qmx_workload::scenario::{Algorithm, QuorumSpec};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand to execute.
+    pub command: Command,
+}
+
+/// Subcommands of `qmxctl`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one simulation scenario and print the report.
+    Run {
+        /// Algorithm under test.
+        algorithm: Algorithm,
+        /// Number of sites.
+        n: usize,
+        /// Quorum construction.
+        quorum: QuorumSpec,
+        /// Poisson mean inter-arrival gap, in units of T (0 = saturated).
+        gap_t: u64,
+        /// Arrival window in units of T.
+        horizon_t: u64,
+        /// Message delay model.
+        delay: DelayModel,
+        /// CS hold in ticks.
+        hold: u64,
+        /// Seed.
+        seed: u64,
+        /// Crashes as `site:time_t` pairs.
+        crashes: Vec<(u32, u64)>,
+    },
+    /// Print a quorum system and its properties.
+    Quorum {
+        /// Construction name.
+        kind: QuorumSpec,
+        /// Number of sites.
+        n: usize,
+    },
+    /// Exhaustively model-check the delay-optimal protocol.
+    Check {
+        /// Number of sites (full quorums).
+        n: u32,
+        /// CS rounds per site.
+        rounds: u32,
+        /// State cap.
+        max_states: usize,
+    },
+    /// Reproduce one of the paper's experiments (E1–E10).
+    Experiment {
+        /// Experiment name (`table1`, `lightload`, …).
+        name: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+qmxctl — delay-optimal quorum mutual exclusion toolbox
+
+USAGE:
+  qmxctl run [--alg A] [--n N] [--quorum Q] [--gap G] [--horizon H]
+             [--delay D] [--hold E] [--seed S] [--crash site:timeT ...]
+  qmxctl quorum --kind Q --n N
+  qmxctl check [--n N] [--rounds R] [--max-states M]
+  qmxctl experiment NAME
+  qmxctl help
+
+WHERE:
+  A = delay-optimal | no-forwarding | ft-tree | ft-majority | maekawa |
+      lamport | ricart-agrawala | carvalho-roucairol | suzuki-kasami |
+      raymond | singhal
+  Q = grid | fpp | tree | hqc | majority | wheel | wall | all |
+      gridset:G | rst:G
+  G = mean Poisson gap in T units (0 = saturated load)
+  D = const:TICKS | uniform:LO:HI | exp:MEAN
+  NAME = table1 | lightload | heavyload | syncdelay | throughput |
+         quorumsize | availability | faulttolerance | ablation |
+         holdsweep | msgscaling
+";
+
+fn parse_algorithm(s: &str) -> Result<Algorithm, ParseError> {
+    Ok(match s {
+        "delay-optimal" => Algorithm::DelayOptimal,
+        "no-forwarding" => Algorithm::DelayOptimalNoForwarding,
+        "ft-tree" => Algorithm::DelayOptimalFtTree,
+        "ft-majority" => Algorithm::DelayOptimalFtMajority,
+        "maekawa" => Algorithm::Maekawa,
+        "lamport" => Algorithm::Lamport,
+        "ricart-agrawala" => Algorithm::RicartAgrawala,
+        "suzuki-kasami" => Algorithm::SuzukiKasami,
+        "raymond" => Algorithm::Raymond,
+        "singhal" => Algorithm::SinghalDynamic,
+        "carvalho-roucairol" => Algorithm::CarvalhoRoucairol,
+        other => return err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+fn parse_quorum(s: &str) -> Result<QuorumSpec, ParseError> {
+    if let Some(g) = s.strip_prefix("gridset:") {
+        let g = g
+            .parse()
+            .map_err(|_| ParseError(format!("bad group size in '{s}'")))?;
+        return Ok(QuorumSpec::GridSet(g));
+    }
+    if let Some(g) = s.strip_prefix("rst:") {
+        let g = g
+            .parse()
+            .map_err(|_| ParseError(format!("bad group size in '{s}'")))?;
+        return Ok(QuorumSpec::Rst(g));
+    }
+    Ok(match s {
+        "grid" => QuorumSpec::Grid,
+        "fpp" => QuorumSpec::Fpp,
+        "tree" => QuorumSpec::Tree,
+        "hqc" => QuorumSpec::Hqc,
+        "majority" => QuorumSpec::Majority,
+        "wheel" => QuorumSpec::Wheel,
+        "wall" => QuorumSpec::Wall,
+        "all" => QuorumSpec::All,
+        other => return err(format!("unknown quorum construction '{other}'")),
+    })
+}
+
+fn parse_delay(s: &str) -> Result<DelayModel, ParseError> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let num = |x: &str| -> Result<u64, ParseError> {
+        x.parse()
+            .map_err(|_| ParseError(format!("bad number in delay '{s}'")))
+    };
+    match parts.as_slice() {
+        ["const", t] => Ok(DelayModel::Constant(num(t)?)),
+        ["exp", m] => Ok(DelayModel::Exponential { mean: num(m)? }),
+        ["uniform", lo, hi] => Ok(DelayModel::Uniform {
+            lo: num(lo)?,
+            hi: num(hi)?,
+        }),
+        _ => err(format!("unknown delay model '{s}' (const:T | uniform:LO:HI | exp:MEAN)")),
+    }
+}
+
+fn flags(args: &[String]) -> Result<BTreeMap<String, Vec<String>>, ParseError> {
+    let mut map: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(key) = args[i].strip_prefix("--") else {
+            return err(format!("expected --flag, got '{}'", args[i]));
+        };
+        let Some(value) = args.get(i + 1) else {
+            return err(format!("--{key} needs a value"));
+        };
+        map.entry(key.to_string()).or_default().push(value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn one<'a>(
+    map: &'a BTreeMap<String, Vec<String>>,
+    key: &str,
+    default: &'a str,
+) -> &'a str {
+    map.get(key)
+        .and_then(|v| v.last())
+        .map_or(default, String::as_str)
+}
+
+fn parse_u64(map: &BTreeMap<String, Vec<String>>, key: &str, default: u64) -> Result<u64, ParseError> {
+    one(map, key, "")
+        .is_empty()
+        .then_some(default)
+        .map_or_else(
+            || {
+                one(map, key, "")
+                    .parse()
+                    .map_err(|_| ParseError(format!("--{key} must be a number")))
+            },
+            Ok,
+        )
+}
+
+impl Cli {
+    /// Parses a full argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the first problem found.
+    pub fn parse<I, S>(args: I) -> Result<Cli, ParseError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let args: Vec<String> = args.into_iter().map(Into::into).collect();
+        let Some((cmd, rest)) = args.split_first() else {
+            return Ok(Cli {
+                command: Command::Help,
+            });
+        };
+        let command = match cmd.as_str() {
+            "help" | "--help" | "-h" => Command::Help,
+            "run" => {
+                let f = flags(rest)?;
+                let mut crashes = Vec::new();
+                for c in f.get("crash").into_iter().flatten() {
+                    let Some((site, t)) = c.split_once(':') else {
+                        return err(format!("--crash wants site:timeT, got '{c}'"));
+                    };
+                    let site = site
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad site in '{c}'")))?;
+                    let t = t
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad time in '{c}'")))?;
+                    crashes.push((site, t));
+                }
+                Command::Run {
+                    algorithm: parse_algorithm(one(&f, "alg", "delay-optimal"))?,
+                    n: parse_u64(&f, "n", 9)? as usize,
+                    quorum: parse_quorum(one(&f, "quorum", "grid"))?,
+                    gap_t: parse_u64(&f, "gap", 10)?,
+                    horizon_t: parse_u64(&f, "horizon", 1000)?,
+                    delay: parse_delay(one(&f, "delay", "const:1000"))?,
+                    hold: parse_u64(&f, "hold", 100)?,
+                    seed: parse_u64(&f, "seed", 42)?,
+                    crashes,
+                }
+            }
+            "quorum" => {
+                let f = flags(rest)?;
+                Command::Quorum {
+                    kind: parse_quorum(one(&f, "kind", "grid"))?,
+                    n: parse_u64(&f, "n", 9)? as usize,
+                }
+            }
+            "check" => {
+                let f = flags(rest)?;
+                Command::Check {
+                    n: parse_u64(&f, "n", 2)? as u32,
+                    rounds: parse_u64(&f, "rounds", 1)? as u32,
+                    max_states: parse_u64(&f, "max-states", 5_000_000)? as usize,
+                }
+            }
+            "experiment" => {
+                let Some(name) = rest.first() else {
+                    return err("experiment needs a name (e.g. table1)");
+                };
+                Command::Experiment { name: name.clone() }
+            }
+            other => return err(format!("unknown command '{other}' (try help)")),
+        };
+        Ok(Cli { command })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<Cli, ParseError> {
+        Cli::parse(line.split_whitespace().map(str::to_string))
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse("").unwrap().command, Command::Help);
+        assert_eq!(parse("help").unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn run_defaults() {
+        let cli = parse("run").unwrap();
+        match cli.command {
+            Command::Run {
+                algorithm,
+                n,
+                quorum,
+                gap_t,
+                seed,
+                ..
+            } => {
+                assert_eq!(algorithm, Algorithm::DelayOptimal);
+                assert_eq!(n, 9);
+                assert_eq!(quorum, QuorumSpec::Grid);
+                assert_eq!(gap_t, 10);
+                assert_eq!(seed, 42);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_full_flags() {
+        let cli = parse(
+            "run --alg maekawa --n 25 --quorum rst:5 --gap 0 --horizon 500 \
+             --delay uniform:100:2000 --hold 250 --seed 7 --crash 3:100 --crash 4:200",
+        )
+        .unwrap();
+        match cli.command {
+            Command::Run {
+                algorithm,
+                n,
+                quorum,
+                gap_t,
+                horizon_t,
+                delay,
+                hold,
+                seed,
+                crashes,
+            } => {
+                assert_eq!(algorithm, Algorithm::Maekawa);
+                assert_eq!(n, 25);
+                assert_eq!(quorum, QuorumSpec::Rst(5));
+                assert_eq!(gap_t, 0);
+                assert_eq!(horizon_t, 500);
+                assert_eq!(delay, DelayModel::Uniform { lo: 100, hi: 2000 });
+                assert_eq!(hold, 250);
+                assert_eq!(seed, 7);
+                assert_eq!(crashes, vec![(3, 100), (4, 200)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quorum_and_check_commands() {
+        assert_eq!(
+            parse("quorum --kind tree --n 15").unwrap().command,
+            Command::Quorum {
+                kind: QuorumSpec::Tree,
+                n: 15
+            }
+        );
+        assert_eq!(
+            parse("check --n 3 --rounds 2 --max-states 1000").unwrap().command,
+            Command::Check {
+                n: 3,
+                rounds: 2,
+                max_states: 1000
+            }
+        );
+    }
+
+    #[test]
+    fn experiment_command() {
+        assert_eq!(
+            parse("experiment table1").unwrap().command,
+            Command::Experiment {
+                name: "table1".into()
+            }
+        );
+        assert!(parse("experiment").is_err());
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse("bogus").unwrap_err().0.contains("unknown command"));
+        assert!(parse("run --alg nope").unwrap_err().0.contains("algorithm"));
+        assert!(parse("run --quorum nope").unwrap_err().0.contains("quorum"));
+        assert!(parse("run --delay nope").unwrap_err().0.contains("delay"));
+        assert!(parse("run --n").unwrap_err().0.contains("needs a value"));
+        assert!(parse("run n 9").unwrap_err().0.contains("--flag"));
+        assert!(parse("run --crash x").unwrap_err().0.contains("site:timeT"));
+    }
+
+    #[test]
+    fn delay_models() {
+        assert_eq!(parse_delay("const:500").unwrap(), DelayModel::Constant(500));
+        assert_eq!(
+            parse_delay("exp:700").unwrap(),
+            DelayModel::Exponential { mean: 700 }
+        );
+        assert!(parse_delay("uniform:9").is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Command implementations: each returns the text it would print.
+
+use crate::args::{Cli, Command, USAGE};
+use qmx_core::{Config, DelayOptimal, SiteId};
+use qmx_quorum::availability::monte_carlo_availability;
+use qmx_sim::DelayModel;
+use qmx_workload::arrival::ArrivalProcess;
+use qmx_workload::scenario::Scenario;
+
+/// Executes a parsed command, returning its output text.
+///
+/// # Errors
+///
+/// Returns a message when the command's inputs don't fit (e.g. a quorum
+/// construction incompatible with `n`, or a failed model check).
+pub fn execute(cli: &Cli) -> Result<String, String> {
+    match &cli.command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Run {
+            algorithm,
+            n,
+            quorum,
+            gap_t,
+            horizon_t,
+            delay,
+            hold,
+            seed,
+            crashes,
+        } => {
+            let t = delay.mean().max(1.0) as u64;
+            let sc = Scenario {
+                n: *n,
+                algorithm: *algorithm,
+                quorum: *quorum,
+                arrivals: if *gap_t == 0 {
+                    ArrivalProcess::Saturated { tick_gap: t / 2 }
+                } else {
+                    ArrivalProcess::Poisson {
+                        mean_gap: gap_t * t,
+                    }
+                },
+                horizon: horizon_t * t,
+                delay: *delay,
+                hold: DelayModel::Constant(*hold),
+                crashes: crashes
+                    .iter()
+                    .map(|&(s, time_t)| (SiteId(s), time_t * t))
+                    .collect(),
+                seed: *seed,
+                ..Scenario::default()
+            };
+            // Validate the quorum before running so errors are messages,
+            // not panics.
+            if matches!(
+                algorithm,
+                qmx_workload::scenario::Algorithm::DelayOptimal
+                    | qmx_workload::scenario::Algorithm::DelayOptimalNoForwarding
+                    | qmx_workload::scenario::Algorithm::Maekawa
+            ) {
+                quorum.build(*n)?;
+            }
+            let r = sc.run();
+            let mut out = String::new();
+            out.push_str(&format!(
+                "{} over {} sites ({:?} quorums, K = {:.1})\n",
+                algorithm.label(),
+                n,
+                quorum,
+                r.quorum_size
+            ));
+            out.push_str(&format!("completed CS      : {}\n", r.completed));
+            out.push_str(&format!("messages          : {}\n", r.messages));
+            let fmt = |v: Option<f64>| v.map_or("-".into(), |x| format!("{x:.2}"));
+            out.push_str(&format!("messages per CS   : {}\n", fmt(r.messages_per_cs)));
+            out.push_str(&format!(
+                "sync delay        : {} T ({} contended samples)\n",
+                fmt(r.sync_delay_t),
+                r.sync_samples
+            ));
+            out.push_str(&format!("response time     : {} T\n", fmt(r.response_time_t)));
+            out.push_str(&format!("throughput        : {:.3} per T\n", r.throughput_per_t));
+            out.push_str(&format!("fairness (Jain)   : {}\n", fmt(r.fairness)));
+            out.push_str("per message kind  :");
+            for (k, c) in &r.by_kind {
+                out.push_str(&format!(" {k}={c}"));
+            }
+            out.push('\n');
+            Ok(out)
+        }
+        Command::Quorum { kind, n } => {
+            let sys = kind.build(*n)?;
+            let mut out = format!(
+                "{kind:?} over {n} sites: K mean {:.2}, max {}\n",
+                sys.mean_quorum_size(),
+                sys.max_quorum_size()
+            );
+            out.push_str(&format!(
+                "intersection: {}; minimality: {}; self-inclusion: {:.0}%\n",
+                if sys.verify_intersection().is_ok() { "OK" } else { "VIOLATED" },
+                if sys.verify_minimality().is_ok() { "OK" } else { "violated (allowed)" },
+                sys.self_inclusion_rate() * 100.0
+            ));
+            for p in [0.9f64, 0.99] {
+                out.push_str(&format!(
+                    "availability at p={p}: {:.4}\n",
+                    monte_carlo_availability(&sys, p, 20_000, 1)
+                ));
+            }
+            for s in 0..(*n).min(10) {
+                let q = sys.quorum_of(SiteId(s as u32));
+                out.push_str(&format!("  S{s}: {q:?}\n"));
+            }
+            if *n > 10 {
+                out.push_str("  ... (first 10 sites shown)\n");
+            }
+            Ok(out)
+        }
+        Command::Check {
+            n,
+            rounds,
+            max_states,
+        } => {
+            let quorum: Vec<SiteId> = (0..*n).map(SiteId).collect();
+            let sites: Vec<DelayOptimal> = (0..*n)
+                .map(|i| DelayOptimal::new(SiteId(i), quorum.clone(), Config::default()))
+                .collect();
+            match qmx_check::check(
+                sites,
+                &qmx_check::Workload::uniform(*n as usize, *rounds),
+                *max_states,
+            ) {
+                Ok(stats) => Ok(format!(
+                    "VERIFIED: {} sites x {} rounds (full quorums)\n\
+                     states explored : {}\n\
+                     transitions     : {}\n\
+                     terminal states : {}\n\
+                     max depth       : {}\n\
+                     Every interleaving satisfies mutual exclusion and\n\
+                     deadlock freedom within this scope.\n",
+                    n, rounds, stats.states, stats.transitions, stats.terminals, stats.max_depth
+                )),
+                Err(v) => Err(format!("CHECK FAILED:\n{v}")),
+            }
+        }
+        Command::Experiment { name } => {
+            use qmx_bench::experiments as e;
+            Ok(match name.as_str() {
+                "table1" => [9usize, 25]
+                    .iter()
+                    .map(|&n| e::table1(n))
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+                "lightload" => e::light_load_detail(&[9, 16, 25, 36, 49]),
+                "heavyload" => e::heavy_load_detail(&[9, 25, 49]),
+                "syncdelay" => e::sync_delay_sweep(25),
+                "throughput" => e::throughput_sweep(25),
+                "quorumsize" => e::quorum_sizes(),
+                "availability" => e::availability_curves(),
+                "faulttolerance" => e::fault_tolerance(7, 1),
+                "ablation" => e::ablation(25),
+                "holdsweep" => e::sync_delay_vs_hold(25),
+                "msgscaling" => e::message_scaling(),
+                other => return Err(format!("unknown experiment '{other}'")),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(line: &str) -> Result<String, String> {
+        execute(&Cli::parse(line.split_whitespace().map(str::to_string)).expect("parse"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run("help").unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("qmxctl run"));
+    }
+
+    #[test]
+    fn quorum_command_prints_properties() {
+        let out = run("quorum --kind grid --n 9").unwrap();
+        assert!(out.contains("K mean 5.00"));
+        assert!(out.contains("intersection: OK"));
+        assert!(out.contains("S0:"));
+    }
+
+    #[test]
+    fn quorum_command_reports_bad_n() {
+        let err = run("quorum --kind tree --n 10").unwrap_err();
+        assert!(err.contains("2^d - 1"));
+    }
+
+    #[test]
+    fn run_command_small_scenario() {
+        let out = run("run --n 5 --quorum all --gap 20 --horizon 200").unwrap();
+        assert!(out.contains("completed CS"));
+        assert!(out.contains("messages per CS"));
+    }
+
+    #[test]
+    fn run_command_validates_quorum() {
+        let err = run("run --quorum fpp --n 10").unwrap_err();
+        assert!(err.contains("FPP"));
+    }
+
+    #[test]
+    fn check_command_verifies_duo() {
+        let out = run("check --n 2 --rounds 1").unwrap();
+        assert!(out.contains("VERIFIED"));
+        assert!(out.contains("states explored"));
+    }
+
+    #[test]
+    fn check_command_reports_state_cap() {
+        let err = run("check --n 3 --rounds 3 --max-states 50").unwrap_err();
+        assert!(err.contains("CHECK FAILED"));
+    }
+
+    #[test]
+    fn experiment_unknown_name() {
+        let err = run("experiment nope").unwrap_err();
+        assert!(err.contains("unknown experiment"));
+    }
+}

@@ -1,0 +1,21 @@
+//! # qmx-cli
+//!
+//! Command-line front end for the `qmx` workspace. The binary is
+//! `qmxctl`; this library holds the argument parsing and command
+//! implementations so they are unit-testable.
+//!
+//! ```sh
+//! qmxctl run --alg delay-optimal --n 25 --quorum grid --gap 5
+//! qmxctl quorum --kind tree --n 15
+//! qmxctl check --n 3 --rounds 1
+//! qmxctl experiment table1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Cli, Command, ParseError};
+pub use commands::execute;

@@ -1,0 +1,20 @@
+//! `qmxctl` binary entry point.
+
+use qmx_cli::{execute, Cli};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match Cli::parse(args) {
+        Ok(cli) => match execute(&cli) {
+            Ok(out) => print!("{out}"),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", qmx_cli::args::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

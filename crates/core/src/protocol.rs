@@ -1,0 +1,361 @@
+//! The event-driven protocol interface shared by every algorithm.
+//!
+//! A mutual-exclusion algorithm is modeled as a deterministic state machine
+//! per site. Drivers (the discrete-event simulator in `qmx-sim`, the threaded
+//! runtime in `qmx-runtime`, or a handwritten test harness) own the network
+//! and the application: they call [`Protocol::request_cs`] when the local
+//! application wants the critical section, deliver messages through
+//! [`Protocol::handle`], and call [`Protocol::release_cs`] when the
+//! application is done. The state machine communicates back through
+//! [`Effects`]: messages to send and a flag that the site has just entered
+//! its CS.
+//!
+//! Keeping algorithms free of I/O and time makes them unit-testable
+//! step-by-step and lets the same implementation run deterministically under
+//! simulation and live over threads.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a site (a process and the computer it executes on).
+///
+/// Sites are numbered `0..N`. The numeric order participates in request
+/// priority (ties on sequence numbers are broken by the smaller site id).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// The site id as a `usize` index (for vectors indexed by site).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl From<u32> for SiteId {
+    fn from(v: u32) -> Self {
+        SiteId(v)
+    }
+}
+
+/// Coarse classification of wire messages, used by drivers for accounting.
+///
+/// Every algorithm maps its own message enum onto these kinds via
+/// [`MsgMeta::kind`], so experiment harnesses can report per-kind message
+/// counts uniformly (e.g. the `request`/`reply`/`release` split of the
+/// paper's §5 analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MsgKind {
+    /// A CS request / permission ask.
+    Request,
+    /// A permission grant (possibly forwarded by a proxy).
+    Reply,
+    /// Notification that a site has exited the CS.
+    Release,
+    /// An arbiter probing its current grantee (deadlock resolution).
+    Inquire,
+    /// An arbiter refusing a request that is not next in line.
+    Fail,
+    /// A requester relinquishing a grant to a higher-priority request.
+    Yield,
+    /// An arbiter asking the current lock holder to forward its reply.
+    Transfer,
+    /// A privilege token (token-based algorithms).
+    Token,
+    /// Auxiliary state dissemination (e.g. failure notices, info messages).
+    Info,
+}
+
+impl MsgKind {
+    /// All kinds, in display order.
+    pub const ALL: [MsgKind; 9] = [
+        MsgKind::Request,
+        MsgKind::Reply,
+        MsgKind::Release,
+        MsgKind::Inquire,
+        MsgKind::Fail,
+        MsgKind::Yield,
+        MsgKind::Transfer,
+        MsgKind::Token,
+        MsgKind::Info,
+    ];
+
+    /// Short lowercase label (matches the paper's message names).
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgKind::Request => "request",
+            MsgKind::Reply => "reply",
+            MsgKind::Release => "release",
+            MsgKind::Inquire => "inquire",
+            MsgKind::Fail => "fail",
+            MsgKind::Yield => "yield",
+            MsgKind::Transfer => "transfer",
+            MsgKind::Token => "token",
+            MsgKind::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for MsgKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Metadata every protocol message type must expose.
+pub trait MsgMeta {
+    /// The dominant kind of this wire message, for accounting.
+    ///
+    /// A message piggybacking several logical control messages (e.g.
+    /// `inquire`+`transfer`) is **one** wire message and reports the kind of
+    /// its primary component, mirroring the paper's §5 counting rule.
+    fn kind(&self) -> MsgKind;
+}
+
+/// Effects emitted by one protocol step: messages to send and CS entry.
+///
+/// Drivers create a fresh `Effects` (or reuse one after draining), pass it to
+/// a [`Protocol`] entry point, then act on the collected sends and the
+/// `entered_cs` flag.
+#[derive(Debug)]
+pub struct Effects<M> {
+    sends: Vec<(SiteId, M)>,
+    entered_cs: bool,
+}
+
+impl<M> Default for Effects<M> {
+    fn default() -> Self {
+        Effects {
+            sends: Vec::new(),
+            entered_cs: false,
+        }
+    }
+}
+
+impl<M> Effects<M> {
+    /// Creates an empty effects buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a wire message to `to`.
+    pub fn send(&mut self, to: SiteId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Marks that the site has just entered its critical section.
+    pub fn enter_cs(&mut self) {
+        self.entered_cs = true;
+    }
+
+    /// Whether a CS entry was signalled since the last drain.
+    pub fn entered_cs(&self) -> bool {
+        self.entered_cs
+    }
+
+    /// Read-only view of queued sends.
+    pub fn sends(&self) -> &[(SiteId, M)] {
+        &self.sends
+    }
+
+    /// Drains and returns the queued sends, clearing the entry flag too.
+    pub fn take_sends(&mut self) -> Vec<(SiteId, M)> {
+        self.entered_cs = false;
+        std::mem::take(&mut self.sends)
+    }
+
+    /// Drains the buffer returning `(sends, entered_cs)`.
+    pub fn drain(&mut self) -> (Vec<(SiteId, M)>, bool) {
+        let entered = self.entered_cs;
+        self.entered_cs = false;
+        (std::mem::take(&mut self.sends), entered)
+    }
+}
+
+/// A distributed mutual-exclusion algorithm as a per-site state machine.
+///
+/// Contract expected by drivers:
+///
+/// * At most one outstanding CS request per site: the driver calls
+///   [`request_cs`](Protocol::request_cs) only when the site is idle, and
+///   [`release_cs`](Protocol::release_cs) only when [`in_cs`](Protocol::in_cs)
+///   is `true` (sites execute CS requests "sequentially one by one", §2).
+/// * CS entry is signalled exactly once per request via
+///   [`Effects::enter_cs`], either inside `request_cs` (grant was immediate)
+///   or inside a later `handle` call.
+/// * `handle` must tolerate stale messages (late replies for finished
+///   requests, etc.) — unreliable-order tolerance is part of each algorithm.
+pub trait Protocol {
+    /// The algorithm's wire message type.
+    type Msg: Clone + fmt::Debug + MsgMeta + Send + 'static;
+
+    /// This site's identifier.
+    fn site(&self) -> SiteId;
+
+    /// Called once before any other event, for protocols that need to
+    /// announce initial state (e.g. initial token placement).
+    fn on_start(&mut self, fx: &mut Effects<Self::Msg>) {
+        let _ = fx;
+    }
+
+    /// The local application requests the critical section.
+    fn request_cs(&mut self, fx: &mut Effects<Self::Msg>);
+
+    /// The local application leaves the critical section.
+    fn release_cs(&mut self, fx: &mut Effects<Self::Msg>);
+
+    /// A wire message from `from` is delivered.
+    fn handle(&mut self, from: SiteId, msg: Self::Msg, fx: &mut Effects<Self::Msg>);
+
+    /// Whether this site is currently executing its CS.
+    fn in_cs(&self) -> bool;
+
+    /// Whether this site has an unfulfilled CS request outstanding.
+    fn wants_cs(&self) -> bool;
+
+    /// Notification (from a failure detector) that `failed` has crashed.
+    ///
+    /// Algorithms without fault handling may ignore this. The delay-optimal
+    /// algorithm implements the §6 cleanup and quorum-reconstruction rules.
+    fn on_site_failure(&mut self, failed: SiteId, fx: &mut Effects<Self::Msg>) {
+        let _ = (failed, fx);
+    }
+}
+
+/// Supplies (possibly reconstructed) quorums for fault tolerance.
+///
+/// §6 of the paper: when a member of a site's quorum fails, the site
+/// "executes the quorum construction algorithm to select another quorum"
+/// avoiding the failed sites. Implementations live in `qmx-quorum` (the tree
+/// quorum of Agrawal–El Abbadi is the canonical reconstructible coterie);
+/// `qmx-core` only defines the interface so the protocol crate stays
+/// construction-agnostic, exactly as the algorithm is.
+pub trait QuorumSource: Send {
+    /// Returns a quorum for `site` that avoids every site in `down`, or
+    /// `None` if no live quorum exists (the site becomes inaccessible, as the
+    /// paper prescribes).
+    fn quorum_avoiding(&mut self, site: SiteId, down: &BTreeSet<SiteId>) -> Option<Vec<SiteId>>;
+
+    /// Clones the source as a boxed trait object (lets protocol instances
+    /// holding a source be `Clone`, which the model checker requires).
+    fn box_clone(&self) -> Box<dyn QuorumSource>;
+}
+
+impl Clone for Box<dyn QuorumSource> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// A fixed quorum assignment with no reconstruction capability.
+///
+/// Useful for running the fault-tolerant protocol with constructions that
+/// tolerate failures without reconfiguration (e.g. majority-in-subgroup
+/// schemes), or in tests: if any member is down the source reports the site
+/// inaccessible.
+#[derive(Debug, Clone)]
+pub struct StaticQuorums {
+    quorums: Vec<Vec<SiteId>>,
+}
+
+impl StaticQuorums {
+    /// Creates a static source from one quorum per site (indexed by site id).
+    pub fn new(quorums: Vec<Vec<SiteId>>) -> Self {
+        StaticQuorums { quorums }
+    }
+}
+
+impl QuorumSource for StaticQuorums {
+    fn quorum_avoiding(&mut self, site: SiteId, down: &BTreeSet<SiteId>) -> Option<Vec<SiteId>> {
+        let q = self.quorums.get(site.index())?.clone();
+        if q.iter().any(|m| down.contains(m)) {
+            None
+        } else {
+            Some(q)
+        }
+    }
+
+    fn box_clone(&self) -> Box<dyn QuorumSource> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    struct Dummy;
+    impl MsgMeta for Dummy {
+        fn kind(&self) -> MsgKind {
+            MsgKind::Info
+        }
+    }
+
+    #[test]
+    fn effects_collects_and_drains() {
+        let mut fx: Effects<Dummy> = Effects::new();
+        assert!(!fx.entered_cs());
+        fx.send(SiteId(1), Dummy);
+        fx.send(SiteId(2), Dummy);
+        fx.enter_cs();
+        assert_eq!(fx.sends().len(), 2);
+        let (sends, entered) = fx.drain();
+        assert_eq!(sends.len(), 2);
+        assert!(entered);
+        // Drained: empty and flag reset.
+        let (sends, entered) = fx.drain();
+        assert!(sends.is_empty());
+        assert!(!entered);
+    }
+
+    #[test]
+    fn take_sends_resets_entry_flag() {
+        let mut fx: Effects<Dummy> = Effects::new();
+        fx.enter_cs();
+        fx.send(SiteId(0), Dummy);
+        let sends = fx.take_sends();
+        assert_eq!(sends.len(), 1);
+        assert!(!fx.entered_cs());
+    }
+
+    #[test]
+    fn site_id_ordering_and_index() {
+        assert!(SiteId(1) < SiteId(2));
+        assert_eq!(SiteId(7).index(), 7);
+        assert_eq!(SiteId::from(3u32), SiteId(3));
+        assert_eq!(SiteId(4).to_string(), "S4");
+    }
+
+    #[test]
+    fn msg_kind_labels_are_distinct() {
+        let labels: BTreeSet<&str> = MsgKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), MsgKind::ALL.len());
+        assert_eq!(MsgKind::Transfer.to_string(), "transfer");
+    }
+
+    #[test]
+    fn static_quorums_reports_inaccessible_when_member_down() {
+        let mut src = StaticQuorums::new(vec![
+            vec![SiteId(0), SiteId(1)],
+            vec![SiteId(1), SiteId(2)],
+        ]);
+        let none_down = BTreeSet::new();
+        assert_eq!(
+            src.quorum_avoiding(SiteId(0), &none_down),
+            Some(vec![SiteId(0), SiteId(1)])
+        );
+        let mut down = BTreeSet::new();
+        down.insert(SiteId(1));
+        assert_eq!(src.quorum_avoiding(SiteId(0), &down), None);
+        assert_eq!(src.quorum_avoiding(SiteId(9), &none_down), None);
+    }
+}

@@ -1,0 +1,174 @@
+//! The arbiter's priority queue of pending CS requests (`req_queue`).
+//!
+//! Each arbiter queues the requests it cannot grant immediately. The queue is
+//! ordered by request priority (the [`Timestamp`] order: smaller is higher
+//! priority); the head is the next request in line for this arbiter's
+//! permission. Fault handling (§6) additionally needs removal of arbitrary
+//! entries (a failed site's request), so the queue is backed by an ordered
+//! set rather than a binary heap.
+
+use crate::clock::Timestamp;
+use crate::protocol::SiteId;
+use std::collections::BTreeSet;
+
+/// Priority queue of request timestamps with arbitrary removal.
+///
+/// ```
+/// use qmx_core::{ReqQueue, SiteId, Timestamp};
+/// let mut q = ReqQueue::new();
+/// q.insert(Timestamp::new(5, SiteId(1)));
+/// q.insert(Timestamp::new(3, SiteId(2)));
+/// assert_eq!(q.head(), Some(Timestamp::new(3, SiteId(2))));
+/// assert_eq!(q.pop(), Some(Timestamp::new(3, SiteId(2))));
+/// assert_eq!(q.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReqQueue {
+    set: BTreeSet<Timestamp>,
+}
+
+impl ReqQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a request. Returns `false` if it was already queued.
+    pub fn insert(&mut self, ts: Timestamp) -> bool {
+        self.set.insert(ts)
+    }
+
+    /// The highest-priority pending request, if any.
+    pub fn head(&self) -> Option<Timestamp> {
+        self.set.first().copied()
+    }
+
+    /// Removes and returns the highest-priority pending request.
+    pub fn pop(&mut self) -> Option<Timestamp> {
+        self.set.pop_first()
+    }
+
+    /// Removes a specific request. Returns `true` if it was present.
+    pub fn remove(&mut self, ts: &Timestamp) -> bool {
+        self.set.remove(ts)
+    }
+
+    /// Removes every request issued by `site` (fault handling), returning
+    /// the removed timestamps in priority order.
+    pub fn remove_site(&mut self, site: SiteId) -> Vec<Timestamp> {
+        let victims: Vec<Timestamp> = self.set.iter().filter(|t| t.site == site).copied().collect();
+        for v in &victims {
+            self.set.remove(v);
+        }
+        victims
+    }
+
+    /// Whether the queue contains a request from `site`.
+    pub fn contains_site(&self, site: SiteId) -> bool {
+        self.set.iter().any(|t| t.site == site)
+    }
+
+    /// Whether this exact request is queued.
+    pub fn contains(&self, ts: &Timestamp) -> bool {
+        self.set.contains(ts)
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Iterates queued requests in priority order.
+    pub fn iter(&self) -> impl Iterator<Item = &Timestamp> {
+        self.set.iter()
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.set.clear();
+    }
+}
+
+impl Extend<Timestamp> for ReqQueue {
+    fn extend<I: IntoIterator<Item = Timestamp>>(&mut self, iter: I) {
+        self.set.extend(iter);
+    }
+}
+
+impl FromIterator<Timestamp> for ReqQueue {
+    fn from_iter<I: IntoIterator<Item = Timestamp>>(iter: I) -> Self {
+        ReqQueue {
+            set: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(seq: u64, site: u32) -> Timestamp {
+        Timestamp::new(seq, SiteId(site))
+    }
+
+    #[test]
+    fn head_is_highest_priority() {
+        let mut q = ReqQueue::new();
+        q.insert(ts(9, 0));
+        q.insert(ts(2, 5));
+        q.insert(ts(2, 3));
+        assert_eq!(q.head(), Some(ts(2, 3)));
+    }
+
+    #[test]
+    fn pop_drains_in_priority_order() {
+        let mut q: ReqQueue = [ts(4, 1), ts(1, 9), ts(4, 0)].into_iter().collect();
+        assert_eq!(q.pop(), Some(ts(1, 9)));
+        assert_eq!(q.pop(), Some(ts(4, 0)));
+        assert_eq!(q.pop(), Some(ts(4, 1)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_is_ignored() {
+        let mut q = ReqQueue::new();
+        assert!(q.insert(ts(1, 1)));
+        assert!(!q.insert(ts(1, 1)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn remove_specific_and_by_site() {
+        let mut q: ReqQueue = [ts(1, 1), ts(2, 2), ts(3, 1)].into_iter().collect();
+        assert!(q.remove(&ts(2, 2)));
+        assert!(!q.remove(&ts(2, 2)));
+        assert!(q.contains_site(SiteId(1)));
+        let removed = q.remove_site(SiteId(1));
+        assert_eq!(removed, vec![ts(1, 1), ts(3, 1)]);
+        assert!(q.is_empty());
+        assert!(!q.contains_site(SiteId(1)));
+    }
+
+    #[test]
+    fn iter_and_clear() {
+        let mut q: ReqQueue = [ts(2, 0), ts(1, 0)].into_iter().collect();
+        let order: Vec<u64> = q.iter().map(|t| t.seq.0).collect();
+        assert_eq!(order, vec![1, 2]);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut q = ReqQueue::new();
+        q.extend([ts(5, 1), ts(4, 2)]);
+        assert_eq!(q.len(), 2);
+        assert!(q.contains(&ts(4, 2)));
+    }
+}

@@ -1,0 +1,273 @@
+//! Conformance tests for the paper's §5.2 heavy-load case analysis.
+//!
+//! §5.2 enumerates what happens when a request `(sn, i)` reaches an
+//! arbiter `S_j` that has already granted its permission, and counts the
+//! messages each case adds. These tests construct each case at a single
+//! arbiter and assert the exact message pattern the analysis relies on:
+//!
+//! * **Case 1** `(req_queue = ∅) ∧ ((sn,i) > lock)`: transfer to the
+//!   holder + fail to the requester (the fail appears in the paper's
+//!   5(K−1) count for this case).
+//! * **Case 2** `(req_queue = ∅) ∧ ((sn,i) < lock)`: inquire piggybacked
+//!   with transfer to the holder (one wire message).
+//! * **Case 3** `(req_queue ≠ ∅) ∧ ((sn,i) > head)`: fail to the
+//!   requester only.
+//! * **Case 4** `(req_queue ≠ ∅) ∧ ((sn,i) < head < lock)`: fail to the
+//!   displaced head + transfer to the holder; **no second inquire** (one
+//!   is already outstanding because head < lock).
+//! * **Case 5** `(req_queue ≠ ∅) ∧ (lock < (sn,i) < head)`: the new head
+//!   is behind the lock: transfer to the holder + fail to the requester +
+//!   fail to the displaced head if it had priority over the lock.
+//!
+//! Then the two yield sub-cases (§5.2 Cases 2.1/2.2): the inquired holder
+//! either keeps the permission (release answers later) or yields and the
+//! arbiter re-grants with a piggybacked transfer.
+
+use qmx_core::delay_optimal::Body;
+use qmx_core::{Config, DelayOptimal, Effects, Msg, MsgKind, MsgMeta, Protocol, SeqNum, SiteId, Timestamp};
+
+fn ts(seq: u64, site: u32) -> Timestamp {
+    Timestamp::new(seq, SiteId(site))
+}
+
+/// Fresh dedicated arbiter S9 with the given lock holder and queued
+/// requests (delivered in the given order).
+fn arbiter_with(lock: Timestamp, queued: &[Timestamp]) -> DelayOptimal {
+    let mut a = DelayOptimal::new(SiteId(9), vec![SiteId(9)], Config::default());
+    let mut fx = Effects::new();
+    for &r in std::iter::once(&lock).chain(queued) {
+        a.handle(
+            r.site,
+            Msg {
+                clk: r.seq,
+                body: Body::Request { ts: r },
+            },
+            &mut fx,
+        );
+    }
+    assert_eq!(a.lock_holder(), Some(lock));
+    a
+}
+
+/// Delivers one request and returns `(to, kind)` pairs of what the
+/// arbiter sent in response.
+fn probe(a: &mut DelayOptimal, r: Timestamp) -> Vec<(SiteId, MsgKind)> {
+    let mut fx = Effects::new();
+    a.handle(
+        r.site,
+        Msg {
+            clk: r.seq,
+            body: Body::Request { ts: r },
+        },
+        &mut fx,
+    );
+    fx.take_sends()
+        .into_iter()
+        .map(|(to, m)| (to, m.kind()))
+        .collect()
+}
+
+#[test]
+fn case_1_empty_queue_lower_priority_request() {
+    // lock = (1, S1); request (5, S2) > lock; queue empty.
+    let mut a = arbiter_with(ts(1, 1), &[]);
+    let sends = probe(&mut a, ts(5, 2));
+    // Transfer to the holder S1 + fail to the requester S2.
+    assert_eq!(sends.len(), 2);
+    assert!(sends.contains(&(SiteId(1), MsgKind::Transfer)));
+    assert!(sends.contains(&(SiteId(2), MsgKind::Fail)));
+}
+
+#[test]
+fn case_2_empty_queue_higher_priority_request() {
+    // lock = (5, S1); request (1, S2) < lock; queue empty.
+    let mut a = arbiter_with(ts(5, 1), &[]);
+    let sends = probe(&mut a, ts(1, 2));
+    // ONE wire message: inquire piggybacked with the transfer, to S1.
+    assert_eq!(sends, vec![(SiteId(1), MsgKind::Inquire)]);
+}
+
+#[test]
+fn case_3_not_the_head() {
+    // lock = (1, S1); head = (3, S2); request (5, S3) > head.
+    let mut a = arbiter_with(ts(1, 1), &[ts(3, 2)]);
+    let sends = probe(&mut a, ts(5, 3));
+    // Only a fail to the requester.
+    assert_eq!(sends, vec![(SiteId(3), MsgKind::Fail)]);
+}
+
+#[test]
+fn case_4_new_head_above_old_head_above_lock_inverted() {
+    // lock = (9, S1); head = (5, S2) (so an inquire is already out);
+    // request (3, S3) < head < lock.
+    let mut a = arbiter_with(ts(9, 1), &[ts(5, 2)]);
+    let sends = probe(&mut a, ts(3, 3));
+    // Transfer to holder + fail to the displaced head; NO second inquire.
+    assert_eq!(sends.len(), 2);
+    assert!(sends.contains(&(SiteId(1), MsgKind::Transfer)));
+    assert!(
+        sends.contains(&(SiteId(2), MsgKind::Fail)),
+        "displaced head S2 must fail (it never failed before)"
+    );
+    assert!(!sends.iter().any(|(_, k)| *k == MsgKind::Inquire));
+}
+
+#[test]
+fn case_5_new_head_between_lock_and_old_head() {
+    // lock = (1, S1); old head = (7, S2); request (4, S3):
+    // lock < (4,S3) < head.
+    let mut a = arbiter_with(ts(1, 1), &[ts(7, 2)]);
+    let sends = probe(&mut a, ts(4, 3));
+    // Transfer to holder + fail to the requester (it is behind the lock).
+    // The displaced head already failed on arrival (7 > 1), so no second
+    // fail for it.
+    assert_eq!(sends.len(), 2);
+    assert!(sends.contains(&(SiteId(1), MsgKind::Transfer)));
+    assert!(sends.contains(&(SiteId(3), MsgKind::Fail)));
+}
+
+#[test]
+fn yield_subcase_regrant_piggybacks_transfer() {
+    // §5.2 Case 2.2: the inquired holder yields; the arbiter re-grants to
+    // the preemptor and piggybacks the transfer for the re-queued yielder
+    // — "(K-1) reply piggybacked with transfer" in the paper's count.
+    let lock = ts(5, 1);
+    let mut a = arbiter_with(lock, &[]);
+    let pre = ts(1, 2);
+    let sends = probe(&mut a, pre);
+    assert_eq!(sends, vec![(SiteId(1), MsgKind::Inquire)]);
+    // The holder yields.
+    let mut fx = Effects::new();
+    a.handle(
+        SiteId(1),
+        Msg {
+            clk: SeqNum(9),
+            body: Body::Yield { req: lock },
+        },
+        &mut fx,
+    );
+    let sends = fx.take_sends();
+    assert_eq!(a.lock_holder(), Some(pre));
+    // ONE wire message: reply to S2 with the transfer for (5,S1) inside.
+    assert_eq!(sends.len(), 1);
+    assert_eq!(sends[0].0, SiteId(2));
+    match &sends[0].1.body {
+        Body::Reply { req, transfer, .. } => {
+            assert_eq!(*req, pre);
+            assert_eq!(*transfer, Some(lock), "re-queued yielder rides along");
+        }
+        other => panic!("expected piggybacked reply, got {other:?}"),
+    }
+}
+
+#[test]
+fn release_path_regrant_piggybacks_transfer_for_next() {
+    // §3.2 / C.2: release with no forwarding, non-empty queue: the arbiter
+    // replies to the head and piggybacks a transfer naming the new head.
+    let lock = ts(1, 1);
+    let mut a = arbiter_with(lock, &[ts(3, 2), ts(5, 3)]);
+    let mut fx = Effects::new();
+    a.handle(
+        SiteId(1),
+        Msg {
+            clk: SeqNum(9),
+            body: Body::Release {
+                holder_req: lock,
+                forwarded_to: None,
+            },
+        },
+        &mut fx,
+    );
+    let sends = fx.take_sends();
+    assert_eq!(a.lock_holder(), Some(ts(3, 2)));
+    assert_eq!(sends.len(), 1);
+    assert_eq!(sends[0].0, SiteId(2));
+    match &sends[0].1.body {
+        Body::Reply { transfer, .. } => {
+            assert_eq!(*transfer, Some(ts(5, 3)), "next-in-line rides along");
+        }
+        other => panic!("expected piggybacked reply, got {other:?}"),
+    }
+}
+
+#[test]
+fn forwarded_release_points_new_holder_at_next_head() {
+    // Release that DID forward: the arbiter records the new holder and
+    // sends it a transfer naming the next queued request — the message
+    // §5.2's "(K-1) transfer" accounts for in Cases 1/3/5.
+    let lock = ts(1, 1);
+    let next = ts(3, 2);
+    let later = ts(5, 3);
+    let mut a = arbiter_with(lock, &[next, later]);
+    let mut fx = Effects::new();
+    a.handle(
+        SiteId(1),
+        Msg {
+            clk: SeqNum(9),
+            body: Body::Release {
+                holder_req: lock,
+                forwarded_to: Some(next),
+            },
+        },
+        &mut fx,
+    );
+    let sends = fx.take_sends();
+    assert_eq!(a.lock_holder(), Some(next));
+    assert_eq!(sends.len(), 1);
+    assert_eq!(sends[0].0, SiteId(2), "the NEW holder gets the transfer");
+    match &sends[0].1.body {
+        Body::Transfer {
+            beneficiary,
+            holder_req,
+            ..
+        } => {
+            assert_eq!(*beneficiary, later);
+            assert_eq!(*holder_req, next);
+        }
+        other => panic!("expected transfer, got {other:?}"),
+    }
+}
+
+#[test]
+fn forwarded_release_to_now_displaced_holder_adds_inquire() {
+    // The race the proof's Case 2.2 walks through: the forward targeted
+    // the old head, but a higher-priority request arrived while the
+    // forwarded reply was in flight. The arbiter must send the new holder
+    // an inquire (piggybacked with the transfer) so the better request can
+    // preempt.
+    let lock = ts(5, 1);
+    let fwd_target = ts(6, 2);
+    let mut a = arbiter_with(lock, &[fwd_target]);
+    // Higher-priority request slips in: becomes head, inquire goes to the
+    // CURRENT holder (5, S1)...
+    let pre = ts(2, 3);
+    probe(&mut a, pre);
+    // ...but S1 already exited and forwarded to (6, S2):
+    let mut fx = Effects::new();
+    a.handle(
+        SiteId(1),
+        Msg {
+            clk: SeqNum(9),
+            body: Body::Release {
+                holder_req: lock,
+                forwarded_to: Some(fwd_target),
+            },
+        },
+        &mut fx,
+    );
+    let sends = fx.take_sends();
+    assert_eq!(a.lock_holder(), Some(fwd_target));
+    assert_eq!(sends.len(), 1);
+    assert_eq!(sends[0].0, SiteId(2));
+    match &sends[0].1.body {
+        Body::Inquire {
+            holder_req,
+            transfer,
+            ..
+        } => {
+            assert_eq!(*holder_req, fwd_target);
+            assert_eq!(*transfer, Some(pre));
+        }
+        other => panic!("expected inquire+transfer to the new holder, got {other:?}"),
+    }
+}

@@ -1,0 +1,195 @@
+//! Availability analysis: the probability that a live quorum exists when
+//! each site is independently up with probability `p`.
+//!
+//! This quantifies the resilience axis of the paper's §6 comparison between
+//! quorum constructions: majority voting is highly available but expensive,
+//! grid/FPP quorums are cheap but fragile, the two-level and tree schemes
+//! sit between. Exact computation enumerates all `2^N` up/down patterns
+//! (fine for `N ≤ ~22`); Monte Carlo sampling covers larger systems.
+
+use crate::coterie::QuorumSystem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Whether some quorum of `sys` is fully contained in the `up` set.
+fn some_quorum_live(sys: &QuorumSystem, up: &[bool]) -> bool {
+    sys.quorums()
+        .iter()
+        .any(|q| q.iter().all(|s| up[s.index()]))
+}
+
+/// Closed-form availability of the *full* majority coterie (every
+/// `⌊n/2⌋+1`-subset is a quorum): `P(Binomial(n, p) ≥ ⌊n/2⌋+1)`.
+///
+/// Note this is an upper bound for [`crate::majority::majority_system`],
+/// whose rotating-window coterie contains only `n` of the majorities.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `n == 0`.
+pub fn true_majority_availability(n: usize, p: f64) -> f64 {
+    assert!(n > 0, "need at least one site");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let need = n / 2 + 1;
+    let mut total = 0.0;
+    for k in need..=n {
+        // C(n, k) computed incrementally in f64 (fine for the n used here).
+        let mut c = 1.0;
+        for i in 0..k {
+            c = c * (n - i) as f64 / (i + 1) as f64;
+        }
+        total += c * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32);
+    }
+    total
+}
+
+/// Exact availability by enumerating all up/down patterns.
+///
+/// ```
+/// use qmx_quorum::availability::exact_availability;
+/// use qmx_quorum::majority::majority_system;
+/// let sys = majority_system(3);
+/// // P(at least 2 of 3 up) at p = 0.9: 3(0.81)(0.1) + 0.729 = 0.972.
+/// assert!((exact_availability(&sys, 0.9) - 0.972).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `sys.n() > 24` (enumeration would be prohibitively slow) or if
+/// `p` is outside `[0, 1]`.
+pub fn exact_availability(sys: &QuorumSystem, p: f64) -> f64 {
+    let n = sys.n();
+    assert!(n <= 24, "exact enumeration limited to N <= 24, got {n}");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut total = 0.0;
+    let mut up = vec![false; n];
+    for mask in 0u64..(1u64 << n) {
+        let mut prob = 1.0;
+        for (i, flag) in up.iter_mut().enumerate() {
+            *flag = (mask >> i) & 1 == 1;
+            prob *= if *flag { p } else { 1.0 - p };
+        }
+        if prob > 0.0 && some_quorum_live(sys, &up) {
+            total += prob;
+        }
+    }
+    total
+}
+
+/// Monte Carlo availability estimate with `samples` trials and a fixed RNG
+/// seed (deterministic and reproducible).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `samples == 0`.
+pub fn monte_carlo_availability(sys: &QuorumSystem, p: f64, samples: u32, seed: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    assert!(samples > 0, "need at least one sample");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = sys.n();
+    let mut hits = 0u32;
+    let mut up = vec![false; n];
+    for _ in 0..samples {
+        for flag in up.iter_mut() {
+            *flag = rng.gen_bool(p);
+        }
+        if some_quorum_live(sys, &up) {
+            hits += 1;
+        }
+    }
+    f64::from(hits) / f64::from(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::grid_system;
+    use crate::majority::majority_system;
+    use crate::tree::tree_system;
+
+    #[test]
+    fn perfect_sites_give_full_availability() {
+        let sys = grid_system(9);
+        assert_eq!(exact_availability(&sys, 1.0), 1.0);
+        assert_eq!(exact_availability(&sys, 0.0), 0.0);
+    }
+
+    #[test]
+    fn single_site_availability_is_p() {
+        let sys = majority_system(1);
+        assert!((exact_availability(&sys, 0.7) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn majority_of_three_matches_closed_form() {
+        // P(at least 2 of 3 up) = 3p^2(1-p) + p^3.
+        let sys = majority_system(3);
+        for p in [0.3, 0.5, 0.9] {
+            let expect = 3.0 * p * p * (1.0 - p) + p * p * p;
+            assert!(
+                (exact_availability(&sys, p) - expect).abs() < 1e-12,
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn majority_beats_grid_at_high_p() {
+        // The paper's trade-off: (true) majority voting is the most
+        // resilient construction.
+        let grid = grid_system(9);
+        for p in [0.6, 0.8, 0.9] {
+            assert!(
+                true_majority_availability(9, p) >= exact_availability(&grid, p),
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn true_majority_closed_form_matches_enumeration_bound() {
+        // For n=3 the rotating-window system IS the full majority coterie.
+        let sys = majority_system(3);
+        for p in [0.2, 0.5, 0.8] {
+            assert!(
+                (true_majority_availability(3, p) - exact_availability(&sys, p)).abs() < 1e-12,
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_quorum_availability_uses_substitution_paths() {
+        // The full coterie of the tree (all steered variants under all
+        // failure sets) is richer than the failure-free system captures;
+        // even so, the failure-free system already tolerates leaf loss via
+        // other sites' paths.
+        let sys = tree_system(7).unwrap();
+        let a = exact_availability(&sys, 0.9);
+        assert!(a > 0.85 && a <= 1.0);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_exact() {
+        let sys = grid_system(9);
+        let p = 0.8;
+        let exact = exact_availability(&sys, p);
+        let mc = monte_carlo_availability(&sys, p, 20_000, 42);
+        assert!((exact - mc).abs() < 0.02, "exact={exact} mc={mc}");
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_per_seed() {
+        let sys = grid_system(16);
+        let a = monte_carlo_availability(&sys, 0.7, 5_000, 7);
+        let b = monte_carlo_availability(&sys, 0.7, 5_000, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exact enumeration limited")]
+    fn exact_rejects_large_n() {
+        let sys = majority_system(30);
+        let _ = exact_availability(&sys, 0.5);
+    }
+}

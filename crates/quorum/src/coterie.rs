@@ -1,0 +1,258 @@
+//! Quorum systems and coterie-property verification.
+
+use qmx_core::SiteId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A per-site quorum assignment over sites `0..n`.
+///
+/// Site `i`'s quorum (`req_set(i)` in the paper) is `quorums[i]`. Distinct
+/// sites may share a quorum (the set of *distinct* quorums is the coterie).
+/// Every quorum is stored sorted and duplicate-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuorumSystem {
+    n: usize,
+    quorums: Vec<Vec<SiteId>>,
+}
+
+/// Violation found by [`QuorumSystem::verify_intersection`] /
+/// [`QuorumSystem::verify_minimality`]: the two offending site indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropertyViolation {
+    /// First offending site.
+    pub a: SiteId,
+    /// Second offending site.
+    pub b: SiteId,
+}
+
+impl fmt::Display for PropertyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "quorums of {} and {} violate the property", self.a, self.b)
+    }
+}
+
+impl std::error::Error for PropertyViolation {}
+
+impl QuorumSystem {
+    /// Builds a system from one quorum per site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any quorum is empty or references a site `>= n`.
+    pub fn new(n: usize, mut quorums: Vec<Vec<SiteId>>) -> Self {
+        assert_eq!(quorums.len(), n, "one quorum per site");
+        for q in &mut quorums {
+            q.sort_unstable();
+            q.dedup();
+            assert!(!q.is_empty(), "quorum must be non-empty");
+            assert!(
+                q.iter().all(|s| s.index() < n),
+                "quorum references site outside universe"
+            );
+        }
+        QuorumSystem { n, quorums }
+    }
+
+    /// Number of sites in the universe.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The quorum assigned to `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is outside the universe.
+    pub fn quorum_of(&self, site: SiteId) -> &[SiteId] {
+        &self.quorums[site.index()]
+    }
+
+    /// All per-site quorums, indexed by site.
+    pub fn quorums(&self) -> &[Vec<SiteId>] {
+        &self.quorums
+    }
+
+    /// Owned per-site quorums (for handing to protocol constructors).
+    pub fn to_vec(&self) -> Vec<Vec<SiteId>> {
+        self.quorums.clone()
+    }
+
+    /// The distinct quorums (the coterie itself).
+    pub fn distinct_quorums(&self) -> Vec<Vec<SiteId>> {
+        let set: BTreeSet<Vec<SiteId>> = self.quorums.iter().cloned().collect();
+        set.into_iter().collect()
+    }
+
+    /// Average quorum size `K` across sites.
+    pub fn mean_quorum_size(&self) -> f64 {
+        let total: usize = self.quorums.iter().map(Vec::len).sum();
+        total as f64 / self.n as f64
+    }
+
+    /// Largest quorum size.
+    pub fn max_quorum_size(&self) -> usize {
+        self.quorums.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Fraction of sites whose quorum contains themselves.
+    pub fn self_inclusion_rate(&self) -> f64 {
+        let hits = self
+            .quorums
+            .iter()
+            .enumerate()
+            .filter(|(i, q)| q.contains(&SiteId(*i as u32)))
+            .count();
+        hits as f64 / self.n as f64
+    }
+
+    /// Checks the Intersection Property: every pair of quorums shares a
+    /// site. Returns the first violating pair if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PropertyViolation`] naming two sites whose quorums are
+    /// disjoint.
+    pub fn verify_intersection(&self) -> Result<(), PropertyViolation> {
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if !intersects(&self.quorums[i], &self.quorums[j]) {
+                    return Err(PropertyViolation {
+                        a: SiteId(i as u32),
+                        b: SiteId(j as u32),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the Minimality Property over the *distinct* quorums: no quorum
+    /// strictly contains another. (Not required for correctness — §2 — but
+    /// reported for efficiency analysis.)
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PropertyViolation`] naming sites whose quorums are in a
+    /// strict superset relation.
+    pub fn verify_minimality(&self) -> Result<(), PropertyViolation> {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i == j {
+                    continue;
+                }
+                let (a, b) = (&self.quorums[i], &self.quorums[j]);
+                if a.len() < b.len() && is_subset(a, b) {
+                    return Err(PropertyViolation {
+                        a: SiteId(i as u32),
+                        b: SiteId(j as u32),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Whether two sorted site lists share an element.
+pub(crate) fn intersects(a: &[SiteId], b: &[SiteId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Whether sorted `a` ⊆ sorted `b`.
+pub(crate) fn is_subset(a: &[SiteId], b: &[SiteId]) -> bool {
+    let mut j = 0;
+    'outer: for x in a {
+        while j < b.len() {
+            match b[j].cmp(x) {
+                std::cmp::Ordering::Less => j += 1,
+                std::cmp::Ordering::Equal => {
+                    j += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(ids: &[u32]) -> Vec<SiteId> {
+        ids.iter().map(|&i| SiteId(i)).collect()
+    }
+
+    #[test]
+    fn valid_coterie_passes_both_checks() {
+        // C = {{a,b},{b,c}} from §2 of the paper (a=0, b=1, c=2); site 2
+        // reuses {b,c}.
+        let sys = QuorumSystem::new(3, vec![s(&[0, 1]), s(&[1, 2]), s(&[1, 2])]);
+        assert!(sys.verify_intersection().is_ok());
+        assert!(sys.verify_minimality().is_ok());
+        assert_eq!(sys.distinct_quorums().len(), 2);
+    }
+
+    #[test]
+    fn disjoint_quorums_fail_intersection() {
+        let sys = QuorumSystem::new(4, vec![s(&[0, 1]), s(&[2, 3]), s(&[0, 1]), s(&[2, 3])]);
+        let v = sys.verify_intersection().unwrap_err();
+        assert_eq!((v.a, v.b), (SiteId(0), SiteId(1)));
+        assert!(v.to_string().contains("S0"));
+    }
+
+    #[test]
+    fn superset_quorum_fails_minimality() {
+        let sys = QuorumSystem::new(3, vec![s(&[0, 1, 2]), s(&[0, 1]), s(&[0, 1, 2])]);
+        assert!(sys.verify_intersection().is_ok());
+        assert!(sys.verify_minimality().is_err());
+    }
+
+    #[test]
+    fn stats_are_computed() {
+        let sys = QuorumSystem::new(2, vec![s(&[0, 1]), s(&[0])]);
+        assert_eq!(sys.n(), 2);
+        assert_eq!(sys.mean_quorum_size(), 1.5);
+        assert_eq!(sys.max_quorum_size(), 2);
+        // Site 0's quorum contains itself; site 1's ([0]) does not.
+        assert_eq!(sys.self_inclusion_rate(), 0.5);
+        assert_eq!(sys.quorum_of(SiteId(1)), &[SiteId(0)]);
+    }
+
+    #[test]
+    fn quorums_are_sorted_and_deduped() {
+        let sys = QuorumSystem::new(3, vec![s(&[2, 0, 2]), s(&[1]), s(&[0, 2])]);
+        assert_eq!(sys.quorum_of(SiteId(0)), &[SiteId(0), SiteId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_quorum_panics() {
+        let _ = QuorumSystem::new(1, vec![vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_panics() {
+        let _ = QuorumSystem::new(1, vec![s(&[1])]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert!(intersects(&s(&[1, 3, 5]), &s(&[0, 2, 3])));
+        assert!(!intersects(&s(&[1, 3]), &s(&[0, 2])));
+        assert!(is_subset(&s(&[1, 3]), &s(&[0, 1, 2, 3])));
+        assert!(!is_subset(&s(&[1, 4]), &s(&[0, 1, 2, 3])));
+        assert!(is_subset(&s(&[]), &s(&[0])));
+    }
+}

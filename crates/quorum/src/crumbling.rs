@@ -1,0 +1,179 @@
+//! Crumbling-wall quorums (Peleg–Wool).
+//!
+//! Sites are laid out in a **wall** of rows with (possibly) different
+//! widths. A quorum is **one full row plus one representative from every
+//! row below it**. Intersection: take quorums anchored at rows `i ≤ j` —
+//! the row-`i` quorum contains a representative of row `j`, and the
+//! row-`j` quorum contains *all* of row `j`; if `i = j` they share the
+//! full row. Narrow top rows give small quorums; the classic `CWlog` wall
+//! (row widths growing geometrically) achieves `O(log N)` quorums with
+//! good availability.
+
+use crate::coterie::QuorumSystem;
+use qmx_core::SiteId;
+
+/// Error constructing a wall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WallError {
+    /// Row widths must be positive and sum to `N`.
+    BadLayout {
+        /// The offending row widths.
+        widths: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for WallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WallError::BadLayout { widths } => {
+                write!(f, "invalid wall layout {widths:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WallError {}
+
+/// Builds a crumbling-wall system from explicit row widths (row 0 on top).
+/// Site ids fill rows top-to-bottom, left-to-right. Each site's quorum is
+/// anchored at its own row; its representative in each lower row is chosen
+/// by its own offset (mod the row width), spreading load.
+///
+/// # Errors
+///
+/// [`WallError::BadLayout`] if any width is zero or the widths are empty.
+pub fn wall_system(widths: &[usize]) -> Result<QuorumSystem, WallError> {
+    if widths.is_empty() || widths.contains(&0) {
+        return Err(WallError::BadLayout {
+            widths: widths.to_vec(),
+        });
+    }
+    let n: usize = widths.iter().sum();
+    let mut row_start = Vec::with_capacity(widths.len());
+    let mut acc = 0;
+    for &w in widths {
+        row_start.push(acc);
+        acc += w;
+    }
+    let row_of = |s: usize| -> usize {
+        row_start
+            .iter()
+            .rposition(|&start| start <= s)
+            .expect("site is in some row")
+    };
+    let quorums = (0..n)
+        .map(|s| {
+            let r = row_of(s);
+            let offset = s - row_start[r];
+            let mut q: Vec<SiteId> = Vec::new();
+            // Full own row.
+            for k in 0..widths[r] {
+                q.push(SiteId((row_start[r] + k) as u32));
+            }
+            // One representative from each lower row.
+            for (j, &w) in widths.iter().enumerate().skip(r + 1) {
+                q.push(SiteId((row_start[j] + offset % w) as u32));
+            }
+            q
+        })
+        .collect();
+    Ok(QuorumSystem::new(n, quorums))
+}
+
+/// The `CWlog`-style wall over (at least) `n` sites: row widths
+/// `1, 2, 3, 4, …` until `n` sites are covered (the last row absorbs the
+/// remainder). Quorum size is `O(√N)` rows… no — the number of rows `r`
+/// satisfies `r(r+1)/2 ≈ N`, so a quorum (one row + one per lower row) has
+/// `≤ width(r) + r ≈ 2√(2N)` members in the worst anchor and `O(√N)` on
+/// average, with top-row quorums as small as `r ≈ √(2N)`.
+/// ```
+/// use qmx_quorum::crumbling::triangular_wall;
+/// let sys = triangular_wall(10).expect("any n > 0"); // rows 1,2,3,4
+/// assert!(sys.verify_intersection().is_ok());
+/// assert!(sys.max_quorum_size() <= 7);
+/// ```
+pub fn triangular_wall(n: usize) -> Result<QuorumSystem, WallError> {
+    if n == 0 {
+        return Err(WallError::BadLayout { widths: vec![] });
+    }
+    let mut widths = Vec::new();
+    let mut placed = 0usize;
+    let mut w = 1usize;
+    while placed < n {
+        let take = w.min(n - placed);
+        widths.push(take);
+        placed += take;
+        w += 1;
+    }
+    wall_system(&widths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_layouts() {
+        assert!(wall_system(&[]).is_err());
+        assert!(wall_system(&[2, 0, 1]).is_err());
+        assert_eq!(
+            WallError::BadLayout { widths: vec![0] }.to_string(),
+            "invalid wall layout [0]"
+        );
+    }
+
+    #[test]
+    fn intersection_holds_for_assorted_walls() {
+        for widths in [
+            vec![1usize],
+            vec![1, 2],
+            vec![2, 3, 4],
+            vec![1, 2, 3, 4, 5],
+            vec![3, 3, 3],
+            vec![1, 5, 2, 4],
+        ] {
+            let sys = wall_system(&widths).unwrap();
+            assert!(
+                sys.verify_intersection().is_ok(),
+                "widths {widths:?} violate intersection"
+            );
+            assert_eq!(sys.self_inclusion_rate(), 1.0, "widths {widths:?}");
+        }
+    }
+
+    #[test]
+    fn top_row_quorum_is_one_per_row() {
+        // widths [1,2,3]: site 0's quorum = itself + one from each row = 3.
+        let sys = wall_system(&[1, 2, 3]).unwrap();
+        assert_eq!(sys.quorum_of(SiteId(0)).len(), 3);
+        // Bottom row anchors carry the whole row.
+        assert_eq!(sys.quorum_of(SiteId(5)).len(), 3);
+    }
+
+    #[test]
+    fn triangular_wall_covers_exactly_n() {
+        for n in [1usize, 2, 6, 10, 11, 40] {
+            let sys = triangular_wall(n).unwrap();
+            assert_eq!(sys.n(), n);
+            assert!(sys.verify_intersection().is_ok(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn triangular_wall_quorums_are_sublinear() {
+        let sys = triangular_wall(100).unwrap();
+        // rows ~ 14, widest row 14: worst quorum well under N/2.
+        assert!(sys.max_quorum_size() <= 30);
+        assert!(sys.mean_quorum_size() < 20.0);
+    }
+
+    #[test]
+    fn representatives_spread_by_offset() {
+        let sys = wall_system(&[2, 2]).unwrap();
+        // Sites 0 and 1 (top row) pick different bottom representatives.
+        let q0 = sys.quorum_of(SiteId(0));
+        let q1 = sys.quorum_of(SiteId(1));
+        assert!(q0.contains(&SiteId(2)));
+        assert!(q1.contains(&SiteId(3)));
+    }
+}

@@ -1,0 +1,133 @@
+//! Coterie domination (Garcia-Molina & Barbará, 1985).
+//!
+//! Coterie `C` **dominates** coterie `D` iff `C ≠ D` and every quorum of
+//! `D` contains some quorum of `C`. A dominating coterie is strictly
+//! better: whenever `D` can assemble a quorum, so can `C` (so `C`'s
+//! availability is at least `D`'s at every site reliability `p`), and
+//! `C`'s quorums are no larger. Nondominated (ND) coteries are thus the
+//! efficient frontier of quorum design; the paper's cited constructions
+//! (majority for odd `N`, FPP, tree quorums) are all ND or near-ND.
+//!
+//! The property-based suite cross-checks the availability consequence:
+//! `dominates(c, d)` implies `avail_c(p) ≥ avail_d(p)` for every `p`.
+
+use crate::coterie::{is_subset, QuorumSystem};
+use qmx_core::SiteId;
+use std::collections::BTreeSet;
+
+/// Normalizes a quorum list: sorts members, drops duplicates.
+fn normalize(quorums: &[Vec<SiteId>]) -> BTreeSet<Vec<SiteId>> {
+    quorums
+        .iter()
+        .map(|q| {
+            let mut q = q.clone();
+            q.sort_unstable();
+            q.dedup();
+            q
+        })
+        .collect()
+}
+
+/// Whether coterie `c` dominates coterie `d`: `c ≠ d` and every quorum of
+/// `d` contains some quorum of `c`.
+///
+/// Both arguments are plain quorum lists (order and duplicates ignored).
+///
+/// ```
+/// use qmx_core::SiteId;
+/// use qmx_quorum::domination::dominates;
+/// let s = |ids: &[u32]| ids.iter().map(|&i| SiteId(i)).collect::<Vec<_>>();
+/// // {{a,b},{b,c}} dominates {{a,b,c}}.
+/// assert!(dominates(&[s(&[0, 1]), s(&[1, 2])], &[s(&[0, 1, 2])]));
+/// ```
+pub fn dominates(c: &[Vec<SiteId>], d: &[Vec<SiteId>]) -> bool {
+    let cn = normalize(c);
+    let dn = normalize(d);
+    if cn == dn {
+        return false;
+    }
+    dn.iter()
+        .all(|qd| cn.iter().any(|qc| is_subset(qc, qd)))
+}
+
+impl QuorumSystem {
+    /// Whether this system's coterie dominates `other`'s (see
+    /// [`dominates`]).
+    pub fn coterie_dominates(&self, other: &QuorumSystem) -> bool {
+        dominates(&self.distinct_quorums(), &other.distinct_quorums())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::availability::exact_availability;
+    use crate::grid::grid_system;
+    use crate::majority::majority_system;
+
+    fn s(ids: &[u32]) -> Vec<SiteId> {
+        ids.iter().map(|&i| SiteId(i)).collect()
+    }
+
+    #[test]
+    fn smaller_quorums_dominate_the_full_set() {
+        // C = {{a,b},{b,c}} dominates D = {{a,b,c}}: the only quorum of D
+        // contains {a,b}.
+        let c = vec![s(&[0, 1]), s(&[1, 2])];
+        let d = vec![s(&[0, 1, 2])];
+        assert!(dominates(&c, &d));
+        assert!(!dominates(&d, &c));
+    }
+
+    #[test]
+    fn a_coterie_does_not_dominate_itself() {
+        let c = vec![s(&[0, 1]), s(&[1, 2])];
+        assert!(!dominates(&c, &c));
+        // Same coterie expressed with duplicates/reordering: still equal.
+        let c2 = vec![s(&[2, 1]), s(&[1, 0]), s(&[0, 1])];
+        assert!(!dominates(&c, &c2));
+    }
+
+    #[test]
+    fn incomparable_coteries() {
+        // {{a,b}} vs {{b,c}} under {a,b,c}: neither contains the other's
+        // quorum (NB: these are valid one-quorum coteries individually).
+        let c = vec![s(&[0, 1])];
+        let d = vec![s(&[1, 2])];
+        assert!(!dominates(&c, &d));
+        assert!(!dominates(&d, &c));
+    }
+
+    #[test]
+    fn majority_dominates_supermajority() {
+        // All 2-subsets of {0,1,2} dominate all... take D = the
+        // "two-thirds" coterie {{0,1,2}} and C = majority-of-3.
+        let maj = majority_system(3).distinct_quorums();
+        let full = vec![s(&[0, 1, 2])];
+        assert!(dominates(&maj, &full));
+    }
+
+    #[test]
+    fn domination_implies_availability_ordering() {
+        // The theorem the concept exists for: wherever D has a live
+        // quorum, so does C. Check on concrete systems and several p.
+        let c = QuorumSystem::new(3, vec![s(&[0, 1]), s(&[1, 2]), s(&[0, 2])]);
+        let d = QuorumSystem::new(3, vec![s(&[0, 1, 2]), s(&[0, 1, 2]), s(&[0, 1, 2])]);
+        assert!(c.coterie_dominates(&d));
+        for p10 in 1..10 {
+            let p = f64::from(p10) / 10.0;
+            assert!(
+                exact_availability(&c, p) >= exact_availability(&d, p) - 1e-12,
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_and_majority_are_incomparable_at_9() {
+        let grid = grid_system(9);
+        let maj = majority_system(9);
+        assert!(!grid.coterie_dominates(&maj));
+        assert!(!maj.coterie_dominates(&grid));
+    }
+}

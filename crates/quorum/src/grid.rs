@@ -1,0 +1,99 @@
+//! Maekawa-style grid quorums: `quorum(s) = row(s) ∪ column(s)`.
+//!
+//! Sites `0..N` are arranged row-major in a `r × c` grid with `c = ⌈√N⌉`
+//! and `r = ⌈N/c⌉`; the final row may be partial. A site's quorum is every
+//! site in its row plus every site in its column, giving `≈ 2√N − 1`
+//! members.
+//!
+//! Intersection holds even for the truncated grid: for sites `a = (i₁,j₁)`
+//! and `b = (i₂,j₂)` with `i₁ ≤ i₂`, the cell `(i₁,j₂)` exists because
+//! `i₁·c + j₂ ≤ i₂·c + j₂ < N`, and it lies in `a`'s row and `b`'s column.
+
+use crate::coterie::QuorumSystem;
+use qmx_core::SiteId;
+
+/// Builds the grid quorum system over `n` sites.
+///
+/// ```
+/// use qmx_quorum::grid::grid_system;
+/// let sys = grid_system(16); // 4x4 grid
+/// assert_eq!(sys.max_quorum_size(), 7); // row + column - self
+/// assert!(sys.verify_intersection().is_ok());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn grid_system(n: usize) -> QuorumSystem {
+    assert!(n > 0, "need at least one site");
+    let c = (n as f64).sqrt().ceil() as usize;
+    let quorums = (0..n)
+        .map(|s| {
+            let (row, col) = (s / c, s % c);
+            let mut q: Vec<SiteId> = Vec::new();
+            // Row members.
+            for j in 0..c {
+                let id = row * c + j;
+                if id < n {
+                    q.push(SiteId(id as u32));
+                }
+            }
+            // Column members.
+            for i in 0..n.div_ceil(c) {
+                let id = i * c + col;
+                if id < n {
+                    q.push(SiteId(id as u32));
+                }
+            }
+            q
+        })
+        .collect();
+    QuorumSystem::new(n, quorums)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_square_quorum_size_is_2_sqrt_minus_1() {
+        for n in [4usize, 9, 16, 25, 49] {
+            let sys = grid_system(n);
+            let k = 2 * (n as f64).sqrt() as usize - 1;
+            assert_eq!(sys.max_quorum_size(), k, "n={n}");
+            assert_eq!(sys.mean_quorum_size(), k as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn every_site_is_in_its_own_quorum() {
+        for n in [1usize, 5, 12, 25, 40] {
+            let sys = grid_system(n);
+            assert_eq!(sys.self_inclusion_rate(), 1.0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn intersection_holds_for_all_n_up_to_60() {
+        for n in 1..=60 {
+            let sys = grid_system(n);
+            assert!(sys.verify_intersection().is_ok(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn single_site_grid() {
+        let sys = grid_system(1);
+        assert_eq!(sys.quorum_of(SiteId(0)), &[SiteId(0)]);
+    }
+
+    #[test]
+    fn truncated_grid_example() {
+        // n=7, c=3: grid rows [0,1,2],[3,4,5],[6]. Site 6 = (2,0).
+        let sys = grid_system(7);
+        assert_eq!(
+            sys.quorum_of(SiteId(6)),
+            &[SiteId(0), SiteId(3), SiteId(6)]
+        );
+    }
+}

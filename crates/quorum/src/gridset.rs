@@ -1,0 +1,122 @@
+//! Grid-set quorums (Cheung–Ammar–Ahamad; reference \[2\] of the paper).
+//!
+//! Two levels: the `N` sites are partitioned into `m = N/G` groups of `G`
+//! sites. The **upper** level runs majority voting over groups (to maximise
+//! resilience); the **lower** level uses a Maekawa-like grid inside each
+//! selected group (to keep messages down). A quorum therefore consists of a
+//! grid quorum from each of `⌊m/2⌋ + 1` groups — size
+//! `≈ (m+1)/2 · (2√G − 1)`.
+//!
+//! Intersection: two quorums each select a majority of groups, hence share
+//! a group; inside that shared group both contain grid quorums over the
+//! same `G` members, which intersect.
+//!
+//! Because the upper level is a majority, a whole group can fail and
+//! quorums still exist *without any reconfiguration* — the property §6
+//! highlights for this family.
+
+use crate::coterie::QuorumSystem;
+use crate::grid::grid_system;
+use qmx_core::SiteId;
+
+/// Error constructing a two-level system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TwoLevelError {
+    /// `N` is not divisible by the group size `G`.
+    NotDivisible {
+        /// Total number of sites.
+        n: usize,
+        /// Requested group size.
+        g: usize,
+    },
+}
+
+impl std::fmt::Display for TwoLevelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TwoLevelError::NotDivisible { n, g } => {
+                write!(f, "{n} sites cannot be split into groups of {g}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TwoLevelError {}
+
+/// Builds the grid-set quorum system: groups of size `g`, majority over
+/// groups, grid inside each selected group. Group `k` owns sites
+/// `[k·g, (k+1)·g)`.
+///
+/// # Errors
+///
+/// [`TwoLevelError::NotDivisible`] if `g` does not divide `n` (or is zero).
+pub fn gridset_system(n: usize, g: usize) -> Result<QuorumSystem, TwoLevelError> {
+    if g == 0 || n == 0 || !n.is_multiple_of(g) {
+        return Err(TwoLevelError::NotDivisible { n, g });
+    }
+    let m = n / g; // number of groups
+    let maj = m / 2 + 1;
+    let inner = grid_system(g); // grid template over 0..g, shifted per group
+    let quorums = (0..n)
+        .map(|s| {
+            let my_group = s / g;
+            let within = s % g;
+            let mut q: Vec<SiteId> = Vec::new();
+            // Majority of groups starting from the site's own group.
+            for k in 0..maj {
+                let grp = (my_group + k) % m;
+                let base = grp * g;
+                // Inside the group, take the grid quorum of the member with
+                // the same offset as this site (spreads load).
+                for member in inner.quorum_of(SiteId(within as u32)) {
+                    q.push(SiteId((base + member.index()) as u32));
+                }
+            }
+            q
+        })
+        .collect();
+    Ok(QuorumSystem::new(n, quorums))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_group_sizes() {
+        assert!(gridset_system(10, 3).is_err());
+        assert!(gridset_system(10, 0).is_err());
+        assert_eq!(
+            TwoLevelError::NotDivisible { n: 10, g: 3 }.to_string(),
+            "10 sites cannot be split into groups of 3"
+        );
+    }
+
+    #[test]
+    fn intersection_holds() {
+        for (n, g) in [(8usize, 4usize), (12, 4), (18, 9), (16, 4), (27, 9)] {
+            let sys = gridset_system(n, g).unwrap();
+            assert!(sys.verify_intersection().is_ok(), "n={n} g={g}");
+        }
+    }
+
+    #[test]
+    fn quorum_size_matches_formula() {
+        // n=16, g=4: m=4 groups, majority 3, grid over 4 = 3 members.
+        let sys = gridset_system(16, 4).unwrap();
+        assert_eq!(sys.max_quorum_size(), 9);
+    }
+
+    #[test]
+    fn self_inclusion() {
+        let sys = gridset_system(16, 4).unwrap();
+        assert_eq!(sys.self_inclusion_rate(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_single_group_is_pure_grid() {
+        let sys = gridset_system(9, 9).unwrap();
+        let grid = grid_system(9);
+        assert_eq!(sys.quorum_of(SiteId(4)), grid.quorum_of(SiteId(4)));
+    }
+}

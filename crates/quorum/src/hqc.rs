@@ -1,0 +1,144 @@
+//! Hierarchical Quorum Consensus (Kumar; reference \[4\] of the paper).
+//!
+//! Sites `0..N` (`N = 3^d`) are the leaves of a complete ternary tree.
+//! A quorum is formed recursively: at every internal level, pick a
+//! **majority (2 of 3)** of the subtrees and recurse into each. The quorum
+//! size is therefore `2^d = N^(log₃ 2) ≈ N^0.63`, matching the paper's
+//! "quorum size becomes N^0.63" (§6, HQC).
+//!
+//! Intersection: two quorums pick 2-of-3 subtrees at the root, so they share
+//! at least one subtree; induction inside that subtree yields a common leaf.
+
+use crate::coterie::QuorumSystem;
+use qmx_core::SiteId;
+
+/// Error constructing an HQC system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HqcError {
+    /// `N` is not a power of three.
+    NotPowerOfThree(usize),
+}
+
+impl std::fmt::Display for HqcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HqcError::NotPowerOfThree(n) => write!(f, "HQC needs N = 3^d sites, got {n}"),
+        }
+    }
+}
+
+impl std::error::Error for HqcError {}
+
+fn log3_exact(mut n: usize) -> Option<u32> {
+    if n == 0 {
+        return None;
+    }
+    let mut d = 0;
+    while n.is_multiple_of(3) {
+        n /= 3;
+        d += 1;
+    }
+    (n == 1).then_some(d)
+}
+
+/// Collects a quorum over leaves `[base, base + 3^depth)`, steered by
+/// `steer` (two base-3 digits per level select which 2-of-3 subtrees).
+fn collect(base: usize, depth: u32, steer: u64, out: &mut Vec<SiteId>) {
+    if depth == 0 {
+        out.push(SiteId(base as u32));
+        return;
+    }
+    let third = 3usize.pow(depth - 1);
+    // Choose which subtree to skip at this level from the steer.
+    let skip = (steer / 3u64.pow(depth - 1)) % 3;
+    for c in 0..3usize {
+        if c as u64 == skip {
+            continue;
+        }
+        collect(base + c * third, depth - 1, steer, out);
+    }
+}
+
+/// Builds the HQC quorum system over `n = 3^d` sites. Site `i` steers the
+/// majority choices by its own id, so different sites pick different
+/// quorums and load spreads.
+///
+/// ```
+/// use qmx_quorum::hqc::hqc_system;
+/// let sys = hqc_system(27).expect("27 = 3^3");
+/// assert_eq!(sys.max_quorum_size(), 8); // 2^3 = N^0.63
+/// ```
+///
+/// # Errors
+///
+/// [`HqcError::NotPowerOfThree`] if `n` is not `3^d`.
+pub fn hqc_system(n: usize) -> Result<QuorumSystem, HqcError> {
+    let d = log3_exact(n).ok_or(HqcError::NotPowerOfThree(n))?;
+    let quorums = (0..n)
+        .map(|s| {
+            let mut q = Vec::new();
+            // Steer so that site s's own subtree chain is never skipped:
+            // skip digit = (own digit + 1) mod 3 at each level.
+            let mut steer = 0u64;
+            for lvl in 0..d {
+                let digit = (s / 3usize.pow(lvl)) % 3;
+                steer += (((digit + 1) % 3) as u64) * 3u64.pow(lvl);
+            }
+            collect(0, d, steer, &mut q);
+            q
+        })
+        .collect();
+    Ok(QuorumSystem::new(n, quorums))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_powers_of_three() {
+        assert_eq!(hqc_system(10).unwrap_err(), HqcError::NotPowerOfThree(10));
+        assert_eq!(hqc_system(0).unwrap_err(), HqcError::NotPowerOfThree(0));
+        assert_eq!(
+            HqcError::NotPowerOfThree(10).to_string(),
+            "HQC needs N = 3^d sites, got 10"
+        );
+    }
+
+    #[test]
+    fn quorum_size_is_2_pow_d() {
+        for (n, expect) in [(1usize, 1usize), (3, 2), (9, 4), (27, 8), (81, 16)] {
+            let sys = hqc_system(n).unwrap();
+            assert_eq!(sys.max_quorum_size(), expect, "n={n}");
+            assert_eq!(sys.mean_quorum_size(), expect as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn size_tracks_n_pow_0_63() {
+        let sys = hqc_system(81).unwrap();
+        let expect = (81f64).powf((2f64).ln() / (3f64).ln());
+        assert!((sys.mean_quorum_size() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coterie_properties_hold() {
+        for n in [3usize, 9, 27] {
+            let sys = hqc_system(n).unwrap();
+            assert!(sys.verify_intersection().is_ok(), "n={n}");
+            assert!(sys.verify_minimality().is_ok(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn sites_are_in_their_own_quorum() {
+        let sys = hqc_system(27).unwrap();
+        assert_eq!(sys.self_inclusion_rate(), 1.0);
+    }
+
+    #[test]
+    fn trivial_single_site() {
+        let sys = hqc_system(1).unwrap();
+        assert_eq!(sys.quorum_of(SiteId(0)), &[SiteId(0)]);
+    }
+}

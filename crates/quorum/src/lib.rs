@@ -1,0 +1,60 @@
+//! # qmx-quorum
+//!
+//! Coterie theory and quorum constructions for quorum-based mutual
+//! exclusion.
+//!
+//! A **coterie** `C` under a universe `U` of `N` sites is a set of quorums
+//! (subsets of `U`) satisfying (§2 of the paper):
+//!
+//! 1. every quorum is non-empty and a subset of `U`;
+//! 2. **Minimality**: no quorum contains another;
+//! 3. **Intersection**: every two quorums share at least one site.
+//!
+//! The delay-optimal algorithm of `qmx-core` is *quorum-agnostic*: plugging
+//! in different constructions trades quorum size (≈ message complexity)
+//! against failure resilience. This crate implements the constructions the
+//! paper discusses:
+//!
+//! | Construction | Module | Quorum size | Paper reference |
+//! |---|---|---|---|
+//! | Maekawa grid | [`grid`] | `≈ 2√N − 1` | Maekawa \[8\] (grid variant) |
+//! | Finite projective plane | [`fpp`] | `q+1 ≈ √N` | Maekawa \[8\] (optimal) |
+//! | Tree quorum | [`tree`] | `log N` best, degrades under failures | Agrawal–El Abbadi \[1\] |
+//! | Hierarchical (HQC) | [`hqc`] | `N^0.63` | Kumar \[4\] |
+//! | Grid-set | [`gridset`] | majority of groups × grid inside | Cheung et al. \[2\] |
+//! | Rangarajan–Setia–Tripathi | [`rst`] | `(G+1)/2 · O(√(N/G))` | \[11\] |
+//! | Majority | [`majority`] | `⌊N/2⌋+1` | Thomas \[18\] |
+//! | Wheel | [`wheel`] | `2` (hub-centred) | related-work family |
+//! | Crumbling wall | [`crumbling`] | `O(√N)` triangular | Peleg–Wool |
+//!
+//! [`QuorumSystem`] wraps a per-site quorum assignment and offers property
+//! verification ([`QuorumSystem::verify_intersection`],
+//! [`QuorumSystem::verify_minimality`]); [`availability`] estimates the
+//! probability a live quorum exists under independent site failures — the
+//! resilience axis of the paper's §6 discussion.
+//!
+//! ```
+//! use qmx_quorum::{grid::grid_system, QuorumSystem};
+//! let sys: QuorumSystem = grid_system(25);
+//! assert!(sys.verify_intersection().is_ok());
+//! assert_eq!(sys.quorum_of(qmx_core::SiteId(0)).len(), 9); // 2·5 − 1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod coterie;
+pub mod crumbling;
+pub mod domination;
+pub mod fpp;
+pub mod grid;
+pub mod gridset;
+pub mod hqc;
+pub mod majority;
+pub mod rst;
+pub mod tree;
+pub mod wheel;
+
+pub use coterie::QuorumSystem;
+pub use tree::TreeQuorumSource;

@@ -1,0 +1,94 @@
+//! Rangarajan–Setia–Tripathi quorums (reference \[11\] of the paper) — the
+//! dual of grid-set.
+//!
+//! The `N` sites are partitioned into `m = N/G` subgroups of `G` sites.
+//! The **upper** level arranges the subgroups in a Maekawa grid (row ∪
+//! column of subgroups, `≈ 2√m − 1` of them); the **lower** level takes a
+//! **majority** `(G+1)/2` inside each selected subgroup. Quorum size is
+//! `≈ (G+1)/2 · (2√(N/G) − 1)`, the paper's `(G+1)/2 · √(N/G)` up to the
+//! grid constant.
+//!
+//! Intersection: the subgroup grids intersect in a subgroup; majorities
+//! inside that subgroup intersect. Like grid-set, a minority of each
+//! subgroup may fail with **no reconfiguration**; unlike grid-set, message
+//! complexity stays sub-linear in `N` for small `G`.
+
+use crate::coterie::QuorumSystem;
+use crate::grid::grid_system;
+use crate::gridset::TwoLevelError;
+use crate::majority::majority_size;
+use qmx_core::SiteId;
+
+/// Builds the RST quorum system: subgroups of size `g` in a grid, majority
+/// inside each selected subgroup. Subgroup `k` owns sites `[k·g, (k+1)·g)`.
+///
+/// # Errors
+///
+/// [`TwoLevelError::NotDivisible`] if `g` does not divide `n` (or is zero).
+pub fn rst_system(n: usize, g: usize) -> Result<QuorumSystem, TwoLevelError> {
+    if g == 0 || n == 0 || !n.is_multiple_of(g) {
+        return Err(TwoLevelError::NotDivisible { n, g });
+    }
+    let m = n / g; // number of subgroups
+    let maj = majority_size(g);
+    let group_grid = grid_system(m); // grid over subgroup indices
+    let quorums = (0..n)
+        .map(|s| {
+            let my_group = s / g;
+            let within = s % g;
+            let mut q: Vec<SiteId> = Vec::new();
+            for grp in group_grid.quorum_of(SiteId(my_group as u32)) {
+                let base = grp.index() * g;
+                // Majority window inside the subgroup, rotated by the
+                // requester's offset to spread load.
+                for k in 0..maj {
+                    q.push(SiteId((base + (within + k) % g) as u32));
+                }
+            }
+            q
+        })
+        .collect();
+    Ok(QuorumSystem::new(n, quorums))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_group_sizes() {
+        assert!(rst_system(10, 4).is_err());
+        assert!(rst_system(0, 1).is_err());
+    }
+
+    #[test]
+    fn intersection_holds() {
+        for (n, g) in [(12usize, 3usize), (16, 4), (18, 2), (27, 3), (45, 5)] {
+            let sys = rst_system(n, g).unwrap();
+            assert!(sys.verify_intersection().is_ok(), "n={n} g={g}");
+        }
+    }
+
+    #[test]
+    fn quorum_size_matches_formula() {
+        // n=36, g=4: m=9 subgroups in 3x3 grid -> 5 subgroups; majority
+        // of 4 = 3 -> 15 sites.
+        let sys = rst_system(36, 4).unwrap();
+        assert_eq!(sys.max_quorum_size(), 5 * 3);
+    }
+
+    #[test]
+    fn self_inclusion() {
+        for (n, g) in [(12usize, 3usize), (36, 4)] {
+            let sys = rst_system(n, g).unwrap();
+            assert_eq!(sys.self_inclusion_rate(), 1.0, "n={n} g={g}");
+        }
+    }
+
+    #[test]
+    fn degenerate_group_of_one_is_pure_grid() {
+        let sys = rst_system(9, 1).unwrap();
+        let grid = grid_system(9);
+        assert_eq!(sys.quorum_of(SiteId(5)), grid.quorum_of(SiteId(5)));
+    }
+}

@@ -1,0 +1,282 @@
+//! A multi-key replicated store: one [`ReplicaSite`]-style register per
+//! key, each with its own embedded write mutex, multiplexed over a single
+//! message stream.
+//!
+//! Writes to *different* keys proceed concurrently (independent mutexes);
+//! writes to the same key serialize. Reads never take the mutex. This is
+//! the natural scale-out of the paper's conclusion ("replicated data
+//! management"): the mutual exclusion cost is paid per contended key, not
+//! per store.
+
+use crate::register::{OpId, OpResult, RegMsg, ReplicaConfig, ReplicaSite};
+use qmx_core::{Effects, MsgKind, MsgMeta, SiteId};
+use std::collections::BTreeMap;
+
+/// A key in the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(pub u64);
+
+/// Wire messages: per-key register traffic, tagged with the key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvMsg {
+    /// The key whose register this message belongs to.
+    pub key: Key,
+    /// The register-level message.
+    pub inner: RegMsg,
+}
+
+impl MsgMeta for KvMsg {
+    fn kind(&self) -> MsgKind {
+        self.inner.kind()
+    }
+}
+
+/// One site of the multi-key store.
+///
+/// Unlike a single [`ReplicaSite`], a `KvSite` allows one in-flight
+/// operation **per key** (operations on different keys are independent).
+#[derive(Debug, Clone)]
+pub struct KvSite {
+    site: SiteId,
+    cfg: ReplicaConfig,
+    registers: BTreeMap<Key, ReplicaSite>,
+    completed: Vec<(Key, OpId, OpResult)>,
+}
+
+impl KvSite {
+    /// Creates a site whose per-key registers all use `cfg`'s quorums.
+    pub fn new(site: SiteId, cfg: ReplicaConfig) -> Self {
+        KvSite {
+            site,
+            cfg,
+            registers: BTreeMap::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// This site's id.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    fn register(&mut self, key: Key) -> &mut ReplicaSite {
+        let site = self.site;
+        let cfg = self.cfg.clone();
+        self.registers
+            .entry(key)
+            .or_insert_with(|| ReplicaSite::new(site, cfg))
+    }
+
+    /// Whether an operation is in flight for `key` at this site.
+    pub fn busy(&self, key: Key) -> bool {
+        self.registers.get(&key).is_some_and(ReplicaSite::busy)
+    }
+
+    /// The locally stored replica for `key` (version 0 default if never
+    /// touched).
+    pub fn stored(&self, key: Key) -> crate::register::Versioned {
+        self.registers
+            .get(&key)
+            .map_or(crate::register::Versioned::initial(self.cfg.initial), |r| {
+                r.stored()
+            })
+    }
+
+    /// Operations completed since the last call, as `(key, op, result)`.
+    pub fn take_completed(&mut self) -> Vec<(Key, OpId, OpResult)> {
+        std::mem::take(&mut self.completed)
+    }
+
+    fn lift(key: Key, fx_inner: &mut Effects<RegMsg>, fx: &mut Effects<KvMsg>) {
+        for (to, inner) in fx_inner.take_sends() {
+            fx.send(to, KvMsg { key, inner });
+        }
+    }
+
+    /// Starts a read of `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in flight for this key here.
+    pub fn submit_read(&mut self, key: Key, op: OpId, fx: &mut Effects<KvMsg>) {
+        let mut inner_fx = Effects::new();
+        self.register(key).submit_read(op, &mut inner_fx);
+        Self::lift(key, &mut inner_fx, fx);
+        self.harvest(key);
+    }
+
+    /// Starts a write of `value` to `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in flight for this key here.
+    pub fn submit_write(&mut self, key: Key, op: OpId, value: u64, fx: &mut Effects<KvMsg>) {
+        let mut inner_fx = Effects::new();
+        self.register(key).submit_write(op, value, &mut inner_fx);
+        Self::lift(key, &mut inner_fx, fx);
+        self.harvest(key);
+    }
+
+    /// Delivers a wire message.
+    pub fn handle(&mut self, from: SiteId, msg: KvMsg, fx: &mut Effects<KvMsg>) {
+        let key = msg.key;
+        let mut inner_fx = Effects::new();
+        self.register(key).handle(from, msg.inner, &mut inner_fx);
+        Self::lift(key, &mut inner_fx, fx);
+        self.harvest(key);
+    }
+
+    /// Forwards a failure notice to every key's register.
+    pub fn on_site_failure(&mut self, failed: SiteId, fx: &mut Effects<KvMsg>) {
+        let keys: Vec<Key> = self.registers.keys().copied().collect();
+        for key in keys {
+            let mut inner_fx = Effects::new();
+            self.register(key).on_site_failure(failed, &mut inner_fx);
+            Self::lift(key, &mut inner_fx, fx);
+            self.harvest(key);
+        }
+    }
+
+    fn harvest(&mut self, key: Key) {
+        if let Some(r) = self.registers.get_mut(&key) {
+            for (op, result) in r.take_completed() {
+                self.completed.push((key, op, result));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::register::Versioned;
+    use std::collections::VecDeque;
+
+    struct Net {
+        sites: Vec<KvSite>,
+        inflight: VecDeque<(SiteId, SiteId, KvMsg)>,
+    }
+
+    impl Net {
+        fn new(n: u32) -> Self {
+            let all: Vec<SiteId> = (0..n).map(SiteId).collect();
+            Net {
+                sites: (0..n)
+                    .map(|i| {
+                        KvSite::new(
+                            SiteId(i),
+                            ReplicaConfig {
+                                mutex_quorum: all.clone(),
+                                read_quorum: all.clone(),
+                                write_quorum: all.clone(),
+                                initial: 0,
+                                read_repair: false,
+                            },
+                        )
+                    })
+                    .collect(),
+                inflight: VecDeque::new(),
+            }
+        }
+
+        fn collect(&mut self, from: SiteId, fx: &mut Effects<KvMsg>) {
+            for (to, m) in fx.take_sends() {
+                self.inflight.push_back((from, to, m));
+            }
+        }
+
+        fn settle(&mut self) {
+            while let Some((from, to, m)) = self.inflight.pop_front() {
+                let mut fx = Effects::new();
+                self.sites[to.index()].handle(from, m, &mut fx);
+                self.collect(to, &mut fx);
+            }
+        }
+
+        fn write(&mut self, s: u32, key: u64, op: u64, value: u64) {
+            let mut fx = Effects::new();
+            self.sites[s as usize].submit_write(Key(key), OpId(op), value, &mut fx);
+            self.collect(SiteId(s), &mut fx);
+        }
+
+        fn read(&mut self, s: u32, key: u64, op: u64) {
+            let mut fx = Effects::new();
+            self.sites[s as usize].submit_read(Key(key), OpId(op), &mut fx);
+            self.collect(SiteId(s), &mut fx);
+        }
+    }
+
+    #[test]
+    fn independent_keys_do_not_serialize() {
+        let mut net = Net::new(3);
+        // Concurrent writes to DIFFERENT keys from the same site: allowed.
+        net.write(0, 1, 1, 11);
+        net.write(0, 2, 2, 22);
+        net.settle();
+        let mut done = net.sites[0].take_completed();
+        done.sort_by_key(|&(k, ..)| k);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].0, Key(1));
+        assert_eq!(done[1].0, Key(2));
+        assert_eq!(net.sites[1].stored(Key(1)), Versioned { version: 1, value: 11 });
+        assert_eq!(net.sites[1].stored(Key(2)), Versioned { version: 1, value: 22 });
+    }
+
+    #[test]
+    fn same_key_writes_serialize_with_gapless_versions() {
+        let mut net = Net::new(3);
+        net.write(0, 7, 1, 100);
+        net.write(1, 7, 2, 200);
+        net.write(2, 7, 3, 300);
+        net.settle();
+        let mut versions: Vec<u64> = Vec::new();
+        for s in &mut net.sites {
+            for (k, _, r) in s.take_completed() {
+                assert_eq!(k, Key(7));
+                if let OpResult::Write { version } = r {
+                    versions.push(version);
+                }
+            }
+        }
+        versions.sort_unstable();
+        assert_eq!(versions, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reads_see_per_key_state() {
+        let mut net = Net::new(2);
+        net.write(0, 5, 1, 55);
+        net.settle();
+        net.read(1, 5, 2);
+        net.read(1, 6, 3); // untouched key
+        net.settle();
+        let mut done = net.sites[1].take_completed();
+        done.sort_by_key(|&(_, op, _)| op);
+        assert_eq!(
+            done[0],
+            (Key(5), OpId(2), OpResult::Read(Versioned { version: 1, value: 55 }))
+        );
+        assert_eq!(
+            done[1],
+            (Key(6), OpId(3), OpResult::Read(Versioned { version: 0, value: 0 }))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one operation at a time")]
+    fn same_key_same_site_overlap_panics() {
+        let mut net = Net::new(2);
+        net.write(0, 1, 1, 1);
+        net.write(0, 1, 2, 2);
+    }
+
+    #[test]
+    fn busy_is_per_key() {
+        let mut net = Net::new(2);
+        net.write(0, 1, 1, 1);
+        assert!(net.sites[0].busy(Key(1)));
+        assert!(!net.sites[0].busy(Key(2)));
+        net.settle();
+        assert!(!net.sites[0].busy(Key(1)));
+    }
+}

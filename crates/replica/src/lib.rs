@@ -1,0 +1,39 @@
+//! # qmx-replica
+//!
+//! Replicated data management built on the delay-optimal quorum mutex —
+//! the application the paper's conclusion points at: *"the proposed idea
+//! can be used in replicated data management, as long as the quorum being
+//! used supports replica control."*
+//!
+//! The design is Gifford-style read/write quorum replication with writes
+//! serialized by distributed mutual exclusion:
+//!
+//! * every site holds a full replica: a [`Versioned`] value;
+//! * a **write** first acquires the CS through an embedded
+//!   [`qmx_core::DelayOptimal`] instance (so writes are totally ordered), then reads
+//!   the newest version from its write quorum, installs `version + 1` on
+//!   every write-quorum member, waits for all acks, and only then releases
+//!   the CS;
+//! * a **read** needs no mutex: it queries its read quorum and returns the
+//!   highest-versioned value.
+//!
+//! With `R + W > N` (read and write quorums intersect) and serialized
+//! writes, every read returns the value of the latest *completed* write or
+//! a write concurrent with the read — the classic regular-register
+//! guarantee, checked by the tests and the property suite.
+//!
+//! The crate ships its own small driver, [`ReplicaSim`] — operations are
+//! not critical sections, so the CS-shaped `qmx-sim` driver does not fit —
+//! but reuses the workspace's delay models and deterministic-seed
+//! discipline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kv;
+pub mod register;
+pub mod sim;
+
+pub use kv::{Key, KvMsg, KvSite};
+pub use register::{OpId, OpResult, RegMsg, ReplicaConfig, ReplicaSite, Versioned};
+pub use sim::{OpRecord, ReplicaSim, ReplicaSimConfig};

@@ -1,0 +1,610 @@
+//! The replicated register state machine.
+
+use qmx_core::{Config, DelayOptimal, Effects, MsgKind, MsgMeta, Protocol, SiteId};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A version-stamped value. Higher version wins; versions are issued under
+/// mutual exclusion so they are unique and gapless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Versioned {
+    /// Monotone write version (0 = initial value).
+    pub version: u64,
+    /// The stored value.
+    pub value: u64,
+}
+
+impl Versioned {
+    /// The initial (version 0) value.
+    pub fn initial(value: u64) -> Self {
+        Versioned { version: 0, value }
+    }
+}
+
+/// Client operation identifier (assigned by the driver; unique per run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u64);
+
+/// Completed-operation outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpResult {
+    /// A read returning the highest-versioned value in the read quorum.
+    Read(Versioned),
+    /// A write installed at this version.
+    Write {
+        /// The version the write was assigned.
+        version: u64,
+    },
+}
+
+/// Wire messages of the replicated register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegMsg {
+    /// Tunneled mutual-exclusion traffic (the embedded [`DelayOptimal`]).
+    Mutex(qmx_core::Msg),
+    /// Writer asking a write-quorum member for its current version.
+    VersionReq {
+        /// The write operation this belongs to.
+        op: OpId,
+    },
+    /// Response to [`RegMsg::VersionReq`].
+    VersionResp {
+        /// The write operation this belongs to.
+        op: OpId,
+        /// The member's current replica.
+        stored: Versioned,
+    },
+    /// Install a new version at a write-quorum member.
+    Install {
+        /// The write operation this belongs to.
+        op: OpId,
+        /// The value to install.
+        val: Versioned,
+    },
+    /// Acknowledge an [`RegMsg::Install`].
+    InstallAck {
+        /// The write operation this belongs to.
+        op: OpId,
+    },
+    /// Reader asking a read-quorum member for its replica.
+    ReadReq {
+        /// The read operation this belongs to.
+        op: OpId,
+    },
+    /// Response to [`RegMsg::ReadReq`].
+    ReadResp {
+        /// The read operation this belongs to.
+        op: OpId,
+        /// The member's current replica.
+        stored: Versioned,
+    },
+}
+
+impl MsgMeta for RegMsg {
+    fn kind(&self) -> MsgKind {
+        match self {
+            RegMsg::Mutex(m) => m.kind(),
+            RegMsg::VersionReq { .. } | RegMsg::ReadReq { .. } => MsgKind::Request,
+            RegMsg::VersionResp { .. } | RegMsg::ReadResp { .. } | RegMsg::InstallAck { .. } => {
+                MsgKind::Reply
+            }
+            RegMsg::Install { .. } => MsgKind::Info,
+        }
+    }
+}
+
+/// Configuration of one replica site.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Quorum for the embedded mutual exclusion (arbiters of writes).
+    pub mutex_quorum: Vec<SiteId>,
+    /// Members consulted on reads (`R` of them — all are consulted; the
+    /// quorum IS the set).
+    pub read_quorum: Vec<SiteId>,
+    /// Members written on writes.
+    pub write_quorum: Vec<SiteId>,
+    /// Initial value of the register.
+    pub initial: u64,
+    /// Read repair: after a read, push the newest version to any queried
+    /// member that returned a stale one (anti-entropy; keeps replicas
+    /// converged even when they sit outside every write quorum).
+    pub read_repair: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Pending {
+    WriteAcquiring {
+        op: OpId,
+        value: u64,
+    },
+    WriteReadingVersion {
+        op: OpId,
+        value: u64,
+        versions: BTreeMap<SiteId, u64>,
+    },
+    WriteInstalling {
+        op: OpId,
+        version: u64,
+        acks: BTreeSet<SiteId>,
+    },
+    Reading {
+        op: OpId,
+        resps: BTreeMap<SiteId, Versioned>,
+    },
+}
+
+/// One site of the replicated register: a full replica, a read quorum, a
+/// write quorum, and an embedded delay-optimal mutex serializing writes.
+///
+/// ```
+/// use qmx_core::{Effects, SiteId};
+/// use qmx_replica::{OpId, ReplicaConfig, ReplicaSite};
+/// let mut site = ReplicaSite::new(
+///     SiteId(0),
+///     ReplicaConfig {
+///         mutex_quorum: vec![SiteId(0)], // single-site degenerate case
+///         read_quorum: vec![SiteId(0)],
+///         write_quorum: vec![SiteId(0)],
+///         initial: 0,
+///         read_repair: false,
+///     },
+/// );
+/// let mut fx = Effects::new();
+/// site.submit_write(OpId(1), 42, &mut fx);
+/// // Everything is local: the write completes synchronously.
+/// let done = site.take_completed();
+/// assert_eq!(done.len(), 1);
+/// assert_eq!(site.stored().value, 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplicaSite {
+    site: SiteId,
+    mutex: DelayOptimal,
+    store: Versioned,
+    read_quorum: Vec<SiteId>,
+    write_quorum: Vec<SiteId>,
+    read_repair: bool,
+    pending: Option<Pending>,
+    completed: Vec<(OpId, OpResult)>,
+    local_q: VecDeque<(SiteId, RegMsg)>,
+}
+
+impl ReplicaSite {
+    /// Creates a replica site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any quorum is empty.
+    pub fn new(site: SiteId, cfg: ReplicaConfig) -> Self {
+        assert!(!cfg.read_quorum.is_empty(), "read quorum must be non-empty");
+        assert!(
+            !cfg.write_quorum.is_empty(),
+            "write quorum must be non-empty"
+        );
+        ReplicaSite {
+            site,
+            mutex: DelayOptimal::new(site, cfg.mutex_quorum, Config::default()),
+            store: Versioned::initial(cfg.initial),
+            read_quorum: cfg.read_quorum,
+            write_quorum: cfg.write_quorum,
+            read_repair: cfg.read_repair,
+            pending: None,
+            completed: Vec::new(),
+            local_q: VecDeque::new(),
+        }
+    }
+
+    /// This site's id.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// The replica currently stored at this site.
+    pub fn stored(&self) -> Versioned {
+        self.store
+    }
+
+    /// Whether an operation is in progress at this site.
+    pub fn busy(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Drains operations completed since the last call.
+    pub fn take_completed(&mut self) -> Vec<(OpId, OpResult)> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Starts a read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in progress.
+    pub fn submit_read(&mut self, op: OpId, fx: &mut Effects<RegMsg>) {
+        assert!(self.pending.is_none(), "one operation at a time per site");
+        self.pending = Some(Pending::Reading {
+            op,
+            resps: BTreeMap::new(),
+        });
+        for m in self.read_quorum.clone() {
+            self.route(fx, m, RegMsg::ReadReq { op });
+        }
+        self.pump(fx);
+    }
+
+    /// Starts a write of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in progress.
+    pub fn submit_write(&mut self, op: OpId, value: u64, fx: &mut Effects<RegMsg>) {
+        assert!(self.pending.is_none(), "one operation at a time per site");
+        self.pending = Some(Pending::WriteAcquiring { op, value });
+        let mut mfx = Effects::new();
+        self.mutex.request_cs(&mut mfx);
+        self.forward_mutex_effects(mfx, fx);
+        self.pump(fx);
+    }
+
+    /// Delivers a wire message.
+    pub fn handle(&mut self, from: SiteId, msg: RegMsg, fx: &mut Effects<RegMsg>) {
+        self.dispatch(from, msg, fx);
+        self.pump(fx);
+    }
+
+    /// §6 integration: failure notices forwarded to the embedded mutex.
+    pub fn on_site_failure(&mut self, failed: SiteId, fx: &mut Effects<RegMsg>) {
+        let mut mfx = Effects::new();
+        self.mutex.on_site_failure(failed, &mut mfx);
+        self.forward_mutex_effects(mfx, fx);
+        self.pump(fx);
+    }
+
+    fn route(&mut self, fx: &mut Effects<RegMsg>, to: SiteId, msg: RegMsg) {
+        if to == self.site {
+            self.local_q.push_back((self.site, msg));
+        } else {
+            fx.send(to, msg);
+        }
+    }
+
+    fn pump(&mut self, fx: &mut Effects<RegMsg>) {
+        while let Some((from, msg)) = self.local_q.pop_front() {
+            self.dispatch(from, msg, fx);
+        }
+    }
+
+    fn forward_mutex_effects(&mut self, mut mfx: Effects<qmx_core::Msg>, fx: &mut Effects<RegMsg>) {
+        let (sends, entered) = mfx.drain();
+        for (to, m) in sends {
+            // The mutex never sends to itself (it short-circuits), so no
+            // local routing is needed — but keep it uniform anyway.
+            self.route(fx, to, RegMsg::Mutex(m));
+        }
+        if entered {
+            self.on_cs_granted(fx);
+        }
+    }
+
+    /// The write lock is ours: discover the newest version.
+    fn on_cs_granted(&mut self, fx: &mut Effects<RegMsg>) {
+        let Some(Pending::WriteAcquiring { op, value }) = self.pending.clone() else {
+            unreachable!("CS granted without a pending write");
+        };
+        self.pending = Some(Pending::WriteReadingVersion {
+            op,
+            value,
+            versions: BTreeMap::new(),
+        });
+        for m in self.write_quorum.clone() {
+            self.route(fx, m, RegMsg::VersionReq { op });
+        }
+    }
+
+    fn dispatch(&mut self, from: SiteId, msg: RegMsg, fx: &mut Effects<RegMsg>) {
+        match msg {
+            RegMsg::Mutex(m) => {
+                let mut mfx = Effects::new();
+                self.mutex.handle(from, m, &mut mfx);
+                self.forward_mutex_effects(mfx, fx);
+            }
+            RegMsg::VersionReq { op } => {
+                let stored = self.store;
+                self.route(fx, from, RegMsg::VersionResp { op, stored });
+            }
+            RegMsg::VersionResp { op, stored } => {
+                let Some(Pending::WriteReadingVersion {
+                    op: cur,
+                    value,
+                    mut versions,
+                }) = self.pending.clone()
+                else {
+                    return; // stale response
+                };
+                if cur != op {
+                    return;
+                }
+                versions.insert(from, stored.version);
+                if self.write_quorum.iter().all(|m| versions.contains_key(m)) {
+                    // All write-quorum members answered: issue version+1.
+                    let version = versions.values().max().copied().unwrap_or(0) + 1;
+                    self.pending = Some(Pending::WriteInstalling {
+                        op,
+                        version,
+                        acks: BTreeSet::new(),
+                    });
+                    for m in self.write_quorum.clone() {
+                        self.route(
+                            fx,
+                            m,
+                            RegMsg::Install {
+                                op,
+                                val: Versioned { version, value },
+                            },
+                        );
+                    }
+                } else {
+                    self.pending = Some(Pending::WriteReadingVersion {
+                        op: cur,
+                        value,
+                        versions,
+                    });
+                }
+            }
+            RegMsg::Install { op, val } => {
+                if val.version > self.store.version {
+                    self.store = val;
+                }
+                self.route(fx, from, RegMsg::InstallAck { op });
+            }
+            RegMsg::InstallAck { op } => {
+                let Some(Pending::WriteInstalling {
+                    op: cur,
+                    version,
+                    mut acks,
+                }) = self.pending.clone()
+                else {
+                    return; // stale ack
+                };
+                if cur != op {
+                    return;
+                }
+                acks.insert(from);
+                if self.write_quorum.iter().all(|m| acks.contains(m)) {
+                    // Durable on the full write quorum: release the write
+                    // lock and report completion.
+                    self.pending = None;
+                    self.completed.push((op, OpResult::Write { version }));
+                    let mut mfx = Effects::new();
+                    self.mutex.release_cs(&mut mfx);
+                    self.forward_mutex_effects(mfx, fx);
+                } else {
+                    self.pending = Some(Pending::WriteInstalling {
+                        op: cur,
+                        version,
+                        acks,
+                    });
+                }
+            }
+            RegMsg::ReadReq { op } => {
+                let stored = self.store;
+                self.route(fx, from, RegMsg::ReadResp { op, stored });
+            }
+            RegMsg::ReadResp { op, stored } => {
+                let Some(Pending::Reading { op: cur, mut resps }) = self.pending.clone() else {
+                    return; // stale response
+                };
+                if cur != op {
+                    return;
+                }
+                resps.insert(from, stored);
+                if self.read_quorum.iter().all(|m| resps.contains_key(m)) {
+                    let best = resps.values().max().copied().expect("non-empty quorum");
+                    if self.read_repair {
+                        // Push the winner to stale members (their acks are
+                        // ignored — the op is complete either way).
+                        for (&m, &v) in &resps {
+                            if v.version < best.version {
+                                self.route(fx, m, RegMsg::Install { op, val: best });
+                            }
+                        }
+                    }
+                    self.pending = None;
+                    self.completed.push((op, OpResult::Read(best)));
+                } else {
+                    self.pending = Some(Pending::Reading { op: cur, resps });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synchronous harness delivering all messages FIFO.
+    struct Net {
+        sites: Vec<ReplicaSite>,
+        inflight: VecDeque<(SiteId, SiteId, RegMsg)>,
+    }
+
+    impl Net {
+        fn new(n: u32) -> Self {
+            let all: Vec<SiteId> = (0..n).map(SiteId).collect();
+            let cfg = |_i: u32| ReplicaConfig {
+                mutex_quorum: all.clone(),
+                read_quorum: all.clone(),
+                write_quorum: all.clone(),
+                initial: 0,
+                read_repair: false,
+            };
+            Net {
+                sites: (0..n).map(|i| ReplicaSite::new(SiteId(i), cfg(i))).collect(),
+                inflight: VecDeque::new(),
+            }
+        }
+
+        fn collect(&mut self, from: SiteId, fx: &mut Effects<RegMsg>) {
+            for (to, m) in fx.take_sends() {
+                self.inflight.push_back((from, to, m));
+            }
+        }
+
+        fn settle(&mut self) {
+            while let Some((from, to, m)) = self.inflight.pop_front() {
+                let mut fx = Effects::new();
+                self.sites[to.index()].handle(from, m, &mut fx);
+                self.collect(to, &mut fx);
+            }
+        }
+
+        fn write(&mut self, s: u32, op: u64, value: u64) {
+            let mut fx = Effects::new();
+            self.sites[s as usize].submit_write(OpId(op), value, &mut fx);
+            self.collect(SiteId(s), &mut fx);
+        }
+
+        fn read(&mut self, s: u32, op: u64) {
+            let mut fx = Effects::new();
+            self.sites[s as usize].submit_read(OpId(op), &mut fx);
+            self.collect(SiteId(s), &mut fx);
+        }
+    }
+
+    #[test]
+    fn single_write_installs_version_1_everywhere() {
+        let mut net = Net::new(3);
+        net.write(0, 1, 42);
+        net.settle();
+        let done = net.sites[0].take_completed();
+        assert_eq!(done, vec![(OpId(1), OpResult::Write { version: 1 })]);
+        for s in &net.sites {
+            assert_eq!(s.stored(), Versioned { version: 1, value: 42 });
+        }
+    }
+
+    #[test]
+    fn read_returns_latest_write() {
+        let mut net = Net::new(3);
+        net.write(0, 1, 7);
+        net.settle();
+        net.write(1, 2, 9);
+        net.settle();
+        net.read(2, 3);
+        net.settle();
+        let done = net.sites[2].take_completed();
+        assert_eq!(
+            done,
+            vec![(OpId(3), OpResult::Read(Versioned { version: 2, value: 9 }))]
+        );
+    }
+
+    #[test]
+    fn concurrent_writes_serialize_with_distinct_versions() {
+        let mut net = Net::new(3);
+        net.write(0, 1, 10);
+        net.write(1, 2, 20);
+        net.write(2, 3, 30);
+        net.settle();
+        let mut versions = Vec::new();
+        for s in &mut net.sites {
+            for (_, r) in s.take_completed() {
+                match r {
+                    OpResult::Write { version } => versions.push(version),
+                    OpResult::Read(_) => unreachable!(),
+                }
+            }
+        }
+        versions.sort_unstable();
+        assert_eq!(versions, vec![1, 2, 3], "versions are gapless and unique");
+        // All replicas converge to the version-3 value.
+        let final_store = net.sites[0].stored();
+        assert_eq!(final_store.version, 3);
+        assert!(net.sites.iter().all(|s| s.stored() == final_store));
+    }
+
+    #[test]
+    fn initial_read_sees_version_0() {
+        let mut net = Net::new(2);
+        net.read(1, 1);
+        net.settle();
+        assert_eq!(
+            net.sites[1].take_completed(),
+            vec![(OpId(1), OpResult::Read(Versioned { version: 0, value: 0 }))]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one operation at a time")]
+    fn overlapping_ops_at_one_site_panic() {
+        let mut net = Net::new(2);
+        net.write(0, 1, 1);
+        net.write(0, 2, 2);
+    }
+
+    #[test]
+    fn partial_write_quorum_reads_still_intersect() {
+        // R = {0,1}, W = {1,2}: R ∩ W = {1} — a read after a write must
+        // still see it through the common member.
+        let all: Vec<SiteId> = (0..3).map(SiteId).collect();
+        let mk = |site: u32| {
+            ReplicaSite::new(
+                SiteId(site),
+                ReplicaConfig {
+                    mutex_quorum: all.clone(),
+                    read_quorum: vec![SiteId(0), SiteId(1)],
+                    write_quorum: vec![SiteId(1), SiteId(2)],
+                    initial: 0,
+                    read_repair: false,
+                },
+            )
+        };
+        let mut net = Net {
+            sites: (0..3).map(mk).collect(),
+            inflight: VecDeque::new(),
+        };
+        net.write(0, 1, 5);
+        net.settle();
+        net.read(2, 2);
+        net.settle();
+        assert_eq!(
+            net.sites[2].take_completed(),
+            vec![(OpId(2), OpResult::Read(Versioned { version: 1, value: 5 }))]
+        );
+        // Site 0 is NOT in the write quorum: its local store is stale, yet
+        // its reads are correct via the quorum.
+        assert_eq!(net.sites[0].stored().version, 0);
+    }
+
+    #[test]
+    fn read_repair_converges_stale_replicas() {
+        // Same asymmetric quorums, but with read repair on: after a read
+        // that touches the stale site 0, site 0 catches up.
+        let all: Vec<SiteId> = (0..3).map(SiteId).collect();
+        let mk = |site: u32| {
+            ReplicaSite::new(
+                SiteId(site),
+                ReplicaConfig {
+                    mutex_quorum: all.clone(),
+                    read_quorum: vec![SiteId(0), SiteId(1)],
+                    write_quorum: vec![SiteId(1), SiteId(2)],
+                    initial: 0,
+                    read_repair: true,
+                },
+            )
+        };
+        let mut net = Net {
+            sites: (0..3).map(mk).collect(),
+            inflight: VecDeque::new(),
+        };
+        net.write(1, 1, 77);
+        net.settle();
+        assert_eq!(net.sites[0].stored().version, 0, "stale before the read");
+        net.read(2, 2);
+        net.settle();
+        assert_eq!(
+            net.sites[0].stored(),
+            Versioned { version: 1, value: 77 },
+            "read repair pushed the newest version to the stale replica"
+        );
+    }
+}

@@ -1,0 +1,349 @@
+//! A small discrete-event driver for [`ReplicaSite`] clusters (reads and
+//! writes are not critical sections, so the CS-shaped driver in `qmx-sim`
+//! does not apply; the delay models and determinism discipline are shared).
+
+use crate::register::{OpId, OpResult, RegMsg, ReplicaConfig, ReplicaSite};
+use qmx_core::{Effects, SiteId};
+use qmx_sim::DelayModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct ReplicaSimConfig {
+    /// Message delay distribution.
+    pub delay: DelayModel,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ReplicaSimConfig {
+    fn default() -> Self {
+        ReplicaSimConfig {
+            delay: DelayModel::Constant(1000),
+            seed: 7,
+        }
+    }
+}
+
+/// Record of one completed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    /// The operation id.
+    pub op: OpId,
+    /// The submitting site.
+    pub site: SiteId,
+    /// Virtual submission time.
+    pub submitted_at: u64,
+    /// Virtual completion time.
+    pub completed_at: u64,
+    /// The outcome.
+    pub result: OpResult,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Deliver { from: SiteId, to: SiteId, msg: RegMsg },
+    Read { site: SiteId },
+    Write { site: SiteId, value: u64 },
+}
+
+struct Item {
+    time: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Item {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for Item {}
+impl PartialOrd for Item {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Item {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Deterministic discrete-event driver for a replicated-register cluster.
+pub struct ReplicaSim {
+    sites: Vec<ReplicaSite>,
+    cfg: ReplicaSimConfig,
+    rng: StdRng,
+    now: u64,
+    seq: u64,
+    next_op: u64,
+    events: BinaryHeap<Reverse<Item>>,
+    link_clock: BTreeMap<(SiteId, SiteId), u64>,
+    submitted: BTreeMap<OpId, (SiteId, u64)>,
+    records: Vec<OpRecord>,
+    messages: u64,
+    dropped_ops: u64,
+}
+
+impl ReplicaSim {
+    /// Builds a cluster where every site uses the same quorum configuration
+    /// factory.
+    pub fn new(n: u32, cfg_of: impl Fn(SiteId) -> ReplicaConfig, cfg: ReplicaSimConfig) -> Self {
+        ReplicaSim {
+            sites: (0..n)
+                .map(|i| ReplicaSite::new(SiteId(i), cfg_of(SiteId(i))))
+                .collect(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            now: 0,
+            seq: 0,
+            next_op: 1,
+            events: BinaryHeap::new(),
+            link_clock: BTreeMap::new(),
+            submitted: BTreeMap::new(),
+            records: Vec::new(),
+            messages: 0,
+            dropped_ops: 0,
+        }
+    }
+
+    /// A cluster where every quorum (mutex, read, write) is all `n` sites.
+    pub fn full_quorums(n: u32, cfg: ReplicaSimConfig) -> Self {
+        let all: Vec<SiteId> = (0..n).map(SiteId).collect();
+        Self::new(
+            n,
+            move |_| ReplicaConfig {
+                mutex_quorum: all.clone(),
+                read_quorum: all.clone(),
+                write_quorum: all.clone(),
+                initial: 0,
+                read_repair: false,
+            },
+            cfg,
+        )
+    }
+
+    fn push(&mut self, time: u64, ev: Ev) {
+        self.seq += 1;
+        self.events.push(Reverse(Item {
+            time,
+            seq: self.seq,
+            ev,
+        }));
+    }
+
+    /// Schedules a read at `site`.
+    pub fn schedule_read(&mut self, site: SiteId, at: u64) {
+        self.push(at, Ev::Read { site });
+    }
+
+    /// Schedules a write of `value` at `site`.
+    pub fn schedule_write(&mut self, site: SiteId, value: u64, at: u64) {
+        self.push(at, Ev::Write { site, value });
+    }
+
+    /// Completed-operation records (in completion order).
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// Total wire messages.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Operations dropped because the submitting site was busy.
+    pub fn dropped_ops(&self) -> u64 {
+        self.dropped_ops
+    }
+
+    /// Current replica at `site` (for convergence assertions).
+    pub fn stored(&self, site: SiteId) -> crate::register::Versioned {
+        self.sites[site.index()].stored()
+    }
+
+    fn apply(&mut self, actor: SiteId, fx: &mut Effects<RegMsg>) {
+        for (to, msg) in fx.take_sends() {
+            self.messages += 1;
+            let sampled = self.cfg.delay.sample(&mut self.rng);
+            let link = self.link_clock.entry((actor, to)).or_insert(0);
+            let at = (self.now + sampled).max(*link);
+            *link = at;
+            self.push(at, Ev::Deliver { from: actor, to, msg });
+        }
+        for (op, result) in self.sites[actor.index()].take_completed() {
+            let (site, submitted_at) = self.submitted.remove(&op).expect("completed op was submitted");
+            self.records.push(OpRecord {
+                op,
+                site,
+                submitted_at,
+                completed_at: self.now,
+                result,
+            });
+        }
+    }
+
+    /// Runs until quiescence or `horizon`. Returns events processed.
+    pub fn run(&mut self, horizon: u64) -> usize {
+        let mut processed = 0;
+        while let Some(Reverse(item)) = self.events.pop() {
+            if item.time > horizon {
+                self.now = horizon;
+                break;
+            }
+            self.now = item.time;
+            processed += 1;
+            match item.ev {
+                Ev::Deliver { from, to, msg } => {
+                    let mut fx = Effects::new();
+                    self.sites[to.index()].handle(from, msg, &mut fx);
+                    self.apply(to, &mut fx);
+                }
+                Ev::Read { site } => {
+                    if self.sites[site.index()].busy() {
+                        self.dropped_ops += 1;
+                        continue;
+                    }
+                    let op = OpId(self.next_op);
+                    self.next_op += 1;
+                    self.submitted.insert(op, (site, self.now));
+                    let mut fx = Effects::new();
+                    self.sites[site.index()].submit_read(op, &mut fx);
+                    self.apply(site, &mut fx);
+                }
+                Ev::Write { site, value } => {
+                    if self.sites[site.index()].busy() {
+                        self.dropped_ops += 1;
+                        continue;
+                    }
+                    let op = OpId(self.next_op);
+                    self.next_op += 1;
+                    self.submitted.insert(op, (site, self.now));
+                    let mut fx = Effects::new();
+                    self.sites[site.index()].submit_write(op, value, &mut fx);
+                    self.apply(site, &mut fx);
+                }
+            }
+        }
+        processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: u64 = 1000;
+
+    #[test]
+    fn writes_serialize_and_replicas_converge() {
+        let mut sim = ReplicaSim::full_quorums(4, ReplicaSimConfig::default());
+        for i in 0..4u32 {
+            sim.schedule_write(SiteId(i), 100 + u64::from(i), (u64::from(i)) * 10);
+        }
+        sim.run(10_000 * T);
+        let mut versions: Vec<u64> = sim
+            .records()
+            .iter()
+            .filter_map(|r| match r.result {
+                OpResult::Write { version } => Some(version),
+                OpResult::Read(_) => None,
+            })
+            .collect();
+        versions.sort_unstable();
+        assert_eq!(versions, vec![1, 2, 3, 4]);
+        let v = sim.stored(SiteId(0));
+        assert_eq!(v.version, 4);
+        for i in 1..4u32 {
+            assert_eq!(sim.stored(SiteId(i)), v, "replica {i} diverged");
+        }
+    }
+
+    #[test]
+    fn reads_after_writes_see_them() {
+        let mut sim = ReplicaSim::full_quorums(3, ReplicaSimConfig::default());
+        sim.schedule_write(SiteId(0), 55, 0);
+        sim.schedule_read(SiteId(2), 100 * T); // long after the write
+        sim.run(1_000 * T);
+        let read = sim
+            .records()
+            .iter()
+            .find_map(|r| match r.result {
+                OpResult::Read(v) => Some(v),
+                OpResult::Write { .. } => None,
+            })
+            .expect("read completed");
+        assert_eq!(read.version, 1);
+        assert_eq!(read.value, 55);
+    }
+
+    #[test]
+    fn monotone_reads_property_under_random_delays() {
+        // Reads issued strictly after a write completes must return at
+        // least that write's version.
+        let cfg = ReplicaSimConfig {
+            delay: DelayModel::Exponential { mean: 800 },
+            seed: 1234,
+        };
+        let mut sim = ReplicaSim::full_quorums(5, cfg);
+        for r in 0..10u64 {
+            sim.schedule_write(SiteId((r % 5) as u32), r, r * 30 * T);
+            sim.schedule_read(SiteId(((r + 2) % 5) as u32), r * 30 * T + 15 * T);
+        }
+        sim.run(10_000 * T);
+        let records = sim.records().to_vec();
+        for r in &records {
+            if let OpResult::Read(v) = r.result {
+                let completed_before: u64 = records
+                    .iter()
+                    .filter_map(|w| match w.result {
+                        OpResult::Write { version } if w.completed_at <= r.submitted_at => {
+                            Some(version)
+                        }
+                        _ => None,
+                    })
+                    .max()
+                    .unwrap_or(0);
+                assert!(
+                    v.version >= completed_before,
+                    "read {:?} returned v{} but v{} completed before submission",
+                    r.op,
+                    v.version,
+                    completed_before
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn busy_sites_drop_operations() {
+        let mut sim = ReplicaSim::full_quorums(2, ReplicaSimConfig::default());
+        sim.schedule_write(SiteId(0), 1, 0);
+        sim.schedule_write(SiteId(0), 2, 1); // still acquiring: dropped
+        sim.run(1_000 * T);
+        assert_eq!(sim.dropped_ops(), 1);
+        assert_eq!(sim.records().len(), 1);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = |seed: u64| {
+            let cfg = ReplicaSimConfig {
+                delay: DelayModel::Uniform { lo: 100, hi: 2000 },
+                seed,
+            };
+            let mut sim = ReplicaSim::full_quorums(3, cfg);
+            for r in 0..6u64 {
+                sim.schedule_write(SiteId((r % 3) as u32), r, r * 5 * T);
+            }
+            sim.run(10_000 * T);
+            (sim.messages(), sim.records().to_vec())
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9).0, run(10).0);
+    }
+}

@@ -1,0 +1,12 @@
+//! # qmx-runtime
+//!
+//! Live multi-threaded runtime for `qmx` protocols: each site runs on its
+//! own OS thread, messages travel through crossbeam channels with injected
+//! latency, and a shared monitor asserts mutual exclusion in real time.
+//! See [`net::run_cluster`].
+
+#![forbid(unsafe_code)]
+
+pub mod net;
+
+pub use net::{messages_per_cs, run_cluster, NetOptions, RunOutcome};

@@ -1,0 +1,470 @@
+//! A live multi-threaded runtime: each site is an OS thread, links are
+//! crossbeam channels routed through a latency-injecting router thread.
+//!
+//! The same [`Protocol`] implementations that run under the deterministic
+//! simulator run here over real threads and wall-clock delays — evidence
+//! that the state machines do not depend on simulator artifacts. A shared
+//! safety monitor asserts mutual exclusion on every entry.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use qmx_core::{Effects, Protocol, SiteId};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Runtime options.
+#[derive(Debug, Clone)]
+pub struct NetOptions {
+    /// One-way link latency applied to every message.
+    pub latency: Duration,
+    /// How long a site holds the CS once entered.
+    pub hold: Duration,
+    /// How many CS executions each site performs.
+    pub rounds: usize,
+    /// Pause between a site's releases and its next request.
+    pub think: Duration,
+    /// Crash injection: `(site, when)` pairs — the site stops dead at
+    /// `when` after start; every survivor receives a failure notice
+    /// `detect_latency` later (§6's `failure(i)`).
+    pub crashes: Vec<(SiteId, Duration)>,
+    /// Failure-detector latency for crash notices.
+    pub detect_latency: Duration,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        NetOptions {
+            latency: Duration::from_millis(2),
+            hold: Duration::from_micros(500),
+            rounds: 3,
+            think: Duration::from_millis(1),
+            crashes: Vec::new(),
+            detect_latency: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Outcome of a live run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Total CS executions observed (should be `n × rounds`).
+    pub completed: usize,
+    /// Total wire messages routed.
+    pub messages: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Per-site CS counts.
+    pub per_site: Vec<usize>,
+}
+
+/// Wire messages per CS execution in a live outcome.
+pub fn messages_per_cs(outcome: &RunOutcome) -> f64 {
+    if outcome.completed == 0 {
+        0.0
+    } else {
+        outcome.messages as f64 / outcome.completed as f64
+    }
+}
+
+struct Envelope<M> {
+    from: SiteId,
+    to: SiteId,
+    msg: M,
+}
+
+/// What a site thread can receive: a protocol message, a failure notice,
+/// or the order to crash (stop processing entirely).
+enum Inbox<M> {
+    Net(Envelope<M>),
+    Failed(SiteId),
+    Die,
+}
+
+struct Delayed<M> {
+    due: Instant,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for Delayed<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due, self.seq) == (other.due, other.seq)
+    }
+}
+impl<M> Eq for Delayed<M> {}
+impl<M> PartialOrd for Delayed<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Delayed<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest due first.
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// Shared safety monitor: panics the offending thread if two sites are in
+/// the CS at once.
+#[derive(Default)]
+struct CsMonitor {
+    occupant: Mutex<Option<SiteId>>,
+}
+
+impl CsMonitor {
+    fn enter(&self, site: SiteId) {
+        let mut occ = self.occupant.lock();
+        assert!(
+            occ.is_none(),
+            "MUTUAL EXCLUSION VIOLATED: {site} entered while {:?} inside",
+            *occ
+        );
+        *occ = Some(site);
+    }
+
+    fn exit(&self, site: SiteId) {
+        let mut occ = self.occupant.lock();
+        assert_eq!(*occ, Some(site), "exit without matching entry");
+        *occ = None;
+    }
+}
+
+/// Runs `sites` over real threads until every site not scheduled to
+/// crash completes `opts.rounds` CS executions. Returns the aggregated
+/// outcome.
+///
+/// Crash injection is oracle-driven (like the simulator's): at the
+/// scheduled instant the victim's thread stops processing entirely, and
+/// `detect_latency` later every survivor receives
+/// [`Protocol::on_site_failure`].
+///
+/// # Panics
+///
+/// Panics (in a site thread, propagated on join) if mutual exclusion is
+/// ever violated, or if the run makes no progress for 60 seconds.
+pub fn run_cluster<P>(sites: Vec<P>, opts: NetOptions) -> RunOutcome
+where
+    P: Protocol + Send + 'static,
+{
+    let n = sites.len();
+    assert!(n > 0, "need at least one site");
+    assert!(
+        opts.crashes.iter().all(|(s, _)| s.index() < n),
+        "crash schedule references unknown site"
+    );
+    let start = Instant::now();
+
+    // Channels: router input, per-site inboxes.
+    let (router_tx, router_rx) = unbounded::<Envelope<P::Msg>>();
+    let mut site_txs: Vec<Sender<Inbox<P::Msg>>> = Vec::with_capacity(n);
+    let mut site_rxs: Vec<Receiver<Inbox<P::Msg>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        site_txs.push(tx);
+        site_rxs.push(rx);
+    }
+
+    let monitor = Arc::new(CsMonitor::default());
+    let done = Arc::new(AtomicBool::new(false));
+    let messages = Arc::new(AtomicU64::new(0));
+    let completed_total = Arc::new(AtomicU64::new(0));
+    let crashed: Arc<Mutex<std::collections::BTreeSet<SiteId>>> =
+        Arc::new(Mutex::new(std::collections::BTreeSet::new()));
+
+    // Router thread: applies latency; constant latency plus the heap's
+    // arrival-sequence tie-break preserves per-link FIFO. Messages to
+    // crashed sites are dropped.
+    let router: JoinHandle<()> = {
+        let done = Arc::clone(&done);
+        let messages = Arc::clone(&messages);
+        let crashed = Arc::clone(&crashed);
+        let site_txs = site_txs.clone();
+        let latency = opts.latency;
+        std::thread::spawn(move || {
+            let mut heap: BinaryHeap<Delayed<P::Msg>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            loop {
+                let timeout = heap
+                    .peek()
+                    .map(|d| d.due.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_millis(5));
+                match router_rx.recv_timeout(timeout) {
+                    Ok(env) => {
+                        seq += 1;
+                        messages.fetch_add(1, Ordering::Relaxed);
+                        heap.push(Delayed {
+                            due: Instant::now() + latency,
+                            seq,
+                            env,
+                        });
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+                let now = Instant::now();
+                while heap.peek().is_some_and(|d| d.due <= now) {
+                    let d = heap.pop().expect("peeked");
+                    if crashed.lock().contains(&d.env.to) {
+                        continue; // dropped on the floor
+                    }
+                    // Send failures during shutdown are harmless.
+                    let _ = site_txs[d.env.to.index()].send(Inbox::Net(d.env));
+                }
+                if done.load(Ordering::Relaxed) && heap.is_empty() {
+                    break;
+                }
+            }
+        })
+    };
+
+    // Crash-injection thread: kills victims on schedule and notifies the
+    // survivors after the detection latency.
+    let injector: Option<JoinHandle<()>> = if opts.crashes.is_empty() {
+        None
+    } else {
+        let mut schedule = opts.crashes.clone();
+        schedule.sort_by_key(|&(_, at)| at);
+        let site_txs = site_txs.clone();
+        let crashed = Arc::clone(&crashed);
+        let done = Arc::clone(&done);
+        let detect = opts.detect_latency;
+        Some(std::thread::spawn(move || {
+            let t0 = Instant::now();
+            for (victim, at) in schedule {
+                loop {
+                    if done.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let elapsed = t0.elapsed();
+                    if elapsed >= at {
+                        break;
+                    }
+                    std::thread::sleep((at - elapsed).min(Duration::from_millis(2)));
+                }
+                crashed.lock().insert(victim);
+                let _ = site_txs[victim.index()].send(Inbox::Die);
+                std::thread::sleep(detect);
+                for (i, tx) in site_txs.iter().enumerate() {
+                    if i != victim.index() && !crashed.lock().contains(&SiteId(i as u32)) {
+                        let _ = tx.send(Inbox::Failed(victim));
+                    }
+                }
+            }
+        }))
+    };
+
+    // Which sites are expected to finish all rounds (victims are not).
+    let victims: std::collections::BTreeSet<SiteId> =
+        opts.crashes.iter().map(|&(s, _)| s).collect();
+    let expected_total: u64 = ((n - victims.len()) * opts.rounds) as u64;
+    let victim_flags: Vec<bool> = (0..n).map(|i| victims.contains(&SiteId(i as u32))).collect();
+
+    // Site threads.
+    let mut handles: Vec<JoinHandle<usize>> = Vec::with_capacity(n);
+    for (i, mut proto) in sites.into_iter().enumerate() {
+        let rx = site_rxs.remove(0);
+        let tx = router_tx.clone();
+        let monitor = Arc::clone(&monitor);
+        let done = Arc::clone(&done);
+        let completed_total = Arc::clone(&completed_total);
+        let is_victim = victim_flags[i];
+        let opts = opts.clone();
+        let me = SiteId(i as u32);
+        handles.push(std::thread::spawn(move || {
+            let mut fx = Effects::new();
+            let mut my_completed = 0usize;
+            let mut exit_at: Option<Instant> = None;
+            let mut next_request_at = Some(Instant::now());
+            fn flush<M>(me: SiteId, fx: &mut Effects<M>, tx: &Sender<Envelope<M>>) -> bool {
+                let (sends, entered) = fx.drain();
+                for (to, msg) in sends {
+                    let _ = tx.send(Envelope { from: me, to, msg });
+                }
+                entered
+            }
+
+            proto.on_start(&mut fx);
+            flush(me, &mut fx, &tx);
+
+            let mut last_progress = Instant::now();
+            loop {
+                if done.load(Ordering::Relaxed) {
+                    break;
+                }
+                assert!(
+                    last_progress.elapsed() < Duration::from_secs(60),
+                    "site {me} made no progress for 60s (deadlock?)"
+                );
+
+                // Leave the CS when the hold expires.
+                if let Some(at) = exit_at {
+                    if Instant::now() >= at {
+                        exit_at = None;
+                        monitor.exit(me);
+                        proto.release_cs(&mut fx);
+                        flush(me, &mut fx, &tx);
+                        my_completed += 1;
+                        if !is_victim {
+                            completed_total.fetch_add(1, Ordering::Relaxed);
+                        }
+                        last_progress = Instant::now();
+                        if my_completed < opts.rounds {
+                            next_request_at = Some(Instant::now() + opts.think);
+                        }
+                        continue;
+                    }
+                }
+
+                // Issue the next request when idle and due.
+                if exit_at.is_none() && !proto.in_cs() && !proto.wants_cs() {
+                    if let Some(at) = next_request_at {
+                        if Instant::now() >= at {
+                            next_request_at = None;
+                            proto.request_cs(&mut fx);
+                            if flush(me, &mut fx, &tx) {
+                                monitor.enter(me);
+                                exit_at = Some(Instant::now() + opts.hold);
+                            }
+                            last_progress = Instant::now();
+                            continue;
+                        }
+                    }
+                }
+
+                // Process one inbox item (bounded wait so the timers above
+                // keep firing).
+                match rx.recv_timeout(Duration::from_micros(200)) {
+                    Ok(Inbox::Net(env)) => {
+                        proto.handle(env.from, env.msg, &mut fx);
+                        if flush(me, &mut fx, &tx) {
+                            monitor.enter(me);
+                            exit_at = Some(Instant::now() + opts.hold);
+                        }
+                        last_progress = Instant::now();
+                    }
+                    Ok(Inbox::Failed(victim)) => {
+                        proto.on_site_failure(victim, &mut fx);
+                        if flush(me, &mut fx, &tx) {
+                            monitor.enter(me);
+                            exit_at = Some(Instant::now() + opts.hold);
+                        }
+                        last_progress = Instant::now();
+                    }
+                    Ok(Inbox::Die) => {
+                        // Crashed: free the monitor if we died inside the
+                        // CS (the survivors must be able to proceed via the
+                        // §6 recovery), then stop entirely.
+                        if proto.in_cs() {
+                            monitor.exit(me);
+                        }
+                        break;
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            my_completed
+        }));
+    }
+    drop(router_tx);
+
+    // Wait for global completion, then stop everyone.
+    let watchdog = Instant::now();
+    while completed_total.load(Ordering::Relaxed) < expected_total {
+        assert!(
+            watchdog.elapsed() < Duration::from_secs(60),
+            "cluster did not complete {expected_total} CS executions in 60s (got {})",
+            completed_total.load(Ordering::Relaxed)
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    done.store(true, Ordering::Relaxed);
+
+    let per_site: Vec<usize> = handles
+        .into_iter()
+        .map(|h| h.join().expect("site thread panicked"))
+        .collect();
+    router.join().expect("router thread panicked");
+    if let Some(h) = injector {
+        h.join().expect("injector thread panicked");
+    }
+
+    RunOutcome {
+        completed: per_site.iter().sum(),
+        messages: messages.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+        per_site,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmx_core::{Config, DelayOptimal};
+
+    fn opts() -> NetOptions {
+        NetOptions {
+            latency: Duration::from_millis(1),
+            hold: Duration::from_micros(200),
+            rounds: 3,
+            think: Duration::from_micros(500),
+            ..NetOptions::default()
+        }
+    }
+
+    #[test]
+    fn live_delay_optimal_full_quorum() {
+        let n = 3u32;
+        let quorum: Vec<SiteId> = (0..n).map(SiteId).collect();
+        let sites: Vec<DelayOptimal> = (0..n)
+            .map(|i| DelayOptimal::new(SiteId(i), quorum.clone(), Config::default()))
+            .collect();
+        let out = run_cluster(sites, opts());
+        assert_eq!(out.completed, 9);
+        assert_eq!(out.per_site, vec![3, 3, 3]);
+        assert!(out.messages > 0);
+        assert!(messages_per_cs(&out) > 0.0);
+    }
+
+    #[test]
+    fn live_crash_with_tree_reconstruction() {
+        use qmx_quorum::TreeQuorumSource;
+        let n = 7usize;
+        let sites: Vec<DelayOptimal> = (0..n)
+            .map(|i| {
+                DelayOptimal::with_quorum_source(
+                    SiteId(i as u32),
+                    Config::default(),
+                    Box::new(TreeQuorumSource::new(n).expect("2^d - 1")),
+                )
+            })
+            .collect();
+        let mut o = opts();
+        o.rounds = 4;
+        // Crash an interior tree node early; survivors must finish all
+        // their rounds via §6 quorum reconstruction.
+        o.crashes = vec![(SiteId(1), Duration::from_millis(5))];
+        o.detect_latency = Duration::from_millis(5);
+        let out = run_cluster(sites, o);
+        for (i, &c) in out.per_site.iter().enumerate() {
+            if i != 1 {
+                assert_eq!(c, 4, "site {i} did not finish");
+            }
+        }
+    }
+
+    #[test]
+    fn live_single_site() {
+        let sites = vec![DelayOptimal::new(
+            SiteId(0),
+            vec![SiteId(0)],
+            Config::default(),
+        )];
+        let out = run_cluster(sites, opts());
+        assert_eq!(out.completed, 3);
+        assert_eq!(out.messages, 0);
+    }
+}

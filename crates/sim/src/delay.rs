@@ -1,0 +1,129 @@
+//! Delay distributions for message latency and CS hold times.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A distribution over non-negative virtual-time durations (ticks).
+///
+/// The paper's `T` (average message delay) is this distribution's mean;
+/// experiment harnesses report synchronization delays in units of
+/// [`DelayModel::mean`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DelayModel {
+    /// Always exactly `ticks`.
+    Constant(u64),
+    /// Uniform over `[lo, hi]` inclusive.
+    Uniform {
+        /// Minimum delay.
+        lo: u64,
+        /// Maximum delay.
+        hi: u64,
+    },
+    /// Exponential with the given mean, truncated to at least 1 tick.
+    ///
+    /// Message delay is "unpredictable but has an upper bound" in the
+    /// paper's model; the exponential is capped at `10 × mean`.
+    Exponential {
+        /// Mean delay in ticks.
+        mean: u64,
+    },
+}
+
+impl Default for DelayModel {
+    /// One thousand ticks, constant — a convenient unit for reading
+    /// synchronization delays directly in multiples of `T`.
+    fn default() -> Self {
+        DelayModel::Constant(1000)
+    }
+}
+
+impl DelayModel {
+    /// Samples a delay.
+    ///
+    /// ```
+    /// use qmx_sim::DelayModel;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    /// let mut rng = StdRng::seed_from_u64(1);
+    /// let d = DelayModel::Uniform { lo: 10, hi: 20 };
+    /// let sample = d.sample(&mut rng);
+    /// assert!((10..=20).contains(&sample));
+    /// assert_eq!(d.mean(), 15.0);
+    /// ```
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        match *self {
+            DelayModel::Constant(t) => t,
+            DelayModel::Uniform { lo, hi } => {
+                assert!(lo <= hi, "uniform delay needs lo <= hi");
+                rng.gen_range(lo..=hi)
+            }
+            DelayModel::Exponential { mean } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let raw = -(u.ln()) * mean as f64;
+                (raw.round() as u64).clamp(1, mean.saturating_mul(10))
+            }
+        }
+    }
+
+    /// The distribution mean (the paper's `T` when used as message delay).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            DelayModel::Constant(t) => t as f64,
+            DelayModel::Uniform { lo, hi } => (lo + hi) as f64 / 2.0,
+            DelayModel::Exponential { mean } => mean as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(DelayModel::Constant(7).sample(&mut rng), 7);
+        }
+        assert_eq!(DelayModel::Constant(7).mean(), 7.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = DelayModel::Uniform { lo: 5, hi: 15 };
+        for _ in 0..100 {
+            let s = d.sample(&mut rng);
+            assert!((5..=15).contains(&s));
+        }
+        assert_eq!(d.mean(), 10.0);
+    }
+
+    #[test]
+    fn exponential_mean_is_approximately_right() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = DelayModel::Exponential { mean: 1000 };
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (mean - 1000.0).abs() < 50.0,
+            "empirical mean {mean} too far from 1000"
+        );
+    }
+
+    #[test]
+    fn exponential_is_positive_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = DelayModel::Exponential { mean: 10 };
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng);
+            assert!((1..=100).contains(&s));
+        }
+    }
+
+    #[test]
+    fn default_is_1000_constant() {
+        assert_eq!(DelayModel::default(), DelayModel::Constant(1000));
+    }
+}

@@ -1,0 +1,223 @@
+//! Measurement collection: message counts and per-CS timing records.
+
+use qmx_core::{MsgKind, SiteId};
+use std::collections::BTreeMap;
+
+/// Timing record of one completed critical-section execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsRecord {
+    /// The executing site.
+    pub site: SiteId,
+    /// Virtual time the application issued the request.
+    pub requested_at: u64,
+    /// Virtual time the site entered the CS.
+    pub entered_at: u64,
+    /// Virtual time the site exited the CS.
+    pub exited_at: u64,
+}
+
+impl CsRecord {
+    /// Response time: request to CS *exit* — the paper's definition, whose
+    /// light-load value is `2T + E` (§5.1).
+    pub fn response_time(&self) -> u64 {
+        self.exited_at - self.requested_at
+    }
+
+    /// Waiting time: request to CS *entry* (time spent blocked).
+    pub fn waiting_time(&self) -> u64 {
+        self.entered_at - self.requested_at
+    }
+}
+
+/// Aggregated measurements from one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    msg_counts: BTreeMap<MsgKind, u64>,
+    records: Vec<CsRecord>,
+    dropped_to_crashed: u64,
+}
+
+impl Metrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sent wire message.
+    pub fn count_msg(&mut self, kind: MsgKind) {
+        *self.msg_counts.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Records a message dropped because its target crashed.
+    pub fn count_dropped(&mut self) {
+        self.dropped_to_crashed += 1;
+    }
+
+    /// Records a completed CS execution.
+    pub fn record_cs(&mut self, rec: CsRecord) {
+        self.records.push(rec);
+    }
+
+    /// Total wire messages sent.
+    pub fn total_messages(&self) -> u64 {
+        self.msg_counts.values().sum()
+    }
+
+    /// Messages sent, by kind.
+    pub fn messages_by_kind(&self) -> &BTreeMap<MsgKind, u64> {
+        &self.msg_counts
+    }
+
+    /// Messages of one kind.
+    pub fn messages_of(&self, kind: MsgKind) -> u64 {
+        self.msg_counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Messages dropped en route to crashed sites.
+    pub fn dropped_to_crashed(&self) -> u64 {
+        self.dropped_to_crashed
+    }
+
+    /// Number of completed CS executions.
+    pub fn completed_cs(&self) -> usize {
+        self.records.len()
+    }
+
+    /// All completed-CS records, in completion order.
+    pub fn records(&self) -> &[CsRecord] {
+        &self.records
+    }
+
+    /// Average wire messages per completed CS execution — the paper's
+    /// message complexity measure. `None` if no CS completed.
+    pub fn messages_per_cs(&self) -> Option<f64> {
+        (!self.records.is_empty())
+            .then(|| self.total_messages() as f64 / self.records.len() as f64)
+    }
+
+    /// Synchronization delay samples: for each consecutive pair of CS
+    /// executions (ordered by entry time) where the successor was already
+    /// waiting when the predecessor exited, the gap `enterₙ₊₁ − exitₙ`.
+    ///
+    /// This matches the paper's definition — "the time required after a
+    /// site exits the CS and before the next site enters the CS" — which is
+    /// only meaningful under contention (§5.1 notes it is meaningless at
+    /// light load, where the gap is dominated by request arrival).
+    pub fn sync_delays(&self) -> Vec<u64> {
+        let mut ordered: Vec<&CsRecord> = self.records.iter().collect();
+        ordered.sort_by_key(|r| r.entered_at);
+        ordered
+            .windows(2)
+            .filter(|w| w[1].requested_at <= w[0].exited_at)
+            .map(|w| w[1].entered_at.saturating_sub(w[0].exited_at))
+            .collect()
+    }
+
+    /// Mean of [`Metrics::sync_delays`], if any sample exists.
+    pub fn mean_sync_delay(&self) -> Option<f64> {
+        let d = self.sync_delays();
+        (!d.is_empty()).then(|| d.iter().sum::<u64>() as f64 / d.len() as f64)
+    }
+
+    /// Mean response time over completed CS executions.
+    pub fn mean_response_time(&self) -> Option<f64> {
+        (!self.records.is_empty()).then(|| {
+            self.records.iter().map(|r| r.response_time()).sum::<u64>() as f64
+                / self.records.len() as f64
+        })
+    }
+
+    /// Throughput: completed CS executions per tick over `[0, horizon]`.
+    pub fn throughput(&self, horizon: u64) -> f64 {
+        assert!(horizon > 0, "horizon must be positive");
+        self.records.len() as f64 / horizon as f64
+    }
+
+    /// Per-site completed-CS counts (fairness analysis).
+    pub fn per_site_counts(&self) -> BTreeMap<SiteId, usize> {
+        let mut m = BTreeMap::new();
+        for r in &self.records {
+            *m.entry(r.site).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(site: u32, req: u64, enter: u64, exit: u64) -> CsRecord {
+        CsRecord {
+            site: SiteId(site),
+            requested_at: req,
+            entered_at: enter,
+            exited_at: exit,
+        }
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut m = Metrics::new();
+        m.count_msg(MsgKind::Request);
+        m.count_msg(MsgKind::Request);
+        m.count_msg(MsgKind::Reply);
+        assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.messages_of(MsgKind::Request), 2);
+        assert_eq!(m.messages_of(MsgKind::Token), 0);
+    }
+
+    #[test]
+    fn messages_per_cs() {
+        let mut m = Metrics::new();
+        assert_eq!(m.messages_per_cs(), None);
+        for _ in 0..6 {
+            m.count_msg(MsgKind::Reply);
+        }
+        m.record_cs(rec(0, 0, 10, 20));
+        m.record_cs(rec(1, 0, 30, 40));
+        assert_eq!(m.messages_per_cs(), Some(3.0));
+    }
+
+    #[test]
+    fn sync_delay_only_counts_contended_gaps() {
+        let mut m = Metrics::new();
+        // Second request arrived while first held the CS: contended.
+        m.record_cs(rec(0, 0, 10, 20));
+        m.record_cs(rec(1, 15, 21, 30));
+        // Third request arrived long after second exited: uncontended.
+        m.record_cs(rec(2, 99, 101, 110));
+        assert_eq!(m.sync_delays(), vec![1]);
+        assert_eq!(m.mean_sync_delay(), Some(1.0));
+    }
+
+    #[test]
+    fn response_times_and_throughput() {
+        let mut m = Metrics::new();
+        m.record_cs(rec(0, 0, 10, 20));
+        m.record_cs(rec(1, 5, 25, 35));
+        assert_eq!(m.mean_response_time(), Some(25.0)); // request -> exit
+        assert_eq!(m.throughput(100), 0.02);
+        assert_eq!(m.records()[0].waiting_time(), 10); // request -> entry
+    }
+
+    #[test]
+    fn per_site_counts() {
+        let mut m = Metrics::new();
+        m.record_cs(rec(0, 0, 1, 2));
+        m.record_cs(rec(0, 3, 4, 5));
+        m.record_cs(rec(2, 3, 6, 7));
+        let c = m.per_site_counts();
+        assert_eq!(c[&SiteId(0)], 2);
+        assert_eq!(c[&SiteId(2)], 1);
+        assert!(!c.contains_key(&SiteId(1)));
+    }
+
+    #[test]
+    fn sync_delays_sorted_by_entry_not_insertion() {
+        let mut m = Metrics::new();
+        m.record_cs(rec(1, 15, 21, 30)); // completes second
+        m.record_cs(rec(0, 0, 10, 20)); // completes first
+        assert_eq!(m.sync_delays(), vec![1]);
+    }
+}

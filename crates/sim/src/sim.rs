@@ -1,0 +1,576 @@
+//! The discrete-event simulation engine.
+
+use crate::delay::DelayModel;
+use crate::metrics::{CsRecord, Metrics};
+use crate::trace::{Trace, TraceEvent};
+use qmx_core::{Effects, MsgMeta, Protocol, SiteId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Message delay distribution (mean = the paper's `T`).
+    pub delay: DelayModel,
+    /// CS hold-time distribution (the paper's `E`).
+    pub hold: DelayModel,
+    /// Time between a crash and the delivery of `failure(i)` notices to
+    /// every live site (failure-detector latency).
+    pub detect_delay: u64,
+    /// RNG seed; runs are fully deterministic given the same seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            delay: DelayModel::Constant(1000),
+            hold: DelayModel::Constant(100),
+            detect_delay: 2000,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver { from: SiteId, to: SiteId, msg: M },
+    Request { site: SiteId },
+    Exit { site: SiteId },
+    Crash { site: SiteId },
+    Notice { site: SiteId, failed: SiteId },
+    Partition { groups: Vec<u32> },
+}
+
+struct Event<M> {
+    time: u64,
+    seq: u64, // total order tie-breaker: insertion order
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation of `N` protocol instances.
+///
+/// See the [crate documentation](crate) for an overview and example.
+pub struct Simulator<P: Protocol> {
+    sites: Vec<P>,
+    cfg: SimConfig,
+    rng: StdRng,
+    now: u64,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event<P::Msg>>>,
+    link_clock: BTreeMap<(SiteId, SiteId), u64>,
+    crashed: BTreeSet<SiteId>,
+    partition: Option<Vec<u32>>,
+    requested_at: Vec<Option<u64>>,
+    entered_at: Vec<Option<u64>>,
+    in_cs: Option<SiteId>,
+    metrics: Metrics,
+    trace: Option<Trace>,
+    started: bool,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Creates a simulator over the given sites (indexed by their ids,
+    /// which must be `0..N` in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if site ids are not exactly `0..N` in order.
+    pub fn new(sites: Vec<P>, cfg: SimConfig) -> Self {
+        for (i, s) in sites.iter().enumerate() {
+            assert_eq!(s.site(), SiteId(i as u32), "sites must be 0..N in order");
+        }
+        let n = sites.len();
+        Simulator {
+            sites,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            now: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            link_clock: BTreeMap::new(),
+            crashed: BTreeSet::new(),
+            partition: None,
+            requested_at: vec![None; n],
+            entered_at: vec![None; n],
+            in_cs: None,
+            metrics: Metrics::new(),
+            trace: None,
+            started: false,
+        }
+    }
+
+    /// Number of sites.
+    pub fn n(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The site currently in its CS, if any (safety monitor's view).
+    pub fn site_in_cs(&self) -> Option<SiteId> {
+        self.in_cs
+    }
+
+    /// Whether `site` has crashed.
+    pub fn is_crashed(&self, site: SiteId) -> bool {
+        self.crashed.contains(&site)
+    }
+
+    /// Immutable access to a protocol instance (assertions in tests).
+    pub fn site(&self, site: SiteId) -> &P {
+        &self.sites[site.index()]
+    }
+
+    /// Enables execution tracing, keeping at most `cap` events.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = Some(Trace::new(cap));
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    fn record(&mut self, ev: TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(ev);
+        }
+    }
+
+    fn push(&mut self, time: u64, kind: EventKind<P::Msg>) {
+        self.seq += 1;
+        self.events.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// Schedules an application CS request at virtual time `at`.
+    ///
+    /// Requests for sites that are busy (still waiting for or holding a
+    /// previous CS) when the event fires are dropped — arrival processes
+    /// treat a busy site as not generating new demand, keeping "a site
+    /// executes its CS requests sequentially one by one" (§2).
+    pub fn schedule_request(&mut self, site: SiteId, at: u64) {
+        self.push(at, EventKind::Request { site });
+    }
+
+    /// Schedules a crash of `site` at virtual time `at`. Failure notices
+    /// reach every live site `detect_delay` later.
+    pub fn schedule_crash(&mut self, site: SiteId, at: u64) {
+        self.push(at, EventKind::Crash { site });
+    }
+
+    /// Schedules a (permanent) network partition at virtual time `at`:
+    /// `groups[i]` is the partition-group id of site `i`. Messages between
+    /// different groups are dropped from then on, including ones already in
+    /// flight, and after `detect_delay` each site receives a failure notice
+    /// for every site outside its group (a partition is indistinguishable
+    /// from the remote sites crashing — §2's model has no way to tell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups.len() != n` when the event fires.
+    pub fn schedule_partition(&mut self, groups: Vec<u32>, at: u64) {
+        self.push(at, EventKind::Partition { groups });
+    }
+
+    fn severed(&self, a: SiteId, b: SiteId) -> bool {
+        self.partition
+            .as_ref()
+            .is_some_and(|g| g[a.index()] != g[b.index()])
+    }
+
+    fn apply_effects(&mut self, site: SiteId, fx: &mut Effects<P::Msg>) {
+        let (sends, entered) = fx.drain();
+        for (to, msg) in sends {
+            debug_assert_ne!(to, site, "self-sends must be handled internally");
+            if self.crashed.contains(&to) || self.severed(site, to) {
+                self.metrics.count_dropped();
+                continue;
+            }
+            self.metrics.count_msg(msg.kind());
+            self.record(TraceEvent::Send {
+                t: self.now,
+                from: site,
+                to,
+                kind: msg.kind(),
+            });
+            // FIFO per ordered link: delivery times never reorder (equal
+            // times are delivered in send order via the event seq number).
+            let sampled = self.cfg.delay.sample(&mut self.rng);
+            let link = self.link_clock.entry((site, to)).or_insert(0);
+            let at = (self.now + sampled).max(*link);
+            *link = at;
+            self.push(at, EventKind::Deliver { from: site, to, msg });
+        }
+        if entered {
+            assert!(
+                self.in_cs.is_none(),
+                "MUTUAL EXCLUSION VIOLATED at t={}: {} entered while {:?} is in the CS",
+                self.now,
+                site,
+                self.in_cs
+            );
+            self.in_cs = Some(site);
+            self.entered_at[site.index()] = Some(self.now);
+            self.record(TraceEvent::Enter { t: self.now, site });
+            let hold = self.cfg.hold.sample(&mut self.rng);
+            self.push(self.now + hold, EventKind::Exit { site });
+        }
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.sites.len() {
+            let mut fx = Effects::new();
+            self.sites[i].on_start(&mut fx);
+            self.apply_effects(SiteId(i as u32), &mut fx);
+        }
+    }
+
+    fn step_event(&mut self, ev: Event<P::Msg>) {
+        self.now = ev.time;
+        match ev.kind {
+            EventKind::Deliver { from, to, msg } => {
+                if self.crashed.contains(&to) || self.severed(from, to) {
+                    self.metrics.count_dropped();
+                    return;
+                }
+                self.record(TraceEvent::Deliver {
+                    t: self.now,
+                    from,
+                    to,
+                    kind: msg.kind(),
+                });
+                let mut fx = Effects::new();
+                self.sites[to.index()].handle(from, msg, &mut fx);
+                self.apply_effects(to, &mut fx);
+            }
+            EventKind::Request { site } => {
+                if self.crashed.contains(&site) {
+                    return;
+                }
+                let s = &mut self.sites[site.index()];
+                if s.in_cs() || s.wants_cs() {
+                    return; // busy: drop the arrival
+                }
+                self.requested_at[site.index()] = Some(self.now);
+                let mut fx = Effects::new();
+                s.request_cs(&mut fx);
+                self.apply_effects(site, &mut fx);
+            }
+            EventKind::Exit { site } => {
+                if self.crashed.contains(&site) {
+                    return;
+                }
+                debug_assert_eq!(self.in_cs, Some(site));
+                self.in_cs = None;
+                self.record(TraceEvent::Exit { t: self.now, site });
+                let rec = CsRecord {
+                    site,
+                    requested_at: self.requested_at[site.index()]
+                        .expect("exit implies a request"),
+                    entered_at: self.entered_at[site.index()].expect("exit implies entry"),
+                    exited_at: self.now,
+                };
+                self.metrics.record_cs(rec);
+                self.requested_at[site.index()] = None;
+                self.entered_at[site.index()] = None;
+                let mut fx = Effects::new();
+                self.sites[site.index()].release_cs(&mut fx);
+                self.apply_effects(site, &mut fx);
+            }
+            EventKind::Crash { site } => {
+                if !self.crashed.insert(site) {
+                    return;
+                }
+                self.record(TraceEvent::Crash { t: self.now, site });
+                if self.in_cs == Some(site) {
+                    // The CS dies with the site; the monitor frees the slot
+                    // (the §6 recovery machinery must unblock the others).
+                    self.in_cs = None;
+                }
+                for i in 0..self.sites.len() {
+                    let target = SiteId(i as u32);
+                    if target != site && !self.crashed.contains(&target) {
+                        self.push(
+                            self.now + self.cfg.detect_delay,
+                            EventKind::Notice {
+                                site: target,
+                                failed: site,
+                            },
+                        );
+                    }
+                }
+            }
+            EventKind::Notice { site, failed } => {
+                if self.crashed.contains(&site) {
+                    return;
+                }
+                self.record(TraceEvent::Notice {
+                    t: self.now,
+                    site,
+                    failed,
+                });
+                let mut fx = Effects::new();
+                self.sites[site.index()].on_site_failure(failed, &mut fx);
+                self.apply_effects(site, &mut fx);
+            }
+            EventKind::Partition { groups } => {
+                assert_eq!(groups.len(), self.sites.len(), "one group per site");
+                self.partition = Some(groups);
+                // Each side suspects the other side dead after detection.
+                for i in 0..self.sites.len() {
+                    let a = SiteId(i as u32);
+                    if self.crashed.contains(&a) {
+                        continue;
+                    }
+                    for j in 0..self.sites.len() {
+                        let b = SiteId(j as u32);
+                        if a != b && !self.crashed.contains(&b) && self.severed(a, b) {
+                            self.push(
+                                self.now + self.cfg.detect_delay,
+                                EventKind::Notice { site: a, failed: b },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs until the event queue drains or virtual time exceeds `horizon`.
+    /// Returns the number of events processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two sites are ever in the CS simultaneously (safety
+    /// monitor).
+    pub fn run_to_quiescence(&mut self, horizon: u64) -> usize {
+        self.ensure_started();
+        let mut processed = 0;
+        while let Some(Reverse(ev)) = self.events.pop() {
+            if ev.time > horizon {
+                // Past the horizon: stop (event is dropped; simulations
+                // measure within the horizon only).
+                self.now = horizon;
+                break;
+            }
+            self.step_event(ev);
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Whether any events remain queued.
+    pub fn has_pending_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmx_core::{Config, DelayOptimal, MsgKind};
+
+    fn full_quorum_sim(n: u32, cfg: SimConfig) -> Simulator<DelayOptimal> {
+        let quorum: Vec<SiteId> = (0..n).map(SiteId).collect();
+        Simulator::new(
+            (0..n)
+                .map(|i| DelayOptimal::new(SiteId(i), quorum.clone(), Config::default()))
+                .collect(),
+            cfg,
+        )
+    }
+
+    #[test]
+    fn single_request_completes() {
+        let mut sim = full_quorum_sim(3, SimConfig::default());
+        sim.schedule_request(SiteId(0), 0);
+        sim.run_to_quiescence(100_000);
+        assert_eq!(sim.metrics().completed_cs(), 1);
+        let rec = sim.metrics().records()[0];
+        assert_eq!(rec.site, SiteId(0));
+        // Response (request -> exit) = round trip + CS time = 2T + E.
+        assert_eq!(rec.response_time(), 2100);
+        assert_eq!(rec.waiting_time(), 2000);
+        assert_eq!(rec.exited_at - rec.entered_at, 100);
+    }
+
+    #[test]
+    fn light_load_message_count_is_3_k_minus_1() {
+        let mut sim = full_quorum_sim(5, SimConfig::default());
+        sim.schedule_request(SiteId(2), 0);
+        sim.run_to_quiescence(100_000);
+        // K = 5 incl. self: 3(K-1) = 12 wire messages.
+        assert_eq!(sim.metrics().total_messages(), 12);
+        assert_eq!(sim.metrics().messages_of(MsgKind::Request), 4);
+        assert_eq!(sim.metrics().messages_of(MsgKind::Reply), 4);
+        assert_eq!(sim.metrics().messages_of(MsgKind::Release), 4);
+    }
+
+    #[test]
+    fn contended_run_is_safe_and_live() {
+        let mut sim = full_quorum_sim(4, SimConfig::default());
+        for i in 0..4 {
+            sim.schedule_request(SiteId(i), (i as u64) * 10);
+        }
+        sim.run_to_quiescence(1_000_000);
+        assert_eq!(sim.metrics().completed_cs(), 4);
+        assert_eq!(sim.site_in_cs(), None);
+        assert!(!sim.has_pending_events());
+    }
+
+    #[test]
+    fn sync_delay_is_one_t_under_contention() {
+        // Constant delay: after the first exit, the next site should enter
+        // exactly T later (delay-optimal claim).
+        let mut sim = full_quorum_sim(3, SimConfig::default());
+        sim.schedule_request(SiteId(0), 0);
+        sim.schedule_request(SiteId(1), 100);
+        sim.schedule_request(SiteId(2), 200);
+        sim.run_to_quiescence(1_000_000);
+        assert_eq!(sim.metrics().completed_cs(), 3);
+        for d in sim.metrics().sync_delays() {
+            assert_eq!(d, 1000, "sync delay must be exactly T");
+        }
+    }
+
+    #[test]
+    fn busy_arrivals_are_dropped() {
+        let mut sim = full_quorum_sim(2, SimConfig::default());
+        sim.schedule_request(SiteId(0), 0);
+        sim.schedule_request(SiteId(0), 1); // still waiting: dropped
+        sim.run_to_quiescence(100_000);
+        assert_eq!(sim.metrics().completed_cs(), 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = |seed: u64| {
+            let cfg = SimConfig {
+                delay: DelayModel::Exponential { mean: 500 },
+                seed,
+                ..SimConfig::default()
+            };
+            let mut sim = full_quorum_sim(4, cfg);
+            for i in 0..4 {
+                for r in 0..5u64 {
+                    sim.schedule_request(SiteId(i), r * 1500 + i as u64);
+                }
+            }
+            sim.run_to_quiescence(10_000_000);
+            (
+                sim.metrics().total_messages(),
+                sim.metrics().completed_cs(),
+                sim.metrics()
+                    .records()
+                    .iter()
+                    .map(|r| (r.site, r.entered_at))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        // And a different seed actually changes timings.
+        assert_ne!(run(7).2, run(8).2);
+    }
+
+    #[test]
+    fn crash_drops_messages_and_notifies() {
+        let mut sim = full_quorum_sim(3, SimConfig::default());
+        sim.schedule_crash(SiteId(2), 0);
+        sim.schedule_request(SiteId(0), 10);
+        sim.run_to_quiescence(1_000_000);
+        // Site 0's quorum includes crashed site 2 (fixed quorum): it cannot
+        // complete, but the run must terminate without safety violations.
+        assert!(sim.is_crashed(SiteId(2)));
+        assert_eq!(sim.metrics().completed_cs(), 0);
+        assert!(sim.metrics().dropped_to_crashed() > 0);
+        assert!(sim.site(SiteId(0)).is_inaccessible());
+    }
+
+    #[test]
+    fn traces_are_recorded_and_deterministic() {
+        let run = || {
+            let mut sim = full_quorum_sim(3, SimConfig::default());
+            sim.enable_trace(10_000);
+            sim.schedule_request(SiteId(0), 0);
+            sim.schedule_request(SiteId(1), 50);
+            sim.run_to_quiescence(1_000_000);
+            sim.trace().expect("enabled").events().to_vec()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must replay the identical trace");
+        // The trace contains the full story: sends, deliveries, CS events.
+        assert!(a.iter().any(|e| matches!(e, TraceEvent::Send { .. })));
+        assert!(a.iter().any(|e| matches!(e, TraceEvent::Deliver { .. })));
+        let cs: Vec<_> = a
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Enter { .. } | TraceEvent::Exit { .. }))
+            .collect();
+        assert_eq!(cs.len(), 4); // two entries + two exits
+    }
+
+    #[test]
+    fn fifo_per_link_is_preserved() {
+        // With exponential delays, deliveries on one link must still be in
+        // send order. We test indirectly: run a long contended simulation
+        // and rely on the protocol's liveness (it would wedge or violate
+        // safety if FIFO broke badly).
+        let cfg = SimConfig {
+            delay: DelayModel::Exponential { mean: 300 },
+            seed: 99,
+            ..SimConfig::default()
+        };
+        let mut sim = full_quorum_sim(5, cfg);
+        for i in 0..5 {
+            for r in 0..10u64 {
+                sim.schedule_request(SiteId(i), r * 700 + 13 * i as u64);
+            }
+        }
+        sim.run_to_quiescence(50_000_000);
+        // Arrivals hitting a busy site are dropped, so fewer than the 50
+        // scheduled requests complete; what matters is that the run
+        // quiesces with every site idle and no wedged state.
+        assert!(sim.metrics().completed_cs() >= 10);
+        assert!(!sim.has_pending_events());
+        for i in 0..5u32 {
+            let s = sim.site(SiteId(i));
+            assert!(!s.in_cs() && !s.wants_cs(), "site {i} wedged");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Execution traces: an ordered record of everything the simulator did.
+//!
+//! Traces serve two purposes: byte-exact determinism checks (two runs of
+//! the same seeded scenario must produce identical traces) and post-mortem
+//! debugging of protocol issues (the delay-optimal forwarding races were
+//! found by reading traces of wedged runs).
+
+use qmx_core::{MsgKind, SiteId};
+use std::fmt;
+
+/// One traced simulator step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A wire message was sent.
+    Send {
+        /// Virtual send time.
+        t: u64,
+        /// Sender.
+        from: SiteId,
+        /// Receiver.
+        to: SiteId,
+        /// Message kind.
+        kind: MsgKind,
+    },
+    /// A wire message was delivered.
+    Deliver {
+        /// Virtual delivery time.
+        t: u64,
+        /// Sender.
+        from: SiteId,
+        /// Receiver.
+        to: SiteId,
+        /// Message kind.
+        kind: MsgKind,
+    },
+    /// A site entered its critical section.
+    Enter {
+        /// Virtual time.
+        t: u64,
+        /// The entering site.
+        site: SiteId,
+    },
+    /// A site exited its critical section.
+    Exit {
+        /// Virtual time.
+        t: u64,
+        /// The exiting site.
+        site: SiteId,
+    },
+    /// A site crashed.
+    Crash {
+        /// Virtual time.
+        t: u64,
+        /// The crashed site.
+        site: SiteId,
+    },
+    /// A failure notice was delivered.
+    Notice {
+        /// Virtual time.
+        t: u64,
+        /// The notified site.
+        site: SiteId,
+        /// The site reported failed.
+        failed: SiteId,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::Send { t, from, to, kind } => {
+                write!(f, "{t:>10}  send    {from} -> {to}  {kind}")
+            }
+            TraceEvent::Deliver { t, from, to, kind } => {
+                write!(f, "{t:>10}  deliver {from} -> {to}  {kind}")
+            }
+            TraceEvent::Enter { t, site } => write!(f, "{t:>10}  ENTER   {site}"),
+            TraceEvent::Exit { t, site } => write!(f, "{t:>10}  EXIT    {site}"),
+            TraceEvent::Crash { t, site } => write!(f, "{t:>10}  CRASH   {site}"),
+            TraceEvent::Notice { t, site, failed } => {
+                write!(f, "{t:>10}  notice  {site}: {failed} failed")
+            }
+        }
+    }
+}
+
+/// A bounded trace buffer (oldest events are dropped past the cap so long
+/// soak runs don't exhaust memory).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    dropped: usize,
+}
+
+impl Trace {
+    /// Creates a trace buffer holding at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event (dropping the oldest if at capacity).
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.cap {
+            self.events.remove(0);
+            self.dropped += 1;
+        }
+        self.events.push(ev);
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// How many events were evicted by the cap.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Renders the trace as one line per event.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} earlier events dropped ...\n", self.dropped));
+        }
+        for ev in &self.events {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Only the CS entry/exit events — the interleaving that matters for
+    /// mutual exclusion arguments.
+    pub fn cs_events(&self) -> Vec<TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Enter { .. } | TraceEvent::Exit { .. }))
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_render() {
+        let mut tr = Trace::new(10);
+        tr.push(TraceEvent::Send {
+            t: 5,
+            from: SiteId(0),
+            to: SiteId(1),
+            kind: MsgKind::Request,
+        });
+        tr.push(TraceEvent::Enter {
+            t: 10,
+            site: SiteId(0),
+        });
+        let s = tr.render();
+        assert!(s.contains("send    S0 -> S1  request"));
+        assert!(s.contains("ENTER   S0"));
+        assert_eq!(tr.dropped(), 0);
+    }
+
+    #[test]
+    fn cap_evicts_oldest() {
+        let mut tr = Trace::new(2);
+        for t in 0..5 {
+            tr.push(TraceEvent::Exit { t, site: SiteId(0) });
+        }
+        assert_eq!(tr.events().len(), 2);
+        assert_eq!(tr.dropped(), 3);
+        assert!(matches!(tr.events()[0], TraceEvent::Exit { t: 3, .. }));
+        assert!(tr.render().contains("3 earlier events dropped"));
+    }
+
+    #[test]
+    fn cs_events_filters() {
+        let mut tr = Trace::new(10);
+        tr.push(TraceEvent::Send {
+            t: 1,
+            from: SiteId(0),
+            to: SiteId(1),
+            kind: MsgKind::Reply,
+        });
+        tr.push(TraceEvent::Enter { t: 2, site: SiteId(1) });
+        tr.push(TraceEvent::Exit { t: 3, site: SiteId(1) });
+        assert_eq!(tr.cs_events().len(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            TraceEvent::Notice {
+                t: 7,
+                site: SiteId(1),
+                failed: SiteId(2)
+            }
+            .to_string(),
+            "         7  notice  S1: S2 failed"
+        );
+        assert!(TraceEvent::Crash { t: 1, site: SiteId(0) }
+            .to_string()
+            .contains("CRASH"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Arrival processes: when does each site ask for the critical section?
+//!
+//! The paper analyses two regimes — *light load* (contention is rare) and
+//! *heavy load* (there is always a pending request) — so the generators
+//! here are parameterized to sweep between them. All generators are seeded
+//! and deterministic.
+
+use qmx_core::SiteId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A scheduled CS request: `(site, virtual time)`.
+pub type Arrival = (SiteId, u64);
+
+/// An arrival process over `n` sites and a time horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals: each site independently draws exponential
+    /// inter-arrival gaps with mean `mean_gap` ticks.
+    ///
+    /// `mean_gap >>` the CS service time gives the paper's light load;
+    /// `mean_gap <<` service time saturates the system (heavy load).
+    Poisson {
+        /// Mean inter-arrival gap per site, in ticks.
+        mean_gap: u64,
+    },
+    /// Every site requests at fixed intervals, phase-shifted per site.
+    Periodic {
+        /// Interval between a site's requests.
+        period: u64,
+        /// Phase offset multiplier per site id.
+        stagger: u64,
+    },
+    /// Saturation: every site re-requests immediately; emitted as dense
+    /// arrivals every `tick_gap` ticks so a site re-enters the fray as soon
+    /// as it finishes. The paper's "heavy load".
+    Saturated {
+        /// Gap between consecutive arrival injections per site.
+        tick_gap: u64,
+    },
+    /// Hotspot: only the first `hot` sites generate load (Poisson), the
+    /// rest stay quiet. Models skewed access to a shared resource.
+    Hotspot {
+        /// Number of actively requesting sites.
+        hot: usize,
+        /// Mean inter-arrival gap per hot site.
+        mean_gap: u64,
+    },
+    /// Bursty: quiet periods punctuated by bursts in which every site
+    /// requests in quick succession. Stresses the arbiters' queues and the
+    /// inquire/yield machinery far more than smooth arrivals.
+    Bursty {
+        /// Time between burst starts.
+        burst_gap: u64,
+        /// Arrivals per site within one burst.
+        burst_len: u32,
+        /// Gap between a site's arrivals inside a burst.
+        intra_gap: u64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Generates the arrival schedule for `n` sites over `[0, horizon)`.
+    ///
+    /// ```
+    /// use qmx_workload::arrival::ArrivalProcess;
+    /// let schedule = ArrivalProcess::Periodic { period: 100, stagger: 10 }
+    ///     .generate(2, 250, 0);
+    /// assert_eq!(schedule.len(), 6); // 3 arrivals per site
+    /// assert!(schedule.windows(2).all(|w| w[0].1 <= w[1].1)); // time-sorted
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the process parameters are degenerate (zero
+    /// period/gap).
+    pub fn generate(&self, n: usize, horizon: u64, seed: u64) -> Vec<Arrival> {
+        assert!(n > 0, "need at least one site");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out: Vec<Arrival> = Vec::new();
+        match *self {
+            ArrivalProcess::Poisson { mean_gap } => {
+                assert!(mean_gap > 0, "mean gap must be positive");
+                for s in 0..n {
+                    let mut t = 0u64;
+                    loop {
+                        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        let gap = (-(u.ln()) * mean_gap as f64).round().max(1.0) as u64;
+                        t = t.saturating_add(gap);
+                        if t >= horizon {
+                            break;
+                        }
+                        out.push((SiteId(s as u32), t));
+                    }
+                }
+            }
+            ArrivalProcess::Periodic { period, stagger } => {
+                assert!(period > 0, "period must be positive");
+                for s in 0..n {
+                    let mut t = (s as u64) * stagger;
+                    while t < horizon {
+                        out.push((SiteId(s as u32), t));
+                        t += period;
+                    }
+                }
+            }
+            ArrivalProcess::Saturated { tick_gap } => {
+                assert!(tick_gap > 0, "tick gap must be positive");
+                for s in 0..n {
+                    let mut t = 0u64;
+                    while t < horizon {
+                        out.push((SiteId(s as u32), t));
+                        t += tick_gap;
+                    }
+                }
+            }
+            ArrivalProcess::Hotspot { hot, mean_gap } => {
+                assert!(hot > 0 && hot <= n, "hot sites must be within 1..=n");
+                return ArrivalProcess::Poisson { mean_gap }.generate(hot, horizon, seed);
+            }
+            ArrivalProcess::Bursty {
+                burst_gap,
+                burst_len,
+                intra_gap,
+            } => {
+                assert!(burst_gap > 0 && intra_gap > 0, "gaps must be positive");
+                assert!(burst_len > 0, "bursts must be non-empty");
+                let mut start = 0u64;
+                while start < horizon {
+                    for s in 0..n {
+                        // Small per-site jitter so bursts are not lockstep.
+                        let jitter: u64 = rng.gen_range(0..intra_gap.max(1));
+                        for k in 0..u64::from(burst_len) {
+                            let t = start + jitter + k * intra_gap;
+                            if t < horizon {
+                                out.push((SiteId(s as u32), t));
+                            }
+                        }
+                    }
+                    start += burst_gap;
+                }
+            }
+        }
+        out.sort_by_key(|&(s, t)| (t, s));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_deterministic_and_in_horizon() {
+        let p = ArrivalProcess::Poisson { mean_gap: 100 };
+        let a = p.generate(4, 10_000, 7);
+        let b = p.generate(4, 10_000, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&(_, t)| t < 10_000));
+        // Roughly horizon/mean arrivals per site.
+        assert!(a.len() > 200 && a.len() < 600, "got {}", a.len());
+    }
+
+    #[test]
+    fn poisson_seed_changes_schedule() {
+        let p = ArrivalProcess::Poisson { mean_gap: 100 };
+        assert_ne!(p.generate(4, 10_000, 1), p.generate(4, 10_000, 2));
+    }
+
+    #[test]
+    fn periodic_staggers_sites() {
+        let p = ArrivalProcess::Periodic {
+            period: 100,
+            stagger: 10,
+        };
+        let a = p.generate(3, 250, 0);
+        assert!(a.contains(&(SiteId(0), 0)));
+        assert!(a.contains(&(SiteId(1), 10)));
+        assert!(a.contains(&(SiteId(2), 220)));
+        assert_eq!(a.len(), 9);
+    }
+
+    #[test]
+    fn saturated_floods_all_sites() {
+        let p = ArrivalProcess::Saturated { tick_gap: 50 };
+        let a = p.generate(2, 200, 0);
+        assert_eq!(a.len(), 8); // 4 per site
+        assert_eq!(a[0].1, 0);
+    }
+
+    #[test]
+    fn hotspot_only_uses_hot_sites() {
+        let p = ArrivalProcess::Hotspot {
+            hot: 2,
+            mean_gap: 50,
+        };
+        let a = p.generate(10, 5_000, 3);
+        assert!(a.iter().all(|&(s, _)| s.0 < 2));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn bursty_generates_clustered_arrivals() {
+        let p = ArrivalProcess::Bursty {
+            burst_gap: 10_000,
+            burst_len: 3,
+            intra_gap: 100,
+        };
+        let a = p.generate(4, 25_000, 5);
+        // 3 bursts fit (0, 10k, 20k): 4 sites x 3 arrivals x 3 bursts.
+        assert_eq!(a.len(), 36);
+        // All arrivals cluster near burst starts.
+        assert!(a
+            .iter()
+            .all(|&(_, t)| t % 10_000 < 500), "arrival times: {a:?}");
+        // Deterministic per seed.
+        assert_eq!(a, p.generate(4, 25_000, 5));
+    }
+
+    #[test]
+    fn arrivals_are_time_sorted() {
+        let p = ArrivalProcess::Poisson { mean_gap: 30 };
+        let a = p.generate(5, 2_000, 11);
+        assert!(a.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+}

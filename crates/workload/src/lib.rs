@@ -1,0 +1,20 @@
+//! # qmx-workload
+//!
+//! Workload generation and experiment scaffolding for the `qmx` workspace:
+//!
+//! * [`arrival`] — arrival processes (Poisson, periodic, saturated,
+//!   hotspot, bursty), all seeded and deterministic;
+//! * [`scenario`] — the one-stop experiment runner: pick an
+//!   [`scenario::Algorithm`], a [`scenario::QuorumSpec`], a workload and
+//!   fault schedule, get a [`stats::RunReport`];
+//! * [`stats`] — metric reduction (messages per CS, sync delay in `T`,
+//!   response/waiting percentiles, Jain fairness);
+//! * [`replicate`] — multi-seed replication with mean ± σ summaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod replicate;
+pub mod scenario;
+pub mod stats;

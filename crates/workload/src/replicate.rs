@@ -1,0 +1,176 @@
+//! Multi-seed replication: run the same scenario under several seeds and
+//! summarize with mean ± standard deviation, so experiment reports can
+//! state how stable a number is rather than quoting a single draw.
+
+use crate::scenario::Scenario;
+use crate::stats::RunReport;
+
+/// Mean/σ/min/max summary of one metric across replicates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SummaryStat {
+    /// Number of samples the metric was present in.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for n < 2).
+    pub std: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl SummaryStat {
+    /// Computes a summary; `None` if no sample exists.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Some(SummaryStat {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        })
+    }
+
+    /// Renders as `mean ± std`.
+    pub fn pm(&self) -> String {
+        format!("{:.2} ± {:.2}", self.mean, self.std)
+    }
+}
+
+/// Aggregate of several replicated runs of one scenario.
+#[derive(Debug, Clone)]
+pub struct Replicates {
+    /// The individual run reports, in seed order.
+    pub runs: Vec<RunReport>,
+}
+
+impl Replicates {
+    /// Runs `base` once per seed (overriding `base.seed`).
+    ///
+    /// ```
+    /// use qmx_workload::replicate::Replicates;
+    /// use qmx_workload::scenario::Scenario;
+    /// let reps = Replicates::collect(&Scenario::default(), [1, 2, 3]);
+    /// assert_eq!(reps.runs.len(), 3);
+    /// let completed = reps.completed().expect("all runs completed");
+    /// assert!(completed.min >= 1.0);
+    /// ```
+    pub fn collect(base: &Scenario, seeds: impl IntoIterator<Item = u64>) -> Self {
+        let runs = seeds
+            .into_iter()
+            .map(|seed| {
+                Scenario {
+                    seed,
+                    ..base.clone()
+                }
+                .run()
+            })
+            .collect();
+        Replicates { runs }
+    }
+
+    fn summarize(&self, f: impl Fn(&RunReport) -> Option<f64>) -> Option<SummaryStat> {
+        let samples: Vec<f64> = self.runs.iter().filter_map(&f).collect();
+        SummaryStat::from_samples(&samples)
+    }
+
+    /// Messages per CS across replicates.
+    pub fn messages_per_cs(&self) -> Option<SummaryStat> {
+        self.summarize(|r| r.messages_per_cs)
+    }
+
+    /// Synchronization delay (in `T`) across replicates.
+    pub fn sync_delay_t(&self) -> Option<SummaryStat> {
+        self.summarize(|r| r.sync_delay_t)
+    }
+
+    /// Response time (in `T`) across replicates.
+    pub fn response_time_t(&self) -> Option<SummaryStat> {
+        self.summarize(|r| r.response_time_t)
+    }
+
+    /// Throughput (per `T`) across replicates.
+    pub fn throughput_per_t(&self) -> Option<SummaryStat> {
+        self.summarize(|r| Some(r.throughput_per_t))
+    }
+
+    /// Completed CS executions across replicates.
+    pub fn completed(&self) -> Option<SummaryStat> {
+        self.summarize(|r| Some(r.completed as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::ArrivalProcess;
+    use crate::scenario::{Algorithm, QuorumSpec};
+    use qmx_sim::DelayModel;
+
+    #[test]
+    fn summary_stat_math() {
+        let s = SummaryStat::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 2.0);
+        assert!((s.std - 1.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.pm(), "2.00 ± 1.00");
+        assert_eq!(SummaryStat::from_samples(&[]), None);
+        let single = SummaryStat::from_samples(&[5.0]).unwrap();
+        assert_eq!(single.std, 0.0);
+    }
+
+    #[test]
+    fn replicates_vary_with_seed_but_stay_in_band() {
+        let base = Scenario {
+            n: 9,
+            algorithm: Algorithm::DelayOptimal,
+            quorum: QuorumSpec::Grid,
+            arrivals: ArrivalProcess::Poisson { mean_gap: 10_000 },
+            horizon: 300_000,
+            delay: DelayModel::Exponential { mean: 1000 },
+            hold: DelayModel::Constant(100),
+            ..Scenario::default()
+        };
+        let reps = Replicates::collect(&base, 1..=5);
+        assert_eq!(reps.runs.len(), 5);
+        let msgs = reps.messages_per_cs().expect("all runs completed");
+        assert_eq!(msgs.n, 5);
+        // Different seeds produced different (but similar) numbers.
+        assert!(msgs.std > 0.0, "seeds should differ");
+        assert!(msgs.std < msgs.mean * 0.3, "but not wildly: {}", msgs.pm());
+        let done = reps.completed().unwrap();
+        assert!(done.min > 0.0);
+    }
+
+    #[test]
+    fn sync_delay_band_is_tight_under_constant_delay() {
+        let base = Scenario {
+            n: 9,
+            algorithm: Algorithm::DelayOptimal,
+            quorum: QuorumSpec::Grid,
+            arrivals: ArrivalProcess::Saturated { tick_gap: 500 },
+            horizon: 200_000,
+            delay: DelayModel::Constant(1000),
+            hold: DelayModel::Constant(2000),
+            ..Scenario::default()
+        };
+        let reps = Replicates::collect(&base, [7, 8, 9]);
+        let d = reps.sync_delay_t().expect("contended");
+        // Constant delays + saturated load: exactly T, zero variance.
+        assert!((d.mean - 1.0).abs() < 0.05, "mean {}", d.mean);
+        assert!(d.std < 0.05);
+    }
+}

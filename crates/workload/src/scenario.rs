@@ -1,0 +1,464 @@
+//! Scenario runner: pick an algorithm, a quorum construction, a workload —
+//! get a [`RunReport`]. This is the engine behind every experiment binary
+//! in `qmx-bench`.
+
+use crate::arrival::ArrivalProcess;
+use crate::stats::RunReport;
+use qmx_baselines::{
+    CarvalhoRoucairol, Lamport, Maekawa, Raymond, RicartAgrawala, SinghalDynamic, SuzukiKasami,
+};
+use qmx_core::{Config, DelayOptimal, Protocol, SiteId};
+use qmx_quorum::majority::{majority_system, MajorityQuorumSource};
+use qmx_quorum::tree::TreeQuorumSource;
+use qmx_quorum::{crumbling, fpp, grid, gridset, hqc, rst, tree, wheel, QuorumSystem};
+use qmx_sim::{DelayModel, SimConfig, Simulator};
+
+/// Which mutual exclusion algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The paper's delay-optimal quorum algorithm.
+    DelayOptimal,
+    /// Ablation: delay-optimal code with forwarding disabled (2T handoff).
+    DelayOptimalNoForwarding,
+    /// Delay-optimal with §6 fault tolerance over reconstructible tree
+    /// quorums (ignores the scenario's quorum spec).
+    DelayOptimalFtTree,
+    /// Delay-optimal with §6 fault tolerance over rotating majorities
+    /// (ignores the scenario's quorum spec).
+    DelayOptimalFtMajority,
+    /// Maekawa's algorithm (baseline).
+    Maekawa,
+    /// Lamport's algorithm (baseline; quorum spec ignored).
+    Lamport,
+    /// Ricart–Agrawala (baseline; quorum spec ignored).
+    RicartAgrawala,
+    /// Suzuki–Kasami broadcast token (baseline; quorum spec ignored).
+    SuzukiKasami,
+    /// Raymond's tree token (baseline; quorum spec ignored).
+    Raymond,
+    /// Singhal's dynamic information-structure algorithm (baseline;
+    /// quorum spec ignored).
+    SinghalDynamic,
+    /// Carvalho–Roucairol standing-permission optimization of
+    /// Ricart–Agrawala (baseline; quorum spec ignored).
+    CarvalhoRoucairol,
+}
+
+impl Algorithm {
+    /// Short label for report rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::DelayOptimal => "delay-optimal",
+            Algorithm::DelayOptimalNoForwarding => "delay-optimal (no fwd)",
+            Algorithm::DelayOptimalFtTree => "delay-optimal FT/tree",
+            Algorithm::DelayOptimalFtMajority => "delay-optimal FT/majority",
+            Algorithm::Maekawa => "maekawa",
+            Algorithm::Lamport => "lamport",
+            Algorithm::RicartAgrawala => "ricart-agrawala",
+            Algorithm::SuzukiKasami => "suzuki-kasami",
+            Algorithm::Raymond => "raymond",
+            Algorithm::SinghalDynamic => "singhal-dynamic",
+            Algorithm::CarvalhoRoucairol => "carvalho-roucairol",
+        }
+    }
+
+    /// All algorithms, in the paper's Table 1 order (proposed last).
+    pub const ALL: [Algorithm; 11] = [
+        Algorithm::Lamport,
+        Algorithm::RicartAgrawala,
+        Algorithm::CarvalhoRoucairol,
+        Algorithm::Maekawa,
+        Algorithm::SuzukiKasami,
+        Algorithm::Raymond,
+        Algorithm::SinghalDynamic,
+        Algorithm::DelayOptimalNoForwarding,
+        Algorithm::DelayOptimalFtTree,
+        Algorithm::DelayOptimalFtMajority,
+        Algorithm::DelayOptimal,
+    ];
+}
+
+/// Which quorum construction backs the quorum-based algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumSpec {
+    /// Maekawa grid (`≈ 2√N − 1`).
+    Grid,
+    /// Finite projective plane of prime order (`N = q²+q+1`, `K = q+1`).
+    Fpp,
+    /// Agrawal–El Abbadi tree (`N = 2^d − 1`, `K = log₂(N+1)`).
+    Tree,
+    /// Hierarchical quorum consensus (`N = 3^d`, `K = N^0.63`).
+    Hqc,
+    /// Grid-set with groups of `g`.
+    GridSet(usize),
+    /// Rangarajan–Setia–Tripathi with subgroups of `g`.
+    Rst(usize),
+    /// Rotating majority windows.
+    Majority,
+    /// Hub-and-spokes wheel (site 0 is the hub; quorum size 2).
+    Wheel,
+    /// Triangular crumbling wall (Peleg–Wool).
+    Wall,
+    /// Everyone's quorum is all `N` sites.
+    All,
+}
+
+impl QuorumSpec {
+    /// Builds the quorum system over `n` sites.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `n` does not fit the construction (e.g. tree
+    /// quorums need `N = 2^d − 1`).
+    pub fn build(self, n: usize) -> Result<QuorumSystem, String> {
+        match self {
+            QuorumSpec::Grid => Ok(grid::grid_system(n)),
+            QuorumSpec::Fpp => {
+                // Solve q² + q + 1 = n for prime q.
+                let q = (0..=n).find(|&q| q * q + q + 1 == n).ok_or_else(|| {
+                    format!("FPP needs N = q^2+q+1, got {n}")
+                })?;
+                fpp::fpp_system(q).map_err(|e| e.to_string())
+            }
+            QuorumSpec::Tree => tree::tree_system(n).map_err(|e| e.to_string()),
+            QuorumSpec::Hqc => hqc::hqc_system(n).map_err(|e| e.to_string()),
+            QuorumSpec::GridSet(g) => gridset::gridset_system(n, g).map_err(|e| e.to_string()),
+            QuorumSpec::Rst(g) => rst::rst_system(n, g).map_err(|e| e.to_string()),
+            QuorumSpec::Majority => Ok(majority_system(n)),
+            QuorumSpec::Wheel => Ok(wheel::wheel_system(n)),
+            QuorumSpec::Wall => crumbling::triangular_wall(n).map_err(|e| e.to_string()),
+            QuorumSpec::All => Ok(QuorumSystem::new(
+                n,
+                (0..n)
+                    .map(|_| (0..n).map(|s| SiteId(s as u32)).collect())
+                    .collect(),
+            )),
+        }
+    }
+}
+
+/// A complete experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Number of sites.
+    pub n: usize,
+    /// Algorithm under test.
+    pub algorithm: Algorithm,
+    /// Quorum construction (used by quorum-based algorithms).
+    pub quorum: QuorumSpec,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Arrival window: requests are generated in `[0, horizon)`.
+    pub horizon: u64,
+    /// Message delay distribution (mean = `T`).
+    pub delay: DelayModel,
+    /// CS hold time distribution (`E`).
+    pub hold: DelayModel,
+    /// Crash schedule: `(site, time)` pairs.
+    pub crashes: Vec<(SiteId, u64)>,
+    /// Partition schedule: `(group-id per site, time)` pairs.
+    pub partitions: Vec<(Vec<u32>, u64)>,
+    /// Failure-detector latency.
+    pub detect_delay: u64,
+    /// RNG seed (workload and simulator derive from it).
+    pub seed: u64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            n: 9,
+            algorithm: Algorithm::DelayOptimal,
+            quorum: QuorumSpec::Grid,
+            arrivals: ArrivalProcess::Poisson { mean_gap: 50_000 },
+            horizon: 1_000_000,
+            delay: DelayModel::Constant(1000),
+            hold: DelayModel::Constant(100),
+            crashes: Vec::new(),
+            partitions: Vec::new(),
+            detect_delay: 2000,
+            seed: 0xD15C0,
+        }
+    }
+}
+
+impl Scenario {
+    /// Runs the scenario to quiescence and reports.
+    ///
+    /// ```
+    /// use qmx_workload::scenario::{Algorithm, QuorumSpec, Scenario};
+    /// use qmx_workload::arrival::ArrivalProcess;
+    /// let report = Scenario {
+    ///     n: 9,
+    ///     algorithm: Algorithm::DelayOptimal,
+    ///     quorum: QuorumSpec::Grid,
+    ///     arrivals: ArrivalProcess::Periodic { period: 50_000, stagger: 2_000 },
+    ///     horizon: 200_000,
+    ///     ..Scenario::default()
+    /// }
+    /// .run();
+    /// assert_eq!(report.completed, 9 * 4);
+    /// assert_eq!(report.quorum_size, 5.0);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quorum spec does not fit `n` (experiment
+    /// configurations are programmer input), or on a mutual exclusion
+    /// violation (which would be a protocol bug).
+    pub fn run(&self) -> RunReport {
+        let n = self.n;
+        let arrivals = self.arrivals.generate(n, self.horizon, self.seed ^ 0xA11CE);
+        let quorum_based = matches!(
+            self.algorithm,
+            Algorithm::DelayOptimal
+                | Algorithm::DelayOptimalNoForwarding
+                | Algorithm::Maekawa
+        );
+        let (sys, k) = if quorum_based {
+            let sys = self
+                .quorum
+                .build(n)
+                .unwrap_or_else(|e| panic!("bad scenario quorum: {e}"));
+            let k = sys.mean_quorum_size();
+            (Some(sys), k)
+        } else {
+            (None, n as f64)
+        };
+
+        match self.algorithm {
+            Algorithm::DelayOptimal | Algorithm::DelayOptimalNoForwarding => {
+                let cfg = Config {
+                    forwarding_enabled: self.algorithm == Algorithm::DelayOptimal,
+                };
+                let sys = sys.expect("quorum built above");
+                self.drive(
+                    (0..n)
+                        .map(|i| {
+                            DelayOptimal::new(
+                                SiteId(i as u32),
+                                sys.quorum_of(SiteId(i as u32)).to_vec(),
+                                cfg.clone(),
+                            )
+                        })
+                        .collect(),
+                    &arrivals,
+                    k,
+                )
+            }
+            Algorithm::DelayOptimalFtTree => {
+                let k = tree::tree_system(n)
+                    .unwrap_or_else(|e| panic!("bad FT scenario: {e}"))
+                    .mean_quorum_size();
+                self.drive(
+                    (0..n)
+                        .map(|i| {
+                            DelayOptimal::with_quorum_source(
+                                SiteId(i as u32),
+                                Config::default(),
+                                Box::new(TreeQuorumSource::new(n).expect("checked above")),
+                            )
+                        })
+                        .collect(),
+                    &arrivals,
+                    k,
+                )
+            }
+            Algorithm::DelayOptimalFtMajority => {
+                let k = majority_system(n).mean_quorum_size();
+                self.drive(
+                    (0..n)
+                        .map(|i| {
+                            DelayOptimal::with_quorum_source(
+                                SiteId(i as u32),
+                                Config::default(),
+                                Box::new(MajorityQuorumSource::new(n)),
+                            )
+                        })
+                        .collect(),
+                    &arrivals,
+                    k,
+                )
+            }
+            Algorithm::Maekawa => {
+                let sys = sys.expect("quorum built above");
+                self.drive(
+                    (0..n)
+                        .map(|i| {
+                            Maekawa::new(
+                                SiteId(i as u32),
+                                sys.quorum_of(SiteId(i as u32)).to_vec(),
+                            )
+                        })
+                        .collect(),
+                    &arrivals,
+                    k,
+                )
+            }
+            Algorithm::Lamport => self.drive(
+                (0..n).map(|i| Lamport::new(SiteId(i as u32), n as u32)).collect(),
+                &arrivals,
+                k,
+            ),
+            Algorithm::RicartAgrawala => self.drive(
+                (0..n)
+                    .map(|i| RicartAgrawala::new(SiteId(i as u32), n as u32))
+                    .collect(),
+                &arrivals,
+                k,
+            ),
+            Algorithm::SuzukiKasami => self.drive(
+                (0..n)
+                    .map(|i| SuzukiKasami::new(SiteId(i as u32), n as u32))
+                    .collect(),
+                &arrivals,
+                k,
+            ),
+            Algorithm::Raymond => self.drive(
+                (0..n).map(|i| Raymond::new(SiteId(i as u32), n as u32)).collect(),
+                &arrivals,
+                k,
+            ),
+            Algorithm::SinghalDynamic => self.drive(
+                (0..n)
+                    .map(|i| SinghalDynamic::new(SiteId(i as u32), n as u32))
+                    .collect(),
+                &arrivals,
+                k,
+            ),
+            Algorithm::CarvalhoRoucairol => self.drive(
+                (0..n)
+                    .map(|i| CarvalhoRoucairol::new(SiteId(i as u32), n as u32))
+                    .collect(),
+                &arrivals,
+                k,
+            ),
+        }
+    }
+
+    fn drive<P: Protocol>(
+        &self,
+        sites: Vec<P>,
+        arrivals: &[(SiteId, u64)],
+        quorum_size: f64,
+    ) -> RunReport {
+        let mut sim = Simulator::new(
+            sites,
+            SimConfig {
+                delay: self.delay,
+                hold: self.hold,
+                detect_delay: self.detect_delay,
+                seed: self.seed,
+            },
+        );
+        for &(s, t) in arrivals {
+            sim.schedule_request(s, t);
+        }
+        for &(s, t) in &self.crashes {
+            sim.schedule_crash(s, t);
+        }
+        for (groups, t) in &self.partitions {
+            sim.schedule_partition(groups.clone(), *t);
+        }
+        // Let in-flight work drain well past the arrival window.
+        let drain = self.horizon.saturating_mul(4).max(self.horizon + 10_000_000);
+        sim.run_to_quiescence(drain);
+        RunReport::from_metrics(
+            self.n,
+            quorum_size,
+            sim.metrics(),
+            self.delay.mean(),
+            sim.now().max(1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(algorithm: Algorithm, n: usize, quorum: QuorumSpec) -> RunReport {
+        Scenario {
+            n,
+            algorithm,
+            quorum,
+            arrivals: ArrivalProcess::Periodic {
+                period: 20_000,
+                stagger: 500,
+            },
+            horizon: 200_000,
+            ..Scenario::default()
+        }
+        .run()
+    }
+
+    #[test]
+    fn every_algorithm_completes_a_light_workload() {
+        for alg in Algorithm::ALL {
+            // Tree quorums need N = 2^d - 1: use 7 sites there, 9 elsewhere.
+            let n = if alg == Algorithm::DelayOptimalFtTree { 7 } else { 9 };
+            let r = quick(alg, n, QuorumSpec::Grid);
+            let expected = n * 10 * 8 / 10; // ≥80% of scheduled arrivals
+            assert!(
+                r.completed >= expected,
+                "{}: completed only {}",
+                alg.label(),
+                r.completed
+            );
+            assert!(r.fairness.unwrap() > 0.9, "{}", alg.label());
+        }
+    }
+
+    #[test]
+    fn delay_optimal_beats_maekawa_on_sync_delay_under_saturation() {
+        let mk = |algorithm| {
+            Scenario {
+                n: 9,
+                algorithm,
+                quorum: QuorumSpec::Grid,
+                arrivals: ArrivalProcess::Saturated { tick_gap: 5_000 },
+                horizon: 300_000,
+                ..Scenario::default()
+            }
+            .run()
+        };
+        let dopt = mk(Algorithm::DelayOptimal);
+        let maek = mk(Algorithm::Maekawa);
+        let d = dopt.sync_delay_t.expect("contended samples");
+        let m = maek.sync_delay_t.expect("contended samples");
+        assert!(
+            d < m,
+            "delay-optimal {d:.2}T must beat maekawa {m:.2}T"
+        );
+        assert!(d < 1.5, "delay-optimal sync delay {d:.2}T should be near T");
+        assert!(m > 1.5, "maekawa sync delay {m:.2}T should be near 2T");
+    }
+
+    #[test]
+    fn quorum_spec_build_errors_are_reported() {
+        assert!(QuorumSpec::Tree.build(10).is_err());
+        assert!(QuorumSpec::Fpp.build(10).is_err());
+        assert!(QuorumSpec::Hqc.build(10).is_err());
+        assert!(QuorumSpec::Fpp.build(7).is_ok());
+        assert!(QuorumSpec::All.build(4).is_ok());
+    }
+
+    #[test]
+    fn ft_scenario_survives_a_crash() {
+        let r = Scenario {
+            n: 7,
+            algorithm: Algorithm::DelayOptimalFtTree,
+            quorum: QuorumSpec::Tree,
+            arrivals: ArrivalProcess::Periodic {
+                period: 30_000,
+                stagger: 1_000,
+            },
+            horizon: 300_000,
+            crashes: vec![(SiteId(1), 90_000)],
+            ..Scenario::default()
+        }
+        .run();
+        // Live sites keep completing CS executions after the crash.
+        assert!(r.completed >= 40, "completed {}", r.completed);
+    }
+}

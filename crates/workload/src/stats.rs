@@ -1,0 +1,171 @@
+//! Statistics reduction helpers and the unified run report.
+
+use qmx_core::MsgKind;
+use qmx_sim::Metrics;
+use std::collections::BTreeMap;
+
+/// Arithmetic mean; `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    (!xs.is_empty()).then(|| xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// The `p`-th percentile (0–100) by nearest-rank on a sorted copy.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `0..=100`.
+pub fn percentile(xs: &[f64], p: u8) -> Option<f64> {
+    assert!(p <= 100, "percentile must be 0..=100");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    let rank = ((p as f64 / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    Some(sorted[rank])
+}
+
+/// Jain's fairness index over per-site CS counts: 1.0 = perfectly fair,
+/// `1/n` = one site monopolizes.
+pub fn jain_fairness(counts: &[usize]) -> Option<f64> {
+    if counts.is_empty() || counts.iter().all(|&c| c == 0) {
+        return None;
+    }
+    let n = counts.len() as f64;
+    let sum: f64 = counts.iter().map(|&c| c as f64).sum();
+    let sumsq: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    Some(sum * sum / (n * sumsq))
+}
+
+/// Uniform summary of one simulation run, with times normalized to the
+/// mean message delay `T` so results read directly against the paper's
+/// analysis.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Number of sites.
+    pub n: usize,
+    /// Mean quorum size `K` (equals `N` for broadcast algorithms).
+    pub quorum_size: f64,
+    /// Completed CS executions.
+    pub completed: usize,
+    /// Total wire messages.
+    pub messages: u64,
+    /// Messages per kind.
+    pub by_kind: BTreeMap<MsgKind, u64>,
+    /// Wire messages per completed CS.
+    pub messages_per_cs: Option<f64>,
+    /// Mean synchronization delay in units of `T` (contended handoffs
+    /// only).
+    pub sync_delay_t: Option<f64>,
+    /// Number of contended handoffs the sync delay was averaged over.
+    pub sync_samples: usize,
+    /// Mean response time (request to CS exit, the paper's definition) in
+    /// units of `T`.
+    pub response_time_t: Option<f64>,
+    /// Mean waiting time (request to CS *entry*) in units of `T`.
+    pub waiting_time_t: Option<f64>,
+    /// 99th-percentile response time in units of `T`.
+    pub response_p99_t: Option<f64>,
+    /// Throughput: completed CS per `T` of virtual time.
+    pub throughput_per_t: f64,
+    /// Jain fairness over per-site CS counts.
+    pub fairness: Option<f64>,
+}
+
+impl RunReport {
+    /// Builds a report from raw simulator metrics.
+    ///
+    /// `t` is the mean message delay; `elapsed` the virtual time the run
+    /// actually covered.
+    pub fn from_metrics(n: usize, quorum_size: f64, m: &Metrics, t: f64, elapsed: u64) -> Self {
+        let sync = m.sync_delays();
+        let mut counts = vec![0usize; n];
+        for (site, c) in m.per_site_counts() {
+            counts[site.index()] = c;
+        }
+        RunReport {
+            n,
+            quorum_size,
+            completed: m.completed_cs(),
+            messages: m.total_messages(),
+            by_kind: m.messages_by_kind().clone(),
+            messages_per_cs: m.messages_per_cs(),
+            sync_delay_t: m.mean_sync_delay().map(|d| d / t),
+            sync_samples: sync.len(),
+            response_time_t: m.mean_response_time().map(|d| d / t),
+            waiting_time_t: {
+                let w: Vec<f64> = m.records().iter().map(|r| r.waiting_time() as f64).collect();
+                mean(&w).map(|x| x / t)
+            },
+            response_p99_t: {
+                let resp: Vec<f64> = m.records().iter().map(|r| r.response_time() as f64).collect();
+                percentile(&resp, 99).map(|x| x / t)
+            },
+            throughput_per_t: if elapsed == 0 {
+                0.0
+            } else {
+                m.completed_cs() as f64 * t / elapsed as f64
+            },
+            fairness: jain_fairness(&counts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentile() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(percentile(&[], 50), None);
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0), Some(1.0));
+        assert_eq!(percentile(&xs, 50), Some(3.0));
+        assert_eq!(percentile(&xs, 100), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be")]
+    fn percentile_rejects_out_of_range() {
+        let _ = percentile(&[1.0], 101);
+    }
+
+    #[test]
+    fn fairness_bounds() {
+        assert_eq!(jain_fairness(&[]), None);
+        assert_eq!(jain_fairness(&[0, 0]), None);
+        assert_eq!(jain_fairness(&[5, 5, 5]), Some(1.0));
+        let skew = jain_fairness(&[10, 0, 0, 0]).unwrap();
+        assert!((skew - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_normalizes_by_t() {
+        use qmx_core::SiteId;
+        use qmx_sim::CsRecord;
+        let mut m = Metrics::new();
+        m.count_msg(MsgKind::Request);
+        m.record_cs(CsRecord {
+            site: SiteId(0),
+            requested_at: 0,
+            entered_at: 2000,
+            exited_at: 2100,
+        });
+        m.record_cs(CsRecord {
+            site: SiteId(1),
+            requested_at: 1000,
+            entered_at: 3100,
+            exited_at: 3200,
+        });
+        let r = RunReport::from_metrics(2, 2.0, &m, 1000.0, 10_000);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.sync_delay_t, Some(1.0)); // 3100-2100 = 1000 = 1 T
+        assert_eq!(r.response_time_t, Some(2.15)); // mean of (2100, 2200) / 1000
+        assert_eq!(r.waiting_time_t, Some(2.05)); // mean of (2000, 2100) / 1000
+        assert_eq!(r.response_p99_t, Some(2.2));
+        assert!((r.throughput_per_t - 0.2).abs() < 1e-12);
+        assert_eq!(r.fairness, Some(1.0));
+    }
+}

@@ -1,0 +1,67 @@
+//! Compare all seven algorithms on the same workload — a miniature
+//! version of the paper's Table 1 you can tweak from the command line:
+//!
+//! ```sh
+//! cargo run --release --example algorithm_shootout -- [N] [mean_gap_in_T]
+//! ```
+//!
+//! Defaults: N = 25, gap = 5T (moderate contention).
+
+use qmx::sim::DelayModel;
+use qmx::workload::arrival::ArrivalProcess;
+use qmx::workload::scenario::{Algorithm, QuorumSpec, Scenario};
+
+const T: u64 = 1000;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .map(|a| a.parse().expect("N must be an integer"))
+        .unwrap_or(25);
+    let gap_t: u64 = args
+        .next()
+        .map(|a| a.parse().expect("gap must be an integer number of T"))
+        .unwrap_or(5);
+
+    println!(
+        "{n} sites, Poisson arrivals with mean gap {gap_t}T, T = {T} ticks, E = 0.1T\n"
+    );
+    println!(
+        "{:<22} {:>6} {:>10} {:>12} {:>12} {:>10}",
+        "algorithm", "K", "msgs/CS", "sync (T)", "resp (T)", "fairness"
+    );
+    for alg in [
+        Algorithm::Lamport,
+        Algorithm::RicartAgrawala,
+        Algorithm::CarvalhoRoucairol,
+        Algorithm::Maekawa,
+        Algorithm::SuzukiKasami,
+        Algorithm::Raymond,
+        Algorithm::SinghalDynamic,
+        Algorithm::DelayOptimal,
+    ] {
+        let r = Scenario {
+            n,
+            algorithm: alg,
+            quorum: QuorumSpec::Grid,
+            arrivals: ArrivalProcess::Poisson { mean_gap: gap_t * T },
+            horizon: 2_000 * T,
+            delay: DelayModel::Constant(T),
+            hold: DelayModel::Constant(T / 10),
+            ..Scenario::default()
+        }
+        .run();
+        let fmt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.2}"));
+        println!(
+            "{:<22} {:>6.1} {:>10} {:>12} {:>12} {:>10}",
+            alg.label(),
+            r.quorum_size,
+            fmt(r.messages_per_cs),
+            fmt(r.sync_delay_t),
+            fmt(r.response_time_t),
+            fmt(r.fairness),
+        );
+    }
+    println!("\n(the proposed algorithm should pair quorum-sized message counts with ~T sync delay)");
+}

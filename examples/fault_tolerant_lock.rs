@@ -1,0 +1,103 @@
+//! Fault tolerance (§6): a distributed lock service that survives a site
+//! crash by reconstructing tree quorums around the failure.
+//!
+//! Seven sites serve lock requests; at t = 200T site 1 (an interior tree
+//! node, member of several quorums) crashes. Sites whose quorums contained
+//! it rebuild their quorums (Agrawal–El Abbadi substitution paths) and the
+//! service keeps going. For contrast the same run with fixed quorums shows
+//! the dependent sites going dark.
+//!
+//! ```sh
+//! cargo run --example fault_tolerant_lock
+//! ```
+
+use qmx::core::{Config, DelayOptimal, SiteId};
+use qmx::quorum::tree::{tree_system, TreeQuorumSource};
+use qmx::sim::{DelayModel, SimConfig, Simulator};
+
+const T: u64 = 1000;
+
+fn schedule(sim: &mut Simulator<DelayOptimal>, n: usize, horizon: u64) {
+    // Each site asks for the lock every 20T, staggered.
+    for i in 0..n {
+        let mut t = (i as u64) * T;
+        while t < horizon {
+            sim.schedule_request(SiteId(i as u32), t);
+            t += 20 * T;
+        }
+    }
+}
+
+fn run(ft: bool, n: usize, crash_at: u64, horizon: u64) -> (usize, usize, Vec<usize>) {
+    let sites: Vec<DelayOptimal> = (0..n)
+        .map(|i| {
+            if ft {
+                DelayOptimal::with_quorum_source(
+                    SiteId(i as u32),
+                    Config::default(),
+                    Box::new(TreeQuorumSource::new(n).expect("n = 2^d - 1")),
+                )
+            } else {
+                let sys = tree_system(n).expect("n = 2^d - 1");
+                DelayOptimal::new(
+                    SiteId(i as u32),
+                    sys.quorum_of(SiteId(i as u32)).to_vec(),
+                    Config::default(),
+                )
+            }
+        })
+        .collect();
+    let mut sim = Simulator::new(
+        sites,
+        SimConfig {
+            delay: DelayModel::Constant(T),
+            hold: DelayModel::Constant(100),
+            detect_delay: 2 * T,
+            ..SimConfig::default()
+        },
+    );
+    schedule(&mut sim, n, horizon);
+    sim.schedule_crash(SiteId(1), crash_at);
+    sim.run_to_quiescence(horizon * 4);
+
+    let before = sim
+        .metrics()
+        .records()
+        .iter()
+        .filter(|r| r.entered_at < crash_at)
+        .count();
+    let after = sim.metrics().completed_cs() - before;
+    let mut per_site = vec![0usize; n];
+    for r in sim.metrics().records() {
+        if r.entered_at >= crash_at {
+            per_site[r.site.index()] += 1;
+        }
+    }
+    (before, after, per_site)
+}
+
+fn main() {
+    let n = 7;
+    let crash_at = 200 * T;
+    let horizon = 600 * T;
+
+    println!("lock service over {n} sites, site 1 crashes at t = 200T\n");
+    for (label, ft) in [("fault-tolerant (tree reconstruction)", true), ("fixed quorums", false)] {
+        let (before, after, per_site) = run(ft, n, crash_at, horizon);
+        println!("{label}:");
+        println!("  lock grants before crash : {before}");
+        println!("  lock grants after crash  : {after}");
+        println!("  per-site grants after    : {per_site:?}  (site 1 is dead)");
+        let starved: Vec<usize> = per_site
+            .iter()
+            .enumerate()
+            .filter(|&(i, &c)| i != 1 && c == 0)
+            .map(|(i, _)| i)
+            .collect();
+        if starved.is_empty() {
+            println!("  every live site kept being served\n");
+        } else {
+            println!("  sites starved by the dead quorum member: {starved:?}\n");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Replica control (the paper's conclusion): a replicated register with
+//! Gifford-style read/write quorums, writes serialized by the
+//! delay-optimal mutex, survives stale replicas and concurrent writers.
+//!
+//! ```sh
+//! cargo run --example quorum_kv
+//! ```
+
+use qmx::core::SiteId;
+use qmx::replica::{OpResult, ReplicaConfig, ReplicaSim, ReplicaSimConfig};
+use qmx::sim::DelayModel;
+
+const T: u64 = 1000;
+
+fn main() {
+    let n = 5u32;
+    // R = 3, W = 3 over 5 replicas: R + W > N, so quorums intersect.
+    let all: Vec<SiteId> = (0..n).map(SiteId).collect();
+    let mut sim = ReplicaSim::new(
+        n,
+        |site| ReplicaConfig {
+            mutex_quorum: all.clone(),
+            // Rotating 3-member windows starting at the caller.
+            read_quorum: (0..3).map(|k| SiteId((site.0 + k) % n)).collect(),
+            write_quorum: (0..3).map(|k| SiteId((site.0 + 2 + k) % n)).collect(),
+            initial: 0,
+            read_repair: false,
+        },
+        ReplicaSimConfig {
+            delay: DelayModel::Uniform { lo: 500, hi: 1500 },
+            seed: 2024,
+        },
+    );
+
+    // Three concurrent writers, then a wave of reads from every site.
+    sim.schedule_write(SiteId(0), 111, 0);
+    sim.schedule_write(SiteId(2), 222, 10);
+    sim.schedule_write(SiteId(4), 333, 20);
+    for i in 0..n {
+        sim.schedule_read(SiteId(i), 200 * T + u64::from(i));
+    }
+    sim.run(10_000 * T);
+
+    println!("operations ({} wire messages total):", sim.messages());
+    for r in sim.records() {
+        match r.result {
+            OpResult::Write { version } => println!(
+                "  write v{version}   by {}  [{} .. {}]",
+                r.site, r.submitted_at, r.completed_at
+            ),
+            OpResult::Read(v) => println!(
+                "  read  v{} = {}  by {}  [{} .. {}]",
+                v.version, v.value, r.site, r.submitted_at, r.completed_at
+            ),
+        }
+    }
+
+    println!("\nper-site replicas (some may be stale — that is the point):");
+    for i in 0..n {
+        let v = sim.stored(SiteId(i));
+        println!("  {}: v{} = {}", SiteId(i), v.version, v.value);
+    }
+    println!(
+        "\nevery read went through an intersecting quorum, so all reads at\n\
+         the end returned the newest version even where local replicas lag."
+    );
+
+    // Sanity: all late reads saw version 3.
+    let late_reads: Vec<_> = sim
+        .records()
+        .iter()
+        .filter_map(|r| match r.result {
+            OpResult::Read(v) if r.submitted_at >= 200 * T => Some(v.version),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(late_reads.len(), n as usize);
+    assert!(late_reads.iter().all(|&v| v == 3));
+}

@@ -1,0 +1,165 @@
+//! Fault-injection integration tests for the §6 failure-handling rules:
+//! crash each protocol role (lock holder, arbiter, queued requester) and
+//! assert the survivors recover.
+
+use qmx::core::SiteId;
+use qmx::sim::DelayModel;
+use qmx::workload::arrival::ArrivalProcess;
+use qmx::workload::scenario::{Algorithm, QuorumSpec, Scenario};
+
+const T: u64 = 1000;
+
+fn ft_scenario(n: usize, algorithm: Algorithm, crashes: Vec<(SiteId, u64)>) -> Scenario {
+    Scenario {
+        n,
+        algorithm,
+        quorum: QuorumSpec::Tree,
+        arrivals: ArrivalProcess::Periodic {
+            period: 20 * T,
+            stagger: 900,
+        },
+        horizon: 500 * T,
+        delay: DelayModel::Constant(T),
+        hold: DelayModel::Constant(200),
+        crashes,
+        detect_delay: 2 * T,
+        ..Scenario::default()
+    }
+}
+
+#[test]
+fn tree_ft_survives_root_crash() {
+    // The root is in EVERY failure-free tree quorum: the worst single
+    // crash. All six survivors must keep completing.
+    let r = ft_scenario(
+        7,
+        Algorithm::DelayOptimalFtTree,
+        vec![(SiteId(0), 100 * T)],
+    )
+    .run();
+    // 6 live sites x 25 rounds = 150 post-crash capacity; the pre-crash
+    // window adds more. Require most of it.
+    assert!(r.completed >= 120, "completed {}", r.completed);
+}
+
+#[test]
+fn tree_ft_survives_interior_and_leaf_crashes() {
+    for victim in [1u32, 3] {
+        let r = ft_scenario(
+            7,
+            Algorithm::DelayOptimalFtTree,
+            vec![(SiteId(victim), 150 * T)],
+        )
+        .run();
+        assert!(
+            r.completed >= 120,
+            "victim {victim}: completed {}",
+            r.completed
+        );
+    }
+}
+
+#[test]
+fn tree_ft_survives_two_crashes() {
+    let r = ft_scenario(
+        15,
+        Algorithm::DelayOptimalFtTree,
+        vec![(SiteId(2), 100 * T), (SiteId(5), 250 * T)],
+    )
+    .run();
+    assert!(r.completed >= 250, "completed {}", r.completed);
+}
+
+#[test]
+fn majority_ft_survives_minority_crashes() {
+    let r = Scenario {
+        quorum: QuorumSpec::Majority,
+        ..ft_scenario(
+            7,
+            Algorithm::DelayOptimalFtMajority,
+            vec![(SiteId(2), 100 * T), (SiteId(6), 200 * T)],
+        )
+    }
+    .run();
+    assert!(r.completed >= 100, "completed {}", r.completed);
+}
+
+#[test]
+fn crash_of_site_inside_cs_does_not_wedge_survivors() {
+    // Crash timed while some site is very likely inside the CS (holds are
+    // long); the permission it holds must be reclaimed via §6 cleanup.
+    let r = Scenario {
+        hold: DelayModel::Constant(5 * T),
+        ..ft_scenario(
+            7,
+            Algorithm::DelayOptimalFtTree,
+            vec![(SiteId(3), 23 * T)],
+        )
+    }
+    .run();
+    assert!(r.completed >= 80, "completed {}", r.completed);
+}
+
+#[test]
+fn fixed_quorum_unaffected_sites_keep_running() {
+    // Without reconstruction, sites whose quorums avoid the victim keep
+    // completing; dependent sites go inaccessible but must not wedge the
+    // rest (and the run must stay safe throughout).
+    let r = ft_scenario(7, Algorithm::DelayOptimal, vec![(SiteId(1), 100 * T)]).run();
+    assert!(r.completed >= 40, "completed {}", r.completed);
+}
+
+#[test]
+fn crash_before_any_traffic() {
+    let r = ft_scenario(
+        7,
+        Algorithm::DelayOptimalFtTree,
+        vec![(SiteId(2), 1)],
+    )
+    .run();
+    assert!(r.completed >= 120, "completed {}", r.completed);
+}
+
+#[test]
+fn repeated_crashes_until_no_quorum_leaves_system_quiet() {
+    // Kill all leaves of the 7-site tree: no quorum can form; the run must
+    // terminate (no livelock) even though nobody can enter anymore.
+    let crashes = vec![
+        (SiteId(3), 50 * T),
+        (SiteId(4), 60 * T),
+        (SiteId(5), 70 * T),
+        (SiteId(6), 80 * T),
+    ];
+    let r = ft_scenario(7, Algorithm::DelayOptimalFtTree, crashes).run();
+    // Some completions before the blackout, none after; key assertion is
+    // termination (run() returning) plus safety (monitored inside).
+    assert!(r.completed >= 5, "completed {}", r.completed);
+}
+
+#[test]
+fn majority_ft_partition_majority_side_continues() {
+    // Partition 7 sites into {0,1,2,3} vs {4,5,6}: only the 4-site side
+    // can still assemble majorities (4 of 7); the minority blocks but the
+    // run stays safe and terminates.
+    let mut sc = Scenario {
+        quorum: QuorumSpec::Majority,
+        ..ft_scenario(7, Algorithm::DelayOptimalFtMajority, vec![])
+    };
+    sc.partitions = vec![(vec![0, 0, 0, 0, 1, 1, 1], 150 * T)];
+    let r = sc.run();
+    // Majority side keeps completing after the split; well above the
+    // pre-partition-only count (~7 sites x ~7 rounds).
+    assert!(r.completed >= 80, "completed {}", r.completed);
+}
+
+#[test]
+fn tree_ft_partition_is_safe_one_side_blocks() {
+    // Tree quorums reconstructed under *disagreeing* failure suspicions
+    // still intersect pairwise (proptest `quorum_properties`), so a
+    // partition can block a side but never admit two concurrent CS
+    // executions. The simulator's monitor enforces safety throughout.
+    let mut sc = ft_scenario(7, Algorithm::DelayOptimalFtTree, vec![]);
+    sc.partitions = vec![(vec![0, 0, 0, 1, 0, 1, 1], 150 * T)];
+    let r = sc.run();
+    assert!(r.completed >= 30, "completed {}", r.completed);
+}

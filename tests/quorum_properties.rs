@@ -1,0 +1,99 @@
+//! Property-based tests of the coterie laws (§2) across every quorum
+//! construction and admissible universe size.
+
+use proptest::prelude::*;
+use qmx::quorum::{fpp, grid, gridset, hqc, majority, rst, tree, QuorumSystem};
+use std::collections::BTreeSet;
+
+fn assert_coterie(sys: &QuorumSystem, label: &str) {
+    assert!(
+        sys.verify_intersection().is_ok(),
+        "{label}: intersection violated"
+    );
+    for (i, q) in sys.quorums().iter().enumerate() {
+        assert!(!q.is_empty(), "{label}: site {i} has an empty quorum");
+        assert!(
+            q.iter().all(|s| s.index() < sys.n()),
+            "{label}: site {i} references outside the universe"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn grid_is_a_coterie_for_any_n(n in 1usize..=120) {
+        let sys = grid::grid_system(n);
+        assert_coterie(&sys, &format!("grid n={n}"));
+        // K <= 2*ceil(sqrt(n)) - 1 + 1 slack for partial rows.
+        let bound = 2.0 * (n as f64).sqrt().ceil() + 1.0;
+        prop_assert!(sys.max_quorum_size() as f64 <= bound);
+    }
+
+    #[test]
+    fn majority_is_a_coterie_for_any_n(n in 1usize..=80) {
+        let sys = majority::majority_system(n);
+        assert_coterie(&sys, &format!("majority n={n}"));
+        prop_assert_eq!(sys.max_quorum_size(), n / 2 + 1);
+    }
+
+    #[test]
+    fn gridset_and_rst_are_coteries(groups in 1usize..=6, g in 1usize..=6) {
+        let n = groups * g;
+        let gs = gridset::gridset_system(n, g).expect("divisible by construction");
+        assert_coterie(&gs, &format!("grid-set n={n} g={g}"));
+        let rs = rst::rst_system(n, g).expect("divisible by construction");
+        assert_coterie(&rs, &format!("rst n={n} g={g}"));
+    }
+
+    #[test]
+    fn tree_quorums_under_random_failures_intersect(
+        d in 2u32..=4,
+        failures in proptest::collection::btree_set(0u32..15, 0..5),
+        steer_a in any::<u64>(),
+        steer_b in any::<u64>(),
+    ) {
+        let n = (1usize << d) - 1;
+        let down: BTreeSet<qmx::core::SiteId> = failures
+            .into_iter()
+            .filter(|&f| (f as usize) < n)
+            .map(qmx::core::SiteId)
+            .collect();
+        // Quorums computed under (possibly different) steering, same
+        // failure set, must intersect pairwise — and also intersect the
+        // failure-free quorums (mixed-epoch safety).
+        let a = tree::tree_quorum(n, &down, steer_a);
+        let b = tree::tree_quorum(n, &down, steer_b);
+        let clean = tree::tree_quorum(n, &BTreeSet::new(), steer_a).expect("no failures");
+        if let (Ok(a), Ok(b)) = (a, b) {
+            prop_assert!(a.iter().any(|x| b.contains(x)), "{a:?} vs {b:?}");
+            prop_assert!(a.iter().any(|x| clean.contains(x)), "{a:?} vs clean {clean:?}");
+            // No failed member ever appears.
+            prop_assert!(a.iter().all(|x| !down.contains(x)));
+        }
+    }
+}
+
+#[test]
+fn fpp_and_hqc_admissible_sizes() {
+    for q in [2usize, 3, 5, 7, 11] {
+        let sys = fpp::fpp_system(q).expect("prime");
+        assert_coterie(&sys, &format!("fpp q={q}"));
+        assert!(sys.verify_minimality().is_ok(), "fpp q={q} minimality");
+    }
+    for d in 0..5u32 {
+        let n = 3usize.pow(d);
+        let sys = hqc::hqc_system(n).expect("power of three");
+        assert_coterie(&sys, &format!("hqc n={n}"));
+    }
+}
+
+#[test]
+fn constructions_trade_size_for_availability() {
+    // The §6 trade-off, end to end: tree quorums are the smallest, grid in
+    // the middle, majority the largest.
+    let tree = tree::tree_system(15).unwrap();
+    let grid = grid::grid_system(16);
+    let maj = majority::majority_system(15);
+    assert!(tree.mean_quorum_size() < grid.mean_quorum_size());
+    assert!(grid.mean_quorum_size() < maj.mean_quorum_size());
+}

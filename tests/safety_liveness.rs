@@ -1,0 +1,149 @@
+//! Cross-crate integration tests: safety (never two sites in the CS — the
+//! simulator's monitor panics on violation) and liveness (every scheduled
+//! request is eventually served and the system quiesces) for every
+//! algorithm × quorum construction combination that fits.
+
+use qmx::sim::DelayModel;
+use qmx::workload::arrival::ArrivalProcess;
+use qmx::workload::scenario::{Algorithm, QuorumSpec, Scenario};
+
+const T: u64 = 1000;
+
+fn run(n: usize, algorithm: Algorithm, quorum: QuorumSpec, delay: DelayModel, seed: u64) -> usize {
+    let r = Scenario {
+        n,
+        algorithm,
+        quorum,
+        arrivals: ArrivalProcess::Periodic {
+            period: 60 * T,
+            // Keep all stagger offsets inside one period even for n = 27.
+            stagger: 2 * T,
+        },
+        horizon: 600 * T,
+        delay,
+        hold: DelayModel::Constant(100),
+        seed,
+        ..Scenario::default()
+    }
+    .run();
+    r.completed
+}
+
+#[test]
+fn delay_optimal_on_every_quorum_construction() {
+    // (n, spec) pairs sized so each construction applies.
+    let cases: Vec<(usize, QuorumSpec)> = vec![
+        (9, QuorumSpec::Grid),
+        (12, QuorumSpec::Grid),
+        (7, QuorumSpec::Fpp),
+        (13, QuorumSpec::Fpp),
+        (7, QuorumSpec::Tree),
+        (15, QuorumSpec::Tree),
+        (9, QuorumSpec::Hqc),
+        (27, QuorumSpec::Hqc),
+        (8, QuorumSpec::GridSet(4)),
+        (16, QuorumSpec::GridSet(4)),
+        (12, QuorumSpec::Rst(3)),
+        (16, QuorumSpec::Rst(4)),
+        (9, QuorumSpec::Majority),
+        (9, QuorumSpec::Wheel),
+        (10, QuorumSpec::Wall),
+        (5, QuorumSpec::All),
+    ];
+    for (n, spec) in cases {
+        let completed = run(n, Algorithm::DelayOptimal, spec, DelayModel::Constant(T), 1);
+        assert_eq!(completed, n * 10, "n={n} spec={spec:?}");
+    }
+}
+
+#[test]
+fn every_algorithm_serves_every_request_constant_delay() {
+    for alg in [
+        Algorithm::DelayOptimal,
+        Algorithm::DelayOptimalNoForwarding,
+        Algorithm::Maekawa,
+        Algorithm::Lamport,
+        Algorithm::RicartAgrawala,
+        Algorithm::SuzukiKasami,
+        Algorithm::Raymond,
+        Algorithm::SinghalDynamic,
+        Algorithm::CarvalhoRoucairol,
+    ] {
+        let completed = run(9, alg, QuorumSpec::Grid, DelayModel::Constant(T), 2);
+        assert_eq!(completed, 9 * 10, "{}", alg.label());
+    }
+}
+
+#[test]
+fn every_algorithm_survives_random_delays() {
+    // Exponential delays reorder messages across links (per-link FIFO
+    // still holds); protocols must stay safe and live.
+    for alg in [
+        Algorithm::DelayOptimal,
+        Algorithm::DelayOptimalNoForwarding,
+        Algorithm::Maekawa,
+        Algorithm::Lamport,
+        Algorithm::RicartAgrawala,
+        Algorithm::SuzukiKasami,
+        Algorithm::Raymond,
+        Algorithm::SinghalDynamic,
+        Algorithm::CarvalhoRoucairol,
+    ] {
+        for seed in 0..5 {
+            let completed = run(
+                9,
+                alg,
+                QuorumSpec::Grid,
+                DelayModel::Exponential { mean: T },
+                seed,
+            );
+            // Heavy-tailed delays can make an occasional arrival land on a
+            // still-busy site (dropped by design); require near-complete
+            // service plus clean quiescence.
+            assert!(
+                completed >= 9 * 10 * 9 / 10,
+                "{} seed={seed}: completed {completed}",
+                alg.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn delay_optimal_heavy_contention_many_seeds() {
+    // Saturate a grid-quorum system across many seeds with jittery delays:
+    // the adversarial regime for the forwarding races.
+    for seed in 0..15 {
+        let r = Scenario {
+            n: 9,
+            algorithm: Algorithm::DelayOptimal,
+            quorum: QuorumSpec::Grid,
+            arrivals: ArrivalProcess::Saturated { tick_gap: T / 3 },
+            horizon: 150 * T,
+            delay: DelayModel::Uniform { lo: 200, hi: 2000 },
+            hold: DelayModel::Constant(150),
+            seed,
+            ..Scenario::default()
+        }
+        .run();
+        assert!(r.completed > 20, "seed={seed}: completed {}", r.completed);
+    }
+}
+
+#[test]
+fn uniform_delays_with_large_jitter() {
+    for alg in [Algorithm::DelayOptimal, Algorithm::Maekawa] {
+        let completed = run(
+            16,
+            alg,
+            QuorumSpec::Grid,
+            DelayModel::Uniform { lo: 1, hi: 3000 },
+            7,
+        );
+        assert!(
+            completed >= 16 * 10 * 9 / 10,
+            "{}: completed {completed}",
+            alg.label()
+        );
+    }
+}

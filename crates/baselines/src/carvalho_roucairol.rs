@@ -90,10 +90,7 @@ impl CarvalhoRoucairol {
     }
 
     fn maybe_enter(&mut self, fx: &mut Effects<CrMsg>) {
-        if !self.in_cs
-            && self.my_req.is_some()
-            && self.granted_by.len() as u32 == self.n - 1
-        {
+        if !self.in_cs && self.my_req.is_some() && self.granted_by.len() as u32 == self.n - 1 {
             self.in_cs = true;
             fx.enter_cs();
         }

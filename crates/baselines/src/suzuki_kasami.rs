@@ -99,10 +99,7 @@ impl SuzukiKasami {
         // Append every site whose latest known request is unserved.
         for j in 0..self.n as usize {
             let sj = SiteId(j as u32);
-            if sj != self.site
-                && self.rn[j] == token.ln[j] + 1
-                && !token.queue.contains(&sj)
-            {
+            if sj != self.site && self.rn[j] == token.ln[j] + 1 && !token.queue.contains(&sj) {
                 token.queue.push_back(sj);
             }
         }

@@ -65,10 +65,7 @@ impl<P: Protocol> Harness<P> {
     }
 
     pub fn who_is_in_cs(&self) -> Option<u32> {
-        self.sites
-            .iter()
-            .position(|s| s.in_cs())
-            .map(|i| i as u32)
+        self.sites.iter().position(|s| s.in_cs()).map(|i| i as u32)
     }
 
     /// Runs a full round-robin: everyone requests, then the CS is drained

@@ -8,7 +8,9 @@ use std::hint::black_box;
 
 fn bench_constructions(c: &mut Criterion) {
     let mut g = c.benchmark_group("construct");
-    g.bench_function("grid_n400", |b| b.iter(|| black_box(grid::grid_system(400))));
+    g.bench_function("grid_n400", |b| {
+        b.iter(|| black_box(grid::grid_system(400)))
+    });
     g.bench_function("majority_n401", |b| {
         b.iter(|| black_box(majority::majority_system(401)))
     });
@@ -30,7 +32,9 @@ fn bench_constructions(c: &mut Criterion) {
 fn bench_verification(c: &mut Criterion) {
     let mut g = c.benchmark_group("verify_intersection");
     let grid = grid::grid_system(100);
-    g.bench_function("grid_n100", |b| b.iter(|| grid.verify_intersection().is_ok()));
+    g.bench_function("grid_n100", |b| {
+        b.iter(|| grid.verify_intersection().is_ok())
+    });
     let tr = tree::tree_system(127).expect("full tree");
     g.bench_function("tree_n127", |b| b.iter(|| tr.verify_intersection().is_ok()));
     g.finish();
@@ -40,8 +44,9 @@ fn bench_tree_reconstruction(c: &mut Criterion) {
     // §6 hot path: recompute a quorum avoiding failed sites.
     let mut g = c.benchmark_group("tree_reconstruct");
     for failures in [0usize, 2, 8] {
-        let down: BTreeSet<qmx_core::SiteId> =
-            (0..failures as u32).map(|i| qmx_core::SiteId(i * 7 + 1)).collect();
+        let down: BTreeSet<qmx_core::SiteId> = (0..failures as u32)
+            .map(|i| qmx_core::SiteId(i * 7 + 1))
+            .collect();
         g.bench_function(format!("n255_failed{failures}"), |b| {
             b.iter(|| black_box(tree::tree_quorum(255, &down, 42)))
         });

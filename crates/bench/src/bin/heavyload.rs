@@ -1,4 +1,7 @@
 //! E3: heavy-load behaviour (§5.2): 5(K-1)..6(K-1) messages, delay T.
 fn main() {
-    println!("{}", qmx_bench::experiments::heavy_load_detail(&[9, 25, 49]));
+    println!(
+        "{}",
+        qmx_bench::experiments::heavy_load_detail(&[9, 25, 49])
+    );
 }

@@ -1,4 +1,7 @@
 //! E2: light-load behaviour (§5.1): 3(K-1) messages, response 2T+E.
 fn main() {
-    println!("{}", qmx_bench::experiments::light_load_detail(&[9, 16, 25, 36, 49]));
+    println!(
+        "{}",
+        qmx_bench::experiments::light_load_detail(&[9, 16, 25, 36, 49])
+    );
 }

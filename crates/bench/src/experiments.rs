@@ -165,19 +165,15 @@ pub fn table1(n: usize) -> String {
             paper.to_string(),
         ]);
     }
-    format!("Table 1 reproduction, N = {n} (grid quorums)\n\n{}", t.render())
+    format!(
+        "Table 1 reproduction, N = {n} (grid quorums)\n\n{}",
+        t.render()
+    )
 }
 
 /// **E2 — §5.1**: light-load message count `3(K-1)` and response `2T+E`.
 pub fn light_load_detail(ns: &[usize]) -> String {
-    let mut t = Table::new([
-        "N",
-        "K",
-        "msgs/CS",
-        "3(K-1)",
-        "response (T)",
-        "expect 2T+E",
-    ]);
+    let mut t = Table::new(["N", "K", "msgs/CS", "3(K-1)", "response (T)", "expect 2T+E"]);
     for &n in ns {
         let r = light_load(n, Algorithm::DelayOptimal, QuorumSpec::Grid, 3);
         t.row([
@@ -196,7 +192,9 @@ pub fn light_load_detail(ns: &[usize]) -> String {
 /// envelope, with the per-kind message histogram.
 pub fn heavy_load_detail(ns: &[usize]) -> String {
     let mut t = Table::new(["N", "K", "msgs/CS", "5(K-1)", "6(K-1)", "sync delay (T)"]);
-    let mut hist = Table::new(["N", "request", "reply", "release", "inquire", "fail", "yield", "transfer"]);
+    let mut hist = Table::new([
+        "N", "request", "reply", "release", "inquire", "fail", "yield", "transfer",
+    ]);
     for &n in ns {
         let r = heavy_load(n, Algorithm::DelayOptimal, QuorumSpec::Grid, 4);
         let k = r.quorum_size;
@@ -233,12 +231,7 @@ pub fn heavy_load_detail(ns: &[usize]) -> String {
 /// **E4 — §5.2 headline**: sync delay vs load, proposed vs Maekawa vs the
 /// no-forwarding ablation.
 pub fn sync_delay_sweep(n: usize) -> String {
-    let mut t = Table::new([
-        "mean gap (T)",
-        "delay-optimal",
-        "maekawa",
-        "no-forwarding",
-    ]);
+    let mut t = Table::new(["mean gap (T)", "delay-optimal", "maekawa", "no-forwarding"]);
     for gap_t in [50u64, 20, 10, 5, 2, 1] {
         let run = |alg| {
             Scenario {
@@ -559,7 +552,10 @@ mod tests {
     fn ablation_restores_2t() {
         let r = heavy_load(9, Algorithm::DelayOptimalNoForwarding, QuorumSpec::Grid, 45);
         let d = r.sync_delay_t.expect("contended");
-        assert!(d > 1.6, "no-forwarding sync delay {d:.2}T should approach 2T");
+        assert!(
+            d > 1.6,
+            "no-forwarding sync delay {d:.2}T should approach 2T"
+        );
     }
 
     #[test]

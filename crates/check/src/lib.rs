@@ -272,7 +272,11 @@ impl<P: Protocol> State<P> {
 /// # Panics
 ///
 /// Panics if `workload` does not cover exactly `sites.len()` sites.
-pub fn check<P>(sites: Vec<P>, workload: &Workload, max_states: usize) -> Result<CheckStats, Violation>
+pub fn check<P>(
+    sites: Vec<P>,
+    workload: &Workload,
+    max_states: usize,
+) -> Result<CheckStats, Violation>
 where
     P: Protocol + Clone + fmt::Debug,
     P::Msg: Clone + fmt::Debug,
@@ -403,8 +407,7 @@ mod tests {
 
     #[test]
     fn asymmetric_workload() {
-        let stats =
-            check(duo(), &Workload::per_site(vec![3, 1]), 5_000_000).expect("verified");
+        let stats = check(duo(), &Workload::per_site(vec![3, 1]), 5_000_000).expect("verified");
         assert!(stats.terminals >= 1);
     }
 

@@ -125,9 +125,7 @@ fn lamport_exhaustive() {
 
 #[test]
 fn ricart_agrawala_exhaustive() {
-    let sites: Vec<RicartAgrawala> = (0..3)
-        .map(|i| RicartAgrawala::new(SiteId(i), 3))
-        .collect();
+    let sites: Vec<RicartAgrawala> = (0..3).map(|i| RicartAgrawala::new(SiteId(i), 3)).collect();
     let stats = check(sites, &Workload::uniform(3, 1), 2_000_000).expect("ra verified");
     assert_verified(stats, "ricart-agrawala");
 }
@@ -157,9 +155,7 @@ fn carvalho_roucairol_exhaustive() {
 
 #[test]
 fn singhal_dynamic_exhaustive() {
-    let sites: Vec<SinghalDynamic> = (0..3)
-        .map(|i| SinghalDynamic::new(SiteId(i), 3))
-        .collect();
+    let sites: Vec<SinghalDynamic> = (0..3).map(|i| SinghalDynamic::new(SiteId(i), 3)).collect();
     let stats = check(sites, &Workload::uniform(3, 2), 2_000_000).expect("singhal verified");
     assert_verified(stats, "singhal-dynamic");
 }

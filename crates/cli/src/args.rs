@@ -52,6 +52,22 @@ pub enum Command {
         seed: u64,
         /// Crashes as `site:time_t` pairs.
         crashes: Vec<(u32, u64)>,
+        /// I.i.d. message-drop probability per link.
+        loss: f64,
+        /// Message-duplication probability per link.
+        dup: f64,
+        /// Burst (Gilbert–Elliott) loss `p_bad:p_good:drop_good:drop_bad`;
+        /// overrides `loss` when present.
+        burst: Option<(f64, f64, f64, f64)>,
+        /// One-directional link outages as `from:to:start_t:end_t`.
+        outages: Vec<(u32, u32, u64, u64)>,
+        /// Partitions as `(group-id per site, time_t)` pairs.
+        partitions: Vec<(Vec<u32>, u64)>,
+        /// Times (in T units) at which the current partition heals.
+        heals: Vec<u64>,
+        /// Reliable-transport wrapper: `None` = auto (on iff faults are
+        /// configured), `Some(b)` = forced on/off.
+        reliable: Option<bool>,
     },
     /// Print a quorum system and its properties.
     Quorum {
@@ -85,6 +101,10 @@ qmxctl — delay-optimal quorum mutual exclusion toolbox
 USAGE:
   qmxctl run [--alg A] [--n N] [--quorum Q] [--gap G] [--horizon H]
              [--delay D] [--hold E] [--seed S] [--crash site:timeT ...]
+             [--loss P] [--dup P] [--burst PB:PG:DG:DB]
+             [--outage from:to:startT:endT ...]
+             [--partition g0,g1,..:timeT ...] [--heal timeT ...]
+             [--reliable on|off|auto]
   qmxctl quorum --kind Q --n N
   qmxctl check [--n N] [--rounds R] [--max-states M]
   qmxctl experiment NAME
@@ -98,6 +118,10 @@ WHERE:
       gridset:G | rst:G
   G = mean Poisson gap in T units (0 = saturated load)
   D = const:TICKS | uniform:LO:HI | exp:MEAN
+  P = probability in [0,1]; --burst takes Gilbert-Elliott parameters
+      (good->bad prob, bad->good prob, drop prob per state)
+  --reliable auto (default) wraps sites in the ack/retransmit transport
+      whenever --loss/--dup/--burst/--outage are present
   NAME = table1 | lightload | heavyload | syncdelay | throughput |
          quorumsize | availability | faulttolerance | ablation |
          holdsweep | msgscaling
@@ -159,7 +183,9 @@ fn parse_delay(s: &str) -> Result<DelayModel, ParseError> {
             lo: num(lo)?,
             hi: num(hi)?,
         }),
-        _ => err(format!("unknown delay model '{s}' (const:T | uniform:LO:HI | exp:MEAN)")),
+        _ => err(format!(
+            "unknown delay model '{s}' (const:T | uniform:LO:HI | exp:MEAN)"
+        )),
     }
 }
 
@@ -179,28 +205,36 @@ fn flags(args: &[String]) -> Result<BTreeMap<String, Vec<String>>, ParseError> {
     Ok(map)
 }
 
-fn one<'a>(
-    map: &'a BTreeMap<String, Vec<String>>,
-    key: &str,
-    default: &'a str,
-) -> &'a str {
+fn one<'a>(map: &'a BTreeMap<String, Vec<String>>, key: &str, default: &'a str) -> &'a str {
     map.get(key)
         .and_then(|v| v.last())
         .map_or(default, String::as_str)
 }
 
-fn parse_u64(map: &BTreeMap<String, Vec<String>>, key: &str, default: u64) -> Result<u64, ParseError> {
-    one(map, key, "")
-        .is_empty()
-        .then_some(default)
-        .map_or_else(
-            || {
-                one(map, key, "")
-                    .parse()
-                    .map_err(|_| ParseError(format!("--{key} must be a number")))
-            },
-            Ok,
-        )
+fn parse_prob(map: &BTreeMap<String, Vec<String>>, key: &str) -> Result<f64, ParseError> {
+    let s = one(map, key, "0");
+    let p: f64 = s
+        .parse()
+        .map_err(|_| ParseError(format!("--{key} must be a probability, got '{s}'")))?;
+    if !(0.0..=1.0).contains(&p) {
+        return err(format!("--{key} must be in [0,1], got {p}"));
+    }
+    Ok(p)
+}
+
+fn parse_u64(
+    map: &BTreeMap<String, Vec<String>>,
+    key: &str,
+    default: u64,
+) -> Result<u64, ParseError> {
+    one(map, key, "").is_empty().then_some(default).map_or_else(
+        || {
+            one(map, key, "")
+                .parse()
+                .map_err(|_| ParseError(format!("--{key} must be a number")))
+        },
+        Ok,
+    )
 }
 
 impl Cli {
@@ -237,6 +271,58 @@ impl Cli {
                         .map_err(|_| ParseError(format!("bad time in '{c}'")))?;
                     crashes.push((site, t));
                 }
+                let mut outages = Vec::new();
+                for o in f.get("outage").into_iter().flatten() {
+                    let parts: Vec<&str> = o.split(':').collect();
+                    let [from, to, start, end] = parts.as_slice() else {
+                        return err(format!("--outage wants from:to:startT:endT, got '{o}'"));
+                    };
+                    let num = |x: &str| -> Result<u64, ParseError> {
+                        x.parse()
+                            .map_err(|_| ParseError(format!("bad number in outage '{o}'")))
+                    };
+                    outages.push((num(from)? as u32, num(to)? as u32, num(start)?, num(end)?));
+                }
+                let mut partitions = Vec::new();
+                for p in f.get("partition").into_iter().flatten() {
+                    let Some((groups, t)) = p.rsplit_once(':') else {
+                        return err(format!("--partition wants g0,g1,..:timeT, got '{p}'"));
+                    };
+                    let groups: Result<Vec<u32>, _> = groups.split(',').map(str::parse).collect();
+                    let Ok(groups) = groups else {
+                        return err(format!("bad group ids in partition '{p}'"));
+                    };
+                    let t = t
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad time in partition '{p}'")))?;
+                    partitions.push((groups, t));
+                }
+                let mut heals = Vec::new();
+                for h in f.get("heal").into_iter().flatten() {
+                    heals.push(h.parse().map_err(|_| {
+                        ParseError(format!("--heal wants a time in T units, got '{h}'"))
+                    })?);
+                }
+                let burst = match one(&f, "burst", "") {
+                    "" => None,
+                    s => {
+                        let ps: Result<Vec<f64>, _> = s.split(':').map(str::parse::<f64>).collect();
+                        match ps.ok().as_deref() {
+                            Some(&[pb, pg, dg, db]) => Some((pb, pg, dg, db)),
+                            _ => {
+                                return err(format!(
+                                    "--burst wants p_bad:p_good:drop_good:drop_bad, got '{s}'"
+                                ))
+                            }
+                        }
+                    }
+                };
+                let reliable = match one(&f, "reliable", "auto") {
+                    "auto" => None,
+                    "on" | "true" => Some(true),
+                    "off" | "false" => Some(false),
+                    other => return err(format!("--reliable wants on|off|auto, got '{other}'")),
+                };
                 Command::Run {
                     algorithm: parse_algorithm(one(&f, "alg", "delay-optimal"))?,
                     n: parse_u64(&f, "n", 9)? as usize,
@@ -247,6 +333,13 @@ impl Cli {
                     hold: parse_u64(&f, "hold", 100)?,
                     seed: parse_u64(&f, "seed", 42)?,
                     crashes,
+                    loss: parse_prob(&f, "loss")?,
+                    dup: parse_prob(&f, "dup")?,
+                    burst,
+                    outages,
+                    partitions,
+                    heals,
+                    reliable,
                 }
             }
             "quorum" => {
@@ -330,6 +423,7 @@ mod tests {
                 hold,
                 seed,
                 crashes,
+                ..
             } => {
                 assert_eq!(algorithm, Algorithm::Maekawa);
                 assert_eq!(n, 25);
@@ -346,6 +440,78 @@ mod tests {
     }
 
     #[test]
+    fn run_fault_injection_flags() {
+        let cli =
+            parse("run --loss 0.1 --dup 0.05 --outage 0:1:5:20 --heal 30 --reliable off").unwrap();
+        match cli.command {
+            Command::Run {
+                loss,
+                dup,
+                burst,
+                outages,
+                partitions,
+                heals,
+                reliable,
+                ..
+            } => {
+                assert_eq!(loss, 0.1);
+                assert_eq!(dup, 0.05);
+                assert_eq!(burst, None);
+                assert_eq!(outages, vec![(0, 1, 5, 20)]);
+                assert_eq!(heals, vec![30]);
+                assert_eq!(reliable, Some(false));
+                assert!(partitions.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse("run --burst 0.05:0.5:0.01:0.8").unwrap().command {
+            Command::Run {
+                burst, reliable, ..
+            } => {
+                assert_eq!(burst, Some((0.05, 0.5, 0.01, 0.8)));
+                assert_eq!(reliable, None); // auto
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse("run --partition 0,0,1:25 --heal 40").unwrap().command {
+            Command::Run {
+                partitions, heals, ..
+            } => {
+                assert_eq!(partitions, vec![(vec![0, 0, 1], 25)]);
+                assert_eq!(heals, vec![40]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_flag_errors_are_descriptive() {
+        assert!(parse("run --loss 1.5").unwrap_err().0.contains("[0,1]"));
+        assert!(parse("run --loss x").unwrap_err().0.contains("probability"));
+        assert!(parse("run --burst 0.1:0.2")
+            .unwrap_err()
+            .0
+            .contains("p_bad"));
+        assert!(parse("run --outage 0:1:5")
+            .unwrap_err()
+            .0
+            .contains("from:to"));
+        assert!(parse("run --heal soon").unwrap_err().0.contains("T units"));
+        assert!(parse("run --partition 0,0,1")
+            .unwrap_err()
+            .0
+            .contains("timeT"));
+        assert!(parse("run --partition a,b:5")
+            .unwrap_err()
+            .0
+            .contains("group ids"));
+        assert!(parse("run --reliable maybe")
+            .unwrap_err()
+            .0
+            .contains("on|off|auto"));
+    }
+
+    #[test]
     fn quorum_and_check_commands() {
         assert_eq!(
             parse("quorum --kind tree --n 15").unwrap().command,
@@ -355,7 +521,9 @@ mod tests {
             }
         );
         assert_eq!(
-            parse("check --n 3 --rounds 2 --max-states 1000").unwrap().command,
+            parse("check --n 3 --rounds 2 --max-states 1000")
+                .unwrap()
+                .command,
             Command::Check {
                 n: 3,
                 rounds: 2,

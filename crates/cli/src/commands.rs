@@ -1,7 +1,7 @@
 //! Command implementations: each returns the text it would print.
 
 use crate::args::{Cli, Command, USAGE};
-use qmx_core::{Config, DelayOptimal, SiteId};
+use qmx_core::{Config, DelayOptimal, LossModel, Outage, SiteId, TransportConfig};
 use qmx_quorum::availability::monte_carlo_availability;
 use qmx_sim::DelayModel;
 use qmx_workload::arrival::ArrivalProcess;
@@ -26,8 +26,37 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             hold,
             seed,
             crashes,
+            loss,
+            dup,
+            burst,
+            outages,
+            partitions,
+            heals,
+            reliable,
         } => {
             let t = delay.mean().max(1.0) as u64;
+            let loss_model = match burst {
+                Some((p_bad, p_good, drop_good, drop_bad)) => LossModel::Burst {
+                    p_bad: *p_bad,
+                    p_good: *p_good,
+                    drop_good: *drop_good,
+                    drop_bad: *drop_bad,
+                    dup: *dup,
+                },
+                None if *loss > 0.0 || *dup > 0.0 => LossModel::Iid {
+                    drop: *loss,
+                    dup: *dup,
+                },
+                None => LossModel::None,
+            };
+            let faults_present = loss_model != LossModel::None || !outages.is_empty();
+            let transport = match reliable {
+                Some(true) => Some(TransportConfig::default()),
+                Some(false) => None,
+                // Auto: reliable delivery exactly when something can drop
+                // or duplicate messages.
+                None => faults_present.then(TransportConfig::default),
+            };
             let sc = Scenario {
                 n: *n,
                 algorithm: *algorithm,
@@ -46,6 +75,22 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                     .iter()
                     .map(|&(s, time_t)| (SiteId(s), time_t * t))
                     .collect(),
+                partitions: partitions
+                    .iter()
+                    .map(|(groups, time_t)| (groups.clone(), time_t * t))
+                    .collect(),
+                heals: heals.iter().map(|&h| h * t).collect(),
+                loss: loss_model.clone(),
+                outages: outages
+                    .iter()
+                    .map(|&(from, to, start_t, end_t)| Outage {
+                        from: SiteId(from),
+                        to: SiteId(to),
+                        start: start_t * t,
+                        end: end_t * t,
+                    })
+                    .collect(),
+                transport,
                 seed: *seed,
                 ..Scenario::default()
             };
@@ -77,14 +122,36 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 fmt(r.sync_delay_t),
                 r.sync_samples
             ));
-            out.push_str(&format!("response time     : {} T\n", fmt(r.response_time_t)));
-            out.push_str(&format!("throughput        : {:.3} per T\n", r.throughput_per_t));
+            out.push_str(&format!(
+                "response time     : {} T\n",
+                fmt(r.response_time_t)
+            ));
+            out.push_str(&format!(
+                "throughput        : {:.3} per T\n",
+                r.throughput_per_t
+            ));
             out.push_str(&format!("fairness (Jain)   : {}\n", fmt(r.fairness)));
             out.push_str("per message kind  :");
             for (k, c) in &r.by_kind {
                 out.push_str(&format!(" {k}={c}"));
             }
             out.push('\n');
+            if faults_present || sc.transport.is_some() {
+                out.push_str(&format!(
+                    "injected faults   : {} dropped, {} duplicated\n",
+                    r.injected_drops, r.injected_dups
+                ));
+                let tc = &r.transport;
+                out.push_str(&format!(
+                    "transport         : {} retransmissions, {} dup-drops, \
+                     {} acks, {} reordered, {} gave up\n",
+                    tc.retransmissions,
+                    tc.duplicates_dropped,
+                    tc.acks_sent,
+                    tc.reordered,
+                    tc.gave_up
+                ));
+            }
             Ok(out)
         }
         Command::Quorum { kind, n } => {
@@ -96,8 +163,16 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             );
             out.push_str(&format!(
                 "intersection: {}; minimality: {}; self-inclusion: {:.0}%\n",
-                if sys.verify_intersection().is_ok() { "OK" } else { "VIOLATED" },
-                if sys.verify_minimality().is_ok() { "OK" } else { "violated (allowed)" },
+                if sys.verify_intersection().is_ok() {
+                    "OK"
+                } else {
+                    "VIOLATED"
+                },
+                if sys.verify_minimality().is_ok() {
+                    "OK"
+                } else {
+                    "violated (allowed)"
+                },
                 sys.self_inclusion_rate() * 100.0
             ));
             for p in [0.9f64, 0.99] {
@@ -200,6 +275,28 @@ mod tests {
         let out = run("run --n 5 --quorum all --gap 20 --horizon 200").unwrap();
         assert!(out.contains("completed CS"));
         assert!(out.contains("messages per CS"));
+    }
+
+    #[test]
+    fn run_command_lossy_prints_transport_counters() {
+        let out =
+            run("run --n 5 --quorum all --gap 20 --horizon 200 --loss 0.1 --dup 0.05").unwrap();
+        assert!(out.contains("injected faults"), "{out}");
+        assert!(out.contains("retransmissions"), "{out}");
+        // Loss actually fired and the transport recovered from it.
+        let drops: u64 = out
+            .lines()
+            .find(|l| l.starts_with("injected faults"))
+            .and_then(|l| l.split_whitespace().nth(3))
+            .and_then(|w| w.parse().ok())
+            .expect("drop count in report");
+        assert!(drops > 0, "{out}");
+    }
+
+    #[test]
+    fn run_command_without_faults_omits_transport_lines() {
+        let out = run("run --n 5 --quorum all --gap 20 --horizon 200").unwrap();
+        assert!(!out.contains("injected faults"), "{out}");
     }
 
     #[test]

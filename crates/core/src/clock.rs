@@ -48,9 +48,7 @@ impl From<u64> for SeqNum {
 /// assert!(a < b); // smaller seq wins regardless of site number
 /// assert!(a < c); // equal seq: smaller site number wins
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Timestamp {
     /// Lamport sequence number of the request.
     pub seq: SeqNum,
@@ -150,10 +148,12 @@ mod tests {
 
     #[test]
     fn timestamps_are_totally_ordered() {
-        let mut all = [Timestamp::new(3, SiteId(1)),
+        let mut all = [
+            Timestamp::new(3, SiteId(1)),
             Timestamp::new(1, SiteId(2)),
             Timestamp::new(3, SiteId(0)),
-            Timestamp::new(2, SiteId(9))];
+            Timestamp::new(2, SiteId(9)),
+        ];
         all.sort();
         let seqs: Vec<u64> = all.iter().map(|t| t.seq.0).collect();
         assert_eq!(seqs, vec![1, 2, 3, 3]);

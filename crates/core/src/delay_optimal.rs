@@ -478,10 +478,7 @@ impl DelayOptimal {
         // 5. Permissions only from quorum members.
         for a in &self.replied {
             if !self.req_set.contains(a) {
-                return Err(format!(
-                    "{}: holds permission of non-member {a}",
-                    self.site
-                ));
+                return Err(format!("{}: holds permission of non-member {a}", self.site));
             }
         }
         // 6. Internal work queue drained between events.
@@ -945,8 +942,8 @@ impl DelayOptimal {
         let req = self.my_req.expect("yield requires an outstanding request");
         self.replied.remove(&arbiter);
         self.failed = true; // sending a yield sets `failed` (§3.1)
-        // Transfers received on behalf of this arbiter are void: we no
-        // longer hold its permission (A.3).
+                            // Transfers received on behalf of this arbiter are void: we no
+                            // longer hold its permission (A.3).
         self.tran_stack.retain(|e| e.arbiter != arbiter);
         self.route(fx, arbiter, Body::Yield { req });
     }
@@ -1078,10 +1075,7 @@ impl Protocol for DelayOptimal {
 
         // C.2: tell every arbiter whether its permission was forwarded.
         for j in self.req_set.clone() {
-            let fwd = forwarded
-                .iter()
-                .find(|(a, _)| *a == j)
-                .map(|(_, b)| *b);
+            let fwd = forwarded.iter().find(|(a, _)| *a == j).map(|(_, b)| *b);
             self.route(
                 fx,
                 j,
@@ -1122,10 +1116,7 @@ impl Protocol for DelayOptimal {
 
         // --- Arbiter-side cleanup -------------------------------------
         // Case 1: the failed site's request sits in our req_queue.
-        let was_head = self
-            .req_queue
-            .head()
-            .is_some_and(|h| h.site == failed);
+        let was_head = self.req_queue.head().is_some_and(|h| h.site == failed);
         let removed = self.req_queue.remove_site(failed);
         if was_head && !removed.is_empty() {
             if let (Some(lock), Some(new_head)) = (self.lock, self.req_queue.head()) {
@@ -1358,7 +1349,10 @@ mod tests {
             inflight.push_back((SiteId(0), t, m));
         }
         while let Some((from, to, m)) = inflight.pop_front() {
-            assert!(!matches!(m.body, Body::Transfer { .. }), "no transfers in ablation");
+            assert!(
+                !matches!(m.body, Body::Transfer { .. }),
+                "no transfers in ablation"
+            );
             let mut fx = Effects::new();
             sites[to.index()].handle(from, m, &mut fx);
             for (t, m2) in fx.take_sends() {
@@ -1370,11 +1364,7 @@ mod tests {
 
     #[test]
     fn stale_messages_are_ignored() {
-        let mut s = DelayOptimal::new(
-            SiteId(0),
-            vec![SiteId(0), SiteId(1)],
-            Config::default(),
-        );
+        let mut s = DelayOptimal::new(SiteId(0), vec![SiteId(0), SiteId(1)], Config::default());
         let mut fx = Effects::new();
         // Fail/inquire/transfer/reply for a request we never made.
         let ghost = Timestamp::new(99, SiteId(0));
@@ -1548,8 +1538,10 @@ mod tests {
         let sends = fx.take_sends();
         assert!(sends.iter().any(|(to, m)| *to == SiteId(1)
             && matches!(m.body, Body::Transfer { beneficiary, .. } if beneficiary == r_a)));
-        assert!(sends.iter().any(|(to, m)| *to == SiteId(2)
-            && matches!(m.body, Body::Fail { req, .. } if req == r_a)));
+        assert!(sends
+            .iter()
+            .any(|(to, m)| *to == SiteId(2)
+                && matches!(m.body, Body::Fail { req, .. } if req == r_a)));
 
         arb.handle(
             SiteId(3),
@@ -1598,11 +1590,7 @@ mod tests {
 
     #[test]
     fn failure_of_quorum_member_makes_fixed_quorum_site_inaccessible() {
-        let mut s = DelayOptimal::new(
-            SiteId(0),
-            vec![SiteId(0), SiteId(1)],
-            Config::default(),
-        );
+        let mut s = DelayOptimal::new(SiteId(0), vec![SiteId(0), SiteId(1)], Config::default());
         let mut fx = Effects::new();
         s.request_cs(&mut fx);
         fx.take_sends();

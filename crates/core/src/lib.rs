@@ -35,6 +35,9 @@
 //!   ([`reqqueue`]).
 //! * [`QuorumSource`] — the interface through which fault-tolerant quorum
 //!   reconstruction is plugged in (implemented by `qmx-quorum`).
+//! * [`Reliable`], [`LossModel`] — the ack/retransmit/dedup transport layer
+//!   that restores the paper's error-free-channel assumption over lossy
+//!   links, and the fault models used to inject loss ([`transport`]).
 //!
 //! ## Quickstart
 //!
@@ -72,8 +75,13 @@ pub mod clock;
 pub mod delay_optimal;
 pub mod protocol;
 pub mod reqqueue;
+pub mod transport;
 
 pub use clock::{LamportClock, SeqNum, Timestamp};
 pub use delay_optimal::{Config, DelayOptimal, Msg, RequesterPhase};
 pub use protocol::{Effects, MsgKind, MsgMeta, Protocol, QuorumSource, SiteId};
 pub use reqqueue::ReqQueue;
+pub use transport::{
+    FaultVerdict, LinkFaults, LossModel, Outage, Packet, Reliable, TransportConfig,
+    TransportCounters,
+};

@@ -228,6 +228,46 @@ pub trait Protocol {
     fn on_site_failure(&mut self, failed: SiteId, fx: &mut Effects<Self::Msg>) {
         let _ = (failed, fx);
     }
+
+    /// Informs time-aware layers of the driver's current time, before any
+    /// event is delivered.
+    ///
+    /// The mutual-exclusion algorithms themselves are time-free and ignore
+    /// this; the reliable transport wrapper
+    /// ([`Reliable`](crate::transport::Reliable)) uses it to timestamp
+    /// outgoing packets for retransmission scheduling. Drivers must call it
+    /// with a monotonically non-decreasing clock (virtual ticks under the
+    /// simulator, microseconds since start under the runtime).
+    fn set_now(&mut self, now: u64) {
+        let _ = now;
+    }
+
+    /// The earliest time at which this site needs [`on_timer`](Protocol::on_timer)
+    /// called, or `None` if no timer is armed.
+    ///
+    /// Drivers poll this after every event they deliver to the site and
+    /// schedule a wake-up accordingly. Spurious (early or duplicate)
+    /// wake-ups are harmless.
+    fn next_timer(&self) -> Option<u64> {
+        None
+    }
+
+    /// A driver timer wake-up at time `now` (see [`next_timer`](Protocol::next_timer)).
+    ///
+    /// Time-free protocols ignore this; the reliable transport retransmits
+    /// whatever is due.
+    fn on_timer(&mut self, now: u64, fx: &mut Effects<Self::Msg>) {
+        let _ = (now, fx);
+    }
+
+    /// Transport-layer counters, if a transport wrapper is present.
+    ///
+    /// `None` for bare protocols; [`Reliable`](crate::transport::Reliable)
+    /// reports its retransmission/dedup statistics here so drivers can
+    /// aggregate them into run metrics without knowing the wrapper type.
+    fn transport_counters(&self) -> Option<crate::transport::TransportCounters> {
+        None
+    }
 }
 
 /// Supplies (possibly reconstructed) quorums for fault tolerance.
@@ -344,10 +384,8 @@ mod tests {
 
     #[test]
     fn static_quorums_reports_inaccessible_when_member_down() {
-        let mut src = StaticQuorums::new(vec![
-            vec![SiteId(0), SiteId(1)],
-            vec![SiteId(1), SiteId(2)],
-        ]);
+        let mut src =
+            StaticQuorums::new(vec![vec![SiteId(0), SiteId(1)], vec![SiteId(1), SiteId(2)]]);
         let none_down = BTreeSet::new();
         assert_eq!(
             src.quorum_avoiding(SiteId(0), &none_down),

@@ -56,7 +56,12 @@ impl ReqQueue {
     /// Removes every request issued by `site` (fault handling), returning
     /// the removed timestamps in priority order.
     pub fn remove_site(&mut self, site: SiteId) -> Vec<Timestamp> {
-        let victims: Vec<Timestamp> = self.set.iter().filter(|t| t.site == site).copied().collect();
+        let victims: Vec<Timestamp> = self
+            .set
+            .iter()
+            .filter(|t| t.site == site)
+            .copied()
+            .collect();
         for v in &victims {
             self.set.remove(v);
         }

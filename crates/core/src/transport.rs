@@ -1,0 +1,904 @@
+//! Reliable delivery over lossy links: the transport layer.
+//!
+//! The paper assumes "error-free" FIFO channels (§2): every wire message
+//! arrives, exactly once, in order. That is an abstraction a real network
+//! does not provide — packets are dropped, duplicated and delayed. This
+//! module closes the gap with a classic ack/retransmit/dedup protocol so
+//! the mutual-exclusion state machines can keep assuming a perfect channel:
+//!
+//! * **Per-link sequence numbers.** Every data packet from `a` to `b`
+//!   carries a sequence number from a counter dedicated to the `(a, b)`
+//!   link.
+//! * **Cumulative, piggybacked acks.** Every data packet (and explicit
+//!   `Ack`) carries the highest sequence number received in order from the
+//!   destination; one ack confirms everything at or below it. Acks ride on
+//!   protocol traffic when there is any and fall back to explicit `Ack`
+//!   packets otherwise.
+//! * **Timeout-driven retransmission** with exponential backoff (doubling
+//!   from [`TransportConfig::rto_initial`] up to [`TransportConfig::rto_max`])
+//!   and a retry cap ([`TransportConfig::max_retries`]) so a send to a dead
+//!   peer eventually quiesces instead of retrying forever.
+//! * **Receiver-side dedup + reordering.** Packets at or below the
+//!   cumulative receive point are duplicates: dropped (and re-acked, so the
+//!   sender stops). Packets beyond the next expected number are buffered
+//!   and delivered once the gap fills, restoring per-link FIFO.
+//!
+//! The result is **exactly-once, per-link FIFO** delivery to the wrapped
+//! protocol as long as the peer stays up and the link is *fair-lossy*
+//! (retransmitting forever would eventually succeed; the retry cap bounds
+//! "forever" at a probability of loss^`max_retries`, negligible for the
+//! 1–20 % loss rates under study).
+//!
+//! [`Reliable`] wraps any [`Protocol`] implementation — the state machines
+//! stay I/O-free and unchanged; drivers only additionally call the
+//! [`Protocol::set_now`] / [`Protocol::next_timer`] / [`Protocol::on_timer`]
+//! hooks (no-ops for bare protocols).
+//!
+//! Time units are the driver's: virtual ticks under `qmx-sim`, microseconds
+//! under `qmx-runtime`. Pick [`TransportConfig`] values accordingly
+//! (`rto_initial` of roughly 2–3× the typical one-way delay works well in
+//! both).
+//!
+//! ## Loss models
+//!
+//! [`LossModel`] + [`LinkFaults`] implement the *fault injection* side used
+//! by both drivers: i.i.d. drop/duplication, bursty Gilbert–Elliott loss,
+//! and per-link transient outage windows. The decision logic is pure — the
+//! caller supplies uniform samples — so this crate stays RNG-free and both
+//! drivers inject identically-distributed faults from their own seeded
+//! generators.
+
+use crate::protocol::{Effects, MsgKind, MsgMeta, Protocol, SiteId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Retransmission parameters of the reliable transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportConfig {
+    /// Initial retransmission timeout (driver time units).
+    pub rto_initial: u64,
+    /// Ceiling for the exponentially backed-off timeout.
+    pub rto_max: u64,
+    /// Retransmissions per packet before the transport gives up on it
+    /// (the peer is presumed dead; §6's failure machinery takes over).
+    pub max_retries: u32,
+}
+
+impl Default for TransportConfig {
+    /// Defaults tuned for the simulator's `T = 1000`-tick mean delay:
+    /// first retry after 2.5 T, backing off to 32 T, 40 attempts.
+    fn default() -> Self {
+        TransportConfig {
+            rto_initial: 2_500,
+            rto_max: 32_000,
+            max_retries: 40,
+        }
+    }
+}
+
+/// Delivery/duplication/drop counters maintained by [`Reliable`] (and
+/// aggregated by the drivers into their run metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportCounters {
+    /// Data packets sent for the first time.
+    pub data_sent: u64,
+    /// Data packets retransmitted after a timeout.
+    pub retransmissions: u64,
+    /// Explicit ack packets sent (piggybacked acks are free).
+    pub acks_sent: u64,
+    /// Received data packets discarded as duplicates.
+    pub duplicates_dropped: u64,
+    /// Received data packets buffered because they arrived ahead of a gap.
+    pub reordered: u64,
+    /// Packets abandoned after `max_retries` (peer presumed dead).
+    pub gave_up: u64,
+    /// High-water mark of unacked packets across all links (ack backlog).
+    pub max_unacked: u64,
+}
+
+impl TransportCounters {
+    /// Accumulates `other` into `self` (driver-side aggregation).
+    pub fn merge(&mut self, other: &TransportCounters) {
+        self.data_sent += other.data_sent;
+        self.retransmissions += other.retransmissions;
+        self.acks_sent += other.acks_sent;
+        self.duplicates_dropped += other.duplicates_dropped;
+        self.reordered += other.reordered;
+        self.gave_up += other.gave_up;
+        self.max_unacked = self.max_unacked.max(other.max_unacked);
+    }
+}
+
+/// Wire format of the reliable transport: protocol payloads with transport
+/// headers, plus explicit acks.
+#[derive(Debug, Clone)]
+pub enum Packet<M> {
+    /// A protocol message with its link sequence number and a piggybacked
+    /// cumulative ack for the reverse direction.
+    Data {
+        /// Per-link sequence number (1-based; FIFO order on the link).
+        seq: u64,
+        /// Cumulative ack: every reverse-direction packet `<= ack` arrived.
+        ack: u64,
+        /// The wrapped protocol message.
+        payload: M,
+    },
+    /// A standalone cumulative ack (sent when there is no data to ride on).
+    Ack {
+        /// Every packet `<= ack` on the sender→receiver reverse link arrived.
+        ack: u64,
+    },
+}
+
+impl<M: MsgMeta> MsgMeta for Packet<M> {
+    fn kind(&self) -> MsgKind {
+        match self {
+            // The payload keeps its protocol-level identity so §5-style
+            // per-kind accounting still works through the transport.
+            Packet::Data { payload, .. } => payload.kind(),
+            Packet::Ack { .. } => MsgKind::Info,
+        }
+    }
+}
+
+/// One unacked outgoing packet awaiting an ack or its next retransmission.
+#[derive(Debug, Clone)]
+struct Pending<M> {
+    payload: M,
+    retries: u32,
+    next_retry_at: u64,
+    rto: u64,
+}
+
+/// Per-peer link state: send window, receive point, reorder buffer.
+#[derive(Debug, Clone)]
+struct LinkState<M> {
+    /// Last sequence number assigned on the outgoing half-link.
+    sent: u64,
+    /// Outgoing packets not yet cumulatively acked, by sequence number.
+    unacked: BTreeMap<u64, Pending<M>>,
+    /// Highest sequence number received *in order* on the incoming half.
+    recv_cum: u64,
+    /// Received-ahead packets waiting for the gap to fill.
+    reorder: BTreeMap<u64, M>,
+}
+
+// Manual impl: `#[derive(Default)]` would wrongly require `M: Default`.
+impl<M> Default for LinkState<M> {
+    fn default() -> Self {
+        LinkState {
+            sent: 0,
+            unacked: BTreeMap::new(),
+            recv_cum: 0,
+            reorder: BTreeMap::new(),
+        }
+    }
+}
+
+/// Reliable-delivery wrapper: `Reliable<P>` is a [`Protocol`] whose wire
+/// messages are [`Packet<P::Msg>`] and which presents exactly-once FIFO
+/// delivery to the inner `P` (see the [module docs](self)).
+pub struct Reliable<P: Protocol> {
+    inner: P,
+    cfg: TransportConfig,
+    now: u64,
+    links: BTreeMap<SiteId, LinkState<P::Msg>>,
+    counters: TransportCounters,
+}
+
+impl<P: Protocol> Reliable<P> {
+    /// Wraps `inner`, starting all links idle at time 0.
+    pub fn new(inner: P, cfg: TransportConfig) -> Self {
+        Reliable {
+            inner,
+            cfg,
+            now: 0,
+            links: BTreeMap::new(),
+            counters: TransportCounters::default(),
+        }
+    }
+
+    /// The wrapped protocol instance.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// This instance's transport counters.
+    pub fn counters(&self) -> TransportCounters {
+        self.counters
+    }
+
+    /// Total packets currently awaiting acks, across links.
+    fn unacked_total(&self) -> u64 {
+        self.links.values().map(|l| l.unacked.len() as u64).sum()
+    }
+
+    /// Converts queued inner-protocol sends into sequenced data packets.
+    fn wrap_sends(&mut self, inner_fx: &mut Effects<P::Msg>, fx: &mut Effects<Packet<P::Msg>>) {
+        let (sends, entered) = inner_fx.drain();
+        if entered {
+            fx.enter_cs();
+        }
+        for (to, payload) in sends {
+            let link = self.links.entry(to).or_default();
+            link.sent += 1;
+            let seq = link.sent;
+            link.unacked.insert(
+                seq,
+                Pending {
+                    payload: payload.clone(),
+                    retries: 0,
+                    next_retry_at: self.now + self.cfg.rto_initial,
+                    rto: self.cfg.rto_initial,
+                },
+            );
+            self.counters.data_sent += 1;
+            fx.send(
+                to,
+                Packet::Data {
+                    seq,
+                    ack: link.recv_cum,
+                    payload,
+                },
+            );
+        }
+        self.counters.max_unacked = self.counters.max_unacked.max(self.unacked_total());
+    }
+
+    /// Applies a cumulative ack from `from`.
+    fn apply_ack(&mut self, from: SiteId, ack: u64) {
+        if let Some(link) = self.links.get_mut(&from) {
+            link.unacked.retain(|&seq, _| seq > ack);
+        }
+    }
+}
+
+impl<P: Protocol> Protocol for Reliable<P> {
+    type Msg = Packet<P::Msg>;
+
+    fn site(&self) -> SiteId {
+        self.inner.site()
+    }
+
+    fn set_now(&mut self, now: u64) {
+        self.now = self.now.max(now);
+    }
+
+    fn on_start(&mut self, fx: &mut Effects<Self::Msg>) {
+        let mut inner_fx = Effects::new();
+        self.inner.on_start(&mut inner_fx);
+        self.wrap_sends(&mut inner_fx, fx);
+    }
+
+    fn request_cs(&mut self, fx: &mut Effects<Self::Msg>) {
+        let mut inner_fx = Effects::new();
+        self.inner.request_cs(&mut inner_fx);
+        self.wrap_sends(&mut inner_fx, fx);
+    }
+
+    fn release_cs(&mut self, fx: &mut Effects<Self::Msg>) {
+        let mut inner_fx = Effects::new();
+        self.inner.release_cs(&mut inner_fx);
+        self.wrap_sends(&mut inner_fx, fx);
+    }
+
+    fn handle(&mut self, from: SiteId, msg: Self::Msg, fx: &mut Effects<Self::Msg>) {
+        match msg {
+            Packet::Ack { ack } => {
+                self.apply_ack(from, ack);
+            }
+            Packet::Data { seq, ack, payload } => {
+                self.apply_ack(from, ack);
+                let link = self.links.entry(from).or_default();
+                if seq <= link.recv_cum {
+                    // Duplicate (retransmission of something already taken):
+                    // drop it and re-ack so the sender stops resending.
+                    self.counters.duplicates_dropped += 1;
+                } else if link.reorder.insert(seq, payload).is_some() {
+                    // Duplicate of a packet already buffered ahead.
+                    self.counters.duplicates_dropped += 1;
+                } else if seq > link.recv_cum + 1 {
+                    self.counters.reordered += 1;
+                }
+
+                // Deliver the longest in-order prefix to the inner protocol.
+                let mut inner_fx = Effects::new();
+                loop {
+                    let link = self.links.entry(from).or_default();
+                    let next = link.recv_cum + 1;
+                    let Some(payload) = link.reorder.remove(&next) else {
+                        break;
+                    };
+                    link.recv_cum = next;
+                    self.inner.handle(from, payload, &mut inner_fx);
+                }
+                self.wrap_sends(&mut inner_fx, fx);
+
+                // Ack `from`: piggybacked if a data packet is already headed
+                // there this step, explicit otherwise (covers duplicates too,
+                // whose original ack may have been lost).
+                let piggybacked = fx
+                    .sends()
+                    .iter()
+                    .any(|(to, p)| *to == from && matches!(p, Packet::Data { .. }));
+                if !piggybacked {
+                    let ack = self.links.entry(from).or_default().recv_cum;
+                    self.counters.acks_sent += 1;
+                    fx.send(from, Packet::Ack { ack });
+                }
+            }
+        }
+    }
+
+    fn next_timer(&self) -> Option<u64> {
+        self.links
+            .values()
+            .flat_map(|l| l.unacked.values())
+            .map(|p| p.next_retry_at)
+            .min()
+    }
+
+    fn on_timer(&mut self, now: u64, fx: &mut Effects<Self::Msg>) {
+        self.now = self.now.max(now);
+        let now = self.now;
+        let (rto_max, max_retries) = (self.cfg.rto_max, self.cfg.max_retries);
+        for (&to, link) in self.links.iter_mut() {
+            let due: Vec<u64> = link
+                .unacked
+                .iter()
+                .filter(|(_, p)| p.next_retry_at <= now)
+                .map(|(&s, _)| s)
+                .collect();
+            for seq in due {
+                let p = link.unacked.get_mut(&seq).expect("due seq present");
+                if p.retries >= max_retries {
+                    link.unacked.remove(&seq);
+                    self.counters.gave_up += 1;
+                    continue;
+                }
+                p.retries += 1;
+                p.rto = (p.rto * 2).min(rto_max);
+                p.next_retry_at = now + p.rto;
+                self.counters.retransmissions += 1;
+                fx.send(
+                    to,
+                    Packet::Data {
+                        seq,
+                        ack: link.recv_cum,
+                        payload: p.payload.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn in_cs(&self) -> bool {
+        self.inner.in_cs()
+    }
+
+    fn wants_cs(&self) -> bool {
+        self.inner.wants_cs()
+    }
+
+    fn on_site_failure(&mut self, failed: SiteId, fx: &mut Effects<Self::Msg>) {
+        // Stop retransmitting to the dead peer; keep the receive state in
+        // case the "failure" was a partition that later heals (stale
+        // retransmissions from the peer then still dedup correctly).
+        if let Some(link) = self.links.get_mut(&failed) {
+            self.counters.gave_up += link.unacked.len() as u64;
+            link.unacked.clear();
+        }
+        let mut inner_fx = Effects::new();
+        self.inner.on_site_failure(failed, &mut inner_fx);
+        self.wrap_sends(&mut inner_fx, fx);
+    }
+
+    fn transport_counters(&self) -> Option<TransportCounters> {
+        Some(self.counters)
+    }
+}
+
+impl<P: Protocol + fmt::Debug> fmt::Debug for Reliable<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Reliable")
+            .field("inner", &self.inner)
+            .field("now", &self.now)
+            .field("unacked", &self.unacked_total())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: loss models
+// ---------------------------------------------------------------------------
+
+/// A model of wire-message faults on the network links.
+///
+/// Decision logic only — drivers feed uniform samples from their own seeded
+/// RNGs through [`LinkFaults::decide`], so the same model produces the same
+/// fault distribution under the simulator and the threaded runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LossModel {
+    /// Perfect links (the paper's §2 channel model).
+    None,
+    /// Independent per-message faults: each message is dropped with
+    /// probability `drop` and (if not dropped) duplicated with
+    /// probability `dup`.
+    Iid {
+        /// Drop probability in `[0, 1)`.
+        drop: f64,
+        /// Duplication probability in `[0, 1)`.
+        dup: f64,
+    },
+    /// Bursty loss (Gilbert–Elliott): each link flips between a good and a
+    /// bad state; drops are rare in the good state and common in the bad.
+    Burst {
+        /// Per-message probability a good link turns bad.
+        p_bad: f64,
+        /// Per-message probability a bad link recovers.
+        p_good: f64,
+        /// Drop probability while the link is good.
+        drop_good: f64,
+        /// Drop probability while the link is bad.
+        drop_bad: f64,
+        /// Duplication probability (state-independent).
+        dup: f64,
+    },
+}
+
+impl LossModel {
+    /// Mean long-run drop probability of the model (outages excluded).
+    pub fn mean_drop(&self) -> f64 {
+        match *self {
+            LossModel::None => 0.0,
+            LossModel::Iid { drop, .. } => drop,
+            LossModel::Burst {
+                p_bad,
+                p_good,
+                drop_good,
+                drop_bad,
+                ..
+            } => {
+                // Stationary fraction of time in the bad state.
+                let bad = if p_bad + p_good > 0.0 {
+                    p_bad / (p_bad + p_good)
+                } else {
+                    0.0
+                };
+                drop_good * (1.0 - bad) + drop_bad * bad
+            }
+        }
+    }
+}
+
+/// What the fault injector decided for one wire message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultVerdict {
+    /// Deliver normally.
+    Deliver,
+    /// Drop silently.
+    Drop,
+    /// Deliver two copies (the transport's dedup absorbs the second).
+    Duplicate,
+}
+
+/// A transient one-directional link outage: messages from `from` to `to`
+/// sent during `[start, end)` are dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// Sending side of the silenced half-link.
+    pub from: SiteId,
+    /// Receiving side of the silenced half-link.
+    pub to: SiteId,
+    /// First instant of the outage.
+    pub start: u64,
+    /// First instant after the outage.
+    pub end: u64,
+}
+
+/// Per-link fault state for a [`LossModel`] plus scheduled [`Outage`]s.
+#[derive(Debug, Clone, Default)]
+pub struct LinkFaults {
+    model: Option<LossModel>,
+    outages: Vec<Outage>,
+    /// Gilbert–Elliott state per directed link (`true` = bad).
+    bad: BTreeMap<(SiteId, SiteId), bool>,
+}
+
+impl LinkFaults {
+    /// Creates the injector for `model` with scheduled `outages`.
+    pub fn new(model: LossModel, outages: Vec<Outage>) -> Self {
+        LinkFaults {
+            model: Some(model),
+            outages,
+            bad: BTreeMap::new(),
+        }
+    }
+
+    /// Whether this injector can ever fault a message.
+    pub fn is_active(&self) -> bool {
+        !matches!(self.model, None | Some(LossModel::None)) || !self.outages.is_empty()
+    }
+
+    /// Decides the fate of one message from `from` to `to` sent at `now`.
+    ///
+    /// `uniform` must yield independent samples uniform in `[0, 1)`; it is
+    /// called a model-dependent number of times (zero for [`LossModel::None`]
+    /// outside outages).
+    pub fn decide(
+        &mut self,
+        from: SiteId,
+        to: SiteId,
+        now: u64,
+        mut uniform: impl FnMut() -> f64,
+    ) -> FaultVerdict {
+        if self
+            .outages
+            .iter()
+            .any(|o| o.from == from && o.to == to && (o.start..o.end).contains(&now))
+        {
+            return FaultVerdict::Drop;
+        }
+        let (drop_p, dup_p) = match self.model {
+            None | Some(LossModel::None) => return FaultVerdict::Deliver,
+            Some(LossModel::Iid { drop, dup }) => (drop, dup),
+            Some(LossModel::Burst {
+                p_bad,
+                p_good,
+                drop_good,
+                drop_bad,
+                dup,
+            }) => {
+                let state = self.bad.entry((from, to)).or_insert(false);
+                let flip_p = if *state { p_good } else { p_bad };
+                if uniform() < flip_p {
+                    *state = !*state;
+                }
+                (if *state { drop_bad } else { drop_good }, dup)
+            }
+        };
+        if drop_p > 0.0 && uniform() < drop_p {
+            FaultVerdict::Drop
+        } else if dup_p > 0.0 && uniform() < dup_p {
+            FaultVerdict::Duplicate
+        } else {
+            FaultVerdict::Deliver
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay_optimal::{Config, DelayOptimal};
+
+    type R = Reliable<DelayOptimal>;
+
+    fn pair() -> (R, R) {
+        let quorum = vec![SiteId(0), SiteId(1)];
+        let cfg = TransportConfig::default();
+        (
+            Reliable::new(
+                DelayOptimal::new(SiteId(0), quorum.clone(), Config::default()),
+                cfg,
+            ),
+            Reliable::new(DelayOptimal::new(SiteId(1), quorum, Config::default()), cfg),
+        )
+    }
+
+    /// Delivers every queued send (no faults), returning replies in `fx`.
+    fn deliver_all(fx: &mut Effects<Packet<qmx_msg::Msg>>, sites: &mut [&mut R]) {
+        let sends = fx.take_sends();
+        for (to, pkt) in sends {
+            let from = SiteId(1 - to.0); // two-site harness
+            sites[to.index()].handle(from, pkt, fx);
+        }
+    }
+
+    // Local alias so the helper signature stays readable.
+    mod qmx_msg {
+        pub use crate::delay_optimal::Msg;
+    }
+
+    #[test]
+    fn lossless_round_trip_enters_cs() {
+        let (mut s0, mut s1) = pair();
+        let mut fx = Effects::new();
+        s0.request_cs(&mut fx);
+        // One Data packet to site 1 (plus s0's local grant work).
+        let sends = fx.take_sends();
+        assert_eq!(sends.len(), 1);
+        let (to, pkt) = sends.into_iter().next().unwrap();
+        assert_eq!(to, SiteId(1));
+        assert!(matches!(pkt, Packet::Data { seq: 1, .. }));
+
+        let mut fx1 = Effects::new();
+        s1.handle(SiteId(0), pkt, &mut fx1);
+        // Reply rides as Data (the ack to s0 piggybacks on it).
+        let sends = fx1.take_sends();
+        assert_eq!(sends.len(), 1);
+        let (_, reply) = sends.into_iter().next().unwrap();
+        assert!(matches!(reply, Packet::Data { seq: 1, ack: 1, .. }));
+
+        let mut fx0 = Effects::new();
+        s0.handle(SiteId(1), reply, &mut fx0);
+        assert!(fx0.entered_cs());
+        assert!(s0.in_cs());
+        // s0 acked the reply explicitly (no data to piggyback on).
+        let sends = fx0.take_sends();
+        assert_eq!(sends.len(), 1);
+        assert!(matches!(sends[0].1, Packet::Ack { ack: 1 }));
+        // The request is now acked: no pending retransmission.
+        assert_eq!(s0.next_timer(), None);
+    }
+
+    #[test]
+    fn lost_request_is_retransmitted_and_recovered() {
+        let (mut s0, mut s1) = pair();
+        let mut fx = Effects::new();
+        s0.request_cs(&mut fx);
+        let _lost = fx.take_sends(); // the network eats the request
+        let rto = TransportConfig::default().rto_initial;
+        assert_eq!(s0.next_timer(), Some(rto));
+
+        // Nothing due yet at rto-1.
+        s0.on_timer(rto - 1, &mut fx);
+        assert!(fx.take_sends().is_empty());
+
+        // Due at rto: identical packet (same seq) goes out again.
+        s0.on_timer(rto, &mut fx);
+        let sends = fx.take_sends();
+        assert_eq!(sends.len(), 1);
+        assert!(matches!(sends[0].1, Packet::Data { seq: 1, .. }));
+        assert_eq!(s0.counters().retransmissions, 1);
+
+        // Backoff doubled the next deadline.
+        assert_eq!(s0.next_timer(), Some(rto + 2 * rto));
+
+        // This copy arrives; the reply completes the entry.
+        let (_, pkt) = sends.into_iter().next().unwrap();
+        let mut fx1 = Effects::new();
+        s1.handle(SiteId(0), pkt, &mut fx1);
+        let (_, reply) = fx1.take_sends().into_iter().next().unwrap();
+        let mut fx0 = Effects::new();
+        s0.handle(SiteId(1), reply, &mut fx0);
+        assert!(s0.in_cs());
+        assert_eq!(s0.next_timer(), None, "ack cleared the send buffer");
+    }
+
+    #[test]
+    fn duplicates_are_dropped_exactly_once_delivery() {
+        let (mut s0, mut s1) = pair();
+        let mut fx = Effects::new();
+        s0.request_cs(&mut fx);
+        let (_, pkt) = fx.take_sends().into_iter().next().unwrap();
+
+        let mut fx1 = Effects::new();
+        s1.handle(SiteId(0), pkt.clone(), &mut fx1);
+        let first_reply = fx1.take_sends();
+        assert_eq!(first_reply.len(), 1);
+
+        // The duplicate is absorbed: no second reply from the inner
+        // protocol, only a re-ack.
+        let mut fx1b = Effects::new();
+        s1.handle(SiteId(0), pkt, &mut fx1b);
+        let dup_out = fx1b.take_sends();
+        assert_eq!(dup_out.len(), 1);
+        assert!(matches!(dup_out[0].1, Packet::Ack { ack: 1 }));
+        assert_eq!(s1.counters().duplicates_dropped, 1);
+    }
+
+    #[test]
+    fn reordering_is_repaired_before_delivery() {
+        // Feed site 1 two packets in reverse order; the inner protocol must
+        // see them in sequence order (we verify via recv bookkeeping and
+        // that delivery of seq 2 waits for seq 1).
+        let (mut s0, mut s1) = pair();
+        let mut fx = Effects::new();
+        s0.request_cs(&mut fx); // seq 1: request
+        let (_, p1) = fx.take_sends().into_iter().next().unwrap();
+        // Fabricate a second in-flight packet by releasing after a manual
+        // grant path is impossible here; instead use a second request from
+        // the inner by simulating exit. Simplest: clone the machinery —
+        // send the same payload with seq 2 via the public API is not
+        // possible, so drive the real flow: deliver p1 (reply comes back),
+        // enter, release (seq 2: release).
+        let mut fx1 = Effects::new();
+        s1.handle(SiteId(0), p1.clone(), &mut fx1);
+        let (_, reply) = fx1.take_sends().into_iter().next().unwrap();
+        let mut fx0 = Effects::new();
+        s0.handle(SiteId(1), reply, &mut fx0);
+        fx0.take_sends();
+        assert!(s0.in_cs());
+        s0.release_cs(&mut fx0);
+        let (_, p2) = fx0.take_sends().into_iter().next().unwrap();
+        assert!(matches!(p2, Packet::Data { seq: 2, .. }));
+
+        // Fresh receiver that never saw seq 1: deliver p2 first.
+        let (_, mut s1b) = pair();
+        let mut fxb = Effects::new();
+        s1b.handle(SiteId(0), p2, &mut fxb);
+        assert_eq!(s1b.counters().reordered, 1);
+        // Still acking 0 — nothing deliverable yet, request not seen.
+        let out = fxb.take_sends();
+        assert!(matches!(out[0].1, Packet::Ack { ack: 0 }));
+
+        // Now seq 1 arrives: both deliver in order (request then release).
+        s1b.handle(SiteId(0), p1, &mut fxb);
+        let out = fxb.take_sends();
+        // The reply to the (now stale, since release followed) request may
+        // or may not be emitted depending on inner logic; what matters is
+        // the cumulative ack advanced over both.
+        assert!(out
+            .iter()
+            .any(|(_, p)| matches!(p, Packet::Data { ack: 2, .. } | Packet::Ack { ack: 2 })));
+    }
+
+    #[test]
+    fn retry_cap_quiesces_against_a_dead_peer() {
+        let cfg = TransportConfig {
+            rto_initial: 10,
+            rto_max: 40,
+            max_retries: 3,
+        };
+        let quorum = vec![SiteId(0), SiteId(1)];
+        let mut s0 = Reliable::new(DelayOptimal::new(SiteId(0), quorum, Config::default()), cfg);
+        let mut fx = Effects::new();
+        s0.request_cs(&mut fx);
+        fx.take_sends();
+        let mut t = 0;
+        let mut sent = 0;
+        while let Some(due) = s0.next_timer() {
+            assert!(t < 10_000, "must quiesce");
+            t = due;
+            s0.on_timer(t, &mut fx);
+            sent += fx.take_sends().len();
+        }
+        assert_eq!(sent, 3, "exactly max_retries retransmissions");
+        assert_eq!(s0.counters().gave_up, 1);
+        assert_eq!(s0.next_timer(), None);
+    }
+
+    #[test]
+    fn failure_notice_cancels_retransmissions() {
+        let (mut s0, _s1) = pair();
+        let mut fx = Effects::new();
+        s0.request_cs(&mut fx);
+        fx.take_sends();
+        assert!(s0.next_timer().is_some());
+        let mut fx2 = Effects::new();
+        s0.on_site_failure(SiteId(1), &mut fx2);
+        assert_eq!(s0.next_timer(), None, "no retries to a known-dead peer");
+        assert_eq!(s0.counters().gave_up, 1);
+    }
+
+    #[test]
+    fn iid_loss_model_drops_and_duplicates() {
+        let mut lf = LinkFaults::new(
+            LossModel::Iid {
+                drop: 0.3,
+                dup: 0.2,
+            },
+            Vec::new(),
+        );
+        assert!(lf.is_active());
+        // Deterministic "uniform" streams exercise each verdict.
+        let v = lf.decide(SiteId(0), SiteId(1), 0, || 0.1); // 0.1 < 0.3 -> drop
+        assert_eq!(v, FaultVerdict::Drop);
+        let mut vals = [0.9, 0.1].into_iter(); // survive drop, then dup
+        let v = lf.decide(SiteId(0), SiteId(1), 0, || vals.next().unwrap());
+        assert_eq!(v, FaultVerdict::Duplicate);
+        let mut vals = [0.9, 0.9].into_iter();
+        let v = lf.decide(SiteId(0), SiteId(1), 0, || vals.next().unwrap());
+        assert_eq!(v, FaultVerdict::Deliver);
+    }
+
+    #[test]
+    fn outage_window_drops_only_inside_window() {
+        let mut lf = LinkFaults::new(
+            LossModel::None,
+            vec![Outage {
+                from: SiteId(0),
+                to: SiteId(1),
+                start: 100,
+                end: 200,
+            }],
+        );
+        assert!(lf.is_active());
+        let u = || unreachable!("LossModel::None needs no samples");
+        assert_eq!(
+            lf.decide(SiteId(0), SiteId(1), 99, u),
+            FaultVerdict::Deliver
+        );
+        assert_eq!(lf.decide(SiteId(0), SiteId(1), 100, u), FaultVerdict::Drop);
+        assert_eq!(lf.decide(SiteId(0), SiteId(1), 199, u), FaultVerdict::Drop);
+        assert_eq!(
+            lf.decide(SiteId(0), SiteId(1), 200, u),
+            FaultVerdict::Deliver
+        );
+        // Other direction unaffected.
+        assert_eq!(
+            lf.decide(SiteId(1), SiteId(0), 150, u),
+            FaultVerdict::Deliver
+        );
+    }
+
+    #[test]
+    fn burst_model_is_stickier_than_iid() {
+        // In the bad state with drop_bad = 1.0, everything drops until the
+        // state flips back.
+        let mut lf = LinkFaults::new(
+            LossModel::Burst {
+                p_bad: 1.0, // first message flips to bad
+                p_good: 0.0,
+                drop_good: 0.0,
+                drop_bad: 1.0,
+                dup: 0.0,
+            },
+            Vec::new(),
+        );
+        let v = lf.decide(SiteId(0), SiteId(1), 0, || 0.5);
+        assert_eq!(v, FaultVerdict::Drop);
+        // Stuck bad (p_good = 0): still dropping.
+        let v = lf.decide(SiteId(0), SiteId(1), 1, || 0.5);
+        assert_eq!(v, FaultVerdict::Drop);
+    }
+
+    #[test]
+    fn mean_drop_matches_stationary_distribution() {
+        assert_eq!(LossModel::None.mean_drop(), 0.0);
+        assert_eq!(
+            LossModel::Iid {
+                drop: 0.1,
+                dup: 0.0
+            }
+            .mean_drop(),
+            0.1
+        );
+        let ge = LossModel::Burst {
+            p_bad: 0.1,
+            p_good: 0.3,
+            drop_good: 0.0,
+            drop_bad: 0.8,
+            dup: 0.0,
+        };
+        // Bad fraction = 0.1 / 0.4 = 0.25; mean drop = 0.2.
+        assert!((ge.mean_drop() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = TransportCounters {
+            data_sent: 1,
+            retransmissions: 2,
+            acks_sent: 3,
+            duplicates_dropped: 4,
+            reordered: 5,
+            gave_up: 6,
+            max_unacked: 7,
+        };
+        let b = TransportCounters {
+            max_unacked: 9,
+            ..TransportCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.data_sent, 1);
+        assert_eq!(a.max_unacked, 9);
+    }
+
+    #[test]
+    fn deliver_all_smoke() {
+        // The helper-based two-site loop reaches the CS with zero faults.
+        let (mut s0, mut s1) = pair();
+        let mut fx = Effects::new();
+        s0.request_cs(&mut fx);
+        for _ in 0..10 {
+            if s0.in_cs() {
+                break;
+            }
+            let mut both = [&mut s0, &mut s1];
+            deliver_all(&mut fx, &mut both);
+        }
+        assert!(s0.in_cs());
+    }
+}

@@ -24,7 +24,9 @@
 //! arbiter re-grants with a piggybacked transfer.
 
 use qmx_core::delay_optimal::Body;
-use qmx_core::{Config, DelayOptimal, Effects, Msg, MsgKind, MsgMeta, Protocol, SeqNum, SiteId, Timestamp};
+use qmx_core::{
+    Config, DelayOptimal, Effects, Msg, MsgKind, MsgMeta, Protocol, SeqNum, SiteId, Timestamp,
+};
 
 fn ts(seq: u64, site: u32) -> Timestamp {
     Timestamp::new(seq, SiteId(site))

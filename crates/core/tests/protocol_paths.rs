@@ -264,8 +264,7 @@ fn early_release_chain_is_replayed_in_order() {
     assert_eq!(a.lock_holder(), Some(r4));
     assert!(sends
         .iter()
-        .any(|(to, m)| *to == SiteId(4)
-            && matches!(m.body, Body::Reply { req, .. } if req == r4)));
+        .any(|(to, m)| *to == SiteId(4) && matches!(m.body, Body::Reply { req, .. } if req == r4)));
 }
 
 #[test]

@@ -27,7 +27,11 @@ pub struct PropertyViolation {
 
 impl fmt::Display for PropertyViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "quorums of {} and {} violate the property", self.a, self.b)
+        write!(
+            f,
+            "quorums of {} and {} violate the property",
+            self.a, self.b
+        )
     }
 }
 

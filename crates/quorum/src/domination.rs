@@ -46,8 +46,7 @@ pub fn dominates(c: &[Vec<SiteId>], d: &[Vec<SiteId>]) -> bool {
     if cn == dn {
         return false;
     }
-    dn.iter()
-        .all(|qd| cn.iter().any(|qc| is_subset(qc, qd)))
+    dn.iter().all(|qd| cn.iter().any(|qc| is_subset(qc, qd)))
 }
 
 impl QuorumSystem {

@@ -91,9 +91,6 @@ mod tests {
     fn truncated_grid_example() {
         // n=7, c=3: grid rows [0,1,2],[3,4,5],[6]. Site 6 = (2,0).
         let sys = grid_system(7);
-        assert_eq!(
-            sys.quorum_of(SiteId(6)),
-            &[SiteId(0), SiteId(3), SiteId(6)]
-        );
+        assert_eq!(sys.quorum_of(SiteId(6)), &[SiteId(0), SiteId(3), SiteId(6)]);
     }
 }

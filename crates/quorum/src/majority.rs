@@ -100,10 +100,7 @@ mod tests {
     #[test]
     fn windows_rotate() {
         let sys = majority_system(5);
-        assert_eq!(
-            sys.quorum_of(SiteId(3)),
-            &[SiteId(0), SiteId(3), SiteId(4)]
-        );
+        assert_eq!(sys.quorum_of(SiteId(3)), &[SiteId(0), SiteId(3), SiteId(4)]);
     }
 
     #[test]

@@ -273,7 +273,9 @@ mod tests {
         assert_eq!(q0.len(), 3);
         let q1 = src.quorum_avoiding(SiteId(0), &down(&[q0[1].0])).unwrap();
         assert!(!q1.contains(&q0[1]));
-        assert!(src.quorum_avoiding(SiteId(0), &down(&[3, 4, 5, 6])).is_none());
+        assert!(src
+            .quorum_avoiding(SiteId(0), &down(&[3, 4, 5, 6]))
+            .is_none());
     }
 
     #[test]

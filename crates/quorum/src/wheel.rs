@@ -85,9 +85,7 @@ impl qmx_core::QuorumSource for WheelQuorumSource {
             let spoke = if site != hub && !down.contains(&site) {
                 site
             } else {
-                (1..self.n as u32)
-                    .map(SiteId)
-                    .find(|s| !down.contains(s))?
+                (1..self.n as u32).map(SiteId).find(|s| !down.contains(s))?
             };
             Some(if spoke == hub {
                 vec![hub]

@@ -218,8 +218,20 @@ mod tests {
         assert_eq!(done.len(), 2);
         assert_eq!(done[0].0, Key(1));
         assert_eq!(done[1].0, Key(2));
-        assert_eq!(net.sites[1].stored(Key(1)), Versioned { version: 1, value: 11 });
-        assert_eq!(net.sites[1].stored(Key(2)), Versioned { version: 1, value: 22 });
+        assert_eq!(
+            net.sites[1].stored(Key(1)),
+            Versioned {
+                version: 1,
+                value: 11
+            }
+        );
+        assert_eq!(
+            net.sites[1].stored(Key(2)),
+            Versioned {
+                version: 1,
+                value: 22
+            }
+        );
     }
 
     #[test]
@@ -254,11 +266,25 @@ mod tests {
         done.sort_by_key(|&(_, op, _)| op);
         assert_eq!(
             done[0],
-            (Key(5), OpId(2), OpResult::Read(Versioned { version: 1, value: 55 }))
+            (
+                Key(5),
+                OpId(2),
+                OpResult::Read(Versioned {
+                    version: 1,
+                    value: 55
+                })
+            )
         );
         assert_eq!(
             done[1],
-            (Key(6), OpId(3), OpResult::Read(Versioned { version: 0, value: 0 }))
+            (
+                Key(6),
+                OpId(3),
+                OpResult::Read(Versioned {
+                    version: 0,
+                    value: 0
+                })
+            )
         );
     }
 

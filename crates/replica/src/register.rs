@@ -438,7 +438,9 @@ mod tests {
                 read_repair: false,
             };
             Net {
-                sites: (0..n).map(|i| ReplicaSite::new(SiteId(i), cfg(i))).collect(),
+                sites: (0..n)
+                    .map(|i| ReplicaSite::new(SiteId(i), cfg(i)))
+                    .collect(),
                 inflight: VecDeque::new(),
             }
         }
@@ -478,7 +480,13 @@ mod tests {
         let done = net.sites[0].take_completed();
         assert_eq!(done, vec![(OpId(1), OpResult::Write { version: 1 })]);
         for s in &net.sites {
-            assert_eq!(s.stored(), Versioned { version: 1, value: 42 });
+            assert_eq!(
+                s.stored(),
+                Versioned {
+                    version: 1,
+                    value: 42
+                }
+            );
         }
     }
 
@@ -494,7 +502,13 @@ mod tests {
         let done = net.sites[2].take_completed();
         assert_eq!(
             done,
-            vec![(OpId(3), OpResult::Read(Versioned { version: 2, value: 9 }))]
+            vec![(
+                OpId(3),
+                OpResult::Read(Versioned {
+                    version: 2,
+                    value: 9
+                })
+            )]
         );
     }
 
@@ -529,7 +543,13 @@ mod tests {
         net.settle();
         assert_eq!(
             net.sites[1].take_completed(),
-            vec![(OpId(1), OpResult::Read(Versioned { version: 0, value: 0 }))]
+            vec![(
+                OpId(1),
+                OpResult::Read(Versioned {
+                    version: 0,
+                    value: 0
+                })
+            )]
         );
     }
 
@@ -568,7 +588,13 @@ mod tests {
         net.settle();
         assert_eq!(
             net.sites[2].take_completed(),
-            vec![(OpId(2), OpResult::Read(Versioned { version: 1, value: 5 }))]
+            vec![(
+                OpId(2),
+                OpResult::Read(Versioned {
+                    version: 1,
+                    value: 5
+                })
+            )]
         );
         // Site 0 is NOT in the write quorum: its local store is stale, yet
         // its reads are correct via the quorum.
@@ -603,7 +629,10 @@ mod tests {
         net.settle();
         assert_eq!(
             net.sites[0].stored(),
-            Versioned { version: 1, value: 77 },
+            Versioned {
+                version: 1,
+                value: 77
+            },
             "read repair pushed the newest version to the stale replica"
         );
     }

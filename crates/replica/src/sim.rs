@@ -45,9 +45,18 @@ pub struct OpRecord {
 
 #[derive(Debug)]
 enum Ev {
-    Deliver { from: SiteId, to: SiteId, msg: RegMsg },
-    Read { site: SiteId },
-    Write { site: SiteId, value: u64 },
+    Deliver {
+        from: SiteId,
+        to: SiteId,
+        msg: RegMsg,
+    },
+    Read {
+        site: SiteId,
+    },
+    Write {
+        site: SiteId,
+        value: u64,
+    },
 }
 
 struct Item {
@@ -173,10 +182,20 @@ impl ReplicaSim {
             let link = self.link_clock.entry((actor, to)).or_insert(0);
             let at = (self.now + sampled).max(*link);
             *link = at;
-            self.push(at, Ev::Deliver { from: actor, to, msg });
+            self.push(
+                at,
+                Ev::Deliver {
+                    from: actor,
+                    to,
+                    msg,
+                },
+            );
         }
         for (op, result) in self.sites[actor.index()].take_completed() {
-            let (site, submitted_at) = self.submitted.remove(&op).expect("completed op was submitted");
+            let (site, submitted_at) = self
+                .submitted
+                .remove(&op)
+                .expect("completed op was submitted");
             self.records.push(OpRecord {
                 op,
                 site,

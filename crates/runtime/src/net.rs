@@ -8,7 +8,11 @@
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
-use qmx_core::{Effects, Protocol, SiteId};
+use qmx_core::{
+    Effects, FaultVerdict, LinkFaults, LossModel, Outage, Protocol, SiteId, TransportCounters,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -32,6 +36,16 @@ pub struct NetOptions {
     pub crashes: Vec<(SiteId, Duration)>,
     /// Failure-detector latency for crash notices.
     pub detect_latency: Duration,
+    /// Wire-message fault model applied by the router (same seeded models
+    /// as the simulator; wrap the sites in
+    /// [`qmx_core::Reliable`] to survive anything but
+    /// [`LossModel::None`]).
+    pub loss: LossModel,
+    /// Transient link outages; times are **microseconds since run start**
+    /// (the runtime's driver clock, as passed to `Protocol::set_now`).
+    pub outages: Vec<Outage>,
+    /// Seed for the router's fault-injection RNG.
+    pub loss_seed: u64,
 }
 
 impl Default for NetOptions {
@@ -43,6 +57,9 @@ impl Default for NetOptions {
             think: Duration::from_millis(1),
             crashes: Vec::new(),
             detect_latency: Duration::from_millis(10),
+            loss: LossModel::None,
+            outages: Vec::new(),
+            loss_seed: 0xFA17,
         }
     }
 }
@@ -54,6 +71,13 @@ pub struct RunOutcome {
     pub completed: usize,
     /// Total wire messages routed.
     pub messages: u64,
+    /// Messages the fault injector dropped.
+    pub injected_drops: u64,
+    /// Messages the fault injector duplicated.
+    pub injected_dups: u64,
+    /// Aggregated reliable-transport counters over all sites (all zero
+    /// when the protocols run bare).
+    pub transport: TransportCounters,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Per-site CS counts.
@@ -170,19 +194,27 @@ where
     let monitor = Arc::new(CsMonitor::default());
     let done = Arc::new(AtomicBool::new(false));
     let messages = Arc::new(AtomicU64::new(0));
+    let injected_drops = Arc::new(AtomicU64::new(0));
+    let injected_dups = Arc::new(AtomicU64::new(0));
     let completed_total = Arc::new(AtomicU64::new(0));
     let crashed: Arc<Mutex<std::collections::BTreeSet<SiteId>>> =
         Arc::new(Mutex::new(std::collections::BTreeSet::new()));
 
     // Router thread: applies latency; constant latency plus the heap's
     // arrival-sequence tie-break preserves per-link FIFO. Messages to
-    // crashed sites are dropped.
+    // crashed sites are dropped. The seeded fault injector may eat or
+    // clone a message before it is queued (the duplicate keeps the same
+    // due instant, so FIFO order is unaffected).
     let router: JoinHandle<()> = {
         let done = Arc::clone(&done);
         let messages = Arc::clone(&messages);
+        let injected_drops = Arc::clone(&injected_drops);
+        let injected_dups = Arc::clone(&injected_dups);
         let crashed = Arc::clone(&crashed);
         let site_txs = site_txs.clone();
         let latency = opts.latency;
+        let mut faults = LinkFaults::new(opts.loss.clone(), opts.outages.clone());
+        let mut fault_rng = StdRng::seed_from_u64(opts.loss_seed);
         std::thread::spawn(move || {
             let mut heap: BinaryHeap<Delayed<P::Msg>> = BinaryHeap::new();
             let mut seq = 0u64;
@@ -193,13 +225,34 @@ where
                     .unwrap_or(Duration::from_millis(5));
                 match router_rx.recv_timeout(timeout) {
                     Ok(env) => {
-                        seq += 1;
                         messages.fetch_add(1, Ordering::Relaxed);
-                        heap.push(Delayed {
-                            due: Instant::now() + latency,
-                            seq,
-                            env,
-                        });
+                        let now_us = start.elapsed().as_micros() as u64;
+                        let copies = match faults.decide(env.from, env.to, now_us, || {
+                            fault_rng.gen_range(0.0f64..1.0)
+                        }) {
+                            FaultVerdict::Deliver => 1,
+                            FaultVerdict::Drop => {
+                                injected_drops.fetch_add(1, Ordering::Relaxed);
+                                0
+                            }
+                            FaultVerdict::Duplicate => {
+                                injected_dups.fetch_add(1, Ordering::Relaxed);
+                                2
+                            }
+                        };
+                        let due = Instant::now() + latency;
+                        for _ in 0..copies {
+                            seq += 1;
+                            heap.push(Delayed {
+                                due,
+                                seq,
+                                env: Envelope {
+                                    from: env.from,
+                                    to: env.to,
+                                    msg: env.msg.clone(),
+                                },
+                            });
+                        }
                     }
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => break,
@@ -260,10 +313,12 @@ where
     let victims: std::collections::BTreeSet<SiteId> =
         opts.crashes.iter().map(|&(s, _)| s).collect();
     let expected_total: u64 = ((n - victims.len()) * opts.rounds) as u64;
-    let victim_flags: Vec<bool> = (0..n).map(|i| victims.contains(&SiteId(i as u32))).collect();
+    let victim_flags: Vec<bool> = (0..n)
+        .map(|i| victims.contains(&SiteId(i as u32)))
+        .collect();
 
     // Site threads.
-    let mut handles: Vec<JoinHandle<usize>> = Vec::with_capacity(n);
+    let mut handles: Vec<JoinHandle<(usize, Option<TransportCounters>)>> = Vec::with_capacity(n);
     for (i, mut proto) in sites.into_iter().enumerate() {
         let rx = site_rxs.remove(0);
         let tx = router_tx.clone();
@@ -285,7 +340,11 @@ where
                 }
                 entered
             }
+            // The driver clock handed to the transport layer: microseconds
+            // since cluster start (monotone, shared by all sites).
+            let now_us = || start.elapsed().as_micros() as u64;
 
+            proto.set_now(now_us());
             proto.on_start(&mut fx);
             flush(me, &mut fx, &tx);
 
@@ -299,11 +358,20 @@ where
                     "site {me} made no progress for 60s (deadlock?)"
                 );
 
+                // Fire due transport timers (retransmissions).
+                if proto.next_timer().is_some_and(|due| due <= now_us()) {
+                    let t = now_us();
+                    proto.set_now(t);
+                    proto.on_timer(t, &mut fx);
+                    flush(me, &mut fx, &tx);
+                }
+
                 // Leave the CS when the hold expires.
                 if let Some(at) = exit_at {
                     if Instant::now() >= at {
                         exit_at = None;
                         monitor.exit(me);
+                        proto.set_now(now_us());
                         proto.release_cs(&mut fx);
                         flush(me, &mut fx, &tx);
                         my_completed += 1;
@@ -323,6 +391,7 @@ where
                     if let Some(at) = next_request_at {
                         if Instant::now() >= at {
                             next_request_at = None;
+                            proto.set_now(now_us());
                             proto.request_cs(&mut fx);
                             if flush(me, &mut fx, &tx) {
                                 monitor.enter(me);
@@ -338,6 +407,7 @@ where
                 // keep firing).
                 match rx.recv_timeout(Duration::from_micros(200)) {
                     Ok(Inbox::Net(env)) => {
+                        proto.set_now(now_us());
                         proto.handle(env.from, env.msg, &mut fx);
                         if flush(me, &mut fx, &tx) {
                             monitor.enter(me);
@@ -346,6 +416,7 @@ where
                         last_progress = Instant::now();
                     }
                     Ok(Inbox::Failed(victim)) => {
+                        proto.set_now(now_us());
                         proto.on_site_failure(victim, &mut fx);
                         if flush(me, &mut fx, &tx) {
                             monitor.enter(me);
@@ -366,7 +437,7 @@ where
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
-            my_completed
+            (my_completed, proto.transport_counters())
         }));
     }
     drop(router_tx);
@@ -383,10 +454,15 @@ where
     }
     done.store(true, Ordering::Relaxed);
 
-    let per_site: Vec<usize> = handles
-        .into_iter()
-        .map(|h| h.join().expect("site thread panicked"))
-        .collect();
+    let mut per_site: Vec<usize> = Vec::with_capacity(n);
+    let mut transport = TransportCounters::default();
+    for h in handles {
+        let (completed, counters) = h.join().expect("site thread panicked");
+        per_site.push(completed);
+        if let Some(c) = counters {
+            transport.merge(&c);
+        }
+    }
     router.join().expect("router thread panicked");
     if let Some(h) = injector {
         h.join().expect("injector thread panicked");
@@ -395,6 +471,9 @@ where
     RunOutcome {
         completed: per_site.iter().sum(),
         messages: messages.load(Ordering::Relaxed),
+        injected_drops: injected_drops.load(Ordering::Relaxed),
+        injected_dups: injected_dups.load(Ordering::Relaxed),
+        transport,
         elapsed: start.elapsed(),
         per_site,
     }
@@ -454,6 +533,51 @@ mod tests {
                 assert_eq!(c, 4, "site {i} did not finish");
             }
         }
+    }
+
+    #[test]
+    fn live_lossy_grid_with_transport() {
+        use qmx_core::{Reliable, TransportConfig};
+        use qmx_quorum::grid::grid_system;
+        // The acceptance scenario: 9 sites on grid quorums, 10% i.i.d.
+        // loss (plus some duplication), reliable transport enabled — all
+        // rounds must complete with zero ME violations (monitor panics on
+        // any) and the transport must actually have retransmitted.
+        let n = 9usize;
+        let sys = grid_system(n);
+        let tcfg = TransportConfig {
+            rto_initial: 8_000, // µs: 4× the 2 ms one-way latency
+            rto_max: 64_000,
+            max_retries: 40,
+        };
+        let sites: Vec<Reliable<DelayOptimal>> = (0..n)
+            .map(|i| {
+                Reliable::new(
+                    DelayOptimal::new(
+                        SiteId(i as u32),
+                        sys.quorum_of(SiteId(i as u32)).to_vec(),
+                        Config::default(),
+                    ),
+                    tcfg,
+                )
+            })
+            .collect();
+        let out = run_cluster(
+            sites,
+            NetOptions {
+                loss: LossModel::Iid {
+                    drop: 0.1,
+                    dup: 0.05,
+                },
+                loss_seed: 0xBADCAB1E,
+                rounds: 3,
+                ..opts()
+            },
+        );
+        assert_eq!(out.completed, n * 3);
+        assert!(out.injected_drops > 0, "loss was injected");
+        assert!(out.transport.retransmissions > 0, "transport recovered");
+        assert!(out.transport.duplicates_dropped > 0, "dedup engaged");
     }
 
     #[test]

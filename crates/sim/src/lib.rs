@@ -58,3 +58,7 @@ pub use delay::DelayModel;
 pub use metrics::{CsRecord, Metrics};
 pub use sim::{SimConfig, Simulator};
 pub use trace::{Trace, TraceEvent};
+
+// Fault-injection vocabulary (defined in `qmx-core` so the threaded
+// runtime shares the exact same models): re-exported for convenience.
+pub use qmx_core::{LossModel, Outage};

@@ -1,6 +1,6 @@
 //! Measurement collection: message counts and per-CS timing records.
 
-use qmx_core::{MsgKind, SiteId};
+use qmx_core::{MsgKind, SiteId, TransportCounters};
 use std::collections::BTreeMap;
 
 /// Timing record of one completed critical-section execution.
@@ -35,6 +35,9 @@ pub struct Metrics {
     msg_counts: BTreeMap<MsgKind, u64>,
     records: Vec<CsRecord>,
     dropped_to_crashed: u64,
+    injected_drops: u64,
+    injected_dups: u64,
+    transport: TransportCounters,
 }
 
 impl Metrics {
@@ -51,6 +54,38 @@ impl Metrics {
     /// Records a message dropped because its target crashed.
     pub fn count_dropped(&mut self) {
         self.dropped_to_crashed += 1;
+    }
+
+    /// Records a message lost to the injected fault model.
+    pub fn count_injected_drop(&mut self) {
+        self.injected_drops += 1;
+    }
+
+    /// Records a message duplicated by the injected fault model.
+    pub fn count_injected_dup(&mut self) {
+        self.injected_dups += 1;
+    }
+
+    /// Overwrites the aggregated transport-layer counters (summed over all
+    /// sites by the simulator at the end of a run).
+    pub fn set_transport_totals(&mut self, totals: TransportCounters) {
+        self.transport = totals;
+    }
+
+    /// Messages the fault model dropped.
+    pub fn injected_drops(&self) -> u64 {
+        self.injected_drops
+    }
+
+    /// Messages the fault model duplicated.
+    pub fn injected_dups(&self) -> u64 {
+        self.injected_dups
+    }
+
+    /// Aggregated reliable-transport counters (all zero when the protocols
+    /// run bare, without the transport wrapper).
+    pub fn transport(&self) -> &TransportCounters {
+        &self.transport
     }
 
     /// Records a completed CS execution.
@@ -91,8 +126,7 @@ impl Metrics {
     /// Average wire messages per completed CS execution — the paper's
     /// message complexity measure. `None` if no CS completed.
     pub fn messages_per_cs(&self) -> Option<f64> {
-        (!self.records.is_empty())
-            .then(|| self.total_messages() as f64 / self.records.len() as f64)
+        (!self.records.is_empty()).then(|| self.total_messages() as f64 / self.records.len() as f64)
     }
 
     /// Synchronization delay samples: for each consecutive pair of CS
@@ -165,6 +199,29 @@ mod tests {
         assert_eq!(m.total_messages(), 3);
         assert_eq!(m.messages_of(MsgKind::Request), 2);
         assert_eq!(m.messages_of(MsgKind::Token), 0);
+    }
+
+    #[test]
+    fn loss_and_transport_counters() {
+        let mut m = Metrics::new();
+        m.count_injected_drop();
+        m.count_injected_drop();
+        m.count_injected_dup();
+        assert_eq!(m.injected_drops(), 2);
+        assert_eq!(m.injected_dups(), 1);
+        assert_eq!(m.transport().retransmissions, 0);
+        m.set_transport_totals(TransportCounters {
+            retransmissions: 5,
+            duplicates_dropped: 3,
+            ..TransportCounters::default()
+        });
+        // Overwrite semantics: a second snapshot replaces the first.
+        m.set_transport_totals(TransportCounters {
+            retransmissions: 7,
+            ..TransportCounters::default()
+        });
+        assert_eq!(m.transport().retransmissions, 7);
+        assert_eq!(m.transport().duplicates_dropped, 0);
     }
 
     #[test]

@@ -3,9 +3,9 @@
 use crate::delay::DelayModel;
 use crate::metrics::{CsRecord, Metrics};
 use crate::trace::{Trace, TraceEvent};
-use qmx_core::{Effects, MsgMeta, Protocol, SiteId};
+use qmx_core::{Effects, FaultVerdict, LinkFaults, LossModel, MsgMeta, Outage, Protocol, SiteId};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
@@ -19,6 +19,11 @@ pub struct SimConfig {
     /// Time between a crash and the delivery of `failure(i)` notices to
     /// every live site (failure-detector latency).
     pub detect_delay: u64,
+    /// Wire-message fault model (drops/duplication); [`LossModel::None`]
+    /// reproduces the paper's error-free channels.
+    pub loss: LossModel,
+    /// Scheduled transient one-directional link outages.
+    pub outages: Vec<Outage>,
     /// RNG seed; runs are fully deterministic given the same seed.
     pub seed: u64,
 }
@@ -29,6 +34,8 @@ impl Default for SimConfig {
             delay: DelayModel::Constant(1000),
             hold: DelayModel::Constant(100),
             detect_delay: 2000,
+            loss: LossModel::None,
+            outages: Vec::new(),
             seed: 0xC0FFEE,
         }
     }
@@ -42,6 +49,8 @@ enum EventKind<M> {
     Crash { site: SiteId },
     Notice { site: SiteId, failed: SiteId },
     Partition { groups: Vec<u32> },
+    Heal,
+    Tick { site: SiteId },
 }
 
 struct Event<M> {
@@ -80,6 +89,8 @@ pub struct Simulator<P: Protocol> {
     link_clock: BTreeMap<(SiteId, SiteId), u64>,
     crashed: BTreeSet<SiteId>,
     partition: Option<Vec<u32>>,
+    faults: LinkFaults,
+    armed_tick: Vec<Option<u64>>,
     requested_at: Vec<Option<u64>>,
     entered_at: Vec<Option<u64>>,
     in_cs: Option<SiteId>,
@@ -100,6 +111,7 @@ impl<P: Protocol> Simulator<P> {
             assert_eq!(s.site(), SiteId(i as u32), "sites must be 0..N in order");
         }
         let n = sites.len();
+        let faults = LinkFaults::new(cfg.loss.clone(), cfg.outages.clone());
         Simulator {
             sites,
             rng: StdRng::seed_from_u64(cfg.seed),
@@ -110,6 +122,8 @@ impl<P: Protocol> Simulator<P> {
             link_clock: BTreeMap::new(),
             crashed: BTreeSet::new(),
             partition: None,
+            faults,
+            armed_tick: vec![None; n],
             requested_at: vec![None; n],
             entered_at: vec![None; n],
             in_cs: None,
@@ -204,10 +218,42 @@ impl<P: Protocol> Simulator<P> {
         self.push(at, EventKind::Partition { groups });
     }
 
+    /// Schedules a heal of the current network partition at virtual time
+    /// `at`: from then on messages flow between all groups again.
+    ///
+    /// **Recovery semantics** (documented choice): no "recovery notices"
+    /// are delivered. The paper's §6 machinery handles *failures* —
+    /// reconstruction of quorums around suspected-dead sites — but defines
+    /// no rejoin protocol, so a healed partition simply restores
+    /// connectivity: sites that treated remote peers as failed keep their
+    /// reconstructed quorums (safe — coteries intersect), and in-flight
+    /// retransmissions from the other side resume being delivered, where
+    /// the transport's dedup absorbs any copies that got through before
+    /// the split.
+    pub fn schedule_heal(&mut self, at: u64) {
+        self.push(at, EventKind::Heal);
+    }
+
     fn severed(&self, a: SiteId, b: SiteId) -> bool {
         self.partition
             .as_ref()
             .is_some_and(|g| g[a.index()] != g[b.index()])
+    }
+
+    /// Re-arms the wake-up event for `site` from its `next_timer()`.
+    fn arm_timer(&mut self, site: SiteId) {
+        let Some(due) = self.sites[site.index()].next_timer() else {
+            return;
+        };
+        let due = due.max(self.now);
+        let armed = &mut self.armed_tick[site.index()];
+        // Skip only if an equally-early wake-up is already scheduled; stale
+        // later ticks still fire and are harmless (spurious `on_timer`).
+        if armed.is_some_and(|cur| cur <= due) {
+            return;
+        }
+        *armed = Some(due);
+        self.push(due, EventKind::Tick { site });
     }
 
     fn apply_effects(&mut self, site: SiteId, fx: &mut Effects<P::Msg>) {
@@ -225,14 +271,45 @@ impl<P: Protocol> Simulator<P> {
                 to,
                 kind: msg.kind(),
             });
-            // FIFO per ordered link: delivery times never reorder (equal
-            // times are delivered in send order via the event seq number).
-            let sampled = self.cfg.delay.sample(&mut self.rng);
-            let link = self.link_clock.entry((site, to)).or_insert(0);
-            let at = (self.now + sampled).max(*link);
-            *link = at;
-            self.push(at, EventKind::Deliver { from: site, to, msg });
+            // Fault injection: the message may be eaten or cloned by the
+            // network before the delay is even sampled.
+            let copies = {
+                let rng = &mut self.rng;
+                match self
+                    .faults
+                    .decide(site, to, self.now, || rng.gen_range(0.0f64..1.0))
+                {
+                    FaultVerdict::Deliver => 1,
+                    FaultVerdict::Drop => {
+                        self.metrics.count_injected_drop();
+                        0
+                    }
+                    FaultVerdict::Duplicate => {
+                        self.metrics.count_injected_dup();
+                        2
+                    }
+                }
+            };
+            for _ in 0..copies {
+                // FIFO per ordered link: delivery times never reorder
+                // (equal times are delivered in send order via the event
+                // seq number). The duplicate copy follows its original.
+                let sampled = self.cfg.delay.sample(&mut self.rng);
+                let link = self.link_clock.entry((site, to)).or_insert(0);
+                let at = (self.now + sampled).max(*link);
+                *link = at;
+                let msg = msg.clone();
+                self.push(
+                    at,
+                    EventKind::Deliver {
+                        from: site,
+                        to,
+                        msg,
+                    },
+                );
+            }
         }
+        self.arm_timer(site);
         if entered {
             assert!(
                 self.in_cs.is_none(),
@@ -276,7 +353,9 @@ impl<P: Protocol> Simulator<P> {
                     kind: msg.kind(),
                 });
                 let mut fx = Effects::new();
-                self.sites[to.index()].handle(from, msg, &mut fx);
+                let s = &mut self.sites[to.index()];
+                s.set_now(self.now);
+                s.handle(from, msg, &mut fx);
                 self.apply_effects(to, &mut fx);
             }
             EventKind::Request { site } => {
@@ -289,6 +368,7 @@ impl<P: Protocol> Simulator<P> {
                 }
                 self.requested_at[site.index()] = Some(self.now);
                 let mut fx = Effects::new();
+                s.set_now(self.now);
                 s.request_cs(&mut fx);
                 self.apply_effects(site, &mut fx);
             }
@@ -301,8 +381,7 @@ impl<P: Protocol> Simulator<P> {
                 self.record(TraceEvent::Exit { t: self.now, site });
                 let rec = CsRecord {
                     site,
-                    requested_at: self.requested_at[site.index()]
-                        .expect("exit implies a request"),
+                    requested_at: self.requested_at[site.index()].expect("exit implies a request"),
                     entered_at: self.entered_at[site.index()].expect("exit implies entry"),
                     exited_at: self.now,
                 };
@@ -310,7 +389,9 @@ impl<P: Protocol> Simulator<P> {
                 self.requested_at[site.index()] = None;
                 self.entered_at[site.index()] = None;
                 let mut fx = Effects::new();
-                self.sites[site.index()].release_cs(&mut fx);
+                let s = &mut self.sites[site.index()];
+                s.set_now(self.now);
+                s.release_cs(&mut fx);
                 self.apply_effects(site, &mut fx);
             }
             EventKind::Crash { site } => {
@@ -346,8 +427,28 @@ impl<P: Protocol> Simulator<P> {
                     failed,
                 });
                 let mut fx = Effects::new();
-                self.sites[site.index()].on_site_failure(failed, &mut fx);
+                let s = &mut self.sites[site.index()];
+                s.set_now(self.now);
+                s.on_site_failure(failed, &mut fx);
                 self.apply_effects(site, &mut fx);
+            }
+            EventKind::Tick { site } => {
+                // Clear the arming slot first: `on_timer` may leave work
+                // pending and `apply_effects` re-arms from `next_timer()`.
+                self.armed_tick[site.index()] = None;
+                if self.crashed.contains(&site) {
+                    return;
+                }
+                let mut fx = Effects::new();
+                let s = &mut self.sites[site.index()];
+                s.set_now(self.now);
+                s.on_timer(self.now, &mut fx);
+                self.apply_effects(site, &mut fx);
+            }
+            EventKind::Heal => {
+                // See `schedule_heal` for the (documented) recovery
+                // semantics: connectivity returns, no notices are sent.
+                self.partition = None;
             }
             EventKind::Partition { groups } => {
                 assert_eq!(groups.len(), self.sites.len(), "one group per site");
@@ -392,6 +493,15 @@ impl<P: Protocol> Simulator<P> {
             self.step_event(ev);
             processed += 1;
         }
+        // Snapshot transport-layer totals into the metrics (overwrites, so
+        // repeated calls stay correct).
+        let mut totals = qmx_core::TransportCounters::default();
+        for s in &self.sites {
+            if let Some(c) = s.transport_counters() {
+                totals.merge(&c);
+            }
+        }
+        self.metrics.set_transport_totals(totals);
         processed
     }
 
@@ -404,13 +514,28 @@ impl<P: Protocol> Simulator<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qmx_core::{Config, DelayOptimal, MsgKind};
+    use qmx_core::{Config, DelayOptimal, MsgKind, Reliable, TransportConfig};
 
     fn full_quorum_sim(n: u32, cfg: SimConfig) -> Simulator<DelayOptimal> {
         let quorum: Vec<SiteId> = (0..n).map(SiteId).collect();
         Simulator::new(
             (0..n)
                 .map(|i| DelayOptimal::new(SiteId(i), quorum.clone(), Config::default()))
+                .collect(),
+            cfg,
+        )
+    }
+
+    fn reliable_full_quorum_sim(n: u32, cfg: SimConfig) -> Simulator<Reliable<DelayOptimal>> {
+        let quorum: Vec<SiteId> = (0..n).map(SiteId).collect();
+        Simulator::new(
+            (0..n)
+                .map(|i| {
+                    Reliable::new(
+                        DelayOptimal::new(SiteId(i), quorum.clone(), Config::default()),
+                        TransportConfig::default(),
+                    )
+                })
                 .collect(),
             cfg,
         )
@@ -543,6 +668,99 @@ mod tests {
             .filter(|e| matches!(e, TraceEvent::Enter { .. } | TraceEvent::Exit { .. }))
             .collect();
         assert_eq!(cs.len(), 4); // two entries + two exits
+    }
+
+    #[test]
+    fn lossy_run_with_transport_completes() {
+        let cfg = SimConfig {
+            loss: LossModel::Iid {
+                drop: 0.15,
+                dup: 0.1,
+            },
+            seed: 42,
+            ..SimConfig::default()
+        };
+        let mut sim = reliable_full_quorum_sim(4, cfg);
+        for i in 0..4 {
+            sim.schedule_request(SiteId(i), (i as u64) * 50);
+        }
+        sim.run_to_quiescence(10_000_000);
+        assert_eq!(sim.metrics().completed_cs(), 4, "liveness under loss");
+        assert!(sim.metrics().injected_drops() > 0, "loss actually injected");
+        let t = sim.metrics().transport();
+        assert!(t.retransmissions > 0, "drops forced retransmissions");
+        assert!(!sim.has_pending_events(), "quiesced (retry cap held)");
+    }
+
+    #[test]
+    fn lossy_run_without_transport_stalls() {
+        // Regression guard for the injector itself: bare protocols assume
+        // error-free channels, so injected loss must visibly wedge them.
+        let cfg = SimConfig {
+            loss: LossModel::Iid {
+                drop: 0.3,
+                dup: 0.0,
+            },
+            seed: 42,
+            ..SimConfig::default()
+        };
+        let mut sim = full_quorum_sim(3, cfg);
+        for r in 0..4u64 {
+            for i in 0..3 {
+                sim.schedule_request(SiteId(i), r * 20_000 + (i as u64) * 100);
+            }
+        }
+        sim.run_to_quiescence(10_000_000);
+        assert!(sim.metrics().injected_drops() > 0);
+        assert!(
+            sim.metrics().completed_cs() < 12,
+            "a lossy channel must stall the bare protocol somewhere"
+        );
+        let wedged = (0..3).any(|i| sim.site(SiteId(i)).wants_cs());
+        assert!(wedged, "some site is stuck waiting forever");
+    }
+
+    #[test]
+    fn transient_partition_heals_and_request_completes() {
+        // Notices would convert the partition into §6 failure handling;
+        // push them past the horizon so this isolates heal + retransmit.
+        let cfg = SimConfig {
+            detect_delay: 100_000_000,
+            ..SimConfig::default()
+        };
+        let mut sim = reliable_full_quorum_sim(3, cfg);
+        sim.schedule_partition(vec![0, 0, 1], 5);
+        sim.schedule_request(SiteId(0), 10);
+        sim.schedule_heal(20_000);
+        sim.run_to_quiescence(1_000_000);
+        assert_eq!(
+            sim.metrics().completed_cs(),
+            1,
+            "retransmissions must get through after the heal"
+        );
+        assert!(sim.metrics().transport().retransmissions > 0);
+        // The completion happened after the heal, not before.
+        assert!(sim.metrics().records()[0].entered_at > 20_000);
+    }
+
+    #[test]
+    fn duplication_alone_is_absorbed_by_dedup() {
+        let cfg = SimConfig {
+            loss: LossModel::Iid {
+                drop: 0.0,
+                dup: 0.5,
+            },
+            seed: 7,
+            ..SimConfig::default()
+        };
+        let mut sim = reliable_full_quorum_sim(3, cfg);
+        for i in 0..3 {
+            sim.schedule_request(SiteId(i), (i as u64) * 30);
+        }
+        sim.run_to_quiescence(10_000_000);
+        assert_eq!(sim.metrics().completed_cs(), 3);
+        assert!(sim.metrics().injected_dups() > 0);
+        assert!(sim.metrics().transport().duplicates_dropped > 0);
     }
 
     #[test]

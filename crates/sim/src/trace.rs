@@ -126,7 +126,10 @@ impl Trace {
     pub fn render(&self) -> String {
         let mut out = String::new();
         if self.dropped > 0 {
-            out.push_str(&format!("... {} earlier events dropped ...\n", self.dropped));
+            out.push_str(&format!(
+                "... {} earlier events dropped ...\n",
+                self.dropped
+            ));
         }
         for ev in &self.events {
             out.push_str(&ev.to_string());
@@ -190,8 +193,14 @@ mod tests {
             to: SiteId(1),
             kind: MsgKind::Reply,
         });
-        tr.push(TraceEvent::Enter { t: 2, site: SiteId(1) });
-        tr.push(TraceEvent::Exit { t: 3, site: SiteId(1) });
+        tr.push(TraceEvent::Enter {
+            t: 2,
+            site: SiteId(1),
+        });
+        tr.push(TraceEvent::Exit {
+            t: 3,
+            site: SiteId(1),
+        });
         assert_eq!(tr.cs_events().len(), 2);
     }
 
@@ -206,8 +215,11 @@ mod tests {
             .to_string(),
             "         7  notice  S1: S2 failed"
         );
-        assert!(TraceEvent::Crash { t: 1, site: SiteId(0) }
-            .to_string()
-            .contains("CRASH"));
+        assert!(TraceEvent::Crash {
+            t: 1,
+            site: SiteId(0)
+        }
+        .to_string()
+        .contains("CRASH"));
     }
 }

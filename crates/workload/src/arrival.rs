@@ -210,9 +210,10 @@ mod tests {
         // 3 bursts fit (0, 10k, 20k): 4 sites x 3 arrivals x 3 bursts.
         assert_eq!(a.len(), 36);
         // All arrivals cluster near burst starts.
-        assert!(a
-            .iter()
-            .all(|&(_, t)| t % 10_000 < 500), "arrival times: {a:?}");
+        assert!(
+            a.iter().all(|&(_, t)| t % 10_000 < 500),
+            "arrival times: {a:?}"
+        );
         // Deterministic per seed.
         assert_eq!(a, p.generate(4, 25_000, 5));
     }

@@ -7,7 +7,9 @@ use crate::stats::RunReport;
 use qmx_baselines::{
     CarvalhoRoucairol, Lamport, Maekawa, Raymond, RicartAgrawala, SinghalDynamic, SuzukiKasami,
 };
-use qmx_core::{Config, DelayOptimal, Protocol, SiteId};
+use qmx_core::{
+    Config, DelayOptimal, LossModel, Outage, Protocol, Reliable, SiteId, TransportConfig,
+};
 use qmx_quorum::majority::{majority_system, MajorityQuorumSource};
 use qmx_quorum::tree::TreeQuorumSource;
 use qmx_quorum::{crumbling, fpp, grid, gridset, hqc, rst, tree, wheel, QuorumSystem};
@@ -115,9 +117,9 @@ impl QuorumSpec {
             QuorumSpec::Grid => Ok(grid::grid_system(n)),
             QuorumSpec::Fpp => {
                 // Solve q² + q + 1 = n for prime q.
-                let q = (0..=n).find(|&q| q * q + q + 1 == n).ok_or_else(|| {
-                    format!("FPP needs N = q^2+q+1, got {n}")
-                })?;
+                let q = (0..=n)
+                    .find(|&q| q * q + q + 1 == n)
+                    .ok_or_else(|| format!("FPP needs N = q^2+q+1, got {n}"))?;
                 fpp::fpp_system(q).map_err(|e| e.to_string())
             }
             QuorumSpec::Tree => tree::tree_system(n).map_err(|e| e.to_string()),
@@ -158,6 +160,17 @@ pub struct Scenario {
     pub crashes: Vec<(SiteId, u64)>,
     /// Partition schedule: `(group-id per site, time)` pairs.
     pub partitions: Vec<(Vec<u32>, u64)>,
+    /// Heal schedule: times at which the current partition (if any) is
+    /// lifted. See [`qmx_sim::Simulator::schedule_heal`] for semantics.
+    pub heals: Vec<u64>,
+    /// Message-loss/duplication model applied to every link.
+    pub loss: LossModel,
+    /// Per-link transient outage windows.
+    pub outages: Vec<Outage>,
+    /// When `Some`, every site is wrapped in the reliable transport layer
+    /// ([`qmx_core::Reliable`]) with this configuration. Required for
+    /// liveness whenever `loss`/`outages` actually drop messages.
+    pub transport: Option<TransportConfig>,
     /// Failure-detector latency.
     pub detect_delay: u64,
     /// RNG seed (workload and simulator derive from it).
@@ -176,6 +189,10 @@ impl Default for Scenario {
             hold: DelayModel::Constant(100),
             crashes: Vec::new(),
             partitions: Vec::new(),
+            heals: Vec::new(),
+            loss: LossModel::None,
+            outages: Vec::new(),
+            transport: None,
             detect_delay: 2000,
             seed: 0xD15C0,
         }
@@ -211,9 +228,7 @@ impl Scenario {
         let arrivals = self.arrivals.generate(n, self.horizon, self.seed ^ 0xA11CE);
         let quorum_based = matches!(
             self.algorithm,
-            Algorithm::DelayOptimal
-                | Algorithm::DelayOptimalNoForwarding
-                | Algorithm::Maekawa
+            Algorithm::DelayOptimal | Algorithm::DelayOptimalNoForwarding | Algorithm::Maekawa
         );
         let (sys, k) = if quorum_based {
             let sys = self
@@ -285,10 +300,7 @@ impl Scenario {
                 self.drive(
                     (0..n)
                         .map(|i| {
-                            Maekawa::new(
-                                SiteId(i as u32),
-                                sys.quorum_of(SiteId(i as u32)).to_vec(),
-                            )
+                            Maekawa::new(SiteId(i as u32), sys.quorum_of(SiteId(i as u32)).to_vec())
                         })
                         .collect(),
                     &arrivals,
@@ -296,7 +308,9 @@ impl Scenario {
                 )
             }
             Algorithm::Lamport => self.drive(
-                (0..n).map(|i| Lamport::new(SiteId(i as u32), n as u32)).collect(),
+                (0..n)
+                    .map(|i| Lamport::new(SiteId(i as u32), n as u32))
+                    .collect(),
                 &arrivals,
                 k,
             ),
@@ -315,7 +329,9 @@ impl Scenario {
                 k,
             ),
             Algorithm::Raymond => self.drive(
-                (0..n).map(|i| Raymond::new(SiteId(i as u32), n as u32)).collect(),
+                (0..n)
+                    .map(|i| Raymond::new(SiteId(i as u32), n as u32))
+                    .collect(),
                 &arrivals,
                 k,
             ),
@@ -342,6 +358,25 @@ impl Scenario {
         arrivals: &[(SiteId, u64)],
         quorum_size: f64,
     ) -> RunReport {
+        // With a transport config, wrap every site in the reliable layer;
+        // `Reliable<P>` is itself a `Protocol`, so both paths share
+        // `drive_bare`.
+        match &self.transport {
+            Some(tcfg) => self.drive_bare(
+                sites.into_iter().map(|p| Reliable::new(p, *tcfg)).collect(),
+                arrivals,
+                quorum_size,
+            ),
+            None => self.drive_bare(sites, arrivals, quorum_size),
+        }
+    }
+
+    fn drive_bare<P: Protocol>(
+        &self,
+        sites: Vec<P>,
+        arrivals: &[(SiteId, u64)],
+        quorum_size: f64,
+    ) -> RunReport {
         let mut sim = Simulator::new(
             sites,
             SimConfig {
@@ -349,6 +384,8 @@ impl Scenario {
                 hold: self.hold,
                 detect_delay: self.detect_delay,
                 seed: self.seed,
+                loss: self.loss.clone(),
+                outages: self.outages.clone(),
             },
         );
         for &(s, t) in arrivals {
@@ -360,8 +397,14 @@ impl Scenario {
         for (groups, t) in &self.partitions {
             sim.schedule_partition(groups.clone(), *t);
         }
+        for &t in &self.heals {
+            sim.schedule_heal(t);
+        }
         // Let in-flight work drain well past the arrival window.
-        let drain = self.horizon.saturating_mul(4).max(self.horizon + 10_000_000);
+        let drain = self
+            .horizon
+            .saturating_mul(4)
+            .max(self.horizon + 10_000_000);
         sim.run_to_quiescence(drain);
         RunReport::from_metrics(
             self.n,
@@ -396,7 +439,11 @@ mod tests {
     fn every_algorithm_completes_a_light_workload() {
         for alg in Algorithm::ALL {
             // Tree quorums need N = 2^d - 1: use 7 sites there, 9 elsewhere.
-            let n = if alg == Algorithm::DelayOptimalFtTree { 7 } else { 9 };
+            let n = if alg == Algorithm::DelayOptimalFtTree {
+                7
+            } else {
+                9
+            };
             let r = quick(alg, n, QuorumSpec::Grid);
             let expected = n * 10 * 8 / 10; // ≥80% of scheduled arrivals
             assert!(
@@ -426,10 +473,7 @@ mod tests {
         let maek = mk(Algorithm::Maekawa);
         let d = dopt.sync_delay_t.expect("contended samples");
         let m = maek.sync_delay_t.expect("contended samples");
-        assert!(
-            d < m,
-            "delay-optimal {d:.2}T must beat maekawa {m:.2}T"
-        );
+        assert!(d < m, "delay-optimal {d:.2}T must beat maekawa {m:.2}T");
         assert!(d < 1.5, "delay-optimal sync delay {d:.2}T should be near T");
         assert!(m > 1.5, "maekawa sync delay {m:.2}T should be near 2T");
     }
@@ -441,6 +485,57 @@ mod tests {
         assert!(QuorumSpec::Hqc.build(10).is_err());
         assert!(QuorumSpec::Fpp.build(7).is_ok());
         assert!(QuorumSpec::All.build(4).is_ok());
+    }
+
+    #[test]
+    fn lossy_scenario_with_transport_completes() {
+        let r = Scenario {
+            n: 9,
+            arrivals: ArrivalProcess::Periodic {
+                period: 40_000,
+                stagger: 1_500,
+            },
+            horizon: 200_000,
+            loss: LossModel::Iid {
+                drop: 0.10,
+                dup: 0.05,
+            },
+            transport: Some(TransportConfig::default()),
+            ..Scenario::default()
+        }
+        .run();
+        assert_eq!(r.completed, 9 * 5, "completed {}", r.completed);
+        assert!(r.injected_drops > 0, "loss model never fired");
+        assert!(r.injected_dups > 0, "dup model never fired");
+        assert!(r.transport.retransmissions > 0, "no retransmissions");
+        assert!(r.transport.duplicates_dropped > 0, "dedup never engaged");
+    }
+
+    #[test]
+    fn transient_outage_heals_via_scenario_fields() {
+        // One request issued while site 0 -> site 1 is blacked out; the
+        // transport retransmits past the outage and the CS completes.
+        let r = Scenario {
+            n: 3,
+            quorum: QuorumSpec::All,
+            arrivals: ArrivalProcess::Periodic {
+                period: 500_000,
+                stagger: 10,
+            },
+            horizon: 400_000,
+            outages: vec![Outage {
+                from: SiteId(0),
+                to: SiteId(1),
+                start: 0,
+                end: 30_000,
+            }],
+            transport: Some(TransportConfig::default()),
+            detect_delay: u64::MAX / 2, // no failure notices for the blip
+            ..Scenario::default()
+        }
+        .run();
+        assert_eq!(r.completed, 3, "completed {}", r.completed);
+        assert!(r.transport.retransmissions > 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Statistics reduction helpers and the unified run report.
 
-use qmx_core::MsgKind;
+use qmx_core::{MsgKind, TransportCounters};
 use qmx_sim::Metrics;
 use std::collections::BTreeMap;
 
@@ -70,6 +70,13 @@ pub struct RunReport {
     pub throughput_per_t: f64,
     /// Jain fairness over per-site CS counts.
     pub fairness: Option<f64>,
+    /// Messages dropped by the injected fault model.
+    pub injected_drops: u64,
+    /// Messages duplicated by the injected fault model.
+    pub injected_dups: u64,
+    /// Reliable-transport counters summed over all sites (all zero when
+    /// the protocols ran bare, without the transport wrapper).
+    pub transport: TransportCounters,
 }
 
 impl RunReport {
@@ -94,11 +101,19 @@ impl RunReport {
             sync_samples: sync.len(),
             response_time_t: m.mean_response_time().map(|d| d / t),
             waiting_time_t: {
-                let w: Vec<f64> = m.records().iter().map(|r| r.waiting_time() as f64).collect();
+                let w: Vec<f64> = m
+                    .records()
+                    .iter()
+                    .map(|r| r.waiting_time() as f64)
+                    .collect();
                 mean(&w).map(|x| x / t)
             },
             response_p99_t: {
-                let resp: Vec<f64> = m.records().iter().map(|r| r.response_time() as f64).collect();
+                let resp: Vec<f64> = m
+                    .records()
+                    .iter()
+                    .map(|r| r.response_time() as f64)
+                    .collect();
                 percentile(&resp, 99).map(|x| x / t)
             },
             throughput_per_t: if elapsed == 0 {
@@ -107,6 +122,9 @@ impl RunReport {
                 m.completed_cs() as f64 * t / elapsed as f64
             },
             fairness: jain_fairness(&counts),
+            injected_drops: m.injected_drops(),
+            injected_dups: m.injected_dups(),
+            transport: *m.transport(),
         }
     }
 }

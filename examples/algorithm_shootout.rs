@@ -24,9 +24,7 @@ fn main() {
         .map(|a| a.parse().expect("gap must be an integer number of T"))
         .unwrap_or(5);
 
-    println!(
-        "{n} sites, Poisson arrivals with mean gap {gap_t}T, T = {T} ticks, E = 0.1T\n"
-    );
+    println!("{n} sites, Poisson arrivals with mean gap {gap_t}T, T = {T} ticks, E = 0.1T\n");
     println!(
         "{:<22} {:>6} {:>10} {:>12} {:>12} {:>10}",
         "algorithm", "K", "msgs/CS", "sync (T)", "resp (T)", "fairness"
@@ -45,7 +43,9 @@ fn main() {
             n,
             algorithm: alg,
             quorum: QuorumSpec::Grid,
-            arrivals: ArrivalProcess::Poisson { mean_gap: gap_t * T },
+            arrivals: ArrivalProcess::Poisson {
+                mean_gap: gap_t * T,
+            },
             horizon: 2_000 * T,
             delay: DelayModel::Constant(T),
             hold: DelayModel::Constant(T / 10),
@@ -63,5 +63,7 @@ fn main() {
             fmt(r.fairness),
         );
     }
-    println!("\n(the proposed algorithm should pair quorum-sized message counts with ~T sync delay)");
+    println!(
+        "\n(the proposed algorithm should pair quorum-sized message counts with ~T sync delay)"
+    );
 }

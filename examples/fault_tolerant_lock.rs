@@ -82,7 +82,10 @@ fn main() {
     let horizon = 600 * T;
 
     println!("lock service over {n} sites, site 1 crashes at t = 200T\n");
-    for (label, ft) in [("fault-tolerant (tree reconstruction)", true), ("fixed quorums", false)] {
+    for (label, ft) in [
+        ("fault-tolerant (tree reconstruction)", true),
+        ("fixed quorums", false),
+    ] {
         let (before, after, per_site) = run(ft, n, crash_at, horizon);
         println!("{label}:");
         println!("  lock grants before crash : {before}");

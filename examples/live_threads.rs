@@ -41,5 +41,8 @@ fn main() {
     println!("messages per CS         : {:.2}", messages_per_cs(&out));
     println!("wall-clock              : {:?}", out.elapsed);
     assert_eq!(out.completed, n * rounds);
-    println!("\nmutual exclusion held across all {} entries (monitored live)", out.completed);
+    println!(
+        "\nmutual exclusion held across all {} entries (monitored live)",
+        out.completed
+    );
 }

@@ -108,7 +108,10 @@ fn main() {
         Ok(_) => panic!("the broken protocol must not verify"),
         Err(Violation::MutualExclusion { trace, sites }) => {
             println!("broken 'first reply wins' protocol: counterexample found");
-            println!("  {} and {} end up in the CS together via:", sites.0, sites.1);
+            println!(
+                "  {} and {} end up in the CS together via:",
+                sites.0, sites.1
+            );
             for a in trace {
                 println!("    {a}");
             }

@@ -53,7 +53,10 @@ fn main() {
         m.messages_per_cs().expect("completions")
     );
     if let Some(d) = m.mean_sync_delay() {
-        println!("mean sync delay         : {:.2} T (Maekawa would be 2T)", d / 1000.0);
+        println!(
+            "mean sync delay         : {:.2} T (Maekawa would be 2T)",
+            d / 1000.0
+        );
     }
     println!("\nper-kind message counts:");
     for (kind, count) in m.messages_by_kind() {

@@ -63,8 +63,7 @@ fn run_coordinated(n: usize, increments_per_site: usize) -> (u64, u64) {
         .collect();
     let mut replicas = vec![Replica { value: 0 }; n];
     let mut remaining: Vec<usize> = vec![increments_per_site; n];
-    let mut inflight: VecDeque<(SiteId, SiteId, <DelayOptimal as Protocol>::Msg)> =
-        VecDeque::new();
+    let mut inflight: VecDeque<(SiteId, SiteId, <DelayOptimal as Protocol>::Msg)> = VecDeque::new();
     let mut messages = 0u64;
 
     // Synchronous event loop: issue requests whenever idle, deliver

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-76567cef72c632fc.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-76567cef72c632fc: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

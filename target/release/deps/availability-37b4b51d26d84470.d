@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/availability-37b4b51d26d84470.d: crates/bench/src/bin/availability.rs
+
+/root/repo/target/release/deps/availability-37b4b51d26d84470: crates/bench/src/bin/availability.rs
+
+crates/bench/src/bin/availability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/case_analysis-44d10f35f8945dfc.d: crates/core/tests/case_analysis.rs
+
+/root/repo/target/release/deps/case_analysis-44d10f35f8945dfc: crates/core/tests/case_analysis.rs
+
+crates/core/tests/case_analysis.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-3bc05d8da51e4f2f.d: crates/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-3bc05d8da51e4f2f.rlib: crates/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-3bc05d8da51e4f2f.rmeta: crates/vendor/crossbeam/src/lib.rs
+
+crates/vendor/crossbeam/src/lib.rs:

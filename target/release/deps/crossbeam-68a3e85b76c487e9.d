@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-68a3e85b76c487e9.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-68a3e85b76c487e9: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

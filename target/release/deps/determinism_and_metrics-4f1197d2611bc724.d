@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism_and_metrics-4f1197d2611bc724.d: tests/determinism_and_metrics.rs
+
+/root/repo/target/release/deps/determinism_and_metrics-4f1197d2611bc724: tests/determinism_and_metrics.rs
+
+tests/determinism_and_metrics.rs:

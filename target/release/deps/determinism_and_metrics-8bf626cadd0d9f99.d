@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/determinism_and_metrics-8bf626cadd0d9f99.d: tests/determinism_and_metrics.rs Cargo.toml
+
+/root/repo/target/release/deps/libdeterminism_and_metrics-8bf626cadd0d9f99.rmeta: tests/determinism_and_metrics.rs Cargo.toml
+
+tests/determinism_and_metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

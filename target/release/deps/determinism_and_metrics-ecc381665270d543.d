@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism_and_metrics-ecc381665270d543.d: tests/determinism_and_metrics.rs
+
+/root/repo/target/release/deps/determinism_and_metrics-ecc381665270d543: tests/determinism_and_metrics.rs
+
+tests/determinism_and_metrics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exhaustive-a3c0a9b7698866b1.d: crates/check/tests/exhaustive.rs
+
+/root/repo/target/release/deps/exhaustive-a3c0a9b7698866b1: crates/check/tests/exhaustive.rs
+
+crates/check/tests/exhaustive.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fault_injection-1c8f67786d50a022.d: tests/fault_injection.rs Cargo.toml
+
+/root/repo/target/release/deps/libfault_injection-1c8f67786d50a022.rmeta: tests/fault_injection.rs Cargo.toml
+
+tests/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_injection-6aff70657e1d09ed.d: tests/fault_injection.rs
+
+/root/repo/target/release/deps/fault_injection-6aff70657e1d09ed: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_injection-85329485ed1a444a.d: tests/fault_injection.rs
+
+/root/repo/target/release/deps/fault_injection-85329485ed1a444a: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/faulttolerance-a6998f2b5d988af8.d: crates/bench/src/bin/faulttolerance.rs
+
+/root/repo/target/release/deps/faulttolerance-a6998f2b5d988af8: crates/bench/src/bin/faulttolerance.rs
+
+crates/bench/src/bin/faulttolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/heavyload-caae1f7c0bb6ddb9.d: crates/bench/src/bin/heavyload.rs
+
+/root/repo/target/release/deps/heavyload-caae1f7c0bb6ddb9: crates/bench/src/bin/heavyload.rs
+
+crates/bench/src/bin/heavyload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/holdsweep-e557c5934f107cb2.d: crates/bench/src/bin/holdsweep.rs
+
+/root/repo/target/release/deps/holdsweep-e557c5934f107cb2: crates/bench/src/bin/holdsweep.rs
+
+crates/bench/src/bin/holdsweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/invariants-3b57a9e7d18f657e.d: tests/invariants.rs
+
+/root/repo/target/release/deps/invariants-3b57a9e7d18f657e: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/invariants-8d67c682d83b90e4.d: tests/invariants.rs
+
+/root/repo/target/release/deps/invariants-8d67c682d83b90e4: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/invariants-9753acef32d61898.d: tests/invariants.rs Cargo.toml
+
+/root/repo/target/release/deps/libinvariants-9753acef32d61898.rmeta: tests/invariants.rs Cargo.toml
+
+tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

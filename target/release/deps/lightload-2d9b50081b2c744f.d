@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lightload-2d9b50081b2c744f.d: crates/bench/src/bin/lightload.rs
+
+/root/repo/target/release/deps/lightload-2d9b50081b2c744f: crates/bench/src/bin/lightload.rs
+
+crates/bench/src/bin/lightload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/message_paths-7390bca667e08905.d: crates/baselines/tests/message_paths.rs
+
+/root/repo/target/release/deps/message_paths-7390bca667e08905: crates/baselines/tests/message_paths.rs
+
+crates/baselines/tests/message_paths.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/msgscaling-0a4a6fa136007a3a.d: crates/bench/src/bin/msgscaling.rs
+
+/root/repo/target/release/deps/msgscaling-0a4a6fa136007a3a: crates/bench/src/bin/msgscaling.rs
+
+crates/bench/src/bin/msgscaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parking_lot-11eb4e8daa8150c9.d: vendor/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libparking_lot-11eb4e8daa8150c9.rmeta: vendor/parking_lot/src/lib.rs Cargo.toml
+
+vendor/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-e16b8d6a380cfaab.d: crates/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e16b8d6a380cfaab.rlib: crates/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e16b8d6a380cfaab.rmeta: crates/vendor/parking_lot/src/lib.rs
+
+crates/vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_random_runs-027904f84eb58c75.d: tests/proptest_random_runs.rs
+
+/root/repo/target/release/deps/proptest_random_runs-027904f84eb58c75: tests/proptest_random_runs.rs
+
+tests/proptest_random_runs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest_random_runs-3f0f7a122536a384.d: tests/proptest_random_runs.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest_random_runs-3f0f7a122536a384.rmeta: tests/proptest_random_runs.rs Cargo.toml
+
+tests/proptest_random_runs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

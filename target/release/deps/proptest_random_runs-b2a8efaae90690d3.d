@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_random_runs-b2a8efaae90690d3.d: tests/proptest_random_runs.rs
+
+/root/repo/target/release/deps/proptest_random_runs-b2a8efaae90690d3: tests/proptest_random_runs.rs
+
+tests/proptest_random_runs.rs:

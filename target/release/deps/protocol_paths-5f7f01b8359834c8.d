@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/protocol_paths-5f7f01b8359834c8.d: crates/core/tests/protocol_paths.rs
+
+/root/repo/target/release/deps/protocol_paths-5f7f01b8359834c8: crates/core/tests/protocol_paths.rs
+
+crates/core/tests/protocol_paths.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qmx-039c827323c2f9b3.d: src/lib.rs
+
+/root/repo/target/release/deps/qmx-039c827323c2f9b3: src/lib.rs
+
+src/lib.rs:

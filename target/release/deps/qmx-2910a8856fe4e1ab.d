@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qmx-2910a8856fe4e1ab.d: src/lib.rs
+
+/root/repo/target/release/deps/libqmx-2910a8856fe4e1ab.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libqmx-2910a8856fe4e1ab.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qmx-8a0fbdb62a7fb1e0.d: src/lib.rs
+
+/root/repo/target/release/deps/libqmx-8a0fbdb62a7fb1e0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libqmx-8a0fbdb62a7fb1e0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qmx-f8d055a09bba823f.d: src/lib.rs
+
+/root/repo/target/release/deps/qmx-f8d055a09bba823f: src/lib.rs
+
+src/lib.rs:

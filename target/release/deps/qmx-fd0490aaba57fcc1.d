@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qmx-fd0490aaba57fcc1.d: src/lib.rs
+
+/root/repo/target/release/deps/libqmx-fd0490aaba57fcc1.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libqmx-fd0490aaba57fcc1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qmx-fe13aa0a71c2d0fc.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libqmx-fe13aa0a71c2d0fc.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/qmx_baselines-303188f6f4443535.d: crates/baselines/src/lib.rs crates/baselines/src/carvalho_roucairol.rs crates/baselines/src/lamport.rs crates/baselines/src/maekawa.rs crates/baselines/src/raymond.rs crates/baselines/src/ricart_agrawala.rs crates/baselines/src/singhal_dynamic.rs crates/baselines/src/suzuki_kasami.rs Cargo.toml
+
+/root/repo/target/release/deps/libqmx_baselines-303188f6f4443535.rmeta: crates/baselines/src/lib.rs crates/baselines/src/carvalho_roucairol.rs crates/baselines/src/lamport.rs crates/baselines/src/maekawa.rs crates/baselines/src/raymond.rs crates/baselines/src/ricart_agrawala.rs crates/baselines/src/singhal_dynamic.rs crates/baselines/src/suzuki_kasami.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/carvalho_roucairol.rs:
+crates/baselines/src/lamport.rs:
+crates/baselines/src/maekawa.rs:
+crates/baselines/src/raymond.rs:
+crates/baselines/src/ricart_agrawala.rs:
+crates/baselines/src/singhal_dynamic.rs:
+crates/baselines/src/suzuki_kasami.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/qmx_baselines-d896ad0b93faba03.d: crates/baselines/src/lib.rs crates/baselines/src/carvalho_roucairol.rs crates/baselines/src/lamport.rs crates/baselines/src/maekawa.rs crates/baselines/src/raymond.rs crates/baselines/src/ricart_agrawala.rs crates/baselines/src/singhal_dynamic.rs crates/baselines/src/suzuki_kasami.rs crates/baselines/src/testutil.rs
+
+/root/repo/target/release/deps/qmx_baselines-d896ad0b93faba03: crates/baselines/src/lib.rs crates/baselines/src/carvalho_roucairol.rs crates/baselines/src/lamport.rs crates/baselines/src/maekawa.rs crates/baselines/src/raymond.rs crates/baselines/src/ricart_agrawala.rs crates/baselines/src/singhal_dynamic.rs crates/baselines/src/suzuki_kasami.rs crates/baselines/src/testutil.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/carvalho_roucairol.rs:
+crates/baselines/src/lamport.rs:
+crates/baselines/src/maekawa.rs:
+crates/baselines/src/raymond.rs:
+crates/baselines/src/ricart_agrawala.rs:
+crates/baselines/src/singhal_dynamic.rs:
+crates/baselines/src/suzuki_kasami.rs:
+crates/baselines/src/testutil.rs:

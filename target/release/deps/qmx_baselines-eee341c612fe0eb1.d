@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qmx_baselines-eee341c612fe0eb1.d: crates/baselines/src/lib.rs crates/baselines/src/carvalho_roucairol.rs crates/baselines/src/lamport.rs crates/baselines/src/maekawa.rs crates/baselines/src/raymond.rs crates/baselines/src/ricart_agrawala.rs crates/baselines/src/singhal_dynamic.rs crates/baselines/src/suzuki_kasami.rs
+
+/root/repo/target/release/deps/libqmx_baselines-eee341c612fe0eb1.rlib: crates/baselines/src/lib.rs crates/baselines/src/carvalho_roucairol.rs crates/baselines/src/lamport.rs crates/baselines/src/maekawa.rs crates/baselines/src/raymond.rs crates/baselines/src/ricart_agrawala.rs crates/baselines/src/singhal_dynamic.rs crates/baselines/src/suzuki_kasami.rs
+
+/root/repo/target/release/deps/libqmx_baselines-eee341c612fe0eb1.rmeta: crates/baselines/src/lib.rs crates/baselines/src/carvalho_roucairol.rs crates/baselines/src/lamport.rs crates/baselines/src/maekawa.rs crates/baselines/src/raymond.rs crates/baselines/src/ricart_agrawala.rs crates/baselines/src/singhal_dynamic.rs crates/baselines/src/suzuki_kasami.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/carvalho_roucairol.rs:
+crates/baselines/src/lamport.rs:
+crates/baselines/src/maekawa.rs:
+crates/baselines/src/raymond.rs:
+crates/baselines/src/ricart_agrawala.rs:
+crates/baselines/src/singhal_dynamic.rs:
+crates/baselines/src/suzuki_kasami.rs:

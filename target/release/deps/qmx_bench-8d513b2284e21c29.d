@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qmx_bench-8d513b2284e21c29.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libqmx_bench-8d513b2284e21c29.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libqmx_bench-8d513b2284e21c29.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qmx_check-193918c91e1a4026.d: crates/check/src/lib.rs
+
+/root/repo/target/release/deps/libqmx_check-193918c91e1a4026.rlib: crates/check/src/lib.rs
+
+/root/repo/target/release/deps/libqmx_check-193918c91e1a4026.rmeta: crates/check/src/lib.rs
+
+crates/check/src/lib.rs:

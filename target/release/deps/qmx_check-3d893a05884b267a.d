@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qmx_check-3d893a05884b267a.d: crates/check/src/lib.rs
+
+/root/repo/target/release/deps/libqmx_check-3d893a05884b267a.rlib: crates/check/src/lib.rs
+
+/root/repo/target/release/deps/libqmx_check-3d893a05884b267a.rmeta: crates/check/src/lib.rs
+
+crates/check/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qmx_check-a148beec22dfb0b9.d: crates/check/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libqmx_check-a148beec22dfb0b9.rmeta: crates/check/src/lib.rs Cargo.toml
+
+crates/check/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

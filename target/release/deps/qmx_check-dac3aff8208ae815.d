@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qmx_check-dac3aff8208ae815.d: crates/check/src/lib.rs
+
+/root/repo/target/release/deps/qmx_check-dac3aff8208ae815: crates/check/src/lib.rs
+
+crates/check/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qmx_cli-09488cab34d19016.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/libqmx_cli-09488cab34d19016.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/libqmx_cli-09488cab34d19016.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

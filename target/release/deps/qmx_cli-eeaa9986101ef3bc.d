@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qmx_cli-eeaa9986101ef3bc.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/qmx_cli-eeaa9986101ef3bc: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

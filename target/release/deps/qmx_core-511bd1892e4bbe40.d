@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qmx_core-511bd1892e4bbe40.d: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/delay_optimal.rs crates/core/src/protocol.rs crates/core/src/reqqueue.rs
+
+/root/repo/target/release/deps/libqmx_core-511bd1892e4bbe40.rlib: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/delay_optimal.rs crates/core/src/protocol.rs crates/core/src/reqqueue.rs
+
+/root/repo/target/release/deps/libqmx_core-511bd1892e4bbe40.rmeta: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/delay_optimal.rs crates/core/src/protocol.rs crates/core/src/reqqueue.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clock.rs:
+crates/core/src/delay_optimal.rs:
+crates/core/src/protocol.rs:
+crates/core/src/reqqueue.rs:

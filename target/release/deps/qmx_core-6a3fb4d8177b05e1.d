@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/qmx_core-6a3fb4d8177b05e1.d: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/delay_optimal.rs crates/core/src/protocol.rs crates/core/src/reqqueue.rs crates/core/src/transport.rs
+
+/root/repo/target/release/deps/qmx_core-6a3fb4d8177b05e1: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/delay_optimal.rs crates/core/src/protocol.rs crates/core/src/reqqueue.rs crates/core/src/transport.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clock.rs:
+crates/core/src/delay_optimal.rs:
+crates/core/src/protocol.rs:
+crates/core/src/reqqueue.rs:
+crates/core/src/transport.rs:

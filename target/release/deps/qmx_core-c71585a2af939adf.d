@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qmx_core-c71585a2af939adf.d: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/delay_optimal.rs crates/core/src/protocol.rs crates/core/src/reqqueue.rs crates/core/src/transport.rs Cargo.toml
+
+/root/repo/target/release/deps/libqmx_core-c71585a2af939adf.rmeta: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/delay_optimal.rs crates/core/src/protocol.rs crates/core/src/reqqueue.rs crates/core/src/transport.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/clock.rs:
+crates/core/src/delay_optimal.rs:
+crates/core/src/protocol.rs:
+crates/core/src/reqqueue.rs:
+crates/core/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

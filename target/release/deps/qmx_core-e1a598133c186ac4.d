@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qmx_core-e1a598133c186ac4.d: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/delay_optimal.rs crates/core/src/protocol.rs crates/core/src/reqqueue.rs crates/core/src/transport.rs
+
+/root/repo/target/release/deps/libqmx_core-e1a598133c186ac4.rlib: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/delay_optimal.rs crates/core/src/protocol.rs crates/core/src/reqqueue.rs crates/core/src/transport.rs
+
+/root/repo/target/release/deps/libqmx_core-e1a598133c186ac4.rmeta: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/delay_optimal.rs crates/core/src/protocol.rs crates/core/src/reqqueue.rs crates/core/src/transport.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clock.rs:
+crates/core/src/delay_optimal.rs:
+crates/core/src/protocol.rs:
+crates/core/src/reqqueue.rs:
+crates/core/src/transport.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/qmx_quorum-02adfcc2ab7e3c39.d: crates/quorum/src/lib.rs crates/quorum/src/availability.rs crates/quorum/src/coterie.rs crates/quorum/src/crumbling.rs crates/quorum/src/domination.rs crates/quorum/src/fpp.rs crates/quorum/src/grid.rs crates/quorum/src/gridset.rs crates/quorum/src/hqc.rs crates/quorum/src/majority.rs crates/quorum/src/rst.rs crates/quorum/src/tree.rs crates/quorum/src/wheel.rs Cargo.toml
+
+/root/repo/target/release/deps/libqmx_quorum-02adfcc2ab7e3c39.rmeta: crates/quorum/src/lib.rs crates/quorum/src/availability.rs crates/quorum/src/coterie.rs crates/quorum/src/crumbling.rs crates/quorum/src/domination.rs crates/quorum/src/fpp.rs crates/quorum/src/grid.rs crates/quorum/src/gridset.rs crates/quorum/src/hqc.rs crates/quorum/src/majority.rs crates/quorum/src/rst.rs crates/quorum/src/tree.rs crates/quorum/src/wheel.rs Cargo.toml
+
+crates/quorum/src/lib.rs:
+crates/quorum/src/availability.rs:
+crates/quorum/src/coterie.rs:
+crates/quorum/src/crumbling.rs:
+crates/quorum/src/domination.rs:
+crates/quorum/src/fpp.rs:
+crates/quorum/src/grid.rs:
+crates/quorum/src/gridset.rs:
+crates/quorum/src/hqc.rs:
+crates/quorum/src/majority.rs:
+crates/quorum/src/rst.rs:
+crates/quorum/src/tree.rs:
+crates/quorum/src/wheel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

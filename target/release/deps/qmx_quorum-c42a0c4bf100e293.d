@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/qmx_quorum-c42a0c4bf100e293.d: crates/quorum/src/lib.rs crates/quorum/src/availability.rs crates/quorum/src/coterie.rs crates/quorum/src/crumbling.rs crates/quorum/src/domination.rs crates/quorum/src/fpp.rs crates/quorum/src/grid.rs crates/quorum/src/gridset.rs crates/quorum/src/hqc.rs crates/quorum/src/majority.rs crates/quorum/src/rst.rs crates/quorum/src/tree.rs crates/quorum/src/wheel.rs
+
+/root/repo/target/release/deps/libqmx_quorum-c42a0c4bf100e293.rlib: crates/quorum/src/lib.rs crates/quorum/src/availability.rs crates/quorum/src/coterie.rs crates/quorum/src/crumbling.rs crates/quorum/src/domination.rs crates/quorum/src/fpp.rs crates/quorum/src/grid.rs crates/quorum/src/gridset.rs crates/quorum/src/hqc.rs crates/quorum/src/majority.rs crates/quorum/src/rst.rs crates/quorum/src/tree.rs crates/quorum/src/wheel.rs
+
+/root/repo/target/release/deps/libqmx_quorum-c42a0c4bf100e293.rmeta: crates/quorum/src/lib.rs crates/quorum/src/availability.rs crates/quorum/src/coterie.rs crates/quorum/src/crumbling.rs crates/quorum/src/domination.rs crates/quorum/src/fpp.rs crates/quorum/src/grid.rs crates/quorum/src/gridset.rs crates/quorum/src/hqc.rs crates/quorum/src/majority.rs crates/quorum/src/rst.rs crates/quorum/src/tree.rs crates/quorum/src/wheel.rs
+
+crates/quorum/src/lib.rs:
+crates/quorum/src/availability.rs:
+crates/quorum/src/coterie.rs:
+crates/quorum/src/crumbling.rs:
+crates/quorum/src/domination.rs:
+crates/quorum/src/fpp.rs:
+crates/quorum/src/grid.rs:
+crates/quorum/src/gridset.rs:
+crates/quorum/src/hqc.rs:
+crates/quorum/src/majority.rs:
+crates/quorum/src/rst.rs:
+crates/quorum/src/tree.rs:
+crates/quorum/src/wheel.rs:

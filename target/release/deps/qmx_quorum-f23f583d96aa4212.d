@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/qmx_quorum-f23f583d96aa4212.d: crates/quorum/src/lib.rs crates/quorum/src/availability.rs crates/quorum/src/coterie.rs crates/quorum/src/crumbling.rs crates/quorum/src/domination.rs crates/quorum/src/fpp.rs crates/quorum/src/grid.rs crates/quorum/src/gridset.rs crates/quorum/src/hqc.rs crates/quorum/src/majority.rs crates/quorum/src/rst.rs crates/quorum/src/tree.rs crates/quorum/src/wheel.rs
+
+/root/repo/target/release/deps/qmx_quorum-f23f583d96aa4212: crates/quorum/src/lib.rs crates/quorum/src/availability.rs crates/quorum/src/coterie.rs crates/quorum/src/crumbling.rs crates/quorum/src/domination.rs crates/quorum/src/fpp.rs crates/quorum/src/grid.rs crates/quorum/src/gridset.rs crates/quorum/src/hqc.rs crates/quorum/src/majority.rs crates/quorum/src/rst.rs crates/quorum/src/tree.rs crates/quorum/src/wheel.rs
+
+crates/quorum/src/lib.rs:
+crates/quorum/src/availability.rs:
+crates/quorum/src/coterie.rs:
+crates/quorum/src/crumbling.rs:
+crates/quorum/src/domination.rs:
+crates/quorum/src/fpp.rs:
+crates/quorum/src/grid.rs:
+crates/quorum/src/gridset.rs:
+crates/quorum/src/hqc.rs:
+crates/quorum/src/majority.rs:
+crates/quorum/src/rst.rs:
+crates/quorum/src/tree.rs:
+crates/quorum/src/wheel.rs:

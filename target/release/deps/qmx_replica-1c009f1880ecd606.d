@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qmx_replica-1c009f1880ecd606.d: crates/replica/src/lib.rs crates/replica/src/kv.rs crates/replica/src/register.rs crates/replica/src/sim.rs Cargo.toml
+
+/root/repo/target/release/deps/libqmx_replica-1c009f1880ecd606.rmeta: crates/replica/src/lib.rs crates/replica/src/kv.rs crates/replica/src/register.rs crates/replica/src/sim.rs Cargo.toml
+
+crates/replica/src/lib.rs:
+crates/replica/src/kv.rs:
+crates/replica/src/register.rs:
+crates/replica/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/qmx_replica-7b97fe94bb47bab7.d: crates/replica/src/lib.rs crates/replica/src/kv.rs crates/replica/src/register.rs crates/replica/src/sim.rs
+
+/root/repo/target/release/deps/libqmx_replica-7b97fe94bb47bab7.rlib: crates/replica/src/lib.rs crates/replica/src/kv.rs crates/replica/src/register.rs crates/replica/src/sim.rs
+
+/root/repo/target/release/deps/libqmx_replica-7b97fe94bb47bab7.rmeta: crates/replica/src/lib.rs crates/replica/src/kv.rs crates/replica/src/register.rs crates/replica/src/sim.rs
+
+crates/replica/src/lib.rs:
+crates/replica/src/kv.rs:
+crates/replica/src/register.rs:
+crates/replica/src/sim.rs:

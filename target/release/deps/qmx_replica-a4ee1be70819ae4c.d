@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/qmx_replica-a4ee1be70819ae4c.d: crates/replica/src/lib.rs crates/replica/src/kv.rs crates/replica/src/register.rs crates/replica/src/sim.rs
+
+/root/repo/target/release/deps/qmx_replica-a4ee1be70819ae4c: crates/replica/src/lib.rs crates/replica/src/kv.rs crates/replica/src/register.rs crates/replica/src/sim.rs
+
+crates/replica/src/lib.rs:
+crates/replica/src/kv.rs:
+crates/replica/src/register.rs:
+crates/replica/src/sim.rs:

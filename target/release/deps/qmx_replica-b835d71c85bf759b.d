@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/qmx_replica-b835d71c85bf759b.d: crates/replica/src/lib.rs crates/replica/src/kv.rs crates/replica/src/register.rs crates/replica/src/sim.rs
+
+/root/repo/target/release/deps/libqmx_replica-b835d71c85bf759b.rlib: crates/replica/src/lib.rs crates/replica/src/kv.rs crates/replica/src/register.rs crates/replica/src/sim.rs
+
+/root/repo/target/release/deps/libqmx_replica-b835d71c85bf759b.rmeta: crates/replica/src/lib.rs crates/replica/src/kv.rs crates/replica/src/register.rs crates/replica/src/sim.rs
+
+crates/replica/src/lib.rs:
+crates/replica/src/kv.rs:
+crates/replica/src/register.rs:
+crates/replica/src/sim.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/qmx_runtime-0fa3430259a572e6.d: crates/runtime/src/lib.rs crates/runtime/src/net.rs Cargo.toml
+
+/root/repo/target/release/deps/libqmx_runtime-0fa3430259a572e6.rmeta: crates/runtime/src/lib.rs crates/runtime/src/net.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/net.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/qmx_runtime-16bed792b89b03fa.d: crates/runtime/src/lib.rs crates/runtime/src/net.rs
+
+/root/repo/target/release/deps/libqmx_runtime-16bed792b89b03fa.rlib: crates/runtime/src/lib.rs crates/runtime/src/net.rs
+
+/root/repo/target/release/deps/libqmx_runtime-16bed792b89b03fa.rmeta: crates/runtime/src/lib.rs crates/runtime/src/net.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/net.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/qmx_runtime-17daebbd211b79fc.d: crates/runtime/src/lib.rs crates/runtime/src/net.rs
+
+/root/repo/target/release/deps/libqmx_runtime-17daebbd211b79fc.rlib: crates/runtime/src/lib.rs crates/runtime/src/net.rs
+
+/root/repo/target/release/deps/libqmx_runtime-17daebbd211b79fc.rmeta: crates/runtime/src/lib.rs crates/runtime/src/net.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/net.rs:

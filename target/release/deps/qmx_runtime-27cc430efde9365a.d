@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/qmx_runtime-27cc430efde9365a.d: crates/runtime/src/lib.rs crates/runtime/src/net.rs
+
+/root/repo/target/release/deps/qmx_runtime-27cc430efde9365a: crates/runtime/src/lib.rs crates/runtime/src/net.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/net.rs:

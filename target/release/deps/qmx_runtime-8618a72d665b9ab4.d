@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/qmx_runtime-8618a72d665b9ab4.d: crates/runtime/src/lib.rs crates/runtime/src/net.rs
+
+/root/repo/target/release/deps/libqmx_runtime-8618a72d665b9ab4.rlib: crates/runtime/src/lib.rs crates/runtime/src/net.rs
+
+/root/repo/target/release/deps/libqmx_runtime-8618a72d665b9ab4.rmeta: crates/runtime/src/lib.rs crates/runtime/src/net.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/net.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/qmx_runtime-c14d0d0dfee46aef.d: crates/runtime/src/lib.rs crates/runtime/src/net.rs
+
+/root/repo/target/release/deps/qmx_runtime-c14d0d0dfee46aef: crates/runtime/src/lib.rs crates/runtime/src/net.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/net.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qmx_sim-7819ccfc40a6ab4f.d: crates/sim/src/lib.rs crates/sim/src/delay.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libqmx_sim-7819ccfc40a6ab4f.rlib: crates/sim/src/lib.rs crates/sim/src/delay.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libqmx_sim-7819ccfc40a6ab4f.rmeta: crates/sim/src/lib.rs crates/sim/src/delay.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/delay.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/qmx_sim-81db908f50cc08bb.d: crates/sim/src/lib.rs crates/sim/src/delay.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/release/deps/libqmx_sim-81db908f50cc08bb.rmeta: crates/sim/src/lib.rs crates/sim/src/delay.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/delay.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qmx_sim-a058a02d01e4c0f1.d: crates/sim/src/lib.rs crates/sim/src/delay.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/qmx_sim-a058a02d01e4c0f1: crates/sim/src/lib.rs crates/sim/src/delay.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/delay.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qmx_sim-cc2eaf91df46d81a.d: crates/sim/src/lib.rs crates/sim/src/delay.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libqmx_sim-cc2eaf91df46d81a.rlib: crates/sim/src/lib.rs crates/sim/src/delay.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libqmx_sim-cc2eaf91df46d81a.rmeta: crates/sim/src/lib.rs crates/sim/src/delay.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/delay.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/trace.rs:

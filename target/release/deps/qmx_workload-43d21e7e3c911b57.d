@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qmx_workload-43d21e7e3c911b57.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/replicate.rs crates/workload/src/scenario.rs crates/workload/src/stats.rs
+
+/root/repo/target/release/deps/qmx_workload-43d21e7e3c911b57: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/replicate.rs crates/workload/src/scenario.rs crates/workload/src/stats.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/replicate.rs:
+crates/workload/src/scenario.rs:
+crates/workload/src/stats.rs:

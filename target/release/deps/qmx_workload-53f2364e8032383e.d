@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qmx_workload-53f2364e8032383e.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/replicate.rs crates/workload/src/scenario.rs crates/workload/src/stats.rs
+
+/root/repo/target/release/deps/libqmx_workload-53f2364e8032383e.rlib: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/replicate.rs crates/workload/src/scenario.rs crates/workload/src/stats.rs
+
+/root/repo/target/release/deps/libqmx_workload-53f2364e8032383e.rmeta: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/replicate.rs crates/workload/src/scenario.rs crates/workload/src/stats.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/replicate.rs:
+crates/workload/src/scenario.rs:
+crates/workload/src/stats.rs:

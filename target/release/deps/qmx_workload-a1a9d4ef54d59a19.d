@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/qmx_workload-a1a9d4ef54d59a19.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/replicate.rs crates/workload/src/scenario.rs crates/workload/src/stats.rs Cargo.toml
+
+/root/repo/target/release/deps/libqmx_workload-a1a9d4ef54d59a19.rmeta: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/replicate.rs crates/workload/src/scenario.rs crates/workload/src/stats.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/replicate.rs:
+crates/workload/src/scenario.rs:
+crates/workload/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

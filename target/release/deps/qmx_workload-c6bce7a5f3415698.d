@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qmx_workload-c6bce7a5f3415698.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/replicate.rs crates/workload/src/scenario.rs crates/workload/src/stats.rs
+
+/root/repo/target/release/deps/libqmx_workload-c6bce7a5f3415698.rlib: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/replicate.rs crates/workload/src/scenario.rs crates/workload/src/stats.rs
+
+/root/repo/target/release/deps/libqmx_workload-c6bce7a5f3415698.rmeta: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/replicate.rs crates/workload/src/scenario.rs crates/workload/src/stats.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/replicate.rs:
+crates/workload/src/scenario.rs:
+crates/workload/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qmxctl-8cf6c6a2a46460b4.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/qmxctl-8cf6c6a2a46460b4: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

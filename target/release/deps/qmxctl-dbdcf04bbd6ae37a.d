@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qmxctl-dbdcf04bbd6ae37a.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/qmxctl-dbdcf04bbd6ae37a: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quorum_properties-1aff9bfee97ecbbd.d: tests/quorum_properties.rs
+
+/root/repo/target/release/deps/quorum_properties-1aff9bfee97ecbbd: tests/quorum_properties.rs
+
+tests/quorum_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quorum_properties-36334f2a3805d4ec.d: tests/quorum_properties.rs
+
+/root/repo/target/release/deps/quorum_properties-36334f2a3805d4ec: tests/quorum_properties.rs
+
+tests/quorum_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/quorum_properties-72590555a858d1f9.d: tests/quorum_properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libquorum_properties-72590555a858d1f9.rmeta: tests/quorum_properties.rs Cargo.toml
+
+tests/quorum_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

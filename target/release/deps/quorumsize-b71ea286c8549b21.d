@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quorumsize-b71ea286c8549b21.d: crates/bench/src/bin/quorumsize.rs
+
+/root/repo/target/release/deps/quorumsize-b71ea286c8549b21: crates/bench/src/bin/quorumsize.rs
+
+crates/bench/src/bin/quorumsize.rs:

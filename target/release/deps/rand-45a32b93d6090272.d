@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-45a32b93d6090272.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-45a32b93d6090272.rlib: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-45a32b93d6090272.rmeta: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

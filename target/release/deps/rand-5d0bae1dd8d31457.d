@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-5d0bae1dd8d31457.d: vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-5d0bae1dd8d31457.rmeta: vendor/rand/src/lib.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-ec0255a27bcc28ff.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-ec0255a27bcc28ff: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

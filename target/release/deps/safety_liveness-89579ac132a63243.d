@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/safety_liveness-89579ac132a63243.d: tests/safety_liveness.rs Cargo.toml
+
+/root/repo/target/release/deps/libsafety_liveness-89579ac132a63243.rmeta: tests/safety_liveness.rs Cargo.toml
+
+tests/safety_liveness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/safety_liveness-b0ee287fe26df7e3.d: tests/safety_liveness.rs
+
+/root/repo/target/release/deps/safety_liveness-b0ee287fe26df7e3: tests/safety_liveness.rs
+
+tests/safety_liveness.rs:

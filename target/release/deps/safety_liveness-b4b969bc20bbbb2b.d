@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/safety_liveness-b4b969bc20bbbb2b.d: tests/safety_liveness.rs
+
+/root/repo/target/release/deps/safety_liveness-b4b969bc20bbbb2b: tests/safety_liveness.rs
+
+tests/safety_liveness.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-7dd195e389ec2734.d: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-7dd195e389ec2734.rlib: crates/vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-7dd195e389ec2734.rmeta: crates/vendor/serde/src/lib.rs
+
+crates/vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-a876576018e8855a.d: crates/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-a876576018e8855a.so: crates/vendor/serde_derive/src/lib.rs
+
+crates/vendor/serde_derive/src/lib.rs:

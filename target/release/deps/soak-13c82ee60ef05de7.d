@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/soak-13c82ee60ef05de7.d: tests/soak.rs Cargo.toml
+
+/root/repo/target/release/deps/libsoak-13c82ee60ef05de7.rmeta: tests/soak.rs Cargo.toml
+
+tests/soak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

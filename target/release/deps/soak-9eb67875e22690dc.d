@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/soak-9eb67875e22690dc.d: tests/soak.rs
+
+/root/repo/target/release/deps/soak-9eb67875e22690dc: tests/soak.rs
+
+tests/soak.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/soak-fdcaee6d128d36cc.d: tests/soak.rs
+
+/root/repo/target/release/deps/soak-fdcaee6d128d36cc: tests/soak.rs
+
+tests/soak.rs:

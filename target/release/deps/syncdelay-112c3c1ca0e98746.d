@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/syncdelay-112c3c1ca0e98746.d: crates/bench/src/bin/syncdelay.rs
+
+/root/repo/target/release/deps/syncdelay-112c3c1ca0e98746: crates/bench/src/bin/syncdelay.rs
+
+crates/bench/src/bin/syncdelay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-15819ead7f123b95.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-15819ead7f123b95: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

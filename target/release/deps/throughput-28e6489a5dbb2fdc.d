@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-28e6489a5dbb2fdc.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/release/deps/throughput-28e6489a5dbb2fdc: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/algorithm_shootout-107ea24809407ba6.d: examples/algorithm_shootout.rs
+
+/root/repo/target/release/examples/algorithm_shootout-107ea24809407ba6: examples/algorithm_shootout.rs
+
+examples/algorithm_shootout.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/algorithm_shootout-37f3240abe546cb3.d: examples/algorithm_shootout.rs Cargo.toml
+
+/root/repo/target/release/examples/libalgorithm_shootout-37f3240abe546cb3.rmeta: examples/algorithm_shootout.rs Cargo.toml
+
+examples/algorithm_shootout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/algorithm_shootout-63f8b514255392c0.d: examples/algorithm_shootout.rs
+
+/root/repo/target/release/examples/algorithm_shootout-63f8b514255392c0: examples/algorithm_shootout.rs
+
+examples/algorithm_shootout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_tolerant_lock-32d1ecd2110b2e97.d: examples/fault_tolerant_lock.rs
+
+/root/repo/target/release/examples/fault_tolerant_lock-32d1ecd2110b2e97: examples/fault_tolerant_lock.rs
+
+examples/fault_tolerant_lock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_tolerant_lock-8c3572fcfdb0497f.d: examples/fault_tolerant_lock.rs
+
+/root/repo/target/release/examples/fault_tolerant_lock-8c3572fcfdb0497f: examples/fault_tolerant_lock.rs
+
+examples/fault_tolerant_lock.rs:

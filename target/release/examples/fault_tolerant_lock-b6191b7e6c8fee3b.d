@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/fault_tolerant_lock-b6191b7e6c8fee3b.d: examples/fault_tolerant_lock.rs Cargo.toml
+
+/root/repo/target/release/examples/libfault_tolerant_lock-b6191b7e6c8fee3b.rmeta: examples/fault_tolerant_lock.rs Cargo.toml
+
+examples/fault_tolerant_lock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

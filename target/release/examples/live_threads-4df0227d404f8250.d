@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/live_threads-4df0227d404f8250.d: examples/live_threads.rs Cargo.toml
+
+/root/repo/target/release/examples/liblive_threads-4df0227d404f8250.rmeta: examples/live_threads.rs Cargo.toml
+
+examples/live_threads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/live_threads-640df8ba7a28748f.d: examples/live_threads.rs
+
+/root/repo/target/release/examples/live_threads-640df8ba7a28748f: examples/live_threads.rs
+
+examples/live_threads.rs:

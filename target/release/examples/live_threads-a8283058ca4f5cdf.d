@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/live_threads-a8283058ca4f5cdf.d: examples/live_threads.rs
+
+/root/repo/target/release/examples/live_threads-a8283058ca4f5cdf: examples/live_threads.rs
+
+examples/live_threads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/model_check-0e37623bd44ebbf8.d: examples/model_check.rs
+
+/root/repo/target/release/examples/model_check-0e37623bd44ebbf8: examples/model_check.rs
+
+examples/model_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/model_check-3fe6f1fe9decc20a.d: examples/model_check.rs
+
+/root/repo/target/release/examples/model_check-3fe6f1fe9decc20a: examples/model_check.rs
+
+examples/model_check.rs:

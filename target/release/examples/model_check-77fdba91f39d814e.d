@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/model_check-77fdba91f39d814e.d: examples/model_check.rs Cargo.toml
+
+/root/repo/target/release/examples/libmodel_check-77fdba91f39d814e.rmeta: examples/model_check.rs Cargo.toml
+
+examples/model_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-170f8d5ef58d74f1.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-170f8d5ef58d74f1.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-94679572ff06332c.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-94679572ff06332c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a4197c086e7df40a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a4197c086e7df40a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quorum_kv-3b61fa267d2d2728.d: examples/quorum_kv.rs
+
+/root/repo/target/release/examples/quorum_kv-3b61fa267d2d2728: examples/quorum_kv.rs
+
+examples/quorum_kv.rs:

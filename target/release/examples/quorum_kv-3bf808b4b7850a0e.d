@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quorum_kv-3bf808b4b7850a0e.d: examples/quorum_kv.rs
+
+/root/repo/target/release/examples/quorum_kv-3bf808b4b7850a0e: examples/quorum_kv.rs
+
+examples/quorum_kv.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quorum_kv-7156edf8537c0fd7.d: examples/quorum_kv.rs Cargo.toml
+
+/root/repo/target/release/examples/libquorum_kv-7156edf8537c0fd7.rmeta: examples/quorum_kv.rs Cargo.toml
+
+examples/quorum_kv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/replicated_store-01b0b26b036848c3.d: examples/replicated_store.rs
+
+/root/repo/target/release/examples/replicated_store-01b0b26b036848c3: examples/replicated_store.rs
+
+examples/replicated_store.rs:

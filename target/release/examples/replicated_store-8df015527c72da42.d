@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/replicated_store-8df015527c72da42.d: examples/replicated_store.rs
+
+/root/repo/target/release/examples/replicated_store-8df015527c72da42: examples/replicated_store.rs
+
+examples/replicated_store.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/replicated_store-fbe2430dad47ebcf.d: examples/replicated_store.rs Cargo.toml
+
+/root/repo/target/release/examples/libreplicated_store-fbe2430dad47ebcf.rmeta: examples/replicated_store.rs Cargo.toml
+
+examples/replicated_store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -2,9 +2,9 @@
 //! scenarios replay identically; the reported numbers match the paper's
 //! closed forms where closed forms exist.
 
+use qmx::sim::DelayModel;
 use qmx::workload::arrival::ArrivalProcess;
 use qmx::workload::scenario::{Algorithm, QuorumSpec, Scenario};
-use qmx::sim::DelayModel;
 
 const T: u64 = 1000;
 

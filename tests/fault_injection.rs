@@ -31,12 +31,7 @@ fn ft_scenario(n: usize, algorithm: Algorithm, crashes: Vec<(SiteId, u64)>) -> S
 fn tree_ft_survives_root_crash() {
     // The root is in EVERY failure-free tree quorum: the worst single
     // crash. All six survivors must keep completing.
-    let r = ft_scenario(
-        7,
-        Algorithm::DelayOptimalFtTree,
-        vec![(SiteId(0), 100 * T)],
-    )
-    .run();
+    let r = ft_scenario(7, Algorithm::DelayOptimalFtTree, vec![(SiteId(0), 100 * T)]).run();
     // 6 live sites x 25 rounds = 150 post-crash capacity; the pre-crash
     // window adds more. Require most of it.
     assert!(r.completed >= 120, "completed {}", r.completed);
@@ -90,11 +85,7 @@ fn crash_of_site_inside_cs_does_not_wedge_survivors() {
     // long); the permission it holds must be reclaimed via §6 cleanup.
     let r = Scenario {
         hold: DelayModel::Constant(5 * T),
-        ..ft_scenario(
-            7,
-            Algorithm::DelayOptimalFtTree,
-            vec![(SiteId(3), 23 * T)],
-        )
+        ..ft_scenario(7, Algorithm::DelayOptimalFtTree, vec![(SiteId(3), 23 * T)])
     }
     .run();
     assert!(r.completed >= 80, "completed {}", r.completed);
@@ -111,12 +102,7 @@ fn fixed_quorum_unaffected_sites_keep_running() {
 
 #[test]
 fn crash_before_any_traffic() {
-    let r = ft_scenario(
-        7,
-        Algorithm::DelayOptimalFtTree,
-        vec![(SiteId(2), 1)],
-    )
-    .run();
+    let r = ft_scenario(7, Algorithm::DelayOptimalFtTree, vec![(SiteId(2), 1)]).run();
     assert!(r.completed >= 120, "completed {}", r.completed);
 }
 

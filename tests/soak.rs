@@ -3,7 +3,7 @@
 //! monitor on every event; these tests assert the system also keeps making
 //! progress and terminates cleanly.
 
-use qmx::core::SiteId;
+use qmx::core::{LossModel, SiteId, TransportConfig};
 use qmx::sim::DelayModel;
 use qmx::workload::arrival::ArrivalProcess;
 use qmx::workload::scenario::{Algorithm, QuorumSpec, Scenario};
@@ -104,6 +104,143 @@ fn all_algorithms_survive_an_adversarial_mix() {
             alg.label(),
             r.completed
         );
+    }
+}
+
+#[test]
+fn lossy_grid_soak_iid() {
+    // 9-site grid under 10% i.i.d. loss + 5% duplication, every site
+    // requesting 20 times: the reliable transport must deliver all 180
+    // CS executions (ME violations would panic inside the simulator).
+    for seed in [1u64, 7, 42] {
+        let r = Scenario {
+            n: 9,
+            algorithm: Algorithm::DelayOptimal,
+            quorum: QuorumSpec::Grid,
+            arrivals: ArrivalProcess::Periodic {
+                period: 40 * T,
+                stagger: 1500,
+            },
+            horizon: 800 * T,
+            delay: DelayModel::Exponential { mean: T },
+            hold: DelayModel::Uniform { lo: 50, hi: 500 },
+            loss: LossModel::Iid {
+                drop: 0.10,
+                dup: 0.05,
+            },
+            transport: Some(TransportConfig::default()),
+            seed,
+            ..Scenario::default()
+        }
+        .run();
+        assert_eq!(
+            r.completed,
+            9 * 20,
+            "seed {seed}: completed {}",
+            r.completed
+        );
+        assert!(r.injected_drops > 0, "seed {seed}: loss model never fired");
+        assert!(
+            r.transport.retransmissions > 0,
+            "seed {seed}: no retransmissions"
+        );
+        assert!(
+            r.transport.duplicates_dropped > 0,
+            "seed {seed}: dedup never engaged"
+        );
+        assert_eq!(r.transport.gave_up, 0, "seed {seed}: transport gave up");
+    }
+}
+
+#[test]
+fn lossy_grid_soak_burst() {
+    // Gilbert–Elliott bursts: links flip into a bad state (~4% of the
+    // time at stationarity) where 80% of messages vanish. Correlated
+    // losses hit consecutive retransmissions, so this exercises the
+    // exponential backoff harder than i.i.d. loss does.
+    for seed in [3u64, 11] {
+        let r = Scenario {
+            n: 9,
+            algorithm: Algorithm::DelayOptimal,
+            quorum: QuorumSpec::Grid,
+            arrivals: ArrivalProcess::Periodic {
+                period: 40 * T,
+                stagger: 1500,
+            },
+            horizon: 800 * T,
+            delay: DelayModel::Exponential { mean: T },
+            hold: DelayModel::Constant(200),
+            loss: LossModel::Burst {
+                p_bad: 0.02,
+                p_good: 0.5,
+                drop_good: 0.01,
+                drop_bad: 0.8,
+                dup: 0.02,
+            },
+            transport: Some(TransportConfig::default()),
+            seed,
+            ..Scenario::default()
+        }
+        .run();
+        assert_eq!(
+            r.completed,
+            9 * 20,
+            "seed {seed}: completed {}",
+            r.completed
+        );
+        assert!(
+            r.transport.retransmissions > 0,
+            "seed {seed}: no retransmissions"
+        );
+        assert_eq!(r.transport.gave_up, 0, "seed {seed}: transport gave up");
+    }
+}
+
+#[test]
+fn transient_partition_soak_with_heal() {
+    // Loss plus a transient partition: sites {7,8} are cut off from
+    // 100T to 160T (shorter than any retransmission gives up: 40 retries
+    // with capped backoff covers far more). The failure detector is
+    // disabled so recovery is purely the transport's doing.
+    //
+    // The 60T outage exceeds the 50T arrival period, so each site may
+    // shed roughly one arrival while blocked (the simulator drops
+    // arrivals landing on a site that still wants the CS) — hence a
+    // floor of 10 of the 12 rounds rather than an exact count.
+    for seed in [2u64, 9] {
+        let r = Scenario {
+            n: 9,
+            algorithm: Algorithm::DelayOptimal,
+            quorum: QuorumSpec::Grid,
+            arrivals: ArrivalProcess::Periodic {
+                period: 50 * T,
+                stagger: 2000,
+            },
+            horizon: 600 * T,
+            delay: DelayModel::Constant(T),
+            hold: DelayModel::Constant(100),
+            partitions: vec![(vec![0, 0, 0, 0, 0, 0, 0, 1, 1], 100 * T)],
+            heals: vec![160 * T],
+            loss: LossModel::Iid {
+                drop: 0.05,
+                dup: 0.0,
+            },
+            transport: Some(TransportConfig::default()),
+            detect_delay: u64::MAX / 2,
+            seed,
+            ..Scenario::default()
+        }
+        .run();
+        assert!(
+            r.completed >= 9 * 10,
+            "seed {seed}: completed {}",
+            r.completed
+        );
+        assert!(
+            r.transport.retransmissions > 0,
+            "seed {seed}: no retransmissions"
+        );
+        assert_eq!(r.transport.gave_up, 0, "seed {seed}: transport gave up");
     }
 }
 

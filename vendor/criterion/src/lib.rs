@@ -1,0 +1,203 @@
+//! Workspace-local stand-in for `criterion` (offline build).
+//!
+//! Benchmarks compile and run against this crate with the same source: it
+//! provides `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `iter`/`iter_batched`/`iter_batched_ref`, and prints mean wall-clock
+//! timings. There is no statistical analysis — under `cargo test` (or when
+//! `--test` is passed, as cargo does for harness-less bench targets) each
+//! benchmark body runs once as a smoke test; under `cargo bench` a short
+//! fixed-iteration timing loop runs instead.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (API-compatible marker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    iters: u64,
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.last = Some(start.elapsed());
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup excluded
+    /// from timing).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.last = Some(total);
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by `&mut`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.last = Some(total);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    crit: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work per iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: self.crit.iters,
+            last: None,
+        };
+        f(&mut b);
+        let per_iter = b
+            .last
+            .map(|d| d.as_secs_f64() / b.iters.max(1) as f64)
+            .unwrap_or(0.0);
+        let mut line = format!("{}/{id}: {:.3} ms/iter", self.name, per_iter * 1e3);
+        if let Some(Throughput::Elements(e)) = self.throughput {
+            if per_iter > 0.0 {
+                line.push_str(&format!(" ({:.0} elem/s)", e as f64 / per_iter));
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (no-op; prints happen per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point (API-compatible subset).
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Smoke-test mode (one iteration) under `cargo test`, which passes
+        // `--test` to harness-less bench binaries.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            iters: if test_mode { 1 } else { 10 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            crit: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        self.benchmark_group("bench").bench_function(id, f);
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_times() {
+        let mut c = Criterion { iters: 3 };
+        let mut g = c.benchmark_group("t");
+        let mut runs = 0;
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn batched_setup_not_reused() {
+        let mut c = Criterion { iters: 4 };
+        let mut g = c.benchmark_group("t");
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.bench_function("batched_ref", |b| {
+            b.iter_batched_ref(|| vec![1], |v| v.push(2), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

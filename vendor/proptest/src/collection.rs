@@ -1,0 +1,45 @@
+//! Collection strategies (the subset this workspace uses).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Strategy for [`BTreeSet`]s built by [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = if self.size.is_empty() {
+            self.size.start
+        } else {
+            rng.rng.gen_range(self.size.clone())
+        };
+        let mut out = BTreeSet::new();
+        // The element domain may hold fewer than `target` distinct values;
+        // bound the attempts so generation always terminates.
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target.saturating_mul(20) + 20 {
+            out.insert(self.elem.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// Sets of `elem`-generated values with a size drawn from `size`.
+pub fn btree_set<S: Strategy>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy { elem, size }
+}

@@ -1,0 +1,244 @@
+//! Value-generation strategies (no shrinking; see the crate docs).
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_raw() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_raw() & 1 == 1
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy of all values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Uniform choice between two strategies sharing a value type; chains of
+/// these implement [`prop_oneof!`](crate::prop_oneof). `a_arms` counts the
+/// original arms folded into `a`, keeping the overall choice uniform.
+#[derive(Debug, Clone)]
+pub struct OneOf<A, B> {
+    a: A,
+    b: B,
+    a_arms: u32,
+}
+
+impl<A: Strategy, B: Strategy<Value = A::Value>> Strategy for OneOf<A, B> {
+    type Value = A::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.rng.gen_range(0..self.a_arms + 1) < self.a_arms {
+            self.a.generate(rng)
+        } else {
+            self.b.generate(rng)
+        }
+    }
+}
+
+/// Left-fold builder behind [`prop_oneof!`](crate::prop_oneof). The
+/// `Strategy<Value = ...>` bound on [`OneOfBuilder::or`] unifies every
+/// arm's value type during trait inference (so `Just(9)` in a `usize`
+/// union types its literal correctly, like upstream's `TupleUnion`).
+#[derive(Debug, Clone)]
+pub struct OneOfBuilder<S> {
+    s: S,
+    arms: u32,
+}
+
+impl<S: Strategy> OneOfBuilder<S> {
+    /// Starts a union with its first arm.
+    pub fn new(s: S) -> Self {
+        OneOfBuilder { s, arms: 1 }
+    }
+
+    /// Adds an arm.
+    pub fn or<B: Strategy<Value = S::Value>>(self, b: B) -> OneOfBuilder<OneOf<S, B>> {
+        let arms = self.arms;
+        OneOfBuilder {
+            s: OneOf {
+                a: self.s,
+                b,
+                a_arms: arms,
+            },
+            arms: arms + 1,
+        }
+    }
+
+    /// Finishes the union.
+    pub fn build(self) -> S {
+        self.s
+    }
+}
+
+/// Uniformly picks one strategy arm, then draws from it.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {{
+        let u = $crate::strategy::OneOfBuilder::new($first);
+        $(let u = u.or($rest);)*
+        u.build()
+    }};
+}
+
+/// Asserts inside a property (reports the failing seed via the runner).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` that runs `Config::cases` random cases (after replaying any
+/// persisted regression seeds).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        #[test]
+        fn $name() {
+            let cfg = $cfg;
+            $crate::test_runner::run_cases(
+                stringify!($name),
+                file!(),
+                &cfg,
+                |rng: &mut $crate::test_runner::TestRng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)*
+                    $body
+                },
+            );
+        }
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr);) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}

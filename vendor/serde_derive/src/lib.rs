@@ -1,0 +1,42 @@
+//! Workspace-local stand-in for `serde_derive` (offline build).
+//!
+//! Emits structural marker-trait impls for the stand-in `serde` crate. Only
+//! plain (non-generic) structs and enums are supported, which covers every
+//! derive site in this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum` keyword.
+fn type_name(input: &TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return s;
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    panic!("serde_derive stand-in: could not find a struct/enum name");
+}
+
+/// Derives the stand-in `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
+
+/// Derives the stand-in `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}

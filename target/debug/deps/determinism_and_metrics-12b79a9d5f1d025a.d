@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism_and_metrics-12b79a9d5f1d025a.d: tests/determinism_and_metrics.rs
+
+/root/repo/target/debug/deps/determinism_and_metrics-12b79a9d5f1d025a: tests/determinism_and_metrics.rs
+
+tests/determinism_and_metrics.rs:

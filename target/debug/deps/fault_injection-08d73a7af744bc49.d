@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-08d73a7af744bc49.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-08d73a7af744bc49: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-3ad4387cc87661e6.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-3ad4387cc87661e6: tests/invariants.rs
+
+tests/invariants.rs:

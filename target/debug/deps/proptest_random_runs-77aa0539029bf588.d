@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_random_runs-77aa0539029bf588.d: tests/proptest_random_runs.rs
+
+/root/repo/target/debug/deps/proptest_random_runs-77aa0539029bf588: tests/proptest_random_runs.rs
+
+tests/proptest_random_runs.rs:

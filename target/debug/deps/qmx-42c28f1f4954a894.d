@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qmx-42c28f1f4954a894.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqmx-42c28f1f4954a894.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libqmx-42c28f1f4954a894.rmeta: src/lib.rs
+
+src/lib.rs:

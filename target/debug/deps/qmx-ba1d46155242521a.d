@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qmx-ba1d46155242521a.d: src/lib.rs
+
+/root/repo/target/debug/deps/qmx-ba1d46155242521a: src/lib.rs
+
+src/lib.rs:

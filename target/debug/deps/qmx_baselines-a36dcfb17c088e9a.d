@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qmx_baselines-a36dcfb17c088e9a.d: crates/baselines/src/lib.rs crates/baselines/src/carvalho_roucairol.rs crates/baselines/src/lamport.rs crates/baselines/src/maekawa.rs crates/baselines/src/raymond.rs crates/baselines/src/ricart_agrawala.rs crates/baselines/src/singhal_dynamic.rs crates/baselines/src/suzuki_kasami.rs
+
+/root/repo/target/debug/deps/libqmx_baselines-a36dcfb17c088e9a.rlib: crates/baselines/src/lib.rs crates/baselines/src/carvalho_roucairol.rs crates/baselines/src/lamport.rs crates/baselines/src/maekawa.rs crates/baselines/src/raymond.rs crates/baselines/src/ricart_agrawala.rs crates/baselines/src/singhal_dynamic.rs crates/baselines/src/suzuki_kasami.rs
+
+/root/repo/target/debug/deps/libqmx_baselines-a36dcfb17c088e9a.rmeta: crates/baselines/src/lib.rs crates/baselines/src/carvalho_roucairol.rs crates/baselines/src/lamport.rs crates/baselines/src/maekawa.rs crates/baselines/src/raymond.rs crates/baselines/src/ricart_agrawala.rs crates/baselines/src/singhal_dynamic.rs crates/baselines/src/suzuki_kasami.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/carvalho_roucairol.rs:
+crates/baselines/src/lamport.rs:
+crates/baselines/src/maekawa.rs:
+crates/baselines/src/raymond.rs:
+crates/baselines/src/ricart_agrawala.rs:
+crates/baselines/src/singhal_dynamic.rs:
+crates/baselines/src/suzuki_kasami.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qmx_check-df011eb2566bc22c.d: crates/check/src/lib.rs
+
+/root/repo/target/debug/deps/libqmx_check-df011eb2566bc22c.rlib: crates/check/src/lib.rs
+
+/root/repo/target/debug/deps/libqmx_check-df011eb2566bc22c.rmeta: crates/check/src/lib.rs
+
+crates/check/src/lib.rs:

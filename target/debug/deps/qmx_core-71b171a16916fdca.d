@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qmx_core-71b171a16916fdca.d: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/delay_optimal.rs crates/core/src/protocol.rs crates/core/src/reqqueue.rs crates/core/src/transport.rs
+
+/root/repo/target/debug/deps/libqmx_core-71b171a16916fdca.rlib: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/delay_optimal.rs crates/core/src/protocol.rs crates/core/src/reqqueue.rs crates/core/src/transport.rs
+
+/root/repo/target/debug/deps/libqmx_core-71b171a16916fdca.rmeta: crates/core/src/lib.rs crates/core/src/clock.rs crates/core/src/delay_optimal.rs crates/core/src/protocol.rs crates/core/src/reqqueue.rs crates/core/src/transport.rs
+
+crates/core/src/lib.rs:
+crates/core/src/clock.rs:
+crates/core/src/delay_optimal.rs:
+crates/core/src/protocol.rs:
+crates/core/src/reqqueue.rs:
+crates/core/src/transport.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/qmx_quorum-2456b736152e18bd.d: crates/quorum/src/lib.rs crates/quorum/src/availability.rs crates/quorum/src/coterie.rs crates/quorum/src/crumbling.rs crates/quorum/src/domination.rs crates/quorum/src/fpp.rs crates/quorum/src/grid.rs crates/quorum/src/gridset.rs crates/quorum/src/hqc.rs crates/quorum/src/majority.rs crates/quorum/src/rst.rs crates/quorum/src/tree.rs crates/quorum/src/wheel.rs
+
+/root/repo/target/debug/deps/libqmx_quorum-2456b736152e18bd.rlib: crates/quorum/src/lib.rs crates/quorum/src/availability.rs crates/quorum/src/coterie.rs crates/quorum/src/crumbling.rs crates/quorum/src/domination.rs crates/quorum/src/fpp.rs crates/quorum/src/grid.rs crates/quorum/src/gridset.rs crates/quorum/src/hqc.rs crates/quorum/src/majority.rs crates/quorum/src/rst.rs crates/quorum/src/tree.rs crates/quorum/src/wheel.rs
+
+/root/repo/target/debug/deps/libqmx_quorum-2456b736152e18bd.rmeta: crates/quorum/src/lib.rs crates/quorum/src/availability.rs crates/quorum/src/coterie.rs crates/quorum/src/crumbling.rs crates/quorum/src/domination.rs crates/quorum/src/fpp.rs crates/quorum/src/grid.rs crates/quorum/src/gridset.rs crates/quorum/src/hqc.rs crates/quorum/src/majority.rs crates/quorum/src/rst.rs crates/quorum/src/tree.rs crates/quorum/src/wheel.rs
+
+crates/quorum/src/lib.rs:
+crates/quorum/src/availability.rs:
+crates/quorum/src/coterie.rs:
+crates/quorum/src/crumbling.rs:
+crates/quorum/src/domination.rs:
+crates/quorum/src/fpp.rs:
+crates/quorum/src/grid.rs:
+crates/quorum/src/gridset.rs:
+crates/quorum/src/hqc.rs:
+crates/quorum/src/majority.rs:
+crates/quorum/src/rst.rs:
+crates/quorum/src/tree.rs:
+crates/quorum/src/wheel.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qmx_replica-62557bf864766815.d: crates/replica/src/lib.rs crates/replica/src/kv.rs crates/replica/src/register.rs crates/replica/src/sim.rs
+
+/root/repo/target/debug/deps/libqmx_replica-62557bf864766815.rlib: crates/replica/src/lib.rs crates/replica/src/kv.rs crates/replica/src/register.rs crates/replica/src/sim.rs
+
+/root/repo/target/debug/deps/libqmx_replica-62557bf864766815.rmeta: crates/replica/src/lib.rs crates/replica/src/kv.rs crates/replica/src/register.rs crates/replica/src/sim.rs
+
+crates/replica/src/lib.rs:
+crates/replica/src/kv.rs:
+crates/replica/src/register.rs:
+crates/replica/src/sim.rs:

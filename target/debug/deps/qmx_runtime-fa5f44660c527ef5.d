@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/qmx_runtime-fa5f44660c527ef5.d: crates/runtime/src/lib.rs crates/runtime/src/net.rs
+
+/root/repo/target/debug/deps/libqmx_runtime-fa5f44660c527ef5.rlib: crates/runtime/src/lib.rs crates/runtime/src/net.rs
+
+/root/repo/target/debug/deps/libqmx_runtime-fa5f44660c527ef5.rmeta: crates/runtime/src/lib.rs crates/runtime/src/net.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/net.rs:

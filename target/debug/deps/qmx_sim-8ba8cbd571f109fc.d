@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qmx_sim-8ba8cbd571f109fc.d: crates/sim/src/lib.rs crates/sim/src/delay.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libqmx_sim-8ba8cbd571f109fc.rlib: crates/sim/src/lib.rs crates/sim/src/delay.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libqmx_sim-8ba8cbd571f109fc.rmeta: crates/sim/src/lib.rs crates/sim/src/delay.rs crates/sim/src/metrics.rs crates/sim/src/sim.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/delay.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/sim.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qmx_workload-46c2d7fcdd0539f0.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/replicate.rs crates/workload/src/scenario.rs crates/workload/src/stats.rs
+
+/root/repo/target/debug/deps/libqmx_workload-46c2d7fcdd0539f0.rlib: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/replicate.rs crates/workload/src/scenario.rs crates/workload/src/stats.rs
+
+/root/repo/target/debug/deps/libqmx_workload-46c2d7fcdd0539f0.rmeta: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/replicate.rs crates/workload/src/scenario.rs crates/workload/src/stats.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/replicate.rs:
+crates/workload/src/scenario.rs:
+crates/workload/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quorum_properties-40b69f24d7c5a823.d: tests/quorum_properties.rs
+
+/root/repo/target/debug/deps/quorum_properties-40b69f24d7c5a823: tests/quorum_properties.rs
+
+tests/quorum_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/safety_liveness-73bc3b73ed6a126b.d: tests/safety_liveness.rs
+
+/root/repo/target/debug/deps/safety_liveness-73bc3b73ed6a126b: tests/safety_liveness.rs
+
+tests/safety_liveness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-b8e2ea6b03e4ef02.d: tests/soak.rs
+
+/root/repo/target/debug/deps/soak-b8e2ea6b03e4ef02: tests/soak.rs
+
+tests/soak.rs:

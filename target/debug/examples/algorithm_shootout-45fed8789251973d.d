@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/algorithm_shootout-45fed8789251973d.d: examples/algorithm_shootout.rs
+
+/root/repo/target/debug/examples/algorithm_shootout-45fed8789251973d: examples/algorithm_shootout.rs
+
+examples/algorithm_shootout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_tolerant_lock-d9ff6880670995e6.d: examples/fault_tolerant_lock.rs
+
+/root/repo/target/debug/examples/fault_tolerant_lock-d9ff6880670995e6: examples/fault_tolerant_lock.rs
+
+examples/fault_tolerant_lock.rs:

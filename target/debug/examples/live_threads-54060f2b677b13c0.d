@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_threads-54060f2b677b13c0.d: examples/live_threads.rs
+
+/root/repo/target/debug/examples/live_threads-54060f2b677b13c0: examples/live_threads.rs
+
+examples/live_threads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_check-22c476907e4ff9a0.d: examples/model_check.rs
+
+/root/repo/target/debug/examples/model_check-22c476907e4ff9a0: examples/model_check.rs
+
+examples/model_check.rs:

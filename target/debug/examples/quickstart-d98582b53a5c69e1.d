@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d98582b53a5c69e1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d98582b53a5c69e1: examples/quickstart.rs
+
+examples/quickstart.rs:

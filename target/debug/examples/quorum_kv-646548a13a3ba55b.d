@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quorum_kv-646548a13a3ba55b.d: examples/quorum_kv.rs
+
+/root/repo/target/debug/examples/quorum_kv-646548a13a3ba55b: examples/quorum_kv.rs
+
+examples/quorum_kv.rs:

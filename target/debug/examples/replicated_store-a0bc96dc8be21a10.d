@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/replicated_store-a0bc96dc8be21a10.d: examples/replicated_store.rs
+
+/root/repo/target/debug/examples/replicated_store-a0bc96dc8be21a10: examples/replicated_store.rs
+
+examples/replicated_store.rs:

@@ -30,6 +30,10 @@ pub struct Cli {
 }
 
 /// Subcommands of `qmxctl`.
+// One `Command` is parsed per process; the size skew of the fully
+// optioned `Run` variant is irrelevant and boxing it would only add
+// noise at every match site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Run one simulation scenario and print the report.
@@ -68,6 +72,13 @@ pub enum Command {
         /// Reliable-transport wrapper: `None` = auto (on iff faults are
         /// configured), `Some(b)` = forced on/off.
         reliable: Option<bool>,
+        /// Heartbeat interval in T units (enables the failure detector).
+        hb_interval_t: Option<u64>,
+        /// Heartbeat silence threshold in T units (enables the detector).
+        hb_timeout_t: Option<u64>,
+        /// Recoveries as `site:time_t` pairs (each enables the detector:
+        /// rejoin needs the heartbeat handshake, not the oracle).
+        recoveries: Vec<(u32, u64)>,
     },
     /// Print a quorum system and its properties.
     Quorum {
@@ -105,6 +116,7 @@ USAGE:
              [--outage from:to:startT:endT ...]
              [--partition g0,g1,..:timeT ...] [--heal timeT ...]
              [--reliable on|off|auto]
+             [--hb-interval T] [--hb-timeout T] [--recover site:timeT ...]
   qmxctl quorum --kind Q --n N
   qmxctl check [--n N] [--rounds R] [--max-states M]
   qmxctl experiment NAME
@@ -122,6 +134,9 @@ WHERE:
       (good->bad prob, bad->good prob, drop prob per state)
   --reliable auto (default) wraps sites in the ack/retransmit transport
       whenever --loss/--dup/--burst/--outage are present
+  --hb-interval/--hb-timeout/--recover switch failure detection from the
+      oracle to heartbeats (suspicion from silence, crash recovery via
+      the rejoin handshake); intervals are in T units
   NAME = table1 | lightload | heavyload | syncdelay | throughput |
          quorumsize | availability | faulttolerance | ablation |
          holdsweep | msgscaling
@@ -258,10 +273,9 @@ impl Cli {
             "help" | "--help" | "-h" => Command::Help,
             "run" => {
                 let f = flags(rest)?;
-                let mut crashes = Vec::new();
-                for c in f.get("crash").into_iter().flatten() {
+                let site_time = |flag: &str, c: &str| -> Result<(u32, u64), ParseError> {
                     let Some((site, t)) = c.split_once(':') else {
-                        return err(format!("--crash wants site:timeT, got '{c}'"));
+                        return err(format!("--{flag} wants site:timeT, got '{c}'"));
                     };
                     let site = site
                         .parse()
@@ -269,7 +283,15 @@ impl Cli {
                     let t = t
                         .parse()
                         .map_err(|_| ParseError(format!("bad time in '{c}'")))?;
-                    crashes.push((site, t));
+                    Ok((site, t))
+                };
+                let mut crashes = Vec::new();
+                for c in f.get("crash").into_iter().flatten() {
+                    crashes.push(site_time("crash", c)?);
+                }
+                let mut recoveries = Vec::new();
+                for c in f.get("recover").into_iter().flatten() {
+                    recoveries.push(site_time("recover", c)?);
                 }
                 let mut outages = Vec::new();
                 for o in f.get("outage").into_iter().flatten() {
@@ -323,6 +345,16 @@ impl Cli {
                     "off" | "false" => Some(false),
                     other => return err(format!("--reliable wants on|off|auto, got '{other}'")),
                 };
+                let opt_t = |key: &str| -> Result<Option<u64>, ParseError> {
+                    match one(&f, key, "") {
+                        "" => Ok(None),
+                        s => s.parse().map(Some).map_err(|_| {
+                            ParseError(format!("--{key} wants a time in T units, got '{s}'"))
+                        }),
+                    }
+                };
+                let hb_interval_t = opt_t("hb-interval")?;
+                let hb_timeout_t = opt_t("hb-timeout")?;
                 Command::Run {
                     algorithm: parse_algorithm(one(&f, "alg", "delay-optimal"))?,
                     n: parse_u64(&f, "n", 9)? as usize,
@@ -340,6 +372,9 @@ impl Cli {
                     partitions,
                     heals,
                     reliable,
+                    hb_interval_t,
+                    hb_timeout_t,
+                    recoveries,
                 }
             }
             "quorum" => {
@@ -482,6 +517,50 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn detector_flags() {
+        let cli =
+            parse("run --crash 1:4 --recover 1:40 --hb-interval 2 --hb-timeout 10 --reliable on")
+                .unwrap();
+        match cli.command {
+            Command::Run {
+                crashes,
+                recoveries,
+                hb_interval_t,
+                hb_timeout_t,
+                ..
+            } => {
+                assert_eq!(crashes, vec![(1, 4)]);
+                assert_eq!(recoveries, vec![(1, 40)]);
+                assert_eq!(hb_interval_t, Some(2));
+                assert_eq!(hb_timeout_t, Some(10));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Absent flags leave the detector off.
+        match parse("run").unwrap().command {
+            Command::Run {
+                recoveries,
+                hb_interval_t,
+                hb_timeout_t,
+                ..
+            } => {
+                assert!(recoveries.is_empty());
+                assert_eq!(hb_interval_t, None);
+                assert_eq!(hb_timeout_t, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("run --recover 1")
+            .unwrap_err()
+            .0
+            .contains("site:timeT"));
+        assert!(parse("run --hb-interval x")
+            .unwrap_err()
+            .0
+            .contains("T units"));
     }
 
     #[test]

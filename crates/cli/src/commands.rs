@@ -1,7 +1,7 @@
 //! Command implementations: each returns the text it would print.
 
 use crate::args::{Cli, Command, USAGE};
-use qmx_core::{Config, DelayOptimal, LossModel, Outage, SiteId, TransportConfig};
+use qmx_core::{Config, DelayOptimal, DetectorConfig, LossModel, Outage, SiteId, TransportConfig};
 use qmx_quorum::availability::monte_carlo_availability;
 use qmx_sim::DelayModel;
 use qmx_workload::arrival::ArrivalProcess;
@@ -33,6 +33,9 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             partitions,
             heals,
             reliable,
+            hb_interval_t,
+            hb_timeout_t,
+            recoveries,
         } => {
             let t = delay.mean().max(1.0) as u64;
             let loss_model = match burst {
@@ -50,6 +53,17 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 None => LossModel::None,
             };
             let faults_present = loss_model != LossModel::None || !outages.is_empty();
+            // Any detector-related flag switches failure handling from the
+            // oracle to heartbeats; unspecified knobs default to the
+            // simulator's steady-state-safe sizing (beat 2T, suspect 8T).
+            let detector = (hb_interval_t.is_some()
+                || hb_timeout_t.is_some()
+                || !recoveries.is_empty())
+            .then(|| DetectorConfig {
+                hb_interval: hb_interval_t.unwrap_or(2) * t,
+                hb_timeout: hb_timeout_t.unwrap_or(8) * t,
+                rejoin_wait: 4 * t,
+            });
             let transport = match reliable {
                 Some(true) => Some(TransportConfig::default()),
                 Some(false) => None,
@@ -91,6 +105,11 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                     })
                     .collect(),
                 transport,
+                detector,
+                recoveries: recoveries
+                    .iter()
+                    .map(|&(s, time_t)| (SiteId(s), time_t * t))
+                    .collect(),
                 seed: *seed,
                 ..Scenario::default()
             };
@@ -150,6 +169,18 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                     tc.acks_sent,
                     tc.reordered,
                     tc.gave_up
+                ));
+            }
+            if sc.detector.is_some() {
+                let dc = &r.detector;
+                out.push_str(&format!(
+                    "detector          : {} heartbeats, {} suspicions \
+                     ({} false), {} rejoins sent, {} observed\n",
+                    dc.heartbeats_sent,
+                    dc.suspicions,
+                    dc.false_suspicions,
+                    dc.rejoins_sent,
+                    dc.rejoins_observed
                 ));
             }
             Ok(out)
@@ -291,6 +322,29 @@ mod tests {
             .and_then(|w| w.parse().ok())
             .expect("drop count in report");
         assert!(drops > 0, "{out}");
+    }
+
+    #[test]
+    fn run_command_with_recovery_prints_detector_counters() {
+        // A crash at 4T and a heartbeat-driven rejoin at 60T: the report
+        // must carry the detector line, show the single rejoin, and the
+        // recovered site must be back among the completions (fairness).
+        let out = run("run --n 3 --quorum all --gap 20 --horizon 300 --crash 1:4 \
+             --recover 1:60 --hb-interval 2 --hb-timeout 10 --reliable on")
+        .unwrap();
+        assert!(out.contains("detector"), "{out}");
+        let detector_line = out
+            .lines()
+            .find(|l| l.starts_with("detector"))
+            .expect("detector line");
+        assert!(detector_line.contains("1 rejoins sent"), "{out}");
+        assert!(!detector_line.contains("0 suspicions"), "{out}");
+    }
+
+    #[test]
+    fn run_command_without_detector_omits_detector_line() {
+        let out = run("run --n 5 --quorum all --gap 20 --horizon 200").unwrap();
+        assert!(!out.contains("detector"), "{out}");
     }
 
     #[test]

@@ -149,6 +149,19 @@ pub enum Body {
         /// The withdrawn request.
         req: Timestamp,
     },
+    /// Rejoin resync: the sender asserts it currently holds the receiver's
+    /// arbiter permission for request `req`.
+    ///
+    /// Not one of the paper's seven messages: the paper has no rejoin
+    /// protocol at all. When a crashed arbiter restarts with fresh state,
+    /// it no longer knows who holds its permission; without this assertion
+    /// it would grant the permission again and violate mutual exclusion.
+    /// Sent by peers in response to a rejoin announcement, absorbed by the
+    /// rejoining arbiter during its grace window. Counted as `info`.
+    Claim {
+        /// The claimant's outstanding request holding the permission.
+        req: Timestamp,
+    },
 }
 
 /// A wire message: protocol body plus a piggybacked Lamport clock sample.
@@ -175,6 +188,7 @@ impl MsgMeta for Msg {
             Body::Yield { .. } => MsgKind::Yield,
             Body::Transfer { .. } => MsgKind::Transfer,
             Body::Relinquish { .. } => MsgKind::Release,
+            Body::Claim { .. } => MsgKind::Info,
         }
     }
 }
@@ -276,6 +290,19 @@ pub struct DelayOptimal {
     quorum_source: Option<Box<dyn QuorumSource>>,
     inaccessible: bool,
 
+    // --- failure-detector integration (suspicion / recovery) ---
+    /// Permission-returning messages (release/yield/relinquish) dropped at
+    /// source because the target was suspected, by target site. If the
+    /// suspicion turns out false, the target's arbiter still thinks these
+    /// requests are queued or hold its lock; on restoration a `Relinquish`
+    /// per recorded request unwedges it.
+    withheld: std::collections::BTreeMap<SiteId, BTreeSet<Timestamp>>,
+    /// True between a post-crash restart (`on_recover`) and the end of the
+    /// rejoin grace window (`on_rejoin_complete`): the arbiter enqueues
+    /// requests but grants nothing, waiting for `Claim`s to re-establish
+    /// who held its permission before the crash.
+    rejoining: bool,
+
     // Self-addressed messages processed synchronously (a site is a member of
     // its own quorum; granting itself must not cost wire messages).
     local_q: VecDeque<(SiteId, Msg)>,
@@ -300,6 +327,8 @@ impl Clone for DelayOptimal {
             known_failed: self.known_failed.clone(),
             quorum_source: self.quorum_source.clone(),
             inaccessible: self.inaccessible,
+            withheld: self.withheld.clone(),
+            rejoining: self.rejoining,
             local_q: self.local_q.clone(),
         }
     }
@@ -326,6 +355,8 @@ impl fmt::Debug for DelayOptimal {
             .field("early_returns", &self.early_returns)
             .field("known_failed", &self.known_failed)
             .field("inaccessible", &self.inaccessible)
+            .field("withheld", &self.withheld)
+            .field("rejoining", &self.rejoining)
             .field("local_q", &self.local_q)
             .finish_non_exhaustive()
     }
@@ -362,6 +393,8 @@ impl DelayOptimal {
             known_failed: BTreeSet::new(),
             quorum_source: None,
             inaccessible: false,
+            withheld: std::collections::BTreeMap::new(),
+            rejoining: false,
             local_q: VecDeque::new(),
         }
     }
@@ -431,8 +464,10 @@ impl DelayOptimal {
             }
         }
         // 2. No lock and a non-empty queue only transiently inside a
-        //    handler; between events it means a stalled grant.
-        if self.lock.is_none() && !self.req_queue.is_empty() {
+        //    handler; between events it means a stalled grant. Exception:
+        //    a rejoining arbiter deliberately queues without granting
+        //    until its grace window closes.
+        if self.lock.is_none() && !self.req_queue.is_empty() && !self.rejoining {
             return Err(format!(
                 "{}: free lock with {} queued requests",
                 self.site,
@@ -513,9 +548,23 @@ impl DelayOptimal {
             self.local_q.push_back((self.site, msg));
         } else if !self.known_failed.contains(&to) {
             fx.send(to, msg);
+        } else {
+            // Messages to suspected sites are dropped at the source (§6: a
+            // failed site's messages are pointless). But `known_failed` is
+            // only a *suspicion*: if the target is in fact alive, dropping
+            // a permission-returning message would leave its arbiter
+            // convinced forever that our request is queued or holds its
+            // lock. Record the returned request so restoration can send a
+            // catch-all `Relinquish`.
+            let returned = match &msg.body {
+                Body::Release { holder_req, .. } => Some(*holder_req),
+                Body::Yield { req } | Body::Relinquish { req } => Some(*req),
+                _ => None,
+            };
+            if let Some(req) = returned {
+                self.withheld.entry(to).or_default().insert(req);
+            }
         }
-        // Messages to known-failed sites are dropped at the source; the
-        // network would discard them anyway.
     }
 
     fn pump(&mut self, fx: &mut Effects<Msg>) {
@@ -550,6 +599,7 @@ impl DelayOptimal {
                 holder_req,
             } => self.req_transfer(arbiter, beneficiary, holder_req, fx),
             Body::Relinquish { req } => self.arb_relinquish(from, req, fx),
+            Body::Claim { req } => self.arb_claim(from, req, fx),
         }
     }
 
@@ -564,6 +614,11 @@ impl DelayOptimal {
             return; // in-flight request from a site that has since crashed
         }
         match self.lock {
+            None if self.rejoining => {
+                // Rejoin grace window: a pre-crash holder may still claim
+                // this permission; enqueue and grant at window close.
+                self.req_queue.insert(ts);
+            }
             None => {
                 // Permission free: grant immediately, do not enqueue.
                 self.lock = Some(ts);
@@ -738,6 +793,12 @@ impl DelayOptimal {
     /// transfer naming the subsequent request. Used on plain release, yield,
     /// and failure cleanup.
     fn grant_next(&mut self, fx: &mut Effects<Msg>) {
+        if self.rejoining {
+            // Grace window: leave the permission free and everything
+            // queued; `on_rejoin_complete` grants once claims are in.
+            self.lock = None;
+            return;
+        }
         loop {
             match self.req_queue.pop() {
                 None => {
@@ -784,6 +845,38 @@ impl DelayOptimal {
         // (which may be the yielder itself if it is in fact the minimum).
         self.req_queue.insert(req);
         self.grant_next(fx);
+    }
+
+    /// Rejoin resync: `from` asserts its request `req` currently holds this
+    /// arbiter's permission (sent in response to our rejoin announcement).
+    fn arb_claim(&mut self, from: SiteId, req: Timestamp, fx: &mut Effects<Msg>) {
+        if req.site != from || self.known_failed.contains(&from) {
+            return;
+        }
+        if self.lock == Some(req) {
+            return; // already consistent
+        }
+        if self.lock.is_none() {
+            // Re-establish the pre-crash grant. During the rejoin window
+            // this is the expected path; outside it, it can only mean the
+            // permission is genuinely free (nothing was granted since).
+            self.req_queue.remove(&req);
+            self.lock = Some(req);
+        } else {
+            // Conflict: we already (re-)granted to someone else — the
+            // claim arrived after the grace window closed. Ask the
+            // claimant to yield; its §3.1 machinery hands the permission
+            // back once it learns it cannot be next.
+            self.route(
+                fx,
+                from,
+                Body::Inquire {
+                    arbiter: self.site,
+                    holder_req: req,
+                    transfer: None,
+                },
+            );
+        }
     }
 
     /// A request is withdrawn entirely (quorum reconstruction, §6).
@@ -1003,6 +1096,19 @@ impl DelayOptimal {
         }
     }
 
+    /// Re-evaluates `inaccessible` after the suspicion set shrank: a site
+    /// that had no live quorum may have one again.
+    fn recompute_accessibility(&mut self) {
+        if !self.inaccessible {
+            return;
+        }
+        if self.quorum_source.is_some() {
+            self.refresh_quorum();
+        } else {
+            self.inaccessible = self.req_set.iter().any(|m| self.known_failed.contains(m));
+        }
+    }
+
     fn begin_request(&mut self, fx: &mut Effects<Msg>) {
         debug_assert_eq!(self.phase, RequesterPhase::Idle);
         let ts = Timestamp {
@@ -1149,6 +1255,83 @@ impl Protocol for DelayOptimal {
             if self.refresh_quorum() && wanted {
                 self.begin_request(fx);
             }
+        }
+        self.pump(fx);
+    }
+
+    /// A suspicion proved false: reintegrate `site`.
+    ///
+    /// Mutual exclusion is unaffected — `known_failed` only ever gates
+    /// message dropping and quorum selection, never grants — so
+    /// reintegration is (1) stop dropping its messages at source, (2)
+    /// re-admit it to quorum selection, and (3) flush the
+    /// permission-returning messages we dropped while it was suspected, so
+    /// its arbiter stops waiting on requests we no longer have.
+    fn on_site_restored(&mut self, site: SiteId, fx: &mut Effects<Msg>) {
+        if !self.known_failed.remove(&site) {
+            return;
+        }
+        if let Some(reqs) = self.withheld.remove(&site) {
+            for req in reqs {
+                self.route(fx, site, Body::Relinquish { req });
+            }
+        }
+        self.recompute_accessibility();
+        self.pump(fx);
+    }
+
+    /// A crashed peer restarted with fresh state: purge every trace of its
+    /// old incarnation, reintegrate it, and resync its arbiter state.
+    fn on_peer_rejoined(&mut self, site: SiteId, fx: &mut Effects<Msg>) {
+        // The rejoiner lost its requester state: its old requests will
+        // never be released or withdrawn. Purge them from our arbiter.
+        let _ = self.req_queue.remove_site(site);
+        if self.lock.is_some_and(|l| l.site == site) {
+            self.grant_next(fx);
+        }
+        self.early_returns.retain(|k, _| k.site != site);
+        self.tran_stack.retain(|e| e.beneficiary.site != site);
+        self.inq_queue.retain(|p| p.arbiter != site);
+
+        // Reintegrate (the withheld returns are moot: the fresh arbiter
+        // has no queue to unwedge).
+        self.known_failed.remove(&site);
+        self.withheld.remove(&site);
+        self.recompute_accessibility();
+
+        // Resync the rejoined arbiter: it no longer knows who holds its
+        // permission or who is waiting for it.
+        if self.req_set.contains(&site) && self.phase != RequesterPhase::Idle {
+            if let Some(my_req) = self.my_req {
+                if self.replied.contains(&site) {
+                    // We hold its permission: assert the claim so it does
+                    // not grant the permission a second time.
+                    self.route(fx, site, Body::Claim { req: my_req });
+                } else if self.phase == RequesterPhase::Waiting {
+                    // Our request sat in its (lost) queue: re-issue it.
+                    self.route(fx, site, Body::Request { ts: my_req });
+                }
+            }
+        }
+        self.pump(fx);
+    }
+
+    /// This site restarted after a crash with fresh state: hold off
+    /// arbitration until peers' `Claim`s re-establish who held our
+    /// permission (the detector layer announces the rejoin and times the
+    /// grace window).
+    fn on_recover(&mut self, fx: &mut Effects<Msg>) {
+        self.rejoining = true;
+        let _ = fx;
+    }
+
+    /// The rejoin grace window closed: resume arbitration. If no claim
+    /// arrived the permission is free and the queue head (requests that
+    /// accumulated during the window) is granted now.
+    fn on_rejoin_complete(&mut self, fx: &mut Effects<Msg>) {
+        self.rejoining = false;
+        if self.lock.is_none() {
+            self.grant_next(fx);
         }
         self.pump(fx);
     }
@@ -1683,6 +1866,119 @@ mod tests {
         assert!(sends
             .iter()
             .any(|(to, m)| *to == SiteId(3) && matches!(m.body, Body::Reply { .. })));
+    }
+
+    /// Delivers in-flight messages like [`settle`] but silently drops
+    /// anything addressed to `dead` (crash semantics: the site is gone,
+    /// not slow).
+    fn settle_without(
+        sites: &mut [DelayOptimal],
+        inflight: &mut VecDeque<(SiteId, SiteId, Msg)>,
+        dead: SiteId,
+    ) {
+        while let Some((from, to, msg)) = inflight.pop_front() {
+            if to == dead {
+                continue;
+            }
+            let mut fx = Effects::new();
+            sites[to.index()].handle(from, msg, &mut fx);
+            for (t, m) in fx.take_sends() {
+                inflight.push_back((to, t, m));
+            }
+        }
+    }
+
+    /// Announces `dead`'s failure to every survivor, queueing whatever
+    /// recovery traffic that produces.
+    fn fail_site(
+        sites: &mut [DelayOptimal],
+        inflight: &mut VecDeque<(SiteId, SiteId, Msg)>,
+        dead: SiteId,
+    ) {
+        for (i, site) in sites.iter_mut().enumerate() {
+            let from = SiteId(i as u32);
+            if from == dead {
+                continue;
+            }
+            let mut fx = Effects::new();
+            site.on_site_failure(dead, &mut fx);
+            for (t, m) in fx.take_sends() {
+                inflight.push_back((from, t, m));
+            }
+        }
+    }
+
+    #[test]
+    fn failed_cs_holder_end_to_end_admits_the_waiters() {
+        // §6 end to end: site 0 crashes *inside* the CS while 1 and 2 wait.
+        // Every arbiter must purge the dead holder's lock and grant the
+        // queue head, and the survivors then drain the queue in timestamp
+        // order. (The shared quorum {1,2} excludes the victim so the fixed
+        // quorums stay accessible after the crash.)
+        let mut sites = net(3, &[1, 2]);
+        let mut inflight = VecDeque::new();
+        request(&mut sites, 0, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        assert!(sites[0].in_cs());
+        request(&mut sites, 1, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        request(&mut sites, 2, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        assert_eq!(in_cs_count(&sites), 1, "waiters blocked behind the holder");
+
+        let dead = SiteId(0);
+        fail_site(&mut sites, &mut inflight, dead);
+        settle_without(&mut sites, &mut inflight, dead);
+        // The dead holder never sent a Release, yet the earlier waiter got
+        // in — and only it.
+        assert!(sites[1].in_cs(), "queue head admitted after holder death");
+        assert!(!sites[2].in_cs());
+
+        release(&mut sites, 1, &mut inflight);
+        settle_without(&mut sites, &mut inflight, dead);
+        assert!(sites[2].in_cs(), "handoff continues past the failure");
+        release(&mut sites, 2, &mut inflight);
+        settle_without(&mut sites, &mut inflight, dead);
+        // Only the dead site's frozen snapshot still claims the CS.
+        assert!(sites[1..].iter().all(|s| !s.in_cs()));
+    }
+
+    #[test]
+    fn failed_queue_head_end_to_end_is_skipped_on_release() {
+        // §6 end to end: the *next in line* (not the holder) crashes. The
+        // holder's release — possibly already forwarded toward the dead
+        // beneficiary — must not strand the grant: the arbiter re-grants
+        // past the purged queue head to the surviving waiter.
+        let mut sites = net(4, &[3]);
+        let mut inflight = VecDeque::new();
+        request(&mut sites, 0, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        assert!(sites[0].in_cs());
+        request(&mut sites, 1, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        request(&mut sites, 2, &mut inflight);
+        settle(&mut sites, &mut inflight);
+
+        let dead = SiteId(1);
+        fail_site(&mut sites, &mut inflight, dead);
+        settle_without(&mut sites, &mut inflight, dead);
+        // The holder is unaffected by a waiter's death.
+        assert!(sites[0].in_cs());
+
+        release(&mut sites, 0, &mut inflight);
+        settle_without(&mut sites, &mut inflight, dead);
+        assert!(!sites[1].in_cs());
+        assert!(sites[2].in_cs(), "grant skipped the dead queue head");
+        release(&mut sites, 2, &mut inflight);
+        settle_without(&mut sites, &mut inflight, dead);
+        // Every survivor is done; only the dead site's frozen snapshot
+        // still wants the CS it will never get.
+        assert_eq!(in_cs_count(&sites), 0);
+        for (i, s) in sites.iter().enumerate() {
+            if SiteId(i as u32) != dead {
+                assert!(!s.wants_cs(), "S{i} still waiting");
+            }
+        }
     }
 
     #[test]

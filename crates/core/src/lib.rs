@@ -38,6 +38,9 @@
 //! * [`Reliable`], [`LossModel`] — the ack/retransmit/dedup transport layer
 //!   that restores the paper's error-free-channel assumption over lossy
 //!   links, and the fault models used to inject loss ([`transport`]).
+//! * [`Detector`], [`DetectorConfig`] — the heartbeat failure detector and
+//!   crash-recovery/rejoin layer that replaces the paper's `failure(i)`
+//!   oracle with timeout-driven (possibly false) suspicion ([`detector`]).
 //!
 //! ## Quickstart
 //!
@@ -73,12 +76,14 @@
 
 pub mod clock;
 pub mod delay_optimal;
+pub mod detector;
 pub mod protocol;
 pub mod reqqueue;
 pub mod transport;
 
 pub use clock::{LamportClock, SeqNum, Timestamp};
 pub use delay_optimal::{Config, DelayOptimal, Msg, RequesterPhase};
+pub use detector::{Detector, DetectorConfig, DetectorCounters, HbMsg};
 pub use protocol::{Effects, MsgKind, MsgMeta, Protocol, QuorumSource, SiteId};
 pub use reqqueue::ReqQueue;
 pub use transport::{

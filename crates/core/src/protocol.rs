@@ -229,6 +229,48 @@ pub trait Protocol {
         let _ = (failed, fx);
     }
 
+    /// A failure detector *suspects* `site` has crashed (missed heartbeats).
+    ///
+    /// Unlike [`on_site_failure`](Protocol::on_site_failure) — the paper's
+    /// oracle `failure(i)` notice, which is definitive — a suspicion may be
+    /// wrong (a partition or slow link, Chandra–Toueg style). The default
+    /// treats it as a failure notice; algorithms that can reintegrate must
+    /// also implement [`on_site_restored`](Protocol::on_site_restored).
+    fn on_site_suspected(&mut self, site: SiteId, fx: &mut Effects<Self::Msg>) {
+        self.on_site_failure(site, fx);
+    }
+
+    /// A previously suspected `site` has been heard from again: the
+    /// suspicion was false and the site must be reintegrated (messages to it
+    /// no longer dropped at source, re-admitted to quorum selection).
+    fn on_site_restored(&mut self, site: SiteId, fx: &mut Effects<Self::Msg>) {
+        let _ = (site, fx);
+    }
+
+    /// A crashed `site` has announced it restarted with fresh state (rejoin
+    /// handshake). Layers should reset any per-peer connection state (the
+    /// rejoiner lost all protocol memory) and then reintegrate it; the
+    /// default defers to [`on_site_restored`](Protocol::on_site_restored).
+    fn on_peer_rejoined(&mut self, site: SiteId, fx: &mut Effects<Self::Msg>) {
+        self.on_site_restored(site, fx);
+    }
+
+    /// This site itself has just restarted after a crash, with fresh state.
+    ///
+    /// Layers announce themselves to peers here (the detector broadcasts a
+    /// rejoin message) and may defer normal operation until the rejoin
+    /// handshake completes.
+    fn on_recover(&mut self, fx: &mut Effects<Self::Msg>) {
+        let _ = fx;
+    }
+
+    /// The rejoin grace window opened by [`on_recover`](Protocol::on_recover)
+    /// has elapsed: the site may resume full operation (arbitration,
+    /// granting) with whatever state the handshake rebuilt.
+    fn on_rejoin_complete(&mut self, fx: &mut Effects<Self::Msg>) {
+        let _ = fx;
+    }
+
     /// Informs time-aware layers of the driver's current time, before any
     /// event is delivered.
     ///
@@ -266,6 +308,15 @@ pub trait Protocol {
     /// reports its retransmission/dedup statistics here so drivers can
     /// aggregate them into run metrics without knowing the wrapper type.
     fn transport_counters(&self) -> Option<crate::transport::TransportCounters> {
+        None
+    }
+
+    /// Failure-detector counters, if a detector wrapper is present.
+    ///
+    /// `None` for bare protocols; [`Detector`](crate::detector::Detector)
+    /// reports its heartbeat/suspicion statistics here, mirroring
+    /// [`transport_counters`](Protocol::transport_counters).
+    fn detector_counters(&self) -> Option<crate::detector::DetectorCounters> {
         None
     }
 }

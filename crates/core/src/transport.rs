@@ -22,6 +22,14 @@
 //!   cumulative receive point are duplicates: dropped (and re-acked, so the
 //!   sender stops). Packets beyond the next expected number are buffered
 //!   and delivered once the gap fills, restoring per-link FIFO.
+//! * **Link epochs for crash–recovery.** When a peer rejoins after a crash
+//!   ([`Protocol::on_peer_rejoined`]) the send window restarts at 1 under
+//!   an incremented *epoch*; every packet and ack is stamped with the epoch
+//!   it belongs to. Stragglers from the old incarnation — retransmissions
+//!   in flight across the peer's restart — carry a stale epoch, so the
+//!   fresh receiver drops them instead of letting them consume the new
+//!   numbering's sequence slots (which would silently swallow a live
+//!   protocol message carrying the reused number).
 //!
 //! The result is **exactly-once, per-link FIFO** delivery to the wrapped
 //! protocol as long as the peer stays up and the link is *fair-lossy*
@@ -92,6 +100,9 @@ pub struct TransportCounters {
     pub reordered: u64,
     /// Packets abandoned after `max_retries` (peer presumed dead).
     pub gave_up: u64,
+    /// Received data packets dropped as stragglers from a previous link
+    /// incarnation (their epoch predates the current one).
+    pub stale_epoch_dropped: u64,
     /// High-water mark of unacked packets across all links (ack backlog).
     pub max_unacked: u64,
 }
@@ -105,6 +116,7 @@ impl TransportCounters {
         self.duplicates_dropped += other.duplicates_dropped;
         self.reordered += other.reordered;
         self.gave_up += other.gave_up;
+        self.stale_epoch_dropped += other.stale_epoch_dropped;
         self.max_unacked = self.max_unacked.max(other.max_unacked);
     }
 }
@@ -116,8 +128,15 @@ pub enum Packet<M> {
     /// A protocol message with its link sequence number and a piggybacked
     /// cumulative ack for the reverse direction.
     Data {
+        /// Link incarnation the sequence number belongs to (see
+        /// [module docs](self): bumped when the send half resets after the
+        /// peer rejoins, so stragglers from the old incarnation cannot
+        /// consume the new incarnation's sequence slots).
+        epoch: u64,
         /// Per-link sequence number (1-based; FIFO order on the link).
         seq: u64,
+        /// Link incarnation the piggybacked ack refers to.
+        ack_epoch: u64,
         /// Cumulative ack: every reverse-direction packet `<= ack` arrived.
         ack: u64,
         /// The wrapped protocol message.
@@ -125,6 +144,8 @@ pub enum Packet<M> {
     },
     /// A standalone cumulative ack (sent when there is no data to ride on).
     Ack {
+        /// Link incarnation the ack refers to (stale-epoch acks are ignored).
+        epoch: u64,
         /// Every packet `<= ack` on the sender→receiver reverse link arrived.
         ack: u64,
     },
@@ -153,10 +174,15 @@ struct Pending<M> {
 /// Per-peer link state: send window, receive point, reorder buffer.
 #[derive(Debug, Clone)]
 struct LinkState<M> {
+    /// Incarnation of the outgoing half-link (bumped each time the peer
+    /// rejoins and the send window restarts at 1).
+    send_epoch: u64,
     /// Last sequence number assigned on the outgoing half-link.
     sent: u64,
     /// Outgoing packets not yet cumulatively acked, by sequence number.
     unacked: BTreeMap<u64, Pending<M>>,
+    /// Incarnation of the peer's send half currently being accepted.
+    recv_epoch: u64,
     /// Highest sequence number received *in order* on the incoming half.
     recv_cum: u64,
     /// Received-ahead packets waiting for the gap to fill.
@@ -167,8 +193,10 @@ struct LinkState<M> {
 impl<M> Default for LinkState<M> {
     fn default() -> Self {
         LinkState {
+            send_epoch: 0,
             sent: 0,
             unacked: BTreeMap::new(),
+            recv_epoch: 0,
             recv_cum: 0,
             reorder: BTreeMap::new(),
         }
@@ -178,6 +206,7 @@ impl<M> Default for LinkState<M> {
 /// Reliable-delivery wrapper: `Reliable<P>` is a [`Protocol`] whose wire
 /// messages are [`Packet<P::Msg>`] and which presents exactly-once FIFO
 /// delivery to the inner `P` (see the [module docs](self)).
+#[derive(Clone)]
 pub struct Reliable<P: Protocol> {
     inner: P,
     cfg: TransportConfig,
@@ -236,7 +265,9 @@ impl<P: Protocol> Reliable<P> {
             fx.send(
                 to,
                 Packet::Data {
+                    epoch: link.send_epoch,
                     seq,
+                    ack_epoch: link.recv_epoch,
                     ack: link.recv_cum,
                     payload,
                 },
@@ -245,10 +276,14 @@ impl<P: Protocol> Reliable<P> {
         self.counters.max_unacked = self.counters.max_unacked.max(self.unacked_total());
     }
 
-    /// Applies a cumulative ack from `from`.
-    fn apply_ack(&mut self, from: SiteId, ack: u64) {
+    /// Applies a cumulative ack from `from`, provided it refers to the
+    /// current incarnation of the outgoing half-link (a straggler ack from
+    /// before the peer's restart must not confirm new-incarnation packets).
+    fn apply_ack(&mut self, from: SiteId, epoch: u64, ack: u64) {
         if let Some(link) = self.links.get_mut(&from) {
-            link.unacked.retain(|&seq, _| seq > ack);
+            if epoch == link.send_epoch {
+                link.unacked.retain(|&seq, _| seq > ack);
+            }
         }
     }
 }
@@ -284,12 +319,36 @@ impl<P: Protocol> Protocol for Reliable<P> {
 
     fn handle(&mut self, from: SiteId, msg: Self::Msg, fx: &mut Effects<Self::Msg>) {
         match msg {
-            Packet::Ack { ack } => {
-                self.apply_ack(from, ack);
+            Packet::Ack { epoch, ack } => {
+                self.apply_ack(from, epoch, ack);
             }
-            Packet::Data { seq, ack, payload } => {
-                self.apply_ack(from, ack);
+            Packet::Data {
+                epoch,
+                seq,
+                ack_epoch,
+                ack,
+                payload,
+            } => {
+                self.apply_ack(from, ack_epoch, ack);
                 let link = self.links.entry(from).or_default();
+                if epoch < link.recv_epoch {
+                    // Straggler from a previous incarnation of the peer's
+                    // send half: its sequence numbers live in a dead
+                    // numbering space — taking it would let it consume the
+                    // new incarnation's slots. Drop silently (no re-ack:
+                    // stale-epoch acks are ignored anyway).
+                    self.counters.stale_epoch_dropped += 1;
+                    return;
+                }
+                if epoch > link.recv_epoch {
+                    // The peer's send half restarted (it saw us rejoin, or
+                    // an old straggler was briefly adopted as the current
+                    // incarnation). Discard any buffered old-epoch packets
+                    // and restart the receive window for the new numbering.
+                    link.recv_epoch = epoch;
+                    link.recv_cum = 0;
+                    link.reorder.clear();
+                }
                 if seq <= link.recv_cum {
                     // Duplicate (retransmission of something already taken):
                     // drop it and re-ack so the sender stops resending.
@@ -322,9 +381,10 @@ impl<P: Protocol> Protocol for Reliable<P> {
                     .iter()
                     .any(|(to, p)| *to == from && matches!(p, Packet::Data { .. }));
                 if !piggybacked {
-                    let ack = self.links.entry(from).or_default().recv_cum;
+                    let link = self.links.entry(from).or_default();
+                    let (epoch, ack) = (link.recv_epoch, link.recv_cum);
                     self.counters.acks_sent += 1;
-                    fx.send(from, Packet::Ack { ack });
+                    fx.send(from, Packet::Ack { epoch, ack });
                 }
             }
         }
@@ -363,7 +423,9 @@ impl<P: Protocol> Protocol for Reliable<P> {
                 fx.send(
                     to,
                     Packet::Data {
+                        epoch: link.send_epoch,
                         seq,
+                        ack_epoch: link.recv_epoch,
                         ack: link.recv_cum,
                         payload: p.payload.clone(),
                     },
@@ -393,8 +455,64 @@ impl<P: Protocol> Protocol for Reliable<P> {
         self.wrap_sends(&mut inner_fx, fx);
     }
 
+    fn on_site_suspected(&mut self, site: SiteId, fx: &mut Effects<Self::Msg>) {
+        // Unlike a definitive failure notice, a suspicion may be false: do
+        // NOT abandon unacked packets (that would leave a permanent hole in
+        // the peer's sequence space, wedging the link after restoration).
+        // Retransmission keeps trying, bounded by `max_retries`.
+        let mut inner_fx = Effects::new();
+        self.inner.on_site_suspected(site, &mut inner_fx);
+        self.wrap_sends(&mut inner_fx, fx);
+    }
+
+    fn on_site_restored(&mut self, site: SiteId, fx: &mut Effects<Self::Msg>) {
+        // Both ends kept their link state (the peer never actually died):
+        // pending retransmissions resume on their own. Transport-wise a
+        // restoration is a no-op; only the inner protocol reintegrates.
+        let mut inner_fx = Effects::new();
+        self.inner.on_site_restored(site, &mut inner_fx);
+        self.wrap_sends(&mut inner_fx, fx);
+    }
+
+    fn on_peer_rejoined(&mut self, site: SiteId, fx: &mut Effects<Self::Msg>) {
+        // The peer restarted with a fresh transport: its sequence numbers
+        // begin again at 1 in both directions. Restart our send window
+        // under a NEW epoch — any of our old-incarnation packets still in
+        // flight (a retransmission can fire between the peer's restart and
+        // our sighting of its Rejoin) then carry a stale epoch and cannot
+        // consume the new numbering's sequence slots at the fresh peer.
+        // The receive half restarts at epoch 0, matching the peer's fresh
+        // send state.
+        let link = self.links.entry(site).or_default();
+        link.send_epoch += 1;
+        link.sent = 0;
+        link.unacked.clear();
+        link.recv_epoch = 0;
+        link.recv_cum = 0;
+        link.reorder.clear();
+        let mut inner_fx = Effects::new();
+        self.inner.on_peer_rejoined(site, &mut inner_fx);
+        self.wrap_sends(&mut inner_fx, fx);
+    }
+
+    fn on_recover(&mut self, fx: &mut Effects<Self::Msg>) {
+        let mut inner_fx = Effects::new();
+        self.inner.on_recover(&mut inner_fx);
+        self.wrap_sends(&mut inner_fx, fx);
+    }
+
+    fn on_rejoin_complete(&mut self, fx: &mut Effects<Self::Msg>) {
+        let mut inner_fx = Effects::new();
+        self.inner.on_rejoin_complete(&mut inner_fx);
+        self.wrap_sends(&mut inner_fx, fx);
+    }
+
     fn transport_counters(&self) -> Option<TransportCounters> {
         Some(self.counters)
+    }
+
+    fn detector_counters(&self) -> Option<crate::detector::DetectorCounters> {
+        self.inner.detector_counters()
     }
 }
 
@@ -627,7 +745,7 @@ mod tests {
         // s0 acked the reply explicitly (no data to piggyback on).
         let sends = fx0.take_sends();
         assert_eq!(sends.len(), 1);
-        assert!(matches!(sends[0].1, Packet::Ack { ack: 1 }));
+        assert!(matches!(sends[0].1, Packet::Ack { ack: 1, .. }));
         // The request is now acked: no pending retransmission.
         assert_eq!(s0.next_timer(), None);
     }
@@ -684,7 +802,7 @@ mod tests {
         s1.handle(SiteId(0), pkt, &mut fx1b);
         let dup_out = fx1b.take_sends();
         assert_eq!(dup_out.len(), 1);
-        assert!(matches!(dup_out[0].1, Packet::Ack { ack: 1 }));
+        assert!(matches!(dup_out[0].1, Packet::Ack { ack: 1, .. }));
         assert_eq!(s1.counters().duplicates_dropped, 1);
     }
 
@@ -721,7 +839,7 @@ mod tests {
         assert_eq!(s1b.counters().reordered, 1);
         // Still acking 0 — nothing deliverable yet, request not seen.
         let out = fxb.take_sends();
-        assert!(matches!(out[0].1, Packet::Ack { ack: 0 }));
+        assert!(matches!(out[0].1, Packet::Ack { ack: 0, .. }));
 
         // Now seq 1 arrives: both deliver in order (request then release).
         s1b.handle(SiteId(0), p1, &mut fxb);
@@ -731,7 +849,87 @@ mod tests {
         // the cumulative ack advanced over both.
         assert!(out
             .iter()
-            .any(|(_, p)| matches!(p, Packet::Data { ack: 2, .. } | Packet::Ack { ack: 2 })));
+            .any(|(_, p)| matches!(p, Packet::Data { ack: 2, .. } | Packet::Ack { ack: 2, .. })));
+    }
+
+    #[test]
+    fn stale_epoch_stragglers_cannot_wedge_a_fresh_link() {
+        // Regression for the crash-recovery wedge: site 1 restarts fresh
+        // while old-incarnation retransmissions from site 0 are still in
+        // flight. Without epochs those stragglers consume the fresh
+        // receive window's sequence slots, and the first REAL message the
+        // survivor sends after resetting its link (reusing those numbers)
+        // is dropped as a "duplicate" — silently swallowing a protocol
+        // message and deadlocking the mutual-exclusion layer above.
+        let (mut s0, mut s1) = pair();
+        let mut fx = Effects::new();
+        s0.request_cs(&mut fx);
+        let (_, pkt) = fx.take_sends().into_iter().next().unwrap();
+        let payload = match &pkt {
+            Packet::Data { payload, .. } => payload.clone(),
+            Packet::Ack { .. } => unreachable!("request rides as data"),
+        };
+
+        // Old-incarnation stragglers (epoch 0, seqs 3 and 4) reach the
+        // freshly restarted site 1 first: buffered behind the 1..2 gap.
+        let mut fx1 = Effects::new();
+        for seq in [3, 4] {
+            s1.handle(
+                SiteId(0),
+                Packet::Data {
+                    epoch: 0,
+                    seq,
+                    ack_epoch: 0,
+                    ack: 0,
+                    payload: payload.clone(),
+                },
+                &mut fx1,
+            );
+        }
+        assert_eq!(s1.counters().reordered, 2);
+        fx1.take_sends();
+
+        // Site 0 sees the rejoin: link resets, and its re-issued request
+        // goes out under a NEW epoch with the sequence space restarted.
+        let mut fx0 = Effects::new();
+        s0.on_peer_rejoined(SiteId(1), &mut fx0);
+        let sends = fx0.take_sends();
+        assert_eq!(sends.len(), 1);
+        let (_, fresh) = sends.into_iter().next().unwrap();
+        assert!(matches!(
+            fresh,
+            Packet::Data {
+                epoch: 1,
+                seq: 1,
+                ..
+            }
+        ));
+
+        // The new-epoch packet must evict the buffered junk and reach the
+        // inner protocol (site 1's arbiter answers it with a reply).
+        let mut fx1 = Effects::new();
+        s1.handle(SiteId(0), fresh, &mut fx1);
+        let replied = fx1
+            .take_sends()
+            .iter()
+            .any(|(_, p)| matches!(p, Packet::Data { .. }));
+        assert!(replied, "new-epoch request was delivered and answered");
+
+        // A late straggler from the dead epoch is now dropped outright.
+        let mut fx1 = Effects::new();
+        s1.handle(
+            SiteId(0),
+            Packet::Data {
+                epoch: 0,
+                seq: 5,
+                ack_epoch: 0,
+                ack: 0,
+                payload,
+            },
+            &mut fx1,
+        );
+        assert_eq!(s1.counters().stale_epoch_dropped, 1);
+        assert!(fx1.take_sends().is_empty(), "stale packets are not acked");
     }
 
     #[test]
@@ -875,6 +1073,7 @@ mod tests {
             duplicates_dropped: 4,
             reordered: 5,
             gave_up: 6,
+            stale_epoch_dropped: 8,
             max_unacked: 7,
         };
         let b = TransportCounters {

@@ -9,7 +9,8 @@
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use qmx_core::{
-    Effects, FaultVerdict, LinkFaults, LossModel, Outage, Protocol, SiteId, TransportCounters,
+    DetectorCounters, Effects, FaultVerdict, LinkFaults, LossModel, Outage, Protocol, SiteId,
+    TransportCounters,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -31,10 +32,22 @@ pub struct NetOptions {
     /// Pause between a site's releases and its next request.
     pub think: Duration,
     /// Crash injection: `(site, when)` pairs — the site stops dead at
-    /// `when` after start; every survivor receives a failure notice
-    /// `detect_latency` later (§6's `failure(i)`).
+    /// `when` after start; when [`NetOptions::oracle_notices`] is on, every
+    /// survivor receives a failure notice `detect_latency` later (§6's
+    /// `failure(i)`).
     pub crashes: Vec<(SiteId, Duration)>,
-    /// Failure-detector latency for crash notices.
+    /// Recovery injection: `(site, when)` pairs — a previously crashed
+    /// site restarts at `when` with **fresh** protocol state (cloned from
+    /// its pre-start instance) and runs its `on_recover` hook. Under the
+    /// [`qmx_core::Detector`] wrapper that announces a rejoin to every
+    /// peer. Each entry must come after the matching crash.
+    pub recoveries: Vec<(SiteId, Duration)>,
+    /// Whether crashes are followed by broadcast oracle failure notices
+    /// (the paper's §6 model). Disable when the sites run under the
+    /// heartbeat [`qmx_core::Detector`] wrapper: survivors then learn of
+    /// the crash only from missed heartbeats.
+    pub oracle_notices: bool,
+    /// Failure-detector latency for crash notices (oracle mode only).
     pub detect_latency: Duration,
     /// Wire-message fault model applied by the router (same seeded models
     /// as the simulator; wrap the sites in
@@ -56,6 +69,8 @@ impl Default for NetOptions {
             rounds: 3,
             think: Duration::from_millis(1),
             crashes: Vec::new(),
+            recoveries: Vec::new(),
+            oracle_notices: true,
             detect_latency: Duration::from_millis(10),
             loss: LossModel::None,
             outages: Vec::new(),
@@ -78,6 +93,9 @@ pub struct RunOutcome {
     /// Aggregated reliable-transport counters over all sites (all zero
     /// when the protocols run bare).
     pub transport: TransportCounters,
+    /// Aggregated failure-detector counters over all sites (all zero when
+    /// the protocols run without the detector wrapper).
+    pub detector: DetectorCounters,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Per-site CS counts.
@@ -100,11 +118,13 @@ struct Envelope<M> {
 }
 
 /// What a site thread can receive: a protocol message, a failure notice,
-/// or the order to crash (stop processing entirely).
+/// the order to crash (stop processing entirely), or the order to restart
+/// with fresh state after a crash.
 enum Inbox<M> {
     Net(Envelope<M>),
     Failed(SiteId),
     Die,
+    Recover,
 }
 
 struct Delayed<M> {
@@ -157,13 +177,22 @@ impl CsMonitor {
 }
 
 /// Runs `sites` over real threads until every site not scheduled to
-/// crash completes `opts.rounds` CS executions. Returns the aggregated
-/// outcome.
+/// crash permanently completes `opts.rounds` CS executions. Returns the
+/// aggregated outcome.
 ///
-/// Crash injection is oracle-driven (like the simulator's): at the
-/// scheduled instant the victim's thread stops processing entirely, and
-/// `detect_latency` later every survivor receives
-/// [`Protocol::on_site_failure`].
+/// Crash injection: at the scheduled instant the victim's thread stops
+/// processing entirely. In oracle mode ([`NetOptions::oracle_notices`],
+/// the default), `detect_latency` later every survivor receives
+/// [`Protocol::on_site_failure`] — the paper's §6 `failure(i)`. With the
+/// oracle off, no notices are broadcast: survivors must discover the crash
+/// themselves (wrap the sites in [`qmx_core::Detector`] so missed
+/// heartbeats produce the suspicion).
+///
+/// Recovery injection ([`NetOptions::recoveries`]): the crashed site's
+/// thread restarts with a pristine clone of its protocol state and runs
+/// `on_start` + `on_recover`; a site with a scheduled recovery counts
+/// toward the completion target again (it is expected to finish its
+/// remaining rounds after rejoining).
 ///
 /// # Panics
 ///
@@ -171,7 +200,7 @@ impl CsMonitor {
 /// ever violated, or if the run makes no progress for 60 seconds.
 pub fn run_cluster<P>(sites: Vec<P>, opts: NetOptions) -> RunOutcome
 where
-    P: Protocol + Send + 'static,
+    P: Protocol + Clone + Send + 'static,
 {
     let n = sites.len();
     assert!(n > 0, "need at least one site");
@@ -179,6 +208,15 @@ where
         opts.crashes.iter().all(|(s, _)| s.index() < n),
         "crash schedule references unknown site"
     );
+    for &(site, at) in &opts.recoveries {
+        let crash_at = opts
+            .crashes
+            .iter()
+            .find(|&&(v, _)| v == site)
+            .map(|&(_, t)| t)
+            .expect("recovery scheduled for a site that never crashes");
+        assert!(at > crash_at, "recovery must come after the crash");
+    }
     let start = Instant::now();
 
     // Channels: router input, per-site inboxes.
@@ -273,20 +311,33 @@ where
         })
     };
 
-    // Crash-injection thread: kills victims on schedule and notifies the
-    // survivors after the detection latency.
+    // Fault-injection thread: a merged timeline of crashes, oracle
+    // notices, and recoveries, executed in time order.
+    enum Act {
+        Die(SiteId),
+        Notice(SiteId),
+        Recover(SiteId),
+    }
     let injector: Option<JoinHandle<()>> = if opts.crashes.is_empty() {
         None
     } else {
-        let mut schedule = opts.crashes.clone();
-        schedule.sort_by_key(|&(_, at)| at);
+        let mut schedule: Vec<(Duration, Act)> = Vec::new();
+        for &(victim, at) in &opts.crashes {
+            schedule.push((at, Act::Die(victim)));
+            if opts.oracle_notices {
+                schedule.push((at + opts.detect_latency, Act::Notice(victim)));
+            }
+        }
+        for &(site, at) in &opts.recoveries {
+            schedule.push((at, Act::Recover(site)));
+        }
+        schedule.sort_by_key(|&(at, _)| at);
         let site_txs = site_txs.clone();
         let crashed = Arc::clone(&crashed);
         let done = Arc::clone(&done);
-        let detect = opts.detect_latency;
         Some(std::thread::spawn(move || {
             let t0 = Instant::now();
-            for (victim, at) in schedule {
+            for (at, act) in schedule {
                 loop {
                     if done.load(Ordering::Relaxed) {
                         return;
@@ -297,40 +348,71 @@ where
                     }
                     std::thread::sleep((at - elapsed).min(Duration::from_millis(2)));
                 }
-                crashed.lock().insert(victim);
-                let _ = site_txs[victim.index()].send(Inbox::Die);
-                std::thread::sleep(detect);
-                for (i, tx) in site_txs.iter().enumerate() {
-                    if i != victim.index() && !crashed.lock().contains(&SiteId(i as u32)) {
-                        let _ = tx.send(Inbox::Failed(victim));
+                match act {
+                    Act::Die(victim) => {
+                        crashed.lock().insert(victim);
+                        let _ = site_txs[victim.index()].send(Inbox::Die);
+                    }
+                    Act::Notice(victim) => {
+                        // Snapshot the crashed set once so the survivor
+                        // check is consistent across the whole broadcast
+                        // (per-site locking could notify a site that
+                        // crashed mid-iteration).
+                        let snapshot = crashed.lock().clone();
+                        for (i, tx) in site_txs.iter().enumerate() {
+                            if i != victim.index() && !snapshot.contains(&SiteId(i as u32)) {
+                                let _ = tx.send(Inbox::Failed(victim));
+                            }
+                        }
+                    }
+                    Act::Recover(site) => {
+                        // Reopen routing first so the fresh incarnation's
+                        // rejoin answers can reach it.
+                        crashed.lock().remove(&site);
+                        let _ = site_txs[site.index()].send(Inbox::Recover);
                     }
                 }
             }
         }))
     };
 
-    // Which sites are expected to finish all rounds (victims are not).
+    // Which sites are expected to finish all rounds: everyone except
+    // victims that stay down (a victim with a scheduled recovery rejoins
+    // and is expected to finish its rounds too).
     let victims: std::collections::BTreeSet<SiteId> =
         opts.crashes.iter().map(|&(s, _)| s).collect();
-    let expected_total: u64 = ((n - victims.len()) * opts.rounds) as u64;
-    let victim_flags: Vec<bool> = (0..n)
-        .map(|i| victims.contains(&SiteId(i as u32)))
+    let recovering: std::collections::BTreeSet<SiteId> =
+        opts.recoveries.iter().map(|&(s, _)| s).collect();
+    let permanent: std::collections::BTreeSet<SiteId> =
+        victims.difference(&recovering).copied().collect();
+    let expected_total: u64 = ((n - permanent.len()) * opts.rounds) as u64;
+    let counted_flags: Vec<bool> = (0..n)
+        .map(|i| !permanent.contains(&SiteId(i as u32)))
+        .collect();
+    let recovery_flags: Vec<bool> = (0..n)
+        .map(|i| recovering.contains(&SiteId(i as u32)))
         .collect();
 
     // Site threads.
-    let mut handles: Vec<JoinHandle<(usize, Option<TransportCounters>)>> = Vec::with_capacity(n);
+    type SiteResult = (usize, Option<TransportCounters>, Option<DetectorCounters>);
+    let mut handles: Vec<JoinHandle<SiteResult>> = Vec::with_capacity(n);
     for (i, mut proto) in sites.into_iter().enumerate() {
         let rx = site_rxs.remove(0);
         let tx = router_tx.clone();
         let monitor = Arc::clone(&monitor);
         let done = Arc::clone(&done);
         let completed_total = Arc::clone(&completed_total);
-        let is_victim = victim_flags[i];
+        let counted = counted_flags[i];
+        let has_recovery = recovery_flags[i];
         let opts = opts.clone();
         let me = SiteId(i as u32);
         handles.push(std::thread::spawn(move || {
+            // Pristine pre-start state, swapped in if this site is
+            // scheduled to crash and recover.
+            let pristine = has_recovery.then(|| proto.clone());
             let mut fx = Effects::new();
             let mut my_completed = 0usize;
+            let mut dead = false;
             let mut exit_at: Option<Instant> = None;
             let mut next_request_at = Some(Instant::now());
             fn flush<M>(me: SiteId, fx: &mut Effects<M>, tx: &Sender<Envelope<M>>) -> bool {
@@ -353,17 +435,46 @@ where
                 if done.load(Ordering::Relaxed) {
                     break;
                 }
+                if dead {
+                    // Crashed with a recovery scheduled: ignore all
+                    // traffic until the injector orders the restart.
+                    match rx.recv_timeout(Duration::from_millis(1)) {
+                        Ok(Inbox::Recover) => {
+                            proto = pristine.clone().expect("recovery implies pristine");
+                            dead = false;
+                            proto.set_now(now_us());
+                            proto.on_start(&mut fx);
+                            proto.on_recover(&mut fx);
+                            flush(me, &mut fx, &tx);
+                            if my_completed < opts.rounds {
+                                next_request_at = Some(Instant::now() + opts.think);
+                            }
+                        }
+                        Ok(_) => {}
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                    last_progress = Instant::now();
+                    continue;
+                }
                 assert!(
                     last_progress.elapsed() < Duration::from_secs(60),
                     "site {me} made no progress for 60s (deadlock?)"
                 );
 
-                // Fire due transport timers (retransmissions).
+                // Fire due protocol timers (retransmissions, heartbeats,
+                // rejoin-grace expiry). A timer CAN complete a CS entry —
+                // e.g. the rejoin window closing grants this site's own
+                // queued request — so `entered` must be honored here just
+                // like on the message path.
                 if proto.next_timer().is_some_and(|due| due <= now_us()) {
                     let t = now_us();
                     proto.set_now(t);
                     proto.on_timer(t, &mut fx);
-                    flush(me, &mut fx, &tx);
+                    if flush(me, &mut fx, &tx) {
+                        monitor.enter(me);
+                        exit_at = Some(Instant::now() + opts.hold);
+                    }
                 }
 
                 // Leave the CS when the hold expires.
@@ -375,7 +486,7 @@ where
                         proto.release_cs(&mut fx);
                         flush(me, &mut fx, &tx);
                         my_completed += 1;
-                        if !is_victim {
+                        if counted {
                             completed_total.fetch_add(1, Ordering::Relaxed);
                         }
                         last_progress = Instant::now();
@@ -388,6 +499,15 @@ where
 
                 // Issue the next request when idle and due.
                 if exit_at.is_none() && !proto.in_cs() && !proto.wants_cs() {
+                    // A request issued earlier may have been *withdrawn* by
+                    // the protocol after the fact (the quorum turned
+                    // inaccessible behind a suspected member): the site is
+                    // idle again with rounds left but no retry armed.
+                    // Re-arm, or the thread waits forever on replies that
+                    // were abandoned.
+                    if next_request_at.is_none() && my_completed < opts.rounds {
+                        next_request_at = Some(Instant::now() + opts.think);
+                    }
                     if let Some(at) = next_request_at {
                         if Instant::now() >= at {
                             next_request_at = None;
@@ -396,6 +516,11 @@ where
                             if flush(me, &mut fx, &tx) {
                                 monitor.enter(me);
                                 exit_at = Some(Instant::now() + opts.hold);
+                            } else if !proto.in_cs() && !proto.wants_cs() {
+                                // Refused (quorum currently inaccessible
+                                // behind a suspected site): retry after a
+                                // think pause instead of losing the round.
+                                next_request_at = Some(Instant::now() + opts.think);
                             }
                             last_progress = Instant::now();
                             continue;
@@ -427,17 +552,32 @@ where
                     Ok(Inbox::Die) => {
                         // Crashed: free the monitor if we died inside the
                         // CS (the survivors must be able to proceed via the
-                        // §6 recovery), then stop entirely.
+                        // §6 recovery), then stop — permanently, or until
+                        // the injector's scheduled recovery.
                         if proto.in_cs() {
                             monitor.exit(me);
                         }
-                        break;
+                        exit_at = None;
+                        next_request_at = None;
+                        if has_recovery {
+                            dead = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    Ok(Inbox::Recover) => {
+                        // Recovery order for a site that is not dead
+                        // (schedule raced completion): nothing to do.
                     }
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
-            (my_completed, proto.transport_counters())
+            (
+                my_completed,
+                proto.transport_counters(),
+                proto.detector_counters(),
+            )
         }));
     }
     drop(router_tx);
@@ -456,11 +596,15 @@ where
 
     let mut per_site: Vec<usize> = Vec::with_capacity(n);
     let mut transport = TransportCounters::default();
+    let mut detector = DetectorCounters::default();
     for h in handles {
-        let (completed, counters) = h.join().expect("site thread panicked");
+        let (completed, tcounters, dcounters) = h.join().expect("site thread panicked");
         per_site.push(completed);
-        if let Some(c) = counters {
+        if let Some(c) = tcounters {
             transport.merge(&c);
+        }
+        if let Some(c) = dcounters {
+            detector.merge(&c);
         }
     }
     router.join().expect("router thread panicked");
@@ -474,6 +618,7 @@ where
         injected_drops: injected_drops.load(Ordering::Relaxed),
         injected_dups: injected_dups.load(Ordering::Relaxed),
         transport,
+        detector,
         elapsed: start.elapsed(),
         per_site,
     }
@@ -578,6 +723,55 @@ mod tests {
         assert!(out.injected_drops > 0, "loss was injected");
         assert!(out.transport.retransmissions > 0, "transport recovered");
         assert!(out.transport.duplicates_dropped > 0, "dedup engaged");
+    }
+
+    #[test]
+    fn live_crash_and_rejoin_without_oracle() {
+        use qmx_core::{Detector, DetectorConfig, Reliable, TransportConfig};
+        // The acceptance scenario: a real crash with *no* oracle notices.
+        // Survivors suspect site 1 purely from heartbeat silence, it
+        // restarts, rejoins through the detector handshake, and every site
+        // — including the recovered one — completes all its rounds.
+        let n = 3u32;
+        let quorum: Vec<SiteId> = (0..n).map(SiteId).collect();
+        let dcfg = DetectorConfig {
+            hb_interval: 2_000, // µs: 2× the 1 ms one-way latency
+            hb_timeout: 10_000,
+            rejoin_wait: 5_000,
+        };
+        let tcfg = TransportConfig {
+            rto_initial: 8_000,
+            rto_max: 64_000,
+            max_retries: 40,
+        };
+        let sites: Vec<Detector<Reliable<DelayOptimal>>> = (0..n)
+            .map(|i| {
+                Detector::new(
+                    Reliable::new(
+                        DelayOptimal::new(SiteId(i), quorum.clone(), Config::default()),
+                        tcfg,
+                    ),
+                    quorum.clone(),
+                    dcfg,
+                )
+            })
+            .collect();
+        let out = run_cluster(
+            sites,
+            NetOptions {
+                oracle_notices: false,
+                crashes: vec![(SiteId(1), Duration::from_millis(4))],
+                recoveries: vec![(SiteId(1), Duration::from_millis(40))],
+                ..opts()
+            },
+        );
+        assert_eq!(out.completed, 9, "all sites finished: {:?}", out.per_site);
+        assert_eq!(out.per_site, vec![3, 3, 3]);
+        let d = &out.detector;
+        assert!(d.heartbeats_sent > 0);
+        assert!(d.suspicions >= 2, "both survivors suspected site 1: {d:?}");
+        assert_eq!(d.rejoins_sent, 1, "one recovery announcement: {d:?}");
+        assert!(d.rejoins_observed >= 2, "survivors saw the rejoin: {d:?}");
     }
 
     #[test]

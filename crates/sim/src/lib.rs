@@ -26,7 +26,12 @@
 //! virtual time; in-flight messages to it are dropped and, after the
 //! configured detection delay, every live site receives
 //! [`qmx_core::Protocol::on_site_failure`] — the paper's §6 `failure(i)`
-//! notice.
+//! notice. Set [`SimConfig::oracle_notices`] to `false` to retire that
+//! oracle entirely: sites wrapped in [`qmx_core::Detector`] then learn of
+//! failures only from missed heartbeats (which are real simulated messages,
+//! subject to the same loss/outage faults), and
+//! [`Simulator::schedule_recovery`] restarts a crashed site with fresh
+//! state so it rejoins through the detector's handshake.
 //!
 //! ```
 //! use qmx_core::{Config, DelayOptimal, SiteId};

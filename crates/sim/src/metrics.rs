@@ -1,6 +1,6 @@
 //! Measurement collection: message counts and per-CS timing records.
 
-use qmx_core::{MsgKind, SiteId, TransportCounters};
+use qmx_core::{DetectorCounters, MsgKind, SiteId, TransportCounters};
 use std::collections::BTreeMap;
 
 /// Timing record of one completed critical-section execution.
@@ -38,6 +38,7 @@ pub struct Metrics {
     injected_drops: u64,
     injected_dups: u64,
     transport: TransportCounters,
+    detector: DetectorCounters,
 }
 
 impl Metrics {
@@ -86,6 +87,18 @@ impl Metrics {
     /// run bare, without the transport wrapper).
     pub fn transport(&self) -> &TransportCounters {
         &self.transport
+    }
+
+    /// Overwrites the aggregated failure-detector counters (summed over all
+    /// sites by the simulator at the end of a run).
+    pub fn set_detector_totals(&mut self, totals: DetectorCounters) {
+        self.detector = totals;
+    }
+
+    /// Aggregated failure-detector counters (all zero when the protocols
+    /// run bare, without the detector wrapper).
+    pub fn detector(&self) -> &DetectorCounters {
+        &self.detector
     }
 
     /// Records a completed CS execution.
@@ -222,6 +235,23 @@ mod tests {
         });
         assert_eq!(m.transport().retransmissions, 7);
         assert_eq!(m.transport().duplicates_dropped, 0);
+    }
+
+    #[test]
+    fn detector_counters_overwrite() {
+        let mut m = Metrics::new();
+        assert_eq!(m.detector().suspicions, 0);
+        m.set_detector_totals(DetectorCounters {
+            suspicions: 4,
+            false_suspicions: 1,
+            ..DetectorCounters::default()
+        });
+        m.set_detector_totals(DetectorCounters {
+            suspicions: 6,
+            ..DetectorCounters::default()
+        });
+        assert_eq!(m.detector().suspicions, 6);
+        assert_eq!(m.detector().false_suspicions, 0);
     }
 
     #[test]

@@ -17,8 +17,15 @@ pub struct SimConfig {
     /// CS hold-time distribution (the paper's `E`).
     pub hold: DelayModel,
     /// Time between a crash and the delivery of `failure(i)` notices to
-    /// every live site (failure-detector latency).
+    /// every live site (failure-detector latency). Only used when
+    /// [`SimConfig::oracle_notices`] is on.
     pub detect_delay: u64,
+    /// Whether the simulator delivers oracle `failure(i)` notices after
+    /// crashes and partitions (the paper's §6 failure model). Disable when
+    /// the sites run under the heartbeat [`qmx_core::Detector`] wrapper,
+    /// which derives suspicion from missed heartbeats instead of an
+    /// omniscient oracle.
+    pub oracle_notices: bool,
     /// Wire-message fault model (drops/duplication); [`LossModel::None`]
     /// reproduces the paper's error-free channels.
     pub loss: LossModel,
@@ -34,6 +41,7 @@ impl Default for SimConfig {
             delay: DelayModel::Constant(1000),
             hold: DelayModel::Constant(100),
             detect_delay: 2000,
+            oracle_notices: true,
             loss: LossModel::None,
             outages: Vec::new(),
             seed: 0xC0FFEE,
@@ -47,6 +55,7 @@ enum EventKind<M> {
     Request { site: SiteId },
     Exit { site: SiteId },
     Crash { site: SiteId },
+    Recover { site: SiteId },
     Notice { site: SiteId, failed: SiteId },
     Partition { groups: Vec<u32> },
     Heal,
@@ -88,6 +97,7 @@ pub struct Simulator<P: Protocol> {
     events: BinaryHeap<Reverse<Event<P::Msg>>>,
     link_clock: BTreeMap<(SiteId, SiteId), u64>,
     crashed: BTreeSet<SiteId>,
+    pristine: BTreeMap<SiteId, P>,
     partition: Option<Vec<u32>>,
     faults: LinkFaults,
     armed_tick: Vec<Option<u64>>,
@@ -121,6 +131,7 @@ impl<P: Protocol> Simulator<P> {
             events: BinaryHeap::new(),
             link_clock: BTreeMap::new(),
             crashed: BTreeSet::new(),
+            pristine: BTreeMap::new(),
             partition: None,
             faults,
             armed_tick: vec![None; n],
@@ -198,8 +209,9 @@ impl<P: Protocol> Simulator<P> {
         self.push(at, EventKind::Request { site });
     }
 
-    /// Schedules a crash of `site` at virtual time `at`. Failure notices
-    /// reach every live site `detect_delay` later.
+    /// Schedules a crash of `site` at virtual time `at`. When
+    /// [`SimConfig::oracle_notices`] is on, failure notices reach every
+    /// live site `detect_delay` later.
     pub fn schedule_crash(&mut self, site: SiteId, at: u64) {
         self.push(at, EventKind::Crash { site });
     }
@@ -232,6 +244,12 @@ impl<P: Protocol> Simulator<P> {
     /// the split.
     pub fn schedule_heal(&mut self, at: u64) {
         self.push(at, EventKind::Heal);
+    }
+
+    /// Whether `site` currently has a restart scheduled (pristine state
+    /// captured and a `Recover` event queued).
+    pub fn has_scheduled_recovery(&self, site: SiteId) -> bool {
+        self.pristine.contains_key(&site)
     }
 
     fn severed(&self, a: SiteId, b: SiteId) -> bool {
@@ -376,6 +394,11 @@ impl<P: Protocol> Simulator<P> {
                 if self.crashed.contains(&site) {
                     return;
                 }
+                if self.entered_at[site.index()].is_none() {
+                    // Stale exit from a pre-crash incarnation: the site
+                    // crashed inside its CS and has since restarted fresh.
+                    return;
+                }
                 debug_assert_eq!(self.in_cs, Some(site));
                 self.in_cs = None;
                 self.record(TraceEvent::Exit { t: self.now, site });
@@ -404,18 +427,38 @@ impl<P: Protocol> Simulator<P> {
                     // (the §6 recovery machinery must unblock the others).
                     self.in_cs = None;
                 }
-                for i in 0..self.sites.len() {
-                    let target = SiteId(i as u32);
-                    if target != site && !self.crashed.contains(&target) {
-                        self.push(
-                            self.now + self.cfg.detect_delay,
-                            EventKind::Notice {
-                                site: target,
-                                failed: site,
-                            },
-                        );
+                self.requested_at[site.index()] = None;
+                self.entered_at[site.index()] = None;
+                if self.cfg.oracle_notices {
+                    for i in 0..self.sites.len() {
+                        let target = SiteId(i as u32);
+                        if target != site && !self.crashed.contains(&target) {
+                            self.push(
+                                self.now + self.cfg.detect_delay,
+                                EventKind::Notice {
+                                    site: target,
+                                    failed: site,
+                                },
+                            );
+                        }
                     }
                 }
+            }
+            EventKind::Recover { site } => {
+                if !self.crashed.remove(&site) {
+                    return; // never crashed (or already recovered): no-op
+                }
+                let Some(fresh) = self.pristine.remove(&site) else {
+                    return;
+                };
+                self.sites[site.index()] = fresh;
+                self.record(TraceEvent::Recover { t: self.now, site });
+                let mut fx = Effects::new();
+                let s = &mut self.sites[site.index()];
+                s.set_now(self.now);
+                s.on_start(&mut fx);
+                s.on_recover(&mut fx);
+                self.apply_effects(site, &mut fx);
             }
             EventKind::Notice { site, failed } => {
                 if self.crashed.contains(&site) {
@@ -453,6 +496,11 @@ impl<P: Protocol> Simulator<P> {
             EventKind::Partition { groups } => {
                 assert_eq!(groups.len(), self.sites.len(), "one group per site");
                 self.partition = Some(groups);
+                if !self.cfg.oracle_notices {
+                    // Detector-driven sites learn of the split from missed
+                    // heartbeats; nothing to inject here.
+                    return;
+                }
                 // Each side suspects the other side dead after detection.
                 for i in 0..self.sites.len() {
                     let a = SiteId(i as u32);
@@ -496,12 +544,17 @@ impl<P: Protocol> Simulator<P> {
         // Snapshot transport-layer totals into the metrics (overwrites, so
         // repeated calls stay correct).
         let mut totals = qmx_core::TransportCounters::default();
+        let mut dtotals = qmx_core::DetectorCounters::default();
         for s in &self.sites {
             if let Some(c) = s.transport_counters() {
                 totals.merge(&c);
             }
+            if let Some(c) = s.detector_counters() {
+                dtotals.merge(&c);
+            }
         }
         self.metrics.set_transport_totals(totals);
+        self.metrics.set_detector_totals(dtotals);
         processed
     }
 
@@ -511,10 +564,26 @@ impl<P: Protocol> Simulator<P> {
     }
 }
 
+impl<P: Protocol + Clone> Simulator<P> {
+    /// Schedules a restart of `site` at virtual time `at` with **fresh**
+    /// protocol state: a clone of the instance is captured *now* (call this
+    /// before running, so the captured state is pristine) and swapped in
+    /// when the event fires. The recovered incarnation runs its `on_start`
+    /// and `on_recover` hooks; under the [`qmx_core::Detector`] wrapper
+    /// that announces a rejoin to every peer and opens the rejoin grace
+    /// window, so recovery needs no oracle assistance.
+    pub fn schedule_recovery(&mut self, site: SiteId, at: u64) {
+        self.pristine.insert(site, self.sites[site.index()].clone());
+        self.push(at, EventKind::Recover { site });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qmx_core::{Config, DelayOptimal, MsgKind, Reliable, TransportConfig};
+    use qmx_core::{
+        Config, DelayOptimal, Detector, DetectorConfig, MsgKind, Reliable, TransportConfig,
+    };
 
     fn full_quorum_sim(n: u32, cfg: SimConfig) -> Simulator<DelayOptimal> {
         let quorum: Vec<SiteId> = (0..n).map(SiteId).collect();
@@ -534,6 +603,27 @@ mod tests {
                     Reliable::new(
                         DelayOptimal::new(SiteId(i), quorum.clone(), Config::default()),
                         TransportConfig::default(),
+                    )
+                })
+                .collect(),
+            cfg,
+        )
+    }
+
+    /// Full detector stack: `Detector<Reliable<DelayOptimal>>` — heartbeats
+    /// ride the raw channel, app traffic gets the reliable transport.
+    fn detector_sim(n: u32, cfg: SimConfig) -> Simulator<Detector<Reliable<DelayOptimal>>> {
+        let quorum: Vec<SiteId> = (0..n).map(SiteId).collect();
+        Simulator::new(
+            (0..n)
+                .map(|i| {
+                    Detector::new(
+                        Reliable::new(
+                            DelayOptimal::new(SiteId(i), quorum.clone(), Config::default()),
+                            TransportConfig::default(),
+                        ),
+                        quorum.clone(),
+                        DetectorConfig::default(),
                     )
                 })
                 .collect(),
@@ -761,6 +851,140 @@ mod tests {
         assert_eq!(sim.metrics().completed_cs(), 3);
         assert!(sim.metrics().injected_dups() > 0);
         assert!(sim.metrics().transport().duplicates_dropped > 0);
+    }
+
+    #[test]
+    fn transient_partition_causes_false_suspicion_then_restoration() {
+        // The acceptance scenario: a transient outage makes live sites
+        // falsely suspect each other through missed heartbeats (no oracle
+        // involved), the heal restores them, and the protocol then runs
+        // normally. Deterministic: constant delays, fixed seed.
+        let cfg = SimConfig {
+            oracle_notices: false,
+            ..SimConfig::default()
+        };
+        let mut sim = detector_sim(3, cfg);
+        sim.enable_trace(100_000);
+        // Sever {0,1} | {2} from t=1000; hb_timeout (8000) expires inside
+        // the window, so both sides suspect across the cut.
+        sim.schedule_partition(vec![0, 0, 1], 1_000);
+        sim.schedule_heal(20_000);
+        // Requested well after the heal: restoration must have re-admitted
+        // site 2 to the (fixed, full) quorum or this cannot complete.
+        sim.schedule_request(SiteId(0), 40_000);
+        sim.schedule_request(SiteId(2), 40_100);
+        sim.run_to_quiescence(100_000);
+
+        assert_eq!(sim.metrics().completed_cs(), 2, "restored sites complete");
+        let d = sim.metrics().detector();
+        assert!(d.suspicions >= 4, "0<->2 and 1<->2 both ways: {d:?}");
+        assert_eq!(
+            d.false_suspicions, d.suspicions,
+            "nobody crashed, so every suspicion was false"
+        );
+        assert_eq!(d.rejoins_sent, 0, "no site restarted");
+        assert!(d.heartbeats_sent > 0);
+        // No oracle notice was ever delivered.
+        let trace = sim.trace().expect("enabled");
+        assert!(
+            !trace
+                .events()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Notice { .. })),
+            "suspicion must come from heartbeats, not oracle notices"
+        );
+        // Every detector converged back to an empty suspect set.
+        for i in 0..3u32 {
+            assert!(sim.site(SiteId(i)).suspected().is_empty(), "site {i}");
+            assert!(!sim.site(SiteId(i)).inner().inner().is_inaccessible());
+        }
+    }
+
+    #[test]
+    fn crash_recovery_rejoins_without_oracle() {
+        // A real crash: site 2 dies, the survivors suspect it from silence,
+        // it restarts with fresh state, announces its rejoin, and all three
+        // sites (including the recovered one) then complete CS rounds.
+        let cfg = SimConfig {
+            oracle_notices: false,
+            ..SimConfig::default()
+        };
+        let mut sim = detector_sim(3, cfg);
+        sim.enable_trace(100_000);
+        sim.schedule_crash(SiteId(2), 5_000);
+        sim.schedule_recovery(SiteId(2), 30_000);
+        sim.schedule_request(SiteId(0), 45_000);
+        sim.schedule_request(SiteId(1), 45_100);
+        sim.schedule_request(SiteId(2), 45_200);
+        sim.run_to_quiescence(200_000);
+
+        assert!(!sim.is_crashed(SiteId(2)));
+        assert_eq!(sim.metrics().completed_cs(), 3, "all rounds completed");
+        let d = sim.metrics().detector();
+        assert!(d.suspicions >= 2, "both survivors suspected site 2: {d:?}");
+        assert_eq!(
+            d.false_suspicions, 0,
+            "a genuine crash is not a false suspicion: {d:?}"
+        );
+        assert_eq!(d.rejoins_sent, 1, "one recovery announcement");
+        assert!(d.rejoins_observed >= 2, "both survivors saw the rejoin");
+        let trace = sim.trace().expect("enabled");
+        assert!(trace.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::Recover {
+                site: SiteId(2),
+                ..
+            }
+        )));
+        assert!(
+            !trace
+                .events()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Notice { .. })),
+            "no oracle notices in detector mode"
+        );
+        for i in 0..3u32 {
+            assert!(sim.site(SiteId(i)).suspected().is_empty(), "site {i}");
+            assert!(!sim.site(SiteId(i)).inner().inner().is_inaccessible());
+        }
+    }
+
+    #[test]
+    fn crash_of_cs_holder_recovers_via_detector() {
+        // Site 0 crashes *inside* its CS holding every arbiter's lock. With
+        // a fixed full quorum nobody can progress while it is down (the
+        // dead site is in everyone's quorum), but after it restarts and
+        // rejoins, the stale lock held by its old incarnation must have
+        // been purged so both the survivor and the recovered site complete.
+        let cfg = SimConfig {
+            oracle_notices: false,
+            ..SimConfig::default()
+        };
+        let mut sim = detector_sim(3, cfg);
+        sim.schedule_request(SiteId(0), 0);
+        // Entry at ~2000 (2T), hold 100: crash at 2050 is inside the CS.
+        sim.schedule_crash(SiteId(0), 2_050);
+        sim.schedule_recovery(SiteId(0), 40_000);
+        sim.schedule_request(SiteId(1), 50_000);
+        sim.schedule_request(SiteId(0), 60_000);
+        sim.run_to_quiescence(200_000);
+
+        // Site 1's round completed despite the crashed holder never sending
+        // a release, and the recovered site 0 completed a fresh round.
+        assert_eq!(sim.metrics().completed_cs(), 2);
+        let by_site = sim.metrics().per_site_counts();
+        assert_eq!(by_site.get(&SiteId(1)), Some(&1));
+        assert_eq!(by_site.get(&SiteId(0)), Some(&1));
+    }
+
+    #[test]
+    fn recovery_of_never_crashed_site_is_noop() {
+        let mut sim = detector_sim(2, SimConfig::default());
+        sim.schedule_recovery(SiteId(1), 100);
+        sim.schedule_request(SiteId(0), 5_000);
+        sim.run_to_quiescence(50_000);
+        assert_eq!(sim.metrics().completed_cs(), 1);
+        assert_eq!(sim.metrics().detector().rejoins_sent, 0);
     }
 
     #[test]

@@ -63,6 +63,13 @@ pub enum TraceEvent {
         /// The site reported failed.
         failed: SiteId,
     },
+    /// A crashed site restarted with fresh state.
+    Recover {
+        /// Virtual time.
+        t: u64,
+        /// The recovered site.
+        site: SiteId,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -80,6 +87,7 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Notice { t, site, failed } => {
                 write!(f, "{t:>10}  notice  {site}: {failed} failed")
             }
+            TraceEvent::Recover { t, site } => write!(f, "{t:>10}  RECOVER {site}"),
         }
     }
 }

@@ -8,7 +8,8 @@ use qmx_baselines::{
     CarvalhoRoucairol, Lamport, Maekawa, Raymond, RicartAgrawala, SinghalDynamic, SuzukiKasami,
 };
 use qmx_core::{
-    Config, DelayOptimal, LossModel, Outage, Protocol, Reliable, SiteId, TransportConfig,
+    Config, DelayOptimal, Detector, DetectorConfig, LossModel, Outage, Protocol, Reliable, SiteId,
+    TransportConfig,
 };
 use qmx_quorum::majority::{majority_system, MajorityQuorumSource};
 use qmx_quorum::tree::TreeQuorumSource;
@@ -171,7 +172,18 @@ pub struct Scenario {
     /// ([`qmx_core::Reliable`]) with this configuration. Required for
     /// liveness whenever `loss`/`outages` actually drop messages.
     pub transport: Option<TransportConfig>,
-    /// Failure-detector latency.
+    /// When `Some`, every site is additionally wrapped in the heartbeat
+    /// failure detector ([`qmx_core::Detector`]) and the simulator's
+    /// oracle `failure(i)` notices are switched off: suspicion derives
+    /// entirely from missed heartbeats, and recovered sites rejoin via the
+    /// detector's handshake. Layering is `Detector<Reliable<P>>` when a
+    /// transport is also configured, `Detector<P>` otherwise.
+    pub detector: Option<DetectorConfig>,
+    /// Recovery schedule: `(site, time)` pairs restarting previously
+    /// crashed sites with fresh protocol state. Only meaningful with a
+    /// `detector` (the oracle model has no un-failure notice).
+    pub recoveries: Vec<(SiteId, u64)>,
+    /// Oracle failure-detection latency. Ignored when `detector` is set.
     pub detect_delay: u64,
     /// RNG seed (workload and simulator derive from it).
     pub seed: u64,
@@ -193,6 +205,8 @@ impl Default for Scenario {
             loss: LossModel::None,
             outages: Vec::new(),
             transport: None,
+            detector: None,
+            recoveries: Vec::new(),
             detect_delay: 2000,
             seed: 0xD15C0,
         }
@@ -352,26 +366,51 @@ impl Scenario {
         }
     }
 
-    fn drive<P: Protocol>(
+    fn drive<P: Protocol + Clone>(
         &self,
         sites: Vec<P>,
         arrivals: &[(SiteId, u64)],
         quorum_size: f64,
     ) -> RunReport {
         // With a transport config, wrap every site in the reliable layer;
-        // `Reliable<P>` is itself a `Protocol`, so both paths share
-        // `drive_bare`.
-        match &self.transport {
-            Some(tcfg) => self.drive_bare(
+        // with a detector config, wrap the result in the heartbeat failure
+        // detector. Each wrapper is itself a `Protocol`, so all four
+        // layerings share `drive_bare`.
+        let peers_of = |i: usize| -> Vec<SiteId> {
+            (0..self.n)
+                .filter(|&j| j != i)
+                .map(|j| SiteId(j as u32))
+                .collect()
+        };
+        match (&self.transport, &self.detector) {
+            (Some(tcfg), Some(dcfg)) => self.drive_bare(
+                sites
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, p)| Detector::new(Reliable::new(p, *tcfg), peers_of(i), *dcfg))
+                    .collect(),
+                arrivals,
+                quorum_size,
+            ),
+            (Some(tcfg), None) => self.drive_bare(
                 sites.into_iter().map(|p| Reliable::new(p, *tcfg)).collect(),
                 arrivals,
                 quorum_size,
             ),
-            None => self.drive_bare(sites, arrivals, quorum_size),
+            (None, Some(dcfg)) => self.drive_bare(
+                sites
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, p)| Detector::new(p, peers_of(i), *dcfg))
+                    .collect(),
+                arrivals,
+                quorum_size,
+            ),
+            (None, None) => self.drive_bare(sites, arrivals, quorum_size),
         }
     }
 
-    fn drive_bare<P: Protocol>(
+    fn drive_bare<P: Protocol + Clone>(
         &self,
         sites: Vec<P>,
         arrivals: &[(SiteId, u64)],
@@ -383,6 +422,9 @@ impl Scenario {
                 delay: self.delay,
                 hold: self.hold,
                 detect_delay: self.detect_delay,
+                // The oracle and the heartbeat detector are mutually
+                // exclusive failure models.
+                oracle_notices: self.detector.is_none(),
                 seed: self.seed,
                 loss: self.loss.clone(),
                 outages: self.outages.clone(),
@@ -393,6 +435,11 @@ impl Scenario {
         }
         for &(s, t) in &self.crashes {
             sim.schedule_crash(s, t);
+        }
+        // Recoveries snapshot pristine state, so schedule them before the
+        // run begins (the snapshot is taken at scheduling time).
+        for &(s, t) in &self.recoveries {
+            sim.schedule_recovery(s, t);
         }
         for (groups, t) in &self.partitions {
             sim.schedule_partition(groups.clone(), *t);

@@ -1,6 +1,6 @@
 //! Statistics reduction helpers and the unified run report.
 
-use qmx_core::{MsgKind, TransportCounters};
+use qmx_core::{DetectorCounters, MsgKind, TransportCounters};
 use qmx_sim::Metrics;
 use std::collections::BTreeMap;
 
@@ -77,6 +77,9 @@ pub struct RunReport {
     /// Reliable-transport counters summed over all sites (all zero when
     /// the protocols ran bare, without the transport wrapper).
     pub transport: TransportCounters,
+    /// Failure-detector counters summed over all sites (all zero when the
+    /// protocols ran without the heartbeat detector wrapper).
+    pub detector: DetectorCounters,
 }
 
 impl RunReport {
@@ -125,6 +128,7 @@ impl RunReport {
             injected_drops: m.injected_drops(),
             injected_dups: m.injected_dups(),
             transport: *m.transport(),
+            detector: *m.detector(),
         }
     }
 }

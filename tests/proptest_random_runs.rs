@@ -4,7 +4,7 @@
 //! "every run quiesces and serves a sensible number of requests".
 
 use proptest::prelude::*;
-use qmx::core::{LossModel, SiteId, TransportConfig};
+use qmx::core::{DetectorConfig, LossModel, SiteId, TransportConfig};
 use qmx::sim::DelayModel;
 use qmx::workload::arrival::ArrivalProcess;
 use qmx::workload::scenario::{Algorithm, QuorumSpec, Scenario};
@@ -191,6 +191,50 @@ proptest! {
             prop_assert!(r.transport.retransmissions > 0);
         }
         prop_assert_eq!(r.transport.gave_up, 0);
+    }
+
+    /// Heartbeat-detector safety sweep: a random site crashes at a random
+    /// time and recovers a random interval later, with randomized
+    /// detector timing — all failure handling is heartbeat-driven (no
+    /// oracle notices). The simulator's monitor panics if the suspicion /
+    /// restoration / rejoin churn ever lets two sites into the CS, so
+    /// safety is checked on every event of every case; the explicit
+    /// assertions pin the rejoin handshake actually running.
+    #[test]
+    fn detector_random_crash_recovery(
+        seed in any::<u64>(),
+        victim in 0u32..3,
+        crash_t in 1u64..30,
+        gap_t in 10u64..60,
+        hb_timeout_t in 6u64..14,
+    ) {
+        let r = Scenario {
+            n: 3,
+            algorithm: Algorithm::DelayOptimal,
+            quorum: QuorumSpec::All,
+            arrivals: ArrivalProcess::Periodic { period: 2 * T, stagger: 333 },
+            horizon: 120 * T,
+            delay: DelayModel::Constant(T),
+            hold: DelayModel::Constant(100),
+            crashes: vec![(SiteId(victim), crash_t * T)],
+            recoveries: vec![(SiteId(victim), (crash_t + gap_t) * T)],
+            transport: Some(TransportConfig {
+                rto_initial: 8 * T,
+                rto_max: 64 * T,
+                max_retries: 40,
+            }),
+            detector: Some(DetectorConfig {
+                hb_interval: 2 * T,
+                hb_timeout: hb_timeout_t * T,
+                rejoin_wait: 5 * T,
+            }),
+            seed,
+            ..Scenario::default()
+        }.run();
+        prop_assert!(r.completed > 0);
+        prop_assert_eq!(r.detector.rejoins_sent, 1);
+        // The two survivors answer the rejoin announcement.
+        prop_assert!(r.detector.rejoins_observed >= 2);
     }
 
     /// Token and broadcast baselines under random delays (they share the

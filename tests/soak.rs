@@ -3,7 +3,7 @@
 //! monitor on every event; these tests assert the system also keeps making
 //! progress and terminates cleanly.
 
-use qmx::core::{LossModel, SiteId, TransportConfig};
+use qmx::core::{DetectorConfig, LossModel, Outage, SiteId, TransportConfig};
 use qmx::sim::DelayModel;
 use qmx::workload::arrival::ArrivalProcess;
 use qmx::workload::scenario::{Algorithm, QuorumSpec, Scenario};
@@ -266,4 +266,120 @@ fn large_system_smoke() {
     // so per-site counts vary by workload chance alone; the bound guards
     // against systematic starvation, not sampling noise.
     assert!(r.fairness.expect("completions") > 0.7);
+}
+
+#[test]
+fn contended_crash_and_rejoin_under_detector() {
+    // Regression for the link-epoch bug. Under persistent demand from all
+    // three sites, site 1 crashes mid-protocol and restarts 36T later with
+    // fresh state. Retransmissions from the old incarnation still in
+    // flight across the restart used to land in the rejoined site's
+    // reorder buffer and occupy the sequence slots of the new numbering,
+    // wedging it permanently; link epochs discard those stragglers, so
+    // every site — including the rejoined one — keeps completing rounds.
+    // No oracle is involved: suspicion and rejoin are heartbeat-driven.
+    let r = Scenario {
+        n: 3,
+        algorithm: Algorithm::DelayOptimal,
+        quorum: QuorumSpec::All,
+        arrivals: ArrivalProcess::Periodic {
+            period: 700,
+            stagger: 1,
+        },
+        horizon: 100 * T,
+        delay: DelayModel::Constant(T),
+        hold: DelayModel::Constant(200),
+        crashes: vec![(SiteId(1), 4 * T)],
+        recoveries: vec![(SiteId(1), 40 * T)],
+        transport: Some(TransportConfig {
+            rto_initial: 8_000,
+            rto_max: 64_000,
+            max_retries: 40,
+        }),
+        detector: Some(DetectorConfig {
+            hb_interval: 2_000,
+            hb_timeout: 10_000,
+            rejoin_wait: 5_000,
+        }),
+        ..Scenario::default()
+    }
+    .run();
+    assert!(r.completed >= 30, "completed {}", r.completed);
+    // Fairness above 0.8 rules out the rejoined site being starved (a
+    // wedged third site caps Jain's index at ~0.67).
+    assert!(
+        r.fairness.expect("completions") > 0.8,
+        "fairness {:?}",
+        r.fairness
+    );
+    // Both survivors suspect the crashed site from silence...
+    assert!(r.detector.suspicions >= 2, "detector {:?}", r.detector);
+    // ...and a genuine crash is never misread as a false suspicion.
+    assert_eq!(r.detector.false_suspicions, 0, "detector {:?}", r.detector);
+    assert_eq!(r.detector.rejoins_sent, 1, "detector {:?}", r.detector);
+    assert!(
+        r.detector.rejoins_observed >= 2,
+        "detector {:?}",
+        r.detector
+    );
+}
+
+#[test]
+fn crash_inside_outage_window_survivors_reconstruct() {
+    // Combined faults: the 0<->3 link blacks out over [50T, 120T], and
+    // *inside* that window site 3 — a member of the rotating majority
+    // quorums — crashes for good. Suspicion is heartbeat-driven (no
+    // oracle); the §6 reconstruction then routes the survivors' quorums
+    // around the dead site, so they keep completing rounds. The simulator
+    // monitor enforces ME throughout, including across the false-suspicion
+    // episode the outage provokes between sites 0 and 3 before the crash.
+    for seed in [1u64, 8] {
+        let r = Scenario {
+            n: 7,
+            algorithm: Algorithm::DelayOptimalFtMajority,
+            quorum: QuorumSpec::Majority,
+            arrivals: ArrivalProcess::Periodic {
+                period: 30 * T,
+                stagger: 1500,
+            },
+            horizon: 600 * T,
+            delay: DelayModel::Constant(T),
+            hold: DelayModel::Constant(200),
+            crashes: vec![(SiteId(3), 80 * T)],
+            outages: vec![
+                Outage {
+                    from: SiteId(0),
+                    to: SiteId(3),
+                    start: 50 * T,
+                    end: 120 * T,
+                },
+                Outage {
+                    from: SiteId(3),
+                    to: SiteId(0),
+                    start: 50 * T,
+                    end: 120 * T,
+                },
+            ],
+            transport: Some(TransportConfig::default()),
+            detector: Some(DetectorConfig::default()),
+            seed,
+            ..Scenario::default()
+        }
+        .run();
+        // 6 survivors x 20 arrivals, minus rounds shed while suspicion
+        // and reconstruction settle.
+        assert!(r.completed >= 100, "seed {seed}: completed {}", r.completed);
+        // Every survivor eventually suspects the dead site.
+        assert!(
+            r.detector.suspicions >= 6,
+            "seed {seed}: detector {:?}",
+            r.detector
+        );
+        // Nobody recovered, so no rejoin traffic.
+        assert_eq!(
+            r.detector.rejoins_sent, 0,
+            "seed {seed}: detector {:?}",
+            r.detector
+        );
+    }
 }

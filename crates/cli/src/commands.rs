@@ -63,6 +63,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 hb_interval: hb_interval_t.unwrap_or(2) * t,
                 hb_timeout: hb_timeout_t.unwrap_or(8) * t,
                 rejoin_wait: 4 * t,
+                fail_confirm: 32 * t,
             });
             let transport = match reliable {
                 Some(true) => Some(TransportConfig::default()),

@@ -149,18 +149,24 @@ pub enum Body {
         /// The withdrawn request.
         req: Timestamp,
     },
-    /// Rejoin resync: the sender asserts it currently holds the receiver's
-    /// arbiter permission for request `req`.
+    /// Rejoin resync answer: the sender has seen the receiver's rejoin
+    /// announcement and reports whether it currently holds the receiver's
+    /// arbiter permission (`holds = Some(req)`) or not (`holds = None`).
     ///
     /// Not one of the paper's seven messages: the paper has no rejoin
     /// protocol at all. When a crashed arbiter restarts with fresh state,
     /// it no longer knows who holds its permission; without this assertion
     /// it would grant the permission again and violate mutual exclusion.
-    /// Sent by peers in response to a rejoin announcement, absorbed by the
-    /// rejoining arbiter during its grace window. Counted as `info`.
+    /// *Every* peer answers *every* rejoin announcement exactly once, even
+    /// with nothing to claim: the rejoined arbiter refuses to grant until
+    /// it has heard from all peers it is waiting on, so rejoin safety does
+    /// not hinge on a fixed grace window outracing the slowest link.
+    /// Counted as `info`.
     Claim {
-        /// The claimant's outstanding request holding the permission.
-        req: Timestamp,
+        /// The claimant's outstanding request holding the receiver's
+        /// permission, or `None` if the sender holds nothing of the
+        /// receiver's.
+        holds: Option<Timestamp>,
     },
 }
 
@@ -286,7 +292,17 @@ pub struct DelayOptimal {
     early_returns: std::collections::BTreeMap<Timestamp, EarlyReturn>,
 
     // --- fault tolerance (§6) ---
+    /// Sites currently considered unreachable: every *suspected* site
+    /// (revocable, detector hearsay) plus every *confirmed-failed* one.
+    /// Gates message routing and quorum selection only — a merely
+    /// suspected site never loses a lock it holds, because the suspicion
+    /// may be false while it is inside the CS.
     known_failed: BTreeSet<SiteId>,
+    /// Sites whose failure is definitive (the oracle's `failure(i)` notice
+    /// or the detector's post-lease confirmation). Only these trigger the
+    /// §6 arbiter-side cleanup that reclaims and re-grants held locks.
+    /// Always a subset of `known_failed`.
+    confirmed_failed: BTreeSet<SiteId>,
     quorum_source: Option<Box<dyn QuorumSource>>,
     inaccessible: bool,
 
@@ -302,6 +318,16 @@ pub struct DelayOptimal {
     /// requests but grants nothing, waiting for `Claim`s to re-establish
     /// who held its permission before the crash.
     rejoining: bool,
+    /// All peers this site shares the system with (set once by the
+    /// detector layer via `set_peer_universe`; empty for bare stacks).
+    peer_universe: Vec<SiteId>,
+    /// While `rejoining`: peers whose rejoin answer (`Claim`) is still
+    /// outstanding. The grace window must not close while this is
+    /// non-empty — a pre-crash holder's claim could still be in flight.
+    /// Drained by claims, peers' own rejoins, and confirmed failures
+    /// (never by mere suspicion: a partitioned-but-live holder must keep
+    /// gating the window).
+    rejoin_awaiting: BTreeSet<SiteId>,
 
     // Self-addressed messages processed synchronously (a site is a member of
     // its own quorum; granting itself must not cost wire messages).
@@ -325,10 +351,13 @@ impl Clone for DelayOptimal {
             req_queue: self.req_queue.clone(),
             early_returns: self.early_returns.clone(),
             known_failed: self.known_failed.clone(),
+            confirmed_failed: self.confirmed_failed.clone(),
             quorum_source: self.quorum_source.clone(),
             inaccessible: self.inaccessible,
             withheld: self.withheld.clone(),
             rejoining: self.rejoining,
+            peer_universe: self.peer_universe.clone(),
+            rejoin_awaiting: self.rejoin_awaiting.clone(),
             local_q: self.local_q.clone(),
         }
     }
@@ -354,9 +383,12 @@ impl fmt::Debug for DelayOptimal {
             .field("inq_queue", &self.inq_queue)
             .field("early_returns", &self.early_returns)
             .field("known_failed", &self.known_failed)
+            .field("confirmed_failed", &self.confirmed_failed)
             .field("inaccessible", &self.inaccessible)
             .field("withheld", &self.withheld)
             .field("rejoining", &self.rejoining)
+            .field("peer_universe", &self.peer_universe)
+            .field("rejoin_awaiting", &self.rejoin_awaiting)
             .field("local_q", &self.local_q)
             .finish_non_exhaustive()
     }
@@ -391,10 +423,13 @@ impl DelayOptimal {
             req_queue: ReqQueue::new(),
             early_returns: std::collections::BTreeMap::new(),
             known_failed: BTreeSet::new(),
+            confirmed_failed: BTreeSet::new(),
             quorum_source: None,
             inaccessible: false,
             withheld: std::collections::BTreeMap::new(),
             rejoining: false,
+            peer_universe: Vec::new(),
+            rejoin_awaiting: BTreeSet::new(),
             local_q: VecDeque::new(),
         }
     }
@@ -464,10 +499,19 @@ impl DelayOptimal {
             }
         }
         // 2. No lock and a non-empty queue only transiently inside a
-        //    handler; between events it means a stalled grant. Exception:
+        //    handler; between events it means a stalled grant. Exceptions:
         //    a rejoining arbiter deliberately queues without granting
-        //    until its grace window closes.
-        if self.lock.is_none() && !self.req_queue.is_empty() && !self.rejoining {
+        //    until its grace window closes, and requests from merely
+        //    suspected sites stay parked (granting them is pointless —
+        //    the reply could not be delivered — and they are re-examined
+        //    on restoration or confirmation).
+        if self.lock.is_none()
+            && !self.rejoining
+            && self
+                .req_queue
+                .iter()
+                .any(|r| !self.known_failed.contains(&r.site))
+        {
             return Err(format!(
                 "{}: free lock with {} queued requests",
                 self.site,
@@ -599,7 +643,7 @@ impl DelayOptimal {
                 holder_req,
             } => self.req_transfer(arbiter, beneficiary, holder_req, fx),
             Body::Relinquish { req } => self.arb_relinquish(from, req, fx),
-            Body::Claim { req } => self.arb_claim(from, req, fx),
+            Body::Claim { holds } => self.arb_claim(from, holds, fx),
         }
     }
 
@@ -610,8 +654,18 @@ impl DelayOptimal {
     /// A.2: a request arrives at this arbiter.
     fn arb_request(&mut self, ts: Timestamp, fx: &mut Effects<Msg>) {
         self.clock.observe_ts(ts);
-        if self.known_failed.contains(&ts.site) {
+        if self.confirmed_failed.contains(&ts.site) {
             return; // in-flight request from a site that has since crashed
+        }
+        if self.known_failed.contains(&ts.site) {
+            // Suspected but possibly alive: park the request instead of
+            // granting or refusing (neither message could be delivered —
+            // `route` drops traffic to suspects at source). Restoration
+            // re-examines it; confirmation discards it.
+            if self.lock != Some(ts) {
+                self.req_queue.insert(ts);
+            }
+            return;
         }
         match self.lock {
             None if self.rejoining => {
@@ -749,7 +803,10 @@ impl DelayOptimal {
         let mut fwd = forwarded_to;
         loop {
             match fwd {
-                Some(b) if !self.known_failed.contains(&b.site) => {
+                // Only a *confirmed* failure voids a forward: a merely
+                // suspected beneficiary may be alive and about to enter the
+                // CS on the forwarded reply, so its grant must stand.
+                Some(b) if !self.confirmed_failed.contains(&b.site) => {
                     self.req_queue.remove(&b);
                     match self.early_returns.remove(&b) {
                         None => {
@@ -799,35 +856,48 @@ impl DelayOptimal {
             self.lock = None;
             return;
         }
-        loop {
-            match self.req_queue.pop() {
-                None => {
-                    self.lock = None;
-                    return;
-                }
-                Some(p) if self.known_failed.contains(&p.site) => continue,
-                Some(p) => {
-                    self.lock = Some(p);
-                    // After popping the minimum, any remaining head has lower
-                    // priority than `p`, so no inquire is ever needed here.
-                    let next = if self.cfg.forwarding_enabled {
-                        self.req_queue.head()
-                    } else {
-                        None
-                    };
-                    self.route(
-                        fx,
-                        p.site,
-                        Body::Reply {
-                            arbiter: self.site,
-                            req: p,
-                            transfer: next,
-                        },
-                    );
-                    return;
-                }
-            }
+        // Requests from confirmed-failed sites are discarded outright;
+        // requests from merely *suspected* sites stay parked in the queue
+        // (their senders may be alive — restoration grants them normally)
+        // but are passed over for granting.
+        let discard: Vec<Timestamp> = self
+            .req_queue
+            .iter()
+            .filter(|r| self.confirmed_failed.contains(&r.site))
+            .copied()
+            .collect();
+        for r in discard {
+            self.req_queue.remove(&r);
         }
+        let Some(p) = self
+            .req_queue
+            .iter()
+            .find(|r| !self.known_failed.contains(&r.site))
+            .copied()
+        else {
+            self.lock = None;
+            return;
+        };
+        self.req_queue.remove(&p);
+        self.lock = Some(p);
+        // `p` is the highest-priority grantable request; a suspected entry
+        // ahead of it cannot enter (its reply would be withheld), so no
+        // inquire is needed here — matching the pop-the-minimum reasoning
+        // of the fully-live case.
+        let next = if self.cfg.forwarding_enabled {
+            self.req_queue.head()
+        } else {
+            None
+        };
+        self.route(
+            fx,
+            p.site,
+            Body::Reply {
+                arbiter: self.site,
+                req: p,
+                transfer: next,
+            },
+        );
     }
 
     /// A.4: the current grantee yields the permission back.
@@ -847,10 +917,18 @@ impl DelayOptimal {
         self.grant_next(fx);
     }
 
-    /// Rejoin resync: `from` asserts its request `req` currently holds this
-    /// arbiter's permission (sent in response to our rejoin announcement).
-    fn arb_claim(&mut self, from: SiteId, req: Timestamp, fx: &mut Effects<Msg>) {
-        if req.site != from || self.known_failed.contains(&from) {
+    /// Rejoin resync answer: `from` has seen our rejoin announcement and
+    /// reports whether it holds our arbiter permission. The grace window
+    /// cannot close until every awaited peer has answered (see
+    /// [`Protocol::rejoin_pending`]), so — unlike a fixed timeout — a
+    /// slow link cannot deliver a positive claim to a permission that has
+    /// already been granted to someone else.
+    fn arb_claim(&mut self, from: SiteId, holds: Option<Timestamp>, fx: &mut Effects<Msg>) {
+        self.rejoin_awaiting.remove(&from);
+        let Some(req) = holds else {
+            return; // answer recorded; nothing claimed
+        };
+        if req.site != from || self.confirmed_failed.contains(&from) {
             return;
         }
         if self.lock == Some(req) {
@@ -863,10 +941,11 @@ impl DelayOptimal {
             self.req_queue.remove(&req);
             self.lock = Some(req);
         } else {
-            // Conflict: we already (re-)granted to someone else — the
-            // claim arrived after the grace window closed. Ask the
-            // claimant to yield; its §3.1 machinery hands the permission
-            // back once it learns it cannot be next.
+            // Conflict: the permission is already held — possible only
+            // through a stale or duplicated claim (the answer gate keeps
+            // genuine claims inside the window). Ask the claimant to
+            // yield; its §3.1 machinery hands the permission back once it
+            // learns it cannot be next.
             self.route(
                 fx,
                 from,
@@ -1214,11 +1293,17 @@ impl Protocol for DelayOptimal {
         self.phase == RequesterPhase::Waiting
     }
 
-    /// §6: handle the `failure(i)` notice.
+    /// §6: handle the `failure(i)` notice — a *definitive* failure (the
+    /// paper's oracle, or the detector's post-lease confirmation). Only
+    /// here may a lock held by the failed site be reclaimed and re-granted;
+    /// mere suspicion ([`Protocol::on_site_suspected`]) never does that.
     fn on_site_failure(&mut self, failed: SiteId, fx: &mut Effects<Msg>) {
-        if failed == self.site || !self.known_failed.insert(failed) {
+        if failed == self.site || !self.confirmed_failed.insert(failed) {
             return;
         }
+        self.known_failed.insert(failed);
+        // A confirmed-dead peer can no longer answer a rejoin.
+        self.rejoin_awaiting.remove(&failed);
 
         // --- Arbiter-side cleanup -------------------------------------
         // Case 1: the failed site's request sits in our req_queue.
@@ -1259,32 +1344,68 @@ impl Protocol for DelayOptimal {
         self.pump(fx);
     }
 
+    /// A failure detector *suspects* `site` (missed heartbeats). The
+    /// suspicion may be false — `site` may be partitioned away while
+    /// actively inside the CS — so only *revocable* reactions run here:
+    /// route around the suspect (drop traffic to it at source) and, as a
+    /// requester, withdraw and re-issue against a quorum avoiding it. The
+    /// arbiter-side cleanup that reclaims a lock the suspect holds is
+    /// deliberately NOT run: re-granting a falsely suspected holder's lock
+    /// would let a second site into the CS. That cleanup waits for the
+    /// detector's confirmed [`Protocol::on_site_failure`] (or the
+    /// suspect's own rejoin, which proves its old grant is abandoned).
+    fn on_site_suspected(&mut self, site: SiteId, fx: &mut Effects<Msg>) {
+        if site == self.site || !self.known_failed.insert(site) {
+            return;
+        }
+        // Requester-side quorum reconstruction (§6 step 1). Relinquishes
+        // to the suspect itself are withheld by `route` and flushed on
+        // restoration.
+        if self.req_set.contains(&site) && self.phase != RequesterPhase::InCs {
+            let wanted = self.phase == RequesterPhase::Waiting;
+            self.withdraw_current(fx);
+            if self.refresh_quorum() && wanted {
+                self.begin_request(fx);
+            }
+        }
+        self.pump(fx);
+    }
+
     /// A suspicion proved false: reintegrate `site`.
     ///
-    /// Mutual exclusion is unaffected — `known_failed` only ever gates
-    /// message dropping and quorum selection, never grants — so
+    /// Mutual exclusion is unaffected — suspicion only ever gates message
+    /// dropping, quorum selection, and *deferral* of grants (a suspect's
+    /// queued requests are parked, never re-granted elsewhere) — so
     /// reintegration is (1) stop dropping its messages at source, (2)
-    /// re-admit it to quorum selection, and (3) flush the
-    /// permission-returning messages we dropped while it was suspected, so
-    /// its arbiter stops waiting on requests we no longer have.
+    /// re-admit it to quorum selection, (3) flush the permission-returning
+    /// messages we dropped while it was suspected, so its arbiter stops
+    /// waiting on requests we no longer have, and (4) grant our own
+    /// permission if it stalled parked behind the suspicion.
     fn on_site_restored(&mut self, site: SiteId, fx: &mut Effects<Msg>) {
         if !self.known_failed.remove(&site) {
             return;
         }
+        self.confirmed_failed.remove(&site);
         if let Some(reqs) = self.withheld.remove(&site) {
             for req in reqs {
                 self.route(fx, site, Body::Relinquish { req });
             }
         }
         self.recompute_accessibility();
+        // Un-stall the arbiter: requests parked while their senders were
+        // suspected become grantable again.
+        if !self.rejoining && self.lock.is_none() && !self.req_queue.is_empty() {
+            self.grant_next(fx);
+        }
         self.pump(fx);
     }
 
     /// A crashed peer restarted with fresh state: purge every trace of its
-    /// old incarnation, reintegrate it, and resync its arbiter state.
-    fn on_peer_rejoined(&mut self, site: SiteId, fx: &mut Effects<Msg>) {
-        // The rejoiner lost its requester state: its old requests will
-        // never be released or withdrawn. Purge them from our arbiter.
+    /// old incarnation, reintegrate it, and answer its rejoin resync.
+    fn on_peer_rejoined(&mut self, site: SiteId, incarnation: u64, fx: &mut Effects<Msg>) {
+        let _ = incarnation; // used by the transport layer, not here
+                             // The rejoiner lost its requester state: its old requests will
+                             // never be released or withdrawn. Purge them from our arbiter.
         let _ = self.req_queue.remove_site(site);
         if self.lock.is_some_and(|l| l.site == site) {
             self.grant_next(fx);
@@ -1296,21 +1417,32 @@ impl Protocol for DelayOptimal {
         // Reintegrate (the withheld returns are moot: the fresh arbiter
         // has no queue to unwedge).
         self.known_failed.remove(&site);
+        self.confirmed_failed.remove(&site);
         self.withheld.remove(&site);
         self.recompute_accessibility();
+        // A restarted peer has nothing to claim against our own rejoin.
+        self.rejoin_awaiting.remove(&site);
+        // Purging its queued requests may also un-stall our arbiter.
+        if !self.rejoining && self.lock.is_none() && !self.req_queue.is_empty() {
+            self.grant_next(fx);
+        }
 
-        // Resync the rejoined arbiter: it no longer knows who holds its
-        // permission or who is waiting for it.
-        if self.req_set.contains(&site) && self.phase != RequesterPhase::Idle {
+        // Answer the resync: EVERY peer reports, even with nothing to
+        // claim, because the rejoined arbiter refuses to grant until all
+        // its peers have answered (see `Body::Claim`).
+        let holds = if self.phase != RequesterPhase::Idle && self.replied.contains(&site) {
+            self.my_req
+        } else {
+            None
+        };
+        self.route(fx, site, Body::Claim { holds });
+        // Our request sat in its (lost) queue: re-issue it. FIFO transport
+        // delivers the answer first, so the re-issued request lands in the
+        // rejoiner's queue after the claim is accounted.
+        if holds.is_none() && self.req_set.contains(&site) && self.phase == RequesterPhase::Waiting
+        {
             if let Some(my_req) = self.my_req {
-                if self.replied.contains(&site) {
-                    // We hold its permission: assert the claim so it does
-                    // not grant the permission a second time.
-                    self.route(fx, site, Body::Claim { req: my_req });
-                } else if self.phase == RequesterPhase::Waiting {
-                    // Our request sat in its (lost) queue: re-issue it.
-                    self.route(fx, site, Body::Request { ts: my_req });
-                }
+                self.route(fx, site, Body::Request { ts: my_req });
             }
         }
         self.pump(fx);
@@ -1319,21 +1451,67 @@ impl Protocol for DelayOptimal {
     /// This site restarted after a crash with fresh state: hold off
     /// arbitration until peers' `Claim`s re-establish who held our
     /// permission (the detector layer announces the rejoin and times the
-    /// grace window).
+    /// grace window; the window cannot close while
+    /// [`Protocol::rejoin_pending`] still reports unanswered peers).
     fn on_recover(&mut self, fx: &mut Effects<Msg>) {
         self.rejoining = true;
+        self.rejoin_awaiting = self
+            .peer_universe
+            .iter()
+            .copied()
+            .filter(|&p| p != self.site)
+            .collect();
         let _ = fx;
     }
 
-    /// The rejoin grace window closed: resume arbitration. If no claim
-    /// arrived the permission is free and the queue head (requests that
-    /// accumulated during the window) is granted now.
+    /// The rejoin grace window closed (every awaited peer has answered and
+    /// the detector's grace timer expired): resume arbitration.
     fn on_rejoin_complete(&mut self, fx: &mut Effects<Msg>) {
         self.rejoining = false;
+        self.rejoin_awaiting.clear();
+        if self.lock.is_none() {
+            // Resolve pre-crash forward chains that were parked during the
+            // window: a holder that exited while we were down may have
+            // forwarded our permission onward, and its `Release` straggled
+            // in over the reset link (necessarily before its rejoin
+            // answer, which rides the same FIFO channel). The live holder
+            // — if any — is a forward target that never itself returned
+            // the permission.
+            let returned: BTreeSet<Timestamp> = self.early_returns.keys().copied().collect();
+            let tail = self
+                .early_returns
+                .values()
+                .filter_map(|e| match e {
+                    EarlyReturn::Released { forwarded_to } => *forwarded_to,
+                    _ => None,
+                })
+                .find(|t| !returned.contains(t) && !self.confirmed_failed.contains(&t.site));
+            if let Some(t) = tail {
+                self.req_queue.remove(&t);
+                self.lock = Some(t);
+            }
+            // A free lock at window close means every forward chain has
+            // fully drained, so whatever remains parked is pre-crash-era
+            // garbage (yields and relinquishes of requests re-issued over
+            // the resync, or chain links consumed above): keyed by
+            // timestamps that can never become the lock again. A *held*
+            // lock, by contrast, may still have an in-flight forward
+            // notification racing a parked return — leave the map alone
+            // then, exactly as in normal operation.
+            self.early_returns.clear();
+        }
         if self.lock.is_none() {
             self.grant_next(fx);
         }
         self.pump(fx);
+    }
+
+    fn rejoin_pending(&self) -> bool {
+        self.rejoining && !self.rejoin_awaiting.is_empty()
+    }
+
+    fn set_peer_universe(&mut self, peers: &[SiteId]) {
+        self.peer_universe = peers.iter().copied().filter(|&p| p != self.site).collect();
     }
 }
 

@@ -5,11 +5,20 @@
 //! oracle with an unreliable, timeout-driven failure detector in the style
 //! of Chandra–Toueg: every site periodically sends a heartbeat to every
 //! peer, and a peer not heard from within a timeout becomes *suspected*.
-//! Suspicions feed the wrapped protocol through
-//! [`Protocol::on_site_suspected`] — for the delay-optimal algorithm that
-//! triggers the very same §6 cleanup and quorum-reconstruction rules the
-//! oracle did — but, unlike the oracle, a suspicion can be **wrong**: a
-//! partition or a burst of message loss silences a perfectly live peer.
+//! Unlike the oracle's notice, a suspicion can be **wrong** — a partition
+//! or a burst of message loss silences a perfectly live peer — so the
+//! detector splits the paper's single `failure(i)` event in two:
+//!
+//! * [`Protocol::on_site_suspected`] fires at `hb_timeout` and is
+//!   *revocable*: the wrapped protocol may route around the suspect
+//!   (withdraw requests, reconstruct quorums on the requester side) but
+//!   must not reclaim anything the suspect may hold — the suspect could
+//!   be alive inside the CS.
+//! * [`Protocol::on_site_failure`] fires only after a further
+//!   `fail_confirm` of silence and is *definitive*: it runs the full §6
+//!   cleanup, including reclaiming and re-granting locks the dead site
+//!   held.
+//!
 //! When a suspected peer is heard from again the detector *restores* it via
 //! [`Protocol::on_site_restored`], and the wrapped protocol must reintegrate
 //! it without ever violating mutual exclusion.
@@ -43,18 +52,38 @@ pub struct DetectorConfig {
     /// peer is falsely suspected at steady state.
     pub hb_timeout: u64,
     /// Length of the rejoin grace window a recovered site keeps open for
-    /// peers' answers before resuming full operation.
+    /// peers' answers before resuming full operation. The window is
+    /// re-armed for another `rejoin_wait` whenever it elapses while the
+    /// wrapped protocol still reports [`Protocol::rejoin_pending`] — the
+    /// grace period cannot close on a fixed timeout while a peer's resync
+    /// answer is outstanding.
     pub rejoin_wait: u64,
+    /// Additional silence, beyond the suspicion at `hb_timeout`, after
+    /// which a suspected peer's failure is *confirmed*: the wrapped
+    /// protocol then receives the definitive
+    /// [`Protocol::on_site_failure`] (which may reclaim locks the dead
+    /// site held) rather than the revocable
+    /// [`Protocol::on_site_suspected`]. This is the detector's *lease*:
+    /// confirmation is only sound if a live site can never be silenced —
+    /// by partition, loss, or scheduling — for `hb_timeout +
+    /// fail_confirm` while holding the CS. Size it well above the longest
+    /// plausible partition; a confirmation that later proves wrong is
+    /// still *handled* (the site is restored on its next message) but can
+    /// no longer guarantee mutual exclusion in the interim, exactly like
+    /// the paper's §6 oracle model under an imperfect oracle.
+    pub fail_confirm: u64,
 }
 
 impl Default for DetectorConfig {
     fn default() -> Self {
         // Defaults sized for the simulator's T = 1000 ticks: beat every 2T,
-        // suspect after 3 missed rounds + slack.
+        // suspect after 3 missed rounds + slack, confirm the failure after
+        // a further 32T of silence.
         DetectorConfig {
             hb_interval: 2_000,
             hb_timeout: 8_000,
             rejoin_wait: 4_000,
+            fail_confirm: 32_000,
         }
     }
 }
@@ -74,6 +103,10 @@ pub struct DetectorCounters {
     pub rejoins_sent: u64,
     /// Rejoin announcements received from recovered peers.
     pub rejoins_observed: u64,
+    /// Suspicions escalated to confirmed failures after `fail_confirm`
+    /// further silence (each fed the inner protocol's definitive
+    /// `on_site_failure`).
+    pub failures_confirmed: u64,
 }
 
 impl DetectorCounters {
@@ -84,6 +117,7 @@ impl DetectorCounters {
         self.false_suspicions += other.false_suspicions;
         self.rejoins_sent += other.rejoins_sent;
         self.rejoins_observed += other.rejoins_observed;
+        self.failures_confirmed += other.failures_confirmed;
     }
 }
 
@@ -93,8 +127,18 @@ impl DetectorCounters {
 pub enum HbMsg<M> {
     /// Periodic liveness beacon.
     Beat,
-    /// "I crashed and restarted with fresh state" announcement.
-    Rejoin,
+    /// "I crashed and restarted with fresh state" announcement. The
+    /// `incarnation` is the sender's boot counter (see
+    /// [`Protocol::set_incarnation`]): receivers use it to deduplicate
+    /// re-broadcast announcements of the *same* restart (processing a
+    /// duplicate would wrongly re-purge per-peer state accumulated since)
+    /// and to fence transport-level stragglers from earlier incarnations.
+    Rejoin {
+        /// Sender's boot counter; `0` when the driver tracks none, in
+        /// which case receivers process every announcement (legacy
+        /// behaviour, safe only without duplicating fault injection).
+        incarnation: u64,
+    },
     /// A wrapped-protocol message.
     App(M),
 }
@@ -102,7 +146,7 @@ pub enum HbMsg<M> {
 impl<M: MsgMeta> MsgMeta for HbMsg<M> {
     fn kind(&self) -> MsgKind {
         match self {
-            HbMsg::Beat | HbMsg::Rejoin => MsgKind::Info,
+            HbMsg::Beat | HbMsg::Rejoin { .. } => MsgKind::Info,
             HbMsg::App(m) => m.kind(),
         }
     }
@@ -126,17 +170,30 @@ pub struct Detector<P: Protocol> {
     last_heard: BTreeMap<SiteId, u64>,
     /// Currently suspected peers.
     suspected: BTreeSet<SiteId>,
+    /// Deadline after which a still-silent suspect's failure is confirmed
+    /// (escalated to the inner protocol's definitive `on_site_failure`).
+    /// Entries exist only for suspected-but-unconfirmed peers.
+    confirm_at: BTreeMap<SiteId, u64>,
     /// End of the post-recovery grace window, when open.
     rejoin_until: Option<u64>,
+    /// This site's boot counter, stamped into outgoing `Rejoin`s.
+    incarnation: u64,
+    /// Highest rejoin incarnation processed per peer, for deduplicating
+    /// re-broadcast announcements of the same restart.
+    last_rejoin_inc: BTreeMap<SiteId, u64>,
     counters: DetectorCounters,
 }
 
 impl<P: Protocol> Detector<P> {
     /// Wraps `inner`, monitoring every site in `peers` (self is filtered
     /// out if present).
-    pub fn new(inner: P, peers: Vec<SiteId>, cfg: DetectorConfig) -> Self {
+    pub fn new(mut inner: P, peers: Vec<SiteId>, cfg: DetectorConfig) -> Self {
         let me = inner.site();
         let peers: Vec<SiteId> = peers.into_iter().filter(|&p| p != me).collect();
+        // The inner protocol must know the full membership so a crash
+        // recovery can wait for a resync answer from *every* peer (the
+        // answer-gated rejoin window) rather than only its current quorum.
+        inner.set_peer_universe(&peers);
         let last_heard = peers.iter().map(|&p| (p, 0)).collect();
         Detector {
             inner,
@@ -146,7 +203,10 @@ impl<P: Protocol> Detector<P> {
             next_beat: 0,
             last_heard,
             suspected: BTreeSet::new(),
+            confirm_at: BTreeMap::new(),
             rejoin_until: None,
+            incarnation: 0,
+            last_rejoin_inc: BTreeMap::new(),
             counters: DetectorCounters::default(),
         }
     }
@@ -199,12 +259,27 @@ impl<P: Protocol> Detector<P> {
 
     /// Records liveness evidence from `from`; if `from` was suspected, the
     /// suspicion ends: restoration (false suspicion) or rejoin handling.
-    fn heard_from(&mut self, from: SiteId, rejoin: bool, fx: &mut Effects<HbMsg<P::Msg>>) {
+    /// `rejoin` carries the announcement's incarnation when the message
+    /// was a [`HbMsg::Rejoin`].
+    fn heard_from(&mut self, from: SiteId, rejoin: Option<u64>, fx: &mut Effects<HbMsg<P::Msg>>) {
         self.last_heard.insert(from, self.now);
+        self.confirm_at.remove(&from);
         let was_suspected = self.suspected.remove(&from);
-        if rejoin {
-            self.counters.rejoins_observed += 1;
-            self.with_inner(fx, |p, ifx| p.on_peer_rejoined(from, ifx));
+        if let Some(inc) = rejoin {
+            // A rejoin window re-broadcasts the same announcement until
+            // its resync answers arrive, and fault injection can
+            // duplicate the raw channel outright. Processing a duplicate
+            // would re-purge per-peer state accumulated *since* the
+            // restart — a safety hazard — so each incarnation is handled
+            // at most once. Incarnation 0 means the driver tracks no boot
+            // counter; preserve the legacy process-every-announcement
+            // behaviour for it.
+            let dup = inc > 0 && self.last_rejoin_inc.get(&from).is_some_and(|&l| l >= inc);
+            if !dup {
+                self.last_rejoin_inc.insert(from, inc);
+                self.counters.rejoins_observed += 1;
+                self.with_inner(fx, |p, ifx| p.on_peer_rejoined(from, inc, ifx));
+            }
         } else if was_suspected {
             self.counters.false_suspicions += 1;
             self.with_inner(fx, |p, ifx| p.on_site_restored(from, ifx));
@@ -228,13 +303,20 @@ where
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Model-checker fingerprints hash this output: every
-        // behaviour-relevant field must appear.
+        // behaviour-relevant field must appear. `now` is included because
+        // suspicion/confirmation deadlines and beat firing compare
+        // against it — two states equal elsewhere but at different local
+        // clocks behave differently.
         f.debug_struct("Detector")
             .field("inner", &self.inner)
+            .field("now", &self.now)
             .field("next_beat", &self.next_beat)
             .field("last_heard", &self.last_heard)
             .field("suspected", &self.suspected)
+            .field("confirm_at", &self.confirm_at)
             .field("rejoin_until", &self.rejoin_until)
+            .field("incarnation", &self.incarnation)
+            .field("last_rejoin_inc", &self.last_rejoin_inc)
             .finish()
     }
 }
@@ -271,10 +353,10 @@ impl<P: Protocol> Protocol for Detector<P> {
 
     fn handle(&mut self, from: SiteId, msg: Self::Msg, fx: &mut Effects<Self::Msg>) {
         match msg {
-            HbMsg::Beat => self.heard_from(from, false, fx),
-            HbMsg::Rejoin => self.heard_from(from, true, fx),
+            HbMsg::Beat => self.heard_from(from, None, fx),
+            HbMsg::Rejoin { incarnation } => self.heard_from(from, Some(incarnation), fx),
             HbMsg::App(m) => {
-                self.heard_from(from, false, fx);
+                self.heard_from(from, None, fx);
                 self.with_inner(fx, |p, ifx| p.handle(from, m, ifx));
             }
         }
@@ -289,25 +371,35 @@ impl<P: Protocol> Protocol for Detector<P> {
     }
 
     fn on_site_failure(&mut self, failed: SiteId, fx: &mut Effects<Self::Msg>) {
-        // An oracle notice (still supported for legacy drivers) enters the
-        // same suspicion set; a later sighting restores the site exactly
-        // like any false suspicion would.
+        // An oracle notice (still supported for legacy drivers) is
+        // definitive by assumption: it enters the suspicion set (so a
+        // later sighting restores the site exactly like any false
+        // suspicion would) and passes straight through to the inner
+        // protocol with no `fail_confirm` lease.
         self.suspected.insert(failed);
+        self.confirm_at.remove(&failed);
         self.with_inner(fx, |p, ifx| p.on_site_failure(failed, ifx));
     }
 
     fn on_recover(&mut self, fx: &mut Effects<Self::Msg>) {
         // Fresh restart: everyone is presumed live, announce the rejoin
         // and open the grace window for peers' state answers.
+        let incarnation = self.incarnation;
         for &p in &self.peers {
             self.last_heard.insert(p, self.now);
-            fx.send(p, HbMsg::Rejoin);
+            fx.send(p, HbMsg::Rejoin { incarnation });
         }
         self.suspected.clear();
+        self.confirm_at.clear();
         self.counters.rejoins_sent += 1;
         self.next_beat = self.now + self.cfg.hb_interval;
         self.rejoin_until = Some(self.now + self.cfg.rejoin_wait);
         self.with_inner(fx, |p, ifx| p.on_recover(ifx));
+    }
+
+    fn set_incarnation(&mut self, incarnation: u64) {
+        self.incarnation = incarnation;
+        self.inner.set_incarnation(incarnation);
     }
 
     fn set_now(&mut self, now: u64) {
@@ -319,6 +411,9 @@ impl<P: Protocol> Protocol for Detector<P> {
         let mut due = self.next_beat;
         if let Some(d) = self.next_deadline() {
             due = due.min(d);
+        }
+        if let Some(&c) = self.confirm_at.values().min() {
+            due = due.min(c);
         }
         if let Some(r) = self.rejoin_until {
             due = due.min(r);
@@ -332,7 +427,21 @@ impl<P: Protocol> Protocol for Detector<P> {
     fn on_timer(&mut self, now: u64, fx: &mut Effects<Self::Msg>) {
         self.now = self.now.max(now);
         if self.now >= self.next_beat {
-            self.beat_all(fx);
+            if self.rejoin_until.is_some() {
+                // While the rejoin window is open, each beat round
+                // re-broadcasts the announcement instead: a peer whose
+                // original (raw-channel, hence lossy) `Rejoin` was
+                // dropped would otherwise never answer, and the
+                // answer-gated window would never close. Peers that did
+                // get it deduplicate by incarnation.
+                let incarnation = self.incarnation;
+                for &p in &self.peers {
+                    fx.send(p, HbMsg::Rejoin { incarnation });
+                    self.counters.heartbeats_sent += 1;
+                }
+            } else {
+                self.beat_all(fx);
+            }
             self.next_beat = self.now + self.cfg.hb_interval;
         }
         // Fire suspicions for peers silent past the timeout.
@@ -349,12 +458,35 @@ impl<P: Protocol> Protocol for Detector<P> {
             .collect();
         for p in newly {
             self.suspected.insert(p);
+            self.confirm_at
+                .insert(p, self.now.saturating_add(self.cfg.fail_confirm));
             self.counters.suspicions += 1;
             self.with_inner(fx, |proto, ifx| proto.on_site_suspected(p, ifx));
         }
+        // Escalate suspicions that stayed silent through the whole
+        // confirmation lease to definitive failures.
+        let confirmed: Vec<SiteId> = self
+            .confirm_at
+            .iter()
+            .filter(|&(_, &c)| c <= self.now)
+            .map(|(&p, _)| p)
+            .collect();
+        for p in confirmed {
+            self.confirm_at.remove(&p);
+            self.counters.failures_confirmed += 1;
+            self.with_inner(fx, |proto, ifx| proto.on_site_failure(p, ifx));
+        }
         if self.rejoin_until.is_some_and(|r| r <= self.now) {
-            self.rejoin_until = None;
-            self.with_inner(fx, |p, ifx| p.on_rejoin_complete(ifx));
+            if self.inner.rejoin_pending() {
+                // A resync answer is still outstanding — re-arm the
+                // window rather than resume on a blind timeout (the
+                // answer may simply be slower than `rejoin_wait`; see
+                // `DetectorConfig::rejoin_wait`).
+                self.rejoin_until = Some(self.now + self.cfg.rejoin_wait);
+            } else {
+                self.rejoin_until = None;
+                self.with_inner(fx, |p, ifx| p.on_rejoin_complete(ifx));
+            }
         }
         self.with_inner(fx, |p, ifx| p.on_timer(now, ifx));
     }
@@ -381,10 +513,14 @@ mod tests {
     struct Probe {
         site: SiteId,
         suspected: Vec<SiteId>,
+        failed: Vec<SiteId>,
         restored: Vec<SiteId>,
-        rejoined: Vec<SiteId>,
+        rejoined: Vec<(SiteId, u64)>,
         recovered: bool,
         rejoin_completed: bool,
+        /// When set, reports an outstanding resync answer so the rejoin
+        /// window must stay open.
+        gate_rejoin: bool,
     }
 
     #[derive(Debug, Clone)]
@@ -412,17 +548,23 @@ mod tests {
         fn on_site_suspected(&mut self, s: SiteId, _fx: &mut Effects<NoMsg>) {
             self.suspected.push(s);
         }
+        fn on_site_failure(&mut self, s: SiteId, _fx: &mut Effects<NoMsg>) {
+            self.failed.push(s);
+        }
         fn on_site_restored(&mut self, s: SiteId, _fx: &mut Effects<NoMsg>) {
             self.restored.push(s);
         }
-        fn on_peer_rejoined(&mut self, s: SiteId, _fx: &mut Effects<NoMsg>) {
-            self.rejoined.push(s);
+        fn on_peer_rejoined(&mut self, s: SiteId, incarnation: u64, _fx: &mut Effects<NoMsg>) {
+            self.rejoined.push((s, incarnation));
         }
         fn on_recover(&mut self, _fx: &mut Effects<NoMsg>) {
             self.recovered = true;
         }
         fn on_rejoin_complete(&mut self, _fx: &mut Effects<NoMsg>) {
             self.rejoin_completed = true;
+        }
+        fn rejoin_pending(&self) -> bool {
+            self.gate_rejoin
         }
     }
 
@@ -434,6 +576,7 @@ mod tests {
                 hb_interval: 10,
                 hb_timeout: 35,
                 rejoin_wait: 20,
+                fail_confirm: 100,
             },
         )
     }
@@ -495,11 +638,26 @@ mod tests {
         d.on_timer(40, &mut fx);
         assert_eq!(d.suspected().len(), 2);
         d.set_now(50);
-        d.handle(SiteId(2), HbMsg::Rejoin, &mut fx);
+        d.handle(SiteId(2), HbMsg::Rejoin { incarnation: 1 }, &mut fx);
         assert!(!d.suspected().contains(&SiteId(2)));
         assert_eq!(d.counters().false_suspicions, 0);
         assert_eq!(d.counters().rejoins_observed, 1);
-        assert_eq!(d.inner().rejoined, vec![SiteId(2)]);
+        assert_eq!(d.inner().rejoined, vec![(SiteId(2), 1)]);
+    }
+
+    #[test]
+    fn duplicate_rejoin_same_incarnation_is_processed_once() {
+        let mut d = det(3);
+        let mut fx = Effects::new();
+        d.on_start(&mut fx);
+        fx.take_sends();
+        d.handle(SiteId(2), HbMsg::Rejoin { incarnation: 1 }, &mut fx);
+        d.handle(SiteId(2), HbMsg::Rejoin { incarnation: 1 }, &mut fx);
+        assert_eq!(d.inner().rejoined, vec![(SiteId(2), 1)]);
+        assert_eq!(d.counters().rejoins_observed, 1);
+        // A *new* incarnation (another crash) is processed again.
+        d.handle(SiteId(2), HbMsg::Rejoin { incarnation: 2 }, &mut fx);
+        assert_eq!(d.inner().rejoined, vec![(SiteId(2), 1), (SiteId(2), 2)]);
     }
 
     #[test]
@@ -513,7 +671,7 @@ mod tests {
         let rejoins = fx
             .take_sends()
             .iter()
-            .filter(|(_, m)| matches!(m, HbMsg::Rejoin))
+            .filter(|(_, m)| matches!(m, HbMsg::Rejoin { .. }))
             .count();
         assert_eq!(rejoins, 2);
         assert_eq!(d.counters().rejoins_sent, 1);
@@ -564,9 +722,99 @@ mod tests {
             false_suspicions: 3,
             rejoins_sent: 4,
             rejoins_observed: 5,
+            failures_confirmed: 6,
         };
         a.merge(&a.clone());
         assert_eq!(a.heartbeats_sent, 2);
         assert_eq!(a.rejoins_observed, 10);
+        assert_eq!(a.failures_confirmed, 12);
+    }
+
+    #[test]
+    fn suspicion_escalates_to_confirmed_failure_after_lease() {
+        let mut d = det(3);
+        let mut fx = Effects::new();
+        d.on_start(&mut fx);
+        fx.take_sends();
+        // Peer 1 keeps beating; peer 2 is silent forever.
+        for t in (10..=40).step_by(10) {
+            d.set_now(t);
+            d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+            d.on_timer(t, &mut fx);
+            fx.take_sends();
+        }
+        assert_eq!(d.inner().suspected, vec![SiteId(2)]);
+        assert!(d.inner().failed.is_empty(), "no confirmation yet");
+        // Suspected at t=40, fail_confirm=100: confirmation due at 140.
+        assert!(d.next_timer().is_some_and(|t| t <= 140));
+        for t in (50..=140).step_by(10) {
+            d.set_now(t);
+            d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+            d.on_timer(t, &mut fx);
+            fx.take_sends();
+        }
+        assert_eq!(d.inner().failed, vec![SiteId(2)]);
+        assert_eq!(d.counters().failures_confirmed, 1);
+        // Even a confirmed site is restored when heard from again.
+        d.set_now(150);
+        d.handle(SiteId(2), HbMsg::Beat, &mut fx);
+        assert_eq!(d.inner().restored, vec![SiteId(2)]);
+    }
+
+    #[test]
+    fn hearing_from_suspect_cancels_pending_confirmation() {
+        let mut d = det(3);
+        let mut fx = Effects::new();
+        d.on_start(&mut fx);
+        fx.take_sends();
+        d.set_now(40);
+        d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+        d.on_timer(40, &mut fx);
+        assert!(d.suspected().contains(&SiteId(2)));
+        d.set_now(50);
+        d.handle(SiteId(2), HbMsg::Beat, &mut fx);
+        // Silence again: the confirmation clock must restart from the new
+        // suspicion, not run on from the first.
+        d.set_now(120);
+        d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+        d.on_timer(120, &mut fx);
+        assert!(d.suspected().contains(&SiteId(2)));
+        assert!(
+            d.inner().failed.is_empty(),
+            "re-suspected at 120, confirm not before 220"
+        );
+        d.set_now(220);
+        d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+        d.on_timer(220, &mut fx);
+        assert_eq!(d.inner().failed, vec![SiteId(2)]);
+    }
+
+    #[test]
+    fn rejoin_window_extends_while_inner_reports_pending() {
+        let mut d = det(3);
+        d.inner.gate_rejoin = true;
+        let mut fx = Effects::new();
+        d.set_now(100);
+        d.on_recover(&mut fx);
+        fx.take_sends();
+        // Window would close at 120, but an answer is outstanding.
+        d.set_now(120);
+        d.on_timer(120, &mut fx);
+        assert!(d.rejoining(), "window re-armed while answers pending");
+        assert!(!d.inner().rejoin_completed);
+        // Beat rounds inside the window re-broadcast the announcement so
+        // peers that lost the original raw-channel Rejoin still answer.
+        let rejoins = fx
+            .take_sends()
+            .iter()
+            .filter(|(_, m)| matches!(m, HbMsg::Rejoin { .. }))
+            .count();
+        assert!(rejoins >= 2, "re-broadcast to both peers, got {rejoins}");
+        // The answers arrive; the next expiry closes the window.
+        d.inner.gate_rejoin = false;
+        d.set_now(140);
+        d.on_timer(140, &mut fx);
+        assert!(!d.rejoining());
+        assert!(d.inner().rejoin_completed);
     }
 }

@@ -233,11 +233,17 @@ pub trait Protocol {
     ///
     /// Unlike [`on_site_failure`](Protocol::on_site_failure) — the paper's
     /// oracle `failure(i)` notice, which is definitive — a suspicion may be
-    /// wrong (a partition or slow link, Chandra–Toueg style). The default
-    /// treats it as a failure notice; algorithms that can reintegrate must
-    /// also implement [`on_site_restored`](Protocol::on_site_restored).
+    /// wrong (a partition or slow link, Chandra–Toueg style), possibly while
+    /// the suspected site is *inside its CS*. Reacting to it with the
+    /// definitive-failure cleanup (which reclaims and re-grants held locks)
+    /// is therefore unsafe; the default does nothing, which is always safe.
+    /// Algorithms may override it with *revocable* reactions only (routing
+    /// around the suspect, withdrawing own requests) and must reintegrate
+    /// the site in [`on_site_restored`](Protocol::on_site_restored). The
+    /// definitive cleanup still runs when the detector later *confirms* the
+    /// failure via [`on_site_failure`](Protocol::on_site_failure).
     fn on_site_suspected(&mut self, site: SiteId, fx: &mut Effects<Self::Msg>) {
-        self.on_site_failure(site, fx);
+        let _ = (site, fx);
     }
 
     /// A previously suspected `site` has been heard from again: the
@@ -248,10 +254,14 @@ pub trait Protocol {
     }
 
     /// A crashed `site` has announced it restarted with fresh state (rejoin
-    /// handshake). Layers should reset any per-peer connection state (the
-    /// rejoiner lost all protocol memory) and then reintegrate it; the
-    /// default defers to [`on_site_restored`](Protocol::on_site_restored).
-    fn on_peer_rejoined(&mut self, site: SiteId, fx: &mut Effects<Self::Msg>) {
+    /// handshake), under boot `incarnation` (a counter that strictly
+    /// increases across the peer's restarts; `0` when the driver does not
+    /// track incarnations). Layers should reset any per-peer connection
+    /// state (the rejoiner lost all protocol memory) and then reintegrate
+    /// it; the default defers to
+    /// [`on_site_restored`](Protocol::on_site_restored).
+    fn on_peer_rejoined(&mut self, site: SiteId, incarnation: u64, fx: &mut Effects<Self::Msg>) {
+        let _ = incarnation;
         self.on_site_restored(site, fx);
     }
 
@@ -269,6 +279,35 @@ pub trait Protocol {
     /// granting) with whatever state the handshake rebuilt.
     fn on_rejoin_complete(&mut self, fx: &mut Effects<Self::Msg>) {
         let _ = fx;
+    }
+
+    /// Whether this site's rejoin resynchronization is still incomplete:
+    /// it has restarted ([`on_recover`](Protocol::on_recover)) but not yet
+    /// heard resync answers from every peer it is waiting on. Layers that
+    /// gate rejoin completion on peer answers report `true` here so the
+    /// detector keeps its grace window open (and keeps re-announcing the
+    /// rejoin) instead of closing on a fixed timeout. Default: `false`
+    /// (purely timer-gated rejoin).
+    fn rejoin_pending(&self) -> bool {
+        false
+    }
+
+    /// Informs the protocol of this site's boot incarnation (a driver-
+    /// maintained counter that strictly increases across this site's
+    /// restarts). Called once before `on_start`/`on_recover` of each life.
+    /// Layers use it to make post-restart identifiers (link epochs, rejoin
+    /// announcements) distinguishable from pre-crash ones. Default: ignored.
+    fn set_incarnation(&mut self, incarnation: u64) {
+        let _ = incarnation;
+    }
+
+    /// Informs the protocol of the full set of peers it shares the system
+    /// with (excluding itself), regardless of quorum membership. Called
+    /// once at stack-construction time by layers that know the topology
+    /// (the failure detector). Algorithms that resynchronize state on
+    /// recovery use it to know whom to await answers from. Default: ignored.
+    fn set_peer_universe(&mut self, peers: &[SiteId]) {
+        let _ = peers;
     }
 
     /// Informs time-aware layers of the driver's current time, before any

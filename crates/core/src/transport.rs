@@ -22,14 +22,24 @@
 //!   cumulative receive point are duplicates: dropped (and re-acked, so the
 //!   sender stops). Packets beyond the next expected number are buffered
 //!   and delivered once the gap fills, restoring per-link FIFO.
-//! * **Link epochs for crash–recovery.** When a peer rejoins after a crash
-//!   ([`Protocol::on_peer_rejoined`]) the send window restarts at 1 under
-//!   an incremented *epoch*; every packet and ack is stamped with the epoch
-//!   it belongs to. Stragglers from the old incarnation — retransmissions
-//!   in flight across the peer's restart — carry a stale epoch, so the
-//!   fresh receiver drops them instead of letting them consume the new
-//!   numbering's sequence slots (which would silently swallow a live
-//!   protocol message carrying the reused number).
+//! * **Incarnation-fenced link epochs for crash–recovery.** Every packet
+//!   and ack is stamped with the *epoch* of the half-link numbering it
+//!   belongs to. Epochs are namespaced by the sender's boot *incarnation*
+//!   (driver-supplied via [`Protocol::set_incarnation`]): a transport's
+//!   epochs start at `incarnation << 32`, so a site restarted with a
+//!   higher incarnation sends under epochs strictly above anything its
+//!   pre-crash self could have used, and a survivor told the peer
+//!   rejoined with incarnation `i` ([`Protocol::on_peer_rejoined`])
+//!   expects exactly `i << 32` — the crashed incarnation's stragglers, of
+//!   whatever sequence number, fail the epoch check instead of consuming
+//!   the fresh numbering's sequence slots (which would silently swallow a
+//!   live protocol message carrying the reused number). The survivor's
+//!   own send half restarts under a bumped epoch, *rebasing* — not
+//!   dropping — its unacked payloads into the new numbering: in-flight
+//!   pre-crash data (a `Release` naming a forward beneficiary, say)
+//!   still reaches the rejoined peer, in FIFO order ahead of anything
+//!   sent after the announcement was processed, which the rejoin resync
+//!   above relies on.
 //!
 //! The result is **exactly-once, per-link FIFO** delivery to the wrapped
 //! protocol as long as the peer stays up and the link is *fair-lossy*
@@ -174,31 +184,37 @@ struct Pending<M> {
 /// Per-peer link state: send window, receive point, reorder buffer.
 #[derive(Debug, Clone)]
 struct LinkState<M> {
-    /// Incarnation of the outgoing half-link (bumped each time the peer
-    /// rejoins and the send window restarts at 1).
+    /// Epoch of the outgoing half-link (based at this site's incarnation,
+    /// bumped each time the peer rejoins and the send window restarts at 1).
     send_epoch: u64,
     /// Last sequence number assigned on the outgoing half-link.
     sent: u64,
     /// Outgoing packets not yet cumulatively acked, by sequence number.
     unacked: BTreeMap<u64, Pending<M>>,
-    /// Incarnation of the peer's send half currently being accepted.
+    /// Epoch of the peer's send half currently being accepted.
     recv_epoch: u64,
     /// Highest sequence number received *in order* on the incoming half.
     recv_cum: u64,
     /// Received-ahead packets waiting for the gap to fill.
     reorder: BTreeMap<u64, M>,
+    /// Highest peer incarnation a rejoin announcement has been processed
+    /// for (0 = none; announcements are deduplicated at the detector, this
+    /// guards bare stacks and late duplicates).
+    peer_inc: u64,
 }
 
-// Manual impl: `#[derive(Default)]` would wrongly require `M: Default`.
-impl<M> Default for LinkState<M> {
-    fn default() -> Self {
+// No `Default`: links must start their send epoch at the owning
+// transport's incarnation base, which a blanket default cannot know.
+impl<M> LinkState<M> {
+    fn fresh(epoch_base: u64) -> Self {
         LinkState {
-            send_epoch: 0,
+            send_epoch: epoch_base,
             sent: 0,
             unacked: BTreeMap::new(),
             recv_epoch: 0,
             recv_cum: 0,
             reorder: BTreeMap::new(),
+            peer_inc: 0,
         }
     }
 }
@@ -211,6 +227,10 @@ pub struct Reliable<P: Protocol> {
     inner: P,
     cfg: TransportConfig,
     now: u64,
+    /// This site's boot incarnation; all send epochs live in
+    /// `incarnation << 32 ..`. Set by the driver before `on_start` (see
+    /// [`Protocol::set_incarnation`]); 0 for drivers that track none.
+    incarnation: u64,
     links: BTreeMap<SiteId, LinkState<P::Msg>>,
     counters: TransportCounters,
 }
@@ -222,6 +242,7 @@ impl<P: Protocol> Reliable<P> {
             inner,
             cfg,
             now: 0,
+            incarnation: 0,
             links: BTreeMap::new(),
             counters: TransportCounters::default(),
         }
@@ -248,8 +269,12 @@ impl<P: Protocol> Reliable<P> {
         if entered {
             fx.enter_cs();
         }
+        let base = self.incarnation << 32;
         for (to, payload) in sends {
-            let link = self.links.entry(to).or_default();
+            let link = self
+                .links
+                .entry(to)
+                .or_insert_with(|| LinkState::fresh(base));
             link.sent += 1;
             let seq = link.sent;
             link.unacked.insert(
@@ -330,7 +355,11 @@ impl<P: Protocol> Protocol for Reliable<P> {
                 payload,
             } => {
                 self.apply_ack(from, ack_epoch, ack);
-                let link = self.links.entry(from).or_default();
+                let base = self.incarnation << 32;
+                let link = self
+                    .links
+                    .entry(from)
+                    .or_insert_with(|| LinkState::fresh(base));
                 if epoch < link.recv_epoch {
                     // Straggler from a previous incarnation of the peer's
                     // send half: its sequence numbers live in a dead
@@ -363,7 +392,10 @@ impl<P: Protocol> Protocol for Reliable<P> {
                 // Deliver the longest in-order prefix to the inner protocol.
                 let mut inner_fx = Effects::new();
                 loop {
-                    let link = self.links.entry(from).or_default();
+                    let link = self
+                        .links
+                        .get_mut(&from)
+                        .expect("link exists: created above");
                     let next = link.recv_cum + 1;
                     let Some(payload) = link.reorder.remove(&next) else {
                         break;
@@ -381,7 +413,10 @@ impl<P: Protocol> Protocol for Reliable<P> {
                     .iter()
                     .any(|(to, p)| *to == from && matches!(p, Packet::Data { .. }));
                 if !piggybacked {
-                    let link = self.links.entry(from).or_default();
+                    let link = self
+                        .links
+                        .get_mut(&from)
+                        .expect("link exists: created above");
                     let (epoch, ack) = (link.recv_epoch, link.recv_cum);
                     self.counters.acks_sent += 1;
                     fx.send(from, Packet::Ack { epoch, ack });
@@ -474,24 +509,52 @@ impl<P: Protocol> Protocol for Reliable<P> {
         self.wrap_sends(&mut inner_fx, fx);
     }
 
-    fn on_peer_rejoined(&mut self, site: SiteId, fx: &mut Effects<Self::Msg>) {
+    fn on_peer_rejoined(&mut self, site: SiteId, incarnation: u64, fx: &mut Effects<Self::Msg>) {
         // The peer restarted with a fresh transport: its sequence numbers
-        // begin again at 1 in both directions. Restart our send window
-        // under a NEW epoch — any of our old-incarnation packets still in
-        // flight (a retransmission can fire between the peer's restart and
-        // our sighting of its Rejoin) then carry a stale epoch and cannot
-        // consume the new numbering's sequence slots at the fresh peer.
-        // The receive half restarts at epoch 0, matching the peer's fresh
-        // send state.
-        let link = self.links.entry(site).or_default();
-        link.send_epoch += 1;
-        link.sent = 0;
-        link.unacked.clear();
-        link.recv_epoch = 0;
-        link.recv_cum = 0;
-        link.reorder.clear();
+        // begin again at 1 in both directions, under its new incarnation's
+        // epoch base.
+        let base = self.incarnation << 32;
+        let link = self
+            .links
+            .entry(site)
+            .or_insert_with(|| LinkState::fresh(base));
+        let fresh_recv = incarnation << 32;
+        // A duplicate announcement of an incarnation already integrated
+        // must not reset the link again — that would re-deliver data and
+        // orphan packets sent since. (The detector deduplicates too; this
+        // guards bare stacks, where incarnation 0 keeps legacy
+        // process-every-announcement semantics.)
+        let duplicate = incarnation > 0 && incarnation <= link.peer_inc;
+        let mut replay = Effects::new();
+        if !duplicate {
+            link.peer_inc = incarnation;
+            // Send half: restart the window under a NEW epoch, *rebasing*
+            // the unacked backlog into it — old-numbering copies still in
+            // flight (a retransmission can fire between the peer's restart
+            // and our sighting of its Rejoin) carry a stale epoch and are
+            // dropped at the fresh peer, while the payloads themselves are
+            // renumbered from 1 and retransmitted below, ahead of anything
+            // the inner protocol sends in response to the announcement.
+            let pending = std::mem::take(&mut link.unacked);
+            link.send_epoch += 1;
+            link.sent = 0;
+            // Receive half: expect exactly the announced incarnation's
+            // numbering, fencing off the crashed incarnation's stragglers.
+            // Skip if that incarnation's data was already adopted (its
+            // announcement arrived late): resetting would re-deliver it.
+            if incarnation == 0 || fresh_recv > link.recv_epoch {
+                link.recv_epoch = fresh_recv;
+                link.recv_cum = 0;
+                link.reorder.clear();
+            }
+            for (_, p) in pending {
+                replay.send(site, p.payload);
+            }
+        }
+        self.wrap_sends(&mut replay, fx);
         let mut inner_fx = Effects::new();
-        self.inner.on_peer_rejoined(site, &mut inner_fx);
+        self.inner
+            .on_peer_rejoined(site, incarnation, &mut inner_fx);
         self.wrap_sends(&mut inner_fx, fx);
     }
 
@@ -499,6 +562,22 @@ impl<P: Protocol> Protocol for Reliable<P> {
         let mut inner_fx = Effects::new();
         self.inner.on_recover(&mut inner_fx);
         self.wrap_sends(&mut inner_fx, fx);
+    }
+
+    fn set_incarnation(&mut self, incarnation: u64) {
+        // Called by the driver on a freshly constructed stack, before any
+        // link exists; links created afterwards base their send epochs at
+        // `incarnation << 32` (see the module docs).
+        self.incarnation = incarnation;
+        self.inner.set_incarnation(incarnation);
+    }
+
+    fn set_peer_universe(&mut self, peers: &[SiteId]) {
+        self.inner.set_peer_universe(peers);
+    }
+
+    fn rejoin_pending(&self) -> bool {
+        self.inner.rejoin_pending()
     }
 
     fn on_rejoin_complete(&mut self, fx: &mut Effects<Self::Msg>) {
@@ -889,15 +968,14 @@ mod tests {
         assert_eq!(s1.counters().reordered, 2);
         fx1.take_sends();
 
-        // Site 0 sees the rejoin: link resets, and its re-issued request
-        // goes out under a NEW epoch with the sequence space restarted.
+        // Site 0 sees the rejoin: the send window restarts under a NEW
+        // epoch, with the unacked request REBASED into it as seq 1 (not
+        // dropped — in-flight data must survive a peer restart).
         let mut fx0 = Effects::new();
-        s0.on_peer_rejoined(SiteId(1), &mut fx0);
+        s0.on_peer_rejoined(SiteId(1), 1, &mut fx0);
         let sends = fx0.take_sends();
-        assert_eq!(sends.len(), 1);
-        let (_, fresh) = sends.into_iter().next().unwrap();
         assert!(matches!(
-            fresh,
+            sends[0].1,
             Packet::Data {
                 epoch: 1,
                 seq: 1,
@@ -905,10 +983,12 @@ mod tests {
             }
         ));
 
-        // The new-epoch packet must evict the buffered junk and reach the
-        // inner protocol (site 1's arbiter answers it with a reply).
+        // The new-epoch packets must evict the buffered junk and reach the
+        // inner protocol (site 1's arbiter answers the request).
         let mut fx1 = Effects::new();
-        s1.handle(SiteId(0), fresh, &mut fx1);
+        for (_, pkt) in sends {
+            s1.handle(SiteId(0), pkt, &mut fx1);
+        }
         let replied = fx1
             .take_sends()
             .iter()
@@ -930,6 +1010,73 @@ mod tests {
         );
         assert_eq!(s1.counters().stale_epoch_dropped, 1);
         assert!(fx1.take_sends().is_empty(), "stale packets are not acked");
+    }
+
+    #[test]
+    fn incarnation_fences_pre_crash_stragglers_at_the_survivor() {
+        // Regression for the incarnation gap: site 1 crashes with a Data
+        // packet still in flight and restarts. The survivor, told of the
+        // rejoin, must not let the pre-crash straggler pass its epoch
+        // check — before incarnation fencing, on_peer_rejoined reset
+        // recv_epoch to 0, the exact epoch the straggler carries.
+        let (mut s0, _) = pair();
+        let mut fx = Effects::new();
+        s0.request_cs(&mut fx);
+        fx.take_sends();
+
+        // Site 1's new life announces incarnation 1.
+        let mut fx0 = Effects::new();
+        s0.on_peer_rejoined(SiteId(1), 1, &mut fx0);
+        fx0.take_sends();
+
+        // Pre-crash straggler from site 1 (epoch 0, a high seq): dropped
+        // as stale, not buffered into the fresh incarnation's window.
+        let mut quorum_pkt = None;
+        let mut fx1 = Effects::new();
+        let mut s1_new = {
+            let quorum = vec![SiteId(0), SiteId(1)];
+            let mut s = Reliable::new(
+                DelayOptimal::new(SiteId(1), quorum, Config::default()),
+                TransportConfig::default(),
+            );
+            s.set_incarnation(1);
+            s.request_cs(&mut fx1);
+            for (to, pkt) in fx1.take_sends() {
+                assert_eq!(to, SiteId(0));
+                quorum_pkt = Some(pkt);
+            }
+            s
+        };
+        let straggler = quorum_pkt.clone().unwrap(); // payload shape only
+        let payload = match straggler {
+            Packet::Data { payload, .. } => payload,
+            Packet::Ack { .. } => unreachable!(),
+        };
+        let mut fxs = Effects::new();
+        s0.handle(
+            SiteId(1),
+            Packet::Data {
+                epoch: 0,
+                seq: 7,
+                ack_epoch: 0,
+                ack: 0,
+                payload,
+            },
+            &mut fxs,
+        );
+        assert_eq!(s0.counters().stale_epoch_dropped, 1);
+        assert_eq!(s0.counters().reordered, 0, "straggler must not buffer");
+
+        // The fresh incarnation's real packet (epoch 1 << 32, seq 1) is
+        // accepted and answered.
+        let mut fxs = Effects::new();
+        s0.handle(SiteId(1), quorum_pkt.unwrap(), &mut fxs);
+        let answered = fxs
+            .take_sends()
+            .iter()
+            .any(|(to, p)| *to == SiteId(1) && matches!(p, Packet::Data { .. }));
+        assert!(answered, "fresh-incarnation request delivered and answered");
+        let _ = &mut s1_new;
     }
 
     #[test]

@@ -410,6 +410,9 @@ where
             // Pristine pre-start state, swapped in if this site is
             // scheduled to crash and recover.
             let pristine = has_recovery.then(|| proto.clone());
+            // Boot counter for incarnation fencing: each restart runs
+            // under the next incarnation (see `Protocol::set_incarnation`).
+            let mut boots: u64 = 0;
             let mut fx = Effects::new();
             let mut my_completed = 0usize;
             let mut dead = false;
@@ -442,6 +445,8 @@ where
                         Ok(Inbox::Recover) => {
                             proto = pristine.clone().expect("recovery implies pristine");
                             dead = false;
+                            boots += 1;
+                            proto.set_incarnation(boots);
                             proto.set_now(now_us());
                             proto.on_start(&mut fx);
                             proto.on_recover(&mut fx);
@@ -738,6 +743,7 @@ mod tests {
             hb_interval: 2_000, // µs: 2× the 1 ms one-way latency
             hb_timeout: 10_000,
             rejoin_wait: 5_000,
+            fail_confirm: 30_000,
         };
         let tcfg = TransportConfig {
             rto_initial: 8_000,

@@ -98,6 +98,11 @@ pub struct Simulator<P: Protocol> {
     link_clock: BTreeMap<(SiteId, SiteId), u64>,
     crashed: BTreeSet<SiteId>,
     pristine: BTreeMap<SiteId, P>,
+    /// Per-site boot counter: bumped on every recovery and stamped into
+    /// the fresh instance via `set_incarnation`, so transports fence
+    /// pre-crash stragglers and detectors deduplicate re-broadcast rejoin
+    /// announcements per restart.
+    boots: BTreeMap<SiteId, u64>,
     partition: Option<Vec<u32>>,
     faults: LinkFaults,
     armed_tick: Vec<Option<u64>>,
@@ -132,6 +137,7 @@ impl<P: Protocol> Simulator<P> {
             link_clock: BTreeMap::new(),
             crashed: BTreeSet::new(),
             pristine: BTreeMap::new(),
+            boots: BTreeMap::new(),
             partition: None,
             faults,
             armed_tick: vec![None; n],
@@ -453,8 +459,12 @@ impl<P: Protocol> Simulator<P> {
                 };
                 self.sites[site.index()] = fresh;
                 self.record(TraceEvent::Recover { t: self.now, site });
+                let boot = self.boots.entry(site).or_insert(0);
+                *boot += 1;
+                let boot = *boot;
                 let mut fx = Effects::new();
                 let s = &mut self.sites[site.index()];
+                s.set_incarnation(boot);
                 s.set_now(self.now);
                 s.on_start(&mut fx);
                 s.on_recover(&mut fx);
@@ -897,6 +907,91 @@ mod tests {
         for i in 0..3u32 {
             assert!(sim.site(SiteId(i)).suspected().is_empty(), "site {i}");
             assert!(!sim.site(SiteId(i)).inner().inner().is_inaccessible());
+        }
+    }
+
+    #[test]
+    fn partition_while_in_cs_never_double_grants() {
+        // Regression for the false-suspicion re-grant hazard: site 0 enters
+        // the CS on a 2-of-3 majority quorum {0,1} and holds it across a
+        // partition that cuts it off from {1,2}. Both survivors falsely
+        // suspect site 0 from heartbeat silence, reconstruct quorums to
+        // {1,2}, and contend for arbiter 1's permission — the very
+        // permission site 0 is in the CS on. Treating the suspicion as a
+        // definitive failure would reclaim that lock and re-grant it,
+        // letting a second site into the CS (the simulator's monitor
+        // panics on overlap). Suspicion must instead park the contenders
+        // until the partition heals — before the `fail_confirm` lease
+        // expires — and site 0's own release hands the permission on.
+        use qmx_quorum::majority::MajorityQuorumSource;
+        let cfg = SimConfig {
+            oracle_notices: false,
+            hold: DelayModel::Constant(30_000),
+            ..SimConfig::default()
+        };
+        let universe: Vec<SiteId> = (0..3).map(SiteId).collect();
+        let mut sim: Simulator<Detector<Reliable<DelayOptimal>>> = Simulator::new(
+            (0..3)
+                .map(|i| {
+                    Detector::new(
+                        Reliable::new(
+                            DelayOptimal::with_quorum_source(
+                                SiteId(i),
+                                Config::default(),
+                                Box::new(MajorityQuorumSource::new(3)),
+                            ),
+                            TransportConfig::default(),
+                        ),
+                        universe.clone(),
+                        DetectorConfig::default(),
+                    )
+                })
+                .collect(),
+            cfg,
+        );
+        // Site 0 enters at ~2_000 (one round trip to arbiter 1) and, with
+        // E = 30_000, exits at ~32_000 — long after everything below.
+        sim.schedule_request(SiteId(0), 0);
+        // The cut lands while site 0 is inside the CS; suspicion fires at
+        // ~10_500 (hb_timeout 8_000), confirmation would fire ~32_000
+        // later — the heal at 25_000 beats the lease, so this partition
+        // must read as a false suspicion, never a failure.
+        sim.schedule_partition(vec![0, 1, 1], 2_500);
+        sim.schedule_request(SiteId(1), 5_000);
+        sim.schedule_request(SiteId(2), 6_000);
+        sim.schedule_heal(25_000);
+        sim.run_to_quiescence(300_000);
+
+        // All three complete — and the monitor never saw two sites in the
+        // CS at once (it panics the run otherwise).
+        assert_eq!(sim.metrics().completed_cs(), 3);
+        // Pin the interleaving the regression needs: site 0 was inside the
+        // CS before the cut landed, and neither contender entered until
+        // site 0's own release handed the permission on.
+        let recs = sim.metrics().records();
+        let first = recs.iter().find(|r| r.site == SiteId(0)).expect("site 0");
+        assert!(first.entered_at < 2_500, "in the CS before the cut");
+        for r in recs.iter().filter(|r| r.site != SiteId(0)) {
+            assert!(
+                r.entered_at >= first.exited_at,
+                "{:?} entered at {} while site 0 held the CS until {}",
+                r.site,
+                r.entered_at,
+                first.exited_at
+            );
+        }
+        let d = sim.metrics().detector();
+        assert!(d.suspicions > 0, "the cut must produce suspicions: {d:?}");
+        assert_eq!(
+            d.false_suspicions, d.suspicions,
+            "nobody crashed: every suspicion was false: {d:?}"
+        );
+        assert_eq!(
+            d.failures_confirmed, 0,
+            "heal precedes the fail_confirm lease: {d:?}"
+        );
+        for i in 0..3u32 {
+            assert!(sim.site(SiteId(i)).suspected().is_empty(), "site {i}");
         }
     }
 

@@ -227,6 +227,7 @@ proptest! {
                 hb_interval: 2 * T,
                 hb_timeout: hb_timeout_t * T,
                 rejoin_wait: 5 * T,
+                fail_confirm: 32 * T,
             }),
             seed,
             ..Scenario::default()

@@ -300,6 +300,7 @@ fn contended_crash_and_rejoin_under_detector() {
             hb_interval: 2_000,
             hb_timeout: 10_000,
             rejoin_wait: 5_000,
+            fail_confirm: 30_000,
         }),
         ..Scenario::default()
     }

@@ -1,0 +1,54 @@
+//! Micro-benchmark of the reliable transport hot path: ack, retransmit
+//! and dedup under i.i.d. loss and duplication. The interesting cost here
+//! is the per-packet bookkeeping (sequence windows, pending queues, the
+//! `Arc`-shared payloads), so throughput is reported in protocol messages
+//! delivered per second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qmx_core::{LossModel, TransportConfig};
+use qmx_sim::DelayModel;
+use qmx_workload::arrival::ArrivalProcess;
+use qmx_workload::scenario::{Algorithm, QuorumSpec, Scenario};
+
+fn lossy_scenario(n: usize, drop: f64) -> Scenario {
+    Scenario {
+        n,
+        algorithm: Algorithm::DelayOptimal,
+        quorum: QuorumSpec::Grid,
+        arrivals: ArrivalProcess::Poisson { mean_gap: 3_000 },
+        horizon: 150_000,
+        delay: DelayModel::Exponential { mean: 1000 },
+        hold: DelayModel::Constant(100),
+        loss: LossModel::Iid { drop, dup: 0.02 },
+        transport: Some(TransportConfig::default()),
+        seed: 42,
+        ..Scenario::default()
+    }
+}
+
+fn bench_retransmit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport_retransmit");
+    for (n, drop) in [(9usize, 0.05), (9, 0.20), (25, 0.10)] {
+        // Calibrate once and make sure the loss actually exercises the
+        // retransmit and dedup paths rather than timing a no-op.
+        let r = lossy_scenario(n, drop).run();
+        assert!(
+            r.transport.retransmissions > 0,
+            "n={n} drop={drop}: no retransmissions"
+        );
+        assert!(
+            r.transport.duplicates_dropped > 0,
+            "n={n} drop={drop}: no dedup work"
+        );
+        assert!(r.completed > 0, "n={n} drop={drop}: nothing completed");
+        g.throughput(Throughput::Elements(r.messages));
+        g.bench_function(
+            format!("n{n}_drop{:02}", (drop * 100.0).round() as u32),
+            |b| b.iter(|| lossy_scenario(n, drop).run()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_retransmit);
+criterion_main!(benches);

@@ -1,4 +1,5 @@
 //! E9: ablation — disable reply forwarding, watch the delay revert to 2T.
 fn main() {
+    qmx_bench::jobs::init_jobs();
     println!("{}", qmx_bench::experiments::ablation(25));
 }

@@ -1,4 +1,5 @@
 //! E7: availability vs per-site reliability for every construction.
 fn main() {
+    qmx_bench::jobs::init_jobs();
     println!("{}", qmx_bench::experiments::availability_curves());
 }

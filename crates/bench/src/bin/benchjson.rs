@@ -1,0 +1,165 @@
+//! Writes the machine-readable benchmark trajectory `BENCH_qmx.json`:
+//! simulator events/sec, protocol ns/step, and wall-clock seconds per
+//! experiment, so performance can be tracked across commits without
+//! parsing Criterion output.
+//!
+//! Usage: `benchjson [--tiny] [--out PATH] [--jobs J]`
+//!
+//! `--tiny` shrinks iteration counts and the experiment list to a smoke
+//! matrix suitable for CI; the JSON shape is identical in both modes.
+
+use qmx_bench::{experiments, micro};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Mean wall-clock seconds of `f` over `iters` runs (after one warm-up).
+fn time_mean(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+struct Args {
+    tiny: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        tiny: false,
+        out: "BENCH_qmx.json".to_string(),
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--tiny" => args.tiny = true,
+            "--out" if i + 1 < argv.len() => {
+                args.out = argv[i + 1].clone();
+                i += 1;
+            }
+            // `--jobs N` is consumed by init_jobs; skip its value here.
+            "--jobs" => i += 1,
+            other => {
+                eprintln!("benchjson: unknown argument '{other}'");
+                eprintln!("usage: benchjson [--tiny] [--out PATH] [--jobs J]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let jobs = qmx_bench::jobs::init_jobs();
+    let args = parse_args();
+    let (engine_iters, round_iters, sim_rounds) = if args.tiny {
+        (2, 200, 3)
+    } else {
+        (10, 2_000, 20)
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"qmx-bench-trajectory/v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if args.tiny { "tiny" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let _ = writeln!(
+        json,
+        "  \"cores\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    // Discrete-event engine: virtual events per second of wall clock.
+    json.push_str("  \"engine\": [\n");
+    let engine_ns: Vec<usize> = if args.tiny { vec![9] } else { vec![9, 25] };
+    for (i, &n) in engine_ns.iter().enumerate() {
+        let events = micro::contended_sim_run(n, sim_rounds);
+        let secs = time_mean(engine_iters, || {
+            micro::contended_sim_run(n, sim_rounds);
+        });
+        let rate = events as f64 / secs;
+        eprintln!("engine   contended_n{n}: {events} events, {rate:.0} events/sec");
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"contended_n{n}_{sim_rounds}rounds\", \
+             \"events\": {events}, \"seconds\": {secs:.6}, \
+             \"events_per_sec\": {rate:.0}}}{}",
+            if i + 1 < engine_ns.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+
+    // Protocol state machines: nanoseconds per handled step in an
+    // uncontended round, for both the paper's algorithm and Maekawa.
+    json.push_str("  \"protocol\": [\n");
+    let proto_ns: Vec<usize> = if args.tiny { vec![9] } else { vec![9, 25, 100] };
+    let mut rows: Vec<String> = Vec::new();
+    for &n in &proto_ns {
+        let mut d = micro::delay_optimal_sites(n);
+        let steps = micro::full_round(&mut d, 0);
+        let secs = time_mean(round_iters, || {
+            micro::full_round(&mut d, 0);
+        });
+        let ns_per_step = secs * 1e9 / steps as f64;
+        eprintln!("protocol delay_optimal_n{n}: {steps} steps, {ns_per_step:.0} ns/step");
+        rows.push(format!(
+            "    {{\"name\": \"uncontended_round/delay_optimal_n{n}\", \
+             \"steps\": {steps}, \"ns_per_step\": {ns_per_step:.1}}}"
+        ));
+
+        let mut m = micro::maekawa_sites(n);
+        let steps = micro::full_round(&mut m, 0);
+        let secs = time_mean(round_iters, || {
+            micro::full_round(&mut m, 0);
+        });
+        let ns_per_step = secs * 1e9 / steps as f64;
+        eprintln!("protocol maekawa_n{n}: {steps} steps, {ns_per_step:.0} ns/step");
+        rows.push(format!(
+            "    {{\"name\": \"uncontended_round/maekawa_n{n}\", \
+             \"steps\": {steps}, \"ns_per_step\": {ns_per_step:.1}}}"
+        ));
+    }
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ],\n");
+
+    // End-to-end experiments: wall-clock seconds per report, once each.
+    type Exp = (&'static str, fn() -> String);
+    let exps: Vec<Exp> = if args.tiny {
+        vec![("table1_n9", || experiments::table1(9))]
+    } else {
+        vec![
+            ("table1_n9", || experiments::table1(9)),
+            ("lightload", || {
+                experiments::light_load_detail(&[9, 16, 25, 36, 49])
+            }),
+            ("heavyload", || experiments::heavy_load_detail(&[9, 25, 49])),
+            ("holdsweep", || experiments::sync_delay_vs_hold(25)),
+        ]
+    };
+    json.push_str("  \"experiments\": [\n");
+    for (i, (name, f)) in exps.iter().enumerate() {
+        let start = Instant::now();
+        let report = f();
+        let secs = start.elapsed().as_secs_f64();
+        assert!(!report.is_empty());
+        eprintln!("e2e      {name}: {secs:.3} s");
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"seconds\": {secs:.3}}}{}",
+            if i + 1 < exps.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&args.out, &json).expect("write trajectory file");
+    println!("wrote {}", args.out);
+}

@@ -1,4 +1,5 @@
 //! E8: liveness under a mid-run site crash (§6 failure handling).
 fn main() {
+    qmx_bench::jobs::init_jobs();
     println!("{}", qmx_bench::experiments::fault_tolerance(7, 1));
 }

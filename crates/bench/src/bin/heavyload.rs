@@ -1,5 +1,6 @@
 //! E3: heavy-load behaviour (§5.2): 5(K-1)..6(K-1) messages, delay T.
 fn main() {
+    qmx_bench::jobs::init_jobs();
     println!(
         "{}",
         qmx_bench::experiments::heavy_load_detail(&[9, 25, 49])

@@ -1,4 +1,5 @@
 //! E10: sync delay vs CS execution time (overlap effect).
 fn main() {
+    qmx_bench::jobs::init_jobs();
     println!("{}", qmx_bench::experiments::sync_delay_vs_hold(25));
 }

@@ -1,5 +1,6 @@
 //! E2: light-load behaviour (§5.1): 3(K-1) messages, response 2T+E.
 fn main() {
+    qmx_bench::jobs::init_jobs();
     println!(
         "{}",
         qmx_bench::experiments::light_load_detail(&[9, 16, 25, 36, 49])

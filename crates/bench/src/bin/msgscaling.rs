@@ -1,4 +1,5 @@
 //! E11: message complexity vs N per quorum construction.
 fn main() {
+    qmx_bench::jobs::init_jobs();
     println!("{}", qmx_bench::experiments::message_scaling());
 }

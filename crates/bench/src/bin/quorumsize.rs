@@ -1,4 +1,5 @@
 //! E6: quorum size K vs N for every construction.
 fn main() {
+    qmx_bench::jobs::init_jobs();
     println!("{}", qmx_bench::experiments::quorum_sizes());
 }

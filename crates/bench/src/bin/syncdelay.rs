@@ -1,4 +1,5 @@
 //! E4: synchronization delay vs load — proposed (T) vs Maekawa (2T).
 fn main() {
+    qmx_bench::jobs::init_jobs();
     println!("{}", qmx_bench::experiments::sync_delay_sweep(25));
 }

@@ -1,5 +1,6 @@
 //! E1: reproduce the paper's Table 1 (message complexity + sync delay).
 fn main() {
+    qmx_bench::jobs::init_jobs();
     for n in [9usize, 25, 49] {
         println!("{}", qmx_bench::experiments::table1(n));
     }

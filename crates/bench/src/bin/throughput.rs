@@ -1,4 +1,5 @@
 //! E5: throughput and waiting time vs load.
 fn main() {
+    qmx_bench::jobs::init_jobs();
     println!("{}", qmx_bench::experiments::throughput_sweep(25));
 }

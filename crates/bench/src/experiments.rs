@@ -4,6 +4,11 @@
 //! integration tests can run the same code and assert on the numbers.
 //! Experiment ids (E1–E9) are indexed in `DESIGN.md` and the outputs are
 //! recorded in `EXPERIMENTS.md`.
+//!
+//! Every sweep fans its cells out across worker threads via
+//! [`qmx_workload::parallel::par_map`] — each cell is a pure function of
+//! its scenario parameters and a fixed seed, and rows are assembled in
+//! parameter order, so reports are byte-identical for any `--jobs` value.
 
 use crate::report::{f2, opt2, Table};
 use qmx_core::{MsgKind, SiteId};
@@ -11,6 +16,8 @@ use qmx_quorum::availability::{exact_availability, true_majority_availability};
 use qmx_quorum::{crumbling, fpp, grid, gridset, hqc, majority, rst, tree, wheel};
 use qmx_sim::DelayModel;
 use qmx_workload::arrival::ArrivalProcess;
+use qmx_workload::parallel::par_map;
+use qmx_workload::replicate::Replicates;
 use qmx_workload::scenario::{Algorithm, QuorumSpec, Scenario};
 use qmx_workload::stats::RunReport;
 
@@ -66,26 +73,37 @@ pub fn heavy_load(n: usize, algorithm: Algorithm, quorum: QuorumSpec, seed: u64)
 /// contention resolution overlapping the CS; short CS bursts leave part of
 /// the yield/inquire settling on the critical path.
 pub fn sync_delay_vs_hold(n: usize) -> String {
+    // Five seeds per cell: a single draw hides how load-dependent the
+    // settling transition is, so quote mean ± σ across replicates.
+    const SEEDS: std::ops::RangeInclusive<u64> = 1..=5;
     let mut t = Table::new(["E (T)", "delay-optimal", "maekawa"]);
-    for e10 in [1u64, 5, 10, 15, 20, 30] {
-        let run = |alg| {
-            Scenario {
+    let rows = par_map(vec![1u64, 5, 10, 15, 20, 30], |e10| {
+        let reps = |alg| {
+            let base = Scenario {
                 arrivals: ArrivalProcess::Saturated { tick_gap: T / 2 },
                 horizon: 600 * T,
                 hold: DelayModel::Constant(e10 * T / 10),
-                seed: 8,
                 ..base_scenario(n, alg, QuorumSpec::Grid)
-            }
-            .run()
+            };
+            Replicates::collect(&base, SEEDS)
         };
-        t.row([
+        let pm = |r: Replicates| {
+            r.sync_delay_t()
+                .map(|s| s.pm())
+                .unwrap_or_else(|| "-".into())
+        };
+        [
             format!("{:.1}", e10 as f64 / 10.0),
-            opt2(run(Algorithm::DelayOptimal).sync_delay_t),
-            opt2(run(Algorithm::Maekawa).sync_delay_t),
-        ]);
+            pm(reps(Algorithm::DelayOptimal)),
+            pm(reps(Algorithm::Maekawa)),
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     format!(
-        "Sync delay vs CS execution time E, N = {n} (E10, extension)\n\n{}",
+        "Sync delay vs CS execution time E, N = {n} (E10, extension; mean ± std over {} seeds)\n\n{}",
+        SEEDS.count(),
         t.render()
     )
 }
@@ -111,20 +129,24 @@ pub fn message_scaling() -> String {
         (QuorumSpec::Fpp, vec![7, 13, 31]),
         (QuorumSpec::Wheel, vec![9, 25, 49]),
     ];
-    for (spec, ns) in cases {
-        for n in ns {
-            let light = light_load(n, Algorithm::DelayOptimal, spec, 21);
-            let heavy = heavy_load(n, Algorithm::DelayOptimal, spec, 22);
-            t.row([
-                format!("{spec:?}").to_lowercase(),
-                n.to_string(),
-                f2(heavy.quorum_size),
-                opt2(light.messages_per_cs),
-                f2(3.0 * (heavy.quorum_size - 1.0)),
-                opt2(heavy.messages_per_cs),
-                opt2(heavy.sync_delay_t),
-            ]);
-        }
+    let cells: Vec<(QuorumSpec, usize)> = cases
+        .into_iter()
+        .flat_map(|(spec, ns)| ns.into_iter().map(move |n| (spec, n)))
+        .collect();
+    for row in par_map(cells, |(spec, n)| {
+        let light = light_load(n, Algorithm::DelayOptimal, spec, 21);
+        let heavy = heavy_load(n, Algorithm::DelayOptimal, spec, 22);
+        [
+            format!("{spec:?}").to_lowercase(),
+            n.to_string(),
+            f2(heavy.quorum_size),
+            opt2(light.messages_per_cs),
+            f2(3.0 * (heavy.quorum_size - 1.0)),
+            opt2(heavy.messages_per_cs),
+            opt2(heavy.sync_delay_t),
+        ]
+    }) {
+        t.row(row);
     }
     format!(
         "Message complexity vs N per quorum construction (E11, extension)\n\n{}",
@@ -153,17 +175,19 @@ pub fn table1(n: usize) -> String {
         (Algorithm::SinghalDynamic, "N-1..2(N-1), T"),
         (Algorithm::DelayOptimal, "3..6(K-1), T"),
     ];
-    for (alg, paper) in rows {
+    for row in par_map(rows, |(alg, paper)| {
         let light = light_load(n, alg, QuorumSpec::Grid, 1);
         let heavy = heavy_load(n, alg, QuorumSpec::Grid, 2);
-        t.row([
+        [
             alg.label().to_string(),
             f2(heavy.quorum_size),
             opt2(light.messages_per_cs),
             opt2(heavy.messages_per_cs),
             opt2(heavy.sync_delay_t),
             paper.to_string(),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     format!(
         "Table 1 reproduction, N = {n} (grid quorums)\n\n{}",
@@ -174,16 +198,18 @@ pub fn table1(n: usize) -> String {
 /// **E2 — §5.1**: light-load message count `3(K-1)` and response `2T+E`.
 pub fn light_load_detail(ns: &[usize]) -> String {
     let mut t = Table::new(["N", "K", "msgs/CS", "3(K-1)", "response (T)", "expect 2T+E"]);
-    for &n in ns {
+    for row in par_map(ns.to_vec(), |n| {
         let r = light_load(n, Algorithm::DelayOptimal, QuorumSpec::Grid, 3);
-        t.row([
+        [
             n.to_string(),
             f2(r.quorum_size),
             opt2(r.messages_per_cs),
             f2(3.0 * (r.quorum_size - 1.0)),
             opt2(r.response_time_t),
             f2(2.0 + E as f64 / T as f64),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     format!("Light-load behaviour (E2, §5.1)\n\n{}", t.render())
 }
@@ -195,31 +221,36 @@ pub fn heavy_load_detail(ns: &[usize]) -> String {
     let mut hist = Table::new([
         "N", "request", "reply", "release", "inquire", "fail", "yield", "transfer",
     ]);
-    for &n in ns {
+    for (trow, hrow) in par_map(ns.to_vec(), |n| {
         let r = heavy_load(n, Algorithm::DelayOptimal, QuorumSpec::Grid, 4);
         let k = r.quorum_size;
-        t.row([
-            n.to_string(),
-            f2(k),
-            opt2(r.messages_per_cs),
-            f2(5.0 * (k - 1.0)),
-            f2(6.0 * (k - 1.0)),
-            opt2(r.sync_delay_t),
-        ]);
         let per = |kind: MsgKind| {
             let v = r.by_kind.get(&kind).copied().unwrap_or(0);
             format!("{:.2}", v as f64 / r.completed.max(1) as f64)
         };
-        hist.row([
-            n.to_string(),
-            per(MsgKind::Request),
-            per(MsgKind::Reply),
-            per(MsgKind::Release),
-            per(MsgKind::Inquire),
-            per(MsgKind::Fail),
-            per(MsgKind::Yield),
-            per(MsgKind::Transfer),
-        ]);
+        (
+            [
+                n.to_string(),
+                f2(k),
+                opt2(r.messages_per_cs),
+                f2(5.0 * (k - 1.0)),
+                f2(6.0 * (k - 1.0)),
+                opt2(r.sync_delay_t),
+            ],
+            [
+                n.to_string(),
+                per(MsgKind::Request),
+                per(MsgKind::Reply),
+                per(MsgKind::Release),
+                per(MsgKind::Inquire),
+                per(MsgKind::Fail),
+                per(MsgKind::Yield),
+                per(MsgKind::Transfer),
+            ],
+        )
+    }) {
+        t.row(trow);
+        hist.row(hrow);
     }
     format!(
         "Heavy-load behaviour (E3, §5.2)\n\n{}\nPer-CS message mix:\n\n{}",
@@ -232,7 +263,7 @@ pub fn heavy_load_detail(ns: &[usize]) -> String {
 /// no-forwarding ablation.
 pub fn sync_delay_sweep(n: usize) -> String {
     let mut t = Table::new(["mean gap (T)", "delay-optimal", "maekawa", "no-forwarding"]);
-    for gap_t in [50u64, 20, 10, 5, 2, 1] {
+    for row in par_map(vec![50u64, 20, 10, 5, 2, 1], |gap_t| {
         let run = |alg| {
             Scenario {
                 arrivals: ArrivalProcess::Poisson {
@@ -244,12 +275,14 @@ pub fn sync_delay_sweep(n: usize) -> String {
             }
             .run()
         };
-        t.row([
+        [
             gap_t.to_string(),
             opt2(run(Algorithm::DelayOptimal).sync_delay_t),
             opt2(run(Algorithm::Maekawa).sync_delay_t),
             opt2(run(Algorithm::DelayOptimalNoForwarding).sync_delay_t),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     format!(
         "Synchronization delay vs load, N = {n} (E4; paper: T vs 2T)\n\n{}",
@@ -267,7 +300,7 @@ pub fn throughput_sweep(n: usize) -> String {
         "wait d-opt (T)",
         "wait maekawa (T)",
     ]);
-    for gap_t in [20u64, 10, 5, 2, 1] {
+    for row in par_map(vec![20u64, 10, 5, 2, 1], |gap_t| {
         let run = |alg| {
             Scenario {
                 arrivals: ArrivalProcess::Poisson {
@@ -286,14 +319,16 @@ pub fn throughput_sweep(n: usize) -> String {
         } else {
             f64::NAN
         };
-        t.row([
+        [
             gap_t.to_string(),
             f2(d.throughput_per_t),
             f2(m.throughput_per_t),
             f2(ratio),
             opt2(d.response_time_t),
             opt2(m.response_time_t),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     format!(
         "Throughput / waiting time vs load, N = {n} (E5; paper: ~2x at saturation)\n\n{}",
@@ -457,8 +492,15 @@ pub fn fault_tolerance(n: usize, crash_site: u32) -> String {
         }
         .run()
     };
-    let ft = run(Algorithm::DelayOptimalFtTree);
-    let fixed = run(Algorithm::DelayOptimal);
+    let mut pair = par_map(
+        vec![Algorithm::DelayOptimalFtTree, Algorithm::DelayOptimal],
+        run,
+    )
+    .into_iter();
+    let (ft, fixed) = (
+        pair.next().expect("ft run"),
+        pair.next().expect("fixed run"),
+    );
     let mut t = Table::new(["variant", "completed", "messages/CS", "fairness"]);
     t.row([
         "FT (tree reconstruction)".to_string(),
@@ -482,8 +524,15 @@ pub fn fault_tolerance(n: usize, crash_site: u32) -> String {
 
 /// **E9 — ablation**: the forwarding mechanism is the entire delay win.
 pub fn ablation(n: usize) -> String {
-    let with = heavy_load(n, Algorithm::DelayOptimal, QuorumSpec::Grid, 7);
-    let without = heavy_load(n, Algorithm::DelayOptimalNoForwarding, QuorumSpec::Grid, 7);
+    let mut pair = par_map(
+        vec![Algorithm::DelayOptimal, Algorithm::DelayOptimalNoForwarding],
+        |alg| heavy_load(n, alg, QuorumSpec::Grid, 7),
+    )
+    .into_iter();
+    let (with, without) = (
+        pair.next().expect("with run"),
+        pair.next().expect("without run"),
+    );
     let mut t = Table::new(["variant", "sync delay (T)", "msgs/CS", "throughput (/T)"]);
     t.row([
         "forwarding ON (the paper)".to_string(),

@@ -5,4 +5,6 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod jobs;
+pub mod micro;
 pub mod report;

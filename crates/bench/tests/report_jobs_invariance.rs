@@ -1,0 +1,18 @@
+//! The rendered experiment reports must not depend on the worker count:
+//! the fan-out hands results back in item order, so `--jobs 1` and
+//! `--jobs N` produce byte-identical text.
+
+use qmx_bench::experiments;
+
+#[test]
+fn reports_are_byte_identical_across_jobs() {
+    // One test body (not several #[test]s) because the jobs knob is
+    // process-global and the harness runs tests concurrently.
+    let mut renders = Vec::new();
+    for jobs in [1usize, 3] {
+        qmx_workload::parallel::set_jobs(jobs);
+        renders.push((experiments::table1(9), experiments::ablation(9)));
+    }
+    qmx_workload::parallel::set_jobs(0);
+    assert_eq!(renders[0], renders[1], "worker count changed a report");
+}

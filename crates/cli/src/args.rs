@@ -100,6 +100,8 @@ pub enum Command {
     Experiment {
         /// Experiment name (`table1`, `lightload`, …).
         name: String,
+        /// Worker threads for the experiment fan-out (0 = auto-detect).
+        jobs: usize,
     },
     /// Print usage.
     Help,
@@ -119,7 +121,7 @@ USAGE:
              [--hb-interval T] [--hb-timeout T] [--recover site:timeT ...]
   qmxctl quorum --kind Q --n N
   qmxctl check [--n N] [--rounds R] [--max-states M]
-  qmxctl experiment NAME
+  qmxctl experiment NAME [--jobs J]
   qmxctl help
 
 WHERE:
@@ -140,6 +142,9 @@ WHERE:
   NAME = table1 | lightload | heavyload | syncdelay | throughput |
          quorumsize | availability | faulttolerance | ablation |
          holdsweep | msgscaling
+  J = worker threads for the experiment fan-out (0 or absent = auto);
+      reports are identical for every J — runs are pure per (scenario,
+      seed) and rows are assembled in parameter order
 ";
 
 fn parse_algorithm(s: &str) -> Result<Algorithm, ParseError> {
@@ -393,10 +398,14 @@ impl Cli {
                 }
             }
             "experiment" => {
-                let Some(name) = rest.first() else {
+                let Some((name, opts)) = rest.split_first() else {
                     return err("experiment needs a name (e.g. table1)");
                 };
-                Command::Experiment { name: name.clone() }
+                let f = flags(opts)?;
+                Command::Experiment {
+                    name: name.clone(),
+                    jobs: parse_u64(&f, "jobs", 0)? as usize,
+                }
             }
             other => return err(format!("unknown command '{other}' (try help)")),
         };
@@ -616,10 +625,19 @@ mod tests {
         assert_eq!(
             parse("experiment table1").unwrap().command,
             Command::Experiment {
-                name: "table1".into()
+                name: "table1".into(),
+                jobs: 0
+            }
+        );
+        assert_eq!(
+            parse("experiment holdsweep --jobs 4").unwrap().command,
+            Command::Experiment {
+                name: "holdsweep".into(),
+                jobs: 4
             }
         );
         assert!(parse("experiment").is_err());
+        assert!(parse("experiment table1 --jobs x").is_err());
     }
 
     #[test]

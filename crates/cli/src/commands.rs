@@ -249,8 +249,9 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 Err(v) => Err(format!("CHECK FAILED:\n{v}")),
             }
         }
-        Command::Experiment { name } => {
+        Command::Experiment { name, jobs } => {
             use qmx_bench::experiments as e;
+            qmx_workload::parallel::set_jobs(*jobs);
             Ok(match name.as_str() {
                 "table1" => [9usize, 25]
                     .iter()

@@ -64,6 +64,7 @@
 use crate::clock::{LamportClock, SeqNum, Timestamp};
 use crate::protocol::{Effects, MsgKind, MsgMeta, Protocol, QuorumSource, SiteId};
 use crate::reqqueue::ReqQueue;
+use crate::siteset::SiteSet;
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
@@ -244,6 +245,61 @@ struct PendingInquire {
     transfer: Option<Timestamp>,
 }
 
+/// Permission-returning requests withheld per suspected site, indexed by
+/// site id (dense, like every other per-site structure here). Replaces a
+/// `BTreeMap<SiteId, BTreeSet<Timestamp>>`: the overwhelmingly common
+/// case — nothing withheld — costs one bounds-checked index instead of a
+/// tree probe, and each per-site list stays sorted and deduplicated so
+/// restoration flushes in the same deterministic order as before.
+#[derive(Clone, Default, PartialEq, Eq)]
+struct Withheld {
+    by_site: Vec<Vec<Timestamp>>,
+}
+
+impl Withheld {
+    fn add(&mut self, site: SiteId, req: Timestamp) {
+        let idx = site.index();
+        if idx >= self.by_site.len() {
+            self.by_site.resize(idx + 1, Vec::new());
+        }
+        let list = &mut self.by_site[idx];
+        if let Err(pos) = list.binary_search(&req) {
+            list.insert(pos, req);
+        }
+    }
+
+    /// Takes and returns the (sorted) withheld requests for `site`, if any.
+    fn take(&mut self, site: SiteId) -> Option<Vec<Timestamp>> {
+        let list = self.by_site.get_mut(site.index())?;
+        if list.is_empty() {
+            return None;
+        }
+        Some(std::mem::take(list))
+    }
+
+    fn discard(&mut self, site: SiteId) {
+        if let Some(list) = self.by_site.get_mut(site.index()) {
+            list.clear();
+        }
+    }
+}
+
+// Map-shaped Debug (only non-empty slots), so model-checker fingerprints
+// stay semantic rather than capacity-dependent.
+impl fmt::Debug for Withheld {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(
+                self.by_site
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| !l.is_empty())
+                    .map(|(i, l)| (SiteId(i as u32), l)),
+            )
+            .finish()
+    }
+}
+
 /// A permission return that reached the arbiter *before* it learned (via
 /// the previous holder's `release`) that the returning request had been
 /// granted at all.
@@ -279,9 +335,14 @@ pub struct DelayOptimal {
 
     // --- requester state ---
     req_set: Vec<SiteId>,
+    /// Bitset mirror of `req_set`, kept in sync by quorum (re)construction:
+    /// turns the per-reply "do I hold every permission?" scan into a few
+    /// word operations. Derived state — excluded from `Debug` (the model
+    /// checker already fingerprints `req_set`).
+    req_set_bits: SiteSet,
     phase: RequesterPhase,
     my_req: Option<Timestamp>,
-    replied: BTreeSet<SiteId>,
+    replied: SiteSet,
     failed: bool,
     inq_queue: Vec<PendingInquire>,
     tran_stack: Vec<TranEntry>,
@@ -297,12 +358,12 @@ pub struct DelayOptimal {
     /// Gates message routing and quorum selection only — a merely
     /// suspected site never loses a lock it holds, because the suspicion
     /// may be false while it is inside the CS.
-    known_failed: BTreeSet<SiteId>,
+    known_failed: SiteSet,
     /// Sites whose failure is definitive (the oracle's `failure(i)` notice
     /// or the detector's post-lease confirmation). Only these trigger the
     /// §6 arbiter-side cleanup that reclaims and re-grants held locks.
     /// Always a subset of `known_failed`.
-    confirmed_failed: BTreeSet<SiteId>,
+    confirmed_failed: SiteSet,
     quorum_source: Option<Box<dyn QuorumSource>>,
     inaccessible: bool,
 
@@ -312,7 +373,7 @@ pub struct DelayOptimal {
     /// suspicion turns out false, the target's arbiter still thinks these
     /// requests are queued or hold its lock; on restoration a `Relinquish`
     /// per recorded request unwedges it.
-    withheld: std::collections::BTreeMap<SiteId, BTreeSet<Timestamp>>,
+    withheld: Withheld,
     /// True between a post-crash restart (`on_recover`) and the end of the
     /// rejoin grace window (`on_rejoin_complete`): the arbiter enqueues
     /// requests but grants nothing, waiting for `Claim`s to re-establish
@@ -327,7 +388,7 @@ pub struct DelayOptimal {
     /// Drained by claims, peers' own rejoins, and confirmed failures
     /// (never by mere suspicion: a partitioned-but-live holder must keep
     /// gating the window).
-    rejoin_awaiting: BTreeSet<SiteId>,
+    rejoin_awaiting: SiteSet,
 
     // Self-addressed messages processed synchronously (a site is a member of
     // its own quorum; granting itself must not cost wire messages).
@@ -341,6 +402,7 @@ impl Clone for DelayOptimal {
             cfg: self.cfg.clone(),
             clock: self.clock.clone(),
             req_set: self.req_set.clone(),
+            req_set_bits: self.req_set_bits.clone(),
             phase: self.phase,
             my_req: self.my_req,
             replied: self.replied.clone(),
@@ -412,24 +474,25 @@ impl DelayOptimal {
             site,
             cfg,
             clock: LamportClock::new(),
+            req_set_bits: req_set.iter().copied().collect(),
             req_set,
             phase: RequesterPhase::Idle,
             my_req: None,
-            replied: BTreeSet::new(),
+            replied: SiteSet::new(),
             failed: false,
             inq_queue: Vec::new(),
             tran_stack: Vec::new(),
             lock: None,
             req_queue: ReqQueue::new(),
             early_returns: std::collections::BTreeMap::new(),
-            known_failed: BTreeSet::new(),
-            confirmed_failed: BTreeSet::new(),
+            known_failed: SiteSet::new(),
+            confirmed_failed: SiteSet::new(),
             quorum_source: None,
             inaccessible: false,
-            withheld: std::collections::BTreeMap::new(),
+            withheld: Withheld::default(),
             rejoining: false,
             peer_universe: Vec::new(),
-            rejoin_awaiting: BTreeSet::new(),
+            rejoin_awaiting: SiteSet::new(),
             local_q: VecDeque::new(),
         }
     }
@@ -510,7 +573,7 @@ impl DelayOptimal {
             && self
                 .req_queue
                 .iter()
-                .any(|r| !self.known_failed.contains(&r.site))
+                .any(|r| !self.known_failed.contains(r.site))
         {
             return Err(format!(
                 "{}: free lock with {} queued requests",
@@ -547,7 +610,7 @@ impl DelayOptimal {
         }
         // 4. Transfer obligations only for permissions we actually hold.
         for e in &self.tran_stack {
-            if !self.replied.contains(&e.arbiter) {
+            if !self.replied.contains(e.arbiter) {
                 return Err(format!(
                     "{}: tran_stack entry for {} without its permission",
                     self.site, e.arbiter
@@ -555,8 +618,8 @@ impl DelayOptimal {
             }
         }
         // 5. Permissions only from quorum members.
-        for a in &self.replied {
-            if !self.req_set.contains(a) {
+        for a in self.replied.iter() {
+            if !self.req_set.contains(&a) {
                 return Err(format!("{}: holds permission of non-member {a}", self.site));
             }
         }
@@ -590,7 +653,7 @@ impl DelayOptimal {
         };
         if to == self.site {
             self.local_q.push_back((self.site, msg));
-        } else if !self.known_failed.contains(&to) {
+        } else if !self.known_failed.contains(to) {
             fx.send(to, msg);
         } else {
             // Messages to suspected sites are dropped at the source (§6: a
@@ -606,7 +669,7 @@ impl DelayOptimal {
                 _ => None,
             };
             if let Some(req) = returned {
-                self.withheld.entry(to).or_default().insert(req);
+                self.withheld.add(to, req);
             }
         }
     }
@@ -654,10 +717,10 @@ impl DelayOptimal {
     /// A.2: a request arrives at this arbiter.
     fn arb_request(&mut self, ts: Timestamp, fx: &mut Effects<Msg>) {
         self.clock.observe_ts(ts);
-        if self.confirmed_failed.contains(&ts.site) {
+        if self.confirmed_failed.contains(ts.site) {
             return; // in-flight request from a site that has since crashed
         }
-        if self.known_failed.contains(&ts.site) {
+        if self.known_failed.contains(ts.site) {
             // Suspected but possibly alive: park the request instead of
             // granting or refusing (neither message could be delivered —
             // `route` drops traffic to suspects at source). Restoration
@@ -806,7 +869,7 @@ impl DelayOptimal {
                 // Only a *confirmed* failure voids a forward: a merely
                 // suspected beneficiary may be alive and about to enter the
                 // CS on the forwarded reply, so its grant must stand.
-                Some(b) if !self.confirmed_failed.contains(&b.site) => {
+                Some(b) if !self.confirmed_failed.contains(b.site) => {
                     self.req_queue.remove(&b);
                     match self.early_returns.remove(&b) {
                         None => {
@@ -859,20 +922,23 @@ impl DelayOptimal {
         // Requests from confirmed-failed sites are discarded outright;
         // requests from merely *suspected* sites stay parked in the queue
         // (their senders may be alive — restoration grants them normally)
-        // but are passed over for granting.
-        let discard: Vec<Timestamp> = self
-            .req_queue
-            .iter()
-            .filter(|r| self.confirmed_failed.contains(&r.site))
-            .copied()
-            .collect();
-        for r in discard {
-            self.req_queue.remove(&r);
+        // but are passed over for granting. The collect only runs when a
+        // failure has actually been confirmed — never on the hot path.
+        if !self.confirmed_failed.is_empty() {
+            let discard: Vec<Timestamp> = self
+                .req_queue
+                .iter()
+                .filter(|r| self.confirmed_failed.contains(r.site))
+                .copied()
+                .collect();
+            for r in discard {
+                self.req_queue.remove(&r);
+            }
         }
         let Some(p) = self
             .req_queue
             .iter()
-            .find(|r| !self.known_failed.contains(&r.site))
+            .find(|r| !self.known_failed.contains(r.site))
             .copied()
         else {
             self.lock = None;
@@ -924,11 +990,11 @@ impl DelayOptimal {
     /// slow link cannot deliver a positive claim to a permission that has
     /// already been granted to someone else.
     fn arb_claim(&mut self, from: SiteId, holds: Option<Timestamp>, fx: &mut Effects<Msg>) {
-        self.rejoin_awaiting.remove(&from);
+        self.rejoin_awaiting.remove(from);
         let Some(req) = holds else {
             return; // answer recorded; nothing claimed
         };
-        if req.site != from || self.confirmed_failed.contains(&from) {
+        if req.site != from || self.confirmed_failed.contains(from) {
             return;
         }
         if self.lock == Some(req) {
@@ -981,7 +1047,7 @@ impl DelayOptimal {
     }
 
     fn has_all_replies(&self) -> bool {
-        self.req_set.iter().all(|m| self.replied.contains(m))
+        self.req_set_bits.is_subset(&self.replied)
     }
 
     /// A.6: a reply (direct or forwarded) arrives.
@@ -1008,16 +1074,19 @@ impl DelayOptimal {
         if let Some(b) = transfer {
             self.push_transfer(arbiter, b);
         }
-        // A.6: re-examine inquires that arrived before this reply.
-        let deferred: Vec<PendingInquire> = self
-            .inq_queue
-            .iter()
-            .filter(|p| p.arbiter == arbiter)
-            .copied()
-            .collect();
-        self.inq_queue.retain(|p| p.arbiter != arbiter);
-        for p in deferred {
-            self.req_inquire(p.arbiter, p.holder_req, p.transfer, fx);
+        // A.6: re-examine inquires that arrived before this reply. The
+        // queue is empty on the uncontended path — skip the collect then.
+        if !self.inq_queue.is_empty() {
+            let deferred: Vec<PendingInquire> = self
+                .inq_queue
+                .iter()
+                .filter(|p| p.arbiter == arbiter)
+                .copied()
+                .collect();
+            self.inq_queue.retain(|p| p.arbiter != arbiter);
+            for p in deferred {
+                self.req_inquire(p.arbiter, p.holder_req, p.transfer, fx);
+            }
         }
         self.maybe_enter(fx);
     }
@@ -1053,7 +1122,7 @@ impl DelayOptimal {
         // timestamp guard additionally rejects cross-request races).
         if !self.is_current(holder_req)
             || self.phase == RequesterPhase::Idle
-            || !self.replied.contains(&arbiter)
+            || !self.replied.contains(arbiter)
         {
             return; // outdated transfer: discard (A.5)
         }
@@ -1076,13 +1145,13 @@ impl DelayOptimal {
             // send on exit answers the inquire. The piggybacked transfer is
             // still live — record it so exit forwards our reply.
             if let Some(b) = transfer {
-                if self.replied.contains(&arbiter) {
+                if self.replied.contains(arbiter) {
                     self.push_transfer(arbiter, b);
                 }
             }
             return;
         }
-        if !self.replied.contains(&arbiter) {
+        if !self.replied.contains(arbiter) {
             // Inquire outran the reply (possible: the reply may be forwarded
             // through a proxy on a different channel). Defer, keeping the
             // piggybacked transfer (re-dispatched by A.6/A.7).
@@ -1112,7 +1181,7 @@ impl DelayOptimal {
 
     fn do_yield(&mut self, arbiter: SiteId, fx: &mut Effects<Msg>) {
         let req = self.my_req.expect("yield requires an outstanding request");
-        self.replied.remove(&arbiter);
+        self.replied.remove(arbiter);
         self.failed = true; // sending a yield sets `failed` (§3.1)
                             // Transfers received on behalf of this arbiter are void: we no
                             // longer hold its permission (A.3).
@@ -1144,7 +1213,10 @@ impl DelayOptimal {
     /// (queued or granted alike) and resets requester state to idle.
     fn withdraw_current(&mut self, fx: &mut Effects<Msg>) {
         if let Some(req) = self.my_req {
-            for a in self.req_set.clone() {
+            // Index loop: `route` never touches `req_set`, and indexing
+            // avoids cloning the quorum on every withdrawal.
+            for i in 0..self.req_set.len() {
+                let a = self.req_set[i];
                 self.route(fx, a, Body::Relinquish { req });
             }
         }
@@ -1162,8 +1234,11 @@ impl DelayOptimal {
             self.inaccessible = true;
             return false;
         };
-        match source.quorum_avoiding(self.site, &self.known_failed) {
+        // `QuorumSource` is an API boundary with observable ordered-set
+        // semantics; the conversion only runs on the cold failure path.
+        match source.quorum_avoiding(self.site, &self.known_failed.to_btree()) {
             Some(q) => {
+                self.req_set_bits = q.iter().copied().collect();
                 self.req_set = q;
                 self.inaccessible = false;
                 true
@@ -1184,7 +1259,7 @@ impl DelayOptimal {
         if self.quorum_source.is_some() {
             self.refresh_quorum();
         } else {
-            self.inaccessible = self.req_set.iter().any(|m| self.known_failed.contains(m));
+            self.inaccessible = self.req_set.iter().any(|m| self.known_failed.contains(*m));
         }
     }
 
@@ -1200,7 +1275,8 @@ impl DelayOptimal {
         self.failed = false;
         self.inq_queue.clear();
         self.tran_stack.clear();
-        for j in self.req_set.clone() {
+        for i in 0..self.req_set.len() {
+            let j = self.req_set[i];
             self.route(fx, j, Body::Request { ts });
         }
         self.maybe_enter(fx); // degenerate singleton quorum {self}
@@ -1236,12 +1312,12 @@ impl Protocol for DelayOptimal {
         // delay-optimal hop), discarding older transfers from the same
         // arbiter.
         let mut forwarded: Vec<(SiteId, Timestamp)> = Vec::new();
-        let mut seen: BTreeSet<SiteId> = BTreeSet::new();
+        let mut seen = SiteSet::new();
         while let Some(e) = self.tran_stack.pop() {
             if !self.cfg.forwarding_enabled {
                 continue;
             }
-            if self.known_failed.contains(&e.beneficiary.site) {
+            if self.known_failed.contains(e.beneficiary.site) {
                 continue; // §6 case 2: dead beneficiaries are purged
             }
             if seen.insert(e.arbiter) {
@@ -1259,7 +1335,8 @@ impl Protocol for DelayOptimal {
         }
 
         // C.2: tell every arbiter whether its permission was forwarded.
-        for j in self.req_set.clone() {
+        for i in 0..self.req_set.len() {
+            let j = self.req_set[i];
             let fwd = forwarded.iter().find(|(a, _)| *a == j).map(|(_, b)| *b);
             self.route(
                 fx,
@@ -1303,7 +1380,7 @@ impl Protocol for DelayOptimal {
         }
         self.known_failed.insert(failed);
         // A confirmed-dead peer can no longer answer a rejoin.
-        self.rejoin_awaiting.remove(&failed);
+        self.rejoin_awaiting.remove(failed);
 
         // --- Arbiter-side cleanup -------------------------------------
         // Case 1: the failed site's request sits in our req_queue.
@@ -1382,11 +1459,11 @@ impl Protocol for DelayOptimal {
     /// waiting on requests we no longer have, and (4) grant our own
     /// permission if it stalled parked behind the suspicion.
     fn on_site_restored(&mut self, site: SiteId, fx: &mut Effects<Msg>) {
-        if !self.known_failed.remove(&site) {
+        if !self.known_failed.remove(site) {
             return;
         }
-        self.confirmed_failed.remove(&site);
-        if let Some(reqs) = self.withheld.remove(&site) {
+        self.confirmed_failed.remove(site);
+        if let Some(reqs) = self.withheld.take(site) {
             for req in reqs {
                 self.route(fx, site, Body::Relinquish { req });
             }
@@ -1416,12 +1493,12 @@ impl Protocol for DelayOptimal {
 
         // Reintegrate (the withheld returns are moot: the fresh arbiter
         // has no queue to unwedge).
-        self.known_failed.remove(&site);
-        self.confirmed_failed.remove(&site);
-        self.withheld.remove(&site);
+        self.known_failed.remove(site);
+        self.confirmed_failed.remove(site);
+        self.withheld.discard(site);
         self.recompute_accessibility();
         // A restarted peer has nothing to claim against our own rejoin.
-        self.rejoin_awaiting.remove(&site);
+        self.rejoin_awaiting.remove(site);
         // Purging its queued requests may also un-stall our arbiter.
         if !self.rejoining && self.lock.is_none() && !self.req_queue.is_empty() {
             self.grant_next(fx);
@@ -1430,7 +1507,7 @@ impl Protocol for DelayOptimal {
         // Answer the resync: EVERY peer reports, even with nothing to
         // claim, because the rejoined arbiter refuses to grant until all
         // its peers have answered (see `Body::Claim`).
-        let holds = if self.phase != RequesterPhase::Idle && self.replied.contains(&site) {
+        let holds = if self.phase != RequesterPhase::Idle && self.replied.contains(site) {
             self.my_req
         } else {
             None
@@ -1485,7 +1562,7 @@ impl Protocol for DelayOptimal {
                     EarlyReturn::Released { forwarded_to } => *forwarded_to,
                     _ => None,
                 })
-                .find(|t| !returned.contains(t) && !self.confirmed_failed.contains(&t.site));
+                .find(|t| !returned.contains(t) && !self.confirmed_failed.contains(t.site));
             if let Some(t) = tail {
                 self.req_queue.remove(&t);
                 self.lock = Some(t);

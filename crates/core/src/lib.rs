@@ -79,6 +79,7 @@ pub mod delay_optimal;
 pub mod detector;
 pub mod protocol;
 pub mod reqqueue;
+pub mod siteset;
 pub mod transport;
 
 pub use clock::{LamportClock, SeqNum, Timestamp};
@@ -86,6 +87,7 @@ pub use delay_optimal::{Config, DelayOptimal, Msg, RequesterPhase};
 pub use detector::{Detector, DetectorConfig, DetectorCounters, HbMsg};
 pub use protocol::{Effects, MsgKind, MsgMeta, Protocol, QuorumSource, SiteId};
 pub use reqqueue::ReqQueue;
+pub use siteset::SiteSet;
 pub use transport::{
     FaultVerdict, LinkFaults, LossModel, Outage, Packet, Reliable, TransportConfig,
     TransportCounters,

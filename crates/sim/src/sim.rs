@@ -3,11 +3,13 @@
 use crate::delay::DelayModel;
 use crate::metrics::{CsRecord, Metrics};
 use crate::trace::{Trace, TraceEvent};
-use qmx_core::{Effects, FaultVerdict, LinkFaults, LossModel, MsgMeta, Outage, Protocol, SiteId};
+use qmx_core::{
+    Effects, FaultVerdict, LinkFaults, LossModel, MsgMeta, Outage, Protocol, SiteId, SiteSet,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -95,8 +97,11 @@ pub struct Simulator<P: Protocol> {
     now: u64,
     seq: u64,
     events: BinaryHeap<Reverse<Event<P::Msg>>>,
-    link_clock: BTreeMap<(SiteId, SiteId), u64>,
-    crashed: BTreeSet<SiteId>,
+    /// Latest scheduled delivery time per directed link, as a flat
+    /// `n * n` matrix indexed `from * n + to` (FIFO enforcement without a
+    /// map lookup per send).
+    link_clock: Vec<u64>,
+    crashed: SiteSet,
     pristine: BTreeMap<SiteId, P>,
     /// Per-site boot counter: bumped on every recovery and stamped into
     /// the fresh instance via `set_incarnation`, so transports fence
@@ -112,6 +117,9 @@ pub struct Simulator<P: Protocol> {
     metrics: Metrics,
     trace: Option<Trace>,
     started: bool,
+    /// Reusable effects buffer: every event drains it fully, so one
+    /// allocation serves the whole run instead of one per event.
+    scratch: Effects<P::Msg>,
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -133,9 +141,12 @@ impl<P: Protocol> Simulator<P> {
             cfg,
             now: 0,
             seq: 0,
-            events: BinaryHeap::new(),
-            link_clock: BTreeMap::new(),
-            crashed: BTreeSet::new(),
+            // Steady state keeps roughly one in-flight message per quorum
+            // member per contender plus timers; 16n absorbs bursts without
+            // ever reallocating in the experiments under study.
+            events: BinaryHeap::with_capacity(64 + 16 * n),
+            link_clock: vec![0; n * n],
+            crashed: SiteSet::new(),
             pristine: BTreeMap::new(),
             boots: BTreeMap::new(),
             partition: None,
@@ -147,6 +158,7 @@ impl<P: Protocol> Simulator<P> {
             metrics: Metrics::new(),
             trace: None,
             started: false,
+            scratch: Effects::new(),
         }
     }
 
@@ -172,7 +184,7 @@ impl<P: Protocol> Simulator<P> {
 
     /// Whether `site` has crashed.
     pub fn is_crashed(&self, site: SiteId) -> bool {
-        self.crashed.contains(&site)
+        self.crashed.contains(site)
     }
 
     /// Immutable access to a protocol instance (assertions in tests).
@@ -281,10 +293,11 @@ impl<P: Protocol> Simulator<P> {
     }
 
     fn apply_effects(&mut self, site: SiteId, fx: &mut Effects<P::Msg>) {
-        let (sends, entered) = fx.drain();
-        for (to, msg) in sends {
+        let n = self.sites.len();
+        let entered = fx.entered_cs();
+        for (to, msg) in fx.drain_sends() {
             debug_assert_ne!(to, site, "self-sends must be handled internally");
-            if self.crashed.contains(&to) || self.severed(site, to) {
+            if self.crashed.contains(to) || self.severed(site, to) {
                 self.metrics.count_dropped();
                 continue;
             }
@@ -314,15 +327,22 @@ impl<P: Protocol> Simulator<P> {
                     }
                 }
             };
-            for _ in 0..copies {
+            let mut msg = Some(msg);
+            for c in (1..=copies).rev() {
                 // FIFO per ordered link: delivery times never reorder
                 // (equal times are delivered in send order via the event
                 // seq number). The duplicate copy follows its original.
                 let sampled = self.cfg.delay.sample(&mut self.rng);
-                let link = self.link_clock.entry((site, to)).or_insert(0);
+                let link = &mut self.link_clock[site.index() * n + to.index()];
                 let at = (self.now + sampled).max(*link);
                 *link = at;
-                let msg = msg.clone();
+                // Move the owned message into its final copy; only an
+                // injected duplicate ever pays for a clone.
+                let msg = if c == 1 {
+                    msg.take().expect("last copy")
+                } else {
+                    msg.as_ref().expect("copies remain").clone()
+                };
                 self.push(
                     at,
                     EventKind::Deliver {
@@ -350,15 +370,26 @@ impl<P: Protocol> Simulator<P> {
         }
     }
 
+    /// Runs one protocol entry point on `site` against the reused scratch
+    /// effects buffer (stamping the site's clock first) and applies the
+    /// results. The buffer is drained by `apply_effects`, so returning it
+    /// to `self.scratch` hands its capacity to the next event.
+    fn dispatch(&mut self, site: SiteId, f: impl FnOnce(&mut P, &mut Effects<P::Msg>)) {
+        let mut fx = std::mem::take(&mut self.scratch);
+        let s = &mut self.sites[site.index()];
+        s.set_now(self.now);
+        f(s, &mut fx);
+        self.apply_effects(site, &mut fx);
+        self.scratch = fx;
+    }
+
     fn ensure_started(&mut self) {
         if self.started {
             return;
         }
         self.started = true;
         for i in 0..self.sites.len() {
-            let mut fx = Effects::new();
-            self.sites[i].on_start(&mut fx);
-            self.apply_effects(SiteId(i as u32), &mut fx);
+            self.dispatch(SiteId(i as u32), |s, fx| s.on_start(fx));
         }
     }
 
@@ -366,7 +397,7 @@ impl<P: Protocol> Simulator<P> {
         self.now = ev.time;
         match ev.kind {
             EventKind::Deliver { from, to, msg } => {
-                if self.crashed.contains(&to) || self.severed(from, to) {
+                if self.crashed.contains(to) || self.severed(from, to) {
                     self.metrics.count_dropped();
                     return;
                 }
@@ -376,28 +407,21 @@ impl<P: Protocol> Simulator<P> {
                     to,
                     kind: msg.kind(),
                 });
-                let mut fx = Effects::new();
-                let s = &mut self.sites[to.index()];
-                s.set_now(self.now);
-                s.handle(from, msg, &mut fx);
-                self.apply_effects(to, &mut fx);
+                self.dispatch(to, |s, fx| s.handle(from, msg, fx));
             }
             EventKind::Request { site } => {
-                if self.crashed.contains(&site) {
+                if self.crashed.contains(site) {
                     return;
                 }
-                let s = &mut self.sites[site.index()];
+                let s = &self.sites[site.index()];
                 if s.in_cs() || s.wants_cs() {
                     return; // busy: drop the arrival
                 }
                 self.requested_at[site.index()] = Some(self.now);
-                let mut fx = Effects::new();
-                s.set_now(self.now);
-                s.request_cs(&mut fx);
-                self.apply_effects(site, &mut fx);
+                self.dispatch(site, |s, fx| s.request_cs(fx));
             }
             EventKind::Exit { site } => {
-                if self.crashed.contains(&site) {
+                if self.crashed.contains(site) {
                     return;
                 }
                 if self.entered_at[site.index()].is_none() {
@@ -417,11 +441,7 @@ impl<P: Protocol> Simulator<P> {
                 self.metrics.record_cs(rec);
                 self.requested_at[site.index()] = None;
                 self.entered_at[site.index()] = None;
-                let mut fx = Effects::new();
-                let s = &mut self.sites[site.index()];
-                s.set_now(self.now);
-                s.release_cs(&mut fx);
-                self.apply_effects(site, &mut fx);
+                self.dispatch(site, |s, fx| s.release_cs(fx));
             }
             EventKind::Crash { site } => {
                 if !self.crashed.insert(site) {
@@ -438,7 +458,7 @@ impl<P: Protocol> Simulator<P> {
                 if self.cfg.oracle_notices {
                     for i in 0..self.sites.len() {
                         let target = SiteId(i as u32);
-                        if target != site && !self.crashed.contains(&target) {
+                        if target != site && !self.crashed.contains(target) {
                             self.push(
                                 self.now + self.cfg.detect_delay,
                                 EventKind::Notice {
@@ -451,7 +471,7 @@ impl<P: Protocol> Simulator<P> {
                 }
             }
             EventKind::Recover { site } => {
-                if !self.crashed.remove(&site) {
+                if !self.crashed.remove(site) {
                     return; // never crashed (or already recovered): no-op
                 }
                 let Some(fresh) = self.pristine.remove(&site) else {
@@ -462,16 +482,14 @@ impl<P: Protocol> Simulator<P> {
                 let boot = self.boots.entry(site).or_insert(0);
                 *boot += 1;
                 let boot = *boot;
-                let mut fx = Effects::new();
-                let s = &mut self.sites[site.index()];
-                s.set_incarnation(boot);
-                s.set_now(self.now);
-                s.on_start(&mut fx);
-                s.on_recover(&mut fx);
-                self.apply_effects(site, &mut fx);
+                self.dispatch(site, |s, fx| {
+                    s.set_incarnation(boot);
+                    s.on_start(fx);
+                    s.on_recover(fx);
+                });
             }
             EventKind::Notice { site, failed } => {
-                if self.crashed.contains(&site) {
+                if self.crashed.contains(site) {
                     return;
                 }
                 self.record(TraceEvent::Notice {
@@ -479,24 +497,17 @@ impl<P: Protocol> Simulator<P> {
                     site,
                     failed,
                 });
-                let mut fx = Effects::new();
-                let s = &mut self.sites[site.index()];
-                s.set_now(self.now);
-                s.on_site_failure(failed, &mut fx);
-                self.apply_effects(site, &mut fx);
+                self.dispatch(site, |s, fx| s.on_site_failure(failed, fx));
             }
             EventKind::Tick { site } => {
                 // Clear the arming slot first: `on_timer` may leave work
                 // pending and `apply_effects` re-arms from `next_timer()`.
                 self.armed_tick[site.index()] = None;
-                if self.crashed.contains(&site) {
+                if self.crashed.contains(site) {
                     return;
                 }
-                let mut fx = Effects::new();
-                let s = &mut self.sites[site.index()];
-                s.set_now(self.now);
-                s.on_timer(self.now, &mut fx);
-                self.apply_effects(site, &mut fx);
+                let now = self.now;
+                self.dispatch(site, |s, fx| s.on_timer(now, fx));
             }
             EventKind::Heal => {
                 // See `schedule_heal` for the (documented) recovery
@@ -514,12 +525,12 @@ impl<P: Protocol> Simulator<P> {
                 // Each side suspects the other side dead after detection.
                 for i in 0..self.sites.len() {
                     let a = SiteId(i as u32);
-                    if self.crashed.contains(&a) {
+                    if self.crashed.contains(a) {
                         continue;
                     }
                     for j in 0..self.sites.len() {
                         let b = SiteId(j as u32);
-                        if a != b && !self.crashed.contains(&b) && self.severed(a, b) {
+                        if a != b && !self.crashed.contains(b) && self.severed(a, b) {
                             self.push(
                                 self.now + self.cfg.detect_delay,
                                 EventKind::Notice { site: a, failed: b },

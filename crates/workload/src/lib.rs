@@ -9,12 +9,15 @@
 //!   fault schedule, get a [`stats::RunReport`];
 //! * [`stats`] — metric reduction (messages per CS, sync delay in `T`,
 //!   response/waiting percentiles, Jain fairness);
-//! * [`replicate`] — multi-seed replication with mean ± σ summaries.
+//! * [`replicate`] — multi-seed replication with mean ± σ summaries;
+//! * [`parallel`] — deterministic fan-out of independent runs across
+//!   worker threads (results in item order, identical for any `--jobs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arrival;
+pub mod parallel;
 pub mod replicate;
 pub mod scenario;
 pub mod stats;

@@ -1,0 +1,123 @@
+//! Deterministic parallel fan-out over independent work items.
+//!
+//! Experiments are embarrassingly parallel: every cell of a parameter
+//! sweep (and every seed of a replicate set) is a pure function of its
+//! `(Scenario, seed)` input, with its own RNG seeded from the scenario.
+//! [`par_map`] exploits that with scoped worker threads pulling items off
+//! a shared counter, while keeping the **determinism contract**: results
+//! come back in item order, and because no state is shared between items,
+//! the output is byte-identical whatever the thread count — `--jobs 1`
+//! and `--jobs 8` must (and do, see the regression tests) produce the
+//! same report.
+//!
+//! The worker count comes from the process-wide [`set_jobs`] setting
+//! (wired to `--jobs` in `qmxctl` and the bench binaries), defaulting to
+//! the machine's available parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide worker count; 0 means "auto" (available parallelism).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker count used by [`par_map`] (0 restores auto-detection).
+pub fn set_jobs(jobs: usize) {
+    JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The effective worker count: the last [`set_jobs`] value, or the
+/// machine's available parallelism when unset.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Maps `f` over `items` on up to [`jobs`] scoped threads, returning the
+/// results **in item order**.
+///
+/// Each item is processed exactly once by exactly one worker; workers
+/// claim items through an atomic cursor (dynamic load balancing, so one
+/// slow cell does not idle the other threads). With one worker (or one
+/// item) this degenerates to a plain sequential map with no thread spawn.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` once all workers have stopped.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = jobs().min(items.len()).max(1);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..work.len()).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= work.len() {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work mutex never poisoned before take")
+                    .take()
+                    .expect("each item is claimed exactly once");
+                let out = f(item);
+                *slots[i].lock().expect("fresh result mutex") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("workers joined without panicking")
+                .expect("every slot was filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        set_jobs(4);
+        let out = par_map((0..100u64).collect(), |x| x * 2);
+        assert_eq!(out, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+        set_jobs(0);
+    }
+
+    #[test]
+    fn identical_across_worker_counts() {
+        let run = |jobs| {
+            set_jobs(jobs);
+            let out = par_map((0..50u64).collect(), |x| {
+                x.wrapping_mul(0x9E37_79B9).to_string()
+            });
+            set_jobs(0);
+            out
+        };
+        assert_eq!(run(1), run(7));
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        set_jobs(8);
+        let empty: Vec<u32> = par_map(Vec::new(), |x: u32| x);
+        assert!(empty.is_empty());
+        assert_eq!(par_map(vec![41], |x| x + 1), vec![42]);
+        set_jobs(0);
+    }
+}

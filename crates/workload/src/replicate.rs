@@ -56,7 +56,10 @@ pub struct Replicates {
 }
 
 impl Replicates {
-    /// Runs `base` once per seed (overriding `base.seed`).
+    /// Runs `base` once per seed (overriding `base.seed`), fanning the
+    /// runs out across [`crate::parallel::jobs`] worker threads. Each run
+    /// is a pure function of `(base, seed)` and the reports come back in
+    /// seed order, so the result is identical for any worker count.
     ///
     /// ```
     /// use qmx_workload::replicate::Replicates;
@@ -67,16 +70,13 @@ impl Replicates {
     /// assert!(completed.min >= 1.0);
     /// ```
     pub fn collect(base: &Scenario, seeds: impl IntoIterator<Item = u64>) -> Self {
-        let runs = seeds
-            .into_iter()
-            .map(|seed| {
-                Scenario {
-                    seed,
-                    ..base.clone()
-                }
-                .run()
-            })
-            .collect();
+        let runs = crate::parallel::par_map(seeds.into_iter().collect(), |seed| {
+            Scenario {
+                seed,
+                ..base.clone()
+            }
+            .run()
+        });
         Replicates { runs }
     }
 

@@ -1,0 +1,75 @@
+//! Regression guards for the hot-path rewrite: a golden scenario whose
+//! exact counters are pinned (so a behavioural change in the bitset
+//! quorum state, the allocation-free event loop, or the shared-payload
+//! transport shows up as a diff, not a silent drift), and a check that
+//! the parallel experiment fan-out returns byte-identical results for
+//! every worker count.
+
+use qmx::sim::DelayModel;
+use qmx::workload::arrival::ArrivalProcess;
+use qmx::workload::parallel;
+use qmx::workload::replicate::Replicates;
+use qmx::workload::scenario::{Algorithm, QuorumSpec, Scenario};
+
+const T: u64 = 1000;
+
+fn golden_scenario() -> Scenario {
+    Scenario {
+        n: 9,
+        algorithm: Algorithm::DelayOptimal,
+        quorum: QuorumSpec::Grid,
+        arrivals: ArrivalProcess::Poisson { mean_gap: 8 * T },
+        horizon: 400 * T,
+        delay: DelayModel::Exponential { mean: T },
+        hold: DelayModel::Constant(100),
+        seed: 2024,
+        ..Scenario::default()
+    }
+}
+
+/// The exact numbers this scenario produced when the golden was recorded.
+/// A legitimate behavioural change (new protocol feature, RNG stream
+/// change) may update them — an optimisation must not.
+#[test]
+fn golden_scenario_counters_are_pinned() {
+    let r = golden_scenario().run();
+    assert_eq!(r.completed, 168);
+    assert_eq!(r.messages, 3319);
+    assert_eq!(r.sync_samples, 166);
+    assert_eq!(
+        format!("{:?}", r.by_kind),
+        "{Request: 672, Reply: 795, Release: 672, Inquire: 23, Fail: 620, \
+         Yield: 19, Transfer: 518}"
+    );
+    let sync = r.sync_delay_t.expect("contended run has sync samples");
+    assert!((sync - 2.3726385542168673).abs() < 1e-9, "sync = {sync}");
+    let resp = r.response_time_t.expect("completions exist");
+    assert!((resp - 13.282964285714286).abs() < 1e-9, "resp = {resp}");
+    assert!(
+        (r.throughput_per_t - 0.40355706729314095).abs() < 1e-9,
+        "thr = {}",
+        r.throughput_per_t
+    );
+}
+
+/// The experiment fan-out contract: each run is a pure function of
+/// (scenario, seed), results come back in seed order, so reports are
+/// byte-identical no matter how many worker threads computed them.
+#[test]
+fn replicates_identical_for_any_worker_count() {
+    let base = golden_scenario();
+    let seeds = || 1u64..=6;
+
+    let mut debugs = Vec::new();
+    for jobs in [1usize, 2, 4, 0] {
+        parallel::set_jobs(jobs);
+        let reps = Replicates::collect(&base, seeds());
+        assert_eq!(reps.runs.len(), 6);
+        debugs.push(format!("{:?}", reps.runs));
+    }
+    parallel::set_jobs(0);
+
+    for other in &debugs[1..] {
+        assert_eq!(&debugs[0], other, "worker count changed the results");
+    }
+}

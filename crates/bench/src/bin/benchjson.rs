@@ -1,16 +1,61 @@
 //! Writes the machine-readable benchmark trajectory `BENCH_qmx.json`:
-//! simulator events/sec, protocol ns/step, and wall-clock seconds per
-//! experiment, so performance can be tracked across commits without
-//! parsing Criterion output.
+//! simulator events/sec (per event-scheduler implementation), protocol
+//! ns/step, and wall-clock seconds per experiment, so performance can be
+//! tracked across commits without parsing Criterion output.
 //!
 //! Usage: `benchjson [--tiny] [--out PATH] [--jobs J]`
+//!        `benchjson --check PATH [--jobs J]`
 //!
 //! `--tiny` shrinks iteration counts and the experiment list to a smoke
 //! matrix suitable for CI; the JSON shape is identical in both modes.
+//!
+//! `--check` re-derives every *deterministic* field of a committed
+//! trajectory file — schema, mode, engine row names and event counts,
+//! protocol row names and step counts — and fails (exit 1) on any
+//! drift. Wall-clock fields (`seconds`, rates, `jobs`, `cores`) are
+//! machine-dependent and ignored. This is the CI gate that catches a
+//! benchmark row silently changing its workload (different event count)
+//! or the file going stale after a protocol change (different steps).
 
 use qmx_bench::{experiments, micro};
+use qmx_sim::SchedulerKind;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Trajectory file format version. Bump when row names or the set of
+/// deterministic fields changes, so `--check` rejects stale files
+/// loudly instead of mis-diffing them.
+const SCHEMA: &str = "qmx-bench-trajectory/v2";
+
+/// Both scheduler implementations, in the order rows are emitted.
+const SCHEDULERS: [SchedulerKind; 2] = [SchedulerKind::Heap, SchedulerKind::Calendar];
+
+/// Engine matrix sizes for the given mode.
+fn engine_ns(tiny: bool) -> Vec<usize> {
+    if tiny {
+        vec![9]
+    } else {
+        vec![9, 25]
+    }
+}
+
+/// Protocol matrix sizes for the given mode.
+fn proto_ns(tiny: bool) -> Vec<usize> {
+    if tiny {
+        vec![9]
+    } else {
+        vec![9, 25, 100]
+    }
+}
+
+/// (engine timing iters, protocol timing iters, contended sim rounds).
+fn iteration_params(tiny: bool) -> (usize, usize, u64) {
+    if tiny {
+        (2, 200, 3)
+    } else {
+        (10, 2_000, 20)
+    }
+}
 
 /// Mean wall-clock seconds of `f` over `iters` runs (after one warm-up).
 fn time_mean(iters: usize, mut f: impl FnMut()) -> f64 {
@@ -25,6 +70,7 @@ fn time_mean(iters: usize, mut f: impl FnMut()) -> f64 {
 struct Args {
     tiny: bool,
     out: String,
+    check: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -32,6 +78,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         tiny: false,
         out: "BENCH_qmx.json".to_string(),
+        check: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -41,11 +88,16 @@ fn parse_args() -> Args {
                 args.out = argv[i + 1].clone();
                 i += 1;
             }
+            "--check" if i + 1 < argv.len() => {
+                args.check = Some(argv[i + 1].clone());
+                i += 1;
+            }
             // `--jobs N` is consumed by init_jobs; skip its value here.
             "--jobs" => i += 1,
             other => {
                 eprintln!("benchjson: unknown argument '{other}'");
                 eprintln!("usage: benchjson [--tiny] [--out PATH] [--jobs J]");
+                eprintln!("       benchjson --check PATH [--jobs J]");
                 std::process::exit(2);
             }
         }
@@ -54,18 +106,184 @@ fn parse_args() -> Args {
     args
 }
 
+/// Extracts `"key": "value"` from a single JSON line we wrote ourselves
+/// (one object per line, no escapes inside strings).
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts `"key": 123` (unsigned integer) from a single JSON line.
+fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let digits: &str = line[start..]
+        .split(|c: char| !c.is_ascii_digit())
+        .next()
+        .unwrap_or("");
+    digits.parse().ok()
+}
+
+/// Recomputes the deterministic engine rows `(name, events)` for a mode.
+fn expected_engine_rows(tiny: bool) -> Vec<(String, u64)> {
+    let (_, _, sim_rounds) = iteration_params(tiny);
+    let mut rows = Vec::new();
+    for &n in &engine_ns(tiny) {
+        for kind in SCHEDULERS {
+            let events = micro::contended_sim_run_with(n, sim_rounds, kind);
+            rows.push((
+                format!("contended_n{n}_{sim_rounds}rounds/{}", kind.label()),
+                events as u64,
+            ));
+        }
+    }
+    rows
+}
+
+/// Recomputes the deterministic protocol rows `(name, steps)` for a mode.
+fn expected_protocol_rows(tiny: bool) -> Vec<(String, u64)> {
+    let mut rows = Vec::new();
+    for &n in &proto_ns(tiny) {
+        let mut d = micro::delay_optimal_sites(n);
+        rows.push((
+            format!("uncontended_round/delay_optimal_n{n}"),
+            micro::full_round(&mut d, 0) as u64,
+        ));
+        let mut m = micro::maekawa_sites(n);
+        rows.push((
+            format!("uncontended_round/maekawa_n{n}"),
+            micro::full_round(&mut m, 0) as u64,
+        ));
+    }
+    rows
+}
+
+/// Diffs one named-counter section; appends human-readable failures.
+fn diff_rows(
+    section: &str,
+    counter: &str,
+    expected: &[(String, u64)],
+    actual: &[(String, u64)],
+    failures: &mut Vec<String>,
+) {
+    if expected.len() != actual.len() {
+        failures.push(format!(
+            "{section}: expected {} rows, file has {}",
+            expected.len(),
+            actual.len()
+        ));
+    }
+    for (i, exp) in expected.iter().enumerate() {
+        match actual.get(i) {
+            None => failures.push(format!("{section}: missing row '{}'", exp.0)),
+            Some(act) if act.0 != exp.0 => failures.push(format!(
+                "{section} row {i}: name drift: expected '{}', file has '{}'",
+                exp.0, act.0
+            )),
+            Some(act) if act.1 != exp.1 => failures.push(format!(
+                "{section} '{}': {counter} drift: expected {}, file has {}",
+                exp.0, exp.1, act.1
+            )),
+            Some(_) => {}
+        }
+    }
+}
+
+/// `--check PATH`: verify the committed trajectory's deterministic
+/// fields against freshly recomputed values. Exits the process.
+fn run_check(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("benchjson --check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut failures: Vec<String> = Vec::new();
+
+    let schema = text
+        .lines()
+        .find_map(|l| json_str_field(l, "schema"))
+        .unwrap_or_default();
+    if schema != SCHEMA {
+        failures.push(format!(
+            "schema drift: expected '{SCHEMA}', file has '{schema}'"
+        ));
+    }
+    let mode = text
+        .lines()
+        .find_map(|l| json_str_field(l, "mode"))
+        .unwrap_or_default();
+    let tiny = match mode.as_str() {
+        "tiny" => true,
+        "full" => false,
+        other => {
+            eprintln!("benchjson --check: unknown mode '{other}' in {path}");
+            std::process::exit(1);
+        }
+    };
+
+    // One row object per line by construction; a row either carries an
+    // `events` counter (engine) or a `steps` counter (protocol).
+    let mut actual_engine: Vec<(String, u64)> = Vec::new();
+    let mut actual_proto: Vec<(String, u64)> = Vec::new();
+    for line in text.lines() {
+        let Some(name) = json_str_field(line, "name") else {
+            continue;
+        };
+        if let Some(events) = json_u64_field(line, "events") {
+            actual_engine.push((name, events));
+        } else if let Some(steps) = json_u64_field(line, "steps") {
+            actual_proto.push((name, steps));
+        }
+    }
+
+    if failures.is_empty() {
+        diff_rows(
+            "engine",
+            "events",
+            &expected_engine_rows(tiny),
+            &actual_engine,
+            &mut failures,
+        );
+        diff_rows(
+            "protocol",
+            "steps",
+            &expected_protocol_rows(tiny),
+            &actual_proto,
+            &mut failures,
+        );
+    }
+
+    if failures.is_empty() {
+        println!(
+            "benchjson --check: {path} OK ({} engine rows, {} protocol rows, mode {mode})",
+            actual_engine.len(),
+            actual_proto.len()
+        );
+        std::process::exit(0);
+    }
+    eprintln!("benchjson --check: {path} FAILED:");
+    for f in &failures {
+        eprintln!("  - {f}");
+    }
+    eprintln!("regenerate with: cargo run --release -p qmx-bench --bin benchjson");
+    std::process::exit(1);
+}
+
 fn main() {
     let jobs = qmx_bench::jobs::init_jobs();
     let args = parse_args();
-    let (engine_iters, round_iters, sim_rounds) = if args.tiny {
-        (2, 200, 3)
-    } else {
-        (10, 2_000, 20)
-    };
+    if let Some(path) = &args.check {
+        run_check(path);
+    }
+    let (engine_iters, round_iters, sim_rounds) = iteration_params(args.tiny);
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"qmx-bench-trajectory/v1\",\n");
+    let _ = writeln!(json, "  \"schema\": \"{SCHEMA}\",");
     let _ = writeln!(
         json,
         "  \"mode\": \"{}\",",
@@ -78,32 +296,43 @@ fn main() {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     );
 
-    // Discrete-event engine: virtual events per second of wall clock.
+    // Discrete-event engine: virtual events per second of wall clock,
+    // one row per (size, scheduler) pair. The event counts of the heap
+    // and calendar rows at the same size must be identical — that is
+    // the scheduler determinism contract, asserted here.
     json.push_str("  \"engine\": [\n");
-    let engine_ns: Vec<usize> = if args.tiny { vec![9] } else { vec![9, 25] };
-    for (i, &n) in engine_ns.iter().enumerate() {
-        let events = micro::contended_sim_run(n, sim_rounds);
-        let secs = time_mean(engine_iters, || {
-            micro::contended_sim_run(n, sim_rounds);
-        });
-        let rate = events as f64 / secs;
-        eprintln!("engine   contended_n{n}: {events} events, {rate:.0} events/sec");
-        let _ = writeln!(
-            json,
-            "    {{\"name\": \"contended_n{n}_{sim_rounds}rounds\", \
-             \"events\": {events}, \"seconds\": {secs:.6}, \
-             \"events_per_sec\": {rate:.0}}}{}",
-            if i + 1 < engine_ns.len() { "," } else { "" }
+    let ns = engine_ns(args.tiny);
+    let mut engine_rows: Vec<String> = Vec::new();
+    for &n in &ns {
+        let mut counts = Vec::new();
+        for kind in SCHEDULERS {
+            let events = micro::contended_sim_run_with(n, sim_rounds, kind);
+            counts.push(events);
+            let secs = time_mean(engine_iters, || {
+                micro::contended_sim_run_with(n, sim_rounds, kind);
+            });
+            let rate = events as f64 / secs;
+            let label = kind.label();
+            eprintln!("engine   contended_n{n}/{label}: {events} events, {rate:.0} events/sec");
+            engine_rows.push(format!(
+                "    {{\"name\": \"contended_n{n}_{sim_rounds}rounds/{label}\", \
+                 \"events\": {events}, \"seconds\": {secs:.6}, \
+                 \"events_per_sec\": {rate:.0}}}"
+            ));
+        }
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "schedulers disagree on event count at n={n}: {counts:?}"
         );
     }
-    json.push_str("  ],\n");
+    json.push_str(&engine_rows.join(",\n"));
+    json.push_str("\n  ],\n");
 
     // Protocol state machines: nanoseconds per handled step in an
     // uncontended round, for both the paper's algorithm and Maekawa.
     json.push_str("  \"protocol\": [\n");
-    let proto_ns: Vec<usize> = if args.tiny { vec![9] } else { vec![9, 25, 100] };
     let mut rows: Vec<String> = Vec::new();
-    for &n in &proto_ns {
+    for &n in &proto_ns(args.tiny) {
         let mut d = micro::delay_optimal_sites(n);
         let steps = micro::full_round(&mut d, 0);
         let secs = time_mean(round_iters, || {

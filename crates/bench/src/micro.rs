@@ -6,7 +6,7 @@
 use qmx_baselines::Maekawa;
 use qmx_core::{Config, DelayOptimal, Effects, Protocol, SiteId};
 use qmx_quorum::grid::grid_system;
-use qmx_sim::{DelayModel, SimConfig, Simulator};
+use qmx_sim::{DelayModel, SchedulerKind, SimConfig, Simulator};
 use std::collections::VecDeque;
 
 /// Builds delay-optimal sites over grid quorums.
@@ -74,19 +74,27 @@ pub fn full_round<P: Protocol>(sites: &mut [P], requester: usize) -> usize {
 /// drains in arbitration order. Returns the number of simulator events
 /// processed — the denominator for events/sec.
 pub fn contended_sim_run(n: usize, rounds: u64) -> usize {
+    contended_sim_run_with(n, rounds, SchedulerKind::default())
+}
+
+/// [`contended_sim_run`] pinned to one event-scheduler implementation,
+/// for the heap-vs-calendar ablation rows. The event count is identical
+/// for either kind (the scheduler determinism contract); only the wall
+/// clock differs.
+pub fn contended_sim_run_with(n: usize, rounds: u64, scheduler: SchedulerKind) -> usize {
     let mut sim = Simulator::new(
         delay_optimal_sites(n),
         SimConfig {
             delay: DelayModel::Exponential { mean: 1000 },
             hold: DelayModel::Constant(100),
+            scheduler,
             ..SimConfig::default()
         },
     );
-    for r in 0..rounds {
-        for i in 0..n {
-            sim.schedule_request(SiteId(i as u32), r * 5_000 + 17 * i as u64);
-        }
-    }
+    let arrivals: Vec<(SiteId, u64)> = (0..rounds)
+        .flat_map(|r| (0..n).map(move |i| (SiteId(i as u32), r * 5_000 + 17 * i as u64)))
+        .collect();
+    sim.schedule_requests(&arrivals);
     sim.run_to_quiescence(u64::MAX / 2)
 }
 

@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (no external dependency): `--key value`
 //! flags after a subcommand.
 
-use qmx_sim::DelayModel;
+use qmx_sim::{DelayModel, SchedulerKind};
 use qmx_workload::scenario::{Algorithm, QuorumSpec};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -79,6 +79,9 @@ pub enum Command {
         /// Recoveries as `site:time_t` pairs (each enables the detector:
         /// rejoin needs the heartbeat handshake, not the oracle).
         recoveries: Vec<(u32, u64)>,
+        /// Event-scheduler implementation (`heap` or `calendar`); the
+        /// report is byte-identical either way, only wall clock differs.
+        scheduler: SchedulerKind,
     },
     /// Print a quorum system and its properties.
     Quorum {
@@ -119,6 +122,7 @@ USAGE:
              [--partition g0,g1,..:timeT ...] [--heal timeT ...]
              [--reliable on|off|auto]
              [--hb-interval T] [--hb-timeout T] [--recover site:timeT ...]
+             [--scheduler heap|calendar]
   qmxctl quorum --kind Q --n N
   qmxctl check [--n N] [--rounds R] [--max-states M]
   qmxctl experiment NAME [--jobs J]
@@ -139,9 +143,12 @@ WHERE:
   --hb-interval/--hb-timeout/--recover switch failure detection from the
       oracle to heartbeats (suspicion from silence, crash recovery via
       the rejoin handshake); intervals are in T units
+  --scheduler picks the event-queue implementation (default: calendar,
+      or the QMX_SCHEDULER env var); reports are byte-identical for
+      either choice — only wall-clock time differs
   NAME = table1 | lightload | heavyload | syncdelay | throughput |
          quorumsize | availability | faulttolerance | ablation |
-         holdsweep | msgscaling
+         holdsweep | msgscaling | schedulers
   J = worker threads for the experiment fan-out (0 or absent = auto);
       reports are identical for every J — runs are pure per (scenario,
       seed) and rows are assembled in parameter order
@@ -360,6 +367,12 @@ impl Cli {
                 };
                 let hb_interval_t = opt_t("hb-interval")?;
                 let hb_timeout_t = opt_t("hb-timeout")?;
+                let scheduler = match one(&f, "scheduler", "") {
+                    "" => SchedulerKind::default(),
+                    s => SchedulerKind::parse(s).ok_or_else(|| {
+                        ParseError(format!("--scheduler wants heap|calendar, got '{s}'"))
+                    })?,
+                };
                 Command::Run {
                     algorithm: parse_algorithm(one(&f, "alg", "delay-optimal"))?,
                     n: parse_u64(&f, "n", 9)? as usize,
@@ -380,6 +393,7 @@ impl Cli {
                     hb_interval_t,
                     hb_timeout_t,
                     recoveries,
+                    scheduler,
                 }
             }
             "quorum" => {
@@ -570,6 +584,25 @@ mod tests {
             .unwrap_err()
             .0
             .contains("T units"));
+    }
+
+    #[test]
+    fn scheduler_flag() {
+        match parse("run --scheduler heap").unwrap().command {
+            Command::Run { scheduler, .. } => assert_eq!(scheduler, SchedulerKind::Heap),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse("run --scheduler calendar").unwrap().command {
+            Command::Run { scheduler, .. } => assert_eq!(scheduler, SchedulerKind::Calendar),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Absent: the process-wide default (env var or calendar). Both
+        // values are legal, so just check parsing succeeds.
+        assert!(matches!(parse("run").unwrap().command, Command::Run { .. }));
+        assert!(parse("run --scheduler wheel")
+            .unwrap_err()
+            .0
+            .contains("heap|calendar"));
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             hb_interval_t,
             hb_timeout_t,
             recoveries,
+            scheduler,
         } => {
             let t = delay.mean().max(1.0) as u64;
             let loss_model = match burst {
@@ -112,6 +113,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                     .map(|&(s, time_t)| (SiteId(s), time_t * t))
                     .collect(),
                 seed: *seed,
+                scheduler: *scheduler,
                 ..Scenario::default()
             };
             // Validate the quorum before running so errors are messages,
@@ -268,6 +270,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 "ablation" => e::ablation(25),
                 "holdsweep" => e::sync_delay_vs_hold(25),
                 "msgscaling" => e::message_scaling(),
+                "schedulers" => e::scheduler_ablation(&[9, 25], 20),
                 other => return Err(format!("unknown experiment '{other}'")),
             })
         }
@@ -353,6 +356,18 @@ mod tests {
     fn run_command_without_faults_omits_transport_lines() {
         let out = run("run --n 5 --quorum all --gap 20 --horizon 200").unwrap();
         assert!(!out.contains("injected faults"), "{out}");
+    }
+
+    #[test]
+    fn run_command_reports_identical_under_both_schedulers() {
+        // The CI determinism gate in script form: same scenario, both
+        // scheduler implementations, byte-identical report text.
+        let line = "run --n 9 --gap 5 --horizon 400 --delay exp:1000 --seed 11 \
+             --loss 0.05 --crash 2:50 --recover 2:150 --hb-interval 2 --hb-timeout 10";
+        let heap = run(&format!("{line} --scheduler heap")).unwrap();
+        let calendar = run(&format!("{line} --scheduler calendar")).unwrap();
+        assert_eq!(heap, calendar);
+        assert!(heap.contains("completed CS"), "{heap}");
     }
 
     #[test]

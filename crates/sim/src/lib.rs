@@ -54,11 +54,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod delay;
 pub mod metrics;
 pub mod sim;
+mod sites;
 pub mod trace;
 
+pub use calendar::{CalendarScheduler, EventQueue, HeapScheduler, Scheduler, SchedulerKind, Timed};
 pub use delay::DelayModel;
 pub use metrics::{CsRecord, Metrics};
 pub use sim::{SimConfig, Simulator};

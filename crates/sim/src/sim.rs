@@ -1,15 +1,14 @@
 //! The discrete-event simulation engine.
 
+use crate::calendar::{EventQueue, Scheduler, SchedulerKind, Timed};
 use crate::delay::DelayModel;
 use crate::metrics::{CsRecord, Metrics};
+use crate::sites::SiteStates;
 use crate::trace::{Trace, TraceEvent};
-use qmx_core::{
-    Effects, FaultVerdict, LinkFaults, LossModel, MsgMeta, Outage, Protocol, SiteId, SiteSet,
-};
+use qmx_core::{Effects, FaultVerdict, LinkFaults, LossModel, MsgMeta, Outage, Protocol, SiteId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -33,6 +32,10 @@ pub struct SimConfig {
     pub loss: LossModel,
     /// Scheduled transient one-directional link outages.
     pub outages: Vec<Outage>,
+    /// Which event-scheduler implementation orders the future-event
+    /// set. Both produce byte-identical executions (CI enforces it);
+    /// the calendar queue is the fast default, the heap the reference.
+    pub scheduler: SchedulerKind,
     /// RNG seed; runs are fully deterministic given the same seed.
     pub seed: u64,
 }
@@ -46,6 +49,9 @@ impl Default for SimConfig {
             oracle_notices: true,
             loss: LossModel::None,
             outages: Vec::new(),
+            // From `QMX_SCHEDULER` when set (the CI differential gate),
+            // otherwise the calendar queue.
+            scheduler: SchedulerKind::default(),
             seed: 0xC0FFEE,
         }
     }
@@ -87,6 +93,17 @@ impl<M> Ord for Event<M> {
     }
 }
 
+// The scheduling key for the calendar queue; must (and does) agree with
+// `Ord` above — see the `Timed` contract.
+impl<M> Timed for Event<M> {
+    fn time(&self) -> u64 {
+        self.time
+    }
+    fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
 /// A deterministic discrete-event simulation of `N` protocol instances.
 ///
 /// See the [crate documentation](crate) for an overview and example.
@@ -96,12 +113,14 @@ pub struct Simulator<P: Protocol> {
     rng: StdRng,
     now: u64,
     seq: u64,
-    events: BinaryHeap<Reverse<Event<P::Msg>>>,
+    events: EventQueue<Event<P::Msg>>,
     /// Latest scheduled delivery time per directed link, as a flat
     /// `n * n` matrix indexed `from * n + to` (FIFO enforcement without a
     /// map lookup per send).
     link_clock: Vec<u64>,
-    crashed: SiteSet,
+    /// Hot per-site driver scalars (timer slot, CS timestamps, crash
+    /// bits), struct-of-arrays — see [`crate::sites`].
+    states: SiteStates,
     pristine: BTreeMap<SiteId, P>,
     /// Per-site boot counter: bumped on every recovery and stamped into
     /// the fresh instance via `set_incarnation`, so transports fence
@@ -110,9 +129,6 @@ pub struct Simulator<P: Protocol> {
     boots: BTreeMap<SiteId, u64>,
     partition: Option<Vec<u32>>,
     faults: LinkFaults,
-    armed_tick: Vec<Option<u64>>,
-    requested_at: Vec<Option<u64>>,
-    entered_at: Vec<Option<u64>>,
     in_cs: Option<SiteId>,
     metrics: Metrics,
     trace: Option<Trace>,
@@ -135,6 +151,7 @@ impl<P: Protocol> Simulator<P> {
         }
         let n = sites.len();
         let faults = LinkFaults::new(cfg.loss.clone(), cfg.outages.clone());
+        let scheduler = cfg.scheduler;
         Simulator {
             sites,
             rng: StdRng::seed_from_u64(cfg.seed),
@@ -144,16 +161,13 @@ impl<P: Protocol> Simulator<P> {
             // Steady state keeps roughly one in-flight message per quorum
             // member per contender plus timers; 16n absorbs bursts without
             // ever reallocating in the experiments under study.
-            events: BinaryHeap::with_capacity(64 + 16 * n),
+            events: EventQueue::new(scheduler, 64 + 16 * n),
             link_clock: vec![0; n * n],
-            crashed: SiteSet::new(),
+            states: SiteStates::new(n),
             pristine: BTreeMap::new(),
             boots: BTreeMap::new(),
             partition: None,
             faults,
-            armed_tick: vec![None; n],
-            requested_at: vec![None; n],
-            entered_at: vec![None; n],
             in_cs: None,
             metrics: Metrics::new(),
             trace: None,
@@ -184,7 +198,7 @@ impl<P: Protocol> Simulator<P> {
 
     /// Whether `site` has crashed.
     pub fn is_crashed(&self, site: SiteId) -> bool {
-        self.crashed.contains(site)
+        self.states.is_crashed(site)
     }
 
     /// Immutable access to a protocol instance (assertions in tests).
@@ -210,11 +224,11 @@ impl<P: Protocol> Simulator<P> {
 
     fn push(&mut self, time: u64, kind: EventKind<P::Msg>) {
         self.seq += 1;
-        self.events.push(Reverse(Event {
+        self.events.push(Event {
             time,
             seq: self.seq,
             kind,
-        }));
+        });
     }
 
     /// Schedules an application CS request at virtual time `at`.
@@ -225,6 +239,28 @@ impl<P: Protocol> Simulator<P> {
     /// executes its CS requests sequentially one by one" (§2).
     pub fn schedule_request(&mut self, site: SiteId, at: u64) {
         self.push(at, EventKind::Request { site });
+    }
+
+    /// Schedules a whole batch of CS requests (pre-generated arrivals)
+    /// in one bulk load: a single heapify / bucket-fill with one resize
+    /// check instead of per-event pushes. Sequence numbers are assigned
+    /// in slice order, so the execution is byte-identical to calling
+    /// [`Simulator::schedule_request`] once per pair.
+    pub fn schedule_requests(&mut self, arrivals: &[(SiteId, u64)]) {
+        let mut seq = self.seq;
+        let events: Vec<Event<P::Msg>> = arrivals
+            .iter()
+            .map(|&(site, at)| {
+                seq += 1;
+                Event {
+                    time: at,
+                    seq,
+                    kind: EventKind::Request { site },
+                }
+            })
+            .collect();
+        self.seq = seq;
+        self.events.bulk_load(events);
     }
 
     /// Schedules a crash of `site` at virtual time `at`. When
@@ -282,13 +318,12 @@ impl<P: Protocol> Simulator<P> {
             return;
         };
         let due = due.max(self.now);
-        let armed = &mut self.armed_tick[site.index()];
         // Skip only if an equally-early wake-up is already scheduled; stale
         // later ticks still fire and are harmless (spurious `on_timer`).
-        if armed.is_some_and(|cur| cur <= due) {
+        if self.states.armed_tick(site).is_some_and(|cur| cur <= due) {
             return;
         }
-        *armed = Some(due);
+        self.states.arm_tick(site, due);
         self.push(due, EventKind::Tick { site });
     }
 
@@ -297,7 +332,7 @@ impl<P: Protocol> Simulator<P> {
         let entered = fx.entered_cs();
         for (to, msg) in fx.drain_sends() {
             debug_assert_ne!(to, site, "self-sends must be handled internally");
-            if self.crashed.contains(to) || self.severed(site, to) {
+            if self.states.is_crashed(to) || self.severed(site, to) {
                 self.metrics.count_dropped();
                 continue;
             }
@@ -363,7 +398,7 @@ impl<P: Protocol> Simulator<P> {
                 self.in_cs
             );
             self.in_cs = Some(site);
-            self.entered_at[site.index()] = Some(self.now);
+            self.states.set_entered_at(site, self.now);
             self.record(TraceEvent::Enter { t: self.now, site });
             let hold = self.cfg.hold.sample(&mut self.rng);
             self.push(self.now + hold, EventKind::Exit { site });
@@ -397,7 +432,7 @@ impl<P: Protocol> Simulator<P> {
         self.now = ev.time;
         match ev.kind {
             EventKind::Deliver { from, to, msg } => {
-                if self.crashed.contains(to) || self.severed(from, to) {
+                if self.states.is_crashed(to) || self.severed(from, to) {
                     self.metrics.count_dropped();
                     return;
                 }
@@ -410,41 +445,43 @@ impl<P: Protocol> Simulator<P> {
                 self.dispatch(to, |s, fx| s.handle(from, msg, fx));
             }
             EventKind::Request { site } => {
-                if self.crashed.contains(site) {
+                if self.states.is_crashed(site) {
                     return;
                 }
                 let s = &self.sites[site.index()];
                 if s.in_cs() || s.wants_cs() {
                     return; // busy: drop the arrival
                 }
-                self.requested_at[site.index()] = Some(self.now);
+                self.states.set_requested_at(site, self.now);
                 self.dispatch(site, |s, fx| s.request_cs(fx));
             }
             EventKind::Exit { site } => {
-                if self.crashed.contains(site) {
+                if self.states.is_crashed(site) {
                     return;
                 }
-                if self.entered_at[site.index()].is_none() {
+                let Some(entered_at) = self.states.entered_at(site) else {
                     // Stale exit from a pre-crash incarnation: the site
                     // crashed inside its CS and has since restarted fresh.
                     return;
-                }
+                };
                 debug_assert_eq!(self.in_cs, Some(site));
                 self.in_cs = None;
                 self.record(TraceEvent::Exit { t: self.now, site });
                 let rec = CsRecord {
                     site,
-                    requested_at: self.requested_at[site.index()].expect("exit implies a request"),
-                    entered_at: self.entered_at[site.index()].expect("exit implies entry"),
+                    requested_at: self
+                        .states
+                        .requested_at(site)
+                        .expect("exit implies a request"),
+                    entered_at,
                     exited_at: self.now,
                 };
                 self.metrics.record_cs(rec);
-                self.requested_at[site.index()] = None;
-                self.entered_at[site.index()] = None;
+                self.states.clear_cs_times(site);
                 self.dispatch(site, |s, fx| s.release_cs(fx));
             }
             EventKind::Crash { site } => {
-                if !self.crashed.insert(site) {
+                if !self.states.set_crashed(site) {
                     return;
                 }
                 self.record(TraceEvent::Crash { t: self.now, site });
@@ -453,12 +490,11 @@ impl<P: Protocol> Simulator<P> {
                     // (the §6 recovery machinery must unblock the others).
                     self.in_cs = None;
                 }
-                self.requested_at[site.index()] = None;
-                self.entered_at[site.index()] = None;
+                self.states.clear_cs_times(site);
                 if self.cfg.oracle_notices {
                     for i in 0..self.sites.len() {
                         let target = SiteId(i as u32);
-                        if target != site && !self.crashed.contains(target) {
+                        if target != site && !self.states.is_crashed(target) {
                             self.push(
                                 self.now + self.cfg.detect_delay,
                                 EventKind::Notice {
@@ -471,7 +507,7 @@ impl<P: Protocol> Simulator<P> {
                 }
             }
             EventKind::Recover { site } => {
-                if !self.crashed.remove(site) {
+                if !self.states.set_recovered(site) {
                     return; // never crashed (or already recovered): no-op
                 }
                 let Some(fresh) = self.pristine.remove(&site) else {
@@ -489,7 +525,7 @@ impl<P: Protocol> Simulator<P> {
                 });
             }
             EventKind::Notice { site, failed } => {
-                if self.crashed.contains(site) {
+                if self.states.is_crashed(site) {
                     return;
                 }
                 self.record(TraceEvent::Notice {
@@ -502,8 +538,8 @@ impl<P: Protocol> Simulator<P> {
             EventKind::Tick { site } => {
                 // Clear the arming slot first: `on_timer` may leave work
                 // pending and `apply_effects` re-arms from `next_timer()`.
-                self.armed_tick[site.index()] = None;
-                if self.crashed.contains(site) {
+                self.states.clear_tick(site);
+                if self.states.is_crashed(site) {
                     return;
                 }
                 let now = self.now;
@@ -525,12 +561,12 @@ impl<P: Protocol> Simulator<P> {
                 // Each side suspects the other side dead after detection.
                 for i in 0..self.sites.len() {
                     let a = SiteId(i as u32);
-                    if self.crashed.contains(a) {
+                    if self.states.is_crashed(a) {
                         continue;
                     }
                     for j in 0..self.sites.len() {
                         let b = SiteId(j as u32);
-                        if a != b && !self.crashed.contains(b) && self.severed(a, b) {
+                        if a != b && !self.states.is_crashed(b) && self.severed(a, b) {
                             self.push(
                                 self.now + self.cfg.detect_delay,
                                 EventKind::Notice { site: a, failed: b },
@@ -552,7 +588,7 @@ impl<P: Protocol> Simulator<P> {
     pub fn run_to_quiescence(&mut self, horizon: u64) -> usize {
         self.ensure_started();
         let mut processed = 0;
-        while let Some(Reverse(ev)) = self.events.pop() {
+        while let Some(ev) = self.events.pop() {
             if ev.time > horizon {
                 // Past the horizon: stop (event is dropped; simulations
                 // measure within the horizon only).
@@ -1091,6 +1127,79 @@ mod tests {
         sim.run_to_quiescence(50_000);
         assert_eq!(sim.metrics().completed_cs(), 1);
         assert_eq!(sim.metrics().detector().rejoins_sent, 0);
+    }
+
+    /// In-process differential gate: the same fault-heavy scenario must
+    /// produce the identical execution under both schedulers — metrics,
+    /// trace, everything. (CI additionally runs the whole golden-counter
+    /// suite under `QMX_SCHEDULER=heap` and `=calendar` and diffs.)
+    #[test]
+    fn heap_and_calendar_schedulers_replay_identically() {
+        let run = |scheduler: SchedulerKind| {
+            let cfg = SimConfig {
+                delay: DelayModel::Exponential { mean: 700 },
+                loss: LossModel::Iid {
+                    drop: 0.1,
+                    dup: 0.05,
+                },
+                oracle_notices: false,
+                seed: 31,
+                scheduler,
+                ..SimConfig::default()
+            };
+            let mut sim = detector_sim(4, cfg);
+            sim.enable_trace(100_000);
+            for i in 0..4 {
+                for r in 0..6u64 {
+                    sim.schedule_request(SiteId(i), r * 9_000 + 37 * i as u64);
+                }
+            }
+            sim.schedule_crash(SiteId(3), 11_000);
+            sim.schedule_recovery(SiteId(3), 40_000);
+            let events = sim.run_to_quiescence(400_000);
+            (
+                events,
+                format!("{:?}", sim.metrics()),
+                sim.trace().expect("enabled").events().to_vec(),
+            )
+        };
+        let heap = run(SchedulerKind::Heap);
+        let calendar = run(SchedulerKind::Calendar);
+        assert_eq!(heap.0, calendar.0, "event counts diverged");
+        assert_eq!(heap.1, calendar.1, "metrics diverged");
+        assert_eq!(heap.2, calendar.2, "traces diverged");
+    }
+
+    /// Bulk-loaded arrivals assign sequence numbers in slice order, so
+    /// the run is byte-identical to per-event scheduling.
+    #[test]
+    fn bulk_loaded_arrivals_match_individual_pushes() {
+        let arrivals: Vec<(SiteId, u64)> = (0..5u32)
+            .flat_map(|i| (0..8u64).map(move |r| (SiteId(i), r * 1_100 + 13 * i as u64)))
+            .collect();
+        for scheduler in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+            let cfg = || SimConfig {
+                delay: DelayModel::Exponential { mean: 400 },
+                seed: 5,
+                scheduler,
+                ..SimConfig::default()
+            };
+            let mut one_by_one = full_quorum_sim(5, cfg());
+            for &(s, t) in &arrivals {
+                one_by_one.schedule_request(s, t);
+            }
+            let mut bulk = full_quorum_sim(5, cfg());
+            bulk.schedule_requests(&arrivals);
+            assert_eq!(
+                one_by_one.run_to_quiescence(10_000_000),
+                bulk.run_to_quiescence(10_000_000),
+            );
+            assert_eq!(
+                format!("{:?}", one_by_one.metrics()),
+                format!("{:?}", bulk.metrics()),
+                "{scheduler:?}"
+            );
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use qmx_core::{
 use qmx_quorum::majority::{majority_system, MajorityQuorumSource};
 use qmx_quorum::tree::TreeQuorumSource;
 use qmx_quorum::{crumbling, fpp, grid, gridset, hqc, rst, tree, wheel, QuorumSystem};
-use qmx_sim::{DelayModel, SimConfig, Simulator};
+use qmx_sim::{DelayModel, SchedulerKind, SimConfig, Simulator};
 
 /// Which mutual exclusion algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +185,10 @@ pub struct Scenario {
     pub recoveries: Vec<(SiteId, u64)>,
     /// Oracle failure-detection latency. Ignored when `detector` is set.
     pub detect_delay: u64,
+    /// Event-scheduler implementation for the simulator (defaults from
+    /// `QMX_SCHEDULER`, falling back to the calendar queue). Reports are
+    /// byte-identical for either kind; CI's differential gate enforces it.
+    pub scheduler: SchedulerKind,
     /// RNG seed (workload and simulator derive from it).
     pub seed: u64,
 }
@@ -208,6 +212,7 @@ impl Default for Scenario {
             detector: None,
             recoveries: Vec::new(),
             detect_delay: 2000,
+            scheduler: SchedulerKind::default(),
             seed: 0xD15C0,
         }
     }
@@ -428,11 +433,12 @@ impl Scenario {
                 seed: self.seed,
                 loss: self.loss.clone(),
                 outages: self.outages.clone(),
+                scheduler: self.scheduler,
             },
         );
-        for &(s, t) in arrivals {
-            sim.schedule_request(s, t);
-        }
+        // Arrivals are pre-generated: load them in one pass (heapify /
+        // bucket-fill) instead of one push per event.
+        sim.schedule_requests(arrivals);
         for &(s, t) in &self.crashes {
             sim.schedule_crash(s, t);
         }

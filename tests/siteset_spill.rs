@@ -1,0 +1,112 @@
+//! `SiteSet` spill-path coverage at `N > 256`.
+//!
+//! `SiteSet` stores site ids inline up to 256 and spills to a heap vector
+//! of words beyond that. Every unit test of the protocol runs far below
+//! the threshold, so the spill arm of each operation was exercised only
+//! by `SiteSet`'s own tests — never under a full protocol. These runs put
+//! 300 sites on wheel quorums (hub site 0, quorum size 2 — the cheapest
+//! construction at this scale) so that grant/reclaim bookkeeping
+//! (`req_set_bits`, `replied`), failure tracking (`known_failed`,
+//! `confirmed_failed`), rejoin handshakes (`rejoin_awaiting`), and the
+//! simulator's own crash bitset all carry ids above 256.
+
+use qmx::core::{
+    Config, DelayOptimal, Detector, DetectorConfig, Reliable, SiteId, TransportConfig,
+};
+use qmx::quorum::wheel::wheel_system;
+use qmx::sim::{SimConfig, Simulator};
+
+const N: usize = 300;
+const T: u64 = 1000;
+
+fn wheel_sites(n: usize) -> Vec<DelayOptimal> {
+    let sys = wheel_system(n);
+    (0..n)
+        .map(|i| {
+            let me = SiteId(i as u32);
+            DelayOptimal::new(me, sys.quorum_of(me).to_vec(), Config::default())
+        })
+        .collect()
+}
+
+#[test]
+fn contended_grants_above_the_inline_boundary() {
+    // Forty high-id spokes contend for the hub's single permission at
+    // once: the hub's arbitration (inquire/fail/yield/transfer included)
+    // and each requester's own request/reply sets run entirely on ids
+    // that straddle the 256-word boundary.
+    let mut sim = Simulator::new(wheel_sites(N), SimConfig::default());
+    let sites: Vec<u32> = (260..300).collect();
+    for (k, &s) in sites.iter().enumerate() {
+        sim.schedule_request(SiteId(s), k as u64 * 17);
+    }
+    sim.run_to_quiescence(10_000 * T);
+    // Everyone got the CS exactly once; the simulator's monitor panics on
+    // any mutual exclusion violation along the way.
+    assert_eq!(sim.metrics().completed_cs(), sites.len());
+}
+
+#[test]
+fn crash_confirm_and_rejoin_above_the_inline_boundary() {
+    // Full detector stack at N = 300. The hub heartbeat-monitors every
+    // spoke and each spoke monitors the hub — suspicion of a high-id
+    // spoke therefore lands in the hub's `known_failed`/`confirmed_failed`
+    // sets past the spill boundary, and the recovered spoke's rejoin
+    // handshake walks `rejoin_awaiting` the same way.
+    let sys = wheel_system(N);
+    let spokes: Vec<SiteId> = (1..N).map(|i| SiteId(i as u32)).collect();
+    let mut sim: Simulator<Detector<Reliable<DelayOptimal>>> = Simulator::new(
+        (0..N)
+            .map(|i| {
+                let me = SiteId(i as u32);
+                let inner = Reliable::new(
+                    DelayOptimal::new(me, sys.quorum_of(me).to_vec(), Config::default()),
+                    TransportConfig::default(),
+                );
+                let peers = if i == 0 {
+                    spokes.clone()
+                } else {
+                    vec![SiteId(0)]
+                };
+                Detector::new(inner, peers, DetectorConfig::default())
+            })
+            .collect(),
+        SimConfig {
+            oracle_notices: false,
+            ..SimConfig::default()
+        },
+    );
+
+    // A first wave of grants from both sides of the boundary...
+    for (k, s) in [299u32, 280, 257, 5, 0].into_iter().enumerate() {
+        sim.schedule_request(SiteId(s), T + k as u64 * 500);
+    }
+    // ...then site 299 crashes, stays silent long enough for the hub to
+    // suspect (hb_timeout 8T) and confirm the failure (fail_confirm 32T),
+    // recovers, and completes another round after the rejoin handshake.
+    sim.schedule_crash(SiteId(299), 40 * T);
+    sim.schedule_recovery(SiteId(299), 100 * T);
+    for (k, s) in [299u32, 280, 0].into_iter().enumerate() {
+        sim.schedule_request(SiteId(s), 130 * T + k as u64 * 500);
+    }
+    sim.run_to_quiescence(200 * T);
+
+    assert!(!sim.is_crashed(SiteId(299)));
+    assert_eq!(sim.metrics().completed_cs(), 8, "both waves completed");
+    let d = sim.metrics().detector();
+    assert!(d.suspicions >= 1, "hub never suspected site 299: {d:?}");
+    assert_eq!(d.false_suspicions, 0, "a real crash: {d:?}");
+    assert!(d.failures_confirmed >= 1, "confirm lease never ran: {d:?}");
+    assert_eq!(d.rejoins_sent, 1, "one recovery announcement: {d:?}");
+    assert!(d.rejoins_observed >= 1, "the hub saw the rejoin: {d:?}");
+    // The recovered spoke's second round really happened after recovery.
+    let second = sim
+        .metrics()
+        .records()
+        .iter()
+        .filter(|r| r.site == SiteId(299))
+        .map(|r| r.entered_at)
+        .max()
+        .expect("site 299 completed");
+    assert!(second > 100 * T, "entered at {second} before recovering");
+}

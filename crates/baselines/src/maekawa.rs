@@ -101,6 +101,11 @@ pub struct Maekawa {
     lock: Option<Timestamp>,
     queue: ReqQueue,
     inquired: bool,
+    /// Whether the `inquire` / `fail` / `yield` triad is active. Maekawa's
+    /// algorithm *without* it (arbiters just queue behind the lock) admits
+    /// the classic cyclic deadlock; [`Maekawa::without_yield`] builds that
+    /// variant as a known-bad reference for the model checker.
+    deadlock_free: bool,
     // Self-addressed messages (the site arbitrates its own membership).
     local_q: VecDeque<(SiteId, MaekawaMsg)>,
 }
@@ -127,8 +132,26 @@ impl Maekawa {
             lock: None,
             queue: ReqQueue::new(),
             inquired: false,
+            deadlock_free: true,
             local_q: VecDeque::new(),
         }
+    }
+
+    /// Creates a site running Maekawa's algorithm **without** the
+    /// `inquire` / `fail` / `yield` deadlock-resolution triad: a locked
+    /// arbiter silently queues every later request. With overlapping
+    /// quorums two concurrent requesters can each capture one arbiter and
+    /// wait forever for the other — the classic deadlock the triad exists
+    /// to break. Kept as a known-bad baseline so the model checker's
+    /// `Violation::Deadlock` detection has a pinned positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `req_set` is empty or has duplicates.
+    pub fn without_yield(site: SiteId, req_set: Vec<SiteId>) -> Self {
+        let mut s = Maekawa::new(site, req_set);
+        s.deadlock_free = false;
+        s
     }
 
     /// The quorum this site locks.
@@ -182,6 +205,11 @@ impl Maekawa {
                 self.route(fx, ts.site, MaekawaBody::Reply { req: ts });
             }
             Some(lock) => {
+                if !self.deadlock_free {
+                    // No triad: queue silently and let the requester hang.
+                    self.queue.insert(ts);
+                    return;
+                }
                 let old_head = self.queue.head();
                 self.queue.insert(ts);
                 if ts.beats(&lock) && self.queue.head() == Some(ts) {

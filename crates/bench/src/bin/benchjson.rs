@@ -1,7 +1,8 @@
 //! Writes the machine-readable benchmark trajectory `BENCH_qmx.json`:
 //! simulator events/sec (per event-scheduler implementation), protocol
-//! ns/step, and wall-clock seconds per experiment, so performance can be
-//! tracked across commits without parsing Criterion output.
+//! ns/step, model-checker state counts and DPOR reduction ratios, and
+//! wall-clock seconds per experiment, so performance can be tracked
+//! across commits without parsing Criterion output.
 //!
 //! Usage: `benchjson [--tiny] [--out PATH] [--jobs J]`
 //!        `benchjson --check PATH [--jobs J]`
@@ -18,6 +19,8 @@
 //! or the file going stale after a protocol change (different steps).
 
 use qmx_bench::{experiments, micro};
+use qmx_check::{check_with, CheckOptions, CheckStats, FaultBudget, Workload};
+use qmx_core::{Config, DelayOptimal, SiteId};
 use qmx_sim::SchedulerKind;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -25,7 +28,7 @@ use std::time::Instant;
 /// Trajectory file format version. Bump when row names or the set of
 /// deterministic fields changes, so `--check` rejects stale files
 /// loudly instead of mis-diffing them.
-const SCHEMA: &str = "qmx-bench-trajectory/v2";
+const SCHEMA: &str = "qmx-bench-trajectory/v3";
 
 /// Both scheduler implementations, in the order rows are emitted.
 const SCHEDULERS: [SchedulerKind; 2] = [SchedulerKind::Heap, SchedulerKind::Calendar];
@@ -55,6 +58,86 @@ fn iteration_params(tiny: bool) -> (usize, usize, u64) {
     } else {
         (10, 2_000, 20)
     }
+}
+
+/// Model-checker scopes tracked in the trajectory: exhaustive DPOR runs
+/// of the paper's protocol whose state counts are deterministic (gated
+/// by `--check`) and whose reduction ratio is the sleep-set win the
+/// checker README advertises. Runs are sequential (`jobs = 1` default)
+/// so transitions are deterministic too.
+type CheckerScope = (&'static str, fn() -> CheckStats);
+
+fn checker_scopes(tiny: bool) -> Vec<CheckerScope> {
+    fn sites(quorums: Vec<Vec<SiteId>>) -> Vec<DelayOptimal> {
+        quorums
+            .into_iter()
+            .enumerate()
+            .map(|(i, q)| {
+                DelayOptimal::new(
+                    SiteId(i as u32),
+                    q,
+                    Config {
+                        forwarding_enabled: true,
+                    },
+                )
+            })
+            .collect()
+    }
+    fn full_q(n: u32) -> Vec<Vec<SiteId>> {
+        (0..n).map(|_| (0..n).map(SiteId).collect()).collect()
+    }
+    fn ring_q() -> Vec<Vec<SiteId>> {
+        vec![
+            vec![SiteId(0), SiteId(1)],
+            vec![SiteId(1), SiteId(2)],
+            vec![SiteId(2), SiteId(0)],
+        ]
+    }
+    fn opts(faults: FaultBudget) -> CheckOptions<DelayOptimal> {
+        let mut o = CheckOptions::new(200_000_000);
+        o.faults = faults;
+        if faults.is_active() {
+            o.stuck_exempt = Some(DelayOptimal::is_inaccessible);
+        }
+        o
+    }
+    fn run(quorums: Vec<Vec<SiteId>>, n: u32, rounds: u32, faults: FaultBudget) -> CheckStats {
+        check_with(
+            sites(quorums),
+            &Workload::uniform(n as usize, rounds),
+            &opts(faults),
+        )
+        .expect("trajectory scope verifies")
+    }
+    let mut scopes: Vec<CheckerScope> =
+        vec![("dpor/duo_2x2", || run(full_q(2), 2, 2, FaultBudget::none()))];
+    if !tiny {
+        scopes.push(("dpor/trio_3x1", || {
+            run(full_q(3), 3, 1, FaultBudget::none())
+        }));
+        scopes.push(("dpor/ring_crash", || {
+            run(ring_q(), 3, 1, FaultBudget::crash_recover(1, 0))
+        }));
+        scopes.push(("dpor/ring_crash_rejoin", || {
+            run(ring_q(), 3, 1, FaultBudget::crash_recover(1, 1))
+        }));
+        scopes.push(("dpor/duo_crash_recover", || {
+            run(full_q(2), 2, 1, FaultBudget::crash_recover(1, 1))
+        }));
+        scopes.push(("dpor/duo_false_suspicion", || {
+            run(
+                full_q(2),
+                2,
+                2,
+                FaultBudget {
+                    false_suspicions: 1,
+                    detector: true,
+                    ..FaultBudget::none()
+                },
+            )
+        }));
+    }
+    scopes
 }
 
 /// Mean wall-clock seconds of `f` over `iters` runs (after one warm-up).
@@ -160,6 +243,14 @@ fn expected_protocol_rows(tiny: bool) -> Vec<(String, u64)> {
     rows
 }
 
+/// Recomputes the deterministic checker rows `(name, states)` for a mode.
+fn expected_checker_rows(tiny: bool) -> Vec<(String, u64)> {
+    checker_scopes(tiny)
+        .into_iter()
+        .map(|(name, f)| (name.to_string(), f().states as u64))
+        .collect()
+}
+
 /// Diffs one named-counter section; appends human-readable failures.
 fn diff_rows(
     section: &str,
@@ -225,10 +316,12 @@ fn run_check(path: &str) -> ! {
         }
     };
 
-    // One row object per line by construction; a row either carries an
-    // `events` counter (engine) or a `steps` counter (protocol).
+    // One row object per line by construction; a row carries an `events`
+    // counter (engine), a `steps` counter (protocol), or a `states`
+    // counter (model checker).
     let mut actual_engine: Vec<(String, u64)> = Vec::new();
     let mut actual_proto: Vec<(String, u64)> = Vec::new();
+    let mut actual_check: Vec<(String, u64)> = Vec::new();
     for line in text.lines() {
         let Some(name) = json_str_field(line, "name") else {
             continue;
@@ -237,6 +330,8 @@ fn run_check(path: &str) -> ! {
             actual_engine.push((name, events));
         } else if let Some(steps) = json_u64_field(line, "steps") {
             actual_proto.push((name, steps));
+        } else if let Some(states) = json_u64_field(line, "states") {
+            actual_check.push((name, states));
         }
     }
 
@@ -255,13 +350,22 @@ fn run_check(path: &str) -> ! {
             &actual_proto,
             &mut failures,
         );
+        diff_rows(
+            "checker",
+            "states",
+            &expected_checker_rows(tiny),
+            &actual_check,
+            &mut failures,
+        );
     }
 
     if failures.is_empty() {
         println!(
-            "benchjson --check: {path} OK ({} engine rows, {} protocol rows, mode {mode})",
+            "benchjson --check: {path} OK ({} engine rows, {} protocol rows, \
+             {} checker rows, mode {mode})",
             actual_engine.len(),
-            actual_proto.len()
+            actual_proto.len(),
+            actual_check.len()
         );
         std::process::exit(0);
     }
@@ -355,6 +459,31 @@ fn main() {
         rows.push(format!(
             "    {{\"name\": \"uncontended_round/maekawa_n{n}\", \
              \"steps\": {steps}, \"ns_per_step\": {ns_per_step:.1}}}"
+        ));
+    }
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ],\n");
+
+    // Model checker: exhaustive DPOR verification scopes. `states` is
+    // the exact (deterministic) reachable-state count; the reduction
+    // ratio is naive-enabled-transitions over explored transitions —
+    // how much interleaving the sleep sets proved redundant.
+    json.push_str("  \"checker\": [\n");
+    let mut rows: Vec<String> = Vec::new();
+    for (name, f) in checker_scopes(args.tiny) {
+        let start = Instant::now();
+        let stats = f();
+        let secs = start.elapsed().as_secs_f64();
+        let ratio = stats.reduction_ratio();
+        eprintln!(
+            "checker  {name}: {} states, {} transitions, {ratio:.2}x reduction, {secs:.3} s",
+            stats.states, stats.transitions
+        );
+        rows.push(format!(
+            "    {{\"name\": \"{name}\", \"states\": {}, \"transitions\": {}, \
+             \"naive_transitions\": {}, \"reduction_ratio\": {ratio:.3}, \
+             \"seconds\": {secs:.3}}}",
+            stats.states, stats.transitions, stats.naive_transitions
         ));
     }
     json.push_str(&rows.join(",\n"));

@@ -1,0 +1,346 @@
+//! The stateful DFS explorer with sleep-set partial-order reduction and
+//! parallel subtree fan-out.
+//!
+//! # Algorithm
+//!
+//! This is the sleep-set component of dynamic partial-order reduction
+//! (Flanagan & Godefroid, POPL 2005), in the stateful form that combines
+//! soundly with state caching (Godefroid's selective-search formulation):
+//!
+//! * Exploring state `s` under sleep set `Z`, the explorer fires
+//!   `enabled(s) \ Z` in a fixed order. The child of action `aᵢ` inherits
+//!   sleep `{ b ∈ Z ∪ {a₀…aᵢ₋₁} : independent(b, aᵢ) }` — orderings that
+//!   run a sibling (or an already-slept action) *after* an action it
+//!   commutes with are permutations of orderings explored elsewhere.
+//! * The visited map stores, per state fingerprint, the sleep set the
+//!   state was (cumulatively) explored under. Revisiting with sleep `Z'`:
+//!   if `stored ⊆ Z'` the state is fully covered and the walk prunes;
+//!   otherwise only `stored \ Z'` — transitions slept on every earlier
+//!   visit but live now — are re-expanded, and the stored set shrinks to
+//!   `stored ∩ Z'`. The intersection strictly shrinks on every re-expansion,
+//!   so termination is preserved.
+//!
+//! Sleep sets never prune *states* — every reachable state is still
+//! visited, which is exactly why safety checking (a state predicate) and
+//! the existing state-count assertions survive the rebuild unchanged —
+//! they prune redundant *transitions* between them. The reduction ratio in
+//! [`CheckStats`] is the measured factor: Σ|enabled| over distinct states
+//! (what the naive explorer executes) over transitions actually taken.
+//!
+//! # Parallel fan-out
+//!
+//! With `jobs > 1` the root region up to [`FRONTIER_DEPTH`] is explored
+//! sequentially; every frame that would be pushed at that depth is deferred
+//! into a frontier work list instead, then the items fan out over
+//! [`qmx_workload::parallel::par_map`] with one independent explorer (own
+//! visited map) per item. Workers share nothing, so per-item results are
+//! deterministic and independent of the worker count; cross-subtree
+//! deduplication is lost, so `states`/`transitions` become upper bounds
+//! (the sequential `jobs = 1` mode keeps exact dedup'd counts). The first
+//! violation in frontier order wins, so counterexamples are deterministic
+//! too.
+
+use crate::state::{independent, Ctx, State};
+use crate::{Action, CheckStats, Violation};
+use qmx_core::{Effects, Protocol, SiteId};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Depth at which subtrees are handed to worker explorers when `jobs > 1`.
+const FRONTIER_DEPTH: usize = 3;
+
+pub(crate) struct FrontierItem<P: Protocol> {
+    state: State<P>,
+    sleep: Vec<Action>,
+    prefix: Vec<Action>,
+}
+
+struct Frame<P: Protocol> {
+    state: State<P>,
+    /// Unexplored enabled actions; popped from the back.
+    pending: Vec<Action>,
+    /// Actions already fired from this state (here or on an earlier visit).
+    done: Vec<Action>,
+    /// Sleep set this state is being explored under.
+    sleep: Vec<Action>,
+}
+
+pub(crate) struct Explorer<'c, P: Protocol> {
+    ctx: &'c Ctx<P>,
+    visited: HashMap<u128, Box<[Action]>>,
+    pub(crate) stats: CheckStats,
+    fx: Effects<P::Msg>,
+    sent: Vec<(SiteId, SiteId)>,
+    /// Deferred subtrees (only collected when `frontier_depth` is set).
+    frontier_depth: Option<usize>,
+    pub(crate) frontier: Vec<FrontierItem<P>>,
+}
+
+impl<'c, P> Explorer<'c, P>
+where
+    P: Protocol + Clone + fmt::Debug,
+{
+    pub(crate) fn new(ctx: &'c Ctx<P>, collect_frontier: bool) -> Self {
+        Explorer {
+            ctx,
+            visited: HashMap::new(),
+            stats: CheckStats::default(),
+            fx: Effects::new(),
+            sent: Vec::new(),
+            frontier_depth: collect_frontier.then_some(FRONTIER_DEPTH),
+            frontier: Vec::new(),
+        }
+    }
+
+    fn child_sleep(frame: &Frame<P>, action: Action) -> Vec<Action> {
+        let mut sleep = Vec::new();
+        for &b in frame.sleep.iter().chain(frame.done.iter()) {
+            if independent(b, action) && !sleep.contains(&b) {
+                sleep.push(b);
+            }
+        }
+        sleep
+    }
+
+    /// Checks a terminal (no enabled action) state: every live, non-exempt
+    /// site must be served.
+    fn terminal(&mut self, s: &State<P>, trace: Vec<Action>) -> Result<(), Violation> {
+        let stuck = s.stuck_sites(self.ctx);
+        if !stuck.is_empty() || s.undone(self.ctx) {
+            return Err(Violation::Deadlock { trace, stuck });
+        }
+        self.stats.terminals += 1;
+        Ok(())
+    }
+
+    /// Explores exhaustively from `root` under `root_sleep`. `prefix` is
+    /// the action path that reached `root` (prepended to counterexample
+    /// traces). `count_root` is false for frontier items whose root was
+    /// already counted by the sequential phase.
+    pub(crate) fn run(
+        &mut self,
+        root: State<P>,
+        root_sleep: Vec<Action>,
+        prefix: &[Action],
+        count_root: bool,
+    ) -> Result<(), Violation> {
+        let use_sleep = self.ctx.opts.sleep_sets;
+        let mut path: Vec<Action> = Vec::new();
+        let full_trace = |path: &[Action]| {
+            let mut t = prefix.to_vec();
+            t.extend_from_slice(path);
+            t
+        };
+
+        let occ = root.in_cs_sites();
+        if occ.len() > 1 {
+            return Err(Violation::MutualExclusion {
+                trace: full_trace(&path),
+                sites: (occ[0], occ[1]),
+            });
+        }
+        let fp = root.fingerprint(self.ctx);
+        self.visited
+            .insert(fp, root_sleep.clone().into_boxed_slice());
+        if count_root {
+            self.stats.states += 1;
+        }
+        let enabled = root.enabled(self.ctx);
+        self.stats.naive_transitions += enabled.len() as u64;
+        if enabled.is_empty() {
+            return self.terminal(&root, full_trace(&path));
+        }
+        let pending: Vec<Action> = if use_sleep {
+            enabled
+                .iter()
+                .copied()
+                .filter(|a| !root_sleep.contains(a))
+                .collect()
+        } else {
+            enabled
+        };
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let mut stack: Vec<Frame<P>> = vec![Frame {
+            state: root,
+            pending,
+            done: Vec::new(),
+            sleep: root_sleep,
+        }];
+
+        while let Some(frame) = stack.last_mut() {
+            let Some(action) = frame.pending.pop() else {
+                stack.pop();
+                path.pop();
+                continue;
+            };
+            let child_sleep = if use_sleep {
+                Self::child_sleep(frame, action)
+            } else {
+                Vec::new()
+            };
+            let mut next = frame.state.clone();
+            next.apply(action, self.ctx, &mut self.fx, &mut self.sent);
+            self.sent.clear();
+            frame.done.push(action);
+            path.push(action);
+            self.stats.transitions += 1;
+            let depth = prefix.len() + path.len();
+            if depth > self.stats.max_depth {
+                self.stats.max_depth = depth;
+            }
+
+            let occ = next.in_cs_sites();
+            if occ.len() > 1 {
+                return Err(Violation::MutualExclusion {
+                    trace: full_trace(&path),
+                    sites: (occ[0], occ[1]),
+                });
+            }
+
+            let fp = next.fingerprint(self.ctx);
+            match self.visited.entry(fp) {
+                Entry::Vacant(e) => {
+                    e.insert(child_sleep.clone().into_boxed_slice());
+                    self.stats.states += 1;
+                    if self.stats.states > self.ctx.opts.max_states {
+                        return Err(Violation::StateLimit {
+                            limit: self.ctx.opts.max_states,
+                        });
+                    }
+                    if self.frontier_depth == Some(path.len()) {
+                        // Hand the whole subtree to a worker; it recounts
+                        // enabled/terminal bookkeeping from this root.
+                        self.frontier.push(FrontierItem {
+                            state: next,
+                            sleep: child_sleep,
+                            prefix: full_trace(&path),
+                        });
+                        path.pop();
+                        continue;
+                    }
+                    let enabled = next.enabled(self.ctx);
+                    self.stats.naive_transitions += enabled.len() as u64;
+                    if enabled.is_empty() {
+                        self.terminal(&next, full_trace(&path))?;
+                        path.pop();
+                        continue;
+                    }
+                    let pending: Vec<Action> = if use_sleep {
+                        enabled
+                            .iter()
+                            .copied()
+                            .filter(|a| !child_sleep.contains(a))
+                            .collect()
+                    } else {
+                        enabled
+                    };
+                    if pending.is_empty() {
+                        // Fully slept: the state is visited (and safety-
+                        // checked); its expansions are covered elsewhere.
+                        path.pop();
+                        continue;
+                    }
+                    stack.push(Frame {
+                        state: next,
+                        pending,
+                        done: Vec::new(),
+                        sleep: child_sleep,
+                    });
+                }
+                Entry::Occupied(mut e) => {
+                    if !use_sleep {
+                        path.pop();
+                        continue;
+                    }
+                    let stored = e.get();
+                    // Transitions slept on every earlier visit but awake
+                    // now must still be explored from this state.
+                    let need: Vec<Action> = stored
+                        .iter()
+                        .copied()
+                        .filter(|b| !child_sleep.contains(b))
+                        .collect();
+                    if need.is_empty() {
+                        path.pop();
+                        continue;
+                    }
+                    let new_stored: Box<[Action]> = stored
+                        .iter()
+                        .copied()
+                        .filter(|b| child_sleep.contains(b))
+                        .collect();
+                    let old_stored = e.insert(new_stored);
+                    if self.frontier_depth == Some(path.len()) {
+                        self.frontier.push(FrontierItem {
+                            state: next,
+                            sleep: child_sleep,
+                            prefix: full_trace(&path),
+                        });
+                        path.pop();
+                        continue;
+                    }
+                    // Everything enabled but outside the old stored sleep
+                    // was already expanded from this state on an earlier
+                    // visit: treat it as done so the re-expansion's child
+                    // sleeps account for that coverage.
+                    let enabled = next.enabled(self.ctx);
+                    let done: Vec<Action> = enabled
+                        .iter()
+                        .copied()
+                        .filter(|x| !old_stored.contains(x))
+                        .collect();
+                    stack.push(Frame {
+                        state: next,
+                        pending: need,
+                        done,
+                        sleep: child_sleep,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the checker: sequential when `jobs <= 1`, otherwise frontier
+/// fan-out over `par_map`.
+pub(crate) fn explore<P>(ctx: &Ctx<P>, root: State<P>, jobs: usize) -> Result<CheckStats, Violation>
+where
+    P: Protocol + Clone + fmt::Debug + Send + Sync,
+{
+    if jobs <= 1 {
+        let mut ex = Explorer::new(ctx, false);
+        ex.run(root, Vec::new(), &[], true)?;
+        return Ok(ex.stats);
+    }
+    let mut ex = Explorer::new(ctx, true);
+    ex.run(root, Vec::new(), &[], true)?;
+    let mut stats = ex.stats;
+    let frontier = std::mem::take(&mut ex.frontier);
+    drop(ex);
+    let results = qmx_workload::parallel::par_map(frontier, |item| {
+        let mut worker = Explorer::new(ctx, false);
+        let r = worker.run(item.state, item.sleep, &item.prefix, false);
+        (worker.stats, r)
+    });
+    let mut violation = None;
+    for (s, r) in results {
+        stats.states += s.states;
+        stats.transitions += s.transitions;
+        stats.terminals += s.terminals;
+        stats.naive_transitions += s.naive_transitions;
+        stats.max_depth = stats.max_depth.max(s.max_depth);
+        if violation.is_none() {
+            if let Err(v) = r {
+                violation = Some(v);
+            }
+        }
+    }
+    match violation {
+        Some(v) => Err(v),
+        None => Ok(stats),
+    }
+}

@@ -1,29 +1,45 @@
 //! # qmx-check
 //!
 //! A bounded exhaustive model checker for `qmx` mutual exclusion
-//! protocols.
+//! protocols, built around a stateful DFS with **dynamic partial-order
+//! reduction (sleep sets)** and a **fault alphabet** covering the paper's
+//! §6 machinery.
 //!
 //! Randomized simulation samples one delivery order per seed; the checker
 //! instead explores **every** reachable interleaving of the system model
 //! of §2 of the paper — asynchronous message passing with per-link FIFO
 //! channels — for a bounded workload (each site enters the CS a bounded
 //! number of times, with instantaneous-but-interleavable CS occupancy).
+//! With a [`FaultBudget`], the explored alphabet additionally includes
+//! crashes, recoveries (answer-gated rejoin and incarnation fencing
+//! included), message drops, timer firings, and failure-detector verdicts
+//! (suspect / restore / confirm), so §6 reclamation and rejoin paths are
+//! verified exhaustively within scope — see [`crate::state`]'s module docs
+//! for the precise fault semantics.
 //!
 //! At every state the checker verifies:
 //!
-//! * **Safety** — at most one site is in its critical section
+//! * **Safety** — at most one *live* site is in its critical section
 //!   ([`Violation::MutualExclusion`]);
 //! * **No wedging** — a state with no enabled action must be fully served:
-//!   no site still wants the CS and no work remains
-//!   ([`Violation::Deadlock`]);
+//!   no live site still wants the CS and no serviceable work remains
+//!   ([`Violation::Deadlock`]). Sites the §6 model *expects* to stall
+//!   (e.g. inaccessible ones) can be exempted via
+//!   [`CheckOptions::stuck_exempt`];
 //! * **Boundedness** — the state space stays under a configured cap
 //!   (a proxy for unbounded message storms, [`Violation::StateLimit`]).
 //!
-//! On failure it returns the exact action trace (request / deliver / exit
-//! sequence) reproducing the bug — invaluable for protocols like this one
-//! whose interesting bugs hide in cross-channel races that per-link FIFO
-//! cannot order. Checking is exhaustive for the configured scope, so a
-//! clean pass is a proof of Theorems 1 and 2 *within that scope*.
+//! On failure it returns the exact action trace reproducing the bug.
+//! Counterexamples replay deterministically: [`replay`] re-executes a
+//! trace against the checker semantics, and [`replay_in_sim`] scripts the
+//! same schedule into `qmx-sim` as a differential check that checker and
+//! simulator semantics agree on the violation.
+//!
+//! Sleep sets prune commuting transition orders but never prune states, so
+//! a clean pass still visits every reachable state within scope: it is a
+//! proof of Theorems 1 and 2 (and, within the fault budget, of the §6
+//! claims) *for that scope*. [`CheckStats::reduction_ratio`] reports the
+//! measured transition reduction versus naive exploration.
 //!
 //! ```
 //! use qmx_check::{check, Workload};
@@ -42,8 +58,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use qmx_core::{Effects, Protocol, SiteId};
-use std::collections::{BTreeMap, HashSet, VecDeque};
+mod explore;
+mod replay;
+mod state;
+
+pub use replay::{replay, replay_in_sim, sim_replayable, ReplayOutcome, SimReplayOutcome};
+
+use qmx_core::{Protocol, SiteId};
 use std::fmt;
 
 /// One transition of the explored system.
@@ -60,6 +81,51 @@ pub enum Action {
     },
     /// The site currently in the CS leaves it.
     Exit(SiteId),
+    /// The head message of the `from → to` channel is lost.
+    Drop {
+        /// Sending site.
+        from: SiteId,
+        /// Receiving site.
+        to: SiteId,
+    },
+    /// The site crashes silently (its channels drain into the void).
+    Crash(SiteId),
+    /// A crashed site restarts pristine with a bumped incarnation and
+    /// enters its answer-gated rejoin window.
+    Recover(SiteId),
+    /// `at`'s failure detector starts suspecting `of`.
+    Suspect {
+        /// The observing site.
+        at: SiteId,
+        /// The suspected site.
+        of: SiteId,
+    },
+    /// `at` withdraws a false suspicion of the still-alive `of`.
+    Restore {
+        /// The observing site.
+        at: SiteId,
+        /// The falsely suspected site.
+        of: SiteId,
+    },
+    /// `at`'s `fail_confirm` lease on `of` expires: the suspicion
+    /// escalates to a confirmed failure (§6 reclamation).
+    Confirm {
+        /// The observing site.
+        at: SiteId,
+        /// The confirmed-failed site.
+        of: SiteId,
+    },
+    /// `at` learns of `of`'s new incarnation and answers its rejoin.
+    RejoinNotice {
+        /// The observing site.
+        at: SiteId,
+        /// The rejoining site.
+        of: SiteId,
+    },
+    /// `site` closes its rejoin window (every peer answered).
+    RejoinDone(SiteId),
+    /// `site`'s next armed timer fires (transport/detector stacks).
+    Timer(SiteId),
 }
 
 impl fmt::Display for Action {
@@ -68,6 +134,15 @@ impl fmt::Display for Action {
             Action::Request(s) => write!(f, "request@{s}"),
             Action::Deliver { from, to } => write!(f, "deliver {from}->{to}"),
             Action::Exit(s) => write!(f, "exit@{s}"),
+            Action::Drop { from, to } => write!(f, "drop {from}->{to}"),
+            Action::Crash(s) => write!(f, "crash@{s}"),
+            Action::Recover(s) => write!(f, "recover@{s}"),
+            Action::Suspect { at, of } => write!(f, "suspect {at} of {of}"),
+            Action::Restore { at, of } => write!(f, "restore {at} of {of}"),
+            Action::Confirm { at, of } => write!(f, "confirm {at} of {of}"),
+            Action::RejoinNotice { at, of } => write!(f, "rejoin-notice {at} of {of}"),
+            Action::RejoinDone(s) => write!(f, "rejoin-done@{s}"),
+            Action::Timer(s) => write!(f, "timer@{s}"),
         }
     }
 }
@@ -130,7 +205,7 @@ impl std::error::Error for Violation {}
 /// How many CS entries each site performs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Workload {
-    rounds: Vec<u32>,
+    pub(crate) rounds: Vec<u32>,
 }
 
 impl Workload {
@@ -147,10 +222,110 @@ impl Workload {
     }
 }
 
+/// Budget of fault transitions available to one exploration; all zeros
+/// (the default) restricts the alphabet to the classic request / deliver /
+/// exit model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultBudget {
+    /// Silent site crashes.
+    pub crashes: u32,
+    /// Restarts of crashed sites (pristine state, bumped incarnation).
+    pub recoveries: u32,
+    /// Messages lost from a channel head.
+    pub drops: u32,
+    /// *False* suspicions (of live sites). True suspicions of crashed
+    /// sites — and their confirmations — are always available once a crash
+    /// occurred: an eventually-perfect detector eventually sees a real
+    /// crash, and leaving them unbudgeted keeps budget exhaustion from
+    /// manufacturing spurious deadlocks behind a dead permission holder.
+    pub false_suspicions: u32,
+    /// Timer firings (`Protocol::on_timer`); only relevant for stacks that
+    /// arm timers (transport retransmission, detector heartbeats).
+    pub timers: u32,
+    /// Whether detector-verdict transitions (suspect / restore / confirm /
+    /// rejoin notices) are part of the alphabet at all. Disable to model a
+    /// bare crash with *no* failure detection — useful to demonstrate that
+    /// an unassisted protocol wedges behind a dead holder.
+    pub detector: bool,
+}
+
+impl FaultBudget {
+    /// No faults: the classic delivery-interleaving-only model.
+    pub fn none() -> Self {
+        FaultBudget::default()
+    }
+
+    /// `crashes` crashes and `recoveries` recoveries with detector
+    /// verdicts enabled — the standard §6 scope.
+    pub fn crash_recover(crashes: u32, recoveries: u32) -> Self {
+        FaultBudget {
+            crashes,
+            recoveries,
+            detector: true,
+            ..FaultBudget::default()
+        }
+    }
+
+    /// Whether any fault transition can ever fire under this budget.
+    pub fn is_active(&self) -> bool {
+        self.crashes > 0
+            || self.recoveries > 0
+            || self.drops > 0
+            || self.false_suspicions > 0
+            || self.timers > 0
+            || self.detector
+    }
+}
+
+/// Configuration for [`check_with`].
+pub struct CheckOptions<P> {
+    /// Distinct-state cap ([`Violation::StateLimit`] beyond it). With
+    /// `jobs > 1` the cap applies per worker subtree.
+    pub max_states: usize,
+    /// Fault transitions available to the exploration.
+    pub faults: FaultBudget,
+    /// `<= 1`: sequential (exact dedup'd statistics). `> 1`: subtrees at a
+    /// fixed depth fan out over `qmx_workload::parallel::par_map` (worker
+    /// count from that module's process-wide setting); results stay
+    /// deterministic but `states`/`transitions` become per-subtree sums.
+    pub jobs: usize,
+    /// Sleep-set partial-order reduction (on by default). Disabling it
+    /// restores the naive full-DFS exploration — same states, same
+    /// verdicts, orders of magnitude more transitions — which the test
+    /// suite uses as a differential oracle.
+    pub sleep_sets: bool,
+    /// Sites for which stalling is *correct* are excluded from deadlock
+    /// verdicts (and their pending rounds from the served-work check):
+    /// e.g. `DelayOptimal::is_inaccessible` — §6 prescribes that a site
+    /// with no live quorum left must block, not that it makes progress.
+    pub stuck_exempt: Option<fn(&P) -> bool>,
+}
+
+impl<P> CheckOptions<P> {
+    /// Defaults: sequential, sleep sets on, no faults, no exemptions.
+    pub fn new(max_states: usize) -> Self {
+        CheckOptions {
+            max_states,
+            faults: FaultBudget::none(),
+            jobs: 1,
+            sleep_sets: true,
+            stuck_exempt: None,
+        }
+    }
+}
+
+impl<P> Clone for CheckOptions<P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<P> Copy for CheckOptions<P> {}
+
 /// Exploration statistics from a successful check.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CheckStats {
-    /// Distinct states visited.
+    /// Distinct states visited (exact with `jobs = 1`; an upper bound with
+    /// parallel fan-out, where workers dedup independently).
     pub states: usize,
     /// Transitions taken (including ones into already-visited states).
     pub transitions: usize,
@@ -158,107 +333,26 @@ pub struct CheckStats {
     pub terminals: usize,
     /// Length of the longest explored action sequence.
     pub max_depth: usize,
+    /// Σ |enabled(s)| over all distinct states: the transition count a
+    /// naive (reduction-free) exhaustive DFS with the same state dedup
+    /// would execute.
+    pub naive_transitions: u64,
 }
 
-struct State<P: Protocol> {
-    sites: Vec<P>,
-    channels: BTreeMap<(SiteId, SiteId), VecDeque<P::Msg>>,
-    remaining: Vec<u32>,
-}
-
-impl<P: Protocol + Clone> Clone for State<P> {
-    fn clone(&self) -> Self {
-        State {
-            sites: self.sites.clone(),
-            channels: self.channels.clone(),
-            remaining: self.remaining.clone(),
+impl CheckStats {
+    /// Partial-order-reduction factor: naive transitions per explored
+    /// transition (1.0 = no reduction).
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.transitions == 0 {
+            1.0
+        } else {
+            self.naive_transitions as f64 / self.transitions as f64
         }
     }
 }
 
-impl<P: Protocol + fmt::Debug> State<P>
-where
-    P::Msg: fmt::Debug,
-{
-    fn fingerprint(&self) -> String {
-        // Debug output of every behaviour-relevant component. Channels with
-        // no queued messages are dropped so "sent and delivered" equals
-        // "never sent".
-        let mut s = String::new();
-        for site in &self.sites {
-            s.push_str(&format!("{site:?};"));
-        }
-        for ((f, t), q) in &self.channels {
-            if !q.is_empty() {
-                s.push_str(&format!("{f}->{t}:{q:?};"));
-            }
-        }
-        s.push_str(&format!("{:?}", self.remaining));
-        s
-    }
-}
-
-impl<P: Protocol> State<P> {
-    fn in_cs_sites(&self) -> Vec<SiteId> {
-        self.sites
-            .iter()
-            .filter(|s| s.in_cs())
-            .map(|s| s.site())
-            .collect()
-    }
-
-    fn enabled(&self) -> Vec<Action> {
-        let mut acts = Vec::new();
-        for (i, s) in self.sites.iter().enumerate() {
-            if s.in_cs() {
-                acts.push(Action::Exit(SiteId(i as u32)));
-            } else if self.remaining[i] > 0 && !s.wants_cs() {
-                acts.push(Action::Request(SiteId(i as u32)));
-            }
-        }
-        for ((from, to), q) in &self.channels {
-            if !q.is_empty() {
-                acts.push(Action::Deliver {
-                    from: *from,
-                    to: *to,
-                });
-            }
-        }
-        acts
-    }
-
-    /// Applies `action`, pushing any sends onto the channels. Returns the
-    /// sites that (newly) entered the CS.
-    fn apply(&mut self, action: Action) {
-        let mut fx = Effects::new();
-        let actor = match action {
-            Action::Request(s) => {
-                self.remaining[s.index()] -= 1;
-                self.sites[s.index()].request_cs(&mut fx);
-                s
-            }
-            Action::Exit(s) => {
-                self.sites[s.index()].release_cs(&mut fx);
-                s
-            }
-            Action::Deliver { from, to } => {
-                let msg = self
-                    .channels
-                    .get_mut(&(from, to))
-                    .and_then(VecDeque::pop_front)
-                    .expect("enabled deliver has a queued message");
-                self.sites[to.index()].handle(from, msg, &mut fx);
-                to
-            }
-        };
-        let (sends, _entered) = fx.drain();
-        for (to, msg) in sends {
-            self.channels.entry((actor, to)).or_default().push_back(msg);
-        }
-    }
-}
-
-/// Exhaustively explores every interleaving of `sites` running `workload`.
+/// Exhaustively explores every interleaving of `sites` running `workload`
+/// under the classic fault-free model (sequential, sleep sets on).
 ///
 /// Returns exploration statistics, or the first [`Violation`] found with a
 /// reproducing trace.
@@ -278,111 +372,38 @@ pub fn check<P>(
     max_states: usize,
 ) -> Result<CheckStats, Violation>
 where
-    P: Protocol + Clone + fmt::Debug,
-    P::Msg: Clone + fmt::Debug,
+    P: Protocol + Clone + fmt::Debug + Send + Sync,
 {
-    assert_eq!(
-        sites.len(),
-        workload.rounds.len(),
-        "workload must cover every site"
-    );
-    let mut init = State {
-        sites,
-        channels: BTreeMap::new(),
-        remaining: workload.rounds.clone(),
-    };
-    // on_start (token placement etc.) happens before exploration.
-    for i in 0..init.sites.len() {
-        let mut fx = Effects::new();
-        init.sites[i].on_start(&mut fx);
-        let me = SiteId(i as u32);
-        for (to, msg) in fx.take_sends() {
-            init.channels.entry((me, to)).or_default().push_back(msg);
-        }
-    }
+    check_with(sites, workload, &CheckOptions::new(max_states))
+}
 
-    let mut visited: HashSet<String> = HashSet::new();
-    visited.insert(init.fingerprint());
-    // DFS with explicit stack; each frame owns a state and its unexplored
-    // actions. The current path of actions doubles as the counterexample
-    // trace.
-    struct Frame<P: Protocol> {
-        state: State<P>,
-        todo: Vec<Action>,
-    }
-    let init_todo = init.enabled();
-    let mut stack: Vec<Frame<P>> = vec![Frame {
-        state: init,
-        todo: init_todo,
-    }];
-    let mut path: Vec<Action> = Vec::new();
-    let mut stats = CheckStats {
-        states: 1,
-        transitions: 0,
-        terminals: 0,
-        max_depth: 0,
-    };
-
-    while let Some(frame) = stack.last_mut() {
-        let Some(action) = frame.todo.pop() else {
-            stack.pop();
-            path.pop();
-            continue;
-        };
-        let mut next = frame.state.clone();
-        next.apply(action);
-        path.push(action);
-        stats.transitions += 1;
-        stats.max_depth = stats.max_depth.max(path.len());
-
-        // Safety.
-        let occupants = next.in_cs_sites();
-        if occupants.len() > 1 {
-            return Err(Violation::MutualExclusion {
-                trace: path.clone(),
-                sites: (occupants[0], occupants[1]),
-            });
-        }
-
-        let fp = next.fingerprint();
-        if !visited.insert(fp) {
-            path.pop();
-            continue; // already explored
-        }
-        stats.states += 1;
-        if stats.states > max_states {
-            return Err(Violation::StateLimit { limit: max_states });
-        }
-
-        let todo = next.enabled();
-        if todo.is_empty() {
-            // Terminal: must be fully served.
-            let stuck: Vec<SiteId> = next
-                .sites
-                .iter()
-                .filter(|s| s.wants_cs() || s.in_cs())
-                .map(|s| s.site())
-                .collect();
-            let undone = next.remaining.iter().any(|&r| r > 0);
-            if !stuck.is_empty() || undone {
-                return Err(Violation::Deadlock {
-                    trace: path.clone(),
-                    stuck,
-                });
-            }
-            stats.terminals += 1;
-            path.pop();
-            continue;
-        }
-        stack.push(Frame { state: next, todo });
-    }
-    Ok(stats)
+/// Exhaustively explores every interleaving of `sites` running `workload`
+/// under `opts`: fault budget, parallel fan-out, reduction toggle, and
+/// stuck-site exemptions.
+///
+/// # Errors
+///
+/// See [`check`].
+///
+/// # Panics
+///
+/// Panics if `workload` does not cover exactly `sites.len()` sites.
+pub fn check_with<P>(
+    sites: Vec<P>,
+    workload: &Workload,
+    opts: &CheckOptions<P>,
+) -> Result<CheckStats, Violation>
+where
+    P: Protocol + Clone + fmt::Debug + Send + Sync,
+{
+    let (ctx, root, _) = state::build_root(sites, workload, opts);
+    explore::explore(&ctx, root, opts.jobs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qmx_core::{Config, DelayOptimal};
+    use qmx_core::{Config, DelayOptimal, Effects};
 
     fn duo() -> Vec<DelayOptimal> {
         let quorum = vec![SiteId(0), SiteId(1)];
@@ -416,6 +437,60 @@ mod tests {
         let err = check(duo(), &Workload::uniform(2, 2), 10).unwrap_err();
         assert!(matches!(err, Violation::StateLimit { limit: 10 }));
         assert!(err.to_string().contains("cap of 10"));
+    }
+
+    /// The sleep-set exploration must agree with the naive full DFS on
+    /// every state-space invariant — states, terminals, depth, verdict —
+    /// while taking strictly fewer transitions. This is the soundness
+    /// differential for the reduction.
+    #[test]
+    fn sleep_sets_agree_with_naive_dfs() {
+        let mut naive = CheckOptions::new(5_000_000);
+        naive.sleep_sets = false;
+        let full = check_with(duo(), &Workload::uniform(2, 2), &naive).expect("naive verifies");
+        let reduced = check(duo(), &Workload::uniform(2, 2), 5_000_000).expect("dpor verifies");
+        assert_eq!(
+            full.states, reduced.states,
+            "sleep sets must not lose states"
+        );
+        assert_eq!(full.terminals, reduced.terminals);
+        // (max_depth is a property of the DFS tree, not of the state set,
+        // so the two modes may legitimately differ on it.)
+        assert_eq!(
+            full.naive_transitions, reduced.naive_transitions,
+            "identical state set implies identical enabled-sum"
+        );
+        assert_eq!(
+            full.transitions as u64, full.naive_transitions,
+            "naive mode explores every enabled transition of every state"
+        );
+        assert!(
+            reduced.transitions < full.transitions,
+            "reduction must prune commuting orders: {} vs {}",
+            reduced.transitions,
+            full.transitions
+        );
+        // The duo scope measures ≈1.47; the ratio grows with scope (the
+        // 3-site round each exceeds 1.8 — see the fault-scope tests and
+        // the bench trajectory) but this unit test stays small.
+        assert!(reduced.reduction_ratio() > 1.2);
+    }
+
+    /// Parallel fan-out must find the same verdict with deterministic
+    /// stats; state counts may exceed the sequential exact count (workers
+    /// dedup independently) but never undershoot it.
+    #[test]
+    fn parallel_fan_out_agrees_with_sequential() {
+        let seq = check(duo(), &Workload::uniform(2, 2), 5_000_000).expect("verified");
+        let mut opts = CheckOptions::new(5_000_000);
+        opts.jobs = 4;
+        let par = check_with(duo(), &Workload::uniform(2, 2), &opts).expect("verified");
+        assert!(par.states >= seq.states);
+        assert!(par.max_depth > 0);
+        assert!(par.terminals >= seq.terminals);
+        // Determinism: running again yields byte-identical stats.
+        let again = check_with(duo(), &Workload::uniform(2, 2), &opts).expect("verified");
+        assert_eq!(par, again);
     }
 
     /// A deliberately broken "protocol" that enters the CS immediately on
@@ -530,5 +605,24 @@ mod tests {
             "deliver S0->S2"
         );
         assert_eq!(Action::Exit(SiteId(0)).to_string(), "exit@S0");
+        assert_eq!(
+            Action::Drop {
+                from: SiteId(1),
+                to: SiteId(0)
+            }
+            .to_string(),
+            "drop S1->S0"
+        );
+        assert_eq!(Action::Crash(SiteId(2)).to_string(), "crash@S2");
+        assert_eq!(Action::Recover(SiteId(2)).to_string(), "recover@S2");
+        assert_eq!(
+            Action::Suspect {
+                at: SiteId(0),
+                of: SiteId(2)
+            }
+            .to_string(),
+            "suspect S0 of S2"
+        );
+        assert_eq!(Action::RejoinDone(SiteId(2)).to_string(), "rejoin-done@S2");
     }
 }

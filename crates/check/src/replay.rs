@@ -1,0 +1,279 @@
+//! Counterexample replay: re-execute a checker trace against the checker
+//! semantics ([`replay`]), or script its exact schedule into the
+//! discrete-event simulator ([`replay_in_sim`]) as a differential check
+//! that checker and simulator semantics agree on the violation.
+//!
+//! # Simulator replay
+//!
+//! The simulator has no notion of "actions" — it delivers messages after
+//! sampled delays and exits the CS after sampled hold times. Replay
+//! therefore re-walks the trace under checker semantics, assigns the k-th
+//! action the virtual time `(k + 1) · 1000`, and derives from the walk:
+//!
+//! * a **delay script**: one entry per queued send, in global send order
+//!   (the simulator samples delays in exactly that order) — `t_deliver −
+//!   t_send` for sends the trace delivers, and an over-horizon sentinel
+//!   for sends it drops or leaves in flight;
+//! * a **hold script**: one entry per CS entry, in entry order —
+//!   `t_exit − t_enter`, or the sentinel for entries the trace never
+//!   exits.
+//!
+//! Feeding both scripts into [`Simulator`] makes its event timeline
+//! reproduce the trace's interleaving exactly: externally scheduled
+//! requests and crashes land on their action's timestamp, and every
+//! delivery and exit the trace performs fires at its action's timestamp
+//! while everything else stays past the horizon. Both engines drop sends
+//! to crashed sites *before* consuming a delay, which keeps the scripts
+//! aligned across crashes.
+//!
+//! Only traces built from `Request` / `Deliver` / `Exit` / `Crash` (plus
+//! trailing `Drop`s — see [`sim_replayable`]) can be scripted: recovery
+//! and detector verdicts are driven by the wall-clock heartbeat stack in
+//! the simulator and by explicit budgeted transitions in the checker, so
+//! they have no deterministic one-to-one counterpart. [`replay`] covers
+//! the full alphabet.
+
+use crate::state::build_root;
+use crate::{Action, CheckOptions, Workload};
+use qmx_core::{Effects, Protocol, SiteId};
+use qmx_sim::{SimConfig, Simulator};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Outcome of replaying a trace under checker semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayOutcome {
+    /// Two live sites ended up inside the CS simultaneously.
+    MutualExclusion {
+        /// The two overlapping sites.
+        sites: (SiteId, SiteId),
+    },
+    /// The trace ends in a state with no enabled action and unserved
+    /// demand — the checker's deadlock condition.
+    Deadlock {
+        /// Live sites still waiting for the CS.
+        stuck: Vec<SiteId>,
+    },
+    /// The whole trace replayed without reaching a violation.
+    Completed,
+}
+
+/// Outcome of replaying a trace through the discrete-event simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimReplayOutcome {
+    /// The simulator's safety monitor tripped (its hard assert fired) —
+    /// the simulator confirms the checker's mutual-exclusion violation.
+    MutualExclusion,
+    /// The run quiesced with live sites still wanting the CS — the
+    /// simulator confirms the checker's deadlock.
+    Wedged {
+        /// Live sites left waiting at quiescence.
+        stuck: Vec<SiteId>,
+    },
+    /// The run quiesced with every live site served.
+    Completed,
+}
+
+/// Re-executes `trace` from the initial state of `sites` running
+/// `workload` under `opts`, verifying that every action is enabled when
+/// taken, and reports the outcome. Deterministic: the same trace always
+/// reproduces the same outcome, which is how counterexamples returned by
+/// [`crate::check_with`] are validated.
+///
+/// # Panics
+///
+/// Panics if an action in `trace` is not enabled when its turn comes
+/// (i.e. the trace does not belong to this system/scope), or if
+/// `workload` does not cover `sites`.
+pub fn replay<P>(
+    sites: Vec<P>,
+    workload: &Workload,
+    opts: &CheckOptions<P>,
+    trace: &[Action],
+) -> ReplayOutcome
+where
+    P: Protocol + Clone + fmt::Debug,
+{
+    let (ctx, mut state, _) = build_root(sites, workload, opts);
+    let mut fx = Effects::new();
+    let mut sent = Vec::new();
+    for (k, &a) in trace.iter().enumerate() {
+        assert!(
+            state.enabled(&ctx).contains(&a),
+            "trace action #{k} ({a}) is not enabled"
+        );
+        state.apply(a, &ctx, &mut fx, &mut sent);
+        sent.clear();
+        let occ = state.in_cs_sites();
+        if occ.len() > 1 {
+            return ReplayOutcome::MutualExclusion {
+                sites: (occ[0], occ[1]),
+            };
+        }
+    }
+    if state.enabled(&ctx).is_empty() {
+        let stuck = state.stuck_sites(&ctx);
+        if !stuck.is_empty() || state.undone(&ctx) {
+            return ReplayOutcome::Deadlock { stuck };
+        }
+    }
+    ReplayOutcome::Completed
+}
+
+/// Whether `trace` can be scripted into the simulator: only `Request`,
+/// `Deliver`, `Exit`, and `Crash` actions, plus `Drop`s on links that see
+/// no later delivery (a dropped message is emulated by an over-horizon
+/// delivery time, which — per-link FIFO — would also push every later
+/// delivery on that link past the horizon).
+pub fn sim_replayable(trace: &[Action]) -> bool {
+    let mut dropped_links: Vec<(SiteId, SiteId)> = Vec::new();
+    for a in trace {
+        match *a {
+            Action::Request(_) | Action::Exit(_) | Action::Crash(_) => {}
+            Action::Deliver { from, to } => {
+                if dropped_links.contains(&(from, to)) {
+                    return false;
+                }
+            }
+            Action::Drop { from, to } => {
+                if !dropped_links.contains(&(from, to)) {
+                    dropped_links.push((from, to));
+                }
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Delivery/hold sentinel far past any replay horizon: "never happens".
+const NEVER: u64 = 1 << 40;
+
+/// Scripts `trace` into a fresh [`Simulator`] over clones of `sites` and
+/// runs it, reporting whether the simulator reproduces the checker's
+/// verdict. See the module docs for how the schedule is derived.
+///
+/// # Panics
+///
+/// Panics if `trace` is not [`sim_replayable`], if an action is not
+/// enabled under checker semantics when its turn comes, or if the
+/// simulator panics for any reason other than its mutual-exclusion
+/// monitor.
+pub fn replay_in_sim<P>(
+    sites: Vec<P>,
+    workload: &Workload,
+    opts: &CheckOptions<P>,
+    trace: &[Action],
+) -> SimReplayOutcome
+where
+    P: Protocol + Clone + fmt::Debug,
+{
+    assert!(
+        sim_replayable(trace),
+        "trace uses actions with no deterministic simulator counterpart"
+    );
+    let n = sites.len();
+    let universe: Vec<SiteId> = (0..n).map(|i| SiteId(i as u32)).collect();
+    let mut sim_sites = sites.clone();
+    for s in &mut sim_sites {
+        s.set_peer_universe(&universe);
+    }
+    let mut sim: Simulator<P> = Simulator::new(
+        sim_sites,
+        SimConfig {
+            oracle_notices: false,
+            ..SimConfig::default()
+        },
+    );
+
+    // Checker walk, recording for every queued send its send time and the
+    // trace position that consumes it, and for every CS entry its exit.
+    let (ctx, mut state, root_sent) = build_root(sites, workload, opts);
+    let mut send_time: Vec<u64> = Vec::new();
+    let mut delays: Vec<u64> = Vec::new();
+    let mut in_flight: BTreeMap<(SiteId, SiteId), VecDeque<usize>> = BTreeMap::new();
+    for &(f, t) in &root_sent {
+        in_flight.entry((f, t)).or_default().push_back(delays.len());
+        send_time.push(0); // `on_start` runs at the simulator's t = 0
+        delays.push(NEVER);
+    }
+    let mut holds: Vec<u64> = Vec::new();
+    // site -> (hold-script index, entry time) of its open CS occupancy.
+    let mut open_entry: BTreeMap<usize, (usize, u64)> = BTreeMap::new();
+    let mut fx = Effects::new();
+    let mut sent = Vec::new();
+    for (k, &a) in trace.iter().enumerate() {
+        let t_k = (k as u64 + 1) * 1000;
+        assert!(
+            state.enabled(&ctx).contains(&a),
+            "trace action #{k} ({a}) is not enabled"
+        );
+        match a {
+            Action::Request(s) => sim.schedule_request(s, t_k),
+            Action::Crash(s) => sim.schedule_crash(s, t_k),
+            Action::Deliver { from, to } => {
+                let idx = in_flight
+                    .get_mut(&(from, to))
+                    .and_then(VecDeque::pop_front)
+                    .expect("enabled deliver has an in-flight send");
+                delays[idx] = t_k - send_time[idx];
+            }
+            Action::Drop { from, to } => {
+                // Consumes the head send; its delay stays NEVER.
+                in_flight
+                    .get_mut(&(from, to))
+                    .and_then(VecDeque::pop_front)
+                    .expect("enabled drop has an in-flight send");
+            }
+            Action::Exit(s) => {
+                let (hi, t_enter) = open_entry
+                    .remove(&s.index())
+                    .expect("exit matches an open CS entry");
+                holds[hi] = t_k - t_enter;
+            }
+            _ => unreachable!("sim_replayable admits no other action"),
+        }
+        let was_in_cs: Vec<bool> = state.sites.iter().map(Protocol::in_cs).collect();
+        state.apply(a, &ctx, &mut fx, &mut sent);
+        for &(f, t) in &sent {
+            in_flight.entry((f, t)).or_default().push_back(delays.len());
+            send_time.push(t_k);
+            delays.push(NEVER);
+        }
+        sent.clear();
+        for (i, s) in state.sites.iter().enumerate() {
+            if s.in_cs() && !was_in_cs[i] {
+                open_entry.insert(i, (holds.len(), t_k));
+                holds.push(NEVER);
+            }
+        }
+    }
+
+    sim.script_delays(delays);
+    sim.script_holds(holds);
+    let horizon = (trace.len() as u64 + 2) * 1000;
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sim.run_to_quiescence(horizon)
+    }));
+    if let Err(payload) = run {
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(ToString::to_string))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("MUTUAL EXCLUSION VIOLATED"),
+            "simulator panicked outside its safety monitor: {msg}"
+        );
+        return SimReplayOutcome::MutualExclusion;
+    }
+    let stuck: Vec<SiteId> = (0..n)
+        .map(|i| SiteId(i as u32))
+        .filter(|&s| !sim.is_crashed(s) && (sim.site(s).wants_cs() || sim.site(s).in_cs()))
+        .collect();
+    if stuck.is_empty() {
+        SimReplayOutcome::Completed
+    } else {
+        SimReplayOutcome::Wedged { stuck }
+    }
+}

@@ -1,0 +1,654 @@
+//! The explored system model: protocol instances + FIFO channels +
+//! fault meta-state, with the action alphabet's enabling rules, transition
+//! semantics, canonical fingerprinting, and the independence relation the
+//! sleep-set pruning relies on.
+//!
+//! # Fault model
+//!
+//! The checker drives a *bare* protocol stack and models the failure
+//! detector's verdicts as explicit checker transitions instead of wrapping
+//! sites in [`qmx_core::Detector`] (whose free-running timers would force
+//! real time into every fingerprint and make the lease-timing assumption —
+//! confirmed sites really are dead — unverifiable by exhaustion). Each
+//! detector verdict invokes the corresponding [`Protocol`] hook:
+//!
+//! * `Crash(s)` — site dies silently: its channels are cleared, sends to it
+//!   are dropped at send time (mirroring the simulator), and its protocol
+//!   state is replaced by the pristine image so ghost state can't split
+//!   fingerprints.
+//! * `Recover(s)` — the pristine image boots with a bumped incarnation
+//!   (`set_incarnation`, `on_start`, `on_recover`), entering the
+//!   answer-gated rejoin window.
+//! * `Suspect{at,of}` — `at`'s detector (unreliably) suspects `of`. True
+//!   suspicions (of a crashed site) are always available — an
+//!   eventually-perfect detector eventually notices a real crash — while
+//!   *false* suspicions draw from [`FaultBudget::false_suspicions`].
+//! * `Restore{at,of}` — a false suspicion is withdrawn; only enabled while
+//!   `of` is alive in the incarnation that was suspected (a recovered site
+//!   re-enters through the rejoin path instead).
+//! * `Confirm{at,of}` — the `fail_confirm` lease expires and the suspicion
+//!   escalates to `on_site_failure`. Only enabled when `of` really is
+//!   crashed: this encodes the lease soundness assumption the detector's
+//!   own unit tests pin, so the checker verifies the §6 reclamation logic
+//!   under the assumption rather than "discovering" the documented
+//!   detector-timing caveat at every scope.
+//! * `RejoinNotice{at,of}` — `at` learns of `of`'s new incarnation
+//!   (`on_peer_rejoined`), deduplicated per incarnation exactly like the
+//!   detector's bookkeeping.
+//! * `RejoinDone(s)` — `s` closes its rejoin window (`on_rejoin_complete`);
+//!   gated on every peer having answered (`rejoin_pending() == false`), the
+//!   answer-gated window of PR 2.
+//! * `Drop{from,to}` / `Timer(s)` — lossy-link and timer transitions for
+//!   stacks that implement them (budgeted; a bare protocol never arms
+//!   timers, so `Timer` only fires for transport/detector wrappers).
+//!
+//! # Delivery vs. detector-view staleness
+//!
+//! Because the detector's verdicts are checker transitions rather than part
+//! of the message flow, a naive model would let a protocol message from a
+//! live sender arrive at a receiver that still suspects it — an ordering
+//! the composed `Detector<P>` stack can never produce: `heard_from` runs
+//! before the inner `handle` of every message (so receiving anything from a
+//! falsely-suspected live sender withdraws the suspicion first), and FIFO
+//! channels put a recovered site's `Rejoin` announcement ahead of every
+//! post-recovery send (so the rejoin notice is always processed before any
+//! new-incarnation app message). `enabled` therefore withholds
+//! `Deliver{from,to}` while `to`'s view of a *live* `from` is stale —
+//! suspected, confirmed, or an unseen incarnation — until the matching
+//! `Restore` / `RejoinNotice` fires (both are unbudgeted in exactly those
+//! states, so the gate never manufactures a terminal state).
+//!
+//! Pre-crash in-flight traffic bypasses the gate: the network doesn't
+//! consult verdicts, so messages from a crashed sender — and stragglers
+//! tagged with an older incarnation of a since-recovered sender — stay
+//! deliverable. Per-link FIFO pins their order against the rejoin
+//! handshake: the recovered site's `Rejoin` announcement queues *behind*
+//! its old incarnation's leftovers on each link, so `RejoinNotice{at,of}`
+//! is additionally gated on the `of -> at` channel holding no
+//! old-incarnation messages. (Delivering a stale grant *before* the
+//! notice is exactly what lets the receiver report it in its `Claim`
+//! answer; the reverse order — which an earlier model allowed — leaks a
+//! permission past the handshake and manufactures a mutual-exclusion
+//! violation the real FIFO stack cannot produce.)
+//!
+//! One real behaviour is deliberately *not* modelled (a sound
+//! under-approximation for safety at these scopes): delivering such a
+//! pre-crash message would momentarily *restore* a merely-suspected
+//! sender in the real detector (`heard_from` flaps the suspicion off, the
+//! next timeout re-arms it). The checker delivers the message without the
+//! flap.
+
+use crate::{Action, CheckOptions, FaultBudget, Workload};
+use qmx_core::{Effects, Protocol, SiteId};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::{self, Write as _};
+
+/// Immutable per-exploration context: scope, options, and the pristine
+/// protocol images recovered sites boot from.
+pub(crate) struct Ctx<P> {
+    pub(crate) n: usize,
+    pub(crate) pristine: Vec<P>,
+    pub(crate) opts: CheckOptions<P>,
+    /// Whether any fault transition can ever fire (when false, the fault
+    /// meta-state is constant and is excluded from fingerprints).
+    pub(crate) fault_active: bool,
+}
+
+impl<P> Ctx<P> {
+    pub(crate) fn exempt(&self, p: &P) -> bool {
+        self.opts.stuck_exempt.is_some_and(|f| f(p))
+    }
+}
+
+/// Checker-side fault bookkeeping; part of the explored state (and of the
+/// fingerprint whenever the fault model is active).
+#[derive(Debug, Clone)]
+pub(crate) struct Meta {
+    pub(crate) crashed: Vec<bool>,
+    pub(crate) incarnation: Vec<u64>,
+    /// Sites inside their answer-gated rejoin window.
+    pub(crate) rejoining: Vec<bool>,
+    /// Per-site local clock, advanced only by `Timer` transitions.
+    pub(crate) local_now: Vec<u64>,
+    /// `suspected[at][of]` = incarnation of `of` that `at` suspects.
+    pub(crate) suspected: Vec<Vec<Option<u64>>>,
+    /// `confirmed[at][of]`: `at` escalated the suspicion to a failure.
+    pub(crate) confirmed: Vec<Vec<bool>>,
+    /// `rejoin_seen[at][of]` = latest incarnation of `of` whose rejoin `at`
+    /// has processed (the detector's per-peer dedup).
+    pub(crate) rejoin_seen: Vec<Vec<u64>>,
+    /// Remaining fault budget.
+    pub(crate) budget: FaultBudget,
+}
+
+impl Meta {
+    pub(crate) fn new(n: usize, budget: FaultBudget) -> Self {
+        Meta {
+            crashed: vec![false; n],
+            incarnation: vec![0; n],
+            rejoining: vec![false; n],
+            local_now: vec![0; n],
+            suspected: vec![vec![None; n]; n],
+            confirmed: vec![vec![false; n]; n],
+            rejoin_seen: vec![vec![0; n]; n],
+            budget,
+        }
+    }
+}
+
+/// Per-link FIFO queues; each entry is tagged with the sender's
+/// incarnation at send time, so pre-crash stragglers from a
+/// since-recovered sender are distinguishable from its post-recovery
+/// sends (the delivery gate and the `RejoinNotice` FIFO gate both read
+/// the tag).
+pub(crate) type Channels<M> = BTreeMap<(SiteId, SiteId), VecDeque<(u64, M)>>;
+
+pub(crate) struct State<P: Protocol> {
+    pub(crate) sites: Vec<P>,
+    pub(crate) channels: Channels<P::Msg>,
+    pub(crate) remaining: Vec<u32>,
+    pub(crate) meta: Meta,
+}
+
+impl<P: Protocol + Clone> Clone for State<P> {
+    fn clone(&self) -> Self {
+        State {
+            sites: self.sites.clone(),
+            channels: self.channels.clone(),
+            remaining: self.remaining.clone(),
+            meta: self.meta.clone(),
+        }
+    }
+}
+
+/// 128-bit FNV-1a over the `Debug` rendering of the state, streamed through
+/// `fmt::Write` so no fingerprint string is ever materialized. 128 bits keep
+/// the accidental-collision probability negligible (< 1e-18 at 10^9 states),
+/// which matters because a collision would silently prune a reachable state.
+struct Fnv128(u128);
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+impl Fnv128 {
+    fn new() -> Self {
+        Fnv128(FNV128_OFFSET)
+    }
+    fn finish(&self) -> u128 {
+        self.0
+    }
+}
+
+impl fmt::Write for Fnv128 {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for b in s.bytes() {
+            self.0 ^= u128::from(b);
+            self.0 = self.0.wrapping_mul(FNV128_PRIME);
+        }
+        Ok(())
+    }
+}
+
+impl<P: Protocol + fmt::Debug> State<P>
+where
+    P::Msg: fmt::Debug,
+{
+    /// Canonical state hash: the `Debug` output of every behaviour-relevant
+    /// component (protocol instances, non-empty channels, remaining rounds,
+    /// fault meta-state), folded into 128-bit FNV-1a. Channels with no
+    /// queued messages are skipped so "sent and delivered" equals "never
+    /// sent".
+    pub(crate) fn fingerprint(&self, ctx: &Ctx<P>) -> u128 {
+        let mut h = Fnv128::new();
+        for site in &self.sites {
+            let _ = write!(h, "{site:?};");
+        }
+        for ((f, t), q) in &self.channels {
+            if !q.is_empty() {
+                let _ = write!(h, "{f}->{t}:{q:?};");
+            }
+        }
+        let _ = write!(h, "{:?}", self.remaining);
+        if ctx.fault_active {
+            let m = &self.meta;
+            let _ = write!(
+                h,
+                ";{:?}{:?}{:?}{:?}{:?}{:?}{:?}{:?}",
+                m.crashed,
+                m.incarnation,
+                m.rejoining,
+                m.local_now,
+                m.suspected,
+                m.confirmed,
+                m.rejoin_seen,
+                m.budget
+            );
+        }
+        h.finish()
+    }
+}
+
+impl<P: Protocol + Clone> State<P> {
+    /// Live sites currently inside the CS (a crashed site's CS dies with
+    /// it, exactly like the simulator's safety monitor).
+    pub(crate) fn in_cs_sites(&self) -> Vec<SiteId> {
+        self.sites
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| !self.meta.crashed[*i] && s.in_cs())
+            .map(|(_, s)| s.site())
+            .collect()
+    }
+
+    /// Live sites still wanting (or holding) the CS, minus the exempted
+    /// ones (e.g. §6-inaccessible sites, which are *supposed* to stall).
+    pub(crate) fn stuck_sites(&self, ctx: &Ctx<P>) -> Vec<SiteId> {
+        self.sites
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| {
+                !self.meta.crashed[*i] && (s.wants_cs() || s.in_cs()) && !ctx.exempt(s)
+            })
+            .map(|(_, s)| s.site())
+            .collect()
+    }
+
+    /// Whether a live, non-exempt site still has unserved rounds.
+    pub(crate) fn undone(&self, ctx: &Ctx<P>) -> bool {
+        self.sites
+            .iter()
+            .enumerate()
+            .any(|(i, s)| !self.meta.crashed[i] && self.remaining[i] > 0 && !ctx.exempt(s))
+    }
+
+    /// Every action enabled in this state, in a fixed deterministic order.
+    pub(crate) fn enabled(&self, ctx: &Ctx<P>) -> Vec<Action> {
+        let m = &self.meta;
+        let mut acts = Vec::new();
+        for (i, s) in self.sites.iter().enumerate() {
+            if m.crashed[i] {
+                continue;
+            }
+            let sid = SiteId(i as u32);
+            if s.in_cs() {
+                acts.push(Action::Exit(sid));
+            } else if self.remaining[i] > 0 && !s.wants_cs() && !ctx.exempt(s) {
+                acts.push(Action::Request(sid));
+            }
+            if m.rejoining[i] && !s.rejoin_pending() {
+                acts.push(Action::RejoinDone(sid));
+            }
+            if m.budget.timers > 0 && s.next_timer().is_some() {
+                acts.push(Action::Timer(sid));
+            }
+        }
+        for ((from, to), q) in &self.channels {
+            if q.is_empty() {
+                continue;
+            }
+            // FIFO-faithfulness gate: the real stack runs the detector's
+            // `heard_from` before the inner `handle` of *every* message, and
+            // FIFO channels put a recovered site's `Rejoin` announcement
+            // ahead of any post-recovery protocol send. So no receiver ever
+            // processes an app message while its detector-view of a live
+            // sender is stale: hearing the sender withdraws the suspicion
+            // (or delivers the rejoin notice) first. The checker splits
+            // those detector updates into explicit `Restore` /
+            // `RejoinNotice` transitions, so delivery from a live sender is
+            // withheld until the matching verdict has fired — otherwise the
+            // checker explores message orderings the composed stack cannot
+            // produce. Two classes bypass the gate because the network
+            // doesn't care about verdicts: messages from a *crashed* sender,
+            // and pre-crash stragglers from a *since-recovered* sender
+            // (tagged with an older incarnation). The latter sit *ahead* of
+            // the sender's `Rejoin` announcement in per-link FIFO, so the
+            // real stack always processes them before the rejoin notice —
+            // withholding them until after the notice would explore an
+            // impossible ordering in which the grant they may carry escapes
+            // the rejoin handshake's `Claim` accounting. (The real stack's
+            // restore-flap on such a message is a documented
+            // under-approximation; see the module docs.)
+            let (f, t) = (from.index(), to.index());
+            let straggler = q.front().is_some_and(|(inc, _)| *inc < m.incarnation[f]);
+            let stale_view = !m.crashed[f]
+                && !straggler
+                && (m.suspected[t][f].is_some()
+                    || m.confirmed[t][f]
+                    || m.incarnation[f] > m.rejoin_seen[t][f]);
+            if !stale_view {
+                acts.push(Action::Deliver {
+                    from: *from,
+                    to: *to,
+                });
+            }
+            if m.budget.drops > 0 {
+                acts.push(Action::Drop {
+                    from: *from,
+                    to: *to,
+                });
+            }
+        }
+        if m.budget.crashes > 0 {
+            for i in 0..ctx.n {
+                if !m.crashed[i] {
+                    acts.push(Action::Crash(SiteId(i as u32)));
+                }
+            }
+        }
+        if m.budget.recoveries > 0 {
+            for i in 0..ctx.n {
+                if m.crashed[i] {
+                    acts.push(Action::Recover(SiteId(i as u32)));
+                }
+            }
+        }
+        if ctx.opts.faults.detector {
+            for at in 0..ctx.n {
+                if m.crashed[at] {
+                    continue;
+                }
+                for of in 0..ctx.n {
+                    if of == at {
+                        continue;
+                    }
+                    let (a, o) = (SiteId(at as u32), SiteId(of as u32));
+                    match m.suspected[at][of] {
+                        None => {
+                            if m.crashed[of] || m.budget.false_suspicions > 0 {
+                                acts.push(Action::Suspect { at: a, of: o });
+                            }
+                        }
+                        Some(inc) => {
+                            if m.crashed[of] {
+                                if !m.confirmed[at][of] {
+                                    acts.push(Action::Confirm { at: a, of: o });
+                                }
+                            } else if inc == m.incarnation[of] {
+                                acts.push(Action::Restore { at: a, of: o });
+                            }
+                        }
+                    }
+                    if !m.crashed[of] && m.incarnation[of] > m.rejoin_seen[at][of] {
+                        // Per-link FIFO: the rejoin announcement queues
+                        // *behind* whatever the old incarnation left in
+                        // flight on the (of -> at) link, so the notice
+                        // cannot be processed while pre-recovery stragglers
+                        // are still queued. (Stragglers are unconditionally
+                        // deliverable, so this gate never wedges.)
+                        let stragglers = self
+                            .channels
+                            .get(&(o, a))
+                            .and_then(VecDeque::front)
+                            .is_some_and(|(inc, _)| *inc < m.incarnation[of]);
+                        if !stragglers {
+                            acts.push(Action::RejoinNotice { at: a, of: o });
+                        }
+                    }
+                }
+            }
+        }
+        acts
+    }
+
+    /// Routes the sends queued in `fx` onto the channels, dropping sends to
+    /// crashed sites at send time (the simulator does the same before
+    /// sampling a delay, which keeps trace replays aligned). Each queued
+    /// send's channel is appended to `sent` for the replay builder.
+    fn route(&mut self, actor: SiteId, fx: &mut Effects<P::Msg>, sent: &mut Vec<(SiteId, SiteId)>) {
+        let inc = self.meta.incarnation[actor.index()];
+        for (to, msg) in fx.drain_sends() {
+            if self.meta.crashed[to.index()] {
+                continue;
+            }
+            self.channels
+                .entry((actor, to))
+                .or_default()
+                .push_back((inc, msg));
+            sent.push((actor, to));
+        }
+    }
+
+    fn set_now(&mut self, site: usize) {
+        let now = self.meta.local_now[site];
+        self.sites[site].set_now(now);
+    }
+
+    /// Applies an enabled `action`. `fx` is a drained scratch buffer;
+    /// `sent` records the channel of every send the action queued (in emit
+    /// order — the replay builder needs it, the explorer ignores it).
+    pub(crate) fn apply(
+        &mut self,
+        action: Action,
+        ctx: &Ctx<P>,
+        fx: &mut Effects<P::Msg>,
+        sent: &mut Vec<(SiteId, SiteId)>,
+    ) {
+        debug_assert!(fx.sends().is_empty(), "scratch effects must be drained");
+        match action {
+            Action::Request(s) => {
+                let i = s.index();
+                self.remaining[i] -= 1;
+                self.set_now(i);
+                self.sites[i].request_cs(fx);
+                self.route(s, fx, sent);
+            }
+            Action::Exit(s) => {
+                let i = s.index();
+                self.set_now(i);
+                self.sites[i].release_cs(fx);
+                self.route(s, fx, sent);
+            }
+            Action::Deliver { from, to } => {
+                let (_, msg) = self
+                    .channels
+                    .get_mut(&(from, to))
+                    .and_then(VecDeque::pop_front)
+                    .expect("enabled deliver has a queued message");
+                let i = to.index();
+                self.set_now(i);
+                self.sites[i].handle(from, msg, fx);
+                self.route(to, fx, sent);
+            }
+            Action::Drop { from, to } => {
+                self.channels
+                    .get_mut(&(from, to))
+                    .and_then(VecDeque::pop_front)
+                    .expect("enabled drop has a queued message");
+                self.meta.budget.drops -= 1;
+            }
+            Action::Crash(s) => {
+                let i = s.index();
+                self.meta.budget.crashes -= 1;
+                self.meta.crashed[i] = true;
+                self.meta.rejoining[i] = false;
+                // The dead incarnation's detector view dies with it; resetting
+                // it (and swapping the pristine image in now) canonicalises
+                // the fingerprint so states differing only in ghost state
+                // dedup together. `Recover` boots from this image.
+                for of in 0..ctx.n {
+                    self.meta.suspected[i][of] = None;
+                    self.meta.confirmed[i][of] = false;
+                    self.meta.rejoin_seen[i][of] = 0;
+                }
+                self.sites[i] = ctx.pristine[i].clone();
+                for ((_, to), q) in self.channels.iter_mut() {
+                    if *to == s {
+                        q.clear();
+                    }
+                }
+            }
+            Action::Recover(s) => {
+                let i = s.index();
+                self.meta.budget.recoveries -= 1;
+                self.meta.crashed[i] = false;
+                self.meta.incarnation[i] += 1;
+                self.meta.rejoining[i] = true;
+                let inc = self.meta.incarnation[i];
+                // Same boot sequence as `Simulator`'s Recover event: the
+                // pristine image (swapped in at crash time) learns its
+                // incarnation, starts, and opens the rejoin window.
+                self.set_now(i);
+                self.sites[i].set_incarnation(inc);
+                self.sites[i].on_start(fx);
+                self.route(s, fx, sent);
+                self.sites[i].on_recover(fx);
+                self.route(s, fx, sent);
+            }
+            Action::Suspect { at, of } => {
+                let (a, o) = (at.index(), of.index());
+                if !self.meta.crashed[o] {
+                    self.meta.budget.false_suspicions -= 1;
+                }
+                self.meta.suspected[a][o] = Some(self.meta.incarnation[o]);
+                self.set_now(a);
+                self.sites[a].on_site_suspected(of, fx);
+                self.route(at, fx, sent);
+            }
+            Action::Restore { at, of } => {
+                let (a, o) = (at.index(), of.index());
+                self.meta.suspected[a][o] = None;
+                self.set_now(a);
+                self.sites[a].on_site_restored(of, fx);
+                self.route(at, fx, sent);
+            }
+            Action::Confirm { at, of } => {
+                let (a, o) = (at.index(), of.index());
+                self.meta.confirmed[a][o] = true;
+                self.set_now(a);
+                self.sites[a].on_site_failure(of, fx);
+                self.route(at, fx, sent);
+            }
+            Action::RejoinNotice { at, of } => {
+                let (a, o) = (at.index(), of.index());
+                let inc = self.meta.incarnation[o];
+                self.meta.rejoin_seen[a][o] = inc;
+                self.meta.suspected[a][o] = None;
+                self.meta.confirmed[a][o] = false;
+                self.set_now(a);
+                self.sites[a].on_peer_rejoined(of, inc, fx);
+                self.route(at, fx, sent);
+            }
+            Action::RejoinDone(s) => {
+                let i = s.index();
+                self.meta.rejoining[i] = false;
+                self.set_now(i);
+                self.sites[i].on_rejoin_complete(fx);
+                self.route(s, fx, sent);
+            }
+            Action::Timer(s) => {
+                let i = s.index();
+                self.meta.budget.timers -= 1;
+                let due = self.sites[i]
+                    .next_timer()
+                    .expect("enabled timer has a deadline");
+                let now = self.meta.local_now[i].max(due);
+                self.meta.local_now[i] = now;
+                self.sites[i].set_now(now);
+                self.sites[i].on_timer(now, fx);
+                self.route(s, fx, sent);
+            }
+        }
+    }
+}
+
+/// Builds the initial state: peer universes wired, pristine images captured
+/// (pre-`on_start`, exactly like `Simulator::schedule_recovery` used from
+/// tests), then `on_start` runs with its sends queued for delivery. The
+/// third return is the log of channels those startup sends were queued on
+/// (in emit order) — the replay builder's time-zero sends.
+pub(crate) fn build_root<P>(
+    mut sites: Vec<P>,
+    workload: &Workload,
+    opts: &CheckOptions<P>,
+) -> (Ctx<P>, State<P>, Vec<(SiteId, SiteId)>)
+where
+    P: Protocol + Clone + fmt::Debug,
+{
+    assert_eq!(
+        sites.len(),
+        workload.rounds.len(),
+        "workload must cover every site"
+    );
+    let n = sites.len();
+    let universe: Vec<SiteId> = (0..n).map(|i| SiteId(i as u32)).collect();
+    for s in &mut sites {
+        s.set_peer_universe(&universe);
+    }
+    let pristine = sites.clone();
+    let mut root = State {
+        sites,
+        channels: BTreeMap::new(),
+        remaining: workload.rounds.clone(),
+        meta: Meta::new(n, opts.faults),
+    };
+    let mut fx = Effects::new();
+    let mut sent = Vec::new();
+    for i in 0..n {
+        root.sites[i].on_start(&mut fx);
+        root.route(SiteId(i as u32), &mut fx, &mut sent);
+    }
+    let ctx = Ctx {
+        n,
+        pristine,
+        opts: *opts,
+        fault_active: opts.faults.is_active(),
+    };
+    (ctx, root, sent)
+}
+
+/// The site whose local state machine an action steps (delivery and drop
+/// belong to the receiving end of the channel; detector verdicts to the
+/// observing site).
+pub(crate) fn owner(a: Action) -> SiteId {
+    match a {
+        Action::Request(s)
+        | Action::Exit(s)
+        | Action::Crash(s)
+        | Action::Recover(s)
+        | Action::RejoinDone(s)
+        | Action::Timer(s) => s,
+        Action::Deliver { to, .. } | Action::Drop { to, .. } => to,
+        Action::Suspect { at, .. }
+        | Action::Restore { at, .. }
+        | Action::Confirm { at, .. }
+        | Action::RejoinNotice { at, .. } => at,
+    }
+}
+
+fn protocol_class(a: Action) -> bool {
+    matches!(
+        a,
+        Action::Request(_) | Action::Deliver { .. } | Action::Exit(_)
+    )
+}
+
+/// A sound (conservative) independence relation: two actions are
+/// independent iff from any state where both are enabled, executing them in
+/// either order reaches the same state, neither disables the other, and
+/// neither changes what the other does.
+///
+/// * Same owner ⇒ dependent (both step the same state machine, and
+///   delivery from / sends into that site's channels interleave with it).
+/// * Distinct owners, both in the protocol class (request / deliver /
+///   exit) ⇒ independent: the only shared structure is a channel, where one
+///   side appends to the tail and the other pops the head — the classic
+///   FIFO commuting diamond this reduction exists to prune.
+/// * `Recover` is dependent with *everything*: it flips its site from
+///   "sends to me are dropped" to "sends to me are queued", so ordering
+///   against any potential sender is observable.
+/// * Any other pair involving a fault-class action (crash, drop, detector
+///   verdicts, timers) is dependent if both are fault-class — they couple
+///   through shared budgets and through liveness gates (a crash enables
+///   `Confirm` and disables `Restore` for every observer) — while a
+///   fault-class action and a *protocol* action with distinct owners
+///   commute: the verdict only touches the observer's state machine and
+///   budget, neither of which a remote protocol step reads.
+pub(crate) fn independent(a: Action, b: Action) -> bool {
+    if owner(a) == owner(b) {
+        return false;
+    }
+    if matches!(a, Action::Recover(_)) || matches!(b, Action::Recover(_)) {
+        return false;
+    }
+    protocol_class(a) || protocol_class(b)
+}

@@ -98,6 +98,20 @@ pub enum Command {
         rounds: u32,
         /// State cap.
         max_states: usize,
+        /// Quorum construction (`None` = one full all-sites quorum).
+        quorum: Option<QuorumSpec>,
+        /// Fault budget: silent crashes.
+        crashes: u32,
+        /// Fault budget: recoveries of crashed sites.
+        recoveries: u32,
+        /// Fault budget: messages dropped from channel heads.
+        drops: u32,
+        /// Fault budget: false suspicions of live sites.
+        suspicions: u32,
+        /// Parallel subtree fan-out width (1 = sequential).
+        jobs: usize,
+        /// File to write a counterexample trace to on failure.
+        trace_out: Option<String>,
     },
     /// Reproduce one of the paper's experiments (E1–E10).
     Experiment {
@@ -124,7 +138,9 @@ USAGE:
              [--hb-interval T] [--hb-timeout T] [--recover site:timeT ...]
              [--scheduler heap|calendar]
   qmxctl quorum --kind Q --n N
-  qmxctl check [--n N] [--rounds R] [--max-states M]
+  qmxctl check [--n N] [--rounds R] [--max-states M] [--quorum Q]
+               [--crashes C] [--recoveries C] [--drops C] [--suspicions C]
+               [--jobs J] [--trace-out FILE]
   qmxctl experiment NAME [--jobs J]
   qmxctl help
 
@@ -146,6 +162,13 @@ WHERE:
   --scheduler picks the event-queue implementation (default: calendar,
       or the QMX_SCHEDULER env var); reports are byte-identical for
       either choice — only wall-clock time differs
+  check explores every interleaving of the scope with dynamic
+      partial-order reduction; fault budgets add Crash/Recover/Drop and
+      failure-detector verdict transitions (--suspicions bounds *false*
+      suspicions of live sites; true suspicions of crashed sites are
+      free). --quorum overrides the default full (all-sites) quorum,
+      --jobs fans independent subtrees out in parallel, and --trace-out
+      writes the counterexample action trace on failure
   NAME = table1 | lightload | heavyload | syncdelay | throughput |
          quorumsize | availability | faulttolerance | ablation |
          holdsweep | msgscaling | schedulers
@@ -405,10 +428,25 @@ impl Cli {
             }
             "check" => {
                 let f = flags(rest)?;
+                let quorum = match one(&f, "quorum", "") {
+                    "" => None,
+                    s => Some(parse_quorum(s)?),
+                };
+                let trace_out = match one(&f, "trace-out", "") {
+                    "" => None,
+                    s => Some(s.to_string()),
+                };
                 Command::Check {
                     n: parse_u64(&f, "n", 2)? as u32,
                     rounds: parse_u64(&f, "rounds", 1)? as u32,
                     max_states: parse_u64(&f, "max-states", 5_000_000)? as usize,
+                    quorum,
+                    crashes: parse_u64(&f, "crashes", 0)? as u32,
+                    recoveries: parse_u64(&f, "recoveries", 0)? as u32,
+                    drops: parse_u64(&f, "drops", 0)? as u32,
+                    suspicions: parse_u64(&f, "suspicions", 0)? as u32,
+                    jobs: parse_u64(&f, "jobs", 1)? as usize,
+                    trace_out,
                 }
             }
             "experiment" => {
@@ -648,9 +686,45 @@ mod tests {
             Command::Check {
                 n: 3,
                 rounds: 2,
-                max_states: 1000
+                max_states: 1000,
+                quorum: None,
+                crashes: 0,
+                recoveries: 0,
+                drops: 0,
+                suspicions: 0,
+                jobs: 1,
+                trace_out: None,
             }
         );
+    }
+
+    #[test]
+    fn check_fault_budget_flags() {
+        assert_eq!(
+            parse(
+                "check --n 3 --quorum majority --crashes 1 --recoveries 1 \
+                 --drops 2 --suspicions 1 --jobs 4 --trace-out cex.trace"
+            )
+            .unwrap()
+            .command,
+            Command::Check {
+                n: 3,
+                rounds: 1,
+                max_states: 5_000_000,
+                quorum: Some(QuorumSpec::Majority),
+                crashes: 1,
+                recoveries: 1,
+                drops: 2,
+                suspicions: 1,
+                jobs: 4,
+                trace_out: Some("cex.trace".into()),
+            }
+        );
+        assert!(parse("check --quorum nope")
+            .unwrap_err()
+            .0
+            .contains("quorum"));
+        assert!(parse("check --crashes x").unwrap_err().0.contains("number"));
     }
 
     #[test]

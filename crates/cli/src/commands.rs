@@ -228,27 +228,101 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             n,
             rounds,
             max_states,
+            quorum,
+            crashes,
+            recoveries,
+            drops,
+            suspicions,
+            jobs,
+            trace_out,
         } => {
-            let quorum: Vec<SiteId> = (0..*n).map(SiteId).collect();
-            let sites: Vec<DelayOptimal> = (0..*n)
-                .map(|i| DelayOptimal::new(SiteId(i), quorum.clone(), Config::default()))
-                .collect();
-            match qmx_check::check(
+            let sites: Vec<DelayOptimal> = match quorum {
+                None => {
+                    let q: Vec<SiteId> = (0..*n).map(SiteId).collect();
+                    (0..*n)
+                        .map(|i| DelayOptimal::new(SiteId(i), q.clone(), Config::default()))
+                        .collect()
+                }
+                Some(spec) => {
+                    let sys = spec.build(*n as usize)?;
+                    (0..*n)
+                        .map(|i| {
+                            DelayOptimal::new(
+                                SiteId(i),
+                                sys.quorum_of(SiteId(i)).to_vec(),
+                                Config::default(),
+                            )
+                        })
+                        .collect()
+                }
+            };
+            let faults = qmx_check::FaultBudget {
+                crashes: *crashes,
+                recoveries: *recoveries,
+                drops: *drops,
+                false_suspicions: *suspicions,
+                timers: 0,
+                detector: *crashes > 0 || *recoveries > 0 || *suspicions > 0,
+            };
+            let mut opts = qmx_check::CheckOptions::new(*max_states);
+            opts.faults = faults;
+            opts.jobs = *jobs;
+            if faults.is_active() {
+                // §6 prescribes that a site whose every quorum lost a
+                // member must block; its stall is correct, not a deadlock.
+                opts.stuck_exempt = Some(DelayOptimal::is_inaccessible);
+            }
+            if *jobs > 1 {
+                qmx_workload::parallel::set_jobs(*jobs);
+            }
+            let scope = format!(
+                "{} sites x {} rounds ({}), faults: {} crash / {} recover / {} drop / {} suspect",
+                n,
+                rounds,
+                quorum.map_or("full quorums".into(), |q| format!("{q:?} quorums")),
+                crashes,
+                recoveries,
+                drops,
+                suspicions
+            );
+            match qmx_check::check_with(
                 sites,
                 &qmx_check::Workload::uniform(*n as usize, *rounds),
-                *max_states,
+                &opts,
             ) {
                 Ok(stats) => Ok(format!(
-                    "VERIFIED: {} sites x {} rounds (full quorums)\n\
+                    "VERIFIED: {scope}\n\
                      states explored : {}\n\
                      transitions     : {}\n\
+                     naive trans.    : {}\n\
+                     reduction ratio : {:.2}x\n\
                      terminal states : {}\n\
                      max depth       : {}\n\
                      Every interleaving satisfies mutual exclusion and\n\
                      deadlock freedom within this scope.\n",
-                    n, rounds, stats.states, stats.transitions, stats.terminals, stats.max_depth
+                    stats.states,
+                    stats.transitions,
+                    stats.naive_transitions,
+                    stats.reduction_ratio(),
+                    stats.terminals,
+                    stats.max_depth
                 )),
-                Err(v) => Err(format!("CHECK FAILED:\n{v}")),
+                Err(v) => {
+                    let trace = match &v {
+                        qmx_check::Violation::MutualExclusion { trace, .. }
+                        | qmx_check::Violation::Deadlock { trace, .. } => Some(trace),
+                        qmx_check::Violation::StateLimit { .. } => None,
+                    };
+                    if let (Some(path), Some(trace)) = (trace_out, trace) {
+                        let mut text = format!("# {scope}\n# {v}\n");
+                        for a in trace {
+                            text.push_str(&format!("{a}\n"));
+                        }
+                        std::fs::write(path, text)
+                            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+                    }
+                    Err(format!("CHECK FAILED: {scope}\n{v}"))
+                }
             }
         }
         Command::Experiment { name, jobs } => {
@@ -387,6 +461,20 @@ mod tests {
     fn check_command_reports_state_cap() {
         let err = run("check --n 3 --rounds 3 --max-states 50").unwrap_err();
         assert!(err.contains("CHECK FAILED"));
+    }
+
+    #[test]
+    fn check_command_prints_reduction_ratio() {
+        let out = run("check --n 2 --rounds 1").unwrap();
+        assert!(out.contains("naive trans."), "{out}");
+        assert!(out.contains("reduction ratio"), "{out}");
+    }
+
+    #[test]
+    fn check_command_with_fault_budget_verifies() {
+        let out = run("check --n 2 --rounds 1 --crashes 1 --recoveries 1").unwrap();
+        assert!(out.contains("VERIFIED"), "{out}");
+        assert!(out.contains("1 crash / 1 recover"), "{out}");
     }
 
     #[test]

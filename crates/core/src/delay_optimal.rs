@@ -1029,11 +1029,22 @@ impl DelayOptimal {
         if req.site != from {
             return;
         }
-        let was_queued = self.req_queue.remove(&req);
+        self.req_queue.remove(&req);
         if self.lock == Some(req) {
             self.grant_next(fx);
-        } else if !was_queued {
-            // Possibly an early return racing a forward notification.
+        } else {
+            // Park the return unconditionally: still being queued does NOT
+            // prove the permission never reached `req`. With forwarding, a
+            // queued request can already hold it through an in-flight
+            // transfer (the grant travels holder → beneficiary on a
+            // different link than the holder's `release`), so this
+            // relinquish can overtake the `release(…, forwarded_to: req)`
+            // that would move the lock onto the withdrawn request —
+            // `advance_lock` must find the parked entry or it wedges the
+            // lock on a request that no longer exists. When no forward was
+            // in flight the entry is simply never consumed: `req`'s
+            // timestamp left the queue for good, so no future chain can
+            // name it.
             self.early_returns.insert(req, EarlyReturn::Relinquished);
         }
     }
@@ -1297,6 +1308,14 @@ impl Protocol for DelayOptimal {
             "one outstanding CS request per site"
         );
         if self.inaccessible {
+            return;
+        }
+        // A suspected member cannot be requested from: `route` drops the
+        // Request at source and nothing would ever re-send it, so a later
+        // restoration would leave this site waiting forever on a reply it
+        // never asked for. Reconstruct the quorum around the suspects
+        // first (§6 step 1); with no live quorum the request must block.
+        if self.req_set.iter().any(|m| self.known_failed.contains(*m)) && !self.refresh_quorum() {
             return;
         }
         self.begin_request(fx);
@@ -1577,8 +1596,22 @@ impl Protocol for DelayOptimal {
             // then, exactly as in normal operation.
             self.early_returns.clear();
         }
-        if self.lock.is_none() {
-            self.grant_next(fx);
+        // Replay the parked requests as if they arrived now. The grace
+        // window's `arb_request` arm enqueues without answering, but the
+        // §5.2 accounting — fail the losers, promise the transfer, inquire
+        // on preemption — is what tells a tied requester it must yield
+        // permissions it holds elsewhere. A bare `grant_next` here would
+        // grant the head silently: two self-granted requesters whose rival
+        // requests both sat out a rejoin window would then wait on each
+        // other forever. Replaying in priority order reproduces the
+        // arrival-time messages exactly (the winner first, so every later
+        // request sees the lock it loses to).
+        let parked: Vec<Timestamp> = self.req_queue.iter().copied().collect();
+        for r in &parked {
+            self.req_queue.remove(r);
+        }
+        for r in parked {
+            self.arb_request(r, fx);
         }
         self.pump(fx);
     }
@@ -2037,6 +2070,128 @@ mod tests {
         assert!(s.is_inaccessible());
         assert!(!s.wants_cs());
         assert_eq!(s.phase(), RequesterPhase::Idle);
+    }
+
+    #[test]
+    fn request_while_member_suspected_reconstructs_before_sending() {
+        // Model-checker counterexample regression: a suspicion recorded
+        // while this site was in its CS leaves `known_failed` populated
+        // with no quorum reconstruction. A later request over the stale
+        // quorum would have its Request to the suspect dropped at source
+        // by `route` — and restoration never re-sends requests — wedging
+        // the site forever. The request must reconstruct (here: block as
+        // inaccessible) instead of silently half-requesting.
+        let mut s = DelayOptimal::new(SiteId(0), vec![SiteId(0), SiteId(1)], Config::default());
+        let mut fx = Effects::new();
+        s.on_site_suspected(SiteId(1), &mut fx);
+        fx.take_sends();
+        s.request_cs(&mut fx);
+        assert!(fx.take_sends().is_empty(), "no half-quorum request");
+        assert!(s.is_inaccessible());
+        assert!(!s.wants_cs());
+        assert_eq!(s.phase(), RequesterPhase::Idle);
+        // Restoration makes the site accessible again for later requests.
+        s.on_site_restored(SiteId(1), &mut fx);
+        fx.take_sends();
+        assert!(!s.is_inaccessible());
+        s.request_cs(&mut fx);
+        assert!(s.wants_cs());
+        assert!(!fx.take_sends().is_empty(), "request reaches the peer");
+    }
+
+    #[test]
+    fn relinquish_overtaking_forward_notification_frees_the_lock() {
+        // Model-checker counterexample regression: with forwarding, a
+        // grant travels holder → beneficiary on a different link than the
+        // holder's `release` → arbiter, so a beneficiary can receive the
+        // forwarded reply AND withdraw (§6 quorum reconstruction) before
+        // its own arbiter hears the `release(…, forwarded_to)` naming it.
+        // The relinquish finds the request still queued; treating that as
+        // "never granted" lets the in-flight release move the lock onto
+        // the withdrawn request forever.
+        let mut sites = net(2, &[0, 1]);
+        let mut inflight = VecDeque::new();
+        request(&mut sites, 1, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        assert!(sites[1].in_cs());
+        // S0 queues behind S1's lock at its own arbiter; a transfer
+        // obligation travels to holder S1.
+        request(&mut sites, 0, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        assert!(sites[0].wants_cs());
+        // S1 exits: the forwarded replies and the release all enter the
+        // 1→0 link. Deliver only the first forwarded reply …
+        release(&mut sites, 1, &mut inflight);
+        let (from, to, m) = inflight.pop_front().expect("forwarded reply in flight");
+        assert!(matches!(m.body, Body::Reply { .. }));
+        let mut fx = Effects::new();
+        sites[to.index()].handle(from, m, &mut fx);
+        for (t, m) in fx.take_sends() {
+            inflight.push_back((to, t, m));
+        }
+        // … then suspect S1: §6 withdraws the request, and the local
+        // relinquish overtakes the still-in-flight release.
+        sites[0].on_site_suspected(SiteId(1), &mut fx);
+        fx.take_sends();
+        assert!(!sites[0].wants_cs());
+        settle(&mut sites, &mut inflight);
+        // The suspicion proves false; no arbiter may stay wedged on the
+        // withdrawn request: a fresh request must reach the CS.
+        sites[0].on_site_restored(SiteId(1), &mut fx);
+        for (t, m) in fx.take_sends() {
+            inflight.push_back((SiteId(0), t, m));
+        }
+        settle(&mut sites, &mut inflight);
+        request(&mut sites, 0, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        assert!(sites[0].in_cs(), "arbiter wedged on a withdrawn request");
+    }
+
+    #[test]
+    fn rejoin_window_requests_get_arrival_accounting_at_close() {
+        // Model-checker counterexample regression: requests parked during
+        // the rejoin grace window got no §5.2 answer when the window
+        // closed — the head was granted silently and the losers never
+        // received their `fail`. Two requesters that each granted
+        // themselves and parked the rival's request during the window
+        // would then wait on each other forever.
+        let mut sites = net(2, &[0, 1]);
+        let universe = [SiteId(0), SiteId(1)];
+        let mut fx = Effects::new();
+        // S0 restarts: the crash wiped it, recovery opens the window.
+        sites[0] = DelayOptimal::new(SiteId(0), vec![SiteId(0), SiteId(1)], Config::default());
+        sites[0].set_peer_universe(&universe);
+        sites[0].set_incarnation(1);
+        sites[0].on_start(&mut fx);
+        sites[0].on_recover(&mut fx);
+        assert!(fx.take_sends().is_empty());
+        // S1 answers the rejoin resync with nothing to claim.
+        let mut inflight = VecDeque::new();
+        sites[1].on_peer_rejoined(SiteId(0), 1, &mut fx);
+        for (t, m) in fx.take_sends() {
+            inflight.push_back((SiteId(1), t, m));
+        }
+        settle(&mut sites, &mut inflight);
+        assert!(!sites[0].rejoin_pending());
+        // Tie: both request concurrently with equal Lamport seq (S0 wins
+        // the site-id tiebreak); each grants itself, each parks or queues
+        // the rival — neither can enter yet.
+        request(&mut sites, 0, &mut inflight);
+        request(&mut sites, 1, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        assert!(!sites[0].in_cs() && !sites[1].in_cs());
+        // Window close must replay the parked requests with arrival-time
+        // accounting: S1's parked request gets its fail, S1 honors the
+        // pending inquire and yields, and the tie resolves.
+        sites[0].on_rejoin_complete(&mut fx);
+        for (t, m) in fx.take_sends() {
+            inflight.push_back((SiteId(0), t, m));
+        }
+        settle(&mut sites, &mut inflight);
+        assert!(sites[0].in_cs(), "rejoin-window tie never resolves");
+        release(&mut sites, 0, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        assert!(sites[1].in_cs(), "loser never learns it must yield");
     }
 
     #[test]

@@ -790,6 +790,86 @@ mod tests {
     }
 
     #[test]
+    fn app_message_from_suspect_restores_like_a_beat() {
+        let mut d = det(3);
+        let mut fx = Effects::new();
+        d.on_start(&mut fx);
+        fx.take_sends();
+        d.set_now(40);
+        d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+        d.on_timer(40, &mut fx);
+        fx.take_sends();
+        assert!(d.suspected().contains(&SiteId(2)));
+        // An application message is liveness evidence too: the suspicion
+        // is withdrawn and the restore hook fires before the inner
+        // protocol handles the payload.
+        d.set_now(60);
+        d.handle(SiteId(2), HbMsg::App(NoMsg), &mut fx);
+        assert!(!d.suspected().contains(&SiteId(2)));
+        assert_eq!(d.counters().false_suspicions, 1);
+        assert_eq!(d.inner().restored, vec![SiteId(2)]);
+        assert!(d.inner().failed.is_empty());
+    }
+
+    #[test]
+    fn lease_edge_message_at_deadline_withdraws_suspicion() {
+        let mut d = det(3);
+        let mut fx = Effects::new();
+        d.on_start(&mut fx);
+        fx.take_sends();
+        // Suspect peer 2 at t=40: the confirmation lease runs to exactly
+        // t=140 (fail_confirm=100).
+        d.set_now(40);
+        d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+        d.on_timer(40, &mut fx);
+        fx.take_sends();
+        assert!(d.suspected().contains(&SiteId(2)));
+        // The suspect's message lands at t == confirm deadline and is
+        // processed before the timer: the suspicion is withdrawn exactly
+        // at the lease edge and no failure is ever confirmed.
+        d.set_now(140);
+        d.handle(SiteId(2), HbMsg::Beat, &mut fx);
+        d.on_timer(140, &mut fx);
+        assert!(!d.suspected().contains(&SiteId(2)));
+        assert_eq!(d.counters().false_suspicions, 1);
+        assert_eq!(d.counters().failures_confirmed, 0);
+        assert_eq!(d.inner().restored, vec![SiteId(2)]);
+        assert!(d.inner().failed.is_empty());
+    }
+
+    #[test]
+    fn lease_edge_timer_at_deadline_confirms_failure() {
+        let mut d = det(3);
+        let mut fx = Effects::new();
+        d.on_start(&mut fx);
+        fx.take_sends();
+        d.set_now(40);
+        d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+        d.on_timer(40, &mut fx);
+        fx.take_sends();
+        assert!(d.suspected().contains(&SiteId(2)));
+        // One tick before the deadline the suspicion is still only a
+        // suspicion.
+        d.set_now(139);
+        d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+        d.on_timer(139, &mut fx);
+        assert!(d.inner().failed.is_empty());
+        // The timer firing exactly at the deadline (c <= now with
+        // c == now) escalates to a definitive failure.
+        d.set_now(140);
+        d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+        d.on_timer(140, &mut fx);
+        assert_eq!(d.inner().failed, vec![SiteId(2)]);
+        assert_eq!(d.counters().failures_confirmed, 1);
+        // A message arriving one tick *after* confirmation restores the
+        // site but cannot undo the confirmed failure count.
+        d.set_now(141);
+        d.handle(SiteId(2), HbMsg::Beat, &mut fx);
+        assert_eq!(d.inner().restored, vec![SiteId(2)]);
+        assert_eq!(d.counters().failures_confirmed, 1);
+    }
+
+    #[test]
     fn rejoin_window_extends_while_inner_reports_pending() {
         let mut d = det(3);
         d.inner.gate_rejoin = true;

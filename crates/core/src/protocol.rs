@@ -381,7 +381,7 @@ pub trait Protocol {
 /// quorum of Agrawal–El Abbadi is the canonical reconstructible coterie);
 /// `qmx-core` only defines the interface so the protocol crate stays
 /// construction-agnostic, exactly as the algorithm is.
-pub trait QuorumSource: Send {
+pub trait QuorumSource: Send + Sync {
     /// Returns a quorum for `site` that avoids every site in `down`, or
     /// `None` if no live quorum exists (the site becomes inaccessible, as the
     /// paper prescribes).

@@ -712,6 +712,128 @@ mod tests {
         assert!(q.pop().is_none());
     }
 
+    /// Pins the growth trigger at its exact length-band boundary: with the
+    /// initial `resize_len` of 8 (capacity-8 construction), the 32nd push
+    /// sits *on* the `4 × resize_len` band and must not resize; the 33rd
+    /// crosses it and must.
+    #[test]
+    fn growth_resize_fires_exactly_past_the_length_band() {
+        let mut q = CalendarScheduler::with_capacity(8);
+        for seq in 0..32u64 {
+            q.push(Item {
+                time: seq * 100,
+                seq,
+            });
+        }
+        assert_eq!(q.resize_len, 8, "on-band push must not resize");
+        assert_eq!(q.heads.len(), 8);
+        q.push(Item {
+            time: 3_200,
+            seq: 32,
+        });
+        assert_eq!(q.resize_len, 33, "first past-band push must resize");
+        assert!(
+            q.heads.len() > MIN_BUCKETS,
+            "growth re-derives the ring from the live span"
+        );
+        // Contents survive the rebucket in exact (time, seq) order.
+        let drained = drain(&mut q);
+        assert_eq!(drained.len(), 33);
+        let mut sorted = drained.clone();
+        sorted.sort();
+        assert_eq!(drained, sorted);
+    }
+
+    /// Pins the shrink trigger at its exact quarter-band boundary: after a
+    /// growth resize pinned `resize_len` at 33, popping down to 9 items
+    /// (9 × 4 = 36 ≥ 33) must not resize, while the pop to 8 items
+    /// (8 × 4 = 32 < 33) must.
+    #[test]
+    fn shrink_resize_fires_exactly_below_the_quarter_band() {
+        let mut q = CalendarScheduler::with_capacity(8);
+        for seq in 0..40u64 {
+            q.push(Item {
+                time: seq * 100,
+                seq,
+            });
+        }
+        assert_eq!(q.resize_len, 33, "growth resize happened while filling");
+        while q.len() > 9 {
+            q.pop().expect("queue is non-empty");
+        }
+        assert_eq!(q.resize_len, 33, "on-band pop must not resize");
+        q.pop().expect("queue is non-empty");
+        assert_eq!(q.len(), 8);
+        assert_eq!(q.resize_len, 8, "first below-band pop must resize");
+        let drained = drain(&mut q);
+        assert_eq!(drained.len(), 8);
+        let mut sorted = drained.clone();
+        sorted.sort();
+        assert_eq!(drained, sorted);
+    }
+
+    /// Exercises the scan-cost retune: a bulk load whose span estimate is
+    /// stretched by one far outlier picks a day width ~1024× the true
+    /// inter-pop gap, so every pop rescans the dense cluster. After
+    /// [`RETUNE_MIN_POPS`] pops the sampled gap (1 tick) disagrees with
+    /// the width and the retune must rebucket to the narrow width.
+    #[test]
+    fn scan_cost_retune_rebuckets_to_the_sampled_gap() {
+        let mut q = CalendarScheduler::with_capacity(8);
+        let mut items: Vec<Item> = (0..999u64).map(|seq| Item { time: seq, seq }).collect();
+        items.push(Item {
+            time: 4_000_000,
+            seq: 999,
+        });
+        q.bulk_load(items);
+        // The outlier stretched the span: ~4M / 1000 items / 4 → 1024.
+        assert_eq!(1u64 << q.shift, 1024, "bulk load guessed a wide day");
+        for _ in 0..(RETUNE_MIN_POPS - 1) {
+            q.pop().expect("queue is non-empty");
+        }
+        assert_eq!(1u64 << q.shift, 1024, "no retune before the window fills");
+        assert!(
+            q.scanned_since > RETUNE_SCAN_FACTOR * q.pops_since,
+            "the wide day must be visibly over scan budget (scanned {} in {} pops)",
+            q.scanned_since,
+            q.pops_since,
+        );
+        q.pop().expect("queue is non-empty");
+        assert_eq!(
+            1u64 << q.shift,
+            1,
+            "retune adopts the sampled 1-tick inter-pop gap"
+        );
+        // And the retuned queue still drains in exact order.
+        let drained = drain(&mut q);
+        assert_eq!(drained.len(), 1000 - RETUNE_MIN_POPS as usize);
+        let mut sorted = drained.clone();
+        sorted.sort();
+        assert_eq!(drained, sorted);
+    }
+
+    /// The retune's no-op branch: when pops scan heavily but the sampled
+    /// gap already *equals* the current width (the workload genuinely
+    /// cannot meet the scan budget), the window resets instead of
+    /// rebucketing in vain.
+    #[test]
+    fn retune_resets_window_when_sampled_width_already_matches() {
+        let mut q = CalendarScheduler::with_capacity(8);
+        // Mean inter-pop gap of 1 tick (matching width 1 after the first
+        // retune), but many same-day ties so pops keep scanning chains.
+        let items: Vec<Item> = (0..2_000u64)
+            .map(|seq| Item { time: seq / 4, seq })
+            .collect();
+        q.bulk_load(items);
+        let mut last = None;
+        while let Some(it) = q.pop() {
+            if let Some(prev) = last {
+                assert!(prev < it, "order broken around retunes");
+            }
+            last = Some(it);
+        }
+    }
+
     #[test]
     fn growth_and_shrink_resizes_preserve_contents() {
         let mut q = CalendarScheduler::with_capacity(8);

@@ -8,7 +8,7 @@ use crate::trace::{Trace, TraceEvent};
 use qmx_core::{Effects, FaultVerdict, LinkFaults, LossModel, MsgMeta, Outage, Protocol, SiteId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -136,6 +136,12 @@ pub struct Simulator<P: Protocol> {
     /// Reusable effects buffer: every event drains it fully, so one
     /// allocation serves the whole run instead of one per event.
     scratch: Effects<P::Msg>,
+    /// Scripted message delays (trace replay): consumed FIFO, one entry
+    /// per non-dropped send, before falling back to sampling `cfg.delay`.
+    delay_script: VecDeque<u64>,
+    /// Scripted CS hold times: consumed FIFO, one entry per CS entry,
+    /// before falling back to sampling `cfg.hold`.
+    hold_script: VecDeque<u64>,
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -173,7 +179,24 @@ impl<P: Protocol> Simulator<P> {
             trace: None,
             started: false,
             scratch: Effects::new(),
+            delay_script: VecDeque::new(),
+            hold_script: VecDeque::new(),
         }
+    }
+
+    /// Scripts the next message delays: each non-dropped send consumes one
+    /// entry, in send order, instead of sampling [`SimConfig::delay`];
+    /// when the script runs dry, sampling resumes. Used by the model
+    /// checker's trace replay to force an exact delivery schedule.
+    pub fn script_delays(&mut self, delays: Vec<u64>) {
+        self.delay_script = delays.into();
+    }
+
+    /// Scripts the next CS hold times: each CS entry consumes one entry,
+    /// in entry order, instead of sampling [`SimConfig::hold`]; when the
+    /// script runs dry, sampling resumes.
+    pub fn script_holds(&mut self, holds: Vec<u64>) {
+        self.hold_script = holds.into();
     }
 
     /// Number of sites.
@@ -367,7 +390,10 @@ impl<P: Protocol> Simulator<P> {
                 // FIFO per ordered link: delivery times never reorder
                 // (equal times are delivered in send order via the event
                 // seq number). The duplicate copy follows its original.
-                let sampled = self.cfg.delay.sample(&mut self.rng);
+                let sampled = match self.delay_script.pop_front() {
+                    Some(d) => d,
+                    None => self.cfg.delay.sample(&mut self.rng),
+                };
                 let link = &mut self.link_clock[site.index() * n + to.index()];
                 let at = (self.now + sampled).max(*link);
                 *link = at;
@@ -400,7 +426,10 @@ impl<P: Protocol> Simulator<P> {
             self.in_cs = Some(site);
             self.states.set_entered_at(site, self.now);
             self.record(TraceEvent::Enter { t: self.now, site });
-            let hold = self.cfg.hold.sample(&mut self.rng);
+            let hold = match self.hold_script.pop_front() {
+                Some(h) => h,
+                None => self.cfg.hold.sample(&mut self.rng),
+            };
             self.push(self.now + hold, EventKind::Exit { site });
         }
     }

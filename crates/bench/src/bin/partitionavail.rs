@@ -1,0 +1,5 @@
+//! E13: service availability during asymmetric link partitions (§6).
+fn main() {
+    qmx_bench::jobs::init_jobs();
+    println!("{}", qmx_bench::experiments::partition_availability());
+}

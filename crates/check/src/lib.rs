@@ -12,10 +12,11 @@
 //! number of times, with instantaneous-but-interleavable CS occupancy).
 //! With a [`FaultBudget`], the explored alphabet additionally includes
 //! crashes, recoveries (answer-gated rejoin and incarnation fencing
-//! included), message drops, timer firings, and failure-detector verdicts
-//! (suspect / restore / confirm), so §6 reclamation and rejoin paths are
-//! verified exhaustively within scope — see [`crate::state`]'s module docs
-//! for the precise fault semantics.
+//! included), message drops, timer firings, directed link cuts and
+//! restorations (asymmetric partitions), and failure-detector verdicts
+//! (suspect / restore / confirm), so §6 reclamation, rejoin, and
+//! partition paths are verified exhaustively within scope — see
+//! [`crate::state`]'s module docs for the precise fault semantics.
 //!
 //! At every state the checker verifies:
 //!
@@ -126,6 +127,25 @@ pub enum Action {
     RejoinDone(SiteId),
     /// `site`'s next armed timer fires (transport/detector stacks).
     Timer(SiteId),
+    /// The directed link `from → to` is cut: messages already queued (and
+    /// any sent while the cut holds) stay in the channel but cannot be
+    /// delivered until the link is restored. Loss on a cut link is modeled
+    /// by composing with [`Action::Drop`]; the cut itself is an embargo —
+    /// the per-direction extension of the delivery gate.
+    CutLink {
+        /// Sending side of the severed direction.
+        from: SiteId,
+        /// Receiving side of the severed direction.
+        to: SiteId,
+    },
+    /// The directed link `from → to` is restored: embargoed messages
+    /// become deliverable again, in FIFO order.
+    RestoreLink {
+        /// Sending side of the healed direction.
+        from: SiteId,
+        /// Receiving side of the healed direction.
+        to: SiteId,
+    },
 }
 
 impl fmt::Display for Action {
@@ -143,6 +163,8 @@ impl fmt::Display for Action {
             Action::RejoinNotice { at, of } => write!(f, "rejoin-notice {at} of {of}"),
             Action::RejoinDone(s) => write!(f, "rejoin-done@{s}"),
             Action::Timer(s) => write!(f, "timer@{s}"),
+            Action::CutLink { from, to } => write!(f, "cut-link {from}->{to}"),
+            Action::RestoreLink { from, to } => write!(f, "restore-link {from}->{to}"),
         }
     }
 }
@@ -242,6 +264,16 @@ pub struct FaultBudget {
     /// Timer firings (`Protocol::on_timer`); only relevant for stacks that
     /// arm timers (transport retransmission, detector heartbeats).
     pub timers: u32,
+    /// Directed link cuts ([`Action::CutLink`]): partition episodes at
+    /// per-ordered-pair grain, so asymmetric splits (A hears B while B
+    /// does not hear A) are in scope.
+    pub cuts: u32,
+    /// Directed link restorations ([`Action::RestoreLink`]). Keep
+    /// `restores >= cuts` for a scope that is expected to verify: it
+    /// guarantees every explored branch can heal fully, so embargoed
+    /// messages always have a future and budget exhaustion cannot
+    /// manufacture a wedge behind a permanently cut link.
+    pub restores: u32,
     /// Whether detector-verdict transitions (suspect / restore / confirm /
     /// rejoin notices) are part of the alphabet at all. Disable to model a
     /// bare crash with *no* failure detection — useful to demonstrate that
@@ -266,6 +298,19 @@ impl FaultBudget {
         }
     }
 
+    /// `cuts` directed link cuts and `restores` restorations with detector
+    /// verdicts enabled — the crash-free partition scope. Suspicions of a
+    /// site whose link here is cut are justified (the detector really does
+    /// stop hearing it), so they never draw from `false_suspicions`.
+    pub fn partitions(cuts: u32, restores: u32) -> Self {
+        FaultBudget {
+            cuts,
+            restores,
+            detector: true,
+            ..FaultBudget::default()
+        }
+    }
+
     /// Whether any fault transition can ever fire under this budget.
     pub fn is_active(&self) -> bool {
         self.crashes > 0
@@ -273,6 +318,8 @@ impl FaultBudget {
             || self.drops > 0
             || self.false_suspicions > 0
             || self.timers > 0
+            || self.cuts > 0
+            || self.restores > 0
             || self.detector
     }
 }
@@ -624,5 +671,21 @@ mod tests {
             "suspect S0 of S2"
         );
         assert_eq!(Action::RejoinDone(SiteId(2)).to_string(), "rejoin-done@S2");
+        assert_eq!(
+            Action::CutLink {
+                from: SiteId(0),
+                to: SiteId(1)
+            }
+            .to_string(),
+            "cut-link S0->S1"
+        );
+        assert_eq!(
+            Action::RestoreLink {
+                from: SiteId(1),
+                to: SiteId(0)
+            }
+            .to_string(),
+            "restore-link S1->S0"
+        );
     }
 }

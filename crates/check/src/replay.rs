@@ -32,6 +32,15 @@
 //! the simulator and by explicit budgeted transitions in the checker, so
 //! they have no deterministic one-to-one counterpart. [`replay`] covers
 //! the full alphabet.
+//!
+//! `CutLink` / `RestoreLink` *are* admitted: a checker cut is a pure
+//! scheduling constraint — it embargoes delivery but queues every send and
+//! runs no protocol hook — so its entire observable effect is already
+//! encoded in the delay script (embargoed messages simply carry the later
+//! delivery time the trace gave them). Scripting `Simulator::schedule_cut`
+//! here would *diverge*, not converge: the simulator's partition model
+//! drops severed sends without consuming a delay slot, which would shift
+//! every later script index. The cut actions therefore schedule nothing.
 
 use crate::state::build_root;
 use crate::{Action, CheckOptions, Workload};
@@ -124,12 +133,18 @@ where
 /// `Deliver`, `Exit`, and `Crash` actions, plus `Drop`s on links that see
 /// no later delivery (a dropped message is emulated by an over-horizon
 /// delivery time, which — per-link FIFO — would also push every later
-/// delivery on that link past the horizon).
+/// delivery on that link past the horizon), plus `CutLink`/`RestoreLink`
+/// (scheduling-only constraints, realized entirely by the delay script —
+/// see the module docs).
 pub fn sim_replayable(trace: &[Action]) -> bool {
     let mut dropped_links: Vec<(SiteId, SiteId)> = Vec::new();
     for a in trace {
         match *a {
-            Action::Request(_) | Action::Exit(_) | Action::Crash(_) => {}
+            Action::Request(_)
+            | Action::Exit(_)
+            | Action::Crash(_)
+            | Action::CutLink { .. }
+            | Action::RestoreLink { .. } => {}
             Action::Deliver { from, to } => {
                 if dropped_links.contains(&(from, to)) {
                     return false;
@@ -231,6 +246,9 @@ where
                     .expect("exit matches an open CS entry");
                 holds[hi] = t_k - t_enter;
             }
+            // Scheduling-only: the embargo's effect is the delivery times
+            // the trace chose, which the delay script already carries.
+            Action::CutLink { .. } | Action::RestoreLink { .. } => {}
             _ => unreachable!("sim_replayable admits no other action"),
         }
         let was_in_cs: Vec<bool> = state.sites.iter().map(Protocol::in_cs).collect();

@@ -41,6 +41,23 @@
 //! * `Drop{from,to}` / `Timer(s)` — lossy-link and timer transitions for
 //!   stacks that implement them (budgeted; a bare protocol never arms
 //!   timers, so `Timer` only fires for transport/detector wrappers).
+//! * `CutLink{from,to}` / `RestoreLink{from,to}` — a directed partition
+//!   episode at per-ordered-pair grain (asymmetric cuts included). A cut
+//!   is an **embargo**, the per-direction extension of the delivery gate:
+//!   messages already queued on the link — and any sent while it is cut —
+//!   stay in the channel in FIFO order but `Deliver` is withheld until
+//!   `RestoreLink` fires. Loss is a separate concern, modeled by composing
+//!   with the budgeted `Drop`; this keeps the cut a pure *scheduling*
+//!   constraint, which is what lets cut-bearing traces replay exactly in
+//!   the simulator through the delay script alone. While `of → at` is
+//!   cut, `Suspect{at,of}` is *justified* — `at` really does stop hearing
+//!   `of` — and while `at → of` is cut it is justified too (the real
+//!   detector's reciprocal-suspicion path: `of` keeps echoing that it
+//!   cannot hear `at`), so neither direction draws from the
+//!   false-suspicion budget. The matching `Restore{at,of}` verdict is
+//!   withheld until the `of → at` link heals (withdrawal rides a message
+//!   from the site — a clean beat or a cleared echo — which a cut inbound
+//!   link cannot carry).
 //!
 //! # Delivery vs. detector-view staleness
 //!
@@ -117,6 +134,9 @@ pub(crate) struct Meta {
     /// `rejoin_seen[at][of]` = latest incarnation of `of` whose rejoin `at`
     /// has processed (the detector's per-peer dedup).
     pub(crate) rejoin_seen: Vec<Vec<u64>>,
+    /// `link_cut[from][to]`: the directed link is under a partition
+    /// embargo — its queued messages are undeliverable until restored.
+    pub(crate) link_cut: Vec<Vec<bool>>,
     /// Remaining fault budget.
     pub(crate) budget: FaultBudget,
 }
@@ -131,6 +151,7 @@ impl Meta {
             suspected: vec![vec![None; n]; n],
             confirmed: vec![vec![false; n]; n],
             rejoin_seen: vec![vec![0; n]; n],
+            link_cut: vec![vec![false; n]; n],
             budget,
         }
     }
@@ -213,7 +234,7 @@ where
             let m = &self.meta;
             let _ = write!(
                 h,
-                ";{:?}{:?}{:?}{:?}{:?}{:?}{:?}{:?}",
+                ";{:?}{:?}{:?}{:?}{:?}{:?}{:?}{:?}{:?}",
                 m.crashed,
                 m.incarnation,
                 m.rejoining,
@@ -221,6 +242,7 @@ where
                 m.suspected,
                 m.confirmed,
                 m.rejoin_seen,
+                m.link_cut,
                 m.budget
             );
         }
@@ -315,7 +337,9 @@ impl<P: Protocol + Clone> State<P> {
                 && (m.suspected[t][f].is_some()
                     || m.confirmed[t][f]
                     || m.incarnation[f] > m.rejoin_seen[t][f]);
-            if !stale_view {
+            // Per-direction partition embargo: a cut link holds its queue
+            // (FIFO) but delivers nothing until `RestoreLink` heals it.
+            if !stale_view && !m.link_cut[f][t] {
                 acts.push(Action::Deliver {
                     from: *from,
                     to: *to,
@@ -342,6 +366,33 @@ impl<P: Protocol + Clone> State<P> {
                 }
             }
         }
+        if m.budget.cuts > 0 {
+            // Cutting a link to or from a crashed site is unobservable
+            // (sends to it are dropped at source and it sends nothing), so
+            // those pairs are excluded to keep the scope tight.
+            for f in 0..ctx.n {
+                for t in 0..ctx.n {
+                    if f != t && !m.link_cut[f][t] && !m.crashed[f] && !m.crashed[t] {
+                        acts.push(Action::CutLink {
+                            from: SiteId(f as u32),
+                            to: SiteId(t as u32),
+                        });
+                    }
+                }
+            }
+        }
+        if m.budget.restores > 0 {
+            for f in 0..ctx.n {
+                for t in 0..ctx.n {
+                    if m.link_cut[f][t] {
+                        acts.push(Action::RestoreLink {
+                            from: SiteId(f as u32),
+                            to: SiteId(t as u32),
+                        });
+                    }
+                }
+            }
+        }
         if ctx.opts.faults.detector {
             for at in 0..ctx.n {
                 if m.crashed[at] {
@@ -354,7 +405,19 @@ impl<P: Protocol + Clone> State<P> {
                     let (a, o) = (SiteId(at as u32), SiteId(of as u32));
                     match m.suspected[at][of] {
                         None => {
-                            if m.crashed[of] || m.budget.false_suspicions > 0 {
+                            // Suspecting a crashed site — or one with a cut
+                            // link in either direction — is *justified*:
+                            // silence (`of -> at` cut: the detector stops
+                            // hearing it) or a persistent suspicion echo
+                            // (`at -> of` cut: the peer keeps reporting it
+                            // cannot hear us, so the reciprocal-suspicion
+                            // path fires). Neither draws from the
+                            // false-suspicion budget.
+                            if m.crashed[of]
+                                || m.link_cut[of][at]
+                                || m.link_cut[at][of]
+                                || m.budget.false_suspicions > 0
+                            {
                                 acts.push(Action::Suspect { at: a, of: o });
                             }
                         }
@@ -363,12 +426,36 @@ impl<P: Protocol + Clone> State<P> {
                                 if !m.confirmed[at][of] {
                                     acts.push(Action::Confirm { at: a, of: o });
                                 }
-                            } else if inc == m.incarnation[of] {
+                            } else if inc == m.incarnation[of]
+                                && !m.link_cut[of][at]
+                                && !m.link_cut[at][of]
+                            {
+                                // A suspicion is withdrawn only when its
+                                // evidence can clear, which no cut on the
+                                // pair can allow: a silence suspicion
+                                // withdraws by hearing the site again
+                                // (needs `of -> at`), a reciprocal one
+                                // when the peer's suspicion echo stops
+                                // (needs `at -> of` — while our outbound
+                                // link is down the peer keeps suspecting
+                                // us and every beat re-echoes it). The
+                                // checker does not track which kind fired,
+                                // so `Restore` waits for both directions.
+                                // This also bounds the state graph: a
+                                // withdrawal can no longer alternate with
+                                // a still-justified re-suspicion, which
+                                // would re-issue the suspect's parked
+                                // request with fresh clocks forever.
                                 acts.push(Action::Restore { at: a, of: o });
                             }
                         }
                     }
-                    if !m.crashed[of] && m.incarnation[of] > m.rejoin_seen[at][of] {
+                    if !m.crashed[of]
+                        && m.incarnation[of] > m.rejoin_seen[at][of]
+                        && !m.link_cut[of][at]
+                    {
+                        // (The link-cut gate mirrors delivery: the rejoin
+                        // announcement rides the same severed channel.)
                         // Per-link FIFO: the rejoin announcement queues
                         // *behind* whatever the old incarnation left in
                         // flight on the (of -> at) link, so the notice
@@ -496,7 +583,11 @@ impl<P: Protocol + Clone> State<P> {
             }
             Action::Suspect { at, of } => {
                 let (a, o) = (at.index(), of.index());
-                if !self.meta.crashed[o] {
+                // Justified suspicions — of a crashed site, or of one with
+                // a cut link in either direction (silence, or the
+                // reciprocal persistent-echo path) — are free; only truly
+                // baseless ones draw from the budget.
+                if !self.meta.crashed[o] && !self.meta.link_cut[o][a] && !self.meta.link_cut[a][o] {
                     self.meta.budget.false_suspicions -= 1;
                 }
                 self.meta.suspected[a][o] = Some(self.meta.incarnation[o]);
@@ -534,6 +625,17 @@ impl<P: Protocol + Clone> State<P> {
                 self.set_now(i);
                 self.sites[i].on_rejoin_complete(fx);
                 self.route(s, fx, sent);
+            }
+            Action::CutLink { from, to } => {
+                // Pure meta transition: no protocol hook runs and the
+                // channel keeps its queue — the cut only embargoes
+                // delivery (and justifies suspicions) until restored.
+                self.meta.budget.cuts -= 1;
+                self.meta.link_cut[from.index()][to.index()] = true;
+            }
+            Action::RestoreLink { from, to } => {
+                self.meta.budget.restores -= 1;
+                self.meta.link_cut[from.index()][to.index()] = false;
             }
             Action::Timer(s) => {
                 let i = s.index();
@@ -598,7 +700,11 @@ where
 
 /// The site whose local state machine an action steps (delivery and drop
 /// belong to the receiving end of the channel; detector verdicts to the
-/// observing site).
+/// observing site). `CutLink`/`RestoreLink` step no machine, but every
+/// action whose enabledness they flip — `Deliver{from,to}`,
+/// `Suspect{at: to, of: from}`, `Restore{at: to, of: from}` — is owned by
+/// the receiving end, so assigning them `to` routes all those conflicts
+/// through the same-owner dependency rule.
 pub(crate) fn owner(a: Action) -> SiteId {
     match a {
         Action::Request(s)
@@ -607,7 +713,10 @@ pub(crate) fn owner(a: Action) -> SiteId {
         | Action::Recover(s)
         | Action::RejoinDone(s)
         | Action::Timer(s) => s,
-        Action::Deliver { to, .. } | Action::Drop { to, .. } => to,
+        Action::Deliver { to, .. }
+        | Action::Drop { to, .. }
+        | Action::CutLink { to, .. }
+        | Action::RestoreLink { to, .. } => to,
         Action::Suspect { at, .. }
         | Action::Restore { at, .. }
         | Action::Confirm { at, .. }
@@ -637,12 +746,19 @@ fn protocol_class(a: Action) -> bool {
 ///   "sends to me are dropped" to "sends to me are queued", so ordering
 ///   against any potential sender is observable.
 /// * Any other pair involving a fault-class action (crash, drop, detector
-///   verdicts, timers) is dependent if both are fault-class — they couple
-///   through shared budgets and through liveness gates (a crash enables
-///   `Confirm` and disables `Restore` for every observer) — while a
-///   fault-class action and a *protocol* action with distinct owners
-///   commute: the verdict only touches the observer's state machine and
-///   budget, neither of which a remote protocol step reads.
+///   verdicts, timers, link cuts/restores) is dependent if both are
+///   fault-class — they couple through shared budgets and through liveness
+///   gates (a crash enables `Confirm` and disables `Restore` for every
+///   observer) — while a fault-class action and a *protocol* action with
+///   distinct owners commute: the verdict only touches the observer's
+///   state machine and budget, neither of which a remote protocol step
+///   reads. `CutLink`/`RestoreLink` in particular touch only the link-cut
+///   matrix; the protocol actions they conflict with (delivery on the
+///   embargoed channel) share their owner — the receiving site — so the
+///   same-owner rule already orders them, and a remote site's protocol
+///   step neither reads the matrix nor changes it (sends *queue* on a cut
+///   link rather than being dropped, so send-then-cut and cut-then-send
+///   reach the same state).
 pub(crate) fn independent(a: Action, b: Action) -> bool {
     if owner(a) == owner(b) {
         return false;

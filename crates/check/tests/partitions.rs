@@ -1,0 +1,331 @@
+//! Partition-alphabet model checking: directed link cuts and restorations
+//! (`CutLink` / `RestoreLink`) are explored exhaustively at small scope.
+//! A checker cut is a delivery *embargo* — sends still queue in FIFO
+//! order, so the cut's entire observable effect is scheduling — which is
+//! pinned here both positively (a healed scope verifies, embargoed
+//! messages flow after restore) and negatively (delivery across a cut
+//! link is rejected, a permanent cut without a detector wedges, and both
+//! engines agree on the wedge).
+
+use qmx_check::{
+    check_with, replay, replay_in_sim, sim_replayable, Action, CheckOptions, FaultBudget,
+    ReplayOutcome, SimReplayOutcome, Violation, Workload,
+};
+use qmx_core::{Config, DelayOptimal, SiteId};
+
+fn full_quorum(n: u32) -> Vec<Vec<SiteId>> {
+    (0..n).map(|_| (0..n).map(SiteId).collect()).collect()
+}
+
+fn delay_optimal(quorums: Vec<Vec<SiteId>>) -> Vec<DelayOptimal> {
+    quorums
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| {
+            DelayOptimal::new(
+                SiteId(i as u32),
+                q,
+                Config {
+                    forwarding_enabled: true,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Fault-scope options: a site whose every quorum is unreachable must
+/// block (§6), so its stall is exempt from deadlock verdicts.
+fn fault_opts(max_states: usize, faults: FaultBudget) -> CheckOptions<DelayOptimal> {
+    let mut o = CheckOptions::new(max_states);
+    o.faults = faults;
+    o.stuck_exempt = Some(DelayOptimal::is_inaccessible);
+    o
+}
+
+fn cut(from: u32, to: u32) -> Action {
+    Action::CutLink {
+        from: SiteId(from),
+        to: SiteId(to),
+    }
+}
+
+fn restore(from: u32, to: u32) -> Action {
+    Action::RestoreLink {
+        from: SiteId(from),
+        to: SiteId(to),
+    }
+}
+
+fn deliver(from: u32, to: u32) -> Action {
+    Action::Deliver {
+        from: SiteId(from),
+        to: SiteId(to),
+    }
+}
+
+/// The headline partition scope (also the `BENCH_qmx.json` checker row):
+/// two sites, one round each, up to two directed cuts with matching
+/// restores. Because `restores >= cuts`, every branch can heal fully, so
+/// safety *and* liveness must hold in every interleaving — asymmetric
+/// views (S0 hears S1 while S1 does not hear S0), justified suspicions
+/// on cut links, and post-heal suspicion withdrawal are all in scope.
+#[test]
+fn crash_free_partition_scope_verifies() {
+    let stats = check_with(
+        delay_optimal(full_quorum(2)),
+        &Workload::uniform(2, 1),
+        &fault_opts(20_000_000, FaultBudget::partitions(2, 2)),
+    )
+    .expect("healable partitions safe and live in every interleaving");
+    assert!(stats.states > 1_000, "states = {}", stats.states);
+    assert!(stats.terminals >= 1);
+    assert!(
+        stats.reduction_ratio() > 1.0,
+        "sleep sets pruned nothing at the partition scope: {stats:?}"
+    );
+}
+
+/// A cut link embargoes delivery but does not lose messages: a request
+/// sent while `S0 -> S1` is cut stays queued and flows after the
+/// restore, completing the round. Both engines agree the trace is
+/// violation-free — the simulator leg doubles as the pinned proof that
+/// cut actions are pure scheduling constraints (they script nothing; the
+/// delay script alone reproduces the embargo).
+#[test]
+fn embargoed_send_survives_cut_and_heals() {
+    let trace = vec![
+        cut(0, 1),
+        Action::Request(SiteId(0)),
+        restore(0, 1),
+        deliver(0, 1),
+        deliver(1, 0),
+        Action::Exit(SiteId(0)),
+        deliver(0, 1),
+    ];
+    let sites = delay_optimal(full_quorum(2));
+    let workload = Workload::per_site(vec![1, 0]);
+    let opts = fault_opts(1_000, FaultBudget::partitions(1, 1));
+    assert_eq!(
+        replay(sites.clone(), &workload, &opts, &trace),
+        ReplayOutcome::Completed
+    );
+    assert!(sim_replayable(&trace));
+    assert_eq!(
+        replay_in_sim(sites, &workload, &opts, &trace),
+        SimReplayOutcome::Completed
+    );
+}
+
+/// Delivery across a cut link is not enabled: the per-direction FIFO
+/// delivery gate must reject it until a restore lifts the embargo.
+#[test]
+#[should_panic(expected = "not enabled")]
+fn delivery_across_cut_link_is_rejected() {
+    let trace = vec![cut(0, 1), Action::Request(SiteId(0)), deliver(0, 1)];
+    replay(
+        delay_optimal(full_quorum(2)),
+        &Workload::per_site(vec![1, 0]),
+        &fault_opts(1_000, FaultBudget::partitions(1, 1)),
+        &trace,
+    );
+}
+
+/// A suspicion of a site behind a cut link is *justified* — the detector
+/// really stops hearing from it — so it must not draw from the
+/// `false_suspicions` budget, and it must be withdrawable once the link
+/// heals. `FaultBudget::partitions` grants zero false suspicions, so this
+/// trace only replays if the justified path is budget-free.
+#[test]
+fn justified_suspicion_on_cut_link_is_budget_free() {
+    let trace = vec![
+        cut(0, 1),
+        Action::Suspect {
+            at: SiteId(1),
+            of: SiteId(0),
+        },
+        restore(0, 1),
+        Action::Restore {
+            at: SiteId(1),
+            of: SiteId(0),
+        },
+    ];
+    assert_eq!(
+        replay(
+            delay_optimal(full_quorum(2)),
+            &Workload::uniform(2, 0),
+            &fault_opts(1_000, FaultBudget::partitions(1, 1)),
+            &trace,
+        ),
+        ReplayOutcome::Completed
+    );
+}
+
+/// The reciprocal path is justified too: with `S0 -> S1` cut, S0 keeps
+/// hearing S1 but S1's beats echo that it cannot hear S0 — the real
+/// detector reciprocally suspects S1, so `Suspect{at: S0, of: S1}` must
+/// be enabled budget-free in the same direction.
+#[test]
+fn reciprocal_suspicion_on_outbound_cut_is_budget_free() {
+    let trace = vec![
+        cut(0, 1),
+        Action::Suspect {
+            at: SiteId(0),
+            of: SiteId(1),
+        },
+        restore(0, 1),
+        Action::Restore {
+            at: SiteId(0),
+            of: SiteId(1),
+        },
+    ];
+    assert_eq!(
+        replay(
+            delay_optimal(full_quorum(2)),
+            &Workload::uniform(2, 0),
+            &fault_opts(1_000, FaultBudget::partitions(1, 1)),
+            &trace,
+        ),
+        ReplayOutcome::Completed
+    );
+}
+
+/// Without a cut (and with zero `false_suspicions` budget) the same
+/// suspicion is *un*justified and must not be enabled.
+#[test]
+#[should_panic(expected = "not enabled")]
+fn unjustified_suspicion_needs_budget() {
+    let trace = vec![Action::Suspect {
+        at: SiteId(1),
+        of: SiteId(0),
+    }];
+    replay(
+        delay_optimal(full_quorum(2)),
+        &Workload::uniform(2, 0),
+        &fault_opts(1_000, FaultBudget::partitions(1, 1)),
+        &trace,
+    );
+}
+
+/// Suspicion withdrawal must wait for the heal: while `S0 -> S1` stays
+/// cut, S1 cannot hear from S0, so `Restore{at: S1, of: S0}` is gated
+/// off — a detector cannot withdraw a suspicion of a site it still
+/// cannot hear.
+#[test]
+#[should_panic(expected = "not enabled")]
+fn suspicion_withdrawal_gated_until_heal() {
+    let trace = vec![
+        cut(0, 1),
+        Action::Suspect {
+            at: SiteId(1),
+            of: SiteId(0),
+        },
+        Action::Restore {
+            at: SiteId(1),
+            of: SiteId(0),
+        },
+    ];
+    replay(
+        delay_optimal(full_quorum(2)),
+        &Workload::uniform(2, 0),
+        &fault_opts(1_000, FaultBudget::partitions(1, 1)),
+        &trace,
+    );
+}
+
+/// The reciprocal withdrawal is gated on the *outbound* heal: with
+/// `S0 -> S1` cut, S0's suspicion of S1 is the echo-fed reciprocal kind,
+/// and S1 keeps echoing "I cannot hear you" until that very link heals —
+/// so `Restore{at: S0, of: S1}` must stay off while the cut persists.
+/// (Regression: an inbound-only gate here let the checker alternate a
+/// still-justified re-suspicion with withdrawal, re-issuing the
+/// suspect's parked request with ever-fresh clocks — an unbounded state
+/// graph.)
+#[test]
+#[should_panic(expected = "not enabled")]
+fn reciprocal_withdrawal_gated_until_outbound_heal() {
+    let trace = vec![
+        cut(0, 1),
+        Action::Suspect {
+            at: SiteId(0),
+            of: SiteId(1),
+        },
+        Action::Restore {
+            at: SiteId(0),
+            of: SiteId(1),
+        },
+    ];
+    replay(
+        delay_optimal(full_quorum(2)),
+        &Workload::uniform(2, 0),
+        &fault_opts(1_000, FaultBudget::partitions(1, 1)),
+        &trace,
+    );
+}
+
+/// A permanent cut with no detector in scope wedges the requester whose
+/// quorum sits behind the severed link — and the checker pins it as a
+/// deadlock, with both engines agreeing on the wedge. This is the
+/// partition analogue of the pinned message-drop deadlock: it documents
+/// that the bare protocol needs the detector/reconciliation layer (or a
+/// heal) to survive partitions, which is exactly what the scope above
+/// verifies.
+#[test]
+fn permanent_cut_without_detector_wedges_and_both_engines_agree() {
+    let mut faults = FaultBudget {
+        cuts: 1,
+        ..FaultBudget::default()
+    };
+    faults.detector = false;
+    let sites = delay_optimal(full_quorum(2));
+    let workload = Workload::uniform(2, 1);
+    let opts = fault_opts(20_000_000, faults);
+    let err = check_with(sites.clone(), &workload, &opts).unwrap_err();
+    let Violation::Deadlock { ref trace, .. } = err else {
+        panic!("expected deadlock, got {err}");
+    };
+    assert!(
+        trace.iter().any(|a| matches!(a, Action::CutLink { .. })),
+        "counterexample must involve the cut: {trace:?}"
+    );
+    assert!(matches!(
+        replay(sites.clone(), &workload, &opts, trace),
+        ReplayOutcome::Deadlock { .. }
+    ));
+    assert!(sim_replayable(trace), "cut traces script into the sim");
+    assert!(matches!(
+        replay_in_sim(sites, &workload, &opts, trace),
+        SimReplayOutcome::Wedged { .. }
+    ));
+}
+
+/// The partition scope's DPOR reduction is sound: sleep sets must visit
+/// the exact same state set (and find the same verdict) as the naive
+/// exploration — they prune transition orders, never states. This is the
+/// differential oracle for the cut-action dependency/ownership rules.
+#[test]
+fn partition_scope_dpor_agrees_with_naive_dfs() {
+    let workload = Workload::uniform(2, 1);
+    let faults = FaultBudget::partitions(1, 1);
+    let mut naive = fault_opts(20_000_000, faults);
+    naive.sleep_sets = false;
+    let full = check_with(delay_optimal(full_quorum(2)), &workload, &naive)
+        .expect("naive partition exploration verifies");
+    let reduced = check_with(
+        delay_optimal(full_quorum(2)),
+        &workload,
+        &fault_opts(20_000_000, faults),
+    )
+    .expect("reduced partition exploration verifies");
+    assert_eq!(
+        full.states, reduced.states,
+        "sleep sets must not prune states"
+    );
+    assert_eq!(full.terminals, reduced.terminals);
+    assert_eq!(full.naive_transitions, reduced.naive_transitions);
+    assert!(
+        reduced.transitions < full.transitions,
+        "reduction fired: {} vs {}",
+        reduced.transitions,
+        full.transitions
+    );
+}

@@ -69,6 +69,14 @@ pub enum Command {
         partitions: Vec<(Vec<u32>, u64)>,
         /// Times (in T units) at which the current partition heals.
         heals: Vec<u64>,
+        /// Directed link cuts as `from:to:timeT` triples.
+        cuts: Vec<(u32, u32, u64)>,
+        /// Directed link restorations as `from:to:timeT` triples.
+        link_restores: Vec<(u32, u32, u64)>,
+        /// Flapping links as `from:to:startT:periodT:count`: `count`
+        /// cut/heal pairs, each cut at `start + k*period` healing half a
+        /// period later.
+        flaps: Vec<(u32, u32, u64, u64, u32)>,
         /// Reliable-transport wrapper: `None` = auto (on iff faults are
         /// configured), `Some(b)` = forced on/off.
         reliable: Option<bool>,
@@ -108,6 +116,10 @@ pub enum Command {
         drops: u32,
         /// Fault budget: false suspicions of live sites.
         suspicions: u32,
+        /// Fault budget: directed link cuts (delivery embargoes).
+        cuts: u32,
+        /// Fault budget: restorations of cut links.
+        restores: u32,
         /// Parallel subtree fan-out width (1 = sequential).
         jobs: usize,
         /// File to write a counterexample trace to on failure.
@@ -134,13 +146,15 @@ USAGE:
              [--loss P] [--dup P] [--burst PB:PG:DG:DB]
              [--outage from:to:startT:endT ...]
              [--partition g0,g1,..:timeT ...] [--heal timeT ...]
+             [--cut from:to:timeT ...] [--restore from:to:timeT ...]
+             [--flap from:to:startT:periodT:count ...]
              [--reliable on|off|auto]
              [--hb-interval T] [--hb-timeout T] [--recover site:timeT ...]
              [--scheduler heap|calendar]
   qmxctl quorum --kind Q --n N
   qmxctl check [--n N] [--rounds R] [--max-states M] [--quorum Q]
                [--crashes C] [--recoveries C] [--drops C] [--suspicions C]
-               [--jobs J] [--trace-out FILE]
+               [--cuts C] [--restores C] [--jobs J] [--trace-out FILE]
   qmxctl experiment NAME [--jobs J]
   qmxctl help
 
@@ -154,8 +168,14 @@ WHERE:
   D = const:TICKS | uniform:LO:HI | exp:MEAN
   P = probability in [0,1]; --burst takes Gilbert-Elliott parameters
       (good->bad prob, bad->good prob, drop prob per state)
+  --cut severs one *directed* link at the given time (messages from
+      `from` to `to` are dropped at the source); --restore heals it.
+      --flap schedules `count` cut/heal pairs on one link, each cut at
+      start + k*period and healed half a period later. Compose --cut
+      pairs for a symmetric partition; a lone direction is an
+      asymmetric partition (A hears B, B does not hear A)
   --reliable auto (default) wraps sites in the ack/retransmit transport
-      whenever --loss/--dup/--burst/--outage are present
+      whenever --loss/--dup/--burst/--outage/--cut/--flap are present
   --hb-interval/--hb-timeout/--recover switch failure detection from the
       oracle to heartbeats (suspicion from silence, crash recovery via
       the rejoin handshake); intervals are in T units
@@ -166,12 +186,15 @@ WHERE:
       partial-order reduction; fault budgets add Crash/Recover/Drop and
       failure-detector verdict transitions (--suspicions bounds *false*
       suspicions of live sites; true suspicions of crashed sites are
-      free). --quorum overrides the default full (all-sites) quorum,
+      free). --cuts/--restores budget directed link cuts: a cut S->T
+      embargoes delivery on that link (sends still queue, FIFO order is
+      kept) until a restore lifts it — keep restores >= cuts so every
+      branch can heal. --quorum overrides the default full (all-sites) quorum,
       --jobs fans independent subtrees out in parallel, and --trace-out
       writes the counterexample action trace on failure
   NAME = table1 | lightload | heavyload | syncdelay | throughput |
          quorumsize | availability | faulttolerance | ablation |
-         holdsweep | msgscaling | schedulers
+         holdsweep | msgscaling | schedulers | partitions
   J = worker threads for the experiment fan-out (0 or absent = auto);
       reports are identical for every J — runs are pure per (scenario,
       seed) and rows are assembled in parameter order
@@ -360,6 +383,45 @@ impl Cli {
                         ParseError(format!("--heal wants a time in T units, got '{h}'"))
                     })?);
                 }
+                let link_time = |flag: &str, c: &str| -> Result<(u32, u32, u64), ParseError> {
+                    let parts: Vec<&str> = c.split(':').collect();
+                    let [from, to, t] = parts.as_slice() else {
+                        return err(format!("--{flag} wants from:to:timeT, got '{c}'"));
+                    };
+                    let num = |x: &str| -> Result<u64, ParseError> {
+                        x.parse()
+                            .map_err(|_| ParseError(format!("bad number in --{flag} '{c}'")))
+                    };
+                    Ok((num(from)? as u32, num(to)? as u32, num(t)?))
+                };
+                let mut cuts = Vec::new();
+                for c in f.get("cut").into_iter().flatten() {
+                    cuts.push(link_time("cut", c)?);
+                }
+                let mut link_restores = Vec::new();
+                for c in f.get("restore").into_iter().flatten() {
+                    link_restores.push(link_time("restore", c)?);
+                }
+                let mut flaps = Vec::new();
+                for c in f.get("flap").into_iter().flatten() {
+                    let parts: Vec<&str> = c.split(':').collect();
+                    let [from, to, start, period, count] = parts.as_slice() else {
+                        return err(format!(
+                            "--flap wants from:to:startT:periodT:count, got '{c}'"
+                        ));
+                    };
+                    let num = |x: &str| -> Result<u64, ParseError> {
+                        x.parse()
+                            .map_err(|_| ParseError(format!("bad number in --flap '{c}'")))
+                    };
+                    flaps.push((
+                        num(from)? as u32,
+                        num(to)? as u32,
+                        num(start)?,
+                        num(period)?,
+                        num(count)? as u32,
+                    ));
+                }
                 let burst = match one(&f, "burst", "") {
                     "" => None,
                     s => {
@@ -412,6 +474,9 @@ impl Cli {
                     outages,
                     partitions,
                     heals,
+                    cuts,
+                    link_restores,
+                    flaps,
                     reliable,
                     hb_interval_t,
                     hb_timeout_t,
@@ -445,6 +510,8 @@ impl Cli {
                     recoveries: parse_u64(&f, "recoveries", 0)? as u32,
                     drops: parse_u64(&f, "drops", 0)? as u32,
                     suspicions: parse_u64(&f, "suspicions", 0)? as u32,
+                    cuts: parse_u64(&f, "cuts", 0)? as u32,
+                    restores: parse_u64(&f, "restores", 0)? as u32,
                     jobs: parse_u64(&f, "jobs", 1)? as usize,
                     trace_out,
                 }
@@ -581,6 +648,51 @@ mod tests {
     }
 
     #[test]
+    fn link_cut_flags() {
+        let cli = parse(
+            "run --cut 0:1:25 --cut 1:0:25 --restore 0:1:60 --restore 1:0:60 \
+             --flap 2:3:10:20:4",
+        )
+        .unwrap();
+        match cli.command {
+            Command::Run {
+                cuts,
+                link_restores,
+                flaps,
+                ..
+            } => {
+                assert_eq!(cuts, vec![(0, 1, 25), (1, 0, 25)]);
+                assert_eq!(link_restores, vec![(0, 1, 60), (1, 0, 60)]);
+                assert_eq!(flaps, vec![(2, 3, 10, 20, 4)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Absent flags leave the link schedule empty.
+        match parse("run").unwrap().command {
+            Command::Run {
+                cuts,
+                link_restores,
+                flaps,
+                ..
+            } => {
+                assert!(cuts.is_empty());
+                assert!(link_restores.is_empty());
+                assert!(flaps.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("run --cut 0:1").unwrap_err().0.contains("from:to"));
+        assert!(parse("run --restore x:1:5")
+            .unwrap_err()
+            .0
+            .contains("number"));
+        assert!(parse("run --flap 0:1:5:10")
+            .unwrap_err()
+            .0
+            .contains("count"));
+    }
+
+    #[test]
     fn detector_flags() {
         let cli =
             parse("run --crash 1:4 --recover 1:40 --hb-interval 2 --hb-timeout 10 --reliable on")
@@ -692,6 +804,8 @@ mod tests {
                 recoveries: 0,
                 drops: 0,
                 suspicions: 0,
+                cuts: 0,
+                restores: 0,
                 jobs: 1,
                 trace_out: None,
             }
@@ -703,7 +817,8 @@ mod tests {
         assert_eq!(
             parse(
                 "check --n 3 --quorum majority --crashes 1 --recoveries 1 \
-                 --drops 2 --suspicions 1 --jobs 4 --trace-out cex.trace"
+                 --drops 2 --suspicions 1 --cuts 2 --restores 2 --jobs 4 \
+                 --trace-out cex.trace"
             )
             .unwrap()
             .command,
@@ -716,6 +831,8 @@ mod tests {
                 recoveries: 1,
                 drops: 2,
                 suspicions: 1,
+                cuts: 2,
+                restores: 2,
                 jobs: 4,
                 trace_out: Some("cex.trace".into()),
             }

@@ -32,6 +32,9 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             outages,
             partitions,
             heals,
+            cuts,
+            link_restores,
+            flaps,
             reliable,
             hb_interval_t,
             hb_timeout_t,
@@ -53,7 +56,10 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 },
                 None => LossModel::None,
             };
-            let faults_present = loss_model != LossModel::None || !outages.is_empty();
+            let faults_present = loss_model != LossModel::None
+                || !outages.is_empty()
+                || !cuts.is_empty()
+                || !flaps.is_empty();
             // Any detector-related flag switches failure handling from the
             // oracle to heartbeats; unspecified knobs default to the
             // simulator's steady-state-safe sizing (beat 2T, suspect 8T).
@@ -96,6 +102,31 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                     .map(|(groups, time_t)| (groups.clone(), time_t * t))
                     .collect(),
                 heals: heals.iter().map(|&h| h * t).collect(),
+                cuts: {
+                    let mut v: Vec<(SiteId, SiteId, u64)> = cuts
+                        .iter()
+                        .map(|&(f, to, time_t)| (SiteId(f), SiteId(to), time_t * t))
+                        .collect();
+                    for &(f, to, start_t, period_t, count) in flaps {
+                        for k in 0..u64::from(count) {
+                            v.push((SiteId(f), SiteId(to), (start_t + k * period_t) * t));
+                        }
+                    }
+                    v
+                },
+                link_restores: {
+                    let mut v: Vec<(SiteId, SiteId, u64)> = link_restores
+                        .iter()
+                        .map(|&(f, to, time_t)| (SiteId(f), SiteId(to), time_t * t))
+                        .collect();
+                    for &(f, to, start_t, period_t, count) in flaps {
+                        for k in 0..u64::from(count) {
+                            let heal_t = start_t + k * period_t + period_t / 2;
+                            v.push((SiteId(f), SiteId(to), heal_t * t));
+                        }
+                    }
+                    v
+                },
                 loss: loss_model.clone(),
                 outages: outages
                     .iter()
@@ -163,6 +194,12 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                     "injected faults   : {} dropped, {} duplicated\n",
                     r.injected_drops, r.injected_dups
                 ));
+                if r.partition_drops > 0 {
+                    out.push_str(&format!(
+                        "partition drops   : {} (eaten by cut links)\n",
+                        r.partition_drops
+                    ));
+                }
                 let tc = &r.transport;
                 out.push_str(&format!(
                     "transport         : {} retransmissions, {} dup-drops, \
@@ -233,6 +270,8 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             recoveries,
             drops,
             suspicions,
+            cuts,
+            restores,
             jobs,
             trace_out,
         } => {
@@ -261,8 +300,10 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 recoveries: *recoveries,
                 drops: *drops,
                 false_suspicions: *suspicions,
+                cuts: *cuts,
+                restores: *restores,
                 timers: 0,
-                detector: *crashes > 0 || *recoveries > 0 || *suspicions > 0,
+                detector: *crashes > 0 || *recoveries > 0 || *suspicions > 0 || *cuts > 0,
             };
             let mut opts = qmx_check::CheckOptions::new(*max_states);
             opts.faults = faults;
@@ -276,14 +317,17 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 qmx_workload::parallel::set_jobs(*jobs);
             }
             let scope = format!(
-                "{} sites x {} rounds ({}), faults: {} crash / {} recover / {} drop / {} suspect",
+                "{} sites x {} rounds ({}), faults: {} crash / {} recover / {} drop / \
+                 {} suspect / {} cut / {} restore",
                 n,
                 rounds,
                 quorum.map_or("full quorums".into(), |q| format!("{q:?} quorums")),
                 crashes,
                 recoveries,
                 drops,
-                suspicions
+                suspicions,
+                cuts,
+                restores
             );
             match qmx_check::check_with(
                 sites,
@@ -345,6 +389,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 "holdsweep" => e::sync_delay_vs_hold(25),
                 "msgscaling" => e::message_scaling(),
                 "schedulers" => e::scheduler_ablation(&[9, 25], 20),
+                "partitions" => e::partition_availability(),
                 other => return Err(format!("unknown experiment '{other}'")),
             })
         }
@@ -401,6 +446,21 @@ mod tests {
             .and_then(|w| w.parse().ok())
             .expect("drop count in report");
         assert!(drops > 0, "{out}");
+    }
+
+    #[test]
+    fn run_command_with_link_cuts_reports_partition_drops() {
+        // An asymmetric cut 0->1 from 20T to 60T under live load: the
+        // heartbeats crossing the cut die at the source (so the partition
+        // drop counter fires), the detector reacts, and the report
+        // surfaces both.
+        let out = run("run --n 5 --alg ft-majority --quorum majority --gap 20 \
+             --horizon 300 --cut 0:1:20 --restore 0:1:60 \
+             --hb-interval 2 --hb-timeout 10 --seed 3")
+        .unwrap();
+        assert!(out.contains("partition drops"), "{out}");
+        assert!(out.contains("detector"), "{out}");
+        assert!(out.contains("completed CS"), "{out}");
     }
 
     #[test]

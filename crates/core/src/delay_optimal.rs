@@ -366,6 +366,13 @@ pub struct DelayOptimal {
     confirmed_failed: SiteSet,
     quorum_source: Option<Box<dyn QuorumSource>>,
     inaccessible: bool,
+    /// A `request_cs` arrived while no live quorum existed (every candidate
+    /// contains a suspect). The want is parked here — not dropped — and the
+    /// request is issued automatically as soon as accessibility returns
+    /// (suspicion withdrawn or suspect rejoined). Without this, a request
+    /// landing inside an asymmetric-partition window would be lost forever
+    /// even though the partition later heals.
+    want_cs: bool,
 
     // --- failure-detector integration (suspicion / recovery) ---
     /// Permission-returning messages (release/yield/relinquish) dropped at
@@ -416,6 +423,7 @@ impl Clone for DelayOptimal {
             confirmed_failed: self.confirmed_failed.clone(),
             quorum_source: self.quorum_source.clone(),
             inaccessible: self.inaccessible,
+            want_cs: self.want_cs,
             withheld: self.withheld.clone(),
             rejoining: self.rejoining,
             peer_universe: self.peer_universe.clone(),
@@ -447,6 +455,7 @@ impl fmt::Debug for DelayOptimal {
             .field("known_failed", &self.known_failed)
             .field("confirmed_failed", &self.confirmed_failed)
             .field("inaccessible", &self.inaccessible)
+            .field("want_cs", &self.want_cs)
             .field("withheld", &self.withheld)
             .field("rejoining", &self.rejoining)
             .field("peer_universe", &self.peer_universe)
@@ -489,6 +498,7 @@ impl DelayOptimal {
             confirmed_failed: SiteSet::new(),
             quorum_source: None,
             inaccessible: false,
+            want_cs: false,
             withheld: Withheld::default(),
             rejoining: false,
             peer_universe: Vec::new(),
@@ -1274,6 +1284,19 @@ impl DelayOptimal {
         }
     }
 
+    /// Re-issues a want parked by [`Protocol::request_cs`] (or a suspicion
+    /// that left no live quorum) once accessibility has returned.
+    fn unpark_want(&mut self, fx: &mut Effects<Msg>) {
+        if !self.want_cs || self.inaccessible || self.phase != RequesterPhase::Idle {
+            return;
+        }
+        if self.req_set.iter().any(|m| self.known_failed.contains(*m)) && !self.refresh_quorum() {
+            return; // still no live quorum; stay parked
+        }
+        self.want_cs = false;
+        self.begin_request(fx);
+    }
+
     fn begin_request(&mut self, fx: &mut Effects<Msg>) {
         debug_assert_eq!(self.phase, RequesterPhase::Idle);
         let ts = Timestamp {
@@ -1308,14 +1331,17 @@ impl Protocol for DelayOptimal {
             "one outstanding CS request per site"
         );
         if self.inaccessible {
+            self.want_cs = true;
             return;
         }
         // A suspected member cannot be requested from: `route` drops the
         // Request at source and nothing would ever re-send it, so a later
         // restoration would leave this site waiting forever on a reply it
         // never asked for. Reconstruct the quorum around the suspects
-        // first (§6 step 1); with no live quorum the request must block.
+        // first (§6 step 1); with no live quorum the request parks until
+        // accessibility returns.
         if self.req_set.iter().any(|m| self.known_failed.contains(*m)) && !self.refresh_quorum() {
+            self.want_cs = true;
             return;
         }
         self.begin_request(fx);
@@ -1460,8 +1486,16 @@ impl Protocol for DelayOptimal {
         if self.req_set.contains(&site) && self.phase != RequesterPhase::InCs {
             let wanted = self.phase == RequesterPhase::Waiting;
             self.withdraw_current(fx);
-            if self.refresh_quorum() && wanted {
-                self.begin_request(fx);
+            if wanted {
+                if self.refresh_quorum() {
+                    self.begin_request(fx);
+                } else {
+                    // No live quorum right now: park the want rather than
+                    // dropping it, so the heal re-issues the request.
+                    self.want_cs = true;
+                }
+            } else {
+                let _ = self.refresh_quorum();
             }
         }
         self.pump(fx);
@@ -1488,6 +1522,7 @@ impl Protocol for DelayOptimal {
             }
         }
         self.recompute_accessibility();
+        self.unpark_want(fx);
         // Un-stall the arbiter: requests parked while their senders were
         // suspected become grantable again.
         if !self.rejoining && self.lock.is_none() && !self.req_queue.is_empty() {
@@ -1516,6 +1551,7 @@ impl Protocol for DelayOptimal {
         self.confirmed_failed.remove(site);
         self.withheld.discard(site);
         self.recompute_accessibility();
+        self.unpark_want(fx);
         // A restarted peer has nothing to claim against our own rejoin.
         self.rejoin_awaiting.remove(site);
         // Purging its queued requests may also un-stall our arbiter.
@@ -2090,12 +2126,11 @@ mod tests {
         assert!(s.is_inaccessible());
         assert!(!s.wants_cs());
         assert_eq!(s.phase(), RequesterPhase::Idle);
-        // Restoration makes the site accessible again for later requests.
+        // Restoration makes the site accessible again AND re-issues the
+        // want that parked while no live quorum existed.
         s.on_site_restored(SiteId(1), &mut fx);
-        fx.take_sends();
         assert!(!s.is_inaccessible());
-        s.request_cs(&mut fx);
-        assert!(s.wants_cs());
+        assert!(s.wants_cs(), "parked want re-issued on restoration");
         assert!(!fx.take_sends().is_empty(), "request reaches the peer");
     }
 
@@ -2136,13 +2171,13 @@ mod tests {
         assert!(!sites[0].wants_cs());
         settle(&mut sites, &mut inflight);
         // The suspicion proves false; no arbiter may stay wedged on the
-        // withdrawn request: a fresh request must reach the CS.
+        // withdrawn request: the restoration re-issues the parked want,
+        // and that fresh request must reach the CS.
         sites[0].on_site_restored(SiteId(1), &mut fx);
         for (t, m) in fx.take_sends() {
             inflight.push_back((SiteId(0), t, m));
         }
-        settle(&mut sites, &mut inflight);
-        request(&mut sites, 0, &mut inflight);
+        assert!(sites[0].wants_cs(), "parked want re-issued on restoration");
         settle(&mut sites, &mut inflight);
         assert!(sites[0].in_cs(), "arbiter wedged on a withdrawn request");
     }

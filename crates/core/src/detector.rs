@@ -23,6 +23,16 @@
 //! [`Protocol::on_site_restored`], and the wrapped protocol must reintegrate
 //! it without ever violating mutual exclusion.
 //!
+//! Asymmetric (one-way) partitions get first-class treatment: every beat
+//! carries a *suspicion echo* (does the sender suspect the recipient?) and
+//! a *vouch list* (peers the sender hears directly). A persistent echo
+//! from a peer we hear fine proves our outbound link is dead and yields a
+//! **reciprocal suspicion** — the peer is routed around even though it is
+//! audible — while third-party vouches defer the definitive `fail_confirm`
+//! escalation for a suspect that is silent toward us but audibly alive
+//! elsewhere (reclaiming a live site's locks would break mutual
+//! exclusion).
+//!
 //! Crash *recovery* is the second half: a site restarted after a crash has
 //! lost all protocol state. Its detector announces the restart with a
 //! `Rejoin` message ([`Protocol::on_recover`] broadcasts it) and opens a
@@ -107,6 +117,26 @@ pub struct DetectorCounters {
     /// further silence (each fed the inner protocol's definitive
     /// `on_site_failure`).
     pub failures_confirmed: u64,
+    /// Suspicion echoes received: a peer we can hear told us it cannot
+    /// hear *us* — the signature of an asymmetric (one-way) partition.
+    pub asymmetric_suspicions: u64,
+    /// Failure confirmations deferred because a mutually-reachable peer
+    /// recently vouched for the suspect (view reconciliation: one-way
+    /// silence must not escalate to the definitive §6 reclamation while
+    /// indirect liveness evidence exists).
+    pub confirms_deferred: u64,
+    /// Out-of-schedule beats sent in immediate reply to a suspicion echo
+    /// (recovers loss-induced silence without waiting a full interval).
+    pub echo_beats: u64,
+    /// Peers suspected *reciprocally*: a peer we hear fine kept echoing
+    /// that it cannot hear us for a full `hb_timeout` (despite our
+    /// echo-reply beats), so the outbound link is treated as dead and the
+    /// peer as unusable — without this, a requester on the live side of a
+    /// one-way cut keeps the unreachable peer in its quorum forever. A
+    /// reciprocal suspicion is withdrawn when the peer's echo clears, and
+    /// never escalates to a confirmed failure while the peer stays
+    /// audible (direct hearing is definitive liveness evidence).
+    pub reciprocal_suspicions: u64,
 }
 
 impl DetectorCounters {
@@ -118,6 +148,10 @@ impl DetectorCounters {
         self.rejoins_sent += other.rejoins_sent;
         self.rejoins_observed += other.rejoins_observed;
         self.failures_confirmed += other.failures_confirmed;
+        self.asymmetric_suspicions += other.asymmetric_suspicions;
+        self.confirms_deferred += other.confirms_deferred;
+        self.echo_beats += other.echo_beats;
+        self.reciprocal_suspicions += other.reciprocal_suspicions;
     }
 }
 
@@ -125,8 +159,26 @@ impl DetectorCounters {
 /// the wrapped protocol's own messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HbMsg<M> {
-    /// Periodic liveness beacon.
-    Beat,
+    /// Periodic liveness beacon, carrying the sender's reconciled view of
+    /// the network so one-way silence is detectable by both sides.
+    Beat {
+        /// Peers the sender has heard from **directly** within its own
+        /// `hb_timeout` — gossip-style vouching. A receiver defers
+        /// escalating a suspicion to a confirmed failure while anyone it
+        /// can hear keeps vouching for the suspect: under an asymmetric
+        /// cut the suspect is silent toward *us* but audibly alive to
+        /// others, and reclaiming its locks would break mutual exclusion.
+        /// Only direct evidence is forwarded (no transitive chains), so
+        /// vouches for a genuinely crashed site dry up within one timeout.
+        alive: Vec<SiteId>,
+        /// Suspicion echo: whether the sender currently suspects the
+        /// *recipient*. A site that receives `true` from a peer it hears
+        /// fine has detected an asymmetric partition (the peer cannot
+        /// hear it) and answers with an immediate out-of-schedule beat —
+        /// if the silence was loss rather than a cut, that ends the false
+        /// suspicion a full interval early.
+        suspects_you: bool,
+    },
     /// "I crashed and restarted with fresh state" announcement. The
     /// `incarnation` is the sender's boot counter (see
     /// [`Protocol::set_incarnation`]): receivers use it to deduplicate
@@ -146,7 +198,7 @@ pub enum HbMsg<M> {
 impl<M: MsgMeta> MsgMeta for HbMsg<M> {
     fn kind(&self) -> MsgKind {
         match self {
-            HbMsg::Beat | HbMsg::Rejoin { .. } => MsgKind::Info,
+            HbMsg::Beat { .. } | HbMsg::Rejoin { .. } => MsgKind::Info,
             HbMsg::App(m) => m.kind(),
         }
     }
@@ -174,6 +226,20 @@ pub struct Detector<P: Protocol> {
     /// (escalated to the inner protocol's definitive `on_site_failure`).
     /// Entries exist only for suspected-but-unconfirmed peers.
     confirm_at: BTreeMap<SiteId, u64>,
+    /// Last time each peer was vouched for by a third party's beat
+    /// (indirect liveness evidence; gates confirmation, never suspicion).
+    indirect_heard: BTreeMap<SiteId, u64>,
+    /// Last time an out-of-schedule echo-reply beat was sent per peer
+    /// (rate limit: at most one per `hb_interval`).
+    last_echo: BTreeMap<SiteId, u64>,
+    /// Peers suspected reciprocally (persistent suspicion echo — see
+    /// [`DetectorCounters::reciprocal_suspicions`]). A member is heard
+    /// from constantly, so its suspicion is withdrawn by the peer's echo
+    /// clearing or a rejoin, never by mere hearing.
+    reciprocal: BTreeSet<SiteId>,
+    /// Start of the current uninterrupted run of suspicion echoes per
+    /// peer; cleared by any beat whose echo flag is off.
+    echoed_since: BTreeMap<SiteId, u64>,
     /// End of the post-recovery grace window, when open.
     rejoin_until: Option<u64>,
     /// This site's boot counter, stamped into outgoing `Rejoin`s.
@@ -204,6 +270,10 @@ impl<P: Protocol> Detector<P> {
             last_heard,
             suspected: BTreeSet::new(),
             confirm_at: BTreeMap::new(),
+            indirect_heard: BTreeMap::new(),
+            last_echo: BTreeMap::new(),
+            reciprocal: BTreeSet::new(),
+            echoed_since: BTreeMap::new(),
             rejoin_until: None,
             incarnation: 0,
             last_rejoin_inc: BTreeMap::new(),
@@ -249,11 +319,95 @@ impl<P: Protocol> Detector<P> {
         }
     }
 
-    /// Sends one heartbeat round to every peer.
+    /// Peers heard from **directly** within the suspicion timeout — the
+    /// vouch list piggybacked on every outgoing beat.
+    fn alive_set(&self) -> Vec<SiteId> {
+        self.peers
+            .iter()
+            .copied()
+            .filter(|p| {
+                self.last_heard
+                    .get(p)
+                    .is_some_and(|&h| h + self.cfg.hb_timeout > self.now)
+            })
+            .collect()
+    }
+
+    /// Sends one heartbeat round to every peer, each beat carrying the
+    /// sender's direct-liveness view and a per-recipient suspicion echo.
     fn beat_all(&mut self, fx: &mut Effects<HbMsg<P::Msg>>) {
+        let alive = self.alive_set();
         for &p in &self.peers {
-            fx.send(p, HbMsg::Beat);
+            fx.send(
+                p,
+                HbMsg::Beat {
+                    alive: alive.clone(),
+                    suspects_you: self.suspected.contains(&p),
+                },
+            );
             self.counters.heartbeats_sent += 1;
+        }
+    }
+
+    /// Processes the reconciliation payload of a received beat: indirect
+    /// vouches refresh the confirmation gate, and a suspicion echo (the
+    /// sender cannot hear us) is answered with an immediate beat.
+    fn note_view(
+        &mut self,
+        from: SiteId,
+        alive: &[SiteId],
+        suspects_you: bool,
+        fx: &mut Effects<HbMsg<P::Msg>>,
+    ) {
+        let me = self.inner.site();
+        for &b in alive {
+            if b != me && b != from {
+                let e = self.indirect_heard.entry(b).or_insert(0);
+                *e = (*e).max(self.now);
+            }
+        }
+        if suspects_you {
+            // We hear `from` fine, yet it cannot hear us: asymmetric
+            // silence. Reply out of schedule (rate-limited to one per
+            // interval) — under plain loss this ends the false suspicion
+            // without waiting for the next beat round; under a true
+            // directed cut the reply dies on the link, which is fine.
+            self.counters.asymmetric_suspicions += 1;
+            let due = self
+                .last_echo
+                .get(&from)
+                .map_or(0, |&t| t + self.cfg.hb_interval);
+            if self.now >= due {
+                self.last_echo.insert(from, self.now);
+                self.counters.echo_beats += 1;
+                let beat = HbMsg::Beat {
+                    alive: self.alive_set(),
+                    suspects_you: self.suspected.contains(&from),
+                };
+                fx.send(from, beat);
+            }
+            // An echo that *persists* for a full timeout — surviving the
+            // echo replies above — means our outbound link to `from` is
+            // really dead, not lossy: suspect it reciprocally so the
+            // wrapped protocol routes around the peer it can hear but not
+            // reach. No confirmation lease is armed: we hear the peer
+            // directly, so it is definitively alive and reclaiming its
+            // locks would be unsound.
+            let since = *self.echoed_since.entry(from).or_insert(self.now);
+            if !self.suspected.contains(&from) && self.now >= since + self.cfg.hb_timeout {
+                self.suspected.insert(from);
+                self.reciprocal.insert(from);
+                self.counters.reciprocal_suspicions += 1;
+                self.with_inner(fx, |p, ifx| p.on_site_suspected(from, ifx));
+            }
+        } else {
+            self.echoed_since.remove(&from);
+            if self.reciprocal.remove(&from) {
+                // The peer hears us again: the one-way cut healed, so the
+                // reciprocal suspicion is withdrawn.
+                self.suspected.remove(&from);
+                self.with_inner(fx, |p, ifx| p.on_site_restored(from, ifx));
+            }
         }
     }
 
@@ -264,7 +418,15 @@ impl<P: Protocol> Detector<P> {
     fn heard_from(&mut self, from: SiteId, rejoin: Option<u64>, fx: &mut Effects<HbMsg<P::Msg>>) {
         self.last_heard.insert(from, self.now);
         self.confirm_at.remove(&from);
-        let was_suspected = self.suspected.remove(&from);
+        // A reciprocal suspect is heard from constantly — hearing it is
+        // not news. Its suspicion ends when the peer's echo clears (see
+        // `note_view`) or when it rejoins after a genuine restart.
+        let was_suspected = !self.reciprocal.contains(&from) && self.suspected.remove(&from);
+        if rejoin.is_some() {
+            self.reciprocal.remove(&from);
+            self.echoed_since.remove(&from);
+            self.suspected.remove(&from);
+        }
         if let Some(inc) = rejoin {
             // A rejoin window re-broadcasts the same announcement until
             // its resync answers arrive, and fault injection can
@@ -314,6 +476,10 @@ where
             .field("last_heard", &self.last_heard)
             .field("suspected", &self.suspected)
             .field("confirm_at", &self.confirm_at)
+            .field("indirect_heard", &self.indirect_heard)
+            .field("last_echo", &self.last_echo)
+            .field("reciprocal", &self.reciprocal)
+            .field("echoed_since", &self.echoed_since)
             .field("rejoin_until", &self.rejoin_until)
             .field("incarnation", &self.incarnation)
             .field("last_rejoin_inc", &self.last_rejoin_inc)
@@ -353,7 +519,13 @@ impl<P: Protocol> Protocol for Detector<P> {
 
     fn handle(&mut self, from: SiteId, msg: Self::Msg, fx: &mut Effects<Self::Msg>) {
         match msg {
-            HbMsg::Beat => self.heard_from(from, None, fx),
+            HbMsg::Beat {
+                alive,
+                suspects_you,
+            } => {
+                self.heard_from(from, None, fx);
+                self.note_view(from, &alive, suspects_you, fx);
+            }
             HbMsg::Rejoin { incarnation } => self.heard_from(from, Some(incarnation), fx),
             HbMsg::App(m) => {
                 self.heard_from(from, None, fx);
@@ -391,6 +563,10 @@ impl<P: Protocol> Protocol for Detector<P> {
         }
         self.suspected.clear();
         self.confirm_at.clear();
+        self.indirect_heard.clear();
+        self.last_echo.clear();
+        self.reciprocal.clear();
+        self.echoed_since.clear();
         self.counters.rejoins_sent += 1;
         self.next_beat = self.now + self.cfg.hb_interval;
         self.rejoin_until = Some(self.now + self.cfg.rejoin_wait);
@@ -463,6 +639,28 @@ impl<P: Protocol> Protocol for Detector<P> {
             self.counters.suspicions += 1;
             self.with_inner(fx, |proto, ifx| proto.on_site_suspected(p, ifx));
         }
+        // A reciprocal suspect that also goes silent toward us is
+        // re-classified as a plain silence suspicion: the confirmation
+        // lease starts, so a crash of an already reciprocally-suspected
+        // peer is still eventually confirmed (and normal hearing resumes
+        // withdrawing it). The inner protocol already got its
+        // `on_site_suspected`.
+        let gone_silent: Vec<SiteId> = self
+            .reciprocal
+            .iter()
+            .copied()
+            .filter(|p| {
+                self.last_heard
+                    .get(p)
+                    .is_some_and(|&h| h + self.cfg.hb_timeout <= self.now)
+            })
+            .collect();
+        for p in gone_silent {
+            self.reciprocal.remove(&p);
+            self.echoed_since.remove(&p);
+            self.confirm_at
+                .insert(p, self.now.saturating_add(self.cfg.fail_confirm));
+        }
         // Escalate suspicions that stayed silent through the whole
         // confirmation lease to definitive failures.
         let confirmed: Vec<SiteId> = self
@@ -472,6 +670,20 @@ impl<P: Protocol> Protocol for Detector<P> {
             .map(|(&p, _)| p)
             .collect();
         for p in confirmed {
+            // View reconciliation: a peer we can hear vouched for the
+            // suspect within the timeout — it is silent toward us but
+            // audibly alive elsewhere (asymmetric cut), so the definitive
+            // reclamation must wait until the indirect evidence expires.
+            // For a genuinely crashed site every voucher goes silent about
+            // it within one timeout, so confirmation is deferred by at
+            // most ~hb_timeout, never forever.
+            if let Some(&ih) = self.indirect_heard.get(&p) {
+                if ih + self.cfg.hb_timeout > self.now {
+                    self.confirm_at.insert(p, ih + self.cfg.hb_timeout);
+                    self.counters.confirms_deferred += 1;
+                    continue;
+                }
+            }
             self.confirm_at.remove(&p);
             self.counters.failures_confirmed += 1;
             self.with_inner(fx, |proto, ifx| proto.on_site_failure(p, ifx));
@@ -581,6 +793,22 @@ mod tests {
         )
     }
 
+    /// A plain beat with no vouches and no suspicion echo.
+    fn beat() -> HbMsg<NoMsg> {
+        HbMsg::Beat {
+            alive: Vec::new(),
+            suspects_you: false,
+        }
+    }
+
+    /// A beat vouching for `alive` peers.
+    fn vouch(alive: &[u32]) -> HbMsg<NoMsg> {
+        HbMsg::Beat {
+            alive: alive.iter().copied().map(SiteId).collect(),
+            suspects_you: false,
+        }
+    }
+
     #[test]
     fn beats_every_interval() {
         let mut d = det(3);
@@ -589,7 +817,7 @@ mod tests {
         let beats = fx
             .take_sends()
             .iter()
-            .filter(|(_, m)| matches!(m, HbMsg::Beat))
+            .filter(|(_, m)| matches!(m, HbMsg::Beat { .. }))
             .count();
         assert_eq!(beats, 0, "no beat round at start (see on_start)");
         assert_eq!(d.next_timer(), Some(10));
@@ -598,7 +826,7 @@ mod tests {
         let beats = fx
             .take_sends()
             .iter()
-            .filter(|(_, m)| matches!(m, HbMsg::Beat))
+            .filter(|(_, m)| matches!(m, HbMsg::Beat { .. }))
             .count();
         assert_eq!(beats, 2, "one beat per peer each interval");
         assert_eq!(d.counters().heartbeats_sent, 2);
@@ -613,7 +841,7 @@ mod tests {
         // Peer 1 keeps beating, peer 2 goes silent.
         for t in [10u64, 20, 30, 40] {
             d.set_now(t);
-            d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+            d.handle(SiteId(1), beat(), &mut fx);
             d.on_timer(t, &mut fx);
             fx.take_sends();
         }
@@ -622,7 +850,7 @@ mod tests {
         assert_eq!(d.inner().suspected, vec![SiteId(2)]);
         // Peer 2 speaks again: false suspicion, restore.
         d.set_now(45);
-        d.handle(SiteId(2), HbMsg::Beat, &mut fx);
+        d.handle(SiteId(2), beat(), &mut fx);
         assert!(d.suspected().is_empty());
         assert_eq!(d.counters().false_suspicions, 1);
         assert_eq!(d.inner().restored, vec![SiteId(2)]);
@@ -692,7 +920,7 @@ mod tests {
         d.on_site_failure(SiteId(1), &mut fx);
         assert!(d.suspected().contains(&SiteId(1)));
         d.set_now(5);
-        d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+        d.handle(SiteId(1), beat(), &mut fx);
         // Heard again: restored, but counted as false suspicion since the
         // sighting (not a rejoin) contradicts the notice.
         assert!(!d.suspected().contains(&SiteId(1)));
@@ -723,11 +951,19 @@ mod tests {
             rejoins_sent: 4,
             rejoins_observed: 5,
             failures_confirmed: 6,
+            asymmetric_suspicions: 7,
+            confirms_deferred: 8,
+            echo_beats: 9,
+            reciprocal_suspicions: 10,
         };
         a.merge(&a.clone());
         assert_eq!(a.heartbeats_sent, 2);
         assert_eq!(a.rejoins_observed, 10);
         assert_eq!(a.failures_confirmed, 12);
+        assert_eq!(a.asymmetric_suspicions, 14);
+        assert_eq!(a.confirms_deferred, 16);
+        assert_eq!(a.echo_beats, 18);
+        assert_eq!(a.reciprocal_suspicions, 20);
     }
 
     #[test]
@@ -739,7 +975,7 @@ mod tests {
         // Peer 1 keeps beating; peer 2 is silent forever.
         for t in (10..=40).step_by(10) {
             d.set_now(t);
-            d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+            d.handle(SiteId(1), beat(), &mut fx);
             d.on_timer(t, &mut fx);
             fx.take_sends();
         }
@@ -749,7 +985,7 @@ mod tests {
         assert!(d.next_timer().is_some_and(|t| t <= 140));
         for t in (50..=140).step_by(10) {
             d.set_now(t);
-            d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+            d.handle(SiteId(1), beat(), &mut fx);
             d.on_timer(t, &mut fx);
             fx.take_sends();
         }
@@ -757,7 +993,7 @@ mod tests {
         assert_eq!(d.counters().failures_confirmed, 1);
         // Even a confirmed site is restored when heard from again.
         d.set_now(150);
-        d.handle(SiteId(2), HbMsg::Beat, &mut fx);
+        d.handle(SiteId(2), beat(), &mut fx);
         assert_eq!(d.inner().restored, vec![SiteId(2)]);
     }
 
@@ -768,15 +1004,15 @@ mod tests {
         d.on_start(&mut fx);
         fx.take_sends();
         d.set_now(40);
-        d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+        d.handle(SiteId(1), beat(), &mut fx);
         d.on_timer(40, &mut fx);
         assert!(d.suspected().contains(&SiteId(2)));
         d.set_now(50);
-        d.handle(SiteId(2), HbMsg::Beat, &mut fx);
+        d.handle(SiteId(2), beat(), &mut fx);
         // Silence again: the confirmation clock must restart from the new
         // suspicion, not run on from the first.
         d.set_now(120);
-        d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+        d.handle(SiteId(1), beat(), &mut fx);
         d.on_timer(120, &mut fx);
         assert!(d.suspected().contains(&SiteId(2)));
         assert!(
@@ -784,7 +1020,7 @@ mod tests {
             "re-suspected at 120, confirm not before 220"
         );
         d.set_now(220);
-        d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+        d.handle(SiteId(1), beat(), &mut fx);
         d.on_timer(220, &mut fx);
         assert_eq!(d.inner().failed, vec![SiteId(2)]);
     }
@@ -796,7 +1032,7 @@ mod tests {
         d.on_start(&mut fx);
         fx.take_sends();
         d.set_now(40);
-        d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+        d.handle(SiteId(1), beat(), &mut fx);
         d.on_timer(40, &mut fx);
         fx.take_sends();
         assert!(d.suspected().contains(&SiteId(2)));
@@ -820,7 +1056,7 @@ mod tests {
         // Suspect peer 2 at t=40: the confirmation lease runs to exactly
         // t=140 (fail_confirm=100).
         d.set_now(40);
-        d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+        d.handle(SiteId(1), beat(), &mut fx);
         d.on_timer(40, &mut fx);
         fx.take_sends();
         assert!(d.suspected().contains(&SiteId(2)));
@@ -828,7 +1064,7 @@ mod tests {
         // processed before the timer: the suspicion is withdrawn exactly
         // at the lease edge and no failure is ever confirmed.
         d.set_now(140);
-        d.handle(SiteId(2), HbMsg::Beat, &mut fx);
+        d.handle(SiteId(2), beat(), &mut fx);
         d.on_timer(140, &mut fx);
         assert!(!d.suspected().contains(&SiteId(2)));
         assert_eq!(d.counters().false_suspicions, 1);
@@ -844,27 +1080,27 @@ mod tests {
         d.on_start(&mut fx);
         fx.take_sends();
         d.set_now(40);
-        d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+        d.handle(SiteId(1), beat(), &mut fx);
         d.on_timer(40, &mut fx);
         fx.take_sends();
         assert!(d.suspected().contains(&SiteId(2)));
         // One tick before the deadline the suspicion is still only a
         // suspicion.
         d.set_now(139);
-        d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+        d.handle(SiteId(1), beat(), &mut fx);
         d.on_timer(139, &mut fx);
         assert!(d.inner().failed.is_empty());
         // The timer firing exactly at the deadline (c <= now with
         // c == now) escalates to a definitive failure.
         d.set_now(140);
-        d.handle(SiteId(1), HbMsg::Beat, &mut fx);
+        d.handle(SiteId(1), beat(), &mut fx);
         d.on_timer(140, &mut fx);
         assert_eq!(d.inner().failed, vec![SiteId(2)]);
         assert_eq!(d.counters().failures_confirmed, 1);
         // A message arriving one tick *after* confirmation restores the
         // site but cannot undo the confirmed failure count.
         d.set_now(141);
-        d.handle(SiteId(2), HbMsg::Beat, &mut fx);
+        d.handle(SiteId(2), beat(), &mut fx);
         assert_eq!(d.inner().restored, vec![SiteId(2)]);
         assert_eq!(d.counters().failures_confirmed, 1);
     }
@@ -896,5 +1132,281 @@ mod tests {
         d.on_timer(140, &mut fx);
         assert!(!d.rejoining());
         assert!(d.inner().rejoin_completed);
+    }
+
+    /// Asymmetric-partition regression: peer 2 is silent toward us (its
+    /// link to us is cut) but peer 1 keeps vouching for it — hearing it
+    /// fine on the side of the network we cannot see. The suspicion fires
+    /// (we genuinely cannot reach 2's replies), but the definitive
+    /// confirmation — which would reclaim locks 2 may hold — must be
+    /// deferred for as long as the vouching continues, and proceed once
+    /// the vouches dry up.
+    #[test]
+    fn third_party_vouch_defers_confirmation_until_evidence_expires() {
+        let mut d = det(3);
+        let mut fx = Effects::new();
+        d.on_start(&mut fx);
+        fx.take_sends();
+        // Peer 1 beats every 10 ticks, always vouching for peer 2.
+        for t in (10..=40).step_by(10) {
+            d.set_now(t);
+            d.handle(SiteId(1), vouch(&[2]), &mut fx);
+            d.on_timer(t, &mut fx);
+            fx.take_sends();
+        }
+        // Direct silence did its job: 2 is suspected (routing-around is
+        // needed for liveness) ...
+        assert!(d.suspected().contains(&SiteId(2)));
+        assert_eq!(d.inner().suspected, vec![SiteId(2)]);
+        // ... and the confirmation lease runs to 140. Keep vouching past
+        // it: the escalation must keep being deferred.
+        for t in (50..=200).step_by(10) {
+            d.set_now(t);
+            d.handle(SiteId(1), vouch(&[2]), &mut fx);
+            d.on_timer(t, &mut fx);
+            fx.take_sends();
+        }
+        assert!(
+            d.inner().failed.is_empty(),
+            "confirmation must wait while peer 1 vouches for the suspect"
+        );
+        assert!(d.counters().confirms_deferred > 0);
+        // Peer 1 stops vouching (it too lost peer 2): the last vouch was
+        // at t=200, so the indirect evidence expires at 235 and the
+        // confirmation goes through at the next timer after that.
+        for t in (210..=250).step_by(10) {
+            d.set_now(t);
+            d.handle(SiteId(1), vouch(&[]), &mut fx);
+            d.on_timer(t, &mut fx);
+            fx.take_sends();
+        }
+        assert_eq!(
+            d.inner().failed,
+            vec![SiteId(2)],
+            "vouches dried up: the confirmation must proceed"
+        );
+        assert_eq!(d.counters().failures_confirmed, 1);
+    }
+
+    #[test]
+    fn suspicion_echo_triggers_immediate_rate_limited_reply() {
+        let mut d = det(3);
+        let mut fx = Effects::new();
+        d.on_start(&mut fx);
+        fx.take_sends();
+        // Peer 1 says it suspects us while we hear it fine: asymmetric
+        // silence detected, answered with an immediate beat.
+        d.set_now(5);
+        d.handle(
+            SiteId(1),
+            HbMsg::Beat {
+                alive: vec![],
+                suspects_you: true,
+            },
+            &mut fx,
+        );
+        let replies: Vec<_> = fx
+            .take_sends()
+            .into_iter()
+            .filter(|(to, m)| *to == SiteId(1) && matches!(m, HbMsg::Beat { .. }))
+            .collect();
+        assert_eq!(replies.len(), 1, "one out-of-schedule echo reply");
+        assert_eq!(d.counters().asymmetric_suspicions, 1);
+        assert_eq!(d.counters().echo_beats, 1);
+        // A second echo inside the same interval is counted but not
+        // answered again (rate limit: one reply per hb_interval).
+        d.set_now(9);
+        d.handle(
+            SiteId(1),
+            HbMsg::Beat {
+                alive: vec![],
+                suspects_you: true,
+            },
+            &mut fx,
+        );
+        assert!(fx.take_sends().is_empty());
+        assert_eq!(d.counters().asymmetric_suspicions, 2);
+        assert_eq!(d.counters().echo_beats, 1);
+        // Past the interval the reply fires again.
+        d.set_now(15);
+        d.handle(
+            SiteId(1),
+            HbMsg::Beat {
+                alive: vec![],
+                suspects_you: true,
+            },
+            &mut fx,
+        );
+        assert_eq!(fx.take_sends().len(), 1);
+        assert_eq!(d.counters().echo_beats, 2);
+    }
+
+    /// A beat from `from` that suspects the recipient.
+    fn echo() -> HbMsg<NoMsg> {
+        HbMsg::Beat {
+            alive: Vec::new(),
+            suspects_you: true,
+        }
+    }
+
+    /// One-way-cut regression: peer 1 hears nothing from us (our outbound
+    /// link is dead) and keeps echoing its suspicion, while we hear its
+    /// every beat. Once the echo has persisted a full `hb_timeout` —
+    /// proving the echo replies died too — the peer must be suspected
+    /// *reciprocally*: routed around (inner `on_site_suspected`), not
+    /// withdrawn by mere hearing, and never escalated to a confirmed
+    /// failure while it stays audible. When the echo clears (the link
+    /// healed) the suspicion is withdrawn via `on_site_restored`.
+    #[test]
+    fn persistent_suspicion_echo_reciprocally_suspects_until_heal() {
+        let mut d = det(2); // single peer: no silence suspicion noise
+
+        let mut fx = Effects::new();
+        d.on_start(&mut fx);
+        fx.take_sends();
+        // Echoes at 10..40: the run started at 10, matures at 45.
+        for t in [10u64, 20, 30, 40] {
+            d.set_now(t);
+            d.handle(SiteId(1), echo(), &mut fx);
+            d.on_timer(t, &mut fx);
+            fx.take_sends();
+        }
+        assert!(d.suspected().is_empty(), "echo not yet persistent");
+        d.set_now(50);
+        d.handle(SiteId(1), echo(), &mut fx);
+        fx.take_sends();
+        assert!(d.suspected().contains(&SiteId(1)));
+        assert_eq!(d.counters().reciprocal_suspicions, 1);
+        assert_eq!(d.inner().suspected, vec![SiteId(1)]);
+        // Hearing the peer (it talks to us fine) does NOT withdraw the
+        // reciprocal suspicion ...
+        d.set_now(55);
+        d.handle(SiteId(1), HbMsg::App(NoMsg), &mut fx);
+        assert!(d.suspected().contains(&SiteId(1)));
+        assert!(d.inner().restored.is_empty());
+        // ... and no amount of further echoing confirms a failure: the
+        // peer is audibly alive (fail_confirm = 100 is long past by 200).
+        for t in (60..=200).step_by(10) {
+            d.set_now(t);
+            d.handle(SiteId(1), echo(), &mut fx);
+            d.on_timer(t, &mut fx);
+            fx.take_sends();
+        }
+        assert!(d.inner().failed.is_empty());
+        assert_eq!(d.counters().failures_confirmed, 0);
+        // The link heals: the peer hears us again and its echo clears.
+        d.set_now(210);
+        d.handle(SiteId(1), beat(), &mut fx);
+        assert!(d.suspected().is_empty());
+        assert_eq!(d.inner().restored, vec![SiteId(1)]);
+    }
+
+    #[test]
+    fn brief_suspicion_echo_does_not_reciprocate() {
+        let mut d = det(2);
+        let mut fx = Effects::new();
+        d.on_start(&mut fx);
+        fx.take_sends();
+        // An echo run broken by a clean beat restarts the maturation
+        // clock: loss-induced false suspicions that the echo reply heals
+        // must never cost a reciprocal suspicion.
+        for (t, suspects) in [
+            (10u64, true),
+            (20, true),
+            (30, false),
+            (40, true),
+            (50, true),
+        ] {
+            d.set_now(t);
+            let m = if suspects { echo() } else { beat() };
+            d.handle(SiteId(1), m, &mut fx);
+            fx.take_sends();
+        }
+        // Run restarted at 40; 50 < 40 + 35.
+        assert!(d.suspected().is_empty());
+        assert_eq!(d.counters().reciprocal_suspicions, 0);
+    }
+
+    /// A reciprocal suspect that goes fully silent (the cut became
+    /// two-way, or it crashed) is re-classified as a silence suspicion:
+    /// the confirmation lease arms, so a genuine crash is still
+    /// eventually confirmed.
+    #[test]
+    fn reciprocal_suspect_gone_silent_is_eventually_confirmed() {
+        let mut d = det(3);
+        let mut fx = Effects::new();
+        d.on_start(&mut fx);
+        fx.take_sends();
+        for t in (10..=50).step_by(10) {
+            d.set_now(t);
+            d.handle(SiteId(1), echo(), &mut fx);
+            d.on_timer(t, &mut fx);
+            fx.take_sends();
+        }
+        assert!(d.suspected().contains(&SiteId(1)));
+        assert_eq!(d.counters().reciprocal_suspicions, 1);
+        // Peer 1 stops talking entirely after t=50; peer 2 keeps us
+        // ticking. Silence re-classification at 85 arms the lease; the
+        // confirmation lands once it expires (85 + 100).
+        for t in (60..=190).step_by(10) {
+            d.set_now(t);
+            d.handle(SiteId(2), beat(), &mut fx);
+            d.on_timer(t, &mut fx);
+            fx.take_sends();
+        }
+        assert_eq!(d.inner().failed, vec![SiteId(1)]);
+        assert_eq!(d.counters().failures_confirmed, 1);
+    }
+
+    #[test]
+    fn beats_carry_alive_set_and_per_recipient_echo() {
+        let mut d = det(3);
+        let mut fx = Effects::new();
+        d.on_start(&mut fx);
+        fx.take_sends();
+        // Hear peer 1 recently; let peer 2 go silent until suspected.
+        for t in [10u64, 20, 30, 40] {
+            d.set_now(t);
+            d.handle(SiteId(1), beat(), &mut fx);
+            d.on_timer(t, &mut fx);
+            fx.take_sends();
+        }
+        assert!(d.suspected().contains(&SiteId(2)));
+        d.set_now(50);
+        d.handle(SiteId(1), beat(), &mut fx);
+        fx.take_sends();
+        d.on_timer(50, &mut fx);
+        let sends = fx.take_sends();
+        let to1 = sends
+            .iter()
+            .find_map(|(to, m)| match (to, m) {
+                (
+                    SiteId(1),
+                    HbMsg::Beat {
+                        alive,
+                        suspects_you,
+                    },
+                ) => Some((alive.clone(), *suspects_you)),
+                _ => None,
+            })
+            .expect("beat to peer 1");
+        // Peer 1 was heard at 50 (alive); peer 2 is silent (not vouched
+        // for) and suspected (echoed on its own beat).
+        assert_eq!(to1.0, vec![SiteId(1)]);
+        assert!(!to1.1, "peer 1 is not suspected");
+        let to2 = sends
+            .iter()
+            .find_map(|(to, m)| match (to, m) {
+                (
+                    SiteId(2),
+                    HbMsg::Beat {
+                        alive,
+                        suspects_you,
+                    },
+                ) => Some((alive.clone(), *suspects_you)),
+                _ => None,
+            })
+            .expect("beat to peer 2");
+        assert!(to2.1, "the suspect must be told it is suspected");
     }
 }

@@ -877,6 +877,71 @@ mod tests {
         assert_eq!(s0.next_timer(), None, "ack cleared the send buffer");
     }
 
+    /// A one-way link cut from the transport's point of view: every copy
+    /// of site 0's traffic is eaten, the detector above reports the peer
+    /// *suspected* (not failed), and the cut later heals. The suspicion
+    /// must not abandon the unacked packets — pending retransmissions are
+    /// exactly what carries the in-flight messages across once the link is
+    /// back — and after the heal the retransmitted backlog plus the
+    /// restoration's own sends complete the CS entry end to end.
+    #[test]
+    fn heal_after_suspected_cut_delivers_via_retransmission() {
+        let (mut s0, mut s1) = pair();
+        let cfg = TransportConfig::default();
+        let mut fx = Effects::new();
+        s0.request_cs(&mut fx);
+        let _eaten = fx.take_sends(); // the cut link eats the request
+
+        // The detector suspects the silent peer mid-outage. At this layer
+        // a false suspicion is indistinguishable from a slow link, so the
+        // send buffer must survive; the inner protocol may react (here it
+        // withdraws the request), and whatever it sends is eaten too.
+        s0.on_site_suspected(SiteId(1), &mut fx);
+        fx.take_sends();
+        assert!(s0.next_timer().is_some(), "unacked packets still pending");
+
+        // Retry deadlines pass while the link stays cut; every copy is
+        // eaten as well, and backoff doubles the RTO each attempt.
+        let mut now = 0;
+        for _ in 0..3 {
+            now += cfg.rto_max;
+            s0.on_timer(now, &mut fx);
+            assert!(!fx.take_sends().is_empty(), "retransmissions continue");
+        }
+        assert!(s0.counters().retransmissions >= 3);
+        assert_eq!(s0.counters().gave_up, 0, "suspicion abandoned nothing");
+
+        // The link heals: the detector revokes the suspicion, the fixed
+        // two-site quorum becomes accessible again and the want that
+        // parked during the outage is re-issued automatically; one more
+        // retry deadline flushes the unacked backlog — this time
+        // everything is delivered, both ways, until the network drains.
+        let mut fx = Effects::new();
+        s0.on_site_restored(SiteId(1), &mut fx);
+        now += cfg.rto_max;
+        s0.on_timer(now, &mut fx);
+        // Drain the healed network one packet at a time with a fresh
+        // effects buffer per delivery, like the simulator's Deliver events
+        // (the shared-buffer shortcut of `deliver_all` would make the
+        // piggyback-ack check see packets from *earlier* deliveries).
+        let mut inflight: std::collections::VecDeque<(SiteId, Packet<qmx_msg::Msg>)> =
+            fx.take_sends().into();
+        while let Some((to, pkt)) = inflight.pop_front() {
+            let mut fxd = Effects::new();
+            let from = SiteId(1 - to.0);
+            if to == SiteId(0) {
+                s0.handle(from, pkt, &mut fxd);
+            } else {
+                s1.handle(from, pkt, &mut fxd);
+            }
+            inflight.extend(fxd.take_sends());
+        }
+        assert!(s0.in_cs(), "healed link completed the entry");
+        assert_eq!(s0.next_timer(), None, "acks cleared the send buffer");
+        assert_eq!(s1.next_timer(), None);
+        assert_eq!(s0.counters().gave_up, 0);
+    }
+
     #[test]
     fn duplicates_are_dropped_exactly_once_delivery() {
         let (mut s0, mut s1) = pair();

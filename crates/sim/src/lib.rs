@@ -33,6 +33,13 @@
 //! [`Simulator::schedule_recovery`] restarts a crashed site with fresh
 //! state so it rejoins through the detector's handshake.
 //!
+//! Partitions are modeled at directed-link grain ([`PartitionModel`]):
+//! [`Simulator::schedule_cut`] severs one ordered pair (the asymmetric
+//! case where A hears B but B does not hear A),
+//! [`Simulator::schedule_restore`] heals it, and the symmetric group-split
+//! API [`Simulator::schedule_partition`] decomposes into pairwise cuts so
+//! overlapping episodes compose instead of overwriting each other.
+//!
 //! ```
 //! use qmx_core::{Config, DelayOptimal, SiteId};
 //! use qmx_sim::{SimConfig, Simulator};
@@ -57,6 +64,7 @@
 pub mod calendar;
 pub mod delay;
 pub mod metrics;
+pub mod partition;
 pub mod sim;
 mod sites;
 pub mod trace;
@@ -64,6 +72,7 @@ pub mod trace;
 pub use calendar::{CalendarScheduler, EventQueue, HeapScheduler, Scheduler, SchedulerKind, Timed};
 pub use delay::DelayModel;
 pub use metrics::{CsRecord, Metrics};
+pub use partition::PartitionModel;
 pub use sim::{SimConfig, Simulator};
 pub use trace::{Trace, TraceEvent};
 

@@ -35,6 +35,7 @@ pub struct Metrics {
     msg_counts: BTreeMap<MsgKind, u64>,
     records: Vec<CsRecord>,
     dropped_to_crashed: u64,
+    dropped_by_partition: u64,
     injected_drops: u64,
     injected_dups: u64,
     transport: TransportCounters,
@@ -55,6 +56,12 @@ impl Metrics {
     /// Records a message dropped because its target crashed.
     pub fn count_dropped(&mut self) {
         self.dropped_to_crashed += 1;
+    }
+
+    /// Records a message dropped because its directed link was cut by a
+    /// partition.
+    pub fn count_partition_dropped(&mut self) {
+        self.dropped_by_partition += 1;
     }
 
     /// Records a message lost to the injected fault model.
@@ -124,6 +131,11 @@ impl Metrics {
     /// Messages dropped en route to crashed sites.
     pub fn dropped_to_crashed(&self) -> u64 {
         self.dropped_to_crashed
+    }
+
+    /// Messages dropped on partition-cut links (at send or delivery time).
+    pub fn dropped_by_partition(&self) -> u64 {
+        self.dropped_by_partition
     }
 
     /// Number of completed CS executions.

@@ -1,0 +1,193 @@
+//! Directed link-level reachability: which ordered site pairs can talk.
+//!
+//! The paper's §6 failure model treats a partition as indistinguishable
+//! from the remote sites crashing, but says nothing about *asymmetric*
+//! splits — A hears B while B does not hear A — even though those are what
+//! real networks produce (half-open TCP connections, one-way firewall
+//! rules, congested return paths). [`PartitionModel`] therefore tracks the
+//! network's reachability at the finest grain that matters to a
+//! message-passing protocol: one boolean per **ordered** pair of sites.
+//!
+//! Partition *episodes* compose: cutting `{0,1} | {2}` and later also
+//! `{0} | {1,2}` leaves the union of both cuts in place, and restoring one
+//! link does not resurrect the other. The legacy symmetric group-split API
+//! ([`crate::Simulator::schedule_partition`]) decomposes into pairwise
+//! cuts on this model, so overlapping and repeated partitions now behave
+//! additively instead of silently overwriting each other.
+
+use qmx_core::SiteId;
+
+/// Per-ordered-pair link state for `n` sites: `cut(src, dst)` means
+/// messages from `src` to `dst` are dropped, while `dst → src` traffic is
+/// governed independently — the representation of an asymmetric partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionModel {
+    n: usize,
+    /// Flat `n * n` matrix indexed `src * n + dst`; `true` = cut.
+    cut: Vec<bool>,
+    /// Number of `true` entries, so the hot-path reachability check can
+    /// short-circuit to "fully connected" without touching the matrix.
+    active: usize,
+}
+
+impl PartitionModel {
+    /// A fully connected network over `n` sites.
+    pub fn new(n: usize) -> Self {
+        PartitionModel {
+            n,
+            cut: vec![false; n * n],
+            active: 0,
+        }
+    }
+
+    /// Number of sites.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the directed link `src → dst` is currently cut.
+    #[inline]
+    pub fn is_cut(&self, src: SiteId, dst: SiteId) -> bool {
+        self.active != 0 && self.cut[src.index() * self.n + dst.index()]
+    }
+
+    /// Whether any link is currently cut.
+    pub fn any_cut(&self) -> bool {
+        self.active != 0
+    }
+
+    /// Number of directed links currently cut.
+    pub fn cut_links(&self) -> usize {
+        self.active
+    }
+
+    /// Cuts the directed link `src → dst`. Returns `true` if the link was
+    /// previously alive (idempotent: re-cutting an already-cut link is a
+    /// no-op and returns `false`).
+    pub fn cut(&mut self, src: SiteId, dst: SiteId) -> bool {
+        let slot = &mut self.cut[src.index() * self.n + dst.index()];
+        let newly = !*slot;
+        if newly {
+            *slot = true;
+            self.active += 1;
+        }
+        newly
+    }
+
+    /// Restores the directed link `src → dst`. Returns `true` if the link
+    /// was previously cut.
+    pub fn restore(&mut self, src: SiteId, dst: SiteId) -> bool {
+        let slot = &mut self.cut[src.index() * self.n + dst.index()];
+        let was = *slot;
+        if was {
+            *slot = false;
+            self.active -= 1;
+        }
+        was
+    }
+
+    /// Cuts both directions between every cross-group pair of the symmetric
+    /// split described by `groups` (`groups[i]` = group id of site `i`),
+    /// i.e. the legacy `schedule_partition` semantics expressed as pairwise
+    /// cuts. Links already cut stay cut. Returns the ordered pairs that
+    /// were *newly* severed, in `(src, dst)` index order — the caller uses
+    /// them to inject oracle failure notices exactly once per pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups.len() != n`.
+    pub fn cut_groups(&mut self, groups: &[u32]) -> Vec<(SiteId, SiteId)> {
+        assert_eq!(groups.len(), self.n, "one group per site");
+        let mut newly = Vec::new();
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j && groups[i] != groups[j] {
+                    let (src, dst) = (SiteId(i as u32), SiteId(j as u32));
+                    if self.cut(src, dst) {
+                        newly.push((src, dst));
+                    }
+                }
+            }
+        }
+        newly
+    }
+
+    /// Restores every cut link (the legacy `schedule_heal` semantics).
+    pub fn restore_all(&mut self) {
+        self.cut.fill(false);
+        self.active = 0;
+    }
+
+    /// Whether `src` and `dst` are mutually reachable (both directions
+    /// alive). Used by availability analyses: a quorum is usable only when
+    /// all its members can complete request/reply round trips.
+    pub fn mutually_reachable(&self, src: SiteId, dst: SiteId) -> bool {
+        !self.is_cut(src, dst) && !self.is_cut(dst, src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: SiteId = SiteId(0);
+    const B: SiteId = SiteId(1);
+    const C: SiteId = SiteId(2);
+
+    #[test]
+    fn cuts_are_directed() {
+        let mut p = PartitionModel::new(3);
+        assert!(!p.any_cut());
+        assert!(p.cut(A, B));
+        assert!(p.is_cut(A, B));
+        assert!(!p.is_cut(B, A), "the reverse direction is independent");
+        assert!(!p.mutually_reachable(A, B));
+        assert!(p.mutually_reachable(B, C));
+    }
+
+    #[test]
+    fn cut_and_restore_are_idempotent() {
+        let mut p = PartitionModel::new(2);
+        assert!(p.cut(A, B));
+        assert!(!p.cut(A, B), "second cut is a no-op");
+        assert_eq!(p.cut_links(), 1);
+        assert!(p.restore(A, B));
+        assert!(!p.restore(A, B), "second restore is a no-op");
+        assert!(!p.any_cut());
+    }
+
+    #[test]
+    fn group_split_decomposes_into_pairwise_cuts() {
+        let mut p = PartitionModel::new(3);
+        let newly = p.cut_groups(&[0, 0, 1]);
+        // {0,1} | {2}: four directed cross-group links.
+        assert_eq!(
+            newly,
+            vec![(A, C), (B, C), (C, A), (C, B)],
+            "pairs in deterministic index order"
+        );
+        assert_eq!(p.cut_links(), 4);
+        assert!(p.mutually_reachable(A, B));
+        assert!(!p.is_cut(A, B) && p.is_cut(A, C));
+    }
+
+    #[test]
+    fn overlapping_episodes_compose() {
+        // Episode 1: {0,1} | {2}.  Episode 2: {0} | {1,2}.  The second must
+        // not erase the first: after it lands, only 0↔1 links are newly cut
+        // and the union of both splits is in force.
+        let mut p = PartitionModel::new(3);
+        p.cut_groups(&[0, 0, 1]);
+        let newly = p.cut_groups(&[0, 1, 1]);
+        // (A,C)/(C,A) were already severed by episode 1, so only the 0↔1
+        // links count as new — notices must not be injected twice.
+        assert_eq!(newly, vec![(A, B), (B, A)]);
+        assert_eq!(p.cut_links(), 6, "every ordered pair is now severed");
+        // Restoring one episode's links leaves the other's cuts intact.
+        p.restore(A, C);
+        p.restore(C, A);
+        assert!(p.is_cut(B, C) && p.is_cut(A, B));
+        p.restore_all();
+        assert!(!p.any_cut());
+    }
+}

@@ -3,6 +3,7 @@
 use crate::calendar::{EventQueue, Scheduler, SchedulerKind, Timed};
 use crate::delay::DelayModel;
 use crate::metrics::{CsRecord, Metrics};
+use crate::partition::PartitionModel;
 use crate::sites::SiteStates;
 use crate::trace::{Trace, TraceEvent};
 use qmx_core::{Effects, FaultVerdict, LinkFaults, LossModel, MsgMeta, Outage, Protocol, SiteId};
@@ -66,6 +67,8 @@ enum EventKind<M> {
     Recover { site: SiteId },
     Notice { site: SiteId, failed: SiteId },
     Partition { groups: Vec<u32> },
+    Cut { src: SiteId, dst: SiteId },
+    Restore { src: SiteId, dst: SiteId },
     Heal,
     Tick { site: SiteId },
 }
@@ -127,7 +130,8 @@ pub struct Simulator<P: Protocol> {
     /// pre-crash stragglers and detectors deduplicate re-broadcast rejoin
     /// announcements per restart.
     boots: BTreeMap<SiteId, u64>,
-    partition: Option<Vec<u32>>,
+    /// Directed link-level reachability: which ordered pairs are cut.
+    partition: PartitionModel,
     faults: LinkFaults,
     in_cs: Option<SiteId>,
     metrics: Metrics,
@@ -172,7 +176,7 @@ impl<P: Protocol> Simulator<P> {
             states: SiteStates::new(n),
             pristine: BTreeMap::new(),
             boots: BTreeMap::new(),
-            partition: None,
+            partition: PartitionModel::new(n),
             faults,
             in_cs: None,
             metrics: Metrics::new(),
@@ -293,12 +297,19 @@ impl<P: Protocol> Simulator<P> {
         self.push(at, EventKind::Crash { site });
     }
 
-    /// Schedules a (permanent) network partition at virtual time `at`:
+    /// Schedules a symmetric group-split partition at virtual time `at`:
     /// `groups[i]` is the partition-group id of site `i`. Messages between
     /// different groups are dropped from then on, including ones already in
     /// flight, and after `detect_delay` each site receives a failure notice
     /// for every site outside its group (a partition is indistinguishable
     /// from the remote sites crashing — §2's model has no way to tell).
+    ///
+    /// This is a convenience wrapper over the directed link-cut model: the
+    /// split decomposes into pairwise [`Simulator::schedule_cut`]s, so
+    /// overlapping and repeated partitions compose additively — a second
+    /// split adds its cuts to whatever is already severed instead of
+    /// overwriting it, and notices are injected only for links that were
+    /// still alive when the event fired.
     ///
     /// # Panics
     ///
@@ -307,8 +318,30 @@ impl<P: Protocol> Simulator<P> {
         self.push(at, EventKind::Partition { groups });
     }
 
-    /// Schedules a heal of the current network partition at virtual time
-    /// `at`: from then on messages flow between all groups again.
+    /// Schedules a cut of the **directed** link `src → dst` at virtual
+    /// time `at`: from then on messages from `src` to `dst` (including
+    /// ones already in flight) are dropped, while `dst → src` traffic is
+    /// unaffected — the primitive for asymmetric partitions where A hears
+    /// B but B does not hear A. Cuts compose: each link is governed
+    /// independently, and re-cutting an already-cut link is a no-op.
+    ///
+    /// When [`SimConfig::oracle_notices`] is on, `dst` — the site that
+    /// stops hearing from `src` — receives a `failure(src)` notice
+    /// `detect_delay` later (one-way silence is indistinguishable from the
+    /// sender crashing, which is precisely the asymmetric-view hazard).
+    pub fn schedule_cut(&mut self, src: SiteId, dst: SiteId, at: u64) {
+        self.push(at, EventKind::Cut { src, dst });
+    }
+
+    /// Schedules a restore of the directed link `src → dst` at virtual
+    /// time `at`. Only this link heals; other cuts stay in force. No
+    /// recovery notices are delivered (see [`Simulator::schedule_heal`]).
+    pub fn schedule_restore(&mut self, src: SiteId, dst: SiteId, at: u64) {
+        self.push(at, EventKind::Restore { src, dst });
+    }
+
+    /// Schedules a heal of **every** cut link at virtual time `at`: from
+    /// then on messages flow between all sites again.
     ///
     /// **Recovery semantics** (documented choice): no "recovery notices"
     /// are delivered. The paper's §6 machinery handles *failures* —
@@ -323,6 +356,12 @@ impl<P: Protocol> Simulator<P> {
         self.push(at, EventKind::Heal);
     }
 
+    /// Whether the directed link `src → dst` is currently cut (tests and
+    /// availability analyses).
+    pub fn is_link_cut(&self, src: SiteId, dst: SiteId) -> bool {
+        self.partition.is_cut(src, dst)
+    }
+
     /// Whether `site` currently has a restart scheduled (pristine state
     /// captured and a `Recover` event queued).
     pub fn has_scheduled_recovery(&self, site: SiteId) -> bool {
@@ -330,9 +369,24 @@ impl<P: Protocol> Simulator<P> {
     }
 
     fn severed(&self, a: SiteId, b: SiteId) -> bool {
-        self.partition
-            .as_ref()
-            .is_some_and(|g| g[a.index()] != g[b.index()])
+        self.partition.is_cut(a, b)
+    }
+
+    /// Injects the oracle `failure(src)` notice at `dst` for a newly-cut
+    /// directed link: `dst` stops hearing from `src`, so after the
+    /// detection delay it concludes `src` failed. Skipped entirely in
+    /// detector mode (heartbeat silence carries the information instead).
+    fn notice_for_cut(&mut self, src: SiteId, dst: SiteId) {
+        if !self.cfg.oracle_notices || self.states.is_crashed(src) || self.states.is_crashed(dst) {
+            return;
+        }
+        self.push(
+            self.now + self.cfg.detect_delay,
+            EventKind::Notice {
+                site: dst,
+                failed: src,
+            },
+        );
     }
 
     /// Re-arms the wake-up event for `site` from its `next_timer()`.
@@ -355,8 +409,12 @@ impl<P: Protocol> Simulator<P> {
         let entered = fx.entered_cs();
         for (to, msg) in fx.drain_sends() {
             debug_assert_ne!(to, site, "self-sends must be handled internally");
-            if self.states.is_crashed(to) || self.severed(site, to) {
+            if self.states.is_crashed(to) {
                 self.metrics.count_dropped();
+                continue;
+            }
+            if self.severed(site, to) {
+                self.metrics.count_partition_dropped();
                 continue;
             }
             self.metrics.count_msg(msg.kind());
@@ -461,8 +519,12 @@ impl<P: Protocol> Simulator<P> {
         self.now = ev.time;
         match ev.kind {
             EventKind::Deliver { from, to, msg } => {
-                if self.states.is_crashed(to) || self.severed(from, to) {
+                if self.states.is_crashed(to) {
                     self.metrics.count_dropped();
+                    return;
+                }
+                if self.severed(from, to) {
+                    self.metrics.count_partition_dropped();
                     return;
                 }
                 self.record(TraceEvent::Deliver {
@@ -577,32 +639,24 @@ impl<P: Protocol> Simulator<P> {
             EventKind::Heal => {
                 // See `schedule_heal` for the (documented) recovery
                 // semantics: connectivity returns, no notices are sent.
-                self.partition = None;
+                self.partition.restore_all();
             }
             EventKind::Partition { groups } => {
-                assert_eq!(groups.len(), self.sites.len(), "one group per site");
-                self.partition = Some(groups);
-                if !self.cfg.oracle_notices {
-                    // Detector-driven sites learn of the split from missed
-                    // heartbeats; nothing to inject here.
-                    return;
+                // The symmetric split decomposes into pairwise directed
+                // cuts; only links that were still alive get a notice, so
+                // overlapping episodes never double-inject.
+                let newly = self.partition.cut_groups(&groups);
+                for (src, dst) in newly {
+                    self.notice_for_cut(src, dst);
                 }
-                // Each side suspects the other side dead after detection.
-                for i in 0..self.sites.len() {
-                    let a = SiteId(i as u32);
-                    if self.states.is_crashed(a) {
-                        continue;
-                    }
-                    for j in 0..self.sites.len() {
-                        let b = SiteId(j as u32);
-                        if a != b && !self.states.is_crashed(b) && self.severed(a, b) {
-                            self.push(
-                                self.now + self.cfg.detect_delay,
-                                EventKind::Notice { site: a, failed: b },
-                            );
-                        }
-                    }
+            }
+            EventKind::Cut { src, dst } => {
+                if self.partition.cut(src, dst) {
+                    self.notice_for_cut(src, dst);
                 }
+            }
+            EventKind::Restore { src, dst } => {
+                self.partition.restore(src, dst);
             }
         }
     }
@@ -919,6 +973,91 @@ mod tests {
         assert!(sim.metrics().records()[0].entered_at > 20_000);
     }
 
+    /// Regression (satellite): the old `partition: Option<Vec<u32>>`
+    /// silently dropped a second partition — `EventKind::Partition`
+    /// overwrote the previous groups, resurrecting links the first episode
+    /// had severed. Episodes must compose: two overlapping splits leave
+    /// the union of their cuts in force.
+    #[test]
+    fn overlapping_partitions_compose_instead_of_overwriting() {
+        let mut sim = full_quorum_sim(4, SimConfig::default());
+        // Episode 1 at t=10: {0,1} | {2,3}. Episode 2 at t=20: {0,2} |
+        // {1,3}. Under the overwrite bug, episode 2 would resurrect the
+        // 0↔2 links; under the composed model every ordered pair is cut.
+        sim.schedule_partition(vec![0, 0, 1, 1], 10);
+        sim.schedule_partition(vec![0, 1, 0, 1], 20);
+        sim.schedule_request(SiteId(0), 30);
+        sim.run_to_quiescence(50_000);
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i != j {
+                    assert!(
+                        sim.is_link_cut(SiteId(i), SiteId(j)),
+                        "{i} → {j} must stay cut under composed episodes"
+                    );
+                }
+            }
+        }
+        // Site 0's request went nowhere — every copy died on a cut link,
+        // attributed to the partition (nobody crashed).
+        assert_eq!(sim.metrics().completed_cs(), 0);
+        assert!(sim.metrics().dropped_by_partition() > 0);
+        assert_eq!(sim.metrics().dropped_to_crashed(), 0);
+        // And a heal clears *everything*, both episodes at once.
+        sim.schedule_heal(sim.now() + 1);
+        sim.run_to_quiescence(100_000);
+        assert!(!sim.is_link_cut(SiteId(0), SiteId(2)));
+        assert!(!sim.is_link_cut(SiteId(1), SiteId(3)));
+    }
+
+    #[test]
+    fn directed_cut_is_asymmetric_and_restores_independently() {
+        // Cut only 0 → 1: site 0's requests never reach arbiter 1, but
+        // site 1 can still talk to site 0 the whole time. Restoring the
+        // one cut link lets retransmissions complete the round.
+        let cfg = SimConfig {
+            oracle_notices: false,
+            ..SimConfig::default()
+        };
+        let mut sim = reliable_full_quorum_sim(2, cfg);
+        sim.schedule_cut(SiteId(0), SiteId(1), 5);
+        sim.schedule_request(SiteId(0), 10);
+        sim.schedule_restore(SiteId(0), SiteId(1), 30_000);
+        sim.run_to_quiescence(1_000_000);
+        assert!(!sim.is_link_cut(SiteId(0), SiteId(1)));
+        assert_eq!(sim.metrics().completed_cs(), 1, "retransmit after restore");
+        assert!(sim.metrics().records()[0].entered_at > 30_000);
+        assert!(sim.metrics().dropped_by_partition() > 0);
+        assert!(sim.metrics().transport().retransmissions > 0);
+    }
+
+    #[test]
+    fn directed_cut_notices_only_the_silenced_listener() {
+        // Oracle mode: cutting 1 → 0 silences site 1 *from site 0's
+        // perspective* only, so exactly one notice fires — failure(1)
+        // delivered at site 0. Site 1 keeps hearing site 0 and must not
+        // receive any notice.
+        let mut sim = full_quorum_sim(3, SimConfig::default());
+        sim.enable_trace(10_000);
+        sim.schedule_cut(SiteId(1), SiteId(0), 5);
+        sim.run_to_quiescence(50_000);
+        let notices: Vec<_> = sim
+            .trace()
+            .expect("enabled")
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Notice { site, failed, .. } => Some((*site, *failed)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            notices,
+            vec![(SiteId(0), SiteId(1))],
+            "one-way silence notifies only the listener"
+        );
+    }
+
     #[test]
     fn duplication_alone_is_absorbed_by_dedup() {
         let cfg = SimConfig {
@@ -1065,6 +1204,95 @@ mod tests {
         assert_eq!(
             d.failures_confirmed, 0,
             "heal precedes the fail_confirm lease: {d:?}"
+        );
+        for i in 0..3u32 {
+            assert!(sim.site(SiteId(i)).suspected().is_empty(), "site {i}");
+        }
+    }
+
+    /// Pinned asymmetric-view regression: with only the 0 → 1 link cut,
+    /// arbiter 1 stops hearing site 0 — which is inside the CS on
+    /// arbiter 1's permission — while site 0 still hears everyone and
+    /// site 2 still hears site 0. Without view reconciliation, arbiter 1
+    /// escalates its suspicion to a *confirmed* failure after the
+    /// `fail_confirm` lease (~43T, well inside site 0's 50T hold),
+    /// reclaims the lock site 0 holds, and grants it to site 2: a double
+    /// grant the simulator's monitor panics on. The fix: site 2 keeps
+    /// vouching for site 0 on its beats to arbiter 1 (it hears site 0
+    /// directly), so the confirmation is deferred for as long as the
+    /// indirect evidence flows and the reclamation never happens.
+    /// Suspicion itself still fires — it is revocable and parks the
+    /// contenders — and site 0 learns it is suspected through the echo
+    /// on arbiter 1's beats (the 1 → 0 direction is alive).
+    #[test]
+    fn asymmetric_cut_of_cs_holder_defers_confirmation_no_double_grant() {
+        use qmx_quorum::majority::MajorityQuorumSource;
+        let cfg = SimConfig {
+            oracle_notices: false,
+            hold: DelayModel::Constant(50_000),
+            ..SimConfig::default()
+        };
+        let universe: Vec<SiteId> = (0..3).map(SiteId).collect();
+        let mut sim: Simulator<Detector<Reliable<DelayOptimal>>> = Simulator::new(
+            (0..3)
+                .map(|i| {
+                    Detector::new(
+                        Reliable::new(
+                            DelayOptimal::with_quorum_source(
+                                SiteId(i),
+                                Config::default(),
+                                Box::new(MajorityQuorumSource::new(3)),
+                            ),
+                            TransportConfig::default(),
+                        ),
+                        universe.clone(),
+                        DetectorConfig::default(),
+                    )
+                })
+                .collect(),
+            cfg,
+        );
+        // Site 0 enters at ~2T and holds to ~52T.
+        sim.schedule_request(SiteId(0), 0);
+        // One-way cut while site 0 is inside the CS: arbiter 1 hears
+        // nothing from it, everyone else hears everything. The suspicion
+        // fires at ~11T and the confirm lease would expire at ~43T —
+        // before the hold ends — so only the vouch deferral stands
+        // between this schedule and a double grant.
+        sim.schedule_cut(SiteId(0), SiteId(1), 2_500);
+        sim.schedule_request(SiteId(1), 5_000);
+        sim.schedule_request(SiteId(2), 6_000);
+        sim.schedule_restore(SiteId(0), SiteId(1), 45_000);
+        sim.run_to_quiescence(400_000);
+
+        // All three complete, and the monitor never saw two sites in the
+        // CS at once (it panics the run otherwise).
+        assert_eq!(sim.metrics().completed_cs(), 3);
+        let recs = sim.metrics().records();
+        let first = recs.iter().find(|r| r.site == SiteId(0)).expect("site 0");
+        assert!(first.entered_at < 2_500, "in the CS before the cut");
+        for r in recs.iter().filter(|r| r.site != SiteId(0)) {
+            assert!(
+                r.entered_at >= first.exited_at,
+                "{:?} entered at {} while site 0 held the CS until {}",
+                r.site,
+                r.entered_at,
+                first.exited_at
+            );
+        }
+        let d = sim.metrics().detector();
+        assert!(d.suspicions > 0, "one-way silence must suspect: {d:?}");
+        assert_eq!(
+            d.failures_confirmed, 0,
+            "vouching must defer every confirmation: {d:?}"
+        );
+        assert!(
+            d.confirms_deferred > 0,
+            "the escalation path was reached and vetoed: {d:?}"
+        );
+        assert!(
+            d.asymmetric_suspicions > 0,
+            "site 0 heard it was suspected via the echo: {d:?}"
         );
         for i in 0..3u32 {
             assert!(sim.site(SiteId(i)).suspected().is_empty(), "site {i}");

@@ -1,0 +1,345 @@
+//! Nemesis-style chaos soak: sustained live load while a scripted
+//! adversary cuts and restores directed links underneath the full
+//! `Detector<Reliable<DelayOptimal>>` stack.
+//!
+//! Three nemeses cover the partition shapes that matter:
+//!
+//! * **ring-cut** — every site loses exactly one *outbound* link
+//!   (`i → i+1` around the ring), so the network is globally connected
+//!   yet every pairwise view is asymmetric somewhere;
+//! * **bridge-isolation** — one site is severed in one direction against
+//!   the whole rest of the network (all in-links or all out-links), the
+//!   worst-case asymmetric island;
+//! * **flapping-link** — one directed link cuts and heals repeatedly,
+//!   stress-testing suspicion/withdrawal hysteresis (echo replies,
+//!   reciprocal suspicion maturation) under churn.
+//!
+//! Safety is checked *continuously* — the simulator's mutual-exclusion
+//! monitor asserts on every CS entry — and liveness *after restore*: every
+//! episode heals all its cuts well before the arrival window closes, so
+//! every scheduled request must complete by quiescence.
+//!
+//! Every episode is a pure function of `(ChaosConfig, nemesis, index)`;
+//! episodes fan out over [`crate::parallel::par_map`] and aggregate in
+//! index order, so the rendered report is byte-identical for any
+//! `--jobs` (pinned by a golden test).
+
+use crate::arrival::ArrivalProcess;
+use crate::parallel::par_map;
+use crate::scenario::{Algorithm, QuorumSpec, Scenario};
+use qmx_core::{DetectorConfig, DetectorCounters, SiteId, TransportConfig};
+use std::fmt::Write as _;
+
+/// The partition shapes the soak cycles through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Nemesis {
+    /// Directed ring of cuts: site `i` cannot reach site `i+1 (mod n)`.
+    RingCut,
+    /// One site loses all links in one direction (in or out).
+    BridgeIsolation,
+    /// One directed link flaps (cut/heal) several times.
+    FlappingLink,
+}
+
+impl Nemesis {
+    /// All nemeses, in soak order.
+    pub const ALL: [Nemesis; 3] = [
+        Nemesis::RingCut,
+        Nemesis::BridgeIsolation,
+        Nemesis::FlappingLink,
+    ];
+
+    /// Short label for report rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Nemesis::RingCut => "ring-cut",
+            Nemesis::BridgeIsolation => "bridge-isolation",
+            Nemesis::FlappingLink => "flapping-link",
+        }
+    }
+}
+
+/// Soak parameters. The defaults keep a full soak (every nemesis ×
+/// `episodes_per_nemesis`) in test-suite territory.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Number of sites (rotating-majority quorums need `n >= 3`).
+    pub n: usize,
+    /// Episodes run per nemesis, each with its own derived seed.
+    pub episodes_per_nemesis: u32,
+    /// Base RNG seed; episode schedules and workloads derive from it.
+    pub seed: u64,
+    /// Arrival window per episode. All cuts heal well inside it.
+    pub horizon: u64,
+    /// Gap between a site's requests (periodic live load).
+    pub period: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            n: 5,
+            episodes_per_nemesis: 2,
+            seed: 0xC4A05,
+            horizon: 240_000,
+            period: 30_000,
+        }
+    }
+}
+
+/// Outcome of one nemesis episode.
+#[derive(Debug, Clone)]
+pub struct EpisodeReport {
+    /// Which nemesis ran.
+    pub nemesis: Nemesis,
+    /// Episode index within the nemesis.
+    pub episode: u32,
+    /// Completed CS executions.
+    pub completed: usize,
+    /// Scheduled arrivals (liveness target: every one completes).
+    pub expected: usize,
+    /// Messages dropped at the source on cut links.
+    pub partition_drops: u64,
+    /// Aggregated failure-detector counters.
+    pub detector: DetectorCounters,
+    /// Transport retransmissions across the episode.
+    pub retransmissions: u64,
+    /// Transport sends abandoned (should stay 0: no site ever dies).
+    pub gave_up: u64,
+}
+
+/// Aggregate of a whole soak.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Per-episode outcomes, in deterministic (nemesis, episode) order.
+    pub episodes: Vec<EpisodeReport>,
+}
+
+impl ChaosReport {
+    /// Whether every episode completed every scheduled request.
+    pub fn all_live(&self) -> bool {
+        self.episodes.iter().all(|e| e.completed == e.expected)
+    }
+
+    /// Deterministic textual summary — the byte-identity artifact for the
+    /// `--jobs` invariance gate.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "nemesis           ep  done/need  part-drop  susp  recip  defer  conf  retrans\n",
+        );
+        for e in &self.episodes {
+            let d = &e.detector;
+            let _ = writeln!(
+                out,
+                "{:<17} {:>3}  {:>4}/{:<4}  {:>9}  {:>4}  {:>5}  {:>5}  {:>4}  {:>7}",
+                e.nemesis.label(),
+                e.episode,
+                e.completed,
+                e.expected,
+                e.partition_drops,
+                d.suspicions,
+                d.reciprocal_suspicions,
+                d.confirms_deferred,
+                d.failures_confirmed,
+                e.retransmissions,
+            );
+        }
+        out
+    }
+}
+
+/// SplitMix64 step: the soak's only randomness, chosen for bit-exact
+/// determinism independent of any RNG crate.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds the cut/restore schedule for one episode. Windows are sized
+/// against the default detector: long enough (>= `hb_timeout` +
+/// maturation) to fire silence *and* reciprocal suspicions, short enough
+/// (< `fail_confirm`) that an unvouched suspicion never escalates to the
+/// definitive §6 reclamation of a live site.
+/// A list of `(from, to, at)` directed link events (cuts or restores).
+type LinkSchedule = Vec<(SiteId, SiteId, u64)>;
+
+fn nemesis_schedule(nemesis: Nemesis, n: usize, rng: &mut u64) -> (LinkSchedule, LinkSchedule) {
+    let mut cuts = Vec::new();
+    let mut restores = Vec::new();
+    match nemesis {
+        Nemesis::RingCut => {
+            // Staggered directed ring: every site's outbound view breaks
+            // toward its successor while the network stays connected.
+            for i in 0..n {
+                let from = SiteId(i as u32);
+                let to = SiteId(((i + 1) % n) as u32);
+                let at = 40_000 + (i as u64) * 2_000;
+                cuts.push((from, to, at));
+                restores.push((from, to, at + 20_000));
+            }
+        }
+        Nemesis::BridgeIsolation => {
+            let b = SiteId((splitmix(rng) % n as u64) as u32);
+            let inbound = splitmix(rng) & 1 == 0;
+            // Straddle exactly one arrival wave (the 60s one): by then the
+            // rest of the network has reciprocally suspected the bridge and
+            // routes around it, while the bridge's own request parks and
+            // re-issues at the 64s heal — draining well before the next
+            // wave, so a delayed request never collides with (and thereby
+            // swallows) a later scheduled arrival.
+            let at = 40_000;
+            for i in 0..n {
+                let x = SiteId(i as u32);
+                if x == b {
+                    continue;
+                }
+                let (from, to) = if inbound { (x, b) } else { (b, x) };
+                cuts.push((from, to, at));
+                restores.push((from, to, at + 24_000));
+            }
+        }
+        Nemesis::FlappingLink => {
+            let f = SiteId((splitmix(rng) % n as u64) as u32);
+            let mut t = SiteId((splitmix(rng) % n as u64) as u32);
+            if t == f {
+                t = SiteId((t.0 + 1) % n as u32);
+            }
+            for k in 0..4u64 {
+                let at = 30_000 + k * 15_000;
+                cuts.push((f, t, at));
+                restores.push((f, t, at + 6_000));
+            }
+        }
+    }
+    (cuts, restores)
+}
+
+/// Runs the full soak: every nemesis × `episodes_per_nemesis`, fanned out
+/// over [`par_map`] and aggregated in deterministic order.
+///
+/// Safety (mutual exclusion) is asserted continuously inside the
+/// simulator; a violation panics the soak. Liveness is reported, not
+/// asserted — gate on [`ChaosReport::all_live`].
+///
+/// # Panics
+///
+/// Panics on a mutual-exclusion violation in any episode, or if `n < 3`
+/// (rotating majorities need a real quorum system).
+pub fn chaos_soak(cfg: &ChaosConfig) -> ChaosReport {
+    assert!(cfg.n >= 3, "chaos soak needs n >= 3");
+    let mut items = Vec::new();
+    for (ni, nemesis) in Nemesis::ALL.into_iter().enumerate() {
+        for ep in 0..cfg.episodes_per_nemesis {
+            // Fixed-arithmetic seed derivation: stable across job counts
+            // and platforms.
+            let mut rng = cfg
+                .seed
+                .wrapping_mul(0x100_0000_01B3)
+                .wrapping_add(((ni as u64) << 32) | u64::from(ep));
+            let (cuts, link_restores) = nemesis_schedule(nemesis, cfg.n, &mut rng);
+            items.push((nemesis, ep, splitmix(&mut rng), cuts, link_restores));
+        }
+    }
+    let n = cfg.n;
+    let (horizon, period) = (cfg.horizon, cfg.period);
+    let episodes = par_map(items, move |(nemesis, ep, seed, cuts, link_restores)| {
+        let arrivals = ArrivalProcess::Periodic {
+            period,
+            stagger: 1_000,
+        };
+        let expected = arrivals.generate(n, horizon, 0).len();
+        let report = Scenario {
+            n,
+            algorithm: Algorithm::DelayOptimalFtMajority,
+            quorum: QuorumSpec::Majority,
+            arrivals,
+            horizon,
+            cuts,
+            link_restores,
+            transport: Some(TransportConfig::default()),
+            detector: Some(DetectorConfig::default()),
+            seed,
+            ..Scenario::default()
+        }
+        .run();
+        EpisodeReport {
+            nemesis,
+            episode: ep,
+            completed: report.completed,
+            expected,
+            partition_drops: report.partition_drops,
+            detector: report.detector,
+            retransmissions: report.transport.retransmissions,
+            gave_up: report.transport.gave_up,
+        }
+    });
+    ChaosReport { episodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::set_jobs;
+
+    /// The headline soak gate: safety held continuously (no panic),
+    /// every episode recovered full liveness after its cuts healed, the
+    /// nemeses actually bit (partition drops, suspicions, reciprocal
+    /// suspicions all fired), and no live site was ever confirmed dead.
+    #[test]
+    fn soak_is_safe_live_and_exercises_the_fault_paths() {
+        let r = chaos_soak(&ChaosConfig::default());
+        assert_eq!(r.episodes.len(), 6);
+        for e in &r.episodes {
+            assert_eq!(
+                e.completed,
+                e.expected,
+                "{} ep{} lost liveness: {}/{}",
+                e.nemesis.label(),
+                e.episode,
+                e.completed,
+                e.expected
+            );
+            assert_eq!(e.gave_up, 0, "{} abandoned sends", e.nemesis.label());
+            assert_eq!(
+                e.detector.failures_confirmed,
+                0,
+                "{} confirmed a live site dead",
+                e.nemesis.label()
+            );
+        }
+        assert!(r.all_live());
+        let drops: u64 = r.episodes.iter().map(|e| e.partition_drops).sum();
+        let susp: u64 = r.episodes.iter().map(|e| e.detector.suspicions).sum();
+        let recip: u64 = r
+            .episodes
+            .iter()
+            .map(|e| e.detector.reciprocal_suspicions)
+            .sum();
+        assert!(drops > 0, "no message ever hit a cut link");
+        assert!(susp > 0, "no cut ever raised a suspicion");
+        assert!(recip > 0, "reciprocal suspicion never matured");
+    }
+
+    /// Golden `--jobs` invariance: the rendered soak report is
+    /// byte-identical whatever the worker count.
+    #[test]
+    fn soak_report_is_byte_identical_for_any_jobs() {
+        let run = |jobs| {
+            set_jobs(jobs);
+            let out = chaos_soak(&ChaosConfig::default()).render();
+            set_jobs(0);
+            out
+        };
+        let sequential = run(1);
+        assert_eq!(sequential, run(4));
+        assert_eq!(sequential, run(13));
+        // Golden shape: one header + one row per episode.
+        assert_eq!(sequential.lines().count(), 7);
+        assert!(sequential.contains("ring-cut"));
+        assert!(sequential.contains("bridge-isolation"));
+        assert!(sequential.contains("flapping-link"));
+    }
+}

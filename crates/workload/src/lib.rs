@@ -11,12 +11,16 @@
 //!   response/waiting percentiles, Jain fairness);
 //! * [`replicate`] — multi-seed replication with mean ± σ summaries;
 //! * [`parallel`] — deterministic fan-out of independent runs across
-//!   worker threads (results in item order, identical for any `--jobs`).
+//!   worker threads (results in item order, identical for any `--jobs`);
+//! * [`chaos`] — nemesis-style partition chaos soak (ring cuts, bridge
+//!   isolation, flapping links) against live load, byte-identical for
+//!   any worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arrival;
+pub mod chaos;
 pub mod parallel;
 pub mod replicate;
 pub mod scenario;

@@ -164,6 +164,14 @@ pub struct Scenario {
     /// Heal schedule: times at which the current partition (if any) is
     /// lifted. See [`qmx_sim::Simulator::schedule_heal`] for semantics.
     pub heals: Vec<u64>,
+    /// Directed link-cut schedule: `(from, to, time)` severs only the
+    /// `from → to` direction, so asymmetric and partial partitions are
+    /// expressible (compose pairs for symmetric episodes). Messages sent
+    /// on a cut link are dropped at the source; see
+    /// [`qmx_sim::Simulator::schedule_cut`].
+    pub cuts: Vec<(SiteId, SiteId, u64)>,
+    /// Directed link-restore schedule: `(from, to, time)` lifts a cut.
+    pub link_restores: Vec<(SiteId, SiteId, u64)>,
     /// Message-loss/duplication model applied to every link.
     pub loss: LossModel,
     /// Per-link transient outage windows.
@@ -185,6 +193,17 @@ pub struct Scenario {
     pub recoveries: Vec<(SiteId, u64)>,
     /// Oracle failure-detection latency. Ignored when `detector` is set.
     pub detect_delay: u64,
+    /// Override for the simulator's oracle `failure(i)` notices. `None`
+    /// (the default) keeps the automatic rule — oracle on exactly when no
+    /// `detector` is configured. `Some(false)` turns the oracle off
+    /// *without* a detector: crashes and cuts then go entirely unnoticed
+    /// and only the transport's retransmission rides them out, which is
+    /// the honest "no failure detection at all" baseline for partition
+    /// experiments (the oracle would otherwise convert a transient
+    /// one-way cut into a permanent perceived crash at the hearing side,
+    /// with no rejoin path). `Some(true)` alongside a detector mixes two
+    /// failure models and is never useful; leave it `None` there.
+    pub oracle_notices: Option<bool>,
     /// Event-scheduler implementation for the simulator (defaults from
     /// `QMX_SCHEDULER`, falling back to the calendar queue). Reports are
     /// byte-identical for either kind; CI's differential gate enforces it.
@@ -206,12 +225,15 @@ impl Default for Scenario {
             crashes: Vec::new(),
             partitions: Vec::new(),
             heals: Vec::new(),
+            cuts: Vec::new(),
+            link_restores: Vec::new(),
             loss: LossModel::None,
             outages: Vec::new(),
             transport: None,
             detector: None,
             recoveries: Vec::new(),
             detect_delay: 2000,
+            oracle_notices: None,
             scheduler: SchedulerKind::default(),
             seed: 0xD15C0,
         }
@@ -428,8 +450,9 @@ impl Scenario {
                 hold: self.hold,
                 detect_delay: self.detect_delay,
                 // The oracle and the heartbeat detector are mutually
-                // exclusive failure models.
-                oracle_notices: self.detector.is_none(),
+                // exclusive failure models; `oracle_notices` can force
+                // the oracle off to model "no detection at all".
+                oracle_notices: self.oracle_notices.unwrap_or(self.detector.is_none()),
                 seed: self.seed,
                 loss: self.loss.clone(),
                 outages: self.outages.clone(),
@@ -452,6 +475,12 @@ impl Scenario {
         }
         for &t in &self.heals {
             sim.schedule_heal(t);
+        }
+        for &(f, to, t) in &self.cuts {
+            sim.schedule_cut(f, to, t);
+        }
+        for &(f, to, t) in &self.link_restores {
+            sim.schedule_restore(f, to, t);
         }
         // Let in-flight work drain well past the arrival window.
         let drain = self

@@ -70,6 +70,9 @@ pub struct RunReport {
     pub throughput_per_t: f64,
     /// Jain fairness over per-site CS counts.
     pub fairness: Option<f64>,
+    /// Messages dropped at the source because the directed link was cut
+    /// (partition model).
+    pub partition_drops: u64,
     /// Messages dropped by the injected fault model.
     pub injected_drops: u64,
     /// Messages duplicated by the injected fault model.
@@ -125,6 +128,7 @@ impl RunReport {
                 m.completed_cs() as f64 * t / elapsed as f64
             },
             fairness: jain_fairness(&counts),
+            partition_drops: m.dropped_by_partition(),
             injected_drops: m.injected_drops(),
             injected_dups: m.injected_dups(),
             transport: *m.transport(),

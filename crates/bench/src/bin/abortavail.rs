@@ -1,0 +1,6 @@
+//! E14: tail latency and served demand with deadline/abort/retry vs
+//! parking under asymmetric link partitions (§5–§6).
+fn main() {
+    qmx_bench::jobs::init_jobs();
+    println!("{}", qmx_bench::experiments::abort_availability());
+}

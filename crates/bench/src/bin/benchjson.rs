@@ -127,6 +127,14 @@ fn checker_scopes(tiny: bool) -> Vec<CheckerScope> {
         scopes.push(("dpor/duo_partition", || {
             run(full_q(2), 2, 1, FaultBudget::partitions(2, 2))
         }));
+        scopes.push(("dpor/abort", || {
+            run(
+                full_q(2),
+                2,
+                1,
+                FaultBudget::crash_recover(1, 1).with_aborts(1),
+            )
+        }));
         scopes.push(("dpor/duo_false_suspicion", || {
             run(
                 full_q(2),

@@ -127,6 +127,11 @@ pub enum Action {
     RejoinDone(SiteId),
     /// `site`'s next armed timer fires (transport/detector stacks).
     Timer(SiteId),
+    /// The application at `site` aborts its unfulfilled CS request (or
+    /// parked want) via `Protocol::abort_cs` — the client-side timeout /
+    /// give-up path. Budgeted by [`FaultBudget::aborts`]; enabled only
+    /// while the site reports `Protocol::abortable`.
+    Abort(SiteId),
     /// The directed link `from → to` is cut: messages already queued (and
     /// any sent while the cut holds) stay in the channel but cannot be
     /// delivered until the link is restored. Loss on a cut link is modeled
@@ -163,6 +168,7 @@ impl fmt::Display for Action {
             Action::RejoinNotice { at, of } => write!(f, "rejoin-notice {at} of {of}"),
             Action::RejoinDone(s) => write!(f, "rejoin-done@{s}"),
             Action::Timer(s) => write!(f, "timer@{s}"),
+            Action::Abort(s) => write!(f, "abort@{s}"),
             Action::CutLink { from, to } => write!(f, "cut-link {from}->{to}"),
             Action::RestoreLink { from, to } => write!(f, "restore-link {from}->{to}"),
         }
@@ -264,6 +270,12 @@ pub struct FaultBudget {
     /// Timer firings (`Protocol::on_timer`); only relevant for stacks that
     /// arm timers (transport retransmission, detector heartbeats).
     pub timers: u32,
+    /// Client aborts ([`Action::Abort`]): a site with an unfulfilled
+    /// request (or a parked want) withdraws it through
+    /// `Protocol::abort_cs`. The abort races every in-flight
+    /// `Transfer`/`Inquire`/forwarded grant within scope, which is exactly
+    /// where the abort×reclamation interleavings get pinned.
+    pub aborts: u32,
     /// Directed link cuts ([`Action::CutLink`]): partition episodes at
     /// per-ordered-pair grain, so asymmetric splits (A hears B while B
     /// does not hear A) are in scope.
@@ -311,6 +323,14 @@ impl FaultBudget {
         }
     }
 
+    /// `aborts` client aborts on top of this budget; composable with any
+    /// scope (`FaultBudget::crash_recover(1, 1).with_aborts(1)`).
+    #[must_use]
+    pub fn with_aborts(mut self, aborts: u32) -> Self {
+        self.aborts = aborts;
+        self
+    }
+
     /// Whether any fault transition can ever fire under this budget.
     pub fn is_active(&self) -> bool {
         self.crashes > 0
@@ -318,6 +338,7 @@ impl FaultBudget {
             || self.drops > 0
             || self.false_suspicions > 0
             || self.timers > 0
+            || self.aborts > 0
             || self.cuts > 0
             || self.restores > 0
             || self.detector
@@ -640,6 +661,79 @@ mod tests {
         assert!(err.to_string().contains("deadlock"));
     }
 
+    /// Pinned dual-engine regression for the abort × forwarded-grant
+    /// race. The guided walk parks S1 behind S0's CS occupancy, exits S0
+    /// *without* draining — the delay-optimal holder has just forwarded
+    /// the grant straight to S1, so it is in flight — and then aborts S1.
+    /// Before `arb_relinquish` learned to park an early-returned grant
+    /// this interleaving wedged the transfer chain; today it must resolve
+    /// to a clean abort (the orphaned grant returns to its arbiter), and
+    /// the checker replay and the scripted discrete-event simulator
+    /// replay must both agree on the clean outcome.
+    #[test]
+    fn abort_races_forwarded_grant_both_engines_complete() {
+        let workload = Workload::uniform(2, 1);
+        let mut opts = CheckOptions::new(1_000_000);
+        opts.faults = FaultBudget::none().with_aborts(1);
+        let (ctx, mut st, _) = crate::state::build_root(duo(), &workload, &opts);
+        let mut fx = Effects::new();
+        let mut sent = Vec::new();
+        let mut trace: Vec<Action> = Vec::new();
+        macro_rules! step {
+            ($a:expr) => {{
+                let a = $a;
+                assert!(
+                    st.enabled(&ctx).contains(&a),
+                    "guided action {a} not enabled"
+                );
+                st.apply(a, &ctx, &mut fx, &mut sent);
+                sent.clear();
+                trace.push(a);
+            }};
+        }
+        macro_rules! drain {
+            () => {
+                while let Some(&d) = st
+                    .enabled(&ctx)
+                    .iter()
+                    .find(|a| matches!(a, Action::Deliver { .. }))
+                {
+                    step!(d);
+                }
+            };
+        }
+        step!(Action::Request(SiteId(0)));
+        drain!();
+        assert!(st.sites[0].in_cs(), "S0 holds the CS after its drain");
+        step!(Action::Request(SiteId(1)));
+        drain!();
+        assert!(st.sites[1].wants_cs(), "S1 is parked behind S0");
+        step!(Action::Exit(SiteId(0)));
+        // Deliberately no drain: the forwarded grant is still in flight
+        // toward S1 when the abort fires.
+        step!(Action::Abort(SiteId(1)));
+        drain!();
+        assert!(
+            !st.sites[1].wants_cs() && !st.sites[1].in_cs(),
+            "abort must withdraw cleanly, not enter"
+        );
+        assert!(
+            st.enabled(&ctx).is_empty(),
+            "guided walk must reach a terminal state"
+        );
+        assert_eq!(
+            replay(duo(), &workload, &opts, &trace),
+            ReplayOutcome::Completed,
+            "checker replay: abort racing the forwarded grant is clean"
+        );
+        assert!(sim_replayable(&trace), "abort traces script into the sim");
+        assert_eq!(
+            replay_in_sim(duo(), &workload, &opts, &trace),
+            SimReplayOutcome::Completed,
+            "simulator replay: both engines agree the race is clean"
+        );
+    }
+
     #[test]
     fn action_display() {
         assert_eq!(Action::Request(SiteId(1)).to_string(), "request@S1");
@@ -662,6 +756,7 @@ mod tests {
         );
         assert_eq!(Action::Crash(SiteId(2)).to_string(), "crash@S2");
         assert_eq!(Action::Recover(SiteId(2)).to_string(), "recover@S2");
+        assert_eq!(Action::Abort(SiteId(2)).to_string(), "abort@S2");
         assert_eq!(
             Action::Suspect {
                 at: SiteId(0),

@@ -26,12 +26,15 @@
 //! to crashed sites *before* consuming a delay, which keeps the scripts
 //! aligned across crashes.
 //!
-//! Only traces built from `Request` / `Deliver` / `Exit` / `Crash` (plus
-//! trailing `Drop`s — see [`sim_replayable`]) can be scripted: recovery
-//! and detector verdicts are driven by the wall-clock heartbeat stack in
-//! the simulator and by explicit budgeted transitions in the checker, so
-//! they have no deterministic one-to-one counterpart. [`replay`] covers
-//! the full alphabet.
+//! Only traces built from `Request` / `Deliver` / `Exit` / `Crash` /
+//! `Abort` (plus trailing `Drop`s — see [`sim_replayable`]) can be
+//! scripted: recovery and detector verdicts are driven by the wall-clock
+//! heartbeat stack in the simulator and by explicit budgeted transitions
+//! in the checker, so they have no deterministic one-to-one counterpart.
+//! [`replay`] covers the full alphabet. An `Abort` maps one-to-one onto
+//! [`Simulator::schedule_abort`]: both engines run the same `abort_cs`
+//! entry point at the action's timestamp, and the withdrawal's `Abandon`
+//! sends consume delay-script slots like any other send.
 //!
 //! `CutLink` / `RestoreLink` *are* admitted: a checker cut is a pure
 //! scheduling constraint — it embargoes delivery but queues every send and
@@ -130,7 +133,7 @@ where
 }
 
 /// Whether `trace` can be scripted into the simulator: only `Request`,
-/// `Deliver`, `Exit`, and `Crash` actions, plus `Drop`s on links that see
+/// `Deliver`, `Exit`, `Crash`, and `Abort` actions, plus `Drop`s on links that see
 /// no later delivery (a dropped message is emulated by an over-horizon
 /// delivery time, which — per-link FIFO — would also push every later
 /// delivery on that link past the horizon), plus `CutLink`/`RestoreLink`
@@ -143,6 +146,7 @@ pub fn sim_replayable(trace: &[Action]) -> bool {
             Action::Request(_)
             | Action::Exit(_)
             | Action::Crash(_)
+            | Action::Abort(_)
             | Action::CutLink { .. }
             | Action::RestoreLink { .. } => {}
             Action::Deliver { from, to } => {
@@ -226,6 +230,7 @@ where
         match a {
             Action::Request(s) => sim.schedule_request(s, t_k),
             Action::Crash(s) => sim.schedule_crash(s, t_k),
+            Action::Abort(s) => sim.schedule_abort(s, t_k),
             Action::Deliver { from, to } => {
                 let idx = in_flight
                     .get_mut(&(from, to))

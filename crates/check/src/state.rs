@@ -41,6 +41,11 @@
 //! * `Drop{from,to}` / `Timer(s)` — lossy-link and timer transitions for
 //!   stacks that implement them (budgeted; a bare protocol never arms
 //!   timers, so `Timer` only fires for transport/detector wrappers).
+//! * `Abort(s)` — the client at `s` gives up on its unfulfilled request
+//!   (`abort_cs`), budgeted by [`FaultBudget::aborts`] and enabled only
+//!   while `s` reports `abortable()` (waiting or parked, never inside the
+//!   CS). The abort's `Abandon` withdrawal then races every in-flight
+//!   `Transfer` / `Inquire` / forwarded grant the scope can produce.
 //! * `CutLink{from,to}` / `RestoreLink{from,to}` — a directed partition
 //!   episode at per-ordered-pair grain (asymmetric cuts included). A cut
 //!   is an **embargo**, the per-direction extension of the delivery gate:
@@ -302,6 +307,9 @@ impl<P: Protocol + Clone> State<P> {
             }
             if m.budget.timers > 0 && s.next_timer().is_some() {
                 acts.push(Action::Timer(sid));
+            }
+            if m.budget.aborts > 0 && s.abortable() {
+                acts.push(Action::Abort(sid));
             }
         }
         for ((from, to), q) in &self.channels {
@@ -637,6 +645,14 @@ impl<P: Protocol + Clone> State<P> {
                 self.meta.budget.restores -= 1;
                 self.meta.link_cut[from.index()][to.index()] = false;
             }
+            Action::Abort(s) => {
+                let i = s.index();
+                self.meta.budget.aborts -= 1;
+                self.set_now(i);
+                let aborted = self.sites[i].abort_cs(fx);
+                debug_assert!(aborted, "enabled abort must withdraw something");
+                self.route(s, fx, sent);
+            }
             Action::Timer(s) => {
                 let i = s.index();
                 self.meta.budget.timers -= 1;
@@ -712,7 +728,8 @@ pub(crate) fn owner(a: Action) -> SiteId {
         | Action::Crash(s)
         | Action::Recover(s)
         | Action::RejoinDone(s)
-        | Action::Timer(s) => s,
+        | Action::Timer(s)
+        | Action::Abort(s) => s,
         Action::Deliver { to, .. }
         | Action::Drop { to, .. }
         | Action::CutLink { to, .. }

@@ -109,6 +109,24 @@ fn stale_grant_claimed_through_rejoin_handshake_ring() {
 }
 
 #[test]
+fn abort_crash_recovery_duo_verifies() {
+    // Client abort composed with the §6 crash machinery: a site may give
+    // up on its unfulfilled request at any point — including while its
+    // `Abandon` races a crash, the answer-gated rejoin, or a grant
+    // forwarded by the previous holder — and every interleaving must
+    // still be safe and leave the survivors live. This is the checker
+    // scope behind `qmxctl check --aborts`.
+    let stats = check_with(
+        delay_optimal(full_quorum(2)),
+        &Workload::uniform(2, 1),
+        &fault_opts(20_000_000, FaultBudget::crash_recover(1, 1).with_aborts(1)),
+    )
+    .expect("abort x crash x rejoin safe and live in every interleaving");
+    assert!(stats.states > 1_000, "states = {}", stats.states);
+    assert!(stats.terminals >= 1);
+}
+
+#[test]
 fn false_suspicion_restore_duo_verifies() {
     // A detector that wrongly suspects a live site must withdraw the
     // suspicion (restore) without ever breaking safety; the §6 re-grant

@@ -85,6 +85,23 @@ fn crash_free_partition_scope_verifies() {
     );
 }
 
+/// Client abort composed with partitions: a requester may give up while
+/// the link carrying its request — or its `Abandon` withdrawal, or the
+/// grant headed back to it — is embargoed by a cut. Every interleaving
+/// of abort against cut/heal and the justified-suspicion machinery must
+/// stay safe and leave the survivors live once the link heals.
+#[test]
+fn abort_under_partition_scope_verifies() {
+    let stats = check_with(
+        delay_optimal(full_quorum(2)),
+        &Workload::uniform(2, 1),
+        &fault_opts(20_000_000, FaultBudget::partitions(1, 1).with_aborts(1)),
+    )
+    .expect("abort x cut x heal safe and live in every interleaving");
+    assert!(stats.states > 1_000, "states = {}", stats.states);
+    assert!(stats.terminals >= 1);
+}
+
 /// A cut link embargoes delivery but does not lose messages: a request
 /// sent while `S0 -> S1` is cut stays queued and flows after the
 /// restore, completing the round. Both engines agree the trace is

@@ -90,6 +90,12 @@ pub enum Command {
         /// Event-scheduler implementation (`heap` or `calendar`); the
         /// report is byte-identical either way, only wall clock differs.
         scheduler: SchedulerKind,
+        /// Per-request deadline in T units: requests abort (withdraw from
+        /// every arbiter) once they wait this long. `None` = no deadlines.
+        deadline_t: Option<u64>,
+        /// Retry of aborted requests as `(baseT, capT, max_attempts)`:
+        /// jittered exponential backoff. Requires `deadline_t`.
+        retry_backoff: Option<(u64, u64, u32)>,
     },
     /// Print a quorum system and its properties.
     Quorum {
@@ -120,6 +126,8 @@ pub enum Command {
         cuts: u32,
         /// Fault budget: restorations of cut links.
         restores: u32,
+        /// Fault budget: client-side request aborts.
+        aborts: u32,
         /// Parallel subtree fan-out width (1 = sequential).
         jobs: usize,
         /// File to write a counterexample trace to on failure.
@@ -150,11 +158,13 @@ USAGE:
              [--flap from:to:startT:periodT:count ...]
              [--reliable on|off|auto]
              [--hb-interval T] [--hb-timeout T] [--recover site:timeT ...]
+             [--deadline T] [--retry-backoff baseT:capT:attempts]
              [--scheduler heap|calendar]
   qmxctl quorum --kind Q --n N
   qmxctl check [--n N] [--rounds R] [--max-states M] [--quorum Q]
                [--crashes C] [--recoveries C] [--drops C] [--suspicions C]
-               [--cuts C] [--restores C] [--jobs J] [--trace-out FILE]
+               [--cuts C] [--restores C] [--aborts C] [--jobs J]
+               [--trace-out FILE]
   qmxctl experiment NAME [--jobs J]
   qmxctl help
 
@@ -179,6 +189,12 @@ WHERE:
   --hb-interval/--hb-timeout/--recover switch failure detection from the
       oracle to heartbeats (suspicion from silence, crash recovery via
       the rejoin handshake); intervals are in T units
+  --deadline bounds every request's wait: once it expires the client
+      aborts, withdrawing the request from every arbiter it reached.
+      --retry-backoff re-issues aborted requests with jittered
+      exponential backoff (base doubles per attempt up to cap, both in
+      T units, at most `attempts` retries); it needs --deadline, since
+      nothing aborts without one
   --scheduler picks the event-queue implementation (default: calendar,
       or the QMX_SCHEDULER env var); reports are byte-identical for
       either choice — only wall-clock time differs
@@ -189,12 +205,14 @@ WHERE:
       free). --cuts/--restores budget directed link cuts: a cut S->T
       embargoes delivery on that link (sends still queue, FIFO order is
       kept) until a restore lifts it — keep restores >= cuts so every
-      branch can heal. --quorum overrides the default full (all-sites) quorum,
+      branch can heal. --aborts budgets client-side request aborts
+      (abort_cs), explored against every crash/drop/partition
+      interleaving. --quorum overrides the default full (all-sites) quorum,
       --jobs fans independent subtrees out in parallel, and --trace-out
       writes the counterexample action trace on failure
   NAME = table1 | lightload | heavyload | syncdelay | throughput |
          quorumsize | availability | faulttolerance | ablation |
-         holdsweep | msgscaling | schedulers | partitions
+         holdsweep | msgscaling | schedulers | partitions | abortavail
   J = worker threads for the experiment fan-out (0 or absent = auto);
       reports are identical for every J — runs are pure per (scenario,
       seed) and rows are assembled in parameter order
@@ -458,6 +476,56 @@ impl Cli {
                         ParseError(format!("--scheduler wants heap|calendar, got '{s}'"))
                     })?,
                 };
+                let deadline_t = opt_t("deadline")?;
+                if deadline_t == Some(0) {
+                    return err("--deadline 0 would abort every request on arrival; \
+                         give a positive deadline in T units (or omit the flag)");
+                }
+                let retry_backoff = match one(&f, "retry-backoff", "") {
+                    "" => None,
+                    s => {
+                        let parts: Result<Vec<u64>, _> = s.split(':').map(str::parse).collect();
+                        match parts.ok().as_deref() {
+                            Some(&[base, cap, attempts]) if base > 0 && cap >= base => {
+                                Some((base, cap, attempts as u32))
+                            }
+                            _ => {
+                                return err(format!(
+                                    "--retry-backoff wants baseT:capT:attempts with \
+                                     0 < baseT <= capT, got '{s}'"
+                                ))
+                            }
+                        }
+                    }
+                };
+                if retry_backoff.is_some() && deadline_t.is_none() {
+                    return err("--retry-backoff without --deadline is a no-op: \
+                         nothing ever aborts, so nothing ever retries");
+                }
+                // A recovery of a site that is not down by then is the
+                // crash-schedule version of the same typo.
+                for &(site, at) in &recoveries {
+                    if !crashes.iter().any(|&(s, ct)| s == site && ct <= at) {
+                        return err(format!(
+                            "--recover {site}:{at} revives a site that no --crash takes \
+                             down by then; recovering a live site is a no-op"
+                        ));
+                    }
+                }
+                // A restore for a link no cut or flap ever severs is a
+                // schedule typo, not a fault plan: reject it loudly.
+                for &(from, to, at) in &link_restores {
+                    let ever_cut = cuts
+                        .iter()
+                        .any(|&(f, t2, ct)| (f, t2) == (from, to) && ct <= at)
+                        || flaps.iter().any(|&(f, t2, ..)| (f, t2) == (from, to));
+                    if !ever_cut {
+                        return err(format!(
+                            "--restore {from}:{to}:{at} restores a link that no --cut or \
+                             --flap severs by then; restoring an intact link is a no-op"
+                        ));
+                    }
+                }
                 Command::Run {
                     algorithm: parse_algorithm(one(&f, "alg", "delay-optimal"))?,
                     n: parse_u64(&f, "n", 9)? as usize,
@@ -482,6 +550,8 @@ impl Cli {
                     hb_timeout_t,
                     recoveries,
                     scheduler,
+                    deadline_t,
+                    retry_backoff,
                 }
             }
             "quorum" => {
@@ -512,6 +582,7 @@ impl Cli {
                     suspicions: parse_u64(&f, "suspicions", 0)? as u32,
                     cuts: parse_u64(&f, "cuts", 0)? as u32,
                     restores: parse_u64(&f, "restores", 0)? as u32,
+                    aborts: parse_u64(&f, "aborts", 0)? as u32,
                     jobs: parse_u64(&f, "jobs", 1)? as usize,
                     trace_out,
                 }
@@ -756,6 +827,83 @@ mod tests {
     }
 
     #[test]
+    fn deadline_and_retry_flags() {
+        match parse("run --deadline 30").unwrap().command {
+            Command::Run {
+                deadline_t,
+                retry_backoff,
+                ..
+            } => {
+                assert_eq!(deadline_t, Some(30));
+                assert_eq!(retry_backoff, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse("run --deadline 30 --retry-backoff 2:32:8")
+            .unwrap()
+            .command
+        {
+            Command::Run { retry_backoff, .. } => {
+                assert_eq!(retry_backoff, Some((2, 32, 8)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Absent flags leave aborting off entirely.
+        match parse("run").unwrap().command {
+            Command::Run {
+                deadline_t,
+                retry_backoff,
+                ..
+            } => {
+                assert_eq!(deadline_t, None);
+                assert_eq!(retry_backoff, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("run --deadline x").unwrap_err().0.contains("T units"));
+        assert!(parse("run --retry-backoff 2:32")
+            .unwrap_err()
+            .0
+            .contains("baseT:capT:attempts"));
+        assert!(parse("run --deadline 30 --retry-backoff 32:2:8")
+            .unwrap_err()
+            .0
+            .contains("baseT <= capT"));
+    }
+
+    /// No-op and contradictory schedules are rejected up front instead of
+    /// silently running a scenario that cannot mean what was asked.
+    #[test]
+    fn noop_schedules_are_rejected() {
+        assert!(parse("run --deadline 0")
+            .unwrap_err()
+            .0
+            .contains("positive deadline"));
+        assert!(parse("run --retry-backoff 2:32:8")
+            .unwrap_err()
+            .0
+            .contains("no-op"));
+        // A restore for a link nothing ever cuts.
+        assert!(parse("run --restore 0:1:60")
+            .unwrap_err()
+            .0
+            .contains("intact link"));
+        // A restore scheduled before its only cut lands.
+        assert!(parse("run --cut 0:1:70 --restore 0:1:60").is_err());
+        // Matching cut first, or a flap on the link, makes it legal.
+        assert!(parse("run --cut 0:1:25 --restore 0:1:60").is_ok());
+        assert!(parse("run --flap 0:1:10:20:4 --restore 0:1:60").is_ok());
+        // A recovery of a site that never crashes, or one scheduled
+        // before its crash lands, is the same typo in the crash plan.
+        assert!(parse("run --recover 2:40")
+            .unwrap_err()
+            .0
+            .contains("live site"));
+        assert!(parse("run --crash 2:50 --recover 2:40").is_err());
+        assert!(parse("run --crash 2:40 --recover 2:50").is_ok());
+    }
+
+    #[test]
     fn fault_flag_errors_are_descriptive() {
         assert!(parse("run --loss 1.5").unwrap_err().0.contains("[0,1]"));
         assert!(parse("run --loss x").unwrap_err().0.contains("probability"));
@@ -806,6 +954,7 @@ mod tests {
                 suspicions: 0,
                 cuts: 0,
                 restores: 0,
+                aborts: 0,
                 jobs: 1,
                 trace_out: None,
             }
@@ -817,8 +966,8 @@ mod tests {
         assert_eq!(
             parse(
                 "check --n 3 --quorum majority --crashes 1 --recoveries 1 \
-                 --drops 2 --suspicions 1 --cuts 2 --restores 2 --jobs 4 \
-                 --trace-out cex.trace"
+                 --drops 2 --suspicions 1 --cuts 2 --restores 2 --aborts 1 \
+                 --jobs 4 --trace-out cex.trace"
             )
             .unwrap()
             .command,
@@ -833,6 +982,7 @@ mod tests {
                 suspicions: 1,
                 cuts: 2,
                 restores: 2,
+                aborts: 1,
                 jobs: 4,
                 trace_out: Some("cex.trace".into()),
             }

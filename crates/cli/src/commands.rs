@@ -40,6 +40,8 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             hb_timeout_t,
             recoveries,
             scheduler,
+            deadline_t,
+            retry_backoff,
         } => {
             let t = delay.mean().max(1.0) as u64;
             let loss_model = match burst {
@@ -143,6 +145,12 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                     .iter()
                     .map(|&(s, time_t)| (SiteId(s), time_t * t))
                     .collect(),
+                deadline: deadline_t.map(|d| d * t),
+                retry: retry_backoff.map(|(base, cap, max_attempts)| qmx_sim::RetryPolicy {
+                    base: base * t,
+                    cap: cap * t,
+                    max_attempts,
+                }),
                 seed: *seed,
                 scheduler: *scheduler,
                 ..Scenario::default()
@@ -223,6 +231,14 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                     dc.rejoins_observed
                 ));
             }
+            if sc.deadline.is_some() {
+                let ac = &r.aborts;
+                out.push_str(&format!(
+                    "aborts            : {} ({} deadline-fired), {} retries, \
+                     {} orphan grants returned\n",
+                    ac.aborts, ac.deadline_aborts, r.retries, ac.orphan_grants
+                ));
+            }
             Ok(out)
         }
         Command::Quorum { kind, n } => {
@@ -272,6 +288,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             suspicions,
             cuts,
             restores,
+            aborts,
             jobs,
             trace_out,
         } => {
@@ -302,6 +319,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 false_suspicions: *suspicions,
                 cuts: *cuts,
                 restores: *restores,
+                aborts: *aborts,
                 timers: 0,
                 detector: *crashes > 0 || *recoveries > 0 || *suspicions > 0 || *cuts > 0,
             };
@@ -318,7 +336,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             }
             let scope = format!(
                 "{} sites x {} rounds ({}), faults: {} crash / {} recover / {} drop / \
-                 {} suspect / {} cut / {} restore",
+                 {} suspect / {} cut / {} restore / {} abort",
                 n,
                 rounds,
                 quorum.map_or("full quorums".into(), |q| format!("{q:?} quorums")),
@@ -327,7 +345,8 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 drops,
                 suspicions,
                 cuts,
-                restores
+                restores,
+                aborts
             );
             match qmx_check::check_with(
                 sites,
@@ -390,6 +409,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 "msgscaling" => e::message_scaling(),
                 "schedulers" => e::scheduler_ablation(&[9, 25], 20),
                 "partitions" => e::partition_availability(),
+                "abortavail" => e::abort_availability(),
                 other => return Err(format!("unknown experiment '{other}'")),
             })
         }

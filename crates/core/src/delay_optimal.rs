@@ -62,7 +62,7 @@
 //! forwarding mechanism alone (same code base, one flag).
 
 use crate::clock::{LamportClock, SeqNum, Timestamp};
-use crate::protocol::{Effects, MsgKind, MsgMeta, Protocol, QuorumSource, SiteId};
+use crate::protocol::{AbortCounters, Effects, MsgKind, MsgMeta, Protocol, QuorumSource, SiteId};
 use crate::reqqueue::ReqQueue;
 use crate::siteset::SiteSet;
 use std::collections::{BTreeSet, VecDeque};
@@ -150,6 +150,19 @@ pub enum Body {
         /// The withdrawn request.
         req: Timestamp,
     },
+    /// Client-initiated abort of request `req` (an explicit
+    /// [`Protocol::abort_cs`] call or a deadline expiry): remove it from
+    /// the queue and, if it holds the permission, release it without
+    /// re-queueing.
+    ///
+    /// Not one of the paper's seven messages. Arbiter-side it is handled
+    /// exactly like [`Body::Relinquish`] (the §6 withdrawal) — the two are
+    /// separate variants only so traces and message accounting distinguish
+    /// a client abort from a quorum reconstruction. Counted as a `release`.
+    Abandon {
+        /// The aborted request.
+        req: Timestamp,
+    },
     /// Rejoin resync answer: the sender has seen the receiver's rejoin
     /// announcement and reports whether it currently holds the receiver's
     /// arbiter permission (`holds = Some(req)`) or not (`holds = None`).
@@ -195,6 +208,7 @@ impl MsgMeta for Msg {
             Body::Yield { .. } => MsgKind::Yield,
             Body::Transfer { .. } => MsgKind::Transfer,
             Body::Relinquish { .. } => MsgKind::Release,
+            Body::Abandon { .. } => MsgKind::Release,
             Body::Claim { .. } => MsgKind::Info,
         }
     }
@@ -346,6 +360,15 @@ pub struct DelayOptimal {
     failed: bool,
     inq_queue: Vec<PendingInquire>,
     tran_stack: Vec<TranEntry>,
+    /// Absolute deadline for the outstanding (or parked) request. While a
+    /// request is unfulfilled (`Waiting` or a parked `want_cs`),
+    /// `next_timer` exposes it and `on_timer` at/past it aborts the
+    /// request. Cleared on CS entry and on abort; survives a §6 quorum
+    /// switch (the deadline bounds the client's wait, not one quorum's).
+    deadline: Option<u64>,
+    /// Client-abort counters. Monitoring only — excluded from `Debug` so
+    /// model-checker fingerprints count behavior, not history.
+    abort_ctrs: AbortCounters,
 
     // --- arbiter state ---
     lock: Option<Timestamp>,
@@ -416,6 +439,8 @@ impl Clone for DelayOptimal {
             failed: self.failed,
             inq_queue: self.inq_queue.clone(),
             tran_stack: self.tran_stack.clone(),
+            deadline: self.deadline,
+            abort_ctrs: self.abort_ctrs,
             lock: self.lock,
             req_queue: self.req_queue.clone(),
             early_returns: self.early_returns.clone(),
@@ -456,6 +481,7 @@ impl fmt::Debug for DelayOptimal {
             .field("confirmed_failed", &self.confirmed_failed)
             .field("inaccessible", &self.inaccessible)
             .field("want_cs", &self.want_cs)
+            .field("deadline", &self.deadline)
             .field("withheld", &self.withheld)
             .field("rejoining", &self.rejoining)
             .field("peer_universe", &self.peer_universe)
@@ -491,6 +517,8 @@ impl DelayOptimal {
             failed: false,
             inq_queue: Vec::new(),
             tran_stack: Vec::new(),
+            deadline: None,
+            abort_ctrs: AbortCounters::default(),
             lock: None,
             req_queue: ReqQueue::new(),
             early_returns: std::collections::BTreeMap::new(),
@@ -675,7 +703,9 @@ impl DelayOptimal {
             // catch-all `Relinquish`.
             let returned = match &msg.body {
                 Body::Release { holder_req, .. } => Some(*holder_req),
-                Body::Yield { req } | Body::Relinquish { req } => Some(*req),
+                Body::Yield { req } | Body::Relinquish { req } | Body::Abandon { req } => {
+                    Some(*req)
+                }
                 _ => None,
             };
             if let Some(req) = returned {
@@ -715,7 +745,9 @@ impl DelayOptimal {
                 beneficiary,
                 holder_req,
             } => self.req_transfer(arbiter, beneficiary, holder_req, fx),
-            Body::Relinquish { req } => self.arb_relinquish(from, req, fx),
+            Body::Relinquish { req } | Body::Abandon { req } => {
+                self.arb_relinquish(from, req, fx);
+            }
             Body::Claim { holds } => self.arb_claim(from, holds, fx),
         }
     }
@@ -1080,10 +1112,11 @@ impl DelayOptimal {
         fx: &mut Effects<Msg>,
     ) {
         if !self.is_current(req) {
-            // A grant for a request we have abandoned (e.g. we switched
-            // quorums after a failure). Hand the permission straight back so
-            // the arbiter is not wedged on us forever.
+            // A grant for a request we have abandoned (a client abort, or a
+            // quorum switch after a failure). Hand the permission straight
+            // back so the arbiter is not wedged on us forever.
             if req.site == self.site {
+                self.abort_ctrs.orphan_grants += 1;
                 self.route(fx, arbiter, Body::Relinquish { req });
             }
             return;
@@ -1115,6 +1148,9 @@ impl DelayOptimal {
     fn maybe_enter(&mut self, fx: &mut Effects<Msg>) {
         if self.phase == RequesterPhase::Waiting && self.has_all_replies() {
             self.phase = RequesterPhase::InCs;
+            // The race against an in-flight abort is resolved here: entry
+            // happened, so the deadline is void (clean entry, not abort).
+            self.deadline = None;
             // Pending inquires are answered by the release we will send on
             // exit; the paper drops them here.
             self.inq_queue.clear();
@@ -1247,6 +1283,48 @@ impl DelayOptimal {
         self.failed = false;
         self.my_req = None;
         self.phase = RequesterPhase::Idle;
+    }
+
+    /// Client-side abort: withdraws the outstanding request (or cancels the
+    /// parked want) for good. Returns `true` iff something was withdrawn.
+    ///
+    /// Unlike [`DelayOptimal::withdraw_current`] (§6, which re-issues
+    /// against a fresh quorum), an abort is final: the `Abandon` sent to
+    /// every quorum member removes the request wherever it sits — queued,
+    /// granted, or mid-forward. The arbiter-side races (abort overtaking a
+    /// `Transfer`/`Inquire`, a forwarded grant overtaking the abort) resolve
+    /// through the same [`EarlyReturn`] machinery as §6 withdrawal; a grant
+    /// that arrives after the abort is returned by `req_reply`'s
+    /// not-current path and counted as an orphan.
+    fn do_abort(&mut self, fx: &mut Effects<Msg>) -> bool {
+        self.deadline = None;
+        if self.want_cs {
+            // Parked want: nothing ever reached the wire. Cancel it locally
+            // so a later heal's `unpark_want` cannot resurrect the request.
+            self.want_cs = false;
+            self.abort_ctrs.aborts += 1;
+            return true;
+        }
+        if self.phase != RequesterPhase::Waiting {
+            // Idle: nothing to abort. In the CS: the grant stands — the
+            // only way out of an acquired lock is `release_cs`.
+            return false;
+        }
+        if let Some(req) = self.my_req {
+            for i in 0..self.req_set.len() {
+                let a = self.req_set[i];
+                self.route(fx, a, Body::Abandon { req });
+            }
+        }
+        self.replied.clear();
+        self.tran_stack.clear();
+        self.inq_queue.clear();
+        self.failed = false;
+        self.my_req = None;
+        self.phase = RequesterPhase::Idle;
+        self.abort_ctrs.aborts += 1;
+        self.pump(fx);
+        true
     }
 
     fn refresh_quorum(&mut self) -> bool {
@@ -1413,6 +1491,39 @@ impl Protocol for DelayOptimal {
 
     fn wants_cs(&self) -> bool {
         self.phase == RequesterPhase::Waiting
+    }
+
+    fn abort_cs(&mut self, fx: &mut Effects<Msg>) -> bool {
+        self.do_abort(fx)
+    }
+
+    fn abortable(&self) -> bool {
+        self.phase == RequesterPhase::Waiting || self.want_cs
+    }
+
+    fn set_deadline(&mut self, deadline: Option<u64>) {
+        self.deadline = deadline;
+    }
+
+    fn abort_counters(&self) -> Option<AbortCounters> {
+        Some(self.abort_ctrs)
+    }
+
+    fn next_timer(&self) -> Option<u64> {
+        // Only an unfulfilled request keeps the deadline armed; entry and
+        // abort both clear it.
+        match self.deadline {
+            Some(d) if self.phase == RequesterPhase::Waiting || self.want_cs => Some(d),
+            _ => None,
+        }
+    }
+
+    fn on_timer(&mut self, now: u64, fx: &mut Effects<Msg>) {
+        if let Some(d) = self.deadline {
+            if now >= d && self.do_abort(fx) {
+                self.abort_ctrs.deadline_aborts += 1;
+            }
+        }
     }
 
     /// §6: handle the `failure(i)` notice — a *definitive* failure (the
@@ -2500,6 +2611,279 @@ mod tests {
         let mut s = DelayOptimal::new(SiteId(0), vec![SiteId(0), SiteId(1)], Config::default());
         let mut fx = Effects::new();
         s.release_cs(&mut fx);
+    }
+
+    // ------------------------------------------------------------------
+    // Client abort / deadline path.
+    // ------------------------------------------------------------------
+
+    fn abort(sites: &mut [DelayOptimal], s: u32, inflight: &mut VecDeque<(SiteId, SiteId, Msg)>) {
+        let mut fx = Effects::new();
+        assert!(sites[s as usize].abort_cs(&mut fx), "abort refused");
+        for (t, m) in fx.take_sends() {
+            inflight.push_back((SiteId(s), t, m));
+        }
+    }
+
+    #[test]
+    fn abort_while_waiting_withdraws_from_every_arbiter() {
+        // 0 holds the CS, 1 queues behind it, then gives up. The abandon
+        // must leave every arbiter's queue free of 1's request, so 0's
+        // release grants nobody and the system quiesces idle.
+        let mut sites = net(3, &[0, 1, 2]);
+        let mut inflight = VecDeque::new();
+        request(&mut sites, 0, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        assert!(sites[0].in_cs());
+        request(&mut sites, 1, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        assert!(sites[1].wants_cs());
+
+        abort(&mut sites, 1, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        assert!(!sites[1].wants_cs());
+        assert_eq!(sites[1].phase(), RequesterPhase::Idle);
+
+        release(&mut sites, 0, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        assert_eq!(in_cs_count(&sites), 0, "aborted request must not enter");
+        for s in &sites {
+            s.assert_invariants();
+            assert_eq!(s.lock_holder(), None);
+        }
+        let c = sites[1].abort_counters().expect("counters");
+        // Every arbiter had already promised its permission to 1 via a
+        // `Transfer` to the holder — those forwards cannot be retracted, so
+        // 0's exit delivers three grants to the aborted site, all returned.
+        assert_eq!((c.aborts, c.deadline_aborts, c.orphan_grants), (1, 0, 3));
+
+        // The lock is not wedged: a fresh request still gets in.
+        request(&mut sites, 2, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        assert!(sites[2].in_cs());
+    }
+
+    #[test]
+    fn abort_racing_forwarded_reply_returns_the_orphan_grant() {
+        // The delay-optimal race: 0 exits and forwards its arbiters'
+        // replies directly to 1 while 1's abandon is crossing them on the
+        // wire. The grant must come back (Relinquish) rather than be
+        // consumed or lost, and every arbiter must end with a free lock.
+        let mut sites = net(3, &[0, 1, 2]);
+        let mut inflight = VecDeque::new();
+        request(&mut sites, 0, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        request(&mut sites, 1, &mut inflight);
+        settle(&mut sites, &mut inflight);
+
+        // 0 releases (forwarded replies to 1 now in flight) ...
+        release(&mut sites, 0, &mut inflight);
+        // ... and 1 aborts before any of them land.
+        abort(&mut sites, 1, &mut inflight);
+        settle(&mut sites, &mut inflight);
+
+        assert_eq!(
+            in_cs_count(&sites),
+            0,
+            "grant for an aborted request consumed"
+        );
+        for s in &sites {
+            s.assert_invariants();
+            assert_eq!(s.lock_holder(), None, "{}: lock wedged", s.site());
+        }
+        let c = sites[1].abort_counters().expect("counters");
+        assert_eq!(c.aborts, 1);
+        assert!(c.orphan_grants >= 1, "forwarded grant not returned");
+
+        // Liveness after the race: the next requester enters cleanly.
+        request(&mut sites, 2, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        assert!(sites[2].in_cs());
+    }
+
+    #[test]
+    fn abort_while_inquired_hands_the_permission_to_the_higher_priority_request() {
+        // 1 holds arbiter 2's permission (waiting on arbiter 3) when a
+        // higher-priority request preempts it: arbiter 2 inquires. Instead
+        // of yielding, 1 aborts — the abandon must free the permission for
+        // the preemptor exactly like a yield would have.
+        let q = vec![SiteId(2), SiteId(3)];
+        let mut s1 = DelayOptimal::new(SiteId(1), q.clone(), Config::default());
+        let mut s2 = DelayOptimal::new(SiteId(2), q, Config::default());
+
+        let mut fx = Effects::new();
+        s1.request_cs(&mut fx);
+        let r1 = s1.current_request().expect("outstanding");
+        let sends = fx.take_sends();
+        let to_2 = sends
+            .iter()
+            .find(|(to, _)| *to == SiteId(2))
+            .expect("request to arbiter 2")
+            .1
+            .clone();
+        s2.handle(SiteId(1), to_2, &mut fx);
+        let reply = fx.take_sends().pop().expect("grant").1;
+        s1.handle(SiteId(2), reply, &mut fx);
+        assert!(s1.wants_cs(), "still missing arbiter 3");
+        assert_eq!(s2.lock_holder(), Some(r1));
+
+        // A higher-priority request (site 0, smaller timestamp) arrives at
+        // arbiter 2, which inquires the current permission holder.
+        let r0 = Timestamp::new(1, SiteId(0));
+        assert!(r0.beats(&r1));
+        s2.handle(
+            SiteId(0),
+            Msg {
+                clk: SeqNum(1),
+                body: Body::Request { ts: r0 },
+            },
+            &mut fx,
+        );
+        let (to, inquire) = fx.take_sends().pop().expect("inquire the holder");
+        assert_eq!(to, SiteId(1));
+        assert!(matches!(inquire.body, Body::Inquire { .. }));
+        s1.handle(SiteId(2), inquire, &mut fx);
+        fx.take_sends(); // holder defers (not failed): no answer yet
+
+        // The holder aborts instead of ever answering the inquire.
+        assert!(s1.abort_cs(&mut fx));
+        let abandons = fx.take_sends();
+        let to_2 = abandons
+            .iter()
+            .find(|(to, _)| *to == SiteId(2))
+            .expect("abandon to arbiter 2")
+            .1
+            .clone();
+        s2.handle(SiteId(1), to_2, &mut fx);
+
+        // Arbiter 2 re-granted to the preemptor, not wedged on the inquire.
+        assert_eq!(s2.lock_holder(), Some(r0));
+        assert!(fx
+            .take_sends()
+            .iter()
+            .any(|(to, m)| *to == SiteId(0) && matches!(m.body, Body::Reply { .. })));
+        s1.assert_invariants();
+        s2.assert_invariants();
+    }
+
+    #[test]
+    fn deadline_rides_the_timer_hooks() {
+        // A deadline on an unfulfilled request surfaces through
+        // `next_timer` and aborts from inside `on_timer`.
+        let mut sites = net(2, &[0, 1]);
+        let mut inflight = VecDeque::new();
+        request(&mut sites, 0, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        assert!(sites[0].in_cs());
+
+        sites[1].set_deadline(Some(100));
+        assert_eq!(sites[1].next_timer(), None, "no request yet: nothing armed");
+        request(&mut sites, 1, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        assert_eq!(sites[1].next_timer(), Some(100));
+        assert!(sites[1].abortable());
+
+        let mut fx = Effects::new();
+        sites[1].on_timer(99, &mut fx);
+        assert!(sites[1].wants_cs(), "fired early: deadline not due");
+        sites[1].on_timer(100, &mut fx);
+        assert!(!sites[1].wants_cs());
+        assert_eq!(sites[1].next_timer(), None, "deadline disarmed after abort");
+        for (t, m) in fx.take_sends() {
+            inflight.push_back((SiteId(1), t, m));
+        }
+        settle(&mut sites, &mut inflight);
+
+        release(&mut sites, 0, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        assert_eq!(in_cs_count(&sites), 0);
+        let c = sites[1].abort_counters().expect("counters");
+        assert_eq!((c.aborts, c.deadline_aborts), (1, 1));
+    }
+
+    #[test]
+    fn deadline_is_cleared_on_entry_not_after() {
+        // Entry beats the deadline: the timer must disarm (clean entry,
+        // never a lost lock), and a later wake-up must not abort the CS.
+        let mut sites = net(2, &[0, 1]);
+        let mut inflight = VecDeque::new();
+        sites[0].set_deadline(Some(50));
+        request(&mut sites, 0, &mut inflight);
+        settle(&mut sites, &mut inflight);
+        assert!(sites[0].in_cs());
+        assert_eq!(sites[0].next_timer(), None);
+
+        let mut fx = Effects::new();
+        sites[0].on_timer(1_000, &mut fx);
+        assert!(
+            sites[0].in_cs(),
+            "an acquired lock is only left via release"
+        );
+        assert!(!sites[0].abortable());
+        assert!(!sites[0].abort_cs(&mut fx), "in-CS abort must refuse");
+        assert_eq!(sites[0].abort_counters().expect("counters").aborts, 0);
+    }
+
+    #[test]
+    fn parked_want_deadline_abort_is_not_resurrected_by_restore() {
+        // Satellite regression: a `want_cs` parked for lack of a live
+        // quorum whose deadline fires while the quorum is unreachable
+        // aborts cleanly and is NOT re-issued by `unpark_want` when the
+        // link heals.
+        let mut s0 = DelayOptimal::new(SiteId(0), vec![SiteId(0), SiteId(1)], Config::default());
+        let mut fx = Effects::new();
+
+        // Fixed quorum with a suspected member and no quorum source:
+        // inaccessible, so the request parks.
+        s0.on_site_suspected(SiteId(1), &mut fx);
+        assert!(s0.is_inaccessible());
+        s0.set_deadline(Some(500));
+        s0.request_cs(&mut fx);
+        assert!(fx.take_sends().is_empty(), "parked want sends nothing");
+        assert_eq!(s0.phase(), RequesterPhase::Idle);
+        assert_eq!(s0.next_timer(), Some(500), "deadline armed while parked");
+        assert!(s0.abortable());
+
+        // Deadline fires while the quorum is still unreachable.
+        s0.on_timer(500, &mut fx);
+        assert!(fx.take_sends().is_empty(), "nothing reached the wire");
+        let c = s0.abort_counters().expect("counters");
+        assert_eq!((c.aborts, c.deadline_aborts), (1, 1));
+
+        // The link heals: restoration must NOT resurrect the want.
+        s0.on_site_restored(SiteId(1), &mut fx);
+        let sends = fx.take_sends();
+        assert!(
+            !sends
+                .iter()
+                .any(|(_, m)| matches!(m.body, Body::Request { .. })),
+            "aborted want re-issued on restore: {sends:?}"
+        );
+        assert_eq!(s0.phase(), RequesterPhase::Idle);
+        assert!(!s0.wants_cs());
+        s0.assert_invariants();
+    }
+
+    #[test]
+    fn abort_is_refused_when_idle() {
+        let mut s = DelayOptimal::new(SiteId(0), vec![SiteId(0), SiteId(1)], Config::default());
+        let mut fx = Effects::new();
+        assert!(!s.abortable());
+        assert!(!s.abort_cs(&mut fx));
+        assert_eq!(s.abort_counters().expect("counters").aborts, 0);
+    }
+
+    #[test]
+    fn abandon_is_counted_as_a_release() {
+        let ts = Timestamp::new(1, SiteId(0));
+        assert_eq!(
+            Msg {
+                clk: SeqNum(0),
+                body: Body::Abandon { req: ts },
+            }
+            .kind(),
+            MsgKind::Release
+        );
     }
 
     #[test]

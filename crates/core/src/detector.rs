@@ -59,7 +59,12 @@ pub struct DetectorConfig {
     pub hb_interval: u64,
     /// Silence threshold: a peer not heard from for this long is suspected.
     /// Must exceed `hb_interval` plus worst-case delivery delay, or every
-    /// peer is falsely suspected at steady state.
+    /// peer is falsely suspected at steady state. Request deadlines
+    /// ([`Protocol::set_deadline`]) interact with this knob: a deadline
+    /// below `hb_timeout` makes the client abort before the detector can
+    /// even suspect the unreachable arbiter and re-route the quorum, so a
+    /// deadline meant as a *last resort* (rather than a latency SLO with a
+    /// retry loop on top) should comfortably exceed `hb_timeout`.
     pub hb_timeout: u64,
     /// Length of the rejoin grace window a recovered site keeps open for
     /// peers' answers before resuming full operation. The window is
@@ -540,6 +545,24 @@ impl<P: Protocol> Protocol for Detector<P> {
 
     fn wants_cs(&self) -> bool {
         self.inner.wants_cs()
+    }
+
+    fn abort_cs(&mut self, fx: &mut Effects<Self::Msg>) -> bool {
+        let mut aborted = false;
+        self.with_inner(fx, |p, ifx| aborted = p.abort_cs(ifx));
+        aborted
+    }
+
+    fn abortable(&self) -> bool {
+        self.inner.abortable()
+    }
+
+    fn set_deadline(&mut self, deadline: Option<u64>) {
+        self.inner.set_deadline(deadline);
+    }
+
+    fn abort_counters(&self) -> Option<crate::protocol::AbortCounters> {
+        self.inner.abort_counters()
     }
 
     fn on_site_failure(&mut self, failed: SiteId, fx: &mut Effects<Self::Msg>) {

@@ -85,7 +85,7 @@ pub mod transport;
 pub use clock::{LamportClock, SeqNum, Timestamp};
 pub use delay_optimal::{Config, DelayOptimal, Msg, RequesterPhase};
 pub use detector::{Detector, DetectorConfig, DetectorCounters, HbMsg};
-pub use protocol::{Effects, MsgKind, MsgMeta, Protocol, QuorumSource, SiteId};
+pub use protocol::{AbortCounters, Effects, MsgKind, MsgMeta, Protocol, QuorumSource, SiteId};
 pub use reqqueue::ReqQueue;
 pub use siteset::SiteSet;
 pub use transport::{

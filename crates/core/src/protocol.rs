@@ -189,6 +189,34 @@ impl<M> Effects<M> {
     }
 }
 
+/// Counters for the abort path: requests withdrawn by the client, deadline
+/// expiries, and grants that arrived for an already-abandoned request.
+///
+/// Observability only — layers must keep these out of any state that feeds
+/// model-checker fingerprints (they count *history*, not behavior).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AbortCounters {
+    /// Requests withdrawn via [`Protocol::abort_cs`] (including deadline
+    /// expiries) that actually cancelled an outstanding request.
+    pub aborts: u64,
+    /// The subset of `aborts` triggered by a deadline firing inside
+    /// [`Protocol::on_timer`] rather than an explicit client call.
+    pub deadline_aborts: u64,
+    /// Permission grants that reached this site after it had already
+    /// abandoned the request they answer, and were returned to their
+    /// arbiter (`Relinquish`) instead of being consumed.
+    pub orphan_grants: u64,
+}
+
+impl AbortCounters {
+    /// Accumulates `other` into `self` (drivers sum per-site counters).
+    pub fn merge(&mut self, other: &AbortCounters) {
+        self.aborts += other.aborts;
+        self.deadline_aborts += other.deadline_aborts;
+        self.orphan_grants += other.orphan_grants;
+    }
+}
+
 /// A distributed mutual-exclusion algorithm as a per-site state machine.
 ///
 /// Contract expected by drivers:
@@ -233,6 +261,50 @@ pub trait Protocol {
 
     /// Whether this site has an unfulfilled CS request outstanding.
     fn wants_cs(&self) -> bool;
+
+    /// The local application abandons its outstanding CS request (client
+    /// timeout, cancelled transaction, shutdown).
+    ///
+    /// Returns `true` if there was a pending (not yet granted) request and
+    /// it was withdrawn — the site is idle afterwards and the driver may
+    /// issue a fresh `request_cs` later (e.g. retry with backoff). Returns
+    /// `false` if there was nothing to abort: the site was idle, or the
+    /// request had already been granted (once inside the CS the only exit
+    /// is [`release_cs`](Protocol::release_cs) — an abort must never "lose"
+    /// an acquired lock). Algorithms without an abort path keep the
+    /// default, which refuses (`false`).
+    fn abort_cs(&mut self, fx: &mut Effects<Self::Msg>) -> bool {
+        let _ = fx;
+        false
+    }
+
+    /// Whether [`abort_cs`](Protocol::abort_cs) would currently withdraw
+    /// anything: an unfulfilled request is outstanding *and* the algorithm
+    /// implements abort. Drivers and the model checker use this to gate
+    /// abort transitions.
+    fn abortable(&self) -> bool {
+        false
+    }
+
+    /// Sets (or clears, with `None`) the absolute deadline for the current
+    /// or next CS request. When the deadline passes while the request is
+    /// still unfulfilled, the protocol aborts it from within
+    /// [`on_timer`](Protocol::on_timer) — deadlines ride the same driver
+    /// timer hooks as transport retransmission and detector heartbeats, so
+    /// any driver that polls [`next_timer`](Protocol::next_timer) gets
+    /// deadline enforcement for free. Cleared automatically on CS entry.
+    /// Default: ignored (no deadline support).
+    fn set_deadline(&mut self, deadline: Option<u64>) {
+        let _ = deadline;
+    }
+
+    /// Abort-path counters, if the algorithm supports aborts.
+    ///
+    /// `None` for algorithms without an abort path; mirrors
+    /// [`transport_counters`](Protocol::transport_counters).
+    fn abort_counters(&self) -> Option<AbortCounters> {
+        None
+    }
 
     /// Notification (from a failure detector) that `failed` has crashed.
     ///

@@ -55,7 +55,12 @@
 //! Time units are the driver's: virtual ticks under `qmx-sim`, microseconds
 //! under `qmx-runtime`. Pick [`TransportConfig`] values accordingly
 //! (`rto_initial` of roughly 2–3× the typical one-way delay works well in
-//! both).
+//! both). Request *deadlines* ([`Protocol::set_deadline`], `qmxctl run
+//! --deadline`) ride the same timer hooks and share the same clock: a
+//! deadline shorter than `rto_initial` aborts a request before the
+//! transport has retried a lost packet even once, so keep deadlines at
+//! several RTOs — or partitions and loss convert into spurious aborts the
+//! retransmission machinery would have absorbed.
 //!
 //! ## Loss models
 //!
@@ -439,11 +444,18 @@ impl<P: Protocol> Protocol for Reliable<P> {
     }
 
     fn next_timer(&self) -> Option<u64> {
-        self.links
+        let retransmit = self
+            .links
             .values()
             .flat_map(|l| l.unacked.values())
             .map(|p| p.next_retry_at)
-            .min()
+            .min();
+        // Merge the inner protocol's timers (e.g. a request deadline) so
+        // wrapping in a transport never silences them.
+        match (retransmit, self.inner.next_timer()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     fn on_timer(&mut self, now: u64, fx: &mut Effects<Self::Msg>) {
@@ -480,6 +492,11 @@ impl<P: Protocol> Protocol for Reliable<P> {
                 );
             }
         }
+        // Forward the wake-up: the inner protocol may own timers of its own
+        // (a request deadline aborts from in here).
+        let mut inner_fx = Effects::new();
+        self.inner.on_timer(now, &mut inner_fx);
+        self.wrap_sends(&mut inner_fx, fx);
     }
 
     fn in_cs(&self) -> bool {
@@ -488,6 +505,25 @@ impl<P: Protocol> Protocol for Reliable<P> {
 
     fn wants_cs(&self) -> bool {
         self.inner.wants_cs()
+    }
+
+    fn abort_cs(&mut self, fx: &mut Effects<Self::Msg>) -> bool {
+        let mut inner_fx = Effects::new();
+        let aborted = self.inner.abort_cs(&mut inner_fx);
+        self.wrap_sends(&mut inner_fx, fx);
+        aborted
+    }
+
+    fn abortable(&self) -> bool {
+        self.inner.abortable()
+    }
+
+    fn set_deadline(&mut self, deadline: Option<u64>) {
+        self.inner.set_deadline(deadline);
+    }
+
+    fn abort_counters(&self) -> Option<crate::protocol::AbortCounters> {
+        self.inner.abort_counters()
     }
 
     fn on_site_failure(&mut self, failed: SiteId, fx: &mut Effects<Self::Msg>) {

@@ -73,7 +73,7 @@ pub use calendar::{CalendarScheduler, EventQueue, HeapScheduler, Scheduler, Sche
 pub use delay::DelayModel;
 pub use metrics::{CsRecord, Metrics};
 pub use partition::PartitionModel;
-pub use sim::{SimConfig, Simulator};
+pub use sim::{RetryPolicy, SimConfig, Simulator};
 pub use trace::{Trace, TraceEvent};
 
 // Fault-injection vocabulary (defined in `qmx-core` so the threaded

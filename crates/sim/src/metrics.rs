@@ -1,6 +1,6 @@
 //! Measurement collection: message counts and per-CS timing records.
 
-use qmx_core::{DetectorCounters, MsgKind, SiteId, TransportCounters};
+use qmx_core::{AbortCounters, DetectorCounters, MsgKind, SiteId, TransportCounters};
 use std::collections::BTreeMap;
 
 /// Timing record of one completed critical-section execution.
@@ -40,6 +40,8 @@ pub struct Metrics {
     injected_dups: u64,
     transport: TransportCounters,
     detector: DetectorCounters,
+    aborts: AbortCounters,
+    retries: u64,
 }
 
 impl Metrics {
@@ -106,6 +108,29 @@ impl Metrics {
     /// run bare, without the detector wrapper).
     pub fn detector(&self) -> &DetectorCounters {
         &self.detector
+    }
+
+    /// Overwrites the aggregated request-abort counters (summed over all
+    /// sites by the simulator at the end of a run).
+    pub fn set_abort_totals(&mut self, totals: AbortCounters) {
+        self.aborts = totals;
+    }
+
+    /// Aggregated request-abort counters — aborts, deadline misses, and
+    /// orphan grants returned after a withdrawal (all zero for protocols
+    /// without abort support).
+    pub fn aborts(&self) -> &AbortCounters {
+        &self.aborts
+    }
+
+    /// Records one closed-loop client retry of an aborted request.
+    pub fn count_retry(&mut self) {
+        self.retries += 1;
+    }
+
+    /// Aborted requests the closed-loop client re-issued.
+    pub fn retries(&self) -> u64 {
+        self.retries
     }
 
     /// Records a completed CS execution.

@@ -11,6 +11,32 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, VecDeque};
 
+/// Jittered exponential backoff for re-issuing aborted requests.
+///
+/// Attempt `k` (1-based) backs off `min(base · 2ᵏ⁻¹, cap)`, then an
+/// equal-jitter draw picks uniformly from the upper half of that interval
+/// so colliding contenders spread out instead of thundering back in sync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Backoff before the first retry.
+    pub base: u64,
+    /// Upper bound the exponential backoff saturates at.
+    pub cap: u64,
+    /// Retries per request before the client gives up for good (the
+    /// attempt counter resets on every successful CS entry).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: 2_000,
+            cap: 32_000,
+            max_attempts: 8,
+        }
+    }
+}
+
 /// Simulator configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -33,6 +59,16 @@ pub struct SimConfig {
     pub loss: LossModel,
     /// Scheduled transient one-directional link outages.
     pub outages: Vec<Outage>,
+    /// Per-request deadline: each injected arrival arms
+    /// `set_deadline(now + deadline)` on its site before `request_cs`, so
+    /// stacks whose protocol supports aborting
+    /// ([`qmx_core::Protocol::abort_cs`]) give up and withdraw once the
+    /// wait exceeds this budget. `None` disables deadlines.
+    pub deadline: Option<u64>,
+    /// Closed-loop client retry: after a site's request aborts (deadline
+    /// expiry or [`Simulator::schedule_abort`]), re-issue it after a
+    /// jittered exponential backoff. `None` drops aborted requests.
+    pub retry: Option<RetryPolicy>,
     /// Which event-scheduler implementation orders the future-event
     /// set. Both produce byte-identical executions (CI enforces it);
     /// the calendar queue is the fast default, the heap the reference.
@@ -50,6 +86,8 @@ impl Default for SimConfig {
             oracle_notices: true,
             loss: LossModel::None,
             outages: Vec::new(),
+            deadline: None,
+            retry: None,
             // From `QMX_SCHEDULER` when set (the CI differential gate),
             // otherwise the calendar queue.
             scheduler: SchedulerKind::default(),
@@ -71,6 +109,7 @@ enum EventKind<M> {
     Restore { src: SiteId, dst: SiteId },
     Heal,
     Tick { site: SiteId },
+    Abort { site: SiteId },
 }
 
 struct Event<M> {
@@ -146,6 +185,9 @@ pub struct Simulator<P: Protocol> {
     /// Scripted CS hold times: consumed FIFO, one entry per CS entry,
     /// before falling back to sampling `cfg.hold`.
     hold_script: VecDeque<u64>,
+    /// Per-site retry-attempt counters for the closed-loop client
+    /// ([`SimConfig::retry`]); reset on every successful CS entry.
+    retry_attempts: Vec<u32>,
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -185,6 +227,7 @@ impl<P: Protocol> Simulator<P> {
             scratch: Effects::new(),
             delay_script: VecDeque::new(),
             hold_script: VecDeque::new(),
+            retry_attempts: vec![0; n],
         }
     }
 
@@ -288,6 +331,15 @@ impl<P: Protocol> Simulator<P> {
             .collect();
         self.seq = seq;
         self.events.bulk_load(events);
+    }
+
+    /// Schedules a client-side abort of `site`'s pending CS request at
+    /// virtual time `at` ([`qmx_core::Protocol::abort_cs`]). A no-op if
+    /// the site is not waiting (or parked) when the event fires — a race
+    /// between the abort and an in-flight grant resolves to whichever
+    /// landed first: clean entry or clean abort, never a lost lock.
+    pub fn schedule_abort(&mut self, site: SiteId, at: u64) {
+        self.push(at, EventKind::Abort { site });
     }
 
     /// Schedules a crash of `site` at virtual time `at`. When
@@ -482,6 +534,7 @@ impl<P: Protocol> Simulator<P> {
                 self.in_cs
             );
             self.in_cs = Some(site);
+            self.retry_attempts[site.index()] = 0;
             self.states.set_entered_at(site, self.now);
             self.record(TraceEvent::Enter { t: self.now, site });
             let hold = match self.hold_script.pop_front() {
@@ -499,10 +552,42 @@ impl<P: Protocol> Simulator<P> {
     fn dispatch(&mut self, site: SiteId, f: impl FnOnce(&mut P, &mut Effects<P::Msg>)) {
         let mut fx = std::mem::take(&mut self.scratch);
         let s = &mut self.sites[site.index()];
+        let aborts_before = s.abort_counters().map_or(0, |c| c.aborts);
         s.set_now(self.now);
         f(s, &mut fx);
         self.apply_effects(site, &mut fx);
         self.scratch = fx;
+        // Any entry point can abort the site's request — an explicit abort
+        // event, or a deadline expiring inside `on_timer`. The closed-loop
+        // client reacts here, off the counter delta.
+        let aborts_after = self.sites[site.index()]
+            .abort_counters()
+            .map_or(0, |c| c.aborts);
+        if aborts_after > aborts_before {
+            self.maybe_retry(site);
+        }
+    }
+
+    /// Re-issues an aborted request after a jittered exponential backoff,
+    /// if a [`RetryPolicy`] is configured and attempts remain. The retry
+    /// is a regular arrival: it re-arms the deadline and competes like any
+    /// other request.
+    fn maybe_retry(&mut self, site: SiteId) {
+        let Some(r) = self.cfg.retry else { return };
+        let attempts = &mut self.retry_attempts[site.index()];
+        if *attempts >= r.max_attempts {
+            return;
+        }
+        *attempts += 1;
+        let exp = r
+            .base
+            .saturating_mul(1u64 << (*attempts - 1).min(31))
+            .min(r.cap.max(1));
+        // Equal jitter: uniform over the upper half of the interval keeps
+        // contenders spread out without collapsing the backoff entirely.
+        let backoff = self.rng.gen_range(exp / 2..=exp).max(1);
+        self.metrics.count_retry();
+        self.push(self.now + backoff, EventKind::Request { site });
     }
 
     fn ensure_started(&mut self) {
@@ -544,7 +629,13 @@ impl<P: Protocol> Simulator<P> {
                     return; // busy: drop the arrival
                 }
                 self.states.set_requested_at(site, self.now);
-                self.dispatch(site, |s, fx| s.request_cs(fx));
+                let deadline = self.cfg.deadline.map(|d| self.now + d);
+                self.dispatch(site, |s, fx| {
+                    if deadline.is_some() {
+                        s.set_deadline(deadline);
+                    }
+                    s.request_cs(fx);
+                });
             }
             EventKind::Exit { site } => {
                 if self.states.is_crashed(site) {
@@ -658,6 +749,14 @@ impl<P: Protocol> Simulator<P> {
             EventKind::Restore { src, dst } => {
                 self.partition.restore(src, dst);
             }
+            EventKind::Abort { site } => {
+                if self.states.is_crashed(site) {
+                    return;
+                }
+                self.dispatch(site, |s, fx| {
+                    let _ = s.abort_cs(fx);
+                });
+            }
         }
     }
 
@@ -685,6 +784,7 @@ impl<P: Protocol> Simulator<P> {
         // repeated calls stay correct).
         let mut totals = qmx_core::TransportCounters::default();
         let mut dtotals = qmx_core::DetectorCounters::default();
+        let mut atotals = qmx_core::AbortCounters::default();
         for s in &self.sites {
             if let Some(c) = s.transport_counters() {
                 totals.merge(&c);
@@ -692,9 +792,13 @@ impl<P: Protocol> Simulator<P> {
             if let Some(c) = s.detector_counters() {
                 dtotals.merge(&c);
             }
+            if let Some(c) = s.abort_counters() {
+                atotals.merge(&c);
+            }
         }
         self.metrics.set_transport_totals(totals);
         self.metrics.set_detector_totals(dtotals);
+        self.metrics.set_abort_totals(atotals);
         processed
     }
 
@@ -1457,6 +1561,117 @@ mod tests {
                 "{scheduler:?}"
             );
         }
+    }
+
+    #[test]
+    fn scheduled_abort_withdraws_and_frees_the_arbiters() {
+        // Abort site 0's request before its grant arrives. The in-flight
+        // Reply crosses the Abandon, comes back as an orphan Relinquish,
+        // and a later request completes normally against clean arbiters.
+        let mut sim = full_quorum_sim(2, SimConfig::default());
+        sim.schedule_request(SiteId(0), 0);
+        sim.schedule_abort(SiteId(0), 500);
+        sim.schedule_request(SiteId(0), 10_000);
+        sim.run_to_quiescence(100_000);
+        assert_eq!(sim.metrics().completed_cs(), 1);
+        assert!(sim.metrics().records()[0].entered_at > 10_000);
+        let a = sim.metrics().aborts();
+        assert_eq!(a.aborts, 1);
+        assert_eq!(a.deadline_aborts, 0);
+        assert_eq!(a.orphan_grants, 1, "the crossed Reply came back");
+        assert_eq!(sim.metrics().retries(), 0, "no retry policy configured");
+        assert!(!sim.has_pending_events());
+    }
+
+    #[test]
+    fn abort_of_idle_site_is_noop() {
+        let mut sim = full_quorum_sim(2, SimConfig::default());
+        sim.schedule_abort(SiteId(0), 100);
+        sim.schedule_request(SiteId(0), 200);
+        sim.run_to_quiescence(100_000);
+        assert_eq!(sim.metrics().completed_cs(), 1);
+        assert_eq!(sim.metrics().aborts().aborts, 0);
+    }
+
+    #[test]
+    fn deadline_expiry_aborts_a_request_wedged_on_a_crashed_arbiter() {
+        // Site 1 (in site 0's fixed quorum) is dead, so the request can
+        // never complete; with a deadline the client gives up instead of
+        // waiting forever, and without a retry policy that is the end.
+        let cfg = SimConfig {
+            oracle_notices: false,
+            deadline: Some(5_000),
+            ..SimConfig::default()
+        };
+        let mut sim = full_quorum_sim(2, cfg);
+        sim.schedule_crash(SiteId(1), 0);
+        sim.schedule_request(SiteId(0), 10);
+        sim.run_to_quiescence(100_000);
+        assert_eq!(sim.metrics().completed_cs(), 0);
+        let a = sim.metrics().aborts();
+        assert_eq!(a.aborts, 1);
+        assert_eq!(a.deadline_aborts, 1, "the deadline timer fired it");
+        assert!(!sim.site(SiteId(0)).wants_cs(), "cleanly withdrawn");
+        assert!(!sim.has_pending_events());
+    }
+
+    #[test]
+    fn retry_with_backoff_completes_once_the_arbiter_recovers() {
+        // Closed loop under the full detector stack: every deadline abort
+        // re-issues the request after a jittered exponential backoff, so
+        // when site 1 finally restarts and rejoins (detector handshake —
+        // a bare recovered arbiter stays in its rejoin window forever),
+        // a retry lands on a live quorum and completes.
+        let cfg = SimConfig {
+            oracle_notices: false,
+            deadline: Some(5_000),
+            retry: Some(RetryPolicy {
+                base: 2_000,
+                cap: 16_000,
+                max_attempts: 20,
+            }),
+            ..SimConfig::default()
+        };
+        let mut sim = detector_sim(2, cfg);
+        sim.schedule_crash(SiteId(1), 0);
+        sim.schedule_recovery(SiteId(1), 50_000);
+        sim.schedule_request(SiteId(0), 10);
+        sim.run_to_quiescence(150_000);
+        assert_eq!(sim.metrics().completed_cs(), 1);
+        assert!(
+            sim.metrics().records()[0].entered_at > 50_000,
+            "nothing could complete before the recovery"
+        );
+        let a = *sim.metrics().aborts();
+        assert!(a.aborts >= 2, "several attempts timed out first: {a:?}");
+        assert_eq!(a.deadline_aborts, a.aborts);
+        assert_eq!(sim.metrics().retries(), a.aborts, "every abort retried");
+    }
+
+    #[test]
+    fn retry_attempts_are_capped() {
+        // Nobody ever recovers: the client retries `max_attempts` times,
+        // then gives up for good and the run quiesces.
+        let cfg = SimConfig {
+            oracle_notices: false,
+            deadline: Some(3_000),
+            retry: Some(RetryPolicy {
+                base: 1_000,
+                cap: 4_000,
+                max_attempts: 3,
+            }),
+            ..SimConfig::default()
+        };
+        let mut sim = full_quorum_sim(2, cfg);
+        sim.schedule_crash(SiteId(1), 0);
+        sim.schedule_request(SiteId(0), 10);
+        sim.run_to_quiescence(1_000_000);
+        assert_eq!(sim.metrics().completed_cs(), 0);
+        assert_eq!(sim.metrics().retries(), 3);
+        // Initial attempt + three retries all hit the deadline.
+        assert_eq!(sim.metrics().aborts().deadline_aborts, 4);
+        assert!(!sim.site(SiteId(0)).wants_cs());
+        assert!(!sim.has_pending_events());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use qmx_core::{
 use qmx_quorum::majority::{majority_system, MajorityQuorumSource};
 use qmx_quorum::tree::TreeQuorumSource;
 use qmx_quorum::{crumbling, fpp, grid, gridset, hqc, rst, tree, wheel, QuorumSystem};
-use qmx_sim::{DelayModel, SchedulerKind, SimConfig, Simulator};
+use qmx_sim::{DelayModel, RetryPolicy, SchedulerKind, SimConfig, Simulator};
 
 /// Which mutual exclusion algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -193,6 +193,19 @@ pub struct Scenario {
     pub recoveries: Vec<(SiteId, u64)>,
     /// Oracle failure-detection latency. Ignored when `detector` is set.
     pub detect_delay: u64,
+    /// Per-request deadline: each arrival arms `set_deadline(now +
+    /// deadline)` before `request_cs`, so the protocol withdraws the
+    /// request (client abort, [`qmx_core::Protocol::abort_cs`]) once the
+    /// wait exceeds this budget. `None` disables deadlines.
+    pub deadline: Option<u64>,
+    /// Closed-loop client retry of aborted requests with jittered
+    /// exponential backoff ([`qmx_sim::RetryPolicy`]). `None` drops
+    /// aborted requests.
+    pub retry: Option<RetryPolicy>,
+    /// Explicit abort schedule: `(site, time)` pairs withdrawing a pending
+    /// request regardless of deadlines (a user pressing Ctrl-C). No-ops
+    /// when the site is not waiting at that time.
+    pub aborts: Vec<(SiteId, u64)>,
     /// Override for the simulator's oracle `failure(i)` notices. `None`
     /// (the default) keeps the automatic rule — oracle on exactly when no
     /// `detector` is configured. `Some(false)` turns the oracle off
@@ -233,6 +246,9 @@ impl Default for Scenario {
             detector: None,
             recoveries: Vec::new(),
             detect_delay: 2000,
+            deadline: None,
+            retry: None,
+            aborts: Vec::new(),
             oracle_notices: None,
             scheduler: SchedulerKind::default(),
             seed: 0xD15C0,
@@ -456,6 +472,8 @@ impl Scenario {
                 seed: self.seed,
                 loss: self.loss.clone(),
                 outages: self.outages.clone(),
+                deadline: self.deadline,
+                retry: self.retry,
                 scheduler: self.scheduler,
             },
         );
@@ -481,6 +499,9 @@ impl Scenario {
         }
         for &(f, to, t) in &self.link_restores {
             sim.schedule_restore(f, to, t);
+        }
+        for &(s, t) in &self.aborts {
+            sim.schedule_abort(s, t);
         }
         // Let in-flight work drain well past the arrival window.
         let drain = self

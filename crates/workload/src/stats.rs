@@ -1,6 +1,6 @@
 //! Statistics reduction helpers and the unified run report.
 
-use qmx_core::{DetectorCounters, MsgKind, TransportCounters};
+use qmx_core::{AbortCounters, DetectorCounters, MsgKind, TransportCounters};
 use qmx_sim::Metrics;
 use std::collections::BTreeMap;
 
@@ -83,6 +83,12 @@ pub struct RunReport {
     /// Failure-detector counters summed over all sites (all zero when the
     /// protocols ran without the heartbeat detector wrapper).
     pub detector: DetectorCounters,
+    /// Request-abort counters summed over all sites: aborts, deadline
+    /// misses, orphan grants returned after a withdrawal (all zero without
+    /// deadlines or an abort schedule).
+    pub aborts: AbortCounters,
+    /// Aborted requests the closed-loop client re-issued with backoff.
+    pub retries: u64,
 }
 
 impl RunReport {
@@ -133,6 +139,8 @@ impl RunReport {
             injected_dups: m.injected_dups(),
             transport: *m.transport(),
             detector: *m.detector(),
+            aborts: *m.aborts(),
+            retries: m.retries(),
         }
     }
 }

@@ -68,6 +68,8 @@ fn sim(seed: u64) -> Simulator<Detector<Reliable<DelayOptimal>>> {
             loss: LossModel::None,
             outages: Vec::new(),
             scheduler: SchedulerKind::default(),
+            deadline: None,
+            retry: None,
         },
     )
 }

@@ -1,51 +1,48 @@
 //! Micro-benchmark of the discrete-event engine: virtual events per second
 //! on a contended mutual-exclusion workload (the cost of every experiment
-//! in this crate).
+//! in this crate), per event-scheduler implementation (binary heap,
+//! calendar queue, timer wheel), plus the lazy-quorum large-N
+//! configuration the wheel and the hot/cold protocol split exist for.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use qmx_core::{Config, DelayOptimal, SiteId};
-use qmx_quorum::grid::grid_system;
-use qmx_sim::{DelayModel, SimConfig, Simulator};
+use qmx_bench::micro;
+use qmx_sim::SchedulerKind;
 
-fn contended_run(n: usize, rounds: u64) -> usize {
-    let sys = grid_system(n);
-    let sites: Vec<DelayOptimal> = (0..n)
-        .map(|i| {
-            DelayOptimal::new(
-                SiteId(i as u32),
-                sys.quorum_of(SiteId(i as u32)).to_vec(),
-                Config::default(),
-            )
-        })
-        .collect();
-    let mut sim = Simulator::new(
-        sites,
-        SimConfig {
-            delay: DelayModel::Exponential { mean: 1000 },
-            hold: DelayModel::Constant(100),
-            ..SimConfig::default()
-        },
-    );
-    for r in 0..rounds {
-        for i in 0..n {
-            sim.schedule_request(SiteId(i as u32), r * 5_000 + 17 * i as u64);
-        }
-    }
-    sim.run_to_quiescence(u64::MAX / 2)
-}
+const SCHEDULERS: [SchedulerKind; 3] = [
+    SchedulerKind::Heap,
+    SchedulerKind::Calendar,
+    SchedulerKind::Wheel,
+];
 
 fn bench_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_engine");
     for n in [9usize, 25] {
-        // Calibrate: how many events does one configuration process?
-        let events = contended_run(n, 20);
+        for kind in SCHEDULERS {
+            // Calibrate: how many events does one configuration process?
+            let events = micro::contended_sim_run_with(n, 20, kind);
+            g.throughput(Throughput::Elements(events as u64));
+            g.bench_function(format!("contended_n{n}_20rounds/{}", kind.label()), |b| {
+                b.iter(|| micro::contended_sim_run_with(n, 20, kind))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_engine_large(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_engine_large");
+    // Criterion runs many iterations, so the group stays at N = 10³; the
+    // 10⁵ row lives in the benchjson trajectory where it runs a bounded
+    // number of times.
+    for kind in SCHEDULERS {
+        let events = micro::large_n_sim_run(1_000, 50, kind);
         g.throughput(Throughput::Elements(events as u64));
-        g.bench_function(format!("contended_n{n}_20rounds"), |b| {
-            b.iter(|| contended_run(n, 20))
+        g.bench_function(format!("lazy_uncontended_n1000/{}", kind.label()), |b| {
+            b.iter(|| micro::large_n_sim_run(1_000, 50, kind))
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_engine);
+criterion_group!(benches, bench_engine, bench_engine_large);
 criterion_main!(benches);

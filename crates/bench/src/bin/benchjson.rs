@@ -1,8 +1,10 @@
 //! Writes the machine-readable benchmark trajectory `BENCH_qmx.json`:
-//! simulator events/sec (per event-scheduler implementation), protocol
-//! ns/step, model-checker state counts and DPOR reduction ratios, and
-//! wall-clock seconds per experiment, so performance can be tracked
-//! across commits without parsing Criterion output.
+//! simulator events/sec (per event-scheduler implementation), large-N
+//! lazy-quorum engine rows (events/sec plus a peak-RSS estimate at
+//! N = 10³ and 10⁵), protocol ns/step, model-checker state counts and
+//! DPOR reduction ratios, and wall-clock seconds per experiment, so
+//! performance can be tracked across commits without parsing Criterion
+//! output.
 //!
 //! Usage: `benchjson [--tiny] [--out PATH] [--jobs J]`
 //!        `benchjson --check PATH [--jobs J]`
@@ -27,11 +29,17 @@ use std::time::Instant;
 
 /// Trajectory file format version. Bump when row names or the set of
 /// deterministic fields changes, so `--check` rejects stale files
-/// loudly instead of mis-diffing them.
-const SCHEMA: &str = "qmx-bench-trajectory/v3";
+/// loudly instead of mis-diffing them. v4 added the timer-wheel
+/// scheduler rows and the `engine_large/*` section (lazy-quorum runs at
+/// N = 10³ and 10⁵ with a peak-RSS estimate).
+const SCHEMA: &str = "qmx-bench-trajectory/v4";
 
-/// Both scheduler implementations, in the order rows are emitted.
-const SCHEDULERS: [SchedulerKind; 2] = [SchedulerKind::Heap, SchedulerKind::Calendar];
+/// All three scheduler implementations, in the order rows are emitted.
+const SCHEDULERS: [SchedulerKind; 3] = [
+    SchedulerKind::Heap,
+    SchedulerKind::Calendar,
+    SchedulerKind::Wheel,
+];
 
 /// Engine matrix sizes for the given mode.
 fn engine_ns(tiny: bool) -> Vec<usize> {
@@ -39,6 +47,19 @@ fn engine_ns(tiny: bool) -> Vec<usize> {
         vec![9]
     } else {
         vec![9, 25]
+    }
+}
+
+/// Large-N engine matrix `(sites, requesters)` for the given mode: the
+/// lazy-quorum configurations the timer wheel, the hot/cold protocol
+/// split, and the payload slab exist for. Tiny mode keeps only the 10³
+/// row so CI smoke stays fast; full mode adds the 10⁵ row the issue
+/// gate asks for.
+fn large_ns(tiny: bool) -> Vec<(usize, u64)> {
+    if tiny {
+        vec![(1_000, 50)]
+    } else {
+        vec![(1_000, 50), (100_000, 100)]
     }
 }
 
@@ -51,12 +72,13 @@ fn proto_ns(tiny: bool) -> Vec<usize> {
     }
 }
 
-/// (engine timing iters, protocol timing iters, contended sim rounds).
-fn iteration_params(tiny: bool) -> (usize, usize, u64) {
+/// (engine timing iters, protocol timing iters, contended sim rounds,
+/// large-N timing iters).
+fn iteration_params(tiny: bool) -> (usize, usize, u64, usize) {
     if tiny {
-        (2, 200, 3)
+        (2, 200, 3, 1)
     } else {
-        (10, 2_000, 20)
+        (10, 2_000, 20, 3)
     }
 }
 
@@ -151,6 +173,25 @@ fn checker_scopes(tiny: bool) -> Vec<CheckerScope> {
     scopes
 }
 
+/// Peak resident-set size of this process in KiB, from `VmHWM` in
+/// `/proc/self/status`; 0 where the file is unavailable (non-Linux).
+/// A process-wide high-water mark, so per-row values are an estimate:
+/// the 10⁵ row dwarfs everything else the writer runs, which is exactly
+/// the number the large-N memory work (hot/cold split, payload slab,
+/// lazy quorums) is meant to hold down. Machine-dependent, so ignored
+/// by `--check`.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
 /// Mean wall-clock seconds of `f` over `iters` runs (after one warm-up).
 fn time_mean(iters: usize, mut f: impl FnMut()) -> f64 {
     f();
@@ -220,15 +261,26 @@ fn json_u64_field(line: &str, key: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
-/// Recomputes the deterministic engine rows `(name, events)` for a mode.
+/// Recomputes the deterministic engine rows `(name, events)` for a
+/// mode: the contended small-N matrix followed by the lazy-quorum
+/// `engine_large/*` matrix, in file order.
 fn expected_engine_rows(tiny: bool) -> Vec<(String, u64)> {
-    let (_, _, sim_rounds) = iteration_params(tiny);
+    let (_, _, sim_rounds, _) = iteration_params(tiny);
     let mut rows = Vec::new();
     for &n in &engine_ns(tiny) {
         for kind in SCHEDULERS {
             let events = micro::contended_sim_run_with(n, sim_rounds, kind);
             rows.push((
                 format!("contended_n{n}_{sim_rounds}rounds/{}", kind.label()),
+                events as u64,
+            ));
+        }
+    }
+    for &(n, req) in &large_ns(tiny) {
+        for kind in SCHEDULERS {
+            let events = micro::large_n_sim_run(n, req, kind);
+            rows.push((
+                format!("engine_large/uncontended_n{n}_{req}req/{}", kind.label()),
                 events as u64,
             ));
         }
@@ -394,7 +446,7 @@ fn main() {
     if let Some(path) = &args.check {
         run_check(path);
     }
-    let (engine_iters, round_iters, sim_rounds) = iteration_params(args.tiny);
+    let (engine_iters, round_iters, sim_rounds, large_iters) = iteration_params(args.tiny);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -412,9 +464,9 @@ fn main() {
     );
 
     // Discrete-event engine: virtual events per second of wall clock,
-    // one row per (size, scheduler) pair. The event counts of the heap
-    // and calendar rows at the same size must be identical — that is
-    // the scheduler determinism contract, asserted here.
+    // one row per (size, scheduler) pair. The event counts of the heap,
+    // calendar, and wheel rows at the same size must be identical —
+    // that is the scheduler determinism contract, asserted here.
     json.push_str("  \"engine\": [\n");
     let ns = engine_ns(args.tiny);
     let mut engine_rows: Vec<String> = Vec::new();
@@ -441,6 +493,43 @@ fn main() {
         );
     }
     json.push_str(&engine_rows.join(",\n"));
+    json.push_str("\n  ],\n");
+
+    // Large-N engine: the lazy-quorum configurations (no materialized
+    // coterie, timer-wheel-friendly tick spans) at 10³ and 10⁵ sites.
+    // Event counts are deterministic and scheduler-invariant (asserted
+    // and gated by `--check`); `peak_rss_kb` is the process high-water
+    // mark after the run — a memory-footprint tripwire for the hot/cold
+    // split and the payload slab, tracked but not gated.
+    json.push_str("  \"engine_large\": [\n");
+    let mut large_rows: Vec<String> = Vec::new();
+    for &(n, req) in &large_ns(args.tiny) {
+        let mut counts = Vec::new();
+        for kind in SCHEDULERS {
+            let events = micro::large_n_sim_run(n, req, kind);
+            counts.push(events);
+            let secs = time_mean(large_iters, || {
+                micro::large_n_sim_run(n, req, kind);
+            });
+            let rate = events as f64 / secs;
+            let rss = peak_rss_kb();
+            let label = kind.label();
+            eprintln!(
+                "large    uncontended_n{n}/{label}: {events} events, {rate:.0} events/sec, \
+                 peak rss {rss} KiB"
+            );
+            large_rows.push(format!(
+                "    {{\"name\": \"engine_large/uncontended_n{n}_{req}req/{label}\", \
+                 \"events\": {events}, \"seconds\": {secs:.6}, \
+                 \"events_per_sec\": {rate:.0}, \"peak_rss_kb\": {rss}}}"
+            ));
+        }
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "schedulers disagree on large-N event count at n={n}: {counts:?}"
+        );
+    }
+    json.push_str(&large_rows.join(",\n"));
     json.push_str("\n  ],\n");
 
     // Protocol state machines: nanoseconds per handled step in an

@@ -522,12 +522,13 @@ pub fn fault_tolerance(n: usize, crash_site: u32) -> String {
     )
 }
 
-/// **E12 — engineering ablation**: binary-heap vs calendar-queue event
-/// scheduler on the contended simulator workload. Both schedulers must
-/// process the identical event sequence (asserted — the determinism
-/// contract); the table reports each one's events/sec and the
-/// calendar's speedup. Cells are timed sequentially (no [`par_map`])
-/// so sibling cells cannot distort the wall clocks.
+/// **E12 — engineering ablation**: binary-heap vs calendar-queue vs
+/// timer-wheel event scheduler on the contended simulator workload. All
+/// schedulers must process the identical event sequence (asserted — the
+/// determinism contract); the table reports each one's events/sec and
+/// the calendar's and wheel's speedups over the heap. Cells are timed
+/// sequentially (no [`par_map`]) so sibling cells cannot distort the
+/// wall clocks.
 pub fn scheduler_ablation(ns: &[usize], rounds: u64) -> String {
     use qmx_sim::SchedulerKind;
     use std::time::Instant;
@@ -537,15 +538,19 @@ pub fn scheduler_ablation(ns: &[usize], rounds: u64) -> String {
         "events",
         "heap ev/s",
         "calendar ev/s",
-        "speedup",
+        "wheel ev/s",
+        "cal x",
+        "wheel x",
     ]);
     for &n in ns {
         let events = crate::micro::contended_sim_run_with(n, rounds, SchedulerKind::Heap);
-        assert_eq!(
-            events,
-            crate::micro::contended_sim_run_with(n, rounds, SchedulerKind::Calendar),
-            "schedulers disagree on event count at n={n}"
-        );
+        for kind in [SchedulerKind::Calendar, SchedulerKind::Wheel] {
+            assert_eq!(
+                events,
+                crate::micro::contended_sim_run_with(n, rounds, kind),
+                "schedulers disagree on event count at n={n}"
+            );
+        }
         // Best of several short windows: the per-window rate is the
         // quantity being estimated, and the fastest window is the one
         // least disturbed by scheduler noise on a shared box.
@@ -565,18 +570,76 @@ pub fn scheduler_ablation(ns: &[usize], rounds: u64) -> String {
         };
         let heap = rate(SchedulerKind::Heap);
         let calendar = rate(SchedulerKind::Calendar);
+        let wheel = rate(SchedulerKind::Wheel);
         t.row([
             n.to_string(),
             rounds.to_string(),
             events.to_string(),
             format!("{heap:.0}"),
             format!("{calendar:.0}"),
+            format!("{wheel:.0}"),
             f2(calendar / heap),
+            f2(wheel / heap),
         ]);
     }
     format!(
-        "Scheduler ablation: heap vs calendar event queue (E12, engineering)\n\
-         Event counts are identical by construction; speedup = calendar / heap.\n\n{}",
+        "Scheduler ablation: heap vs calendar vs wheel event queue (E12, engineering)\n\
+         Event counts are identical by construction; speedups are over the heap.\n\n{}",
+        t.render()
+    )
+}
+
+/// **E15 — extension: large-N scale sweep**. Events/sec on the
+/// lazy-quorum uncontended engine workload (100 requests cycling
+/// through the grid, timer-wheel scheduler) and nanoseconds per
+/// protocol step in a synchronous uncontended round, as N grows from
+/// the paper's scale (9) to 10⁵. The engine column is the cost of the
+/// whole machine — scheduler, payload slab, transport, metrics; the
+/// ns/step column isolates the protocol state machine over the
+/// hot/cold-split struct. Timed sequentially, like the E12 ablation.
+pub fn scale_sweep() -> String {
+    use qmx_sim::SchedulerKind;
+    use std::time::Instant;
+    let mut t = Table::new(["N", "K", "events", "events/sec", "ns/step"]);
+    for &n in &[9usize, 100, 1_000, 10_000, 100_000] {
+        let sweep = |iters: usize| {
+            crate::micro::large_n_sim_run(n, 100, SchedulerKind::Wheel); // warm-up
+            let start = Instant::now();
+            for _ in 0..iters {
+                crate::micro::large_n_sim_run(n, 100, SchedulerKind::Wheel);
+            }
+            start.elapsed().as_secs_f64() / iters as f64
+        };
+        let events = crate::micro::large_n_sim_run(n, 100, SchedulerKind::Wheel);
+        let rate = events as f64 / sweep(if n >= 10_000 { 2 } else { 5 });
+
+        let mut sites = crate::micro::lazy_grid_sites(n);
+        let steps = crate::micro::full_round(&mut sites, 0);
+        let round_iters = if n >= 10_000 { 20 } else { 500 };
+        let start = Instant::now();
+        for _ in 0..round_iters {
+            crate::micro::full_round(&mut sites, 0);
+        }
+        let ns_per_step = start.elapsed().as_secs_f64() * 1e9 / (round_iters as f64 * steps as f64);
+        let k = {
+            use qmx_core::QuorumSource;
+            qmx_quorum::GridQuorumSource::new(n)
+                .quorum_avoiding(qmx_core::SiteId(0), &std::collections::BTreeSet::new())
+                .expect("no failures: quorum exists")
+                .len()
+        };
+        t.row([
+            n.to_string(),
+            k.to_string(),
+            events.to_string(),
+            format!("{rate:.0}"),
+            format!("{ns_per_step:.0}"),
+        ]);
+    }
+    format!(
+        "Large-N scale sweep: lazy grid quorums, wheel scheduler (E15, engineering)\n\
+         K = grid quorum size of site 0; events/sec is the full engine,\n\
+         ns/step the bare protocol state machine.\n\n{}",
         t.render()
     )
 }

@@ -6,6 +6,7 @@
 use qmx_baselines::Maekawa;
 use qmx_core::{Config, DelayOptimal, Effects, Protocol, SiteId};
 use qmx_quorum::grid::grid_system;
+use qmx_quorum::GridQuorumSource;
 use qmx_sim::{DelayModel, SchedulerKind, SimConfig, Simulator};
 use std::collections::VecDeque;
 
@@ -98,6 +99,45 @@ pub fn contended_sim_run_with(n: usize, rounds: u64, scheduler: SchedulerKind) -
     sim.run_to_quiescence(u64::MAX / 2)
 }
 
+/// Builds delay-optimal sites over *lazily* generated grid quorums: no
+/// coterie is materialized, each site pulls its `O(√N)` quorum from a
+/// [`GridQuorumSource`] at first use. The large-N counterpart of
+/// [`delay_optimal_sites`].
+pub fn lazy_grid_sites(n: usize) -> Vec<DelayOptimal> {
+    (0..n)
+        .map(|i| {
+            DelayOptimal::with_lazy_quorum_source(
+                SiteId(i as u32),
+                Config::default(),
+                Box::new(GridQuorumSource::new(n)),
+            )
+        })
+        .collect()
+}
+
+/// Large-N engine run: `n` sites over lazily generated grid quorums,
+/// `requesters` spread-out requests cycling through the grid. This is
+/// the workload the timer wheel, the hot/cold protocol split, the
+/// payload slab, and the lazy quorum sources exist for; the event count
+/// is the deterministic denominator for the `engine_large/*` trajectory
+/// rows.
+pub fn large_n_sim_run(n: usize, requesters: u64, scheduler: SchedulerKind) -> usize {
+    let mut sim = Simulator::new(
+        lazy_grid_sites(n),
+        SimConfig {
+            delay: DelayModel::Exponential { mean: 1000 },
+            hold: DelayModel::Constant(100),
+            scheduler,
+            seed: 41,
+            ..SimConfig::default()
+        },
+    );
+    for k in 0..requesters {
+        sim.schedule_request(SiteId(((k * 997) % n as u64) as u32), k * 2_500);
+    }
+    sim.run_to_quiescence(u64::MAX / 2)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +151,23 @@ mod tests {
         assert!(steps >= 2 + 2 * 4, "steps = {steps}");
         // The round left everyone idle: a second round works too.
         assert!(full_round(&mut sites, 3) >= 2 + 2 * 4);
+    }
+
+    #[test]
+    fn large_n_run_is_scheduler_invariant() {
+        let counts: Vec<usize> = [
+            SchedulerKind::Heap,
+            SchedulerKind::Calendar,
+            SchedulerKind::Wheel,
+        ]
+        .into_iter()
+        .map(|kind| large_n_sim_run(300, 10, kind))
+        .collect();
+        assert!(counts[0] > 10, "events = {}", counts[0]);
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "schedulers disagree: {counts:?}"
+        );
     }
 
     #[test]

@@ -87,8 +87,9 @@ pub enum Command {
         /// Recoveries as `site:time_t` pairs (each enables the detector:
         /// rejoin needs the heartbeat handshake, not the oracle).
         recoveries: Vec<(u32, u64)>,
-        /// Event-scheduler implementation (`heap` or `calendar`); the
-        /// report is byte-identical either way, only wall clock differs.
+        /// Event-scheduler implementation (`heap`, `calendar`, or
+        /// `wheel`); the report is byte-identical under all three, only
+        /// wall clock differs.
         scheduler: SchedulerKind,
         /// Per-request deadline in T units: requests abort (withdraw from
         /// every arbiter) once they wait this long. `None` = no deadlines.
@@ -159,7 +160,7 @@ USAGE:
              [--reliable on|off|auto]
              [--hb-interval T] [--hb-timeout T] [--recover site:timeT ...]
              [--deadline T] [--retry-backoff baseT:capT:attempts]
-             [--scheduler heap|calendar]
+             [--scheduler heap|calendar|wheel]
   qmxctl quorum --kind Q --n N
   qmxctl check [--n N] [--rounds R] [--max-states M] [--quorum Q]
                [--crashes C] [--recoveries C] [--drops C] [--suspicions C]
@@ -197,7 +198,7 @@ WHERE:
       nothing aborts without one
   --scheduler picks the event-queue implementation (default: calendar,
       or the QMX_SCHEDULER env var); reports are byte-identical for
-      either choice — only wall-clock time differs
+      every choice — only wall-clock time differs
   check explores every interleaving of the scope with dynamic
       partial-order reduction; fault budgets add Crash/Recover/Drop and
       failure-detector verdict transitions (--suspicions bounds *false*
@@ -212,7 +213,8 @@ WHERE:
       writes the counterexample action trace on failure
   NAME = table1 | lightload | heavyload | syncdelay | throughput |
          quorumsize | availability | faulttolerance | ablation |
-         holdsweep | msgscaling | schedulers | partitions | abortavail
+         holdsweep | msgscaling | schedulers | scalesweep | partitions |
+         abortavail
   J = worker threads for the experiment fan-out (0 or absent = auto);
       reports are identical for every J — runs are pure per (scenario,
       seed) and rows are assembled in parameter order
@@ -473,7 +475,7 @@ impl Cli {
                 let scheduler = match one(&f, "scheduler", "") {
                     "" => SchedulerKind::default(),
                     s => SchedulerKind::parse(s).ok_or_else(|| {
-                        ParseError(format!("--scheduler wants heap|calendar, got '{s}'"))
+                        ParseError(format!("--scheduler wants heap|calendar|wheel, got '{s}'"))
                     })?,
                 };
                 let deadline_t = opt_t("deadline")?;
@@ -817,13 +819,17 @@ mod tests {
             Command::Run { scheduler, .. } => assert_eq!(scheduler, SchedulerKind::Calendar),
             other => panic!("unexpected {other:?}"),
         }
+        match parse("run --scheduler wheel").unwrap().command {
+            Command::Run { scheduler, .. } => assert_eq!(scheduler, SchedulerKind::Wheel),
+            other => panic!("unexpected {other:?}"),
+        }
         // Absent: the process-wide default (env var or calendar). Both
         // values are legal, so just check parsing succeeds.
         assert!(matches!(parse("run").unwrap().command, Command::Run { .. }));
-        assert!(parse("run --scheduler wheel")
+        assert!(parse("run --scheduler fifo")
             .unwrap_err()
             .0
-            .contains("heap|calendar"));
+            .contains("heap|calendar|wheel"));
     }
 
     #[test]

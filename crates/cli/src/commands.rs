@@ -408,6 +408,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 "holdsweep" => e::sync_delay_vs_hold(25),
                 "msgscaling" => e::message_scaling(),
                 "schedulers" => e::scheduler_ablation(&[9, 25], 20),
+                "scalesweep" => e::scale_sweep(),
                 "partitions" => e::partition_availability(),
                 "abortavail" => e::abort_availability(),
                 other => return Err(format!("unknown experiment '{other}'")),
@@ -513,14 +514,16 @@ mod tests {
     }
 
     #[test]
-    fn run_command_reports_identical_under_both_schedulers() {
-        // The CI determinism gate in script form: same scenario, both
-        // scheduler implementations, byte-identical report text.
+    fn run_command_reports_identical_under_all_schedulers() {
+        // The CI determinism gate in script form: same scenario, all
+        // three scheduler implementations, byte-identical report text.
         let line = "run --n 9 --gap 5 --horizon 400 --delay exp:1000 --seed 11 \
              --loss 0.05 --crash 2:50 --recover 2:150 --hb-interval 2 --hb-timeout 10";
         let heap = run(&format!("{line} --scheduler heap")).unwrap();
-        let calendar = run(&format!("{line} --scheduler calendar")).unwrap();
-        assert_eq!(heap, calendar);
+        for kind in ["calendar", "wheel"] {
+            let other = run(&format!("{line} --scheduler {kind}")).unwrap();
+            assert_eq!(heap, other, "report diverged under {kind}");
+        }
         assert!(heap.contains("completed CS"), "{heap}");
     }
 

@@ -342,24 +342,24 @@ enum EarlyReturn {
 /// See the [module documentation](self) for the protocol description. Use
 /// [`DelayOptimal::new`] for the fixed-quorum protocol or
 /// [`DelayOptimal::with_quorum_source`] for the §6 fault-tolerant variant.
+///
+/// # Layout: hot/cold split
+///
+/// The struct keeps only the per-step scalars inline — the fields every
+/// `step`/`on_msg` dispatch reads — and banishes the collections behind one
+/// [`Cold`] box. A `Vec<DelayOptimal>` (how the simulator and the checker
+/// hold all `N` sites) is then a dense array of ~100-byte elements instead
+/// of several-hundred-byte ones, which is what makes iterating 10⁵ sites
+/// cache-friendly: the struct-of-arrays layout the large-N engine wants,
+/// expressed at container granularity.
 pub struct DelayOptimal {
     site: SiteId,
-    cfg: Config,
     clock: LamportClock,
 
-    // --- requester state ---
-    req_set: Vec<SiteId>,
-    /// Bitset mirror of `req_set`, kept in sync by quorum (re)construction:
-    /// turns the per-reply "do I hold every permission?" scan into a few
-    /// word operations. Derived state — excluded from `Debug` (the model
-    /// checker already fingerprints `req_set`).
-    req_set_bits: SiteSet,
+    // --- hot requester scalars ---
     phase: RequesterPhase,
     my_req: Option<Timestamp>,
-    replied: SiteSet,
     failed: bool,
-    inq_queue: Vec<PendingInquire>,
-    tran_stack: Vec<TranEntry>,
     /// Absolute deadline for the outstanding (or parked) request. While a
     /// request is unfulfilled (`Waiting` or a parked `want_cs`),
     /// `next_timer` exposes it and `on_timer` at/past it aborts the
@@ -370,8 +370,45 @@ pub struct DelayOptimal {
     /// model-checker fingerprints count behavior, not history.
     abort_ctrs: AbortCounters,
 
-    // --- arbiter state ---
+    // --- hot arbiter / §6 scalars ---
     lock: Option<Timestamp>,
+    inaccessible: bool,
+    /// A `request_cs` arrived while no live quorum existed (every candidate
+    /// contains a suspect). The want is parked here — not dropped — and the
+    /// request is issued automatically as soon as accessibility returns
+    /// (suspicion withdrawn or suspect rejoined). Without this, a request
+    /// landing inside an asymmetric-partition window would be lost forever
+    /// even though the partition later heals.
+    want_cs: bool,
+    /// True between a post-crash restart (`on_recover`) and the end of the
+    /// rejoin grace window (`on_rejoin_complete`): the arbiter enqueues
+    /// requests but grants nothing, waiting for `Claim`s to re-establish
+    /// who held its permission before the crash.
+    rejoining: bool,
+
+    /// Everything with a heap allocation or a large footprint.
+    cold: Box<Cold>,
+}
+
+/// The cold half of [`DelayOptimal`]: configuration and every collection.
+/// Touched only when the protocol actually manipulates a queue or set —
+/// idle sites swept by the simulator never follow this pointer.
+#[derive(Clone)]
+struct Cold {
+    cfg: Config,
+
+    // --- requester state ---
+    req_set: Vec<SiteId>,
+    /// Bitset mirror of `req_set`, kept in sync by quorum (re)construction:
+    /// turns the per-reply "do I hold every permission?" scan into a few
+    /// word operations. Derived state — excluded from `Debug` (the model
+    /// checker already fingerprints `req_set`).
+    req_set_bits: SiteSet,
+    replied: SiteSet,
+    inq_queue: Vec<PendingInquire>,
+    tran_stack: Vec<TranEntry>,
+
+    // --- arbiter state ---
     req_queue: ReqQueue,
     early_returns: std::collections::BTreeMap<Timestamp, EarlyReturn>,
 
@@ -388,14 +425,6 @@ pub struct DelayOptimal {
     /// Always a subset of `known_failed`.
     confirmed_failed: SiteSet,
     quorum_source: Option<Box<dyn QuorumSource>>,
-    inaccessible: bool,
-    /// A `request_cs` arrived while no live quorum existed (every candidate
-    /// contains a suspect). The want is parked here — not dropped — and the
-    /// request is issued automatically as soon as accessibility returns
-    /// (suspicion withdrawn or suspect rejoined). Without this, a request
-    /// landing inside an asymmetric-partition window would be lost forever
-    /// even though the partition later heals.
-    want_cs: bool,
 
     // --- failure-detector integration (suspicion / recovery) ---
     /// Permission-returning messages (release/yield/relinquish) dropped at
@@ -404,11 +433,6 @@ pub struct DelayOptimal {
     /// requests are queued or hold its lock; on restoration a `Relinquish`
     /// per recorded request unwedges it.
     withheld: Withheld,
-    /// True between a post-crash restart (`on_recover`) and the end of the
-    /// rejoin grace window (`on_rejoin_complete`): the arbiter enqueues
-    /// requests but grants nothing, waiting for `Claim`s to re-establish
-    /// who held its permission before the crash.
-    rejoining: bool,
     /// All peers this site shares the system with (set once by the
     /// detector layer via `set_peer_universe`; empty for bare stacks).
     peer_universe: Vec<SiteId>,
@@ -429,31 +453,17 @@ impl Clone for DelayOptimal {
     fn clone(&self) -> Self {
         DelayOptimal {
             site: self.site,
-            cfg: self.cfg.clone(),
             clock: self.clock.clone(),
-            req_set: self.req_set.clone(),
-            req_set_bits: self.req_set_bits.clone(),
             phase: self.phase,
             my_req: self.my_req,
-            replied: self.replied.clone(),
             failed: self.failed,
-            inq_queue: self.inq_queue.clone(),
-            tran_stack: self.tran_stack.clone(),
             deadline: self.deadline,
             abort_ctrs: self.abort_ctrs,
             lock: self.lock,
-            req_queue: self.req_queue.clone(),
-            early_returns: self.early_returns.clone(),
-            known_failed: self.known_failed.clone(),
-            confirmed_failed: self.confirmed_failed.clone(),
-            quorum_source: self.quorum_source.clone(),
             inaccessible: self.inaccessible,
             want_cs: self.want_cs,
-            withheld: self.withheld.clone(),
             rejoining: self.rejoining,
-            peer_universe: self.peer_universe.clone(),
-            rejoin_awaiting: self.rejoin_awaiting.clone(),
-            local_q: self.local_q.clone(),
+            cold: self.cold.clone(),
         }
     }
 }
@@ -465,28 +475,28 @@ impl fmt::Debug for DelayOptimal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DelayOptimal")
             .field("site", &self.site)
-            .field("cfg", &self.cfg)
+            .field("cfg", &self.cold.cfg)
             .field("clock", &self.clock)
-            .field("req_set", &self.req_set)
+            .field("req_set", &self.cold.req_set)
             .field("phase", &self.phase)
             .field("my_req", &self.my_req)
-            .field("replied", &self.replied)
+            .field("replied", &self.cold.replied)
             .field("failed", &self.failed)
             .field("lock", &self.lock)
-            .field("req_queue", &self.req_queue)
-            .field("tran_stack", &self.tran_stack)
-            .field("inq_queue", &self.inq_queue)
-            .field("early_returns", &self.early_returns)
-            .field("known_failed", &self.known_failed)
-            .field("confirmed_failed", &self.confirmed_failed)
+            .field("req_queue", &self.cold.req_queue)
+            .field("tran_stack", &self.cold.tran_stack)
+            .field("inq_queue", &self.cold.inq_queue)
+            .field("early_returns", &self.cold.early_returns)
+            .field("known_failed", &self.cold.known_failed)
+            .field("confirmed_failed", &self.cold.confirmed_failed)
             .field("inaccessible", &self.inaccessible)
             .field("want_cs", &self.want_cs)
             .field("deadline", &self.deadline)
-            .field("withheld", &self.withheld)
+            .field("withheld", &self.cold.withheld)
             .field("rejoining", &self.rejoining)
-            .field("peer_universe", &self.peer_universe)
-            .field("rejoin_awaiting", &self.rejoin_awaiting)
-            .field("local_q", &self.local_q)
+            .field("peer_universe", &self.cold.peer_universe)
+            .field("rejoin_awaiting", &self.cold.rejoin_awaiting)
+            .field("local_q", &self.cold.local_q)
             .finish_non_exhaustive()
     }
 }
@@ -507,31 +517,33 @@ impl DelayOptimal {
         assert_eq!(uniq.len(), req_set.len(), "quorum contains duplicates");
         DelayOptimal {
             site,
-            cfg,
             clock: LamportClock::new(),
-            req_set_bits: req_set.iter().copied().collect(),
-            req_set,
             phase: RequesterPhase::Idle,
             my_req: None,
-            replied: SiteSet::new(),
             failed: false,
-            inq_queue: Vec::new(),
-            tran_stack: Vec::new(),
             deadline: None,
             abort_ctrs: AbortCounters::default(),
             lock: None,
-            req_queue: ReqQueue::new(),
-            early_returns: std::collections::BTreeMap::new(),
-            known_failed: SiteSet::new(),
-            confirmed_failed: SiteSet::new(),
-            quorum_source: None,
             inaccessible: false,
             want_cs: false,
-            withheld: Withheld::default(),
             rejoining: false,
-            peer_universe: Vec::new(),
-            rejoin_awaiting: SiteSet::new(),
-            local_q: VecDeque::new(),
+            cold: Box::new(Cold {
+                cfg,
+                req_set_bits: req_set.iter().copied().collect(),
+                req_set,
+                replied: SiteSet::new(),
+                inq_queue: Vec::new(),
+                tran_stack: Vec::new(),
+                req_queue: ReqQueue::new(),
+                early_returns: std::collections::BTreeMap::new(),
+                known_failed: SiteSet::new(),
+                confirmed_failed: SiteSet::new(),
+                quorum_source: None,
+                withheld: Withheld::default(),
+                peer_universe: Vec::new(),
+                rejoin_awaiting: SiteSet::new(),
+                local_q: VecDeque::new(),
+            }),
         }
     }
 
@@ -548,13 +560,34 @@ impl DelayOptimal {
             .quorum_avoiding(site, &BTreeSet::new())
             .expect("initial quorum must exist");
         let mut me = Self::new(site, req_set, cfg);
-        me.quorum_source = Some(source);
+        me.cold.quorum_source = Some(source);
+        me
+    }
+
+    /// Like [`DelayOptimal::with_quorum_source`], but defers quorum
+    /// construction until the site's first `request_cs`.
+    ///
+    /// At large `N` most sites only ever arbitrate: they never need their
+    /// own `O(√N)` quorum, and materializing one per site costs `O(N·√N)`
+    /// memory up front (gigabytes at `N = 10⁵`). A lazily-initialized site
+    /// starts with an empty `req_set` and pulls its quorum from `source`
+    /// on the first request — wire behavior is identical, because a site
+    /// that never requests never consults its quorum.
+    pub fn with_lazy_quorum_source(
+        site: SiteId,
+        cfg: Config,
+        source: Box<dyn QuorumSource>,
+    ) -> Self {
+        let mut me = Self::new(site, vec![site], cfg);
+        me.cold.req_set.clear();
+        me.cold.req_set_bits = SiteSet::new();
+        me.cold.quorum_source = Some(source);
         me
     }
 
     /// This site's current quorum.
     pub fn req_set(&self) -> &[SiteId] {
-        &self.req_set
+        &self.cold.req_set
     }
 
     /// Requester phase (for tests and monitors).
@@ -579,7 +612,7 @@ impl DelayOptimal {
 
     /// Number of requests queued at this arbiter.
     pub fn queued_requests(&self) -> usize {
-        self.req_queue.len()
+        self.cold.req_queue.len()
     }
 
     /// Checks the structural invariants of this site's state, returning a
@@ -595,7 +628,7 @@ impl DelayOptimal {
     pub fn check_invariants(&self) -> Result<(), String> {
         // 1. The arbiter's lock holder is never simultaneously queued.
         if let Some(l) = self.lock {
-            if self.req_queue.contains(&l) {
+            if self.cold.req_queue.contains(&l) {
                 return Err(format!("{}: lock {l} also sits in req_queue", self.site));
             }
         }
@@ -609,14 +642,15 @@ impl DelayOptimal {
         if self.lock.is_none()
             && !self.rejoining
             && self
+                .cold
                 .req_queue
                 .iter()
-                .any(|r| !self.known_failed.contains(r.site))
+                .any(|r| !self.cold.known_failed.contains(r.site))
         {
             return Err(format!(
                 "{}: free lock with {} queued requests",
                 self.site,
-                self.req_queue.len()
+                self.cold.req_queue.len()
             ));
         }
         // 3. Requester-phase consistency.
@@ -625,10 +659,10 @@ impl DelayOptimal {
                 if self.my_req.is_some() {
                     return Err(format!("{}: idle but my_req set", self.site));
                 }
-                if !self.replied.is_empty() {
+                if !self.cold.replied.is_empty() {
                     return Err(format!("{}: idle but holds permissions", self.site));
                 }
-                if !self.tran_stack.is_empty() {
+                if !self.cold.tran_stack.is_empty() {
                     return Err(format!("{}: idle but tran_stack non-empty", self.site));
                 }
             }
@@ -641,14 +675,14 @@ impl DelayOptimal {
                 if !self.has_all_replies() {
                     return Err(format!(
                         "{}: in CS without all permissions ({:?} of {:?})",
-                        self.site, self.replied, self.req_set
+                        self.site, self.cold.replied, self.cold.req_set
                     ));
                 }
             }
         }
         // 4. Transfer obligations only for permissions we actually hold.
-        for e in &self.tran_stack {
-            if !self.replied.contains(e.arbiter) {
+        for e in &self.cold.tran_stack {
+            if !self.cold.replied.contains(e.arbiter) {
                 return Err(format!(
                     "{}: tran_stack entry for {} without its permission",
                     self.site, e.arbiter
@@ -656,13 +690,13 @@ impl DelayOptimal {
             }
         }
         // 5. Permissions only from quorum members.
-        for a in self.replied.iter() {
-            if !self.req_set.contains(&a) {
+        for a in self.cold.replied.iter() {
+            if !self.cold.req_set.contains(&a) {
                 return Err(format!("{}: holds permission of non-member {a}", self.site));
             }
         }
         // 6. Internal work queue drained between events.
-        if !self.local_q.is_empty() {
+        if !self.cold.local_q.is_empty() {
             return Err(format!("{}: local queue not pumped", self.site));
         }
         Ok(())
@@ -690,8 +724,8 @@ impl DelayOptimal {
             body,
         };
         if to == self.site {
-            self.local_q.push_back((self.site, msg));
-        } else if !self.known_failed.contains(to) {
+            self.cold.local_q.push_back((self.site, msg));
+        } else if !self.cold.known_failed.contains(to) {
             fx.send(to, msg);
         } else {
             // Messages to suspected sites are dropped at the source (§6: a
@@ -709,13 +743,13 @@ impl DelayOptimal {
                 _ => None,
             };
             if let Some(req) = returned {
-                self.withheld.add(to, req);
+                self.cold.withheld.add(to, req);
             }
         }
     }
 
     fn pump(&mut self, fx: &mut Effects<Msg>) {
-        while let Some((from, msg)) = self.local_q.pop_front() {
+        while let Some((from, msg)) = self.cold.local_q.pop_front() {
             self.dispatch(from, msg, fx);
         }
     }
@@ -759,16 +793,16 @@ impl DelayOptimal {
     /// A.2: a request arrives at this arbiter.
     fn arb_request(&mut self, ts: Timestamp, fx: &mut Effects<Msg>) {
         self.clock.observe_ts(ts);
-        if self.confirmed_failed.contains(ts.site) {
+        if self.cold.confirmed_failed.contains(ts.site) {
             return; // in-flight request from a site that has since crashed
         }
-        if self.known_failed.contains(ts.site) {
+        if self.cold.known_failed.contains(ts.site) {
             // Suspected but possibly alive: park the request instead of
             // granting or refusing (neither message could be delivered —
             // `route` drops traffic to suspects at source). Restoration
             // re-examines it; confirmation discards it.
             if self.lock != Some(ts) {
-                self.req_queue.insert(ts);
+                self.cold.req_queue.insert(ts);
             }
             return;
         }
@@ -776,7 +810,7 @@ impl DelayOptimal {
             None if self.rejoining => {
                 // Rejoin grace window: a pre-crash holder may still claim
                 // this permission; enqueue and grant at window close.
-                self.req_queue.insert(ts);
+                self.cold.req_queue.insert(ts);
             }
             None => {
                 // Permission free: grant immediately, do not enqueue.
@@ -792,9 +826,9 @@ impl DelayOptimal {
                 );
             }
             Some(lock) => {
-                let old_head = self.req_queue.head();
-                self.req_queue.insert(ts);
-                if self.req_queue.head() == Some(ts) {
+                let old_head = self.cold.req_queue.head();
+                self.cold.req_queue.insert(ts);
+                if self.cold.req_queue.head() == Some(ts) {
                     // `ts` is the new next-in-line.
                     // An inquire is already outstanding iff the displaced
                     // head had priority over the lock holder.
@@ -867,10 +901,10 @@ impl DelayOptimal {
                 Body::Inquire {
                     arbiter: self.site,
                     holder_req: lock,
-                    transfer: self.cfg.forwarding_enabled.then_some(next),
+                    transfer: self.cold.cfg.forwarding_enabled.then_some(next),
                 },
             );
-        } else if self.cfg.forwarding_enabled {
+        } else if self.cold.cfg.forwarding_enabled {
             self.route(
                 fx,
                 lock.site,
@@ -894,7 +928,8 @@ impl DelayOptimal {
             // The sender can only have held our permission via a forwarded
             // reply whose notification is still in flight: park the return
             // and replay it when that notification arrives.
-            self.early_returns
+            self.cold
+                .early_returns
                 .insert(holder_req, EarlyReturn::Released { forwarded_to });
             return;
         }
@@ -911,13 +946,13 @@ impl DelayOptimal {
                 // Only a *confirmed* failure voids a forward: a merely
                 // suspected beneficiary may be alive and about to enter the
                 // CS on the forwarded reply, so its grant must stand.
-                Some(b) if !self.confirmed_failed.contains(b.site) => {
-                    self.req_queue.remove(&b);
-                    match self.early_returns.remove(&b) {
+                Some(b) if !self.cold.confirmed_failed.contains(b.site) => {
+                    self.cold.req_queue.remove(&b);
+                    match self.cold.early_returns.remove(&b) {
                         None => {
                             // `b` now holds our permission.
                             self.lock = Some(b);
-                            if let Some(h) = self.req_queue.head() {
+                            if let Some(h) = self.cold.req_queue.head() {
                                 // Tell the new holder who is next. If a
                                 // higher-priority request slipped in while
                                 // the forwarded reply was in flight, it
@@ -933,7 +968,7 @@ impl DelayOptimal {
                             fwd = f2;
                         }
                         Some(EarlyReturn::Yielded) => {
-                            self.req_queue.insert(b);
+                            self.cold.req_queue.insert(b);
                             fwd = None;
                         }
                         Some(EarlyReturn::Relinquished) => {
@@ -966,34 +1001,36 @@ impl DelayOptimal {
         // (their senders may be alive — restoration grants them normally)
         // but are passed over for granting. The collect only runs when a
         // failure has actually been confirmed — never on the hot path.
-        if !self.confirmed_failed.is_empty() {
+        if !self.cold.confirmed_failed.is_empty() {
             let discard: Vec<Timestamp> = self
+                .cold
                 .req_queue
                 .iter()
-                .filter(|r| self.confirmed_failed.contains(r.site))
+                .filter(|r| self.cold.confirmed_failed.contains(r.site))
                 .copied()
                 .collect();
             for r in discard {
-                self.req_queue.remove(&r);
+                self.cold.req_queue.remove(&r);
             }
         }
         let Some(p) = self
+            .cold
             .req_queue
             .iter()
-            .find(|r| !self.known_failed.contains(r.site))
+            .find(|r| !self.cold.known_failed.contains(r.site))
             .copied()
         else {
             self.lock = None;
             return;
         };
-        self.req_queue.remove(&p);
+        self.cold.req_queue.remove(&p);
         self.lock = Some(p);
         // `p` is the highest-priority grantable request; a suspected entry
         // ahead of it cannot enter (its reply would be withheld), so no
         // inquire is needed here — matching the pop-the-minimum reasoning
         // of the fully-live case.
-        let next = if self.cfg.forwarding_enabled {
-            self.req_queue.head()
+        let next = if self.cold.cfg.forwarding_enabled {
+            self.cold.req_queue.head()
         } else {
             None
         };
@@ -1016,12 +1053,12 @@ impl DelayOptimal {
         if self.lock != Some(req) {
             // Early return: `req` got our permission via a forward we have
             // not heard about yet (see [`EarlyReturn`]).
-            self.early_returns.insert(req, EarlyReturn::Yielded);
+            self.cold.early_returns.insert(req, EarlyReturn::Yielded);
             return;
         }
         // Re-queue the yielder, then grant the highest-priority request
         // (which may be the yielder itself if it is in fact the minimum).
-        self.req_queue.insert(req);
+        self.cold.req_queue.insert(req);
         self.grant_next(fx);
     }
 
@@ -1032,11 +1069,11 @@ impl DelayOptimal {
     /// slow link cannot deliver a positive claim to a permission that has
     /// already been granted to someone else.
     fn arb_claim(&mut self, from: SiteId, holds: Option<Timestamp>, fx: &mut Effects<Msg>) {
-        self.rejoin_awaiting.remove(from);
+        self.cold.rejoin_awaiting.remove(from);
         let Some(req) = holds else {
             return; // answer recorded; nothing claimed
         };
-        if req.site != from || self.confirmed_failed.contains(from) {
+        if req.site != from || self.cold.confirmed_failed.contains(from) {
             return;
         }
         if self.lock == Some(req) {
@@ -1046,7 +1083,7 @@ impl DelayOptimal {
             // Re-establish the pre-crash grant. During the rejoin window
             // this is the expected path; outside it, it can only mean the
             // permission is genuinely free (nothing was granted since).
-            self.req_queue.remove(&req);
+            self.cold.req_queue.remove(&req);
             self.lock = Some(req);
         } else {
             // Conflict: the permission is already held — possible only
@@ -1071,7 +1108,7 @@ impl DelayOptimal {
         if req.site != from {
             return;
         }
-        self.req_queue.remove(&req);
+        self.cold.req_queue.remove(&req);
         if self.lock == Some(req) {
             self.grant_next(fx);
         } else {
@@ -1087,7 +1124,9 @@ impl DelayOptimal {
             // in flight the entry is simply never consumed: `req`'s
             // timestamp left the queue for good, so no future chain can
             // name it.
-            self.early_returns.insert(req, EarlyReturn::Relinquished);
+            self.cold
+                .early_returns
+                .insert(req, EarlyReturn::Relinquished);
         }
     }
 
@@ -1100,7 +1139,7 @@ impl DelayOptimal {
     }
 
     fn has_all_replies(&self) -> bool {
-        self.req_set_bits.is_subset(&self.replied)
+        self.cold.req_set_bits.is_subset(&self.cold.replied)
     }
 
     /// A.6: a reply (direct or forwarded) arrives.
@@ -1124,20 +1163,21 @@ impl DelayOptimal {
         if self.phase != RequesterPhase::Waiting {
             return; // duplicate grant while already in the CS: harmless
         }
-        self.replied.insert(arbiter);
+        self.cold.replied.insert(arbiter);
         if let Some(b) = transfer {
             self.push_transfer(arbiter, b);
         }
         // A.6: re-examine inquires that arrived before this reply. The
         // queue is empty on the uncontended path — skip the collect then.
-        if !self.inq_queue.is_empty() {
+        if !self.cold.inq_queue.is_empty() {
             let deferred: Vec<PendingInquire> = self
+                .cold
                 .inq_queue
                 .iter()
                 .filter(|p| p.arbiter == arbiter)
                 .copied()
                 .collect();
-            self.inq_queue.retain(|p| p.arbiter != arbiter);
+            self.cold.inq_queue.retain(|p| p.arbiter != arbiter);
             for p in deferred {
                 self.req_inquire(p.arbiter, p.holder_req, p.transfer, fx);
             }
@@ -1153,13 +1193,13 @@ impl DelayOptimal {
             self.deadline = None;
             // Pending inquires are answered by the release we will send on
             // exit; the paper drops them here.
-            self.inq_queue.clear();
+            self.cold.inq_queue.clear();
             fx.enter_cs();
         }
     }
 
     fn push_transfer(&mut self, arbiter: SiteId, beneficiary: Timestamp) {
-        self.tran_stack.push(TranEntry {
+        self.cold.tran_stack.push(TranEntry {
             arbiter,
             beneficiary,
         });
@@ -1179,7 +1219,7 @@ impl DelayOptimal {
         // timestamp guard additionally rejects cross-request races).
         if !self.is_current(holder_req)
             || self.phase == RequesterPhase::Idle
-            || !self.replied.contains(arbiter)
+            || !self.cold.replied.contains(arbiter)
         {
             return; // outdated transfer: discard (A.5)
         }
@@ -1202,17 +1242,17 @@ impl DelayOptimal {
             // send on exit answers the inquire. The piggybacked transfer is
             // still live — record it so exit forwards our reply.
             if let Some(b) = transfer {
-                if self.replied.contains(arbiter) {
+                if self.cold.replied.contains(arbiter) {
                     self.push_transfer(arbiter, b);
                 }
             }
             return;
         }
-        if !self.replied.contains(arbiter) {
+        if !self.cold.replied.contains(arbiter) {
             // Inquire outran the reply (possible: the reply may be forwarded
             // through a proxy on a different channel). Defer, keeping the
             // piggybacked transfer (re-dispatched by A.6/A.7).
-            self.inq_queue.push(PendingInquire {
+            self.cold.inq_queue.push(PendingInquire {
                 arbiter,
                 holder_req,
                 transfer,
@@ -1228,7 +1268,7 @@ impl DelayOptimal {
         } else {
             // Still hopeful (no fail received, no yield sent): hold on. If a
             // fail arrives later, A.7 revisits this entry and yields then.
-            self.inq_queue.push(PendingInquire {
+            self.cold.inq_queue.push(PendingInquire {
                 arbiter,
                 holder_req,
                 transfer: None, // transfer already recorded above
@@ -1238,11 +1278,11 @@ impl DelayOptimal {
 
     fn do_yield(&mut self, arbiter: SiteId, fx: &mut Effects<Msg>) {
         let req = self.my_req.expect("yield requires an outstanding request");
-        self.replied.remove(arbiter);
+        self.cold.replied.remove(arbiter);
         self.failed = true; // sending a yield sets `failed` (§3.1)
                             // Transfers received on behalf of this arbiter are void: we no
                             // longer hold its permission (A.3).
-        self.tran_stack.retain(|e| e.arbiter != arbiter);
+        self.cold.tran_stack.retain(|e| e.arbiter != arbiter);
         self.route(fx, arbiter, Body::Yield { req });
     }
 
@@ -1254,7 +1294,7 @@ impl DelayOptimal {
         let _ = arbiter;
         self.failed = true;
         // Revisit deferred inquires: with `failed` now set they yield.
-        let deferred = std::mem::take(&mut self.inq_queue);
+        let deferred = std::mem::take(&mut self.cold.inq_queue);
         for p in deferred {
             self.req_inquire(p.arbiter, p.holder_req, p.transfer, fx);
         }
@@ -1272,14 +1312,14 @@ impl DelayOptimal {
         if let Some(req) = self.my_req {
             // Index loop: `route` never touches `req_set`, and indexing
             // avoids cloning the quorum on every withdrawal.
-            for i in 0..self.req_set.len() {
-                let a = self.req_set[i];
+            for i in 0..self.cold.req_set.len() {
+                let a = self.cold.req_set[i];
                 self.route(fx, a, Body::Relinquish { req });
             }
         }
-        self.replied.clear();
-        self.tran_stack.clear();
-        self.inq_queue.clear();
+        self.cold.replied.clear();
+        self.cold.tran_stack.clear();
+        self.cold.inq_queue.clear();
         self.failed = false;
         self.my_req = None;
         self.phase = RequesterPhase::Idle;
@@ -1311,14 +1351,14 @@ impl DelayOptimal {
             return false;
         }
         if let Some(req) = self.my_req {
-            for i in 0..self.req_set.len() {
-                let a = self.req_set[i];
+            for i in 0..self.cold.req_set.len() {
+                let a = self.cold.req_set[i];
                 self.route(fx, a, Body::Abandon { req });
             }
         }
-        self.replied.clear();
-        self.tran_stack.clear();
-        self.inq_queue.clear();
+        self.cold.replied.clear();
+        self.cold.tran_stack.clear();
+        self.cold.inq_queue.clear();
         self.failed = false;
         self.my_req = None;
         self.phase = RequesterPhase::Idle;
@@ -1328,17 +1368,17 @@ impl DelayOptimal {
     }
 
     fn refresh_quorum(&mut self) -> bool {
-        let Some(source) = self.quorum_source.as_mut() else {
+        let Some(source) = self.cold.quorum_source.as_mut() else {
             // Fixed quorum containing a failed member: inaccessible.
             self.inaccessible = true;
             return false;
         };
         // `QuorumSource` is an API boundary with observable ordered-set
         // semantics; the conversion only runs on the cold failure path.
-        match source.quorum_avoiding(self.site, &self.known_failed.to_btree()) {
+        match source.quorum_avoiding(self.site, &self.cold.known_failed.to_btree()) {
             Some(q) => {
-                self.req_set_bits = q.iter().copied().collect();
-                self.req_set = q;
+                self.cold.req_set_bits = q.iter().copied().collect();
+                self.cold.req_set = q;
                 self.inaccessible = false;
                 true
             }
@@ -1355,10 +1395,14 @@ impl DelayOptimal {
         if !self.inaccessible {
             return;
         }
-        if self.quorum_source.is_some() {
+        if self.cold.quorum_source.is_some() {
             self.refresh_quorum();
         } else {
-            self.inaccessible = self.req_set.iter().any(|m| self.known_failed.contains(*m));
+            self.inaccessible = self
+                .cold
+                .req_set
+                .iter()
+                .any(|m| self.cold.known_failed.contains(*m));
         }
     }
 
@@ -1368,7 +1412,14 @@ impl DelayOptimal {
         if !self.want_cs || self.inaccessible || self.phase != RequesterPhase::Idle {
             return;
         }
-        if self.req_set.iter().any(|m| self.known_failed.contains(*m)) && !self.refresh_quorum() {
+        if (self.cold.req_set.is_empty()
+            || self
+                .cold
+                .req_set
+                .iter()
+                .any(|m| self.cold.known_failed.contains(*m)))
+            && !self.refresh_quorum()
+        {
             return; // still no live quorum; stay parked
         }
         self.want_cs = false;
@@ -1383,12 +1434,12 @@ impl DelayOptimal {
         };
         self.my_req = Some(ts);
         self.phase = RequesterPhase::Waiting;
-        self.replied.clear();
+        self.cold.replied.clear();
         self.failed = false;
-        self.inq_queue.clear();
-        self.tran_stack.clear();
-        for i in 0..self.req_set.len() {
-            let j = self.req_set[i];
+        self.cold.inq_queue.clear();
+        self.cold.tran_stack.clear();
+        for i in 0..self.cold.req_set.len() {
+            let j = self.cold.req_set[i];
             self.route(fx, j, Body::Request { ts });
         }
         self.maybe_enter(fx); // degenerate singleton quorum {self}
@@ -1417,8 +1468,16 @@ impl Protocol for DelayOptimal {
         // restoration would leave this site waiting forever on a reply it
         // never asked for. Reconstruct the quorum around the suspects
         // first (§6 step 1); with no live quorum the request parks until
-        // accessibility returns.
-        if self.req_set.iter().any(|m| self.known_failed.contains(*m)) && !self.refresh_quorum() {
+        // accessibility returns. An empty `req_set` is a lazily
+        // initialized site's first request: construct the quorum now.
+        if (self.cold.req_set.is_empty()
+            || self
+                .cold
+                .req_set
+                .iter()
+                .any(|m| self.cold.known_failed.contains(*m)))
+            && !self.refresh_quorum()
+        {
             self.want_cs = true;
             return;
         }
@@ -1436,11 +1495,11 @@ impl Protocol for DelayOptimal {
         // arbiter.
         let mut forwarded: Vec<(SiteId, Timestamp)> = Vec::new();
         let mut seen = SiteSet::new();
-        while let Some(e) = self.tran_stack.pop() {
-            if !self.cfg.forwarding_enabled {
+        while let Some(e) = self.cold.tran_stack.pop() {
+            if !self.cold.cfg.forwarding_enabled {
                 continue;
             }
-            if self.known_failed.contains(e.beneficiary.site) {
+            if self.cold.known_failed.contains(e.beneficiary.site) {
                 continue; // §6 case 2: dead beneficiaries are purged
             }
             if seen.insert(e.arbiter) {
@@ -1458,8 +1517,8 @@ impl Protocol for DelayOptimal {
         }
 
         // C.2: tell every arbiter whether its permission was forwarded.
-        for i in 0..self.req_set.len() {
-            let j = self.req_set[i];
+        for i in 0..self.cold.req_set.len() {
+            let j = self.cold.req_set[i];
             let fwd = forwarded.iter().find(|(a, _)| *a == j).map(|(_, b)| *b);
             self.route(
                 fx,
@@ -1473,10 +1532,10 @@ impl Protocol for DelayOptimal {
 
         self.phase = RequesterPhase::Idle;
         self.my_req = None;
-        self.replied.clear();
+        self.cold.replied.clear();
         self.failed = false;
-        self.inq_queue.clear();
-        self.tran_stack.clear();
+        self.cold.inq_queue.clear();
+        self.cold.tran_stack.clear();
         self.pump(fx);
     }
 
@@ -1531,19 +1590,19 @@ impl Protocol for DelayOptimal {
     /// here may a lock held by the failed site be reclaimed and re-granted;
     /// mere suspicion ([`Protocol::on_site_suspected`]) never does that.
     fn on_site_failure(&mut self, failed: SiteId, fx: &mut Effects<Msg>) {
-        if failed == self.site || !self.confirmed_failed.insert(failed) {
+        if failed == self.site || !self.cold.confirmed_failed.insert(failed) {
             return;
         }
-        self.known_failed.insert(failed);
+        self.cold.known_failed.insert(failed);
         // A confirmed-dead peer can no longer answer a rejoin.
-        self.rejoin_awaiting.remove(failed);
+        self.cold.rejoin_awaiting.remove(failed);
 
         // --- Arbiter-side cleanup -------------------------------------
         // Case 1: the failed site's request sits in our req_queue.
-        let was_head = self.req_queue.head().is_some_and(|h| h.site == failed);
-        let removed = self.req_queue.remove_site(failed);
+        let was_head = self.cold.req_queue.head().is_some_and(|h| h.site == failed);
+        let removed = self.cold.req_queue.remove_site(failed);
         if was_head && !removed.is_empty() {
-            if let (Some(lock), Some(new_head)) = (self.lock, self.req_queue.head()) {
+            if let (Some(lock), Some(new_head)) = (self.lock, self.cold.req_queue.head()) {
                 if lock.site != failed {
                     // The dead request was next in line: point the holder at
                     // the new head instead (§6 case 1).
@@ -1562,11 +1621,13 @@ impl Protocol for DelayOptimal {
         // --- Holder-side cleanup (§6 case 2) ---------------------------
         // Drop transfer obligations benefiting the dead site, and forget
         // permissions supposedly granted by it.
-        self.tran_stack.retain(|e| e.beneficiary.site != failed);
-        self.inq_queue.retain(|p| p.arbiter != failed);
+        self.cold
+            .tran_stack
+            .retain(|e| e.beneficiary.site != failed);
+        self.cold.inq_queue.retain(|p| p.arbiter != failed);
 
         // --- Requester-side: quorum reconstruction (§6 step 1) ---------
-        if self.req_set.contains(&failed) && self.phase != RequesterPhase::InCs {
+        if self.cold.req_set.contains(&failed) && self.phase != RequesterPhase::InCs {
             let wanted = self.phase == RequesterPhase::Waiting;
             // Withdraw from the OLD quorum first, then reconstruct.
             self.withdraw_current(fx);
@@ -1588,13 +1649,13 @@ impl Protocol for DelayOptimal {
     /// detector's confirmed [`Protocol::on_site_failure`] (or the
     /// suspect's own rejoin, which proves its old grant is abandoned).
     fn on_site_suspected(&mut self, site: SiteId, fx: &mut Effects<Msg>) {
-        if site == self.site || !self.known_failed.insert(site) {
+        if site == self.site || !self.cold.known_failed.insert(site) {
             return;
         }
         // Requester-side quorum reconstruction (§6 step 1). Relinquishes
         // to the suspect itself are withheld by `route` and flushed on
         // restoration.
-        if self.req_set.contains(&site) && self.phase != RequesterPhase::InCs {
+        if self.cold.req_set.contains(&site) && self.phase != RequesterPhase::InCs {
             let wanted = self.phase == RequesterPhase::Waiting;
             self.withdraw_current(fx);
             if wanted {
@@ -1623,11 +1684,11 @@ impl Protocol for DelayOptimal {
     /// waiting on requests we no longer have, and (4) grant our own
     /// permission if it stalled parked behind the suspicion.
     fn on_site_restored(&mut self, site: SiteId, fx: &mut Effects<Msg>) {
-        if !self.known_failed.remove(site) {
+        if !self.cold.known_failed.remove(site) {
             return;
         }
-        self.confirmed_failed.remove(site);
-        if let Some(reqs) = self.withheld.take(site) {
+        self.cold.confirmed_failed.remove(site);
+        if let Some(reqs) = self.cold.withheld.take(site) {
             for req in reqs {
                 self.route(fx, site, Body::Relinquish { req });
             }
@@ -1636,7 +1697,7 @@ impl Protocol for DelayOptimal {
         self.unpark_want(fx);
         // Un-stall the arbiter: requests parked while their senders were
         // suspected become grantable again.
-        if !self.rejoining && self.lock.is_none() && !self.req_queue.is_empty() {
+        if !self.rejoining && self.lock.is_none() && !self.cold.req_queue.is_empty() {
             self.grant_next(fx);
         }
         self.pump(fx);
@@ -1648,32 +1709,32 @@ impl Protocol for DelayOptimal {
         let _ = incarnation; // used by the transport layer, not here
                              // The rejoiner lost its requester state: its old requests will
                              // never be released or withdrawn. Purge them from our arbiter.
-        let _ = self.req_queue.remove_site(site);
+        let _ = self.cold.req_queue.remove_site(site);
         if self.lock.is_some_and(|l| l.site == site) {
             self.grant_next(fx);
         }
-        self.early_returns.retain(|k, _| k.site != site);
-        self.tran_stack.retain(|e| e.beneficiary.site != site);
-        self.inq_queue.retain(|p| p.arbiter != site);
+        self.cold.early_returns.retain(|k, _| k.site != site);
+        self.cold.tran_stack.retain(|e| e.beneficiary.site != site);
+        self.cold.inq_queue.retain(|p| p.arbiter != site);
 
         // Reintegrate (the withheld returns are moot: the fresh arbiter
         // has no queue to unwedge).
-        self.known_failed.remove(site);
-        self.confirmed_failed.remove(site);
-        self.withheld.discard(site);
+        self.cold.known_failed.remove(site);
+        self.cold.confirmed_failed.remove(site);
+        self.cold.withheld.discard(site);
         self.recompute_accessibility();
         self.unpark_want(fx);
         // A restarted peer has nothing to claim against our own rejoin.
-        self.rejoin_awaiting.remove(site);
+        self.cold.rejoin_awaiting.remove(site);
         // Purging its queued requests may also un-stall our arbiter.
-        if !self.rejoining && self.lock.is_none() && !self.req_queue.is_empty() {
+        if !self.rejoining && self.lock.is_none() && !self.cold.req_queue.is_empty() {
             self.grant_next(fx);
         }
 
         // Answer the resync: EVERY peer reports, even with nothing to
         // claim, because the rejoined arbiter refuses to grant until all
         // its peers have answered (see `Body::Claim`).
-        let holds = if self.phase != RequesterPhase::Idle && self.replied.contains(site) {
+        let holds = if self.phase != RequesterPhase::Idle && self.cold.replied.contains(site) {
             self.my_req
         } else {
             None
@@ -1682,7 +1743,9 @@ impl Protocol for DelayOptimal {
         // Our request sat in its (lost) queue: re-issue it. FIFO transport
         // delivers the answer first, so the re-issued request lands in the
         // rejoiner's queue after the claim is accounted.
-        if holds.is_none() && self.req_set.contains(&site) && self.phase == RequesterPhase::Waiting
+        if holds.is_none()
+            && self.cold.req_set.contains(&site)
+            && self.phase == RequesterPhase::Waiting
         {
             if let Some(my_req) = self.my_req {
                 self.route(fx, site, Body::Request { ts: my_req });
@@ -1698,7 +1761,8 @@ impl Protocol for DelayOptimal {
     /// [`Protocol::rejoin_pending`] still reports unanswered peers).
     fn on_recover(&mut self, fx: &mut Effects<Msg>) {
         self.rejoining = true;
-        self.rejoin_awaiting = self
+        self.cold.rejoin_awaiting = self
+            .cold
             .peer_universe
             .iter()
             .copied()
@@ -1711,7 +1775,7 @@ impl Protocol for DelayOptimal {
     /// the detector's grace timer expired): resume arbitration.
     fn on_rejoin_complete(&mut self, fx: &mut Effects<Msg>) {
         self.rejoining = false;
-        self.rejoin_awaiting.clear();
+        self.cold.rejoin_awaiting.clear();
         if self.lock.is_none() {
             // Resolve pre-crash forward chains that were parked during the
             // window: a holder that exited while we were down may have
@@ -1720,17 +1784,18 @@ impl Protocol for DelayOptimal {
             // answer, which rides the same FIFO channel). The live holder
             // — if any — is a forward target that never itself returned
             // the permission.
-            let returned: BTreeSet<Timestamp> = self.early_returns.keys().copied().collect();
+            let returned: BTreeSet<Timestamp> = self.cold.early_returns.keys().copied().collect();
             let tail = self
+                .cold
                 .early_returns
                 .values()
                 .filter_map(|e| match e {
                     EarlyReturn::Released { forwarded_to } => *forwarded_to,
                     _ => None,
                 })
-                .find(|t| !returned.contains(t) && !self.confirmed_failed.contains(t.site));
+                .find(|t| !returned.contains(t) && !self.cold.confirmed_failed.contains(t.site));
             if let Some(t) = tail {
-                self.req_queue.remove(&t);
+                self.cold.req_queue.remove(&t);
                 self.lock = Some(t);
             }
             // A free lock at window close means every forward chain has
@@ -1741,7 +1806,7 @@ impl Protocol for DelayOptimal {
             // lock, by contrast, may still have an in-flight forward
             // notification racing a parked return — leave the map alone
             // then, exactly as in normal operation.
-            self.early_returns.clear();
+            self.cold.early_returns.clear();
         }
         // Replay the parked requests as if they arrived now. The grace
         // window's `arb_request` arm enqueues without answering, but the
@@ -1753,9 +1818,9 @@ impl Protocol for DelayOptimal {
         // other forever. Replaying in priority order reproduces the
         // arrival-time messages exactly (the winner first, so every later
         // request sees the lock it loses to).
-        let parked: Vec<Timestamp> = self.req_queue.iter().copied().collect();
+        let parked: Vec<Timestamp> = self.cold.req_queue.iter().copied().collect();
         for r in &parked {
-            self.req_queue.remove(r);
+            self.cold.req_queue.remove(r);
         }
         for r in parked {
             self.arb_request(r, fx);
@@ -1764,11 +1829,11 @@ impl Protocol for DelayOptimal {
     }
 
     fn rejoin_pending(&self) -> bool {
-        self.rejoining && !self.rejoin_awaiting.is_empty()
+        self.rejoining && !self.cold.rejoin_awaiting.is_empty()
     }
 
     fn set_peer_universe(&mut self, peers: &[SiteId]) {
-        self.peer_universe = peers.iter().copied().filter(|&p| p != self.site).collect();
+        self.cold.peer_universe = peers.iter().copied().filter(|&p| p != self.site).collect();
     }
 }
 

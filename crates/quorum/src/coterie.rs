@@ -112,19 +112,38 @@ impl QuorumSystem {
     /// Checks the Intersection Property: every pair of quorums shares a
     /// site. Returns the first violating pair if any.
     ///
+    /// Up to [`EXHAUSTIVE_MAX`] sites every `n·(n−1)/2` pair is tested.
+    /// Beyond that an all-pairs scan is `O(n²·√n)` — minutes at `n = 10⁴`,
+    /// which used to stall any CLI run that validated its quorum spec — so
+    /// the check degrades to [`SAMPLED_PAIRS`] deterministically chosen
+    /// pairs: `Ok` then means "no sampled pair violates", a spot-check, not
+    /// a proof. Constructions carry proofs for all `n`; this guards against
+    /// implementation bugs, which corrupt far more than one pair in
+    /// practice and so are still caught with overwhelming probability.
+    ///
     /// # Errors
     ///
     /// Returns a [`PropertyViolation`] naming two sites whose quorums are
     /// disjoint.
     pub fn verify_intersection(&self) -> Result<(), PropertyViolation> {
-        for i in 0..self.n {
-            for j in (i + 1)..self.n {
-                if !intersects(&self.quorums[i], &self.quorums[j]) {
-                    return Err(PropertyViolation {
-                        a: SiteId(i as u32),
-                        b: SiteId(j as u32),
-                    });
+        let check = |i: usize, j: usize| -> Result<(), PropertyViolation> {
+            if !intersects(&self.quorums[i], &self.quorums[j]) {
+                return Err(PropertyViolation {
+                    a: SiteId(i as u32),
+                    b: SiteId(j as u32),
+                });
+            }
+            Ok(())
+        };
+        if self.n <= EXHAUSTIVE_MAX {
+            for i in 0..self.n {
+                for j in (i + 1)..self.n {
+                    check(i, j)?;
                 }
+            }
+        } else {
+            for (i, j) in sampled_pairs(self.n, SAMPLED_PAIRS) {
+                check(i, j)?;
             }
         }
         Ok(())
@@ -134,27 +153,66 @@ impl QuorumSystem {
     /// strictly contains another. (Not required for correctness — §2 — but
     /// reported for efficiency analysis.)
     ///
+    /// Samples above [`EXHAUSTIVE_MAX`] sites exactly like
+    /// [`verify_intersection`](QuorumSystem::verify_intersection); both
+    /// orders of each sampled pair are tested.
+    ///
     /// # Errors
     ///
     /// Returns a [`PropertyViolation`] naming sites whose quorums are in a
     /// strict superset relation.
     pub fn verify_minimality(&self) -> Result<(), PropertyViolation> {
-        for i in 0..self.n {
-            for j in 0..self.n {
-                if i == j {
-                    continue;
+        let check = |i: usize, j: usize| -> Result<(), PropertyViolation> {
+            let (a, b) = (&self.quorums[i], &self.quorums[j]);
+            if a.len() < b.len() && is_subset(a, b) {
+                return Err(PropertyViolation {
+                    a: SiteId(i as u32),
+                    b: SiteId(j as u32),
+                });
+            }
+            Ok(())
+        };
+        if self.n <= EXHAUSTIVE_MAX {
+            for i in 0..self.n {
+                for j in 0..self.n {
+                    if i != j {
+                        check(i, j)?;
+                    }
                 }
-                let (a, b) = (&self.quorums[i], &self.quorums[j]);
-                if a.len() < b.len() && is_subset(a, b) {
-                    return Err(PropertyViolation {
-                        a: SiteId(i as u32),
-                        b: SiteId(j as u32),
-                    });
-                }
+            }
+        } else {
+            for (i, j) in sampled_pairs(self.n, SAMPLED_PAIRS) {
+                check(i, j)?;
+                check(j, i)?;
             }
         }
         Ok(())
     }
+}
+
+/// Largest site count for which the `verify_*` checks test every pair.
+pub const EXHAUSTIVE_MAX: usize = 2048;
+
+/// Number of site pairs the `verify_*` checks sample beyond
+/// [`EXHAUSTIVE_MAX`].
+pub const SAMPLED_PAIRS: usize = 100_000;
+
+/// `count` deterministic pseudo-random pairs `(i, j)` with `i < j < n`
+/// (fixed-seed LCG: verification results are reproducible run to run).
+fn sampled_pairs(n: usize, count: usize) -> impl Iterator<Item = (usize, usize)> {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move |bound: usize| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) % bound as u64) as usize
+    };
+    (0..count).map(move |_| loop {
+        let (i, j) = (next(n), next(n));
+        if i != j {
+            break (i.min(j), i.max(j));
+        }
+    })
 }
 
 /// Whether two sorted site lists share an element.
@@ -249,6 +307,51 @@ mod tests {
     #[should_panic(expected = "outside universe")]
     fn out_of_universe_panics() {
         let _ = QuorumSystem::new(1, vec![s(&[1])]);
+    }
+
+    #[test]
+    fn sampled_verification_is_fast_and_catches_planted_violations() {
+        // Above EXHAUSTIVE_MAX the checks sample; a healthy large system
+        // passes quickly (all-pairs would be ~10⁷ pair tests here).
+        let n = EXHAUSTIVE_MAX + 1000;
+        let majority: Vec<SiteId> = (0..n / 2 + 1).map(|i| SiteId(i as u32)).collect();
+        let healthy = QuorumSystem::new(n, vec![majority; n]);
+        assert!(healthy.verify_intersection().is_ok());
+        assert!(healthy.verify_minimality().is_ok());
+
+        // Gross violations (the realistic failure mode of a buggy
+        // construction) land in the sample with overwhelming probability:
+        // here the two halves of the universe get disjoint quorums.
+        let broken = QuorumSystem::new(
+            n,
+            (0..n)
+                .map(|i| vec![SiteId(if i < n / 2 { 0 } else { 1 })])
+                .collect(),
+        );
+        assert!(broken.verify_intersection().is_err());
+
+        // Minimality: half the sites use a strict subset of the others'.
+        let nonminimal = QuorumSystem::new(
+            n,
+            (0..n)
+                .map(|i| {
+                    if i < n / 2 {
+                        vec![SiteId(0)]
+                    } else {
+                        vec![SiteId(0), SiteId(1)]
+                    }
+                })
+                .collect(),
+        );
+        assert!(nonminimal.verify_minimality().is_err());
+    }
+
+    #[test]
+    fn sampled_pairs_are_deterministic_and_in_range() {
+        let a: Vec<(usize, usize)> = sampled_pairs(5000, 100).collect();
+        let b: Vec<(usize, usize)> = sampled_pairs(5000, 100).collect();
+        assert_eq!(a, b, "same seed, same pairs");
+        assert!(a.iter().all(|&(i, j)| i < j && j < 5000));
     }
 
     #[test]

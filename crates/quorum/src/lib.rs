@@ -57,4 +57,6 @@ pub mod tree;
 pub mod wheel;
 
 pub use coterie::QuorumSystem;
+pub use fpp::FppQuorumSource;
+pub use grid::GridQuorumSource;
 pub use tree::TreeQuorumSource;

@@ -45,14 +45,18 @@ pub enum SchedulerKind {
     Heap,
     /// The calendar-queue scheduler (default).
     Calendar,
+    /// The hierarchical timer wheel (the large-N scheduler).
+    Wheel,
 }
 
 impl SchedulerKind {
-    /// Parses `"heap"` / `"calendar"`; `None` for anything else.
+    /// Parses `"heap"` / `"calendar"` / `"wheel"`; `None` for anything
+    /// else.
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "heap" => Some(SchedulerKind::Heap),
             "calendar" => Some(SchedulerKind::Calendar),
+            "wheel" => Some(SchedulerKind::Wheel),
             _ => None,
         }
     }
@@ -62,13 +66,15 @@ impl SchedulerKind {
         match self {
             SchedulerKind::Heap => "heap",
             SchedulerKind::Calendar => "calendar",
+            SchedulerKind::Wheel => "wheel",
         }
     }
 
-    /// Reads the `QMX_SCHEDULER` environment variable (`heap` or
-    /// `calendar`), defaulting to [`SchedulerKind::Calendar`] when unset.
-    /// This is how CI runs the *entire* golden-counter test suite under
-    /// both schedulers without code changes.
+    /// Reads the `QMX_SCHEDULER` environment variable (`heap`,
+    /// `calendar`, or `wheel`), defaulting to
+    /// [`SchedulerKind::Calendar`] when unset. This is how CI runs the
+    /// *entire* golden-counter test suite under every scheduler without
+    /// code changes.
     ///
     /// # Panics
     ///
@@ -76,8 +82,9 @@ impl SchedulerKind {
     /// loudly, not silently fall back to the default.
     pub fn from_env() -> Self {
         match std::env::var("QMX_SCHEDULER") {
-            Ok(v) => Self::parse(&v)
-                .unwrap_or_else(|| panic!("QMX_SCHEDULER must be 'heap' or 'calendar', got '{v}'")),
+            Ok(v) => Self::parse(&v).unwrap_or_else(|| {
+                panic!("QMX_SCHEDULER must be 'heap', 'calendar', or 'wheel', got '{v}'")
+            }),
             Err(_) => SchedulerKind::Calendar,
         }
     }
@@ -494,6 +501,8 @@ pub enum EventQueue<T> {
     Heap(HeapScheduler<T>),
     /// Calendar queue.
     Calendar(CalendarScheduler<T>),
+    /// Hierarchical timer wheel.
+    Wheel(crate::timer_wheel::WheelScheduler<T>),
 }
 
 impl<T: Timed + Ord> EventQueue<T> {
@@ -504,6 +513,9 @@ impl<T: Timed + Ord> EventQueue<T> {
             SchedulerKind::Calendar => {
                 EventQueue::Calendar(CalendarScheduler::with_capacity(capacity))
             }
+            SchedulerKind::Wheel => {
+                EventQueue::Wheel(crate::timer_wheel::WheelScheduler::with_capacity(capacity))
+            }
         }
     }
 }
@@ -513,6 +525,7 @@ impl<T: Timed + Ord> Scheduler<T> for EventQueue<T> {
         match self {
             EventQueue::Heap(q) => q.push(item),
             EventQueue::Calendar(q) => q.push(item),
+            EventQueue::Wheel(q) => q.push(item),
         }
     }
 
@@ -520,6 +533,7 @@ impl<T: Timed + Ord> Scheduler<T> for EventQueue<T> {
         match self {
             EventQueue::Heap(q) => q.pop(),
             EventQueue::Calendar(q) => q.pop(),
+            EventQueue::Wheel(q) => q.pop(),
         }
     }
 
@@ -527,6 +541,7 @@ impl<T: Timed + Ord> Scheduler<T> for EventQueue<T> {
         match self {
             EventQueue::Heap(q) => q.len(),
             EventQueue::Calendar(q) => q.len(),
+            EventQueue::Wheel(q) => q.len(),
         }
     }
 
@@ -534,6 +549,7 @@ impl<T: Timed + Ord> Scheduler<T> for EventQueue<T> {
         match self {
             EventQueue::Heap(q) => q.bulk_load(items),
             EventQueue::Calendar(q) => q.bulk_load(items),
+            EventQueue::Wheel(q) => q.bulk_load(items),
         }
     }
 }
@@ -569,7 +585,11 @@ mod tests {
 
     #[test]
     fn kind_parsing_round_trips() {
-        for kind in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+        for kind in [
+            SchedulerKind::Heap,
+            SchedulerKind::Calendar,
+            SchedulerKind::Wheel,
+        ] {
             assert_eq!(SchedulerKind::parse(kind.label()), Some(kind));
         }
         assert_eq!(SchedulerKind::parse("splay"), None);

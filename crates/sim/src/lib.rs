@@ -67,6 +67,7 @@ pub mod metrics;
 pub mod partition;
 pub mod sim;
 mod sites;
+pub mod timer_wheel;
 pub mod trace;
 
 pub use calendar::{CalendarScheduler, EventQueue, HeapScheduler, Scheduler, SchedulerKind, Timed};
@@ -74,6 +75,7 @@ pub use delay::DelayModel;
 pub use metrics::{CsRecord, Metrics};
 pub use partition::PartitionModel;
 pub use sim::{RetryPolicy, SimConfig, Simulator};
+pub use timer_wheel::WheelScheduler;
 pub use trace::{Trace, TraceEvent};
 
 // Fault-injection vocabulary (defined in `qmx-core` so the threaded

@@ -15,7 +15,26 @@
 //! cuts on this model, so overlapping and repeated partitions now behave
 //! additively instead of silently overwriting each other.
 
+use std::collections::BTreeSet;
+
 use qmx_core::SiteId;
+
+/// Largest site count that keeps the dense `n × n` boolean matrix: 2048²
+/// = 4 MB. Beyond it (the large-N engine's territory) cut links live in
+/// a sorted set instead — cut sets are tiny relative to `n²`, and the
+/// `active == 0` short-circuit keeps the fully-connected hot path free
+/// in both representations.
+const DENSE_SITES_MAX: usize = 2048;
+
+/// Link-cut storage: dense matrix for small systems, sparse sorted set
+/// (deterministic iteration and `Debug`) for large ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CutSet {
+    /// Flat `n * n` matrix indexed `src * n + dst`; `true` = cut.
+    Dense(Vec<bool>),
+    /// Set of `src * n + dst` keys of cut links.
+    Sparse(BTreeSet<u64>),
+}
 
 /// Per-ordered-pair link state for `n` sites: `cut(src, dst)` means
 /// messages from `src` to `dst` are dropped, while `dst → src` traffic is
@@ -23,21 +42,26 @@ use qmx_core::SiteId;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionModel {
     n: usize,
-    /// Flat `n * n` matrix indexed `src * n + dst`; `true` = cut.
-    cut: Vec<bool>,
-    /// Number of `true` entries, so the hot-path reachability check can
-    /// short-circuit to "fully connected" without touching the matrix.
+    cut: CutSet,
+    /// Number of cut links, so the hot-path reachability check can
+    /// short-circuit to "fully connected" without touching the storage.
     active: usize,
 }
 
 impl PartitionModel {
     /// A fully connected network over `n` sites.
     pub fn new(n: usize) -> Self {
-        PartitionModel {
-            n,
-            cut: vec![false; n * n],
-            active: 0,
-        }
+        let cut = if n <= DENSE_SITES_MAX {
+            CutSet::Dense(vec![false; n * n])
+        } else {
+            CutSet::Sparse(BTreeSet::new())
+        };
+        PartitionModel { n, cut, active: 0 }
+    }
+
+    #[inline]
+    fn key(&self, src: SiteId, dst: SiteId) -> u64 {
+        src.index() as u64 * self.n as u64 + dst.index() as u64
     }
 
     /// Number of sites.
@@ -48,7 +72,11 @@ impl PartitionModel {
     /// Whether the directed link `src → dst` is currently cut.
     #[inline]
     pub fn is_cut(&self, src: SiteId, dst: SiteId) -> bool {
-        self.active != 0 && self.cut[src.index() * self.n + dst.index()]
+        self.active != 0
+            && match &self.cut {
+                CutSet::Dense(m) => m[src.index() * self.n + dst.index()],
+                CutSet::Sparse(s) => s.contains(&self.key(src, dst)),
+            }
     }
 
     /// Whether any link is currently cut.
@@ -65,10 +93,17 @@ impl PartitionModel {
     /// previously alive (idempotent: re-cutting an already-cut link is a
     /// no-op and returns `false`).
     pub fn cut(&mut self, src: SiteId, dst: SiteId) -> bool {
-        let slot = &mut self.cut[src.index() * self.n + dst.index()];
-        let newly = !*slot;
+        let key = self.key(src, dst);
+        let newly = match &mut self.cut {
+            CutSet::Dense(m) => {
+                let slot = &mut m[key as usize];
+                let newly = !*slot;
+                *slot = true;
+                newly
+            }
+            CutSet::Sparse(s) => s.insert(key),
+        };
         if newly {
-            *slot = true;
             self.active += 1;
         }
         newly
@@ -77,10 +112,17 @@ impl PartitionModel {
     /// Restores the directed link `src → dst`. Returns `true` if the link
     /// was previously cut.
     pub fn restore(&mut self, src: SiteId, dst: SiteId) -> bool {
-        let slot = &mut self.cut[src.index() * self.n + dst.index()];
-        let was = *slot;
+        let key = self.key(src, dst);
+        let was = match &mut self.cut {
+            CutSet::Dense(m) => {
+                let slot = &mut m[key as usize];
+                let was = *slot;
+                *slot = false;
+                was
+            }
+            CutSet::Sparse(s) => s.remove(&key),
+        };
         if was {
-            *slot = false;
             self.active -= 1;
         }
         was
@@ -114,7 +156,10 @@ impl PartitionModel {
 
     /// Restores every cut link (the legacy `schedule_heal` semantics).
     pub fn restore_all(&mut self) {
-        self.cut.fill(false);
+        match &mut self.cut {
+            CutSet::Dense(m) => m.fill(false),
+            CutSet::Sparse(s) => s.clear(),
+        }
         self.active = 0;
     }
 
@@ -169,6 +214,27 @@ mod tests {
         assert_eq!(p.cut_links(), 4);
         assert!(p.mutually_reachable(A, B));
         assert!(!p.is_cut(A, B) && p.is_cut(A, C));
+    }
+
+    #[test]
+    fn sparse_representation_matches_dense_semantics() {
+        // Past the dense threshold the cut set switches to the sorted-set
+        // representation; the API must behave identically.
+        let n = DENSE_SITES_MAX + 1;
+        let mut p = PartitionModel::new(n);
+        assert!(matches!(p.cut, CutSet::Sparse(_)));
+        let far = SiteId(n as u32 - 1);
+        assert!(p.cut(A, far));
+        assert!(!p.cut(A, far), "second cut is a no-op");
+        assert!(p.is_cut(A, far));
+        assert!(!p.is_cut(far, A), "directions stay independent");
+        assert!(!p.mutually_reachable(A, far));
+        assert!(p.restore(A, far));
+        assert!(!p.restore(A, far));
+        assert!(!p.any_cut());
+        p.cut(A, B);
+        p.restore_all();
+        assert!(!p.is_cut(A, B));
     }
 
     #[test]

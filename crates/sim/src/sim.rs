@@ -112,37 +112,126 @@ enum EventKind<M> {
     Abort { site: SiteId },
 }
 
-struct Event<M> {
+/// What the scheduler actually stores and scans: the `(time, seq)`
+/// total-order pair plus the payload's slab index. Calendar/wheel bucket
+/// scans and heap sifts touch only these 24 bytes; the `EventKind`
+/// payload (with its message body) sits untouched in the simulator's
+/// slab until the event is popped.
+#[derive(Clone, Copy)]
+struct EventKey {
     time: u64,
     seq: u64, // total order tie-breaker: insertion order
-    kind: EventKind<M>,
+    slot: u32,
 }
 
-impl<M> PartialEq for Event<M> {
+impl PartialEq for EventKey {
     fn eq(&self, other: &Self) -> bool {
         (self.time, self.seq) == (other.time, other.seq)
     }
 }
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
+impl Eq for EventKey {}
+impl PartialOrd for EventKey {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for Event<M> {
+impl Ord for EventKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
     }
 }
 
-// The scheduling key for the calendar queue; must (and does) agree with
-// `Ord` above — see the `Timed` contract.
-impl<M> Timed for Event<M> {
+// The scheduling key for the calendar queue and timer wheel; must (and
+// does) agree with `Ord` above — see the `Timed` contract.
+impl Timed for EventKey {
     fn time(&self) -> u64 {
         self.time
     }
     fn seq(&self) -> u64 {
         self.seq
+    }
+}
+
+/// The payload slab: `EventKind`s parked by slot index while their
+/// [`EventKey`] waits in the scheduler. A push allocates a slot (free
+/// list first), the pop that consumes the key takes the payload back and
+/// recycles the slot — so steady state allocates nothing, and slab
+/// capacity tracks the *peak* event population, not the event count.
+struct PayloadSlab<M> {
+    slots: Vec<Option<EventKind<M>>>,
+    free: Vec<u32>,
+}
+
+impl<M> PayloadSlab<M> {
+    fn with_capacity(capacity: usize) -> Self {
+        PayloadSlab {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, kind: EventKind<M>) -> u32 {
+        match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(kind);
+                s
+            }
+            None => {
+                self.slots.push(Some(kind));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    fn take(&mut self, slot: u32) -> EventKind<M> {
+        let kind = self.slots[slot as usize]
+            .take()
+            .expect("popped key names a live payload");
+        self.free.push(slot);
+        kind
+    }
+}
+
+/// Largest site count that keeps the dense `n * n` per-link FIFO clock
+/// matrix (1024² × 8 B = 8 MB). Large-N runs use a sorted map instead:
+/// only links that actually carried a message pay for an entry.
+const DENSE_LINKS_MAX: usize = 1024;
+
+/// Latest scheduled delivery time per directed link (FIFO enforcement).
+enum LinkClocks {
+    /// Flat `n * n` matrix indexed `from * n + to`.
+    Dense(Vec<u64>),
+    /// `from * n + to` → clock, populated on first use.
+    Sparse(BTreeMap<u64, u64>),
+}
+
+impl LinkClocks {
+    fn new(n: usize) -> Self {
+        if n <= DENSE_LINKS_MAX {
+            LinkClocks::Dense(vec![0; n * n])
+        } else {
+            LinkClocks::Sparse(BTreeMap::new())
+        }
+    }
+
+    /// Advances the `from → to` link clock to at least `at` and returns
+    /// the resulting delivery time (the max of `at` and the previous
+    /// clock — deliveries on one link never reorder).
+    #[inline]
+    fn advance(&mut self, from: SiteId, to: SiteId, n: usize, at: u64) -> u64 {
+        match self {
+            LinkClocks::Dense(m) => {
+                let link = &mut m[from.index() * n + to.index()];
+                *link = at.max(*link);
+                *link
+            }
+            LinkClocks::Sparse(m) => {
+                let key = from.index() as u64 * n as u64 + to.index() as u64;
+                let link = m.entry(key).or_insert(0);
+                *link = at.max(*link);
+                *link
+            }
+        }
     }
 }
 
@@ -155,11 +244,14 @@ pub struct Simulator<P: Protocol> {
     rng: StdRng,
     now: u64,
     seq: u64,
-    events: EventQueue<Event<P::Msg>>,
-    /// Latest scheduled delivery time per directed link, as a flat
-    /// `n * n` matrix indexed `from * n + to` (FIFO enforcement without a
-    /// map lookup per send).
-    link_clock: Vec<u64>,
+    events: EventQueue<EventKey>,
+    /// Event payloads, parked out of the scheduler's scan path — see
+    /// [`PayloadSlab`].
+    payloads: PayloadSlab<P::Msg>,
+    /// Latest scheduled delivery time per directed link (FIFO
+    /// enforcement): a flat matrix for small systems, a sorted map past
+    /// [`DENSE_LINKS_MAX`] sites.
+    link_clock: LinkClocks,
     /// Hot per-site driver scalars (timer slot, CS timestamps, crash
     /// bits), struct-of-arrays — see [`crate::sites`].
     states: SiteStates,
@@ -212,9 +304,12 @@ impl<P: Protocol> Simulator<P> {
             seq: 0,
             // Steady state keeps roughly one in-flight message per quorum
             // member per contender plus timers; 16n absorbs bursts without
-            // ever reallocating in the experiments under study.
-            events: EventQueue::new(scheduler, 64 + 16 * n),
-            link_clock: vec![0; n * n],
+            // ever reallocating in the experiments under study. Capped so
+            // a 10⁵-site simulator does not pre-commit tens of megabytes
+            // the (mostly uncontended) run never touches.
+            events: EventQueue::new(scheduler, 64 + (16 * n).min(1 << 16)),
+            payloads: PayloadSlab::with_capacity(64 + (16 * n).min(1 << 16)),
+            link_clock: LinkClocks::new(n),
             states: SiteStates::new(n),
             pristine: BTreeMap::new(),
             boots: BTreeMap::new(),
@@ -294,10 +389,11 @@ impl<P: Protocol> Simulator<P> {
 
     fn push(&mut self, time: u64, kind: EventKind<P::Msg>) {
         self.seq += 1;
-        self.events.push(Event {
+        let slot = self.payloads.insert(kind);
+        self.events.push(EventKey {
             time,
             seq: self.seq,
-            kind,
+            slot,
         });
     }
 
@@ -318,14 +414,14 @@ impl<P: Protocol> Simulator<P> {
     /// [`Simulator::schedule_request`] once per pair.
     pub fn schedule_requests(&mut self, arrivals: &[(SiteId, u64)]) {
         let mut seq = self.seq;
-        let events: Vec<Event<P::Msg>> = arrivals
+        let events: Vec<EventKey> = arrivals
             .iter()
             .map(|&(site, at)| {
                 seq += 1;
-                Event {
+                EventKey {
                     time: at,
                     seq,
-                    kind: EventKind::Request { site },
+                    slot: self.payloads.insert(EventKind::Request { site }),
                 }
             })
             .collect();
@@ -442,15 +538,25 @@ impl<P: Protocol> Simulator<P> {
     }
 
     /// Re-arms the wake-up event for `site` from its `next_timer()`.
+    ///
+    /// The armed slot in [`SiteStates`] is the single source of truth: a
+    /// `Tick` event whose time does not match it when it fires was
+    /// superseded by a re-arm (or cancelled outright when the timer
+    /// disappeared) and is dropped without a protocol dispatch. That
+    /// tombstoning is what lets this always track the *exact* next due
+    /// time — the old "earlier tick wins" rule kept stale ticks live and
+    /// let them fire as spurious `on_timer` calls, which at large N is
+    /// itself a hot path.
     fn arm_timer(&mut self, site: SiteId) {
         let Some(due) = self.sites[site.index()].next_timer() else {
+            // Timer disappeared (deadline cleared, detector quiesced):
+            // clearing the slot tombstones any in-flight tick.
+            self.states.clear_tick(site);
             return;
         };
         let due = due.max(self.now);
-        // Skip only if an equally-early wake-up is already scheduled; stale
-        // later ticks still fire and are harmless (spurious `on_timer`).
-        if self.states.armed_tick(site).is_some_and(|cur| cur <= due) {
-            return;
+        if self.states.armed_tick(site) == Some(due) {
+            return; // already armed at exactly this time
         }
         self.states.arm_tick(site, due);
         self.push(due, EventKind::Tick { site });
@@ -504,9 +610,7 @@ impl<P: Protocol> Simulator<P> {
                     Some(d) => d,
                     None => self.cfg.delay.sample(&mut self.rng),
                 };
-                let link = &mut self.link_clock[site.index() * n + to.index()];
-                let at = (self.now + sampled).max(*link);
-                *link = at;
+                let at = self.link_clock.advance(site, to, n, self.now + sampled);
                 // Move the owned message into its final copy; only an
                 // injected duplicate ever pays for a clone.
                 let msg = if c == 1 {
@@ -600,9 +704,9 @@ impl<P: Protocol> Simulator<P> {
         }
     }
 
-    fn step_event(&mut self, ev: Event<P::Msg>) {
-        self.now = ev.time;
-        match ev.kind {
+    fn step_event(&mut self, time: u64, kind: EventKind<P::Msg>) {
+        self.now = time;
+        match kind {
             EventKind::Deliver { from, to, msg } => {
                 if self.states.is_crashed(to) {
                     self.metrics.count_dropped();
@@ -718,6 +822,12 @@ impl<P: Protocol> Simulator<P> {
                 self.dispatch(site, |s, fx| s.on_site_failure(failed, fx));
             }
             EventKind::Tick { site } => {
+                // A tick is live only while its time matches the armed
+                // slot; a re-arm or cancel since it was pushed tombstones
+                // it (see `arm_timer`) and it dies here, undispatched.
+                if self.states.armed_tick(site) != Some(self.now) {
+                    return;
+                }
                 // Clear the arming slot first: `on_timer` may leave work
                 // pending and `apply_effects` re-arms from `next_timer()`.
                 self.states.clear_tick(site);
@@ -770,14 +880,16 @@ impl<P: Protocol> Simulator<P> {
     pub fn run_to_quiescence(&mut self, horizon: u64) -> usize {
         self.ensure_started();
         let mut processed = 0;
-        while let Some(ev) = self.events.pop() {
-            if ev.time > horizon {
+        while let Some(key) = self.events.pop() {
+            let kind = self.payloads.take(key.slot);
+            if key.time > horizon {
                 // Past the horizon: stop (event is dropped; simulations
                 // measure within the horizon only).
+                drop(kind);
                 self.now = horizon;
                 break;
             }
-            self.step_event(ev);
+            self.step_event(key.time, kind);
             processed += 1;
         }
         // Snapshot transport-layer totals into the metrics (overwrites, so
@@ -1525,10 +1637,12 @@ mod tests {
             )
         };
         let heap = run(SchedulerKind::Heap);
-        let calendar = run(SchedulerKind::Calendar);
-        assert_eq!(heap.0, calendar.0, "event counts diverged");
-        assert_eq!(heap.1, calendar.1, "metrics diverged");
-        assert_eq!(heap.2, calendar.2, "traces diverged");
+        for kind in [SchedulerKind::Calendar, SchedulerKind::Wheel] {
+            let other = run(kind);
+            assert_eq!(heap.0, other.0, "event counts diverged under {kind:?}");
+            assert_eq!(heap.1, other.1, "metrics diverged under {kind:?}");
+            assert_eq!(heap.2, other.2, "traces diverged under {kind:?}");
+        }
     }
 
     /// Bulk-loaded arrivals assign sequence numbers in slice order, so
@@ -1538,7 +1652,11 @@ mod tests {
         let arrivals: Vec<(SiteId, u64)> = (0..5u32)
             .flat_map(|i| (0..8u64).map(move |r| (SiteId(i), r * 1_100 + 13 * i as u64)))
             .collect();
-        for scheduler in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+        for scheduler in [
+            SchedulerKind::Heap,
+            SchedulerKind::Calendar,
+            SchedulerKind::Wheel,
+        ] {
             let cfg = || SimConfig {
                 delay: DelayModel::Exponential { mean: 400 },
                 seed: 5,

@@ -31,8 +31,10 @@ use std::time::Instant;
 /// deterministic fields changes, so `--check` rejects stale files
 /// loudly instead of mis-diffing them. v4 added the timer-wheel
 /// scheduler rows and the `engine_large/*` section (lazy-quorum runs at
-/// N = 10³ and 10⁵ with a peak-RSS estimate).
-const SCHEMA: &str = "qmx-bench-trajectory/v4";
+/// N = 10³ and 10⁵ with a peak-RSS estimate). v5 added the
+/// `lockspace/*` section: sharded multi-resource runs over one
+/// transport/detector per link, gated on completed-CS counts.
+const SCHEMA: &str = "qmx-bench-trajectory/v5";
 
 /// All three scheduler implementations, in the order rows are emitted.
 const SCHEDULERS: [SchedulerKind; 3] = [
@@ -171,6 +173,58 @@ fn checker_scopes(tiny: bool) -> Vec<CheckerScope> {
         }));
     }
     scopes
+}
+
+/// Lock-space matrix `(resources, zipf)` for the given mode: zipfian
+/// multi-resource load sharded over one `LockSpace` per site, with the
+/// full per-link transport/detector stack. Tiny mode keeps one cell.
+fn lockspace_cells(tiny: bool) -> Vec<(u32, f64)> {
+    if tiny {
+        vec![(16, 0.8)]
+    } else {
+        vec![(4, 0.0), (16, 0.8), (64, 1.0)]
+    }
+}
+
+/// Row name for one lock-space cell.
+fn lockspace_row_name(resources: u32, zipf: f64) -> String {
+    format!("lockspace/n9_r{resources}_zipf{zipf:.1}")
+}
+
+/// Runs one lock-space cell: 9 sites, grid quorums, Poisson load spread
+/// over `resources` locks by a zipfian draw, reliable transport and
+/// heartbeat detector shared per link. Deterministic per cell (and for
+/// any `--jobs`), so the completed-CS count is a `--check`-gated field.
+fn lockspace_cell_report(resources: u32, zipf: f64) -> qmx_workload::stats::RunReport {
+    use qmx_workload::arrival::{ArrivalProcess, ResourceMix};
+    use qmx_workload::scenario::{Algorithm, QuorumSpec, Scenario};
+    Scenario {
+        n: 9,
+        algorithm: Algorithm::DelayOptimal,
+        quorum: QuorumSpec::Grid,
+        arrivals: ArrivalProcess::Poisson { mean_gap: 8_000 },
+        horizon: 300_000,
+        transport: Some(qmx_core::TransportConfig::default()),
+        detector: Some(qmx_core::DetectorConfig::default()),
+        mix: Some(ResourceMix::Zipf { resources, s: zipf }),
+        seed: 0xBE9C,
+        ..Scenario::default()
+    }
+    .run()
+}
+
+/// Recomputes the deterministic lock-space rows `(name, completed CS)`
+/// for a mode.
+fn expected_lockspace_rows(tiny: bool) -> Vec<(String, u64)> {
+    lockspace_cells(tiny)
+        .into_iter()
+        .map(|(r, z)| {
+            (
+                lockspace_row_name(r, z),
+                lockspace_cell_report(r, z).completed as u64,
+            )
+        })
+        .collect()
 }
 
 /// Peak resident-set size of this process in KiB, from `VmHWM` in
@@ -380,11 +434,12 @@ fn run_check(path: &str) -> ! {
     };
 
     // One row object per line by construction; a row carries an `events`
-    // counter (engine), a `steps` counter (protocol), or a `states`
-    // counter (model checker).
+    // counter (engine), a `steps` counter (protocol), a `states` counter
+    // (model checker), or a `cs` counter (lock space).
     let mut actual_engine: Vec<(String, u64)> = Vec::new();
     let mut actual_proto: Vec<(String, u64)> = Vec::new();
     let mut actual_check: Vec<(String, u64)> = Vec::new();
+    let mut actual_lock: Vec<(String, u64)> = Vec::new();
     for line in text.lines() {
         let Some(name) = json_str_field(line, "name") else {
             continue;
@@ -395,6 +450,8 @@ fn run_check(path: &str) -> ! {
             actual_proto.push((name, steps));
         } else if let Some(states) = json_u64_field(line, "states") {
             actual_check.push((name, states));
+        } else if let Some(cs) = json_u64_field(line, "cs") {
+            actual_lock.push((name, cs));
         }
     }
 
@@ -420,15 +477,23 @@ fn run_check(path: &str) -> ! {
             &actual_check,
             &mut failures,
         );
+        diff_rows(
+            "lockspace",
+            "cs",
+            &expected_lockspace_rows(tiny),
+            &actual_lock,
+            &mut failures,
+        );
     }
 
     if failures.is_empty() {
         println!(
             "benchjson --check: {path} OK ({} engine rows, {} protocol rows, \
-             {} checker rows, mode {mode})",
+             {} checker rows, {} lockspace rows, mode {mode})",
             actual_engine.len(),
             actual_proto.len(),
-            actual_check.len()
+            actual_check.len(),
+            actual_lock.len()
         );
         std::process::exit(0);
     }
@@ -584,6 +649,35 @@ fn main() {
              \"naive_transitions\": {}, \"reduction_ratio\": {ratio:.3}, \
              \"seconds\": {secs:.3}}}",
             stats.states, stats.transitions, stats.naive_transitions
+        ));
+    }
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ],\n");
+
+    // Sharded lock space: zipfian multi-resource runs over one
+    // transport/detector per link. `cs` (completed executions) is the
+    // deterministic gated counter; resource spread, fairness, and the
+    // per-link heartbeat/retransmit counts ride along as tracked fields
+    // (deterministic too, but the single gate keeps the check cheap to
+    // reason about).
+    json.push_str("  \"lockspace\": [\n");
+    let mut rows: Vec<String> = Vec::new();
+    for (resources, zipf) in lockspace_cells(args.tiny) {
+        let start = Instant::now();
+        let r = lockspace_cell_report(resources, zipf);
+        let secs = start.elapsed().as_secs_f64();
+        let name = lockspace_row_name(resources, zipf);
+        let fairness = r.resource_fairness.unwrap_or(0.0);
+        eprintln!(
+            "lockspace {name}: {} cs over {} resources, fairness {fairness:.3}, \
+             {} beats, {} retrans, {secs:.3} s",
+            r.completed, r.resources, r.detector.heartbeats_sent, r.transport.retransmissions
+        );
+        rows.push(format!(
+            "    {{\"name\": \"{name}\", \"cs\": {}, \"resources_hit\": {}, \
+             \"resource_fairness\": {fairness:.4}, \"heartbeats\": {}, \
+             \"retransmissions\": {}, \"seconds\": {secs:.3}}}",
+            r.completed, r.resources, r.detector.heartbeats_sent, r.transport.retransmissions
         ));
     }
     json.push_str(&rows.join(",\n"));

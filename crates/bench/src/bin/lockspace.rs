@@ -1,0 +1,6 @@
+//! E16: R named resources sharded over one site set — one reliable
+//! transport and one failure detector per link, shared by all of them.
+fn main() {
+    qmx_bench::jobs::init_jobs();
+    println!("{}", qmx_bench::experiments::lockspace_scaling());
+}

@@ -644,6 +644,55 @@ pub fn scale_sweep() -> String {
     )
 }
 
+/// **E16 — extension: sharded lock space**. One site set serves `R`
+/// independent named resources multiplexed over ONE reliable transport
+/// and ONE failure detector per link ([`qmx_core::LockSpace`]). The
+/// sweep scales `R` under zipfian popularity at a fixed arrival rate:
+/// per-resource fairness tracks the skew, while the heartbeat column —
+/// a pure per-link cost — stays flat as `R` grows 64-fold. That flat
+/// column *is* the multiplexing claim: a per-resource detector would
+/// scale it linearly with `R`.
+pub fn lockspace_scaling() -> String {
+    use qmx_workload::arrival::ResourceMix;
+    const N: usize = 9;
+    let cells: Vec<(u32, f64)> = vec![(1, 0.0), (4, 0.8), (16, 0.8), (64, 0.8), (64, 0.0)];
+    let reports = par_map(cells.clone(), |(resources, zipf)| {
+        Scenario {
+            arrivals: ArrivalProcess::Poisson { mean_gap: 8 * T },
+            horizon: 400 * T,
+            transport: Some(qmx_core::TransportConfig::default()),
+            detector: Some(qmx_core::DetectorConfig::default()),
+            mix: (resources > 1).then_some(ResourceMix::Zipf { resources, s: zipf }),
+            seed: 16,
+            ..base_scenario(N, Algorithm::DelayOptimal, QuorumSpec::Grid)
+        }
+        .run()
+    });
+    let mut t = Table::new([
+        "R", "zipf", "done", "res hit", "res fair", "msgs/CS", "thr (/T)", "beats", "retrans",
+    ]);
+    for ((resources, zipf), r) in cells.iter().zip(reports) {
+        t.row([
+            resources.to_string(),
+            f2(*zipf),
+            r.completed.to_string(),
+            r.resources.to_string(),
+            opt2(r.resource_fairness),
+            opt2(r.messages_per_cs),
+            f2(r.throughput_per_t),
+            r.detector.heartbeats_sent.to_string(),
+            r.transport.retransmissions.to_string(),
+        ]);
+    }
+    format!(
+        "Sharded lock space: R resources over one site set (E16, extension)\n\
+         N={N}, grid quorums, T={T}, Poisson gap 8T spread over R resources.\n\
+         Heartbeats are per *link*, so the beats column stays flat as R\n\
+         grows; per-resource fairness reflects the zipf popularity skew.\n\n{}",
+        t.render()
+    )
+}
+
 /// **E9 — ablation**: the forwarding mechanism is the entire delay win.
 pub fn ablation(n: usize) -> String {
     let mut pair = par_map(
@@ -953,6 +1002,41 @@ mod tests {
         // Smoke-test the cheap text reports.
         assert!(quorum_sizes().contains("grid"));
         assert!(availability_curves().contains("0.90"));
+    }
+
+    /// E16's headline claim: heartbeats are a per-link cost, so running
+    /// 64 resources instead of 1 over the same sites and horizon must
+    /// NOT scale the heartbeat count (a per-resource detector would
+    /// multiply it 64-fold).
+    #[test]
+    fn lockspace_heartbeats_do_not_scale_with_resources() {
+        use qmx_workload::arrival::ResourceMix;
+        let run = |resources: u32| {
+            Scenario {
+                arrivals: ArrivalProcess::Poisson { mean_gap: 8 * T },
+                horizon: 400 * T,
+                transport: Some(qmx_core::TransportConfig::default()),
+                detector: Some(qmx_core::DetectorConfig::default()),
+                mix: (resources > 1).then_some(ResourceMix::Zipf { resources, s: 0.8 }),
+                seed: 16,
+                ..base_scenario(9, Algorithm::DelayOptimal, QuorumSpec::Grid)
+            }
+            .run()
+        };
+        let solo = run(1);
+        let sharded = run(64);
+        assert!(sharded.completed > 0 && solo.completed > 0);
+        assert!(sharded.resources > 8, "zipf load spread too narrow");
+        let (b1, b64) = (
+            solo.detector.heartbeats_sent,
+            sharded.detector.heartbeats_sent,
+        );
+        assert!(b1 > 0, "detector never beat");
+        assert!(
+            b64 < b1 * 2,
+            "heartbeats scaled with resources: {b64} vs {b1} — the \
+             detector is no longer shared per link"
+        );
     }
 
     /// E14's headline claim: under a partition, retry-with-backoff bounds

@@ -15,8 +15,8 @@
 //! included), message drops, timer firings, directed link cuts and
 //! restorations (asymmetric partitions), and failure-detector verdicts
 //! (suspect / restore / confirm), so §6 reclamation, rejoin, and
-//! partition paths are verified exhaustively within scope — see
-//! [`crate::state`]'s module docs for the precise fault semantics.
+//! partition paths are verified exhaustively within scope — see the
+//! (private) `state` module's docs for the precise fault semantics.
 //!
 //! At every state the checker verifies:
 //!

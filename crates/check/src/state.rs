@@ -490,6 +490,9 @@ impl<P: Protocol + Clone> State<P> {
     /// sampling a delay, which keeps trace replays aligned). Each queued
     /// send's channel is appended to `sent` for the replay builder.
     fn route(&mut self, actor: SiteId, fx: &mut Effects<P::Msg>, sent: &mut Vec<(SiteId, SiteId)>) {
+        // CS entries are tracked via `Protocol::in_cs`, not the effects
+        // buffer; clear them so the reused scratch never accumulates.
+        fx.clear_entered();
         let inc = self.meta.incarnation[actor.index()];
         for (to, msg) in fx.drain_sends() {
             if self.meta.crashed[to.index()] {

@@ -97,6 +97,12 @@ pub enum Command {
         /// Retry of aborted requests as `(baseT, capT, max_attempts)`:
         /// jittered exponential backoff. Requires `deadline_t`.
         retry_backoff: Option<(u64, u64, u32)>,
+        /// Number of named resources in every site's lock space (1 = the
+        /// classic single implicit lock, no lock-space layer).
+        resources: u32,
+        /// Zipf skew of resource popularity (0 = uniform). Only
+        /// meaningful with `resources > 1`.
+        zipf: f64,
     },
     /// Print a quorum system and its properties.
     Quorum {
@@ -160,6 +166,7 @@ USAGE:
              [--reliable on|off|auto]
              [--hb-interval T] [--hb-timeout T] [--recover site:timeT ...]
              [--deadline T] [--retry-backoff baseT:capT:attempts]
+             [--resources R] [--zipf S]
              [--scheduler heap|calendar|wheel]
   qmxctl quorum --kind Q --n N
   qmxctl check [--n N] [--rounds R] [--max-states M] [--quorum Q]
@@ -196,6 +203,13 @@ WHERE:
       exponential backoff (base doubles per attempt up to cap, both in
       T units, at most `attempts` retries); it needs --deadline, since
       nothing aborts without one
+  --resources R > 1 runs a sharded lock space: every site multiplexes R
+      independent named locks over ONE reliable transport and ONE
+      failure detector per link; arrivals are spread over the resources
+      by a deterministic draw. --zipf S skews resource popularity
+      (Zipf exponent; 0 = uniform, 1 = classic heavy head). Requires
+      --alg delay-optimal or no-forwarding; the report gains resource
+      count and per-resource fairness lines
   --scheduler picks the event-queue implementation (default: calendar,
       or the QMX_SCHEDULER env var); reports are byte-identical for
       every choice — only wall-clock time differs
@@ -214,7 +228,7 @@ WHERE:
   NAME = table1 | lightload | heavyload | syncdelay | throughput |
          quorumsize | availability | faulttolerance | ablation |
          holdsweep | msgscaling | schedulers | scalesweep | partitions |
-         abortavail
+         abortavail | lockspace
   J = worker threads for the experiment fan-out (0 or absent = auto);
       reports are identical for every J — runs are pure per (scenario,
       seed) and rows are assembled in parameter order
@@ -504,6 +518,27 @@ impl Cli {
                     return err("--retry-backoff without --deadline is a no-op: \
                          nothing ever aborts, so nothing ever retries");
                 }
+                let resources = parse_u64(&f, "resources", 1)? as u32;
+                if resources == 0 {
+                    return err("--resources 0 leaves nothing to lock; \
+                         give at least 1 (or omit the flag)");
+                }
+                let zipf = match one(&f, "zipf", "") {
+                    "" => 0.0,
+                    s => {
+                        let z: f64 = s.parse().map_err(|_| {
+                            ParseError(format!("--zipf wants a skew exponent >= 0, got '{s}'"))
+                        })?;
+                        if z < 0.0 {
+                            return err(format!("--zipf must be >= 0, got {z}"));
+                        }
+                        z
+                    }
+                };
+                if f.contains_key("zipf") && resources <= 1 {
+                    return err("--zipf without --resources > 1 is a no-op: \
+                         popularity skew needs more than one resource");
+                }
                 // A recovery of a site that is not down by then is the
                 // crash-schedule version of the same typo.
                 for &(site, at) in &recoveries {
@@ -554,6 +589,8 @@ impl Cli {
                     scheduler,
                     deadline_t,
                     retry_backoff,
+                    resources,
+                    zipf,
                 }
             }
             "quorum" => {
@@ -875,6 +912,52 @@ mod tests {
             .unwrap_err()
             .0
             .contains("baseT <= capT"));
+    }
+
+    #[test]
+    fn lockspace_flags() {
+        match parse("run --resources 64 --zipf 0.8").unwrap().command {
+            Command::Run {
+                resources, zipf, ..
+            } => {
+                assert_eq!(resources, 64);
+                assert!((zipf - 0.8).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Absent flags mean the classic single-lock run.
+        match parse("run").unwrap().command {
+            Command::Run {
+                resources, zipf, ..
+            } => {
+                assert_eq!(resources, 1);
+                assert_eq!(zipf, 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Multi-resource without skew is legal (uniform popularity).
+        match parse("run --resources 16").unwrap().command {
+            Command::Run {
+                resources, zipf, ..
+            } => {
+                assert_eq!(resources, 16);
+                assert_eq!(zipf, 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("run --resources 0")
+            .unwrap_err()
+            .0
+            .contains("at least 1"));
+        assert!(parse("run --zipf 0.8").unwrap_err().0.contains("no-op"));
+        assert!(parse("run --resources 8 --zipf -1")
+            .unwrap_err()
+            .0
+            .contains(">= 0"));
+        assert!(parse("run --resources 8 --zipf x")
+            .unwrap_err()
+            .0
+            .contains("skew exponent"));
     }
 
     /// No-op and contradictory schedules are rejected up front instead of

@@ -42,7 +42,24 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
             scheduler,
             deadline_t,
             retry_backoff,
+            resources,
+            zipf,
         } => {
+            // The lock space shards the delay-optimal protocol only; fail
+            // as a message, not the scenario runner's assert.
+            if *resources > 1
+                && !matches!(
+                    algorithm,
+                    qmx_workload::scenario::Algorithm::DelayOptimal
+                        | qmx_workload::scenario::Algorithm::DelayOptimalNoForwarding
+                )
+            {
+                return Err(format!(
+                    "--resources > 1 runs a sharded lock space over the \
+                     delay-optimal algorithm; {} is unsupported",
+                    algorithm.label()
+                ));
+            }
             let t = delay.mean().max(1.0) as u64;
             let loss_model = match burst {
                 Some((p_bad, p_good, drop_good, drop_bad)) => LossModel::Burst {
@@ -151,6 +168,10 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                     cap: cap * t,
                     max_attempts,
                 }),
+                mix: (*resources > 1).then_some(qmx_workload::arrival::ResourceMix::Zipf {
+                    resources: *resources,
+                    s: *zipf,
+                }),
                 seed: *seed,
                 scheduler: *scheduler,
                 ..Scenario::default()
@@ -192,6 +213,16 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 r.throughput_per_t
             ));
             out.push_str(&format!("fairness (Jain)   : {}\n", fmt(r.fairness)));
+            if *resources > 1 {
+                out.push_str(&format!(
+                    "resources         : {} of {} saw a completed CS\n",
+                    r.resources, resources
+                ));
+                out.push_str(&format!(
+                    "resource fairness : {}\n",
+                    fmt(r.resource_fairness)
+                ));
+            }
             out.push_str("per message kind  :");
             for (k, c) in &r.by_kind {
                 out.push_str(&format!(" {k}={c}"));
@@ -411,6 +442,7 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 "scalesweep" => e::scale_sweep(),
                 "partitions" => e::partition_availability(),
                 "abortavail" => e::abort_availability(),
+                "lockspace" => e::lockspace_scaling(),
                 other => return Err(format!("unknown experiment '{other}'")),
             })
         }
@@ -525,6 +557,27 @@ mod tests {
             assert_eq!(heap, other, "report diverged under {kind}");
         }
         assert!(heap.contains("completed CS"), "{heap}");
+    }
+
+    #[test]
+    fn run_command_with_resources_prints_lockspace_lines() {
+        let out = run("run --n 9 --gap 10 --horizon 400 --resources 32 --zipf 0.8").unwrap();
+        assert!(out.contains("resources         :"), "{out}");
+        assert!(out.contains("of 32 saw a completed CS"), "{out}");
+        assert!(out.contains("resource fairness :"), "{out}");
+        assert!(out.contains("completed CS"), "{out}");
+    }
+
+    #[test]
+    fn run_command_single_resource_omits_lockspace_lines() {
+        let out = run("run --n 5 --quorum all --gap 20 --horizon 200").unwrap();
+        assert!(!out.contains("resource fairness"), "{out}");
+    }
+
+    #[test]
+    fn run_command_rejects_resources_on_broadcast_algorithms() {
+        let err = run("run --alg lamport --n 5 --resources 8").unwrap_err();
+        assert!(err.contains("unsupported"), "{err}");
     }
 
     #[test]

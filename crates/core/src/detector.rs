@@ -48,7 +48,7 @@
 //! their purpose), while every delivered message, heartbeat or not, counts
 //! as evidence the sender is alive.
 
-use crate::protocol::{Effects, MsgKind, MsgMeta, Protocol, SiteId};
+use crate::protocol::{Effects, MsgKind, MsgMeta, Protocol, ResourceId, SiteId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -319,8 +319,8 @@ impl<P: Protocol> Detector<P> {
         for (to, msg) in sends {
             fx.send(to, HbMsg::App(msg));
         }
-        if entered {
-            fx.enter_cs();
+        for rid in entered {
+            fx.enter_cs_r(rid);
         }
     }
 
@@ -563,6 +563,36 @@ impl<P: Protocol> Protocol for Detector<P> {
 
     fn abort_counters(&self) -> Option<crate::protocol::AbortCounters> {
         self.inner.abort_counters()
+    }
+
+    fn request_cs_r(&mut self, rid: ResourceId, fx: &mut Effects<Self::Msg>) {
+        self.with_inner(fx, |p, ifx| p.request_cs_r(rid, ifx));
+    }
+
+    fn release_cs_r(&mut self, rid: ResourceId, fx: &mut Effects<Self::Msg>) {
+        self.with_inner(fx, |p, ifx| p.release_cs_r(rid, ifx));
+    }
+
+    fn abort_cs_r(&mut self, rid: ResourceId, fx: &mut Effects<Self::Msg>) -> bool {
+        let mut aborted = false;
+        self.with_inner(fx, |p, ifx| aborted = p.abort_cs_r(rid, ifx));
+        aborted
+    }
+
+    fn in_cs_r(&self, rid: ResourceId) -> bool {
+        self.inner.in_cs_r(rid)
+    }
+
+    fn wants_cs_r(&self, rid: ResourceId) -> bool {
+        self.inner.wants_cs_r(rid)
+    }
+
+    fn set_deadline_r(&mut self, rid: ResourceId, deadline: Option<u64>) {
+        self.inner.set_deadline_r(rid, deadline);
+    }
+
+    fn drain_aborted_resources(&mut self) -> Vec<ResourceId> {
+        self.inner.drain_aborted_resources()
     }
 
     fn on_site_failure(&mut self, failed: SiteId, fx: &mut Effects<Self::Msg>) {

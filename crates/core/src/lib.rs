@@ -77,6 +77,7 @@
 pub mod clock;
 pub mod delay_optimal;
 pub mod detector;
+pub mod lockspace;
 pub mod protocol;
 pub mod reqqueue;
 pub mod siteset;
@@ -85,7 +86,10 @@ pub mod transport;
 pub use clock::{LamportClock, SeqNum, Timestamp};
 pub use delay_optimal::{Config, DelayOptimal, Msg, RequesterPhase};
 pub use detector::{Detector, DetectorConfig, DetectorCounters, HbMsg};
-pub use protocol::{AbortCounters, Effects, MsgKind, MsgMeta, Protocol, QuorumSource, SiteId};
+pub use lockspace::{LockSpace, ResMsg, ShardFactory};
+pub use protocol::{
+    AbortCounters, Effects, MsgKind, MsgMeta, Protocol, QuorumSource, ResourceId, SiteId,
+};
 pub use reqqueue::ReqQueue;
 pub use siteset::SiteSet;
 pub use transport::{

@@ -120,22 +120,44 @@ pub trait MsgMeta {
     fn kind(&self) -> MsgKind;
 }
 
-/// Effects emitted by one protocol step: messages to send and CS entry.
+/// Identifies one named lock (resource) in a multi-resource lock space.
+///
+/// Single-resource protocols — the paper's setting — arbitrate exactly one
+/// critical section and use [`ResourceId::SOLO`] everywhere. The
+/// [`LockSpace`](crate::lockspace::LockSpace) layer multiplexes many
+/// protocol instances over the same sites and links, keyed by this id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ResourceId(pub u32);
+
+impl ResourceId {
+    /// The single implicit resource of a one-lock protocol.
+    pub const SOLO: ResourceId = ResourceId(0);
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Effects emitted by one protocol step: messages to send and CS entries.
 ///
 /// Drivers create a fresh `Effects` (or reuse one after draining), pass it to
 /// a [`Protocol`] entry point, then act on the collected sends and the
-/// `entered_cs` flag.
+/// entered-resource list (single-resource protocols report at most one entry,
+/// always [`ResourceId::SOLO`]; a lock space may admit several resources in
+/// one step, e.g. when a reliable link delivers a reordered prefix).
 #[derive(Debug)]
 pub struct Effects<M> {
     sends: Vec<(SiteId, M)>,
-    entered_cs: bool,
+    entered: Vec<ResourceId>,
 }
 
 impl<M> Default for Effects<M> {
     fn default() -> Self {
         Effects {
             sends: Vec::new(),
-            entered_cs: false,
+            entered: Vec::new(),
         }
     }
 }
@@ -151,14 +173,25 @@ impl<M> Effects<M> {
         self.sends.push((to, msg));
     }
 
-    /// Marks that the site has just entered its critical section.
+    /// Marks that the site has just entered its critical section (the
+    /// implicit solo resource of a single-lock protocol).
     pub fn enter_cs(&mut self) {
-        self.entered_cs = true;
+        self.entered.push(ResourceId::SOLO);
     }
 
-    /// Whether a CS entry was signalled since the last drain.
+    /// Marks that the site has just entered the critical section of `rid`.
+    pub fn enter_cs_r(&mut self, rid: ResourceId) {
+        self.entered.push(rid);
+    }
+
+    /// Whether any CS entry was signalled since the last drain.
     pub fn entered_cs(&self) -> bool {
-        self.entered_cs
+        !self.entered.is_empty()
+    }
+
+    /// The resources entered since the last drain, in signal order.
+    pub fn entered_resources(&self) -> &[ResourceId] {
+        &self.entered
     }
 
     /// Read-only view of queued sends.
@@ -166,26 +199,38 @@ impl<M> Effects<M> {
         &self.sends
     }
 
-    /// Drains and returns the queued sends, clearing the entry flag too.
+    /// Drains and returns the queued sends, clearing the entry list too.
     pub fn take_sends(&mut self) -> Vec<(SiteId, M)> {
-        self.entered_cs = false;
+        self.entered.clear();
         std::mem::take(&mut self.sends)
     }
 
-    /// Drains the buffer returning `(sends, entered_cs)`.
-    pub fn drain(&mut self) -> (Vec<(SiteId, M)>, bool) {
-        let entered = self.entered_cs;
-        self.entered_cs = false;
-        (std::mem::take(&mut self.sends), entered)
+    /// Drains the buffer returning `(sends, entered resources)`.
+    pub fn drain(&mut self) -> (Vec<(SiteId, M)>, Vec<ResourceId>) {
+        (
+            std::mem::take(&mut self.sends),
+            std::mem::take(&mut self.entered),
+        )
     }
 
     /// Drains queued sends in order *without* surrendering the buffer's
-    /// capacity, clearing the entry flag too. Drivers that reuse one
-    /// scratch buffer across events call this instead of [`Effects::drain`]
-    /// so the send vector's allocation amortizes to zero per event.
+    /// capacity. Drivers that reuse one scratch buffer across events call
+    /// this instead of [`Effects::drain`] so the send vector's allocation
+    /// amortizes to zero per event. Entered resources are left in place —
+    /// drain them separately via [`Effects::drain_entered`] (or clear with
+    /// [`Effects::clear_entered`]).
     pub fn drain_sends(&mut self) -> std::vec::Drain<'_, (SiteId, M)> {
-        self.entered_cs = false;
         self.sends.drain(..)
+    }
+
+    /// Drains the entered-resource list in signal order, keeping capacity.
+    pub fn drain_entered(&mut self) -> std::vec::Drain<'_, ResourceId> {
+        self.entered.drain(..)
+    }
+
+    /// Clears the entered-resource list without yielding it.
+    pub fn clear_entered(&mut self) {
+        self.entered.clear();
     }
 }
 
@@ -304,6 +349,61 @@ pub trait Protocol {
     /// [`transport_counters`](Protocol::transport_counters).
     fn abort_counters(&self) -> Option<AbortCounters> {
         None
+    }
+
+    /// Resource-addressed [`request_cs`](Protocol::request_cs): the local
+    /// application requests the critical section of `rid`.
+    ///
+    /// Single-resource protocols keep the default, which accepts only
+    /// [`ResourceId::SOLO`] and delegates; the
+    /// [`LockSpace`](crate::lockspace::LockSpace) layer routes to the
+    /// addressed shard, and wrapper layers ([`Reliable`](crate::transport::Reliable),
+    /// [`Detector`](crate::detector::Detector)) forward to their inner
+    /// protocol so the id survives the stack.
+    fn request_cs_r(&mut self, rid: ResourceId, fx: &mut Effects<Self::Msg>) {
+        debug_assert_eq!(rid, ResourceId::SOLO, "single-resource protocol");
+        self.request_cs(fx);
+    }
+
+    /// Resource-addressed [`release_cs`](Protocol::release_cs).
+    fn release_cs_r(&mut self, rid: ResourceId, fx: &mut Effects<Self::Msg>) {
+        debug_assert_eq!(rid, ResourceId::SOLO, "single-resource protocol");
+        self.release_cs(fx);
+    }
+
+    /// Resource-addressed [`abort_cs`](Protocol::abort_cs).
+    fn abort_cs_r(&mut self, rid: ResourceId, fx: &mut Effects<Self::Msg>) -> bool {
+        debug_assert_eq!(rid, ResourceId::SOLO, "single-resource protocol");
+        self.abort_cs(fx)
+    }
+
+    /// Resource-addressed [`in_cs`](Protocol::in_cs).
+    fn in_cs_r(&self, rid: ResourceId) -> bool {
+        debug_assert_eq!(rid, ResourceId::SOLO, "single-resource protocol");
+        self.in_cs()
+    }
+
+    /// Resource-addressed [`wants_cs`](Protocol::wants_cs).
+    fn wants_cs_r(&self, rid: ResourceId) -> bool {
+        debug_assert_eq!(rid, ResourceId::SOLO, "single-resource protocol");
+        self.wants_cs()
+    }
+
+    /// Resource-addressed [`set_deadline`](Protocol::set_deadline).
+    fn set_deadline_r(&mut self, rid: ResourceId, deadline: Option<u64>) {
+        debug_assert_eq!(rid, ResourceId::SOLO, "single-resource protocol");
+        self.set_deadline(deadline);
+    }
+
+    /// Drains the set of resources whose outstanding request was aborted
+    /// (deadline expiry or explicit withdrawal) since the last drain, so a
+    /// driver that watches the aggregate [`abort_counters`](Protocol::abort_counters)
+    /// delta can route per-resource retries. Single-resource protocols keep
+    /// the default (empty — the driver attributes any delta to
+    /// [`ResourceId::SOLO`]); the lock space reports the affected shards in
+    /// id order.
+    fn drain_aborted_resources(&mut self) -> Vec<ResourceId> {
+        Vec::new()
     }
 
     /// Notification (from a failure detector) that `failed` has crashed.
@@ -525,11 +625,11 @@ mod tests {
         assert_eq!(fx.sends().len(), 2);
         let (sends, entered) = fx.drain();
         assert_eq!(sends.len(), 2);
-        assert!(entered);
-        // Drained: empty and flag reset.
+        assert_eq!(entered, vec![ResourceId::SOLO]);
+        // Drained: empty and entry list reset.
         let (sends, entered) = fx.drain();
         assert!(sends.is_empty());
-        assert!(!entered);
+        assert!(entered.is_empty());
     }
 
     #[test]

@@ -71,7 +71,7 @@
 //! drivers inject identically-distributed faults from their own seeded
 //! generators.
 
-use crate::protocol::{Effects, MsgKind, MsgMeta, Protocol, SiteId};
+use crate::protocol::{Effects, MsgKind, MsgMeta, Protocol, ResourceId, SiteId};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -277,8 +277,8 @@ impl<P: Protocol> Reliable<P> {
     /// Converts queued inner-protocol sends into sequenced data packets.
     fn wrap_sends(&mut self, inner_fx: &mut Effects<P::Msg>, fx: &mut Effects<Packet<P::Msg>>) {
         let (sends, entered) = inner_fx.drain();
-        if entered {
-            fx.enter_cs();
+        for rid in entered {
+            fx.enter_cs_r(rid);
         }
         let base = self.incarnation << 32;
         for (to, payload) in sends {
@@ -524,6 +524,41 @@ impl<P: Protocol> Protocol for Reliable<P> {
 
     fn abort_counters(&self) -> Option<crate::protocol::AbortCounters> {
         self.inner.abort_counters()
+    }
+
+    fn request_cs_r(&mut self, rid: ResourceId, fx: &mut Effects<Self::Msg>) {
+        let mut inner_fx = Effects::new();
+        self.inner.request_cs_r(rid, &mut inner_fx);
+        self.wrap_sends(&mut inner_fx, fx);
+    }
+
+    fn release_cs_r(&mut self, rid: ResourceId, fx: &mut Effects<Self::Msg>) {
+        let mut inner_fx = Effects::new();
+        self.inner.release_cs_r(rid, &mut inner_fx);
+        self.wrap_sends(&mut inner_fx, fx);
+    }
+
+    fn abort_cs_r(&mut self, rid: ResourceId, fx: &mut Effects<Self::Msg>) -> bool {
+        let mut inner_fx = Effects::new();
+        let aborted = self.inner.abort_cs_r(rid, &mut inner_fx);
+        self.wrap_sends(&mut inner_fx, fx);
+        aborted
+    }
+
+    fn in_cs_r(&self, rid: ResourceId) -> bool {
+        self.inner.in_cs_r(rid)
+    }
+
+    fn wants_cs_r(&self, rid: ResourceId) -> bool {
+        self.inner.wants_cs_r(rid)
+    }
+
+    fn set_deadline_r(&mut self, rid: ResourceId, deadline: Option<u64>) {
+        self.inner.set_deadline_r(rid, deadline);
+    }
+
+    fn drain_aborted_resources(&mut self) -> Vec<ResourceId> {
+        self.inner.drain_aborted_resources()
     }
 
     fn on_site_failure(&mut self, failed: SiteId, fx: &mut Effects<Self::Msg>) {

@@ -279,7 +279,7 @@ impl ReplicaSite {
             // local routing is needed — but keep it uniform anyway.
             self.route(fx, to, RegMsg::Mutex(m));
         }
-        if entered {
+        if !entered.is_empty() {
             self.on_cs_granted(fx);
         }
     }

@@ -423,7 +423,7 @@ where
                 for (to, msg) in sends {
                     let _ = tx.send(Envelope { from: me, to, msg });
                 }
-                entered
+                !entered.is_empty()
             }
             // The driver clock handed to the transport layer: microseconds
             // since cluster start (monotone, shared by all sites).

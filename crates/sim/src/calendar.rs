@@ -212,11 +212,11 @@ const RETUNE_SCAN_FACTOR: u64 = 8;
 ///   cluster the cursor walks through, not the far tail); before any
 ///   pops exist, a density-corrected span-per-item estimate.
 /// * **Bucket count** — enough buckets to cover every day in the live
-///   span (no aliasing), capped at [`BUCKETS_PER_ITEM_CAP`] per item.
+///   span (no aliasing), capped at `BUCKETS_PER_ITEM_CAP` per item.
 /// * **Triggers** — the length doubling or halving (×4 band in each
 ///   direction) since the last resize, plus a scan-cost retune when
-///   pops average more than [`RETUNE_SCAN_FACTOR`] scanned items over a
-///   [`RETUNE_MIN_POPS`] window and the sampled gap disagrees with the
+///   pops average more than `RETUNE_SCAN_FACTOR` scanned items over a
+///   `RETUNE_MIN_POPS` window and the sampled gap disagrees with the
 ///   current width. The wide band means a length oscillating around a
 ///   fixed working set never thrashes the table.
 #[derive(Debug)]
@@ -795,7 +795,7 @@ mod tests {
     /// Exercises the scan-cost retune: a bulk load whose span estimate is
     /// stretched by one far outlier picks a day width ~1024× the true
     /// inter-pop gap, so every pop rescans the dense cluster. After
-    /// [`RETUNE_MIN_POPS`] pops the sampled gap (1 tick) disagrees with
+    /// `RETUNE_MIN_POPS` pops the sampled gap (1 tick) disagrees with
     /// the width and the retune must rebucket to the narrow width.
     #[test]
     fn scan_cost_retune_rebuckets_to_the_sampled_gap() {

@@ -1,6 +1,6 @@
 //! Measurement collection: message counts and per-CS timing records.
 
-use qmx_core::{AbortCounters, DetectorCounters, MsgKind, SiteId, TransportCounters};
+use qmx_core::{AbortCounters, DetectorCounters, MsgKind, ResourceId, SiteId, TransportCounters};
 use std::collections::BTreeMap;
 
 /// Timing record of one completed critical-section execution.
@@ -8,6 +8,9 @@ use std::collections::BTreeMap;
 pub struct CsRecord {
     /// The executing site.
     pub site: SiteId,
+    /// The resource whose CS was executed ([`ResourceId::SOLO`] for
+    /// single-lock runs).
+    pub resource: ResourceId,
     /// Virtual time the application issued the request.
     pub requested_at: u64,
     /// Virtual time the site entered the CS.
@@ -187,14 +190,28 @@ impl Metrics {
     /// site exits the CS and before the next site enters the CS" — which is
     /// only meaningful under contention (§5.1 notes it is meaningless at
     /// light load, where the gap is dominated by request arrival).
+    ///
+    /// In a multi-resource run each resource is an independent CS instance,
+    /// so gaps are measured *within* a resource's execution sequence;
+    /// samples are concatenated in resource-id order. Single-resource runs
+    /// (everything on [`ResourceId::SOLO`]) are one group, exactly as
+    /// before.
     pub fn sync_delays(&self) -> Vec<u64> {
-        let mut ordered: Vec<&CsRecord> = self.records.iter().collect();
-        ordered.sort_by_key(|r| r.entered_at);
-        ordered
-            .windows(2)
-            .filter(|w| w[1].requested_at <= w[0].exited_at)
-            .map(|w| w[1].entered_at.saturating_sub(w[0].exited_at))
-            .collect()
+        let mut by_resource: BTreeMap<ResourceId, Vec<&CsRecord>> = BTreeMap::new();
+        for r in &self.records {
+            by_resource.entry(r.resource).or_default().push(r);
+        }
+        let mut out = Vec::new();
+        for (_, mut ordered) in by_resource {
+            ordered.sort_by_key(|r| r.entered_at);
+            out.extend(
+                ordered
+                    .windows(2)
+                    .filter(|w| w[1].requested_at <= w[0].exited_at)
+                    .map(|w| w[1].entered_at.saturating_sub(w[0].exited_at)),
+            );
+        }
+        out
     }
 
     /// Mean of [`Metrics::sync_delays`], if any sample exists.
@@ -225,6 +242,16 @@ impl Metrics {
         }
         m
     }
+
+    /// Per-resource completed-CS counts (multi-resource fairness analysis;
+    /// a single entry keyed [`ResourceId::SOLO`] for single-lock runs).
+    pub fn per_resource_counts(&self) -> BTreeMap<ResourceId, usize> {
+        let mut m = BTreeMap::new();
+        for r in &self.records {
+            *m.entry(r.resource).or_insert(0) += 1;
+        }
+        m
+    }
 }
 
 #[cfg(test)]
@@ -234,9 +261,17 @@ mod tests {
     fn rec(site: u32, req: u64, enter: u64, exit: u64) -> CsRecord {
         CsRecord {
             site: SiteId(site),
+            resource: ResourceId::SOLO,
             requested_at: req,
             entered_at: enter,
             exited_at: exit,
+        }
+    }
+
+    fn rec_r(site: u32, resource: u32, req: u64, enter: u64, exit: u64) -> CsRecord {
+        CsRecord {
+            resource: ResourceId(resource),
+            ..rec(site, req, enter, exit)
         }
     }
 
@@ -343,5 +378,30 @@ mod tests {
         m.record_cs(rec(1, 15, 21, 30)); // completes second
         m.record_cs(rec(0, 0, 10, 20)); // completes first
         assert_eq!(m.sync_delays(), vec![1]);
+    }
+
+    #[test]
+    fn sync_delays_group_per_resource() {
+        let mut m = Metrics::new();
+        // Resource 1: contended handover with gap 1. Resource 2: its
+        // entries interleave in time with resource 1's but belong to an
+        // independent lock — no cross-resource gap is ever measured.
+        m.record_cs(rec_r(0, 1, 0, 10, 20));
+        m.record_cs(rec_r(2, 2, 0, 12, 22));
+        m.record_cs(rec_r(1, 1, 15, 21, 30));
+        m.record_cs(rec_r(3, 2, 5, 25, 33));
+        assert_eq!(m.sync_delays(), vec![1, 3]);
+    }
+
+    #[test]
+    fn per_resource_counts() {
+        let mut m = Metrics::new();
+        m.record_cs(rec_r(0, 1, 0, 1, 2));
+        m.record_cs(rec_r(1, 1, 3, 4, 5));
+        m.record_cs(rec_r(0, 5, 3, 6, 7));
+        let c = m.per_resource_counts();
+        assert_eq!(c[&ResourceId(1)], 2);
+        assert_eq!(c[&ResourceId(5)], 1);
+        assert!(!c.contains_key(&ResourceId::SOLO));
     }
 }

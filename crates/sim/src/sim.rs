@@ -6,7 +6,9 @@ use crate::metrics::{CsRecord, Metrics};
 use crate::partition::PartitionModel;
 use crate::sites::SiteStates;
 use crate::trace::{Trace, TraceEvent};
-use qmx_core::{Effects, FaultVerdict, LinkFaults, LossModel, MsgMeta, Outage, Protocol, SiteId};
+use qmx_core::{
+    Effects, FaultVerdict, LinkFaults, LossModel, MsgMeta, Outage, Protocol, ResourceId, SiteId,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, VecDeque};
@@ -99,8 +101,8 @@ impl Default for SimConfig {
 #[derive(Debug)]
 enum EventKind<M> {
     Deliver { from: SiteId, to: SiteId, msg: M },
-    Request { site: SiteId },
-    Exit { site: SiteId },
+    Request { site: SiteId, rid: ResourceId },
+    Exit { site: SiteId, rid: ResourceId },
     Crash { site: SiteId },
     Recover { site: SiteId },
     Notice { site: SiteId, failed: SiteId },
@@ -109,7 +111,7 @@ enum EventKind<M> {
     Restore { src: SiteId, dst: SiteId },
     Heal,
     Tick { site: SiteId },
-    Abort { site: SiteId },
+    Abort { site: SiteId, rid: ResourceId },
 }
 
 /// What the scheduler actually stores and scans: the `(time, seq)`
@@ -280,6 +282,17 @@ pub struct Simulator<P: Protocol> {
     /// Per-site retry-attempt counters for the closed-loop client
     /// ([`SimConfig::retry`]); reset on every successful CS entry.
     retry_attempts: Vec<u32>,
+    /// Multi-resource overlays, keyed `(site, resource)` — only resources
+    /// other than [`ResourceId::SOLO`] live here, so single-lock runs never
+    /// touch these maps and stay on the struct-of-arrays hot path.
+    requested_at_r: BTreeMap<(u32, u32), u64>,
+    /// CS entry times for non-solo resources (see `requested_at_r`).
+    entered_at_r: BTreeMap<(u32, u32), u64>,
+    /// Safety monitor per non-solo resource: who holds each lock.
+    in_cs_r: BTreeMap<u32, SiteId>,
+    /// Retry-attempt counters per `(site, resource)` for non-solo
+    /// resources.
+    retry_attempts_r: BTreeMap<(u32, u32), u32>,
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -323,6 +336,10 @@ impl<P: Protocol> Simulator<P> {
             delay_script: VecDeque::new(),
             hold_script: VecDeque::new(),
             retry_attempts: vec![0; n],
+            requested_at_r: BTreeMap::new(),
+            entered_at_r: BTreeMap::new(),
+            in_cs_r: BTreeMap::new(),
+            retry_attempts_r: BTreeMap::new(),
         }
     }
 
@@ -359,6 +376,16 @@ impl<P: Protocol> Simulator<P> {
     /// The site currently in its CS, if any (safety monitor's view).
     pub fn site_in_cs(&self) -> Option<SiteId> {
         self.in_cs
+    }
+
+    /// The site currently holding resource `rid`, if any (safety monitor's
+    /// view). For [`ResourceId::SOLO`] this is [`Simulator::site_in_cs`].
+    pub fn site_in_cs_r(&self, rid: ResourceId) -> Option<SiteId> {
+        if rid == ResourceId::SOLO {
+            self.in_cs
+        } else {
+            self.in_cs_r.get(&rid.0).copied()
+        }
     }
 
     /// Whether `site` has crashed.
@@ -404,7 +431,21 @@ impl<P: Protocol> Simulator<P> {
     /// treat a busy site as not generating new demand, keeping "a site
     /// executes its CS requests sequentially one by one" (§2).
     pub fn schedule_request(&mut self, site: SiteId, at: u64) {
-        self.push(at, EventKind::Request { site });
+        self.push(
+            at,
+            EventKind::Request {
+                site,
+                rid: ResourceId::SOLO,
+            },
+        );
+    }
+
+    /// Schedules a CS request against a named resource of a multi-resource
+    /// protocol (a [`qmx_core::LockSpace`] stack). The busy check applies
+    /// per `(site, resource)` pair: the same site can hold several distinct
+    /// locks concurrently, but never re-requests one it already waits for.
+    pub fn schedule_request_r(&mut self, site: SiteId, rid: ResourceId, at: u64) {
+        self.push(at, EventKind::Request { site, rid });
     }
 
     /// Schedules a whole batch of CS requests (pre-generated arrivals)
@@ -421,7 +462,31 @@ impl<P: Protocol> Simulator<P> {
                 EventKey {
                     time: at,
                     seq,
-                    slot: self.payloads.insert(EventKind::Request { site }),
+                    slot: self.payloads.insert(EventKind::Request {
+                        site,
+                        rid: ResourceId::SOLO,
+                    }),
+                }
+            })
+            .collect();
+        self.seq = seq;
+        self.events.bulk_load(events);
+    }
+
+    /// Bulk-loads multi-resource arrivals, the `(site, resource, at)`
+    /// analogue of [`Simulator::schedule_requests`]. Sequence numbers are
+    /// assigned in slice order, so the run is byte-identical to scheduling
+    /// each arrival with [`Simulator::schedule_request_r`] in turn.
+    pub fn schedule_requests_r(&mut self, arrivals: &[(SiteId, ResourceId, u64)]) {
+        let mut seq = self.seq;
+        let events: Vec<EventKey> = arrivals
+            .iter()
+            .map(|&(site, rid, at)| {
+                seq += 1;
+                EventKey {
+                    time: at,
+                    seq,
+                    slot: self.payloads.insert(EventKind::Request { site, rid }),
                 }
             })
             .collect();
@@ -435,7 +500,19 @@ impl<P: Protocol> Simulator<P> {
     /// between the abort and an in-flight grant resolves to whichever
     /// landed first: clean entry or clean abort, never a lost lock.
     pub fn schedule_abort(&mut self, site: SiteId, at: u64) {
-        self.push(at, EventKind::Abort { site });
+        self.push(
+            at,
+            EventKind::Abort {
+                site,
+                rid: ResourceId::SOLO,
+            },
+        );
+    }
+
+    /// Schedules an abort of `site`'s pending request for a named resource
+    /// (see [`Simulator::schedule_abort`] for the race semantics).
+    pub fn schedule_abort_r(&mut self, site: SiteId, rid: ResourceId, at: u64) {
+        self.push(at, EventKind::Abort { site, rid });
     }
 
     /// Schedules a crash of `site` at virtual time `at`. When
@@ -564,7 +641,6 @@ impl<P: Protocol> Simulator<P> {
 
     fn apply_effects(&mut self, site: SiteId, fx: &mut Effects<P::Msg>) {
         let n = self.sites.len();
-        let entered = fx.entered_cs();
         for (to, msg) in fx.drain_sends() {
             debug_assert_ne!(to, site, "self-sends must be handled internally");
             if self.states.is_crashed(to) {
@@ -629,23 +705,37 @@ impl<P: Protocol> Simulator<P> {
             }
         }
         self.arm_timer(site);
-        if entered {
-            assert!(
-                self.in_cs.is_none(),
-                "MUTUAL EXCLUSION VIOLATED at t={}: {} entered while {:?} is in the CS",
-                self.now,
-                site,
-                self.in_cs
-            );
-            self.in_cs = Some(site);
-            self.retry_attempts[site.index()] = 0;
-            self.states.set_entered_at(site, self.now);
+        for rid in fx.drain_entered() {
+            if rid == ResourceId::SOLO {
+                assert!(
+                    self.in_cs.is_none(),
+                    "MUTUAL EXCLUSION VIOLATED at t={}: {} entered while {:?} is in the CS",
+                    self.now,
+                    site,
+                    self.in_cs
+                );
+                self.in_cs = Some(site);
+                self.retry_attempts[site.index()] = 0;
+                self.states.set_entered_at(site, self.now);
+            } else {
+                let prev = self.in_cs_r.insert(rid.0, site);
+                assert!(
+                    prev.is_none(),
+                    "MUTUAL EXCLUSION VIOLATED at t={} on {}: {} entered while {:?} holds it",
+                    self.now,
+                    rid,
+                    site,
+                    prev
+                );
+                self.retry_attempts_r.remove(&(site.0, rid.0));
+                self.entered_at_r.insert((site.0, rid.0), self.now);
+            }
             self.record(TraceEvent::Enter { t: self.now, site });
             let hold = match self.hold_script.pop_front() {
                 Some(h) => h,
                 None => self.cfg.hold.sample(&mut self.rng),
             };
-            self.push(self.now + hold, EventKind::Exit { site });
+            self.push(self.now + hold, EventKind::Exit { site, rid });
         }
     }
 
@@ -668,7 +758,17 @@ impl<P: Protocol> Simulator<P> {
             .abort_counters()
             .map_or(0, |c| c.aborts);
         if aborts_after > aborts_before {
-            self.maybe_retry(site);
+            // Multi-resource protocols attribute each abort to a resource;
+            // single-resource protocols return an empty list and retry the
+            // solo lock, exactly as before the lock-space layer existed.
+            let aborted = self.sites[site.index()].drain_aborted_resources();
+            if aborted.is_empty() {
+                self.maybe_retry(site, ResourceId::SOLO);
+            } else {
+                for rid in aborted {
+                    self.maybe_retry(site, rid);
+                }
+            }
         }
     }
 
@@ -676,9 +776,13 @@ impl<P: Protocol> Simulator<P> {
     /// if a [`RetryPolicy`] is configured and attempts remain. The retry
     /// is a regular arrival: it re-arms the deadline and competes like any
     /// other request.
-    fn maybe_retry(&mut self, site: SiteId) {
+    fn maybe_retry(&mut self, site: SiteId, rid: ResourceId) {
         let Some(r) = self.cfg.retry else { return };
-        let attempts = &mut self.retry_attempts[site.index()];
+        let attempts = if rid == ResourceId::SOLO {
+            &mut self.retry_attempts[site.index()]
+        } else {
+            self.retry_attempts_r.entry((site.0, rid.0)).or_insert(0)
+        };
         if *attempts >= r.max_attempts {
             return;
         }
@@ -691,7 +795,7 @@ impl<P: Protocol> Simulator<P> {
         // contenders spread out without collapsing the backoff entirely.
         let backoff = self.rng.gen_range(exp / 2..=exp).max(1);
         self.metrics.count_retry();
-        self.push(self.now + backoff, EventKind::Request { site });
+        self.push(self.now + backoff, EventKind::Request { site, rid });
     }
 
     fn ensure_started(&mut self) {
@@ -724,47 +828,84 @@ impl<P: Protocol> Simulator<P> {
                 });
                 self.dispatch(to, |s, fx| s.handle(from, msg, fx));
             }
-            EventKind::Request { site } => {
+            EventKind::Request { site, rid } => {
                 if self.states.is_crashed(site) {
                     return;
                 }
                 let s = &self.sites[site.index()];
-                if s.in_cs() || s.wants_cs() {
-                    return; // busy: drop the arrival
+                if rid == ResourceId::SOLO {
+                    if s.in_cs() || s.wants_cs() {
+                        return; // busy: drop the arrival
+                    }
+                    self.states.set_requested_at(site, self.now);
+                } else {
+                    if s.in_cs_r(rid) || s.wants_cs_r(rid) {
+                        return; // busy on this resource: drop the arrival
+                    }
+                    self.requested_at_r.insert((site.0, rid.0), self.now);
                 }
-                self.states.set_requested_at(site, self.now);
                 let deadline = self.cfg.deadline.map(|d| self.now + d);
                 self.dispatch(site, |s, fx| {
-                    if deadline.is_some() {
-                        s.set_deadline(deadline);
+                    if rid == ResourceId::SOLO {
+                        if deadline.is_some() {
+                            s.set_deadline(deadline);
+                        }
+                        s.request_cs(fx);
+                    } else {
+                        if deadline.is_some() {
+                            s.set_deadline_r(rid, deadline);
+                        }
+                        s.request_cs_r(rid, fx);
                     }
-                    s.request_cs(fx);
                 });
             }
-            EventKind::Exit { site } => {
+            EventKind::Exit { site, rid } => {
                 if self.states.is_crashed(site) {
                     return;
                 }
-                let Some(entered_at) = self.states.entered_at(site) else {
-                    // Stale exit from a pre-crash incarnation: the site
-                    // crashed inside its CS and has since restarted fresh.
-                    return;
-                };
-                debug_assert_eq!(self.in_cs, Some(site));
-                self.in_cs = None;
-                self.record(TraceEvent::Exit { t: self.now, site });
-                let rec = CsRecord {
-                    site,
-                    requested_at: self
-                        .states
-                        .requested_at(site)
-                        .expect("exit implies a request"),
-                    entered_at,
-                    exited_at: self.now,
-                };
-                self.metrics.record_cs(rec);
-                self.states.clear_cs_times(site);
-                self.dispatch(site, |s, fx| s.release_cs(fx));
+                if rid == ResourceId::SOLO {
+                    let Some(entered_at) = self.states.entered_at(site) else {
+                        // Stale exit from a pre-crash incarnation: the site
+                        // crashed inside its CS and has since restarted
+                        // fresh.
+                        return;
+                    };
+                    debug_assert_eq!(self.in_cs, Some(site));
+                    self.in_cs = None;
+                    self.record(TraceEvent::Exit { t: self.now, site });
+                    let rec = CsRecord {
+                        site,
+                        resource: ResourceId::SOLO,
+                        requested_at: self
+                            .states
+                            .requested_at(site)
+                            .expect("exit implies a request"),
+                        entered_at,
+                        exited_at: self.now,
+                    };
+                    self.metrics.record_cs(rec);
+                    self.states.clear_cs_times(site);
+                    self.dispatch(site, |s, fx| s.release_cs(fx));
+                } else {
+                    let Some(entered_at) = self.entered_at_r.remove(&(site.0, rid.0)) else {
+                        return; // stale exit from a pre-crash incarnation
+                    };
+                    debug_assert_eq!(self.in_cs_r.get(&rid.0), Some(&site));
+                    self.in_cs_r.remove(&rid.0);
+                    self.record(TraceEvent::Exit { t: self.now, site });
+                    let rec = CsRecord {
+                        site,
+                        resource: rid,
+                        requested_at: self
+                            .requested_at_r
+                            .remove(&(site.0, rid.0))
+                            .expect("exit implies a request"),
+                        entered_at,
+                        exited_at: self.now,
+                    };
+                    self.metrics.record_cs(rec);
+                    self.dispatch(site, |s, fx| s.release_cs_r(rid, fx));
+                }
             }
             EventKind::Crash { site } => {
                 if !self.states.set_crashed(site) {
@@ -777,6 +918,12 @@ impl<P: Protocol> Simulator<P> {
                     self.in_cs = None;
                 }
                 self.states.clear_cs_times(site);
+                // Every per-resource CS and pending request dies with the
+                // site too; pending `Exit` events become stale tombstones.
+                self.in_cs_r.retain(|_, holder| *holder != site);
+                self.requested_at_r.retain(|&(s, _), _| s != site.0);
+                self.entered_at_r.retain(|&(s, _), _| s != site.0);
+                self.retry_attempts_r.retain(|&(s, _), _| s != site.0);
                 if self.cfg.oracle_notices {
                     for i in 0..self.sites.len() {
                         let target = SiteId(i as u32);
@@ -859,12 +1006,16 @@ impl<P: Protocol> Simulator<P> {
             EventKind::Restore { src, dst } => {
                 self.partition.restore(src, dst);
             }
-            EventKind::Abort { site } => {
+            EventKind::Abort { site, rid } => {
                 if self.states.is_crashed(site) {
                     return;
                 }
                 self.dispatch(site, |s, fx| {
-                    let _ = s.abort_cs(fx);
+                    if rid == ResourceId::SOLO {
+                        let _ = s.abort_cs(fx);
+                    } else {
+                        let _ = s.abort_cs_r(rid, fx);
+                    }
                 });
             }
         }

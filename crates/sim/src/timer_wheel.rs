@@ -1,17 +1,17 @@
 //! Hierarchical timer wheel: the large-N event scheduler.
 //!
-//! The third [`Scheduler`](crate::Scheduler) implementation, selected by
+//! The third [`Scheduler`] implementation, selected by
 //! [`SchedulerKind::Wheel`](crate::SchedulerKind). The calendar queue's
 //! pop scans a whole day bucket (and a whole lap when sparse); at
 //! N = 10⁵ sites the future-event set holds hundreds of thousands of
 //! detector heartbeat/lease ticks and request deadlines, and those scans
 //! are the top profile line. The wheel replaces them with bitmap
-//! arithmetic: each of [`LEVELS`] levels holds [`SLOTS`] slots of width
+//! arithmetic: each of `LEVELS` levels holds `SLOTS` slots of width
 //! `SLOTS^level` ticks, a `u64` occupancy bitmap per level turns
 //! "earliest non-empty slot" into one `trailing_zeros`, and a pop either
 //! reads a level-0 slot (whose items all share one exact time — only the
 //! `seq` tie-break needs a scan) or cascades one higher-level slot down.
-//! Every item cascades at most [`LEVELS`] times over its lifetime, so
+//! Every item cascades at most `LEVELS` times over its lifetime, so
 //! push and pop are O(1) amortized with no per-pop lap scans.
 //!
 //! **Determinism contract** (same as the calendar): pops return the
@@ -65,8 +65,8 @@ fn slot_of(time: u64, level: usize) -> usize {
 
 /// The hierarchical timer-wheel scheduler.
 ///
-/// Storage is the same slot arena as [`CalendarScheduler`]
-/// (crate::CalendarScheduler): items live in one flat `slots` array,
+/// Storage is the same slot arena as
+/// [`CalendarScheduler`](crate::CalendarScheduler): items live in one flat `slots` array,
 /// each (level, slot) pair heads an intrusive singly linked chain
 /// through the parallel `next` array, and freed indices recycle through
 /// a free list — steady state allocates nothing.

@@ -5,12 +5,15 @@
 //! here are parameterized to sweep between them. All generators are seeded
 //! and deterministic.
 
-use qmx_core::SiteId;
+use qmx_core::{ResourceId, SiteId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A scheduled CS request: `(site, virtual time)`.
 pub type Arrival = (SiteId, u64);
+
+/// A scheduled multi-resource CS request: `(site, resource, virtual time)`.
+pub type ResourceArrival = (SiteId, ResourceId, u64);
 
 /// An arrival process over `n` sites and a time horizon.
 #[derive(Debug, Clone, PartialEq)]
@@ -146,6 +149,130 @@ impl ArrivalProcess {
     }
 }
 
+/// How a base arrival schedule spreads across a lock space of named
+/// resources. Assignment is a pure function of `(seed, arrival index)` via
+/// a splitmix64 hash, so it is independent of any RNG stream, stable under
+/// re-generation, and trivially `--jobs`-invariant.
+///
+/// Resource ids are always drawn from `1..=resources` — id 0 is
+/// [`ResourceId::SOLO`], reserved for classic single-lock runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResourceMix {
+    /// Zipf-distributed popularity: resource `k` (1-based) receives traffic
+    /// proportional to `1 / k^s`. `s = 0` is uniform; `s ≈ 1` is the
+    /// classic web-caching skew; larger `s` concentrates almost all load on
+    /// a handful of hot locks.
+    Zipf {
+        /// Number of distinct resources (≥ 1).
+        resources: u32,
+        /// Skew exponent (≥ 0).
+        s: f64,
+    },
+    /// Hotspot: a fixed fraction of arrivals hits the first `hot`
+    /// resources (uniformly among them); the rest spread uniformly over
+    /// the remaining cold resources.
+    Hotspot {
+        /// Number of distinct resources (≥ 1).
+        resources: u32,
+        /// Number of hot resources (1..=resources).
+        hot: u32,
+        /// Fraction of arrivals directed at the hot set (0.0..=1.0).
+        hot_share: f64,
+    },
+}
+
+/// splitmix64 finalizer: a high-quality 64-bit mix used to derive
+/// per-arrival resource draws without touching any RNG stream.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` double from a hash of `(seed, i)`.
+fn unit(seed: u64, i: u64) -> f64 {
+    (splitmix64(seed ^ i.wrapping_mul(0xA076_1D64_78BD_642F)) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl ResourceMix {
+    /// Number of distinct resources in the mix.
+    pub fn resources(&self) -> u32 {
+        match *self {
+            ResourceMix::Zipf { resources, .. } | ResourceMix::Hotspot { resources, .. } => {
+                resources
+            }
+        }
+    }
+
+    /// Tags each arrival of a base schedule with a resource id drawn from
+    /// this mix. The `i`-th arrival's resource depends only on `(seed, i)`,
+    /// so two calls with the same inputs agree element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters: zero resources, negative skew, a
+    /// hot set outside `1..=resources`, or a hot share outside `0..=1`.
+    pub fn assign(&self, arrivals: &[Arrival], seed: u64) -> Vec<ResourceArrival> {
+        match *self {
+            ResourceMix::Zipf { resources, s } => {
+                assert!(resources > 0, "need at least one resource");
+                assert!(s >= 0.0, "zipf skew must be non-negative");
+                // Cumulative (unnormalized) harmonic weights; binary search
+                // per arrival keeps a 1000-resource assignment cheap.
+                let mut cdf = Vec::with_capacity(resources as usize);
+                let mut acc = 0.0f64;
+                for k in 1..=resources {
+                    acc += 1.0 / f64::from(k).powf(s);
+                    cdf.push(acc);
+                }
+                let total = acc;
+                arrivals
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(site, t))| {
+                        let u = unit(seed, i as u64) * total;
+                        let k = cdf.partition_point(|&c| c <= u) as u32;
+                        (site, ResourceId(k.min(resources - 1) + 1), t)
+                    })
+                    .collect()
+            }
+            ResourceMix::Hotspot {
+                resources,
+                hot,
+                hot_share,
+            } => {
+                assert!(resources > 0, "need at least one resource");
+                assert!(
+                    hot >= 1 && hot <= resources,
+                    "hot set must be within 1..=resources"
+                );
+                assert!(
+                    (0.0..=1.0).contains(&hot_share),
+                    "hot share must be within 0..=1"
+                );
+                let cold = resources - hot;
+                arrivals
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(site, t))| {
+                        let u = unit(seed, i as u64);
+                        let rid = if u < hot_share || cold == 0 {
+                            // Re-scale the draw into the hot bucket.
+                            let v = if hot_share > 0.0 { u / hot_share } else { u };
+                            1 + ((v * f64::from(hot)) as u32).min(hot - 1)
+                        } else {
+                            let v = (u - hot_share) / (1.0 - hot_share);
+                            hot + 1 + ((v * f64::from(cold)) as u32).min(cold - 1)
+                        };
+                        (site, ResourceId(rid), t)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,5 +350,85 @@ mod tests {
         let p = ArrivalProcess::Poisson { mean_gap: 30 };
         let a = p.generate(5, 2_000, 11);
         assert!(a.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn zipf_mix_is_deterministic_and_skewed() {
+        let base = ArrivalProcess::Poisson { mean_gap: 10 }.generate(5, 20_000, 7);
+        let mix = ResourceMix::Zipf {
+            resources: 50,
+            s: 1.2,
+        };
+        let a = mix.assign(&base, 42);
+        assert_eq!(a, mix.assign(&base, 42));
+        assert!(a.iter().all(|&(_, r, _)| (1..=50).contains(&r.0)));
+        // Preserves sites and times element-wise.
+        assert!(a
+            .iter()
+            .zip(&base)
+            .all(|(&(s, _, t), &(bs, bt))| s == bs && t == bt));
+        // Skew: the hottest resource dominates the coldest decisively.
+        let count = |rid: u32| a.iter().filter(|&&(_, r, _)| r.0 == rid).count();
+        assert!(count(1) > 10 * count(50).max(1) / 2, "not skewed enough");
+        // A different seed re-deals the resources.
+        assert_ne!(a, mix.assign(&base, 43));
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_roughly_uniform() {
+        let base = ArrivalProcess::Saturated { tick_gap: 5 }.generate(4, 10_000, 0);
+        let mix = ResourceMix::Zipf {
+            resources: 4,
+            s: 0.0,
+        };
+        let a = mix.assign(&base, 9);
+        let n = a.len();
+        for rid in 1..=4u32 {
+            let c = a.iter().filter(|&&(_, r, _)| r.0 == rid).count();
+            assert!(c > n / 8 && c < n / 2, "resource {rid} got {c} of {n}");
+        }
+    }
+
+    #[test]
+    fn hotspot_mix_concentrates_on_hot_set() {
+        let base = ArrivalProcess::Saturated { tick_gap: 5 }.generate(4, 10_000, 0);
+        let mix = ResourceMix::Hotspot {
+            resources: 20,
+            hot: 2,
+            hot_share: 0.9,
+        };
+        let a = mix.assign(&base, 3);
+        assert!(a.iter().all(|&(_, r, _)| (1..=20).contains(&r.0)));
+        let hot = a.iter().filter(|&&(_, r, _)| r.0 <= 2).count();
+        assert!(
+            hot as f64 > 0.8 * a.len() as f64,
+            "hot set got {hot}/{}",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn mixes_never_emit_resource_zero() {
+        let base = ArrivalProcess::Periodic {
+            period: 10,
+            stagger: 1,
+        }
+        .generate(3, 1_000, 0);
+        for mix in [
+            ResourceMix::Zipf {
+                resources: 1,
+                s: 2.0,
+            },
+            ResourceMix::Hotspot {
+                resources: 1,
+                hot: 1,
+                hot_share: 1.0,
+            },
+        ] {
+            assert!(mix
+                .assign(&base, 5)
+                .iter()
+                .all(|&(_, r, _)| r != qmx_core::ResourceId::SOLO));
+        }
     }
 }

@@ -14,13 +14,17 @@
 //!   worker threads (results in item order, identical for any `--jobs`);
 //! * [`chaos`] — nemesis-style partition chaos soak (ring cuts, bridge
 //!   isolation, flapping links) against live load, byte-identical for
-//!   any worker count.
+//!   any worker count;
+//! * [`lockspace_soak`] — multi-resource chaos soak: zipfian load over a
+//!   sharded [`qmx_core::LockSpace`] per site under ring cuts, proving
+//!   that all resources share one transport/detector per link.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arrival;
 pub mod chaos;
+pub mod lockspace_soak;
 pub mod parallel;
 pub mod replicate;
 pub mod scenario;

@@ -89,6 +89,13 @@ pub struct RunReport {
     pub aborts: AbortCounters,
     /// Aborted requests the closed-loop client re-issued with backoff.
     pub retries: u64,
+    /// Number of distinct resources that completed at least one CS (1 for
+    /// classic single-lock runs, 0 when nothing completed).
+    pub resources: usize,
+    /// Jain fairness over per-*resource* CS counts — how evenly completed
+    /// executions spread across the lock space (trivially 1.0 for a
+    /// single-lock run).
+    pub resource_fairness: Option<f64>,
 }
 
 impl RunReport {
@@ -102,6 +109,7 @@ impl RunReport {
         for (site, c) in m.per_site_counts() {
             counts[site.index()] = c;
         }
+        let res_counts: Vec<usize> = m.per_resource_counts().into_values().collect();
         RunReport {
             n,
             quorum_size,
@@ -141,6 +149,8 @@ impl RunReport {
             detector: *m.detector(),
             aborts: *m.aborts(),
             retries: m.retries(),
+            resources: res_counts.len(),
+            resource_fairness: jain_fairness(&res_counts),
         }
     }
 }
@@ -177,18 +187,20 @@ mod tests {
 
     #[test]
     fn report_normalizes_by_t() {
-        use qmx_core::SiteId;
+        use qmx_core::{ResourceId, SiteId};
         use qmx_sim::CsRecord;
         let mut m = Metrics::new();
         m.count_msg(MsgKind::Request);
         m.record_cs(CsRecord {
             site: SiteId(0),
+            resource: ResourceId::SOLO,
             requested_at: 0,
             entered_at: 2000,
             exited_at: 2100,
         });
         m.record_cs(CsRecord {
             site: SiteId(1),
+            resource: ResourceId::SOLO,
             requested_at: 1000,
             entered_at: 3100,
             exited_at: 3200,
@@ -201,5 +213,7 @@ mod tests {
         assert_eq!(r.response_p99_t, Some(2.2));
         assert!((r.throughput_per_t - 0.2).abs() < 1e-12);
         assert_eq!(r.fairness, Some(1.0));
+        assert_eq!(r.resources, 1);
+        assert_eq!(r.resource_fairness, Some(1.0));
     }
 }

@@ -79,7 +79,7 @@ fn run_coordinated(n: usize, increments_per_site: usize) -> (u64, u64) {
                 for (to, msg) in sends {
                     inflight.push_back((SiteId(i as u32), to, msg));
                 }
-                if entered {
+                if !entered.is_empty() {
                     // Degenerate (n = 1): entered synchronously.
                     apply_increment(&mut replicas, i);
                     remaining[i] -= 1;
@@ -101,7 +101,7 @@ fn run_coordinated(n: usize, increments_per_site: usize) -> (u64, u64) {
             for (t, m) in sends {
                 inflight.push_back((to, t, m));
             }
-            if entered {
+            if !entered.is_empty() {
                 // Critical section: the serialized read-modify-write.
                 let i = to.index();
                 assert!(

@@ -147,8 +147,65 @@ pub enum Command {
         /// Worker threads for the experiment fan-out (0 = auto-detect).
         jobs: usize,
     },
+    /// Serve one site of a live networked cluster.
+    Serve {
+        /// This site's id (`0..sites`).
+        site: u32,
+        /// Cluster size.
+        sites: u32,
+        /// Address to listen on (`host:port` for tcp, a path for uds).
+        listen: String,
+        /// Peer addresses as `(site, addr)`; one entry per other site.
+        peers: Vec<(u32, String)>,
+        /// Socket flavour.
+        transport: WireTransport,
+        /// Reply-forwarding (`false` = the `2T` arbiter-mediated baseline).
+        forwarding: bool,
+        /// §6 quorum reconstruction on suspicion/failure.
+        reconstruct: bool,
+        /// Crash-recovery incarnation (`>0` announces a rejoin).
+        incarnation: u64,
+        /// Exit after this many milliseconds (`None` = serve until killed).
+        for_ms: Option<u64>,
+    },
+    /// Drive open-loop load at a live cluster and print latency percentiles.
+    BenchLoad {
+        /// Site addresses; virtual clients attach round-robin.
+        addrs: Vec<String>,
+        /// Socket flavour.
+        transport: WireTransport,
+        /// Virtual client count.
+        clients: usize,
+        /// Distinct resources.
+        resources: u32,
+        /// Measured run length, milliseconds.
+        duration_ms: u64,
+        /// Mean exponential think time, milliseconds.
+        think_ms: u64,
+        /// Lock hold time, milliseconds.
+        hold_ms: u64,
+        /// Per-acquire wait budget, milliseconds (`None` = wait forever).
+        wait_ms: Option<u64>,
+        /// Zipf skew of resource popularity (0 = uniform).
+        zipf: f64,
+        /// RNG seed.
+        seed: u64,
+        /// Report label.
+        label: String,
+        /// Also write the rendered report to this file.
+        out: Option<String>,
+    },
     /// Print usage.
     Help,
+}
+
+/// Which socket family the live runtime commands use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireTransport {
+    /// TCP; addresses are `host:port`.
+    Tcp,
+    /// Unix-domain sockets; addresses are filesystem paths.
+    Uds,
 }
 
 /// Usage text.
@@ -174,6 +231,13 @@ USAGE:
                [--cuts C] [--restores C] [--aborts C] [--jobs J]
                [--trace-out FILE]
   qmxctl experiment NAME [--jobs J]
+  qmxctl serve --site I --sites N --listen ADDR --peer SITE=ADDR ...
+               [--transport tcp|uds] [--forwarding on|off]
+               [--reconstruct on|off] [--incarnation K] [--for-ms MS]
+  qmxctl bench-load --addr ADDR ... [--transport tcp|uds] [--clients C]
+               [--resources R] [--duration-ms MS] [--think-ms MS]
+               [--hold-ms MS] [--wait-ms MS] [--zipf S] [--seed S]
+               [--label TEXT] [--out FILE]
   qmxctl help
 
 WHERE:
@@ -232,6 +296,20 @@ WHERE:
   J = worker threads for the experiment fan-out (0 or absent = auto);
       reports are identical for every J — runs are pure per (scenario,
       seed) and rows are assembled in parameter order
+  serve runs ONE site of a live cluster over real sockets: the same
+      Detector<Reliable<LockSpace<DelayOptimal>>> stack the simulator
+      models, behind a framed wire protocol. Give every other site's
+      address via repeated --peer SITE=ADDR. --forwarding off serves the
+      2T arbiter-mediated baseline (the paper's comparison point);
+      --reconstruct off pins the fixed ring-majority quorum instead of
+      rebuilding it around suspected sites. --for-ms bounds the run for
+      scripted smoke tests; without it the process serves until killed
+  bench-load drives C virtual clients (round-robin over the --addr list)
+      through think/acquire/hold/release cycles with exponential think
+      times and zipfian resource choice, then prints per-resource
+      acquire-latency percentiles and the wire-level handover (sync
+      delay) distribution. --wait-ms 0 waits forever; --out also writes
+      the report to a file
 ";
 
 fn parse_algorithm(s: &str) -> Result<Algorithm, ParseError> {
@@ -293,6 +371,14 @@ fn parse_delay(s: &str) -> Result<DelayModel, ParseError> {
         _ => err(format!(
             "unknown delay model '{s}' (const:T | uniform:LO:HI | exp:MEAN)"
         )),
+    }
+}
+
+fn parse_wire(s: &str) -> Result<WireTransport, ParseError> {
+    match s {
+        "tcp" => Ok(WireTransport::Tcp),
+        "uds" => Ok(WireTransport::Uds),
+        other => err(format!("--transport wants tcp|uds, got '{other}'")),
     }
 }
 
@@ -634,6 +720,119 @@ impl Cli {
                 Command::Experiment {
                     name: name.clone(),
                     jobs: parse_u64(&f, "jobs", 0)? as usize,
+                }
+            }
+            "serve" => {
+                let f = flags(rest)?;
+                let sites = parse_u64(&f, "sites", 1)? as u32;
+                if sites == 0 {
+                    return err("--sites must be at least 1");
+                }
+                let site = parse_u64(&f, "site", 0)? as u32;
+                if site >= sites {
+                    return err(format!("--site {site} is outside 0..{sites}"));
+                }
+                let listen = one(&f, "listen", "");
+                if listen.is_empty() {
+                    return err("serve needs --listen ADDR");
+                }
+                let mut peers: Vec<(u32, String)> = Vec::new();
+                for p in f.get("peer").into_iter().flatten() {
+                    let Some((s, addr)) = p.split_once('=') else {
+                        return err(format!("--peer wants SITE=ADDR, got '{p}'"));
+                    };
+                    let s: u32 = s
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad site in --peer '{p}'")))?;
+                    if s >= sites {
+                        return err(format!("--peer {p} names a site outside 0..{sites}"));
+                    }
+                    if s == site {
+                        return err(format!("--peer {p} names this site itself"));
+                    }
+                    if peers.iter().any(|(e, _)| *e == s) {
+                        return err(format!("duplicate --peer for site {s}"));
+                    }
+                    peers.push((s, addr.to_string()));
+                }
+                if peers.len() as u32 != sites - 1 {
+                    return err(format!(
+                        "serve needs a --peer for each of the {} other sites, got {}",
+                        sites - 1,
+                        peers.len()
+                    ));
+                }
+                let on_off = |key: &str, default: bool| -> Result<bool, ParseError> {
+                    match one(&f, key, "") {
+                        "" => Ok(default),
+                        "on" | "true" => Ok(true),
+                        "off" | "false" => Ok(false),
+                        other => err(format!("--{key} wants on|off, got '{other}'")),
+                    }
+                };
+                let for_ms = match parse_u64(&f, "for-ms", 0)? {
+                    0 => None,
+                    ms => Some(ms),
+                };
+                Command::Serve {
+                    site,
+                    sites,
+                    listen: listen.to_string(),
+                    peers,
+                    transport: parse_wire(one(&f, "transport", "tcp"))?,
+                    forwarding: on_off("forwarding", true)?,
+                    reconstruct: on_off("reconstruct", true)?,
+                    incarnation: parse_u64(&f, "incarnation", 0)?,
+                    for_ms,
+                }
+            }
+            "bench-load" => {
+                let f = flags(rest)?;
+                let addrs: Vec<String> = f.get("addr").cloned().unwrap_or_default();
+                if addrs.is_empty() {
+                    return err("bench-load needs at least one --addr");
+                }
+                let clients = parse_u64(&f, "clients", 24)? as usize;
+                if clients == 0 {
+                    return err("--clients must be at least 1");
+                }
+                let resources = parse_u64(&f, "resources", 8)? as u32;
+                if resources == 0 {
+                    return err("--resources must be at least 1");
+                }
+                let wait_ms = match parse_u64(&f, "wait-ms", 2_000)? {
+                    0 => None,
+                    ms => Some(ms),
+                };
+                let zipf = match one(&f, "zipf", "") {
+                    "" => 0.9,
+                    s => {
+                        let z: f64 = s.parse().map_err(|_| {
+                            ParseError(format!("--zipf wants a skew exponent >= 0, got '{s}'"))
+                        })?;
+                        if z < 0.0 {
+                            return err(format!("--zipf must be >= 0, got {z}"));
+                        }
+                        z
+                    }
+                };
+                let out = match one(&f, "out", "") {
+                    "" => None,
+                    s => Some(s.to_string()),
+                };
+                Command::BenchLoad {
+                    addrs,
+                    transport: parse_wire(one(&f, "transport", "tcp"))?,
+                    clients,
+                    resources,
+                    duration_ms: parse_u64(&f, "duration-ms", 10_000)?,
+                    think_ms: parse_u64(&f, "think-ms", 20)?,
+                    hold_ms: parse_u64(&f, "hold-ms", 2)?,
+                    wait_ms,
+                    zipf,
+                    seed: parse_u64(&f, "seed", 1)?,
+                    label: one(&f, "label", "").to_string(),
+                    out,
                 }
             }
             other => return err(format!("unknown command '{other}' (try help)")),
@@ -1101,6 +1300,154 @@ mod tests {
         );
         assert!(parse("experiment").is_err());
         assert!(parse("experiment table1 --jobs x").is_err());
+    }
+
+    #[test]
+    fn serve_command_flags() {
+        let cli = parse(
+            "serve --site 1 --sites 3 --listen 127.0.0.1:7001 \
+             --peer 0=127.0.0.1:7000 --peer 2=127.0.0.1:7002 \
+             --forwarding off --for-ms 500",
+        )
+        .unwrap();
+        match cli.command {
+            Command::Serve {
+                site,
+                sites,
+                listen,
+                peers,
+                transport,
+                forwarding,
+                reconstruct,
+                incarnation,
+                for_ms,
+            } => {
+                assert_eq!((site, sites), (1, 3));
+                assert_eq!(listen, "127.0.0.1:7001");
+                assert_eq!(
+                    peers,
+                    vec![
+                        (0, "127.0.0.1:7000".to_string()),
+                        (2, "127.0.0.1:7002".to_string())
+                    ]
+                );
+                assert_eq!(transport, WireTransport::Tcp);
+                assert!(!forwarding);
+                assert!(reconstruct);
+                assert_eq!(incarnation, 0);
+                assert_eq!(for_ms, Some(500));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // UDS flavour and an unbounded run.
+        match parse("serve --sites 1 --listen /tmp/qmx.sock --transport uds")
+            .unwrap()
+            .command
+        {
+            Command::Serve {
+                transport, for_ms, ..
+            } => {
+                assert_eq!(transport, WireTransport::Uds);
+                assert_eq!(for_ms, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_command_rejects_bad_topologies() {
+        assert!(parse("serve --sites 3 --listen a")
+            .unwrap_err()
+            .0
+            .contains("--peer for each"));
+        assert!(
+            parse("serve --site 3 --sites 3 --listen a --peer 0=x --peer 1=y")
+                .unwrap_err()
+                .0
+                .contains("outside")
+        );
+        assert!(parse("serve --sites 2 --listen a --peer 0=x")
+            .unwrap_err()
+            .0
+            .contains("itself"));
+        assert!(
+            parse("serve --site 0 --sites 3 --listen a --peer 1=x --peer 1=y")
+                .unwrap_err()
+                .0
+                .contains("duplicate")
+        );
+        assert!(parse("serve --sites 1").unwrap_err().0.contains("--listen"));
+        assert!(parse("serve --sites 1 --listen a --transport quic")
+            .unwrap_err()
+            .0
+            .contains("tcp|uds"));
+        assert!(parse("serve --sites 1 --listen a --forwarding maybe")
+            .unwrap_err()
+            .0
+            .contains("on|off"));
+    }
+
+    #[test]
+    fn bench_load_command_flags() {
+        let cli = parse(
+            "bench-load --addr h:1 --addr h:2 --clients 8 --resources 4 \
+             --duration-ms 2000 --think-ms 10 --hold-ms 1 --wait-ms 0 \
+             --zipf 0 --seed 7 --label nine-site --out rep.txt",
+        )
+        .unwrap();
+        match cli.command {
+            Command::BenchLoad {
+                addrs,
+                transport,
+                clients,
+                resources,
+                duration_ms,
+                think_ms,
+                hold_ms,
+                wait_ms,
+                zipf,
+                seed,
+                label,
+                out,
+            } => {
+                assert_eq!(addrs, vec!["h:1".to_string(), "h:2".to_string()]);
+                assert_eq!(transport, WireTransport::Tcp);
+                assert_eq!((clients, resources), (8, 4));
+                assert_eq!((duration_ms, think_ms, hold_ms), (2000, 10, 1));
+                assert_eq!(wait_ms, None); // 0 = wait forever
+                assert_eq!(zipf, 0.0);
+                assert_eq!(seed, 7);
+                assert_eq!(label, "nine-site");
+                assert_eq!(out, Some("rep.txt".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults.
+        match parse("bench-load --addr h:1").unwrap().command {
+            Command::BenchLoad {
+                clients,
+                resources,
+                duration_ms,
+                wait_ms,
+                out,
+                ..
+            } => {
+                assert_eq!((clients, resources), (24, 8));
+                assert_eq!(duration_ms, 10_000);
+                assert_eq!(wait_ms, Some(2_000));
+                assert_eq!(out, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("bench-load").unwrap_err().0.contains("--addr"));
+        assert!(parse("bench-load --addr a --clients 0")
+            .unwrap_err()
+            .0
+            .contains("at least 1"));
+        assert!(parse("bench-load --addr a --zipf -1")
+            .unwrap_err()
+            .0
+            .contains(">= 0"));
     }
 
     #[test]

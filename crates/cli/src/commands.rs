@@ -1,11 +1,17 @@
 //! Command implementations: each returns the text it would print.
 
-use crate::args::{Cli, Command, USAGE};
+use crate::args::{Cli, Command, WireTransport, USAGE};
+use qmx_client::{run_bench, BenchConfig};
 use qmx_core::{Config, DelayOptimal, DetectorConfig, LossModel, Outage, SiteId, TransportConfig};
 use qmx_quorum::availability::monte_carlo_availability;
+use qmx_runtime::node::{Node, NodeConfig};
+use qmx_runtime::stack::{build_stack, StackConfig};
+use qmx_runtime::tcp::{TcpTransport, UdsTransport};
+use qmx_runtime::transport::Transport;
 use qmx_sim::DelayModel;
 use qmx_workload::arrival::ArrivalProcess;
 use qmx_workload::scenario::Scenario;
+use std::sync::atomic::AtomicBool;
 
 /// Executes a parsed command, returning its output text.
 ///
@@ -445,6 +451,151 @@ pub fn execute(cli: &Cli) -> Result<String, String> {
                 "lockspace" => e::lockspace_scaling(),
                 other => return Err(format!("unknown experiment '{other}'")),
             })
+        }
+        Command::Serve {
+            site,
+            sites,
+            listen,
+            peers,
+            transport,
+            forwarding,
+            reconstruct,
+            incarnation,
+            for_ms,
+        } => {
+            let opts = ServeOpts {
+                site: *site,
+                sites: *sites,
+                listen: listen.clone(),
+                peers: peers.clone(),
+                forwarding: *forwarding,
+                reconstruct: *reconstruct,
+                incarnation: *incarnation,
+                for_ms: *for_ms,
+            };
+            match transport {
+                WireTransport::Tcp => serve(TcpTransport::new(), &opts),
+                WireTransport::Uds => serve(UdsTransport::new(), &opts),
+            }
+        }
+        Command::BenchLoad {
+            addrs,
+            transport,
+            clients,
+            resources,
+            duration_ms,
+            think_ms,
+            hold_ms,
+            wait_ms,
+            zipf,
+            seed,
+            label,
+            out,
+        } => {
+            let cfg = BenchConfig {
+                site_addrs: addrs.clone(),
+                clients: *clients,
+                resources: *resources,
+                duration_us: duration_ms * 1_000,
+                think_mean_us: think_ms * 1_000,
+                hold_us: hold_ms * 1_000,
+                wait_us: wait_ms.map(|ms| ms * 1_000),
+                zipf_s: *zipf,
+                seed: *seed,
+                label: if label.is_empty() {
+                    format!("{} sites, {clients} clients", addrs.len())
+                } else {
+                    label.clone()
+                },
+            };
+            let report = match transport {
+                WireTransport::Tcp => run_bench(&mut TcpTransport::new(), &cfg),
+                WireTransport::Uds => run_bench(&mut UdsTransport::new(), &cfg),
+            }
+            .map_err(|e| format!("bench-load failed: {e}"))?;
+            let text = report.render();
+            if let Some(path) = out {
+                std::fs::write(path, &text)
+                    .map_err(|e| format!("cannot write report to {path}: {e}"))?;
+            }
+            Ok(text)
+        }
+    }
+}
+
+/// Everything `serve` needs beyond the transport choice.
+struct ServeOpts {
+    site: u32,
+    sites: u32,
+    listen: String,
+    peers: Vec<(u32, String)>,
+    forwarding: bool,
+    reconstruct: bool,
+    incarnation: u64,
+    for_ms: Option<u64>,
+}
+
+/// Builds and runs one site's node over a real-socket transport. Timer
+/// constants are sized for localhost/LAN wall-clock microseconds (the
+/// deterministic harness uses much tighter virtual-time constants).
+fn serve<T: Transport>(transport: T, o: &ServeOpts) -> Result<String, String> {
+    let n = o.sites;
+    let k = n / 2 + 1;
+    let stack_cfg = StackConfig {
+        sites: (0..n).map(SiteId).collect(),
+        quorum: (0..k).map(|d| SiteId((o.site + d) % n)).collect(),
+        algo: Config {
+            forwarding_enabled: o.forwarding,
+        },
+        transport: TransportConfig {
+            rto_initial: 20_000,
+            rto_max: 500_000,
+            max_retries: 40,
+        },
+        detector: DetectorConfig {
+            hb_interval: 100_000,
+            hb_timeout: 500_000,
+            rejoin_wait: 200_000,
+            fail_confirm: 3_000_000,
+        },
+        majority_reconstruct: o.reconstruct,
+    };
+    let proto = build_stack(SiteId(o.site), &stack_cfg);
+    let mut node_cfg = NodeConfig::new(
+        SiteId(o.site),
+        o.listen.clone(),
+        o.peers
+            .iter()
+            .map(|(s, addr)| (SiteId(*s), addr.clone()))
+            .collect(),
+    );
+    node_cfg.incarnation = o.incarnation;
+    let mut node = Node::new(transport, proto, node_cfg)
+        .map_err(|e| format!("cannot listen on {}: {e}", o.listen))?;
+    eprintln!(
+        "qmxctl serve: site {}/{} on {} (forwarding {}, reconstruct {})",
+        o.site,
+        o.sites,
+        o.listen,
+        if o.forwarding { "on" } else { "off" },
+        if o.reconstruct { "on" } else { "off" },
+    );
+    match o.for_ms {
+        None => {
+            // Serve until the process is killed; the stop flag exists for
+            // embedders, the CLI has no signal to raise it.
+            let stop = AtomicBool::new(false);
+            node.run(&stop);
+            Ok(String::new())
+        }
+        Some(ms) => {
+            node.run_for(ms * 1_000);
+            let c = node.counters();
+            Ok(format!(
+                "served {} for {ms} ms: {} sessions, {} grants, {} releases, \
+                 {} bad frames\n",
+                o.listen, c.sessions_opened, c.grants, c.releases, c.bad_frames
+            ))
         }
     }
 }

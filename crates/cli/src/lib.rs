@@ -17,5 +17,5 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{Cli, Command, ParseError};
+pub use args::{Cli, Command, ParseError, WireTransport};
 pub use commands::execute;

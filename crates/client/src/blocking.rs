@@ -1,0 +1,119 @@
+//! Blocking convenience wrapper over [`ClientCore`].
+//!
+//! For real transports (TCP, UDS) where the caller just wants
+//! `acquire → critical section → release` with ordinary blocking calls.
+//! Each operation loops `poll`/[`Transport::wait`] until its response
+//! arrives. Deterministic tests do not use this type — they multiplex
+//! [`ClientCore`]s directly under the harness clock.
+
+use std::io;
+
+use qmx_core::ResourceId;
+use qmx_runtime::proto::RejectReason;
+use qmx_runtime::transport::Transport;
+
+use crate::core::{ClientCore, ClientEvent};
+
+/// How a blocking acquire resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireOutcome {
+    /// Lock granted; release it with this token.
+    Granted {
+        /// Request token to pass to `release`.
+        req: u64,
+    },
+    /// Withdrawn by the server (deadline passed).
+    Aborted,
+    /// Refused at the session level.
+    Rejected(RejectReason),
+    /// The connection died while waiting.
+    Disconnected,
+}
+
+/// A blocking client over any real [`Transport`].
+pub struct BlockingClient<T: Transport> {
+    transport: T,
+    core: ClientCore<T::Conn>,
+}
+
+impl<T: Transport> BlockingClient<T> {
+    /// Dials `addr` and waits for the server's `Welcome`.
+    pub fn connect(mut transport: T, addr: &str, id: u64) -> io::Result<Self> {
+        let core = ClientCore::connect(&mut transport, addr, id)?;
+        let mut me = BlockingClient { transport, core };
+        while me.core.site().is_none() && !me.core.is_dead() {
+            me.pump(None);
+        }
+        if me.core.is_dead() {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "connection died during handshake",
+            ));
+        }
+        Ok(me)
+    }
+
+    /// Transport clock, microseconds.
+    pub fn now_us(&mut self) -> u64 {
+        self.transport.now_us()
+    }
+
+    /// Acquires `rid`, blocking until grant or abort. `wait_us`, if set,
+    /// bounds the server-side queueing time; the server aborts the
+    /// request once the budget is spent.
+    pub fn acquire(&mut self, rid: ResourceId, wait_us: Option<u64>) -> AcquireOutcome {
+        let req = self.core.acquire(rid, wait_us);
+        loop {
+            self.pump(None);
+            while let Some(ev) = self.core.next_event() {
+                match ev {
+                    ClientEvent::Granted { rid: r, req: q } if r == rid && q == req => {
+                        return AcquireOutcome::Granted { req }
+                    }
+                    ClientEvent::Aborted { rid: r, req: q } if r == rid && q == req => {
+                        return AcquireOutcome::Aborted
+                    }
+                    ClientEvent::Rejected {
+                        rid: r,
+                        req: q,
+                        reason,
+                    } if r == rid && q == req => return AcquireOutcome::Rejected(reason),
+                    ClientEvent::Disconnected => return AcquireOutcome::Disconnected,
+                    _ => {}
+                }
+            }
+            if self.core.is_dead() {
+                return AcquireOutcome::Disconnected;
+            }
+        }
+    }
+
+    /// Releases a held lock, blocking until the server confirms. Returns
+    /// `false` if the connection died first.
+    pub fn release(&mut self, rid: ResourceId, req: u64) -> bool {
+        self.core.release(rid, req);
+        loop {
+            self.pump(None);
+            while let Some(ev) = self.core.next_event() {
+                match ev {
+                    ClientEvent::Released { rid: r, req: q } if r == rid && q == req => {
+                        return true
+                    }
+                    ClientEvent::Disconnected => return false,
+                    _ => {}
+                }
+            }
+            if self.core.is_dead() {
+                return false;
+            }
+        }
+    }
+
+    fn pump(&mut self, until: Option<u64>) {
+        self.core.poll();
+        if !self.core.is_dead() {
+            self.transport.wait(until);
+            self.core.poll();
+        }
+    }
+}

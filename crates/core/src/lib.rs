@@ -82,6 +82,7 @@ pub mod protocol;
 pub mod reqqueue;
 pub mod siteset;
 pub mod transport;
+pub mod wire;
 
 pub use clock::{LamportClock, SeqNum, Timestamp};
 pub use delay_optimal::{Config, DelayOptimal, Msg, RequesterPhase};
@@ -96,3 +97,4 @@ pub use transport::{
     FaultVerdict, LinkFaults, LossModel, Outage, Packet, Reliable, TransportConfig,
     TransportCounters,
 };
+pub use wire::{Wire, WireError};

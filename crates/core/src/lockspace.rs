@@ -90,6 +90,12 @@ pub struct LockSpace<P> {
     /// Last observed `aborts + deadline_aborts` total per shard, for
     /// [`Protocol::drain_aborted_resources`].
     aborts_seen: BTreeMap<u32, u64>,
+    /// Sites currently down from the detector's point of view
+    /// (`true` = failure confirmed, `false` = merely suspected). Shards
+    /// are created lazily, so a shard touched *after* a suspicion fired
+    /// would otherwise start blind to it and request from a dead quorum
+    /// member; this set is replayed into every fresh shard.
+    down: BTreeMap<SiteId, bool>,
 }
 
 impl<P: Protocol> LockSpace<P> {
@@ -106,6 +112,7 @@ impl<P: Protocol> LockSpace<P> {
             timer_of: BTreeMap::new(),
             timers: BTreeSet::new(),
             aborts_seen: BTreeMap::new(),
+            down: BTreeMap::new(),
         }
     }
 
@@ -155,6 +162,21 @@ impl<P: Protocol> LockSpace<P> {
             debug_assert!(
                 fx.sends().is_empty() && !fx.entered_cs(),
                 "lock-space shards require an effect-free on_start"
+            );
+            // Replay the current down-set so the shard routes around
+            // already-suspected/failed sites from its very first request.
+            // On an idle, freshly built shard these hooks only adjust
+            // failure bookkeeping and quorum choice — no sends.
+            for (&s, &confirmed) in &self.down {
+                if confirmed {
+                    shard.on_site_failure(s, &mut fx);
+                } else {
+                    shard.on_site_suspected(s, &mut fx);
+                }
+            }
+            debug_assert!(
+                fx.sends().is_empty() && !fx.entered_cs(),
+                "down-set replay on an idle shard must be effect-free"
             );
             self.shards.insert(rid.0, shard);
         }
@@ -304,18 +326,24 @@ impl<P: Protocol> Protocol for LockSpace<P> {
     }
 
     fn on_site_failure(&mut self, failed: SiteId, fx: &mut Effects<Self::Msg>) {
+        self.down.insert(failed, true);
         self.broadcast(fx, |p, ifx| p.on_site_failure(failed, ifx));
     }
 
     fn on_site_suspected(&mut self, site: SiteId, fx: &mut Effects<Self::Msg>) {
+        // A confirmed failure is never downgraded back to suspicion.
+        self.down.entry(site).or_insert(false);
         self.broadcast(fx, |p, ifx| p.on_site_suspected(site, ifx));
     }
 
     fn on_site_restored(&mut self, site: SiteId, fx: &mut Effects<Self::Msg>) {
+        self.down.remove(&site);
         self.broadcast(fx, |p, ifx| p.on_site_restored(site, ifx));
     }
 
     fn on_peer_rejoined(&mut self, site: SiteId, incarnation: u64, fx: &mut Effects<Self::Msg>) {
+        // A rejoined peer is alive with fresh state: no longer down.
+        self.down.remove(&site);
         self.broadcast(fx, |p, ifx| p.on_peer_rejoined(site, incarnation, ifx));
     }
 

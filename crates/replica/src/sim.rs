@@ -8,7 +8,7 @@ use qmx_sim::DelayModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// Driver configuration.
 #[derive(Debug, Clone)]
@@ -57,6 +57,14 @@ enum Ev {
         site: SiteId,
         value: u64,
     },
+    Cut {
+        from: SiteId,
+        to: SiteId,
+    },
+    Restore {
+        from: SiteId,
+        to: SiteId,
+    },
 }
 
 struct Item {
@@ -96,6 +104,11 @@ pub struct ReplicaSim {
     records: Vec<OpRecord>,
     messages: u64,
     dropped_ops: u64,
+    /// Directed links currently cut: a message from `.0` to `.1` is
+    /// silently discarded at delivery time (asymmetric partitions are
+    /// expressible by cutting only one direction).
+    cuts: BTreeSet<(SiteId, SiteId)>,
+    dropped_msgs: u64,
 }
 
 impl ReplicaSim {
@@ -117,6 +130,8 @@ impl ReplicaSim {
             records: Vec::new(),
             messages: 0,
             dropped_ops: 0,
+            cuts: BTreeSet::new(),
+            dropped_msgs: 0,
         }
     }
 
@@ -155,6 +170,31 @@ impl ReplicaSim {
         self.push(at, Ev::Write { site, value });
     }
 
+    /// Schedules a *directed* link cut at `at`: from then on, messages
+    /// from `from` to `to` are discarded at delivery time (messages
+    /// already in flight that would arrive after the cut are lost too).
+    /// The reverse direction is unaffected.
+    pub fn schedule_cut(&mut self, from: SiteId, to: SiteId, at: u64) {
+        self.push(at, Ev::Cut { from, to });
+    }
+
+    /// Schedules the repair of a directed cut at `at`.
+    pub fn schedule_restore(&mut self, from: SiteId, to: SiteId, at: u64) {
+        self.push(at, Ev::Restore { from, to });
+    }
+
+    /// Cuts both directions between `a` and `b` at `at`.
+    pub fn schedule_partition(&mut self, a: SiteId, b: SiteId, at: u64) {
+        self.schedule_cut(a, b, at);
+        self.schedule_cut(b, a, at);
+    }
+
+    /// Heals both directions between `a` and `b` at `at`.
+    pub fn schedule_heal(&mut self, a: SiteId, b: SiteId, at: u64) {
+        self.schedule_restore(a, b, at);
+        self.schedule_restore(b, a, at);
+    }
+
     /// Completed-operation records (in completion order).
     pub fn records(&self) -> &[OpRecord] {
         &self.records
@@ -168,6 +208,11 @@ impl ReplicaSim {
     /// Operations dropped because the submitting site was busy.
     pub fn dropped_ops(&self) -> u64 {
         self.dropped_ops
+    }
+
+    /// Messages discarded by directed link cuts.
+    pub fn dropped_msgs(&self) -> u64 {
+        self.dropped_msgs
     }
 
     /// Current replica at `site` (for convergence assertions).
@@ -218,9 +263,19 @@ impl ReplicaSim {
             processed += 1;
             match item.ev {
                 Ev::Deliver { from, to, msg } => {
+                    if self.cuts.contains(&(from, to)) {
+                        self.dropped_msgs += 1;
+                        continue;
+                    }
                     let mut fx = Effects::new();
                     self.sites[to.index()].handle(from, msg, &mut fx);
                     self.apply(to, &mut fx);
+                }
+                Ev::Cut { from, to } => {
+                    self.cuts.insert((from, to));
+                }
+                Ev::Restore { from, to } => {
+                    self.cuts.remove(&(from, to));
                 }
                 Ev::Read { site } => {
                     if self.sites[site.index()].busy() {

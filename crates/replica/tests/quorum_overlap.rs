@@ -1,0 +1,169 @@
+//! Replica-layer test debt: read-your-writes under partial R/W quorum
+//! overlap, write serialization through the embedded lock space, and the
+//! stale-read regression with one replica partitioned by a directed link
+//! cut.
+//!
+//! The paper's replica control (Gifford-style R/W quorums with writes
+//! serialized by the delay-optimal mutex) is only correct because every
+//! read quorum intersects every write quorum; these tests pin the
+//! behaviour at the intersection — including the case where the
+//! intersection is exactly one site and everyone else in the read quorum
+//! is stale.
+
+use qmx_core::SiteId;
+use qmx_replica::{OpResult, ReplicaConfig, ReplicaSim, ReplicaSimConfig};
+
+const T: u64 = 1000;
+
+/// 5 sites; writes land on {0,1,2}, reads consult {2,3,4}: the overlap
+/// is exactly site 2. The mutex quorum is a majority so writes are
+/// totally ordered.
+fn overlap_cluster(read_repair: bool) -> ReplicaSim {
+    let mutex: Vec<SiteId> = (0..5).map(SiteId).collect();
+    ReplicaSim::new(
+        5,
+        move |_| ReplicaConfig {
+            mutex_quorum: mutex.clone(),
+            write_quorum: vec![SiteId(0), SiteId(1), SiteId(2)],
+            read_quorum: vec![SiteId(2), SiteId(3), SiteId(4)],
+            initial: 0,
+            read_repair,
+        },
+        ReplicaSimConfig::default(),
+    )
+}
+
+fn reads(sim: &ReplicaSim) -> Vec<(u64, u64)> {
+    sim.records()
+        .iter()
+        .filter_map(|r| match r.result {
+            OpResult::Read(v) => Some((v.version, v.value)),
+            OpResult::Write { .. } => None,
+        })
+        .collect()
+}
+
+fn write_versions(sim: &ReplicaSim) -> Vec<u64> {
+    let mut out: Vec<u64> = sim
+        .records()
+        .iter()
+        .filter_map(|r| match r.result {
+            OpResult::Write { version } => Some(version),
+            OpResult::Read(_) => None,
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn read_your_writes_through_single_site_overlap() {
+    let mut sim = overlap_cluster(false);
+    // Writer at site 0, reader at site 4 — disjoint except through the
+    // quorum structure itself.
+    sim.schedule_write(SiteId(0), 77, 0);
+    sim.schedule_read(SiteId(4), 100 * T);
+    sim.run(10_000 * T);
+
+    assert_eq!(reads(&sim), vec![(1, 77)], "read must see the write");
+    // Sites 3 and 4 were never written: the freshness came from the
+    // overlap site 2 winning the version comparison.
+    assert_eq!(sim.stored(SiteId(3)).version, 0);
+    assert_eq!(sim.stored(SiteId(4)).version, 0);
+    assert_eq!(sim.stored(SiteId(2)).version, 1);
+}
+
+#[test]
+fn concurrent_writes_serialize_through_lock_space() {
+    let mut sim = overlap_cluster(false);
+    // All five sites write at staggered instants well inside each
+    // other's mutex round trips: the embedded mutex must serialize them
+    // into five distinct, gapless versions.
+    for i in 0..5u32 {
+        sim.schedule_write(SiteId(i), 500 + u64::from(i), u64::from(i) * 2 * T);
+    }
+    sim.run(50_000 * T);
+
+    assert_eq!(write_versions(&sim), vec![1, 2, 3, 4, 5]);
+    // Every write-quorum member converged on the same final version and
+    // the winning value is the one installed by version 5.
+    let final_v = sim.stored(SiteId(0));
+    assert_eq!(final_v.version, 5);
+    for s in [SiteId(1), SiteId(2)] {
+        assert_eq!(sim.stored(s), final_v, "write-quorum member diverged");
+    }
+}
+
+#[test]
+fn stale_read_regression_with_partitioned_replica() {
+    let mut sim = overlap_cluster(false);
+
+    // First write completes cleanly, so every write-quorum member holds
+    // version 1.
+    sim.schedule_write(SiteId(0), 10, 0);
+
+    // Then site 2 — the *only* overlap between read and write quorums —
+    // is cut off from the writer (directed: writer→2 only; site 2 still
+    // answers reads). A second write would now be unable to reach its
+    // full write quorum, so it must NOT complete; a read must keep
+    // returning version 1, never a torn half-installed version 2.
+    sim.schedule_cut(SiteId(0), SiteId(2), 50 * T);
+    sim.schedule_write(SiteId(0), 20, 60 * T);
+    sim.schedule_read(SiteId(4), 500 * T);
+    sim.run(2_000 * T);
+
+    assert_eq!(
+        write_versions(&sim),
+        vec![1],
+        "a write that cannot reach its quorum must not report completion"
+    );
+    assert!(sim.dropped_msgs() > 0, "the cut actually dropped traffic");
+    assert_eq!(
+        reads(&sim),
+        vec![(1, 10)],
+        "reads see the last completed write, not the torn one"
+    );
+
+    // Heal the link: the stalled write's retransmission-free world means
+    // it stays incomplete, but new operations flow again and the system
+    // is not wedged.
+    sim.schedule_restore(SiteId(0), SiteId(2), 3_000 * T);
+    sim.schedule_read(SiteId(3), 3_500 * T);
+    sim.run(10_000 * T);
+    let all_reads = reads(&sim);
+    assert_eq!(all_reads.len(), 2, "post-heal read completes");
+    assert_eq!(all_reads[1].1, 10, "post-heal read still serves v1's value");
+}
+
+#[test]
+fn asymmetric_cut_spares_reverse_direction() {
+    let mut sim = overlap_cluster(false);
+    // Cut only 4→0. A write from 0 (which consults 2's direction 0→2 and
+    // never needs 4→0) completes; a read at 4 (whose queries travel
+    // 4→{2,3,4} and answers travel back) also completes, because the cut
+    // direction is not on either path.
+    sim.schedule_cut(SiteId(4), SiteId(0), 0);
+    sim.schedule_write(SiteId(1), 33, 10 * T);
+    sim.schedule_read(SiteId(4), 300 * T);
+    sim.run(5_000 * T);
+
+    assert_eq!(write_versions(&sim), vec![1]);
+    assert_eq!(reads(&sim), vec![(1, 33)]);
+}
+
+#[test]
+fn read_repair_heals_stale_members_after_partition() {
+    let mut sim = overlap_cluster(true);
+    sim.schedule_write(SiteId(0), 91, 0);
+    // Sites 3 and 4 sit outside the write quorum, so they are stale by
+    // construction. A read through {2,3,4} with read-repair enabled must
+    // push version 1 to both.
+    sim.schedule_read(SiteId(4), 200 * T);
+    sim.run(10_000 * T);
+
+    assert_eq!(reads(&sim), vec![(1, 91)]);
+    for s in [SiteId(2), SiteId(3), SiteId(4)] {
+        assert_eq!(sim.stored(s).version, 1, "read repair missed {s:?}");
+        assert_eq!(sim.stored(s).value, 91);
+    }
+}

@@ -1,12 +1,47 @@
 //! # qmx-runtime
 //!
-//! Live multi-threaded runtime for `qmx` protocols: each site runs on its
-//! own OS thread, messages travel through crossbeam channels with injected
-//! latency, and a shared monitor asserts mutual exclusion in real time.
-//! See [`net::run_cluster`].
+//! Networked runtime for `qmx` protocols, in two generations:
+//!
+//! * **Socket runtime** (this PR's main body): a poll-driven task per site
+//!   ([`Node`]) speaking length-prefixed [`Wire`](qmx_core::Wire) frames
+//!   over a swappable byte [`transport`] — real [TCP / Unix-domain
+//!   sockets](tcp) for `qmxctl serve`, or the deterministic in-process
+//!   [loopback] with a virtual clock for `cargo test`. Sites
+//!   serve real clients (see `qmx-client`) and each other over the same
+//!   framing; the protocol stack ([`ServeStack`]) is byte-identical in
+//!   both modes.
+//! * **Thread-per-site channel runtime** ([`net`]): the earlier
+//!   crossbeam-channel harness with a shared mutual-exclusion monitor,
+//!   kept as a stress-oriented reference driver.
+//!
+//! Layering of the socket runtime, bottom to top:
+//!
+//! 1. [`transport`] — `Conn`/`Listener`/`Transport` traits (the seam).
+//! 2. [`frame`] — `[u32 LE len][payload]` framing with a hard cap.
+//! 3. `qmx_core::wire` — binary codec for the stack's messages.
+//! 4. [`proto`] — connection handshake + the client lock API.
+//! 5. [`node`] — the per-site task: sessions, peer links with
+//!    reconnect-backoff, the client lock table, timer dispatch.
+//! 6. [`stack`] — the canonical `Detector<Reliable<LockSpace<…>>>`
+//!    composition served by all of the above.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
+pub mod frame;
+pub mod loopback;
 pub mod net;
+pub mod node;
+pub mod proto;
+pub mod stack;
+pub mod tcp;
+pub mod transport;
 
+pub use frame::{write_frame, FrameBuf, FrameError, MAX_FRAME};
+pub use loopback::{LoopConn, LoopListener, LoopNet, LoopTransport};
 pub use net::{messages_per_cs, run_cluster, NetOptions, RunOutcome};
+pub use node::{Node, NodeConfig, NodeCounters};
+pub use proto::{ClientMsg, Hello, RejectReason, ServerMsg};
+pub use stack::{build_stack, RingMajoritySource, ServeMsg, ServeStack, StackConfig};
+pub use tcp::{StreamConn, TcpTransport, UdsTransport};
+pub use transport::{Conn, Listener, Transport};

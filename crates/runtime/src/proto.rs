@@ -1,0 +1,366 @@
+//! Connection-level protocol: handshake and the client-facing lock API.
+//!
+//! Every connection a site accepts starts with one [`Hello`] frame that
+//! classifies it: a **peer** link carrying the protocol stack's
+//! `HbMsg<Packet<ResMsg<Msg>>>` traffic, or a **client** session carrying
+//! [`ClientMsg`]/[`ServerMsg`] traffic. Peers identify themselves with
+//! their site id and incarnation (so a restarted site is recognizable);
+//! clients bring an arbitrary id used only for diagnostics.
+//!
+//! The client API is deliberately tiny — acquire (with an optional wait
+//! budget), release, abort — and every request names a
+//! client-chosen request token `req` echoed in the matching [`ServerMsg`],
+//! so responses to pipelined operations on different resources cannot be
+//! confused.
+
+use qmx_core::wire::{Reader, Wire, WireError};
+use qmx_core::{ResourceId, SiteId};
+
+/// First frame on every inbound connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hello {
+    /// A peer site's protocol link.
+    Peer {
+        /// The dialing site.
+        site: SiteId,
+        /// Its crash-recovery incarnation number.
+        incarnation: u64,
+    },
+    /// A client session.
+    Client {
+        /// Client-chosen identifier, for diagnostics only.
+        id: u64,
+    },
+}
+
+impl Wire for Hello {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Hello::Peer { site, incarnation } => {
+                out.push(0);
+                site.encode(out);
+                incarnation.encode(out);
+            }
+            Hello::Client { id } => {
+                out.push(1);
+                id.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => Hello::Peer {
+                site: SiteId::decode(r)?,
+                incarnation: r.u64()?,
+            },
+            1 => Hello::Client { id: r.u64()? },
+            tag => return Err(WireError::BadTag { what: "Hello", tag }),
+        })
+    }
+}
+
+/// Client → site requests. `req` is a client-chosen token echoed back in
+/// the matching [`ServerMsg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientMsg {
+    /// Request the lock on `rid`. With `wait_us` set, the site aborts the
+    /// wait once that many microseconds have passed since receipt and
+    /// answers [`ServerMsg::Aborted`]. The budget is *relative* on the
+    /// wire because client and site clocks have different origins; the
+    /// site pins it to its own clock the moment the frame arrives.
+    Acquire {
+        /// Resource to lock.
+        rid: ResourceId,
+        /// Client request token.
+        req: u64,
+        /// Optional wait budget, microseconds from receipt.
+        wait_us: Option<u64>,
+    },
+    /// Release a held lock.
+    Release {
+        /// Resource to unlock.
+        rid: ResourceId,
+        /// Token of the acquire being released.
+        req: u64,
+    },
+    /// Withdraw a pending (not yet granted) acquire.
+    Abort {
+        /// Resource of the pending acquire.
+        rid: ResourceId,
+        /// Token of the acquire being withdrawn.
+        req: u64,
+    },
+}
+
+impl ClientMsg {
+    /// The `(rid, req)` pair this request addresses.
+    pub fn key(&self) -> (ResourceId, u64) {
+        match *self {
+            ClientMsg::Acquire { rid, req, .. }
+            | ClientMsg::Release { rid, req }
+            | ClientMsg::Abort { rid, req } => (rid, req),
+        }
+    }
+}
+
+impl Wire for ClientMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ClientMsg::Acquire { rid, req, wait_us } => {
+                out.push(0);
+                rid.encode(out);
+                req.encode(out);
+                wait_us.encode(out);
+            }
+            ClientMsg::Release { rid, req } => {
+                out.push(1);
+                rid.encode(out);
+                req.encode(out);
+            }
+            ClientMsg::Abort { rid, req } => {
+                out.push(2);
+                rid.encode(out);
+                req.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => ClientMsg::Acquire {
+                rid: ResourceId::decode(r)?,
+                req: r.u64()?,
+                wait_us: Option::decode(r)?,
+            },
+            1 => ClientMsg::Release {
+                rid: ResourceId::decode(r)?,
+                req: r.u64()?,
+            },
+            2 => ClientMsg::Abort {
+                rid: ResourceId::decode(r)?,
+                req: r.u64()?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "ClientMsg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// Why a client request was rejected outright (protocol misuse, not a
+/// transient condition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Release/abort named a lock this session does not hold or wait for.
+    NotHeld,
+    /// Acquire on a resource this session already holds or waits for.
+    Busy,
+    /// Abort arrived after the grant was already issued; the client owns
+    /// the lock and must release it.
+    AlreadyGranted,
+}
+
+impl Wire for RejectReason {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            RejectReason::NotHeld => 0,
+            RejectReason::Busy => 1,
+            RejectReason::AlreadyGranted => 2,
+        });
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => RejectReason::NotHeld,
+            1 => RejectReason::Busy,
+            2 => RejectReason::AlreadyGranted,
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "RejectReason",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// Site → client responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMsg {
+    /// Handshake accepted; identifies the serving site.
+    Welcome {
+        /// The site this session is attached to.
+        site: SiteId,
+    },
+    /// The lock on `rid` is granted to request `req`.
+    Granted {
+        /// Resource granted.
+        rid: ResourceId,
+        /// Token of the granted acquire.
+        req: u64,
+    },
+    /// The release of `req` completed.
+    Released {
+        /// Resource released.
+        rid: ResourceId,
+        /// Token of the released acquire.
+        req: u64,
+    },
+    /// The pending acquire `req` was withdrawn — by client abort, client
+    /// deadline, or session teardown — before being granted.
+    Aborted {
+        /// Resource of the withdrawn acquire.
+        rid: ResourceId,
+        /// Token of the withdrawn acquire.
+        req: u64,
+    },
+    /// The request was malformed at the session level.
+    Rejected {
+        /// Resource named by the offending request.
+        rid: ResourceId,
+        /// Token of the offending request.
+        req: u64,
+        /// Why it was rejected.
+        reason: RejectReason,
+    },
+}
+
+impl Wire for ServerMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ServerMsg::Welcome { site } => {
+                out.push(0);
+                site.encode(out);
+            }
+            ServerMsg::Granted { rid, req } => {
+                out.push(1);
+                rid.encode(out);
+                req.encode(out);
+            }
+            ServerMsg::Released { rid, req } => {
+                out.push(2);
+                rid.encode(out);
+                req.encode(out);
+            }
+            ServerMsg::Aborted { rid, req } => {
+                out.push(3);
+                rid.encode(out);
+                req.encode(out);
+            }
+            ServerMsg::Rejected { rid, req, reason } => {
+                out.push(4);
+                rid.encode(out);
+                req.encode(out);
+                reason.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.u8()? {
+            0 => ServerMsg::Welcome {
+                site: SiteId::decode(r)?,
+            },
+            1 => ServerMsg::Granted {
+                rid: ResourceId::decode(r)?,
+                req: r.u64()?,
+            },
+            2 => ServerMsg::Released {
+                rid: ResourceId::decode(r)?,
+                req: r.u64()?,
+            },
+            3 => ServerMsg::Aborted {
+                rid: ResourceId::decode(r)?,
+                req: r.u64()?,
+            },
+            4 => ServerMsg::Rejected {
+                rid: ResourceId::decode(r)?,
+                req: r.u64()?,
+                reason: RejectReason::decode(r)?,
+            },
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "ServerMsg",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_round_trips() {
+        let hellos = [
+            Hello::Peer {
+                site: SiteId(3),
+                incarnation: 2,
+            },
+            Hello::Client { id: 99 },
+        ];
+        for h in hellos {
+            assert_eq!(Hello::from_bytes(&h.to_bytes()).unwrap(), h);
+        }
+        let cmsgs = [
+            ClientMsg::Acquire {
+                rid: ResourceId(1),
+                req: 7,
+                wait_us: Some(123_456),
+            },
+            ClientMsg::Acquire {
+                rid: ResourceId(1),
+                req: 8,
+                wait_us: None,
+            },
+            ClientMsg::Release {
+                rid: ResourceId(2),
+                req: 7,
+            },
+            ClientMsg::Abort {
+                rid: ResourceId(3),
+                req: 9,
+            },
+        ];
+        for m in cmsgs {
+            assert_eq!(ClientMsg::from_bytes(&m.to_bytes()).unwrap(), m);
+        }
+        let smsgs = [
+            ServerMsg::Welcome { site: SiteId(4) },
+            ServerMsg::Granted {
+                rid: ResourceId(1),
+                req: 7,
+            },
+            ServerMsg::Released {
+                rid: ResourceId(1),
+                req: 7,
+            },
+            ServerMsg::Aborted {
+                rid: ResourceId(1),
+                req: 7,
+            },
+            ServerMsg::Rejected {
+                rid: ResourceId(1),
+                req: 7,
+                reason: RejectReason::AlreadyGranted,
+            },
+        ];
+        for m in smsgs {
+            assert_eq!(ServerMsg::from_bytes(&m.to_bytes()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn bad_tags_error_cleanly() {
+        assert!(Hello::from_bytes(&[9, 0, 0, 0, 0]).is_err());
+        assert!(ClientMsg::from_bytes(&[77]).is_err());
+        assert!(ServerMsg::from_bytes(&[200]).is_err());
+        assert!(RejectReason::from_bytes(&[3]).is_err());
+    }
+}

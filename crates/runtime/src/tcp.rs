@@ -1,0 +1,273 @@
+//! Real-socket transports: TCP and Unix-domain sockets.
+//!
+//! Both are thin nonblocking wrappers over `std::net` / `std::os::unix::net`
+//! satisfying the [`Conn`]/[`Listener`]/[`Transport`] contract, so the node
+//! and client state machines built against the loopback run unchanged over
+//! real sockets. The two stream types share one generic [`StreamConn`]
+//! implementation: an unbounded userspace send buffer drained
+//! opportunistically (`WouldBlock` is never an error, just "kernel is
+//! full, try again on the next flush"), and a drain-everything-available
+//! read loop.
+//!
+//! Real sockets cannot wake a poll loop the way the virtual clock does, so
+//! [`Transport::wait`] here sleeps in short bounded slices — cheap enough
+//! for a lock service tick loop, and irrelevant to tests, which use the
+//! loopback.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::time::{Duration, Instant};
+
+use crate::transport::{Conn, Listener, Transport};
+
+/// Longest single sleep [`Transport::wait`] will take, so accepts and
+/// reconnects are noticed promptly even with no timer due.
+const WAIT_SLICE_US: u64 = 1_000;
+
+/// A nonblocking byte-stream connection over any `Read + Write` socket.
+pub struct StreamConn<S> {
+    stream: S,
+    out: Vec<u8>,
+    out_pos: usize,
+    label: String,
+}
+
+impl<S> StreamConn<S> {
+    fn new(stream: S, label: String) -> Self {
+        StreamConn {
+            stream,
+            out: Vec::new(),
+            out_pos: 0,
+            label,
+        }
+    }
+}
+
+impl<S: Read + Write> Conn for StreamConn<S> {
+    fn send_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.out.extend_from_slice(bytes);
+        self.flush()
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        } else if self.out_pos > 65_536 {
+            self.out.drain(..self.out_pos);
+            self.out_pos = 0;
+        }
+        Ok(())
+    }
+
+    fn recv_bytes(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        let mut total = 0;
+        let mut scratch = [0u8; 16_384];
+        loop {
+            match self.stream.read(&mut scratch) {
+                Ok(0) => {
+                    if total > 0 {
+                        return Ok(total);
+                    }
+                    return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed"));
+                }
+                Ok(n) => {
+                    buf.extend_from_slice(&scratch[..n]);
+                    total += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(total),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn peer_label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// TCP [`Transport`]. Addresses are `host:port` strings.
+pub struct TcpTransport {
+    t0: Instant,
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TcpTransport {
+    /// Creates a transport whose clock starts at zero now.
+    pub fn new() -> Self {
+        TcpTransport { t0: Instant::now() }
+    }
+}
+
+/// A bound, nonblocking TCP accept socket.
+pub struct TcpAccept {
+    listener: TcpListener,
+    addr: String,
+}
+
+impl Listener for TcpAccept {
+    type Conn = StreamConn<TcpStream>;
+
+    fn poll_accept(&mut self) -> io::Result<Option<Self::Conn>> {
+        match self.listener.accept() {
+            Ok((stream, peer)) => {
+                stream.set_nonblocking(true)?;
+                let _ = stream.set_nodelay(true);
+                Ok(Some(StreamConn::new(stream, peer.to_string())))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn local_addr(&self) -> String {
+        self.addr.clone()
+    }
+}
+
+impl Transport for TcpTransport {
+    type Conn = StreamConn<TcpStream>;
+    type Listener = TcpAccept;
+
+    fn listen(&mut self, addr: &str) -> io::Result<TcpAccept> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.to_string());
+        Ok(TcpAccept {
+            listener,
+            addr: bound,
+        })
+    }
+
+    fn connect(&mut self, addr: &str) -> io::Result<StreamConn<TcpStream>> {
+        // Blocking connect: localhost handshakes complete in microseconds,
+        // and a refused port returns promptly to drive the backoff path.
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(StreamConn::new(stream, addr.to_string()))
+    }
+
+    fn now_us(&mut self) -> u64 {
+        self.t0.elapsed().as_micros() as u64
+    }
+
+    fn wait(&mut self, until: Option<u64>) {
+        let now = self.now_us();
+        let sleep_us = match until {
+            Some(u) if u <= now => return,
+            Some(u) => (u - now).min(WAIT_SLICE_US),
+            None => WAIT_SLICE_US,
+        };
+        std::thread::sleep(Duration::from_micros(sleep_us));
+    }
+}
+
+/// Unix-domain-socket [`Transport`]. Addresses are filesystem paths; a
+/// stale socket file from a previous run is removed before binding.
+pub struct UdsTransport {
+    t0: Instant,
+}
+
+impl Default for UdsTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UdsTransport {
+    /// Creates a transport whose clock starts at zero now.
+    pub fn new() -> Self {
+        UdsTransport { t0: Instant::now() }
+    }
+}
+
+/// A bound, nonblocking Unix-domain accept socket. Unlinks its path on drop.
+pub struct UdsAccept {
+    listener: UnixListener,
+    path: String,
+}
+
+impl Listener for UdsAccept {
+    type Conn = StreamConn<UnixStream>;
+
+    fn poll_accept(&mut self) -> io::Result<Option<Self::Conn>> {
+        match self.listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(true)?;
+                Ok(Some(StreamConn::new(stream, self.path.clone())))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn local_addr(&self) -> String {
+        self.path.clone()
+    }
+}
+
+impl Drop for UdsAccept {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl Transport for UdsTransport {
+    type Conn = StreamConn<UnixStream>;
+    type Listener = UdsAccept;
+
+    fn listen(&mut self, addr: &str) -> io::Result<UdsAccept> {
+        let _ = std::fs::remove_file(addr);
+        let listener = UnixListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(UdsAccept {
+            listener,
+            path: addr.to_string(),
+        })
+    }
+
+    fn connect(&mut self, addr: &str) -> io::Result<StreamConn<UnixStream>> {
+        let stream = UnixStream::connect(addr)?;
+        stream.set_nonblocking(true)?;
+        Ok(StreamConn::new(stream, addr.to_string()))
+    }
+
+    fn now_us(&mut self) -> u64 {
+        self.t0.elapsed().as_micros() as u64
+    }
+
+    fn wait(&mut self, until: Option<u64>) {
+        let now = self.now_us();
+        let sleep_us = match until {
+            Some(u) if u <= now => return,
+            Some(u) => (u - now).min(WAIT_SLICE_US),
+            None => WAIT_SLICE_US,
+        };
+        std::thread::sleep(Duration::from_micros(sleep_us));
+    }
+}

@@ -1,0 +1,219 @@
+//! Latency-sample collection and percentile reporting for live load runs.
+//!
+//! The simulator reports sync delay in units of the model's `T`; the
+//! networked runtime measures real microseconds on the wire. This module
+//! is the reduction layer shared by `qmxctl bench-load` and the runtime
+//! e2e tests: per-resource acquire-latency percentiles, plus the
+//! *handover* (wire-level synchronization delay) distribution — the gap
+//! between one client's release of a contended resource and the next
+//! grant of it, which is the quantity the paper claims drops from `2T` to
+//! `T` when reply-forwarding is enabled.
+
+use crate::stats::{mean, percentile};
+use std::fmt::Write as _;
+
+/// A bag of latency samples in microseconds.
+#[derive(Debug, Default, Clone)]
+pub struct LatencySamples {
+    xs: Vec<f64>,
+}
+
+impl LatencySamples {
+    /// An empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample (microseconds).
+    pub fn push(&mut self, us: f64) {
+        self.xs.push(us);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Percentile `p` (0–100) per [`crate::stats::percentile`], microseconds.
+    pub fn percentile(&self, p: u8) -> Option<f64> {
+        percentile(&self.xs, p)
+    }
+
+    /// Arithmetic mean, microseconds.
+    pub fn mean(&self) -> Option<f64> {
+        mean(&self.xs)
+    }
+
+    /// Folds another bag into this one.
+    pub fn merge(&mut self, other: &LatencySamples) {
+        self.xs.extend_from_slice(&other.xs);
+    }
+}
+
+/// Per-resource row of a [`LoadReport`].
+#[derive(Debug, Default, Clone)]
+pub struct ResourceRow {
+    /// Resource id.
+    pub rid: u32,
+    /// Acquires issued.
+    pub acquires: u64,
+    /// Grants received.
+    pub grants: u64,
+    /// Aborts (deadline or explicit).
+    pub aborts: u64,
+    /// Acquire→grant latency samples.
+    pub latency: LatencySamples,
+}
+
+/// Aggregated result of one `bench-load` run, renderable as the text
+/// report the CI job uploads.
+#[derive(Debug, Default, Clone)]
+pub struct LoadReport {
+    /// Human label for the run (cluster size, mode, …).
+    pub label: String,
+    /// Run duration in microseconds.
+    pub duration_us: u64,
+    /// Virtual clients driving load.
+    pub clients: usize,
+    /// Per-resource rows, sorted by resource id.
+    pub rows: Vec<ResourceRow>,
+    /// Wire-level handover (sync-delay) samples: release of a contended
+    /// resource → next grant.
+    pub handover: LatencySamples,
+}
+
+fn fmt_ms(v: Option<f64>) -> String {
+    match v {
+        Some(us) => format!("{:9.3}", us / 1_000.0),
+        None => format!("{:>9}", "-"),
+    }
+}
+
+impl LoadReport {
+    /// All acquire-latency samples across resources.
+    pub fn all_latency(&self) -> LatencySamples {
+        let mut all = LatencySamples::new();
+        for r in &self.rows {
+            all.merge(&r.latency);
+        }
+        all
+    }
+
+    /// Total grants across resources.
+    pub fn total_grants(&self) -> u64 {
+        self.rows.iter().map(|r| r.grants).sum()
+    }
+
+    /// Renders the human-readable report `qmxctl bench-load` prints and
+    /// CI archives.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let secs = self.duration_us as f64 / 1e6;
+        let _ = writeln!(out, "bench-load: {}", self.label);
+        let _ = writeln!(
+            out,
+            "duration {secs:.2}s, {} clients, {} resources, {} grants ({:.1}/s)",
+            self.clients,
+            self.rows.len(),
+            self.total_grants(),
+            self.total_grants() as f64 / secs.max(1e-9),
+        );
+        let _ = writeln!(
+            out,
+            "{:>9} {:>9} {:>8} {:>7} {:>9} {:>9} {:>9}  (acquire latency, ms)",
+            "resource", "acquires", "grants", "aborts", "p50", "p95", "p99"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:>9} {:>9} {:>8} {:>7} {} {} {}",
+                format!("r{}", r.rid),
+                r.acquires,
+                r.grants,
+                r.aborts,
+                fmt_ms(r.latency.percentile(50)),
+                fmt_ms(r.latency.percentile(95)),
+                fmt_ms(r.latency.percentile(99)),
+            );
+        }
+        let all = self.all_latency();
+        let _ = writeln!(
+            out,
+            "{:>9} {:>9} {:>8} {:>7} {} {} {}",
+            "ALL",
+            self.rows.iter().map(|r| r.acquires).sum::<u64>(),
+            self.total_grants(),
+            self.rows.iter().map(|r| r.aborts).sum::<u64>(),
+            fmt_ms(all.percentile(50)),
+            fmt_ms(all.percentile(95)),
+            fmt_ms(all.percentile(99)),
+        );
+        let _ = writeln!(
+            out,
+            "handover (wire sync delay): n={} p50={} p95={} p99={} ms",
+            self.handover.len(),
+            fmt_ms(self.handover.percentile(50)).trim_start(),
+            fmt_ms(self.handover.percentile(95)).trim_start(),
+            fmt_ms(self.handover.percentile(99)).trim_start(),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_merge() {
+        let mut a = LatencySamples::new();
+        for i in 1..=100 {
+            a.push(i as f64 * 1_000.0);
+        }
+        // stats::percentile ranks by round(p/100 * (n-1)) on the sorted
+        // samples: for 1..=100 ms, p50 -> index 50, p99 -> index 98.
+        assert_eq!(a.percentile(50), Some(51_000.0));
+        assert_eq!(a.percentile(99), Some(99_000.0));
+        assert_eq!(a.percentile(0), Some(1_000.0));
+        assert_eq!(a.percentile(100), Some(100_000.0));
+        let mut b = LatencySamples::new();
+        b.push(1.0);
+        b.merge(&a);
+        assert_eq!(b.len(), 101);
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let mut rep = LoadReport {
+            label: "test cluster".into(),
+            duration_us: 2_000_000,
+            clients: 4,
+            ..Default::default()
+        };
+        let mut row = ResourceRow {
+            rid: 3,
+            acquires: 10,
+            grants: 9,
+            aborts: 1,
+            ..Default::default()
+        };
+        for i in 0..9 {
+            row.latency.push(1_000.0 + i as f64);
+        }
+        rep.rows.push(row);
+        rep.handover.push(2_500.0);
+        let text = rep.render();
+        assert!(text.contains("bench-load: test cluster"));
+        assert!(text.contains("r3"));
+        assert!(text.contains("ALL"));
+        assert!(text.contains("handover"));
+        // Empty percentile cells render as dashes, not panics.
+        let empty = LoadReport::default().render();
+        assert!(empty.contains('-'));
+    }
+}

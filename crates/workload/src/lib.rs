@@ -9,6 +9,8 @@
 //!   fault schedule, get a [`stats::RunReport`];
 //! * [`stats`] — metric reduction (messages per CS, sync delay in `T`,
 //!   response/waiting percentiles, Jain fairness);
+//! * [`latency`] — wall-clock latency bags and the `bench-load` percentile
+//!   report used by the live networked runtime;
 //! * [`replicate`] — multi-seed replication with mean ± σ summaries;
 //! * [`parallel`] — deterministic fan-out of independent runs across
 //!   worker threads (results in item order, identical for any `--jobs`);
@@ -24,6 +26,7 @@
 
 pub mod arrival;
 pub mod chaos;
+pub mod latency;
 pub mod lockspace_soak;
 pub mod parallel;
 pub mod replicate;

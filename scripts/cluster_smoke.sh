@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Boots an N-site qmx cluster on localhost sockets, drives qmxctl
+# bench-load against it, prints the latency report, and fails unless the
+# run produced grants and handover samples.
+#
+# Usage: scripts/cluster_smoke.sh [OUT_FILE]
+#
+# Environment knobs (all optional):
+#   QMXCTL       path to the qmxctl binary   (default target/release/qmxctl)
+#   N            cluster size                (default 9)
+#   TRANSPORT    tcp | uds                   (default tcp)
+#   BASE_PORT    first TCP port              (default 7450)
+#   FORWARDING   on | off — off serves the 2T no-forwarding baseline
+#   DURATION_MS  measured bench window       (default 5000)
+#   CLIENTS      virtual clients             (default 24)
+#   RESOURCES    distinct resources          (default 8)
+#   SEED         bench RNG seed              (default 1)
+set -euo pipefail
+
+BIN="${QMXCTL:-target/release/qmxctl}"
+N="${N:-9}"
+TRANSPORT="${TRANSPORT:-tcp}"
+BASE_PORT="${BASE_PORT:-7450}"
+FORWARDING="${FORWARDING:-on}"
+DURATION_MS="${DURATION_MS:-5000}"
+CLIENTS="${CLIENTS:-24}"
+RESOURCES="${RESOURCES:-8}"
+SEED="${SEED:-1}"
+OUT="${1:-}"
+
+if [[ "$TRANSPORT" == "uds" ]]; then
+    SOCKDIR="$(mktemp -d)"
+    addr_of() { echo "$SOCKDIR/site-$1.sock"; }
+else
+    addr_of() { echo "127.0.0.1:$((BASE_PORT + $1))"; }
+fi
+
+# Servers self-exit via --for-ms so a wedged bench can't leak processes;
+# the margin covers bench startup, its drain phase, and teardown.
+SERVE_FOR_MS=$((DURATION_MS + DURATION_MS / 2 + 10000))
+
+pids=()
+cleanup() {
+    kill "${pids[@]}" 2>/dev/null || true
+    [[ "${SOCKDIR:-}" ]] && rm -rf "$SOCKDIR"
+    return 0
+}
+trap cleanup EXIT
+
+for ((i = 0; i < N; i++)); do
+    peers=()
+    for ((s = 0; s < N; s++)); do
+        [[ $s -eq $i ]] && continue
+        peers+=(--peer "$s=$(addr_of "$s")")
+    done
+    "$BIN" serve --site "$i" --sites "$N" --listen "$(addr_of "$i")" \
+        "${peers[@]}" --transport "$TRANSPORT" --forwarding "$FORWARDING" \
+        --for-ms "$SERVE_FOR_MS" &
+    pids+=($!)
+done
+
+sleep 1 # listeners bind, peer links come up
+
+addrs=()
+for ((i = 0; i < N; i++)); do
+    addrs+=(--addr "$(addr_of "$i")")
+done
+report="$("$BIN" bench-load "${addrs[@]}" --transport "$TRANSPORT" \
+    --clients "$CLIENTS" --resources "$RESOURCES" \
+    --duration-ms "$DURATION_MS" --seed "$SEED" \
+    --label "$N-site $TRANSPORT, forwarding $FORWARDING" \
+    ${OUT:+--out "$OUT"})"
+echo "$report"
+
+grants="$(awk '/^duration/ { for (i = 2; i <= NF; i++) if ($i == "grants") print $(i - 1) }' <<<"$report")"
+if [[ -z "$grants" || "$grants" -lt 1 ]]; then
+    echo "SMOKE FAILED: no grants in the measured window" >&2
+    exit 1
+fi
+if ! grep -q 'handover (wire sync delay): n=' <<<"$report"; then
+    echo "SMOKE FAILED: no handover section in the report" >&2
+    exit 1
+fi
+
+wait "${pids[@]}"
+echo "cluster smoke OK: $grants grants over $N sites ($TRANSPORT, forwarding $FORWARDING)"

@@ -15,7 +15,12 @@
 //!   Suzuki–Kasami, Raymond, and Singhal-dynamic baselines.
 //! * [`qmx_workload`] — workload generators, scenario runner, and
 //!   metrics.
-//! * [`qmx_runtime`] — live multi-threaded runtime.
+//! * [`qmx_runtime`] — the networked runtime: framed transport seam
+//!   (loopback, TCP, UDS) and the poll-driven per-site
+//!   [`Node`](qmx_runtime::node::Node) event loop.
+//! * [`qmx_client`] — client library (poll-driven core, blocking
+//!   wrapper), the deterministic loopback cluster harness, and the
+//!   open-loop bench engine.
 //! * [`qmx_replica`] — replicated data management (read/write
 //!   quorums with writes serialized by the mutex).
 //! * [`qmx_check`] — bounded exhaustive model checker.
@@ -27,6 +32,7 @@
 
 pub use qmx_baselines as baselines;
 pub use qmx_check as check;
+pub use qmx_client as client;
 pub use qmx_core as core;
 pub use qmx_quorum as quorum;
 pub use qmx_replica as replica;

@@ -1,0 +1,230 @@
+//! Property-based tests of the networked runtime: random interleavings
+//! of acquire / release / abort from many clients, executed end-to-end
+//! through framed connections against a live loopback cluster.
+//!
+//! Two invariants are enforced on every run:
+//!
+//! 1. **Mutual exclusion per resource** — whenever a grant arrives, no
+//!    other client is between its own grant and its release of the same
+//!    resource.
+//! 2. **No orphaned grants** — after the schedule drains (remaining
+//!    holders release, remaining waiters abort), every site's node
+//!    reports a clean lock table: no holder, no waiters, no protocol
+//!    shard still holding or wanting the CS.
+
+use proptest::prelude::*;
+use qmx::client::{ClientEvent, ClusterConfig, LoopCluster};
+use qmx::core::ResourceId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CState {
+    Idle,
+    Waiting { rid: u32, req: u64 },
+    Holding { rid: u32, req: u64 },
+    Releasing,
+}
+
+struct Driver {
+    cluster: LoopCluster,
+    handles: Vec<usize>,
+    states: Vec<CState>,
+    /// Client currently between Granted and Release, per resource.
+    holder_of: Vec<Option<usize>>,
+    grants_seen: u64,
+}
+
+impl Driver {
+    fn new(sites: u32, clients: usize, resources: u32) -> Self {
+        let mut cluster = LoopCluster::new(ClusterConfig::ring_majority(sites));
+        cluster.run_for(50_000);
+        let handles: Vec<usize> = (0..clients)
+            .map(|i| cluster.add_client(i as u32 % sites))
+            .collect();
+        cluster.run_for(20_000);
+        for &h in &handles {
+            let evs = cluster.events(h);
+            assert!(
+                evs.iter().any(|e| matches!(e, ClientEvent::Welcome { .. })),
+                "client {h} never welcomed"
+            );
+        }
+        Driver {
+            cluster,
+            handles,
+            states: vec![CState::Idle; clients],
+            holder_of: vec![None; resources as usize],
+            grants_seen: 0,
+        }
+    }
+
+    /// Applies every event each client has pending, checking mutual
+    /// exclusion as grants land.
+    fn absorb_events(&mut self) {
+        for ci in 0..self.handles.len() {
+            let evs = self.cluster.events(self.handles[ci]);
+            for ev in evs {
+                match ev {
+                    ClientEvent::Granted { rid, req } => {
+                        assert_eq!(
+                            self.states[ci],
+                            CState::Waiting { rid: rid.0, req },
+                            "client {ci}: grant without matching wait"
+                        );
+                        let slot = &mut self.holder_of[rid.0 as usize];
+                        assert!(
+                            slot.is_none(),
+                            "MUTUAL EXCLUSION VIOLATED on rid {}: client {ci} \
+                             granted while client {:?} still holds",
+                            rid.0,
+                            slot
+                        );
+                        *slot = Some(ci);
+                        self.states[ci] = CState::Holding { rid: rid.0, req };
+                        self.grants_seen += 1;
+                    }
+                    ClientEvent::Aborted { rid, req } => {
+                        if self.states[ci] == (CState::Waiting { rid: rid.0, req }) {
+                            self.states[ci] = CState::Idle;
+                        }
+                    }
+                    ClientEvent::Released { .. } => {
+                        if self.states[ci] == CState::Releasing {
+                            self.states[ci] = CState::Idle;
+                        }
+                    }
+                    ClientEvent::Rejected { rid, req, .. } => {
+                        // Late abort of an already-granted lock: we keep
+                        // holding (the runtime owes us the grant).
+                        if self.states[ci] == (CState::Waiting { rid: rid.0, req }) {
+                            self.states[ci] = CState::Holding { rid: rid.0, req };
+                        }
+                    }
+                    ClientEvent::Welcome { .. } => {}
+                    ClientEvent::Disconnected => {
+                        panic!("client {ci} disconnected mid-schedule")
+                    }
+                }
+            }
+        }
+    }
+
+    /// One schedule step for client `ci`, driven by `choice`.
+    fn step(&mut self, ci: usize, rid: u32, wait: Option<u64>, choice: u8) {
+        let h = self.handles[ci];
+        match self.states[ci] {
+            CState::Idle => {
+                let req = self.cluster.client(h).acquire(ResourceId(rid), wait);
+                self.states[ci] = CState::Waiting { rid, req };
+            }
+            CState::Waiting { rid, req } => {
+                // Sometimes withdraw a pending request.
+                if choice.is_multiple_of(3) {
+                    self.cluster.client(h).abort(ResourceId(rid), req);
+                    // State resolves via Aborted (pending) or Rejected
+                    // (already granted) in absorb_events.
+                }
+            }
+            CState::Holding { rid, req } => {
+                if self.holder_of[rid as usize] == Some(ci) {
+                    self.holder_of[rid as usize] = None;
+                }
+                self.cluster.client(h).release(ResourceId(rid), req);
+                self.states[ci] = CState::Releasing;
+            }
+            CState::Releasing => {}
+        }
+    }
+
+    /// Winds the schedule down: releases every held lock, aborts every
+    /// pending request, then runs until the cluster is quiescent.
+    fn drain(&mut self, sites: u32) {
+        for _ in 0..200 {
+            self.cluster.run_for(100_000);
+            self.absorb_events();
+            let mut busy = false;
+            for ci in 0..self.handles.len() {
+                match self.states[ci] {
+                    CState::Idle => {}
+                    CState::Waiting { rid, req } => {
+                        self.cluster
+                            .client(self.handles[ci])
+                            .abort(ResourceId(rid), req);
+                        busy = true;
+                    }
+                    CState::Holding { rid, req } => {
+                        if self.holder_of[rid as usize] == Some(ci) {
+                            self.holder_of[rid as usize] = None;
+                        }
+                        self.cluster
+                            .client(self.handles[ci])
+                            .release(ResourceId(rid), req);
+                        self.states[ci] = CState::Releasing;
+                        busy = true;
+                    }
+                    CState::Releasing => busy = true,
+                }
+            }
+            if !busy {
+                break;
+            }
+        }
+        self.cluster.run_for(500_000);
+        self.absorb_events();
+        for ci in 0..self.handles.len() {
+            assert_eq!(
+                self.states[ci],
+                CState::Idle,
+                "client {ci} stuck after drain"
+            );
+        }
+        // No orphaned grants: every site's lock table is empty and no
+        // protocol shard is holding or wanting any resource.
+        for s in 0..sites {
+            let node = self.cluster.node(s).expect("all sites alive");
+            assert!(node.held().is_empty(), "site {s} still has holders");
+            assert!(node.quiescent(), "site {s} not quiescent after drain");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_schedules_hold_invariants(
+        sites in 3u32..=6,
+        clients in 2usize..=6,
+        resources in 1u32..=4,
+        steps in 20usize..120,
+        seed in 0u64..1_000_000_000,
+    ) {
+        // The vendored proptest stand-in has ranges and tuples but no
+        // collection strategies; the schedule itself is derived from a
+        // drawn seed, which keeps shrink-free replay exact (the failing
+        // tuple alone reproduces the run).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Driver::new(sites, clients, resources);
+        for _ in 0..steps {
+            let ci = rng.gen_range(0..clients);
+            let rid = rng.gen_range(0..resources);
+            let wait = if rng.gen_bool(0.3) {
+                Some(rng.gen_range(50_000u64..800_000))
+            } else {
+                None
+            };
+            let choice = rng.gen_range(0u32..256) as u8;
+            d.step(ci, rid, wait, choice);
+            let gap_ms = rng.gen_range(1u64..30);
+            d.cluster.run_for(gap_ms * 1_000);
+            d.absorb_events();
+        }
+        d.drain(sites);
+        // Sanity: schedules of this shape actually exercise the lock path.
+        prop_assert!(d.grants_seen > 0 || d.handles.len() < 2);
+    }
+}
